@@ -1,0 +1,133 @@
+//! Per-connection plumbing shared by the server applications.
+//!
+//! Server applications must be **deterministic on the byte stream**
+//! (§1 of the paper): the same sequence of request bytes must produce
+//! the same sequence of reply bytes on the primary and the secondary,
+//! regardless of how TCP happened to chunk them into segments. The
+//! helpers here make that property easy to uphold: [`LineBuf`]
+//! reassembles requests independent of segment boundaries, and
+//! [`OutBuf`] guarantees no reply byte is dropped on a partial send.
+
+use tcpfo_tcp::app::SocketApi;
+use tcpfo_tcp::types::SocketId;
+
+/// Buffers outbound bytes across partial sends.
+#[derive(Debug, Default, Clone)]
+pub struct OutBuf {
+    pending: Vec<u8>,
+}
+
+impl OutBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        OutBuf::default()
+    }
+
+    /// Queues reply bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.pending.extend_from_slice(data);
+    }
+
+    /// Pushes as much pending data as the socket accepts.
+    pub fn flush(&mut self, api: &mut SocketApi<'_>, conn: SocketId) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let n = api.send(conn, &self.pending).unwrap_or(0);
+        self.pending.drain(..n);
+    }
+
+    /// Whether everything queued has been handed to TCP.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Bytes still waiting for send-buffer space.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Reassembles `\n`-terminated lines from arbitrarily chunked input.
+#[derive(Debug, Default, Clone)]
+pub struct LineBuf {
+    buf: Vec<u8>,
+}
+
+impl LineBuf {
+    /// Creates an empty line buffer.
+    pub fn new() -> Self {
+        LineBuf::default()
+    }
+
+    /// Appends raw bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pops the next complete line (without the terminator; a trailing
+    /// `\r` is stripped too, for FTP-style `\r\n`).
+    pub fn pop_line(&mut self) -> Option<String> {
+        let pos = self.buf.iter().position(|&b| b == b'\n')?;
+        let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+        line.pop(); // '\n'
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Some(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    /// Bytes buffered but not yet forming a line.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Deterministic filler byte for position `i` of a generated payload
+/// (used by the stream source, FTP file bodies, and verified by the
+/// receiving drivers).
+pub fn pattern_byte(i: u64) -> u8 {
+    ((i.wrapping_mul(31)).wrapping_add(7) % 251) as u8
+}
+
+/// Generates `len` pattern bytes starting at stream offset `start`.
+pub fn pattern(start: u64, len: usize) -> Vec<u8> {
+    (0..len as u64).map(|i| pattern_byte(start + i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linebuf_reassembles_across_chunks() {
+        let mut lb = LineBuf::new();
+        lb.push(b"USER al");
+        assert_eq!(lb.pop_line(), None);
+        lb.push(b"ice\r\nPASS x\n tail");
+        assert_eq!(lb.pop_line(), Some("USER alice".to_string()));
+        assert_eq!(lb.pop_line(), Some("PASS x".to_string()));
+        assert_eq!(lb.pop_line(), None);
+        assert_eq!(lb.len(), 5);
+    }
+
+    #[test]
+    fn pattern_is_deterministic() {
+        assert_eq!(pattern(0, 16), pattern(0, 16));
+        assert_eq!(pattern(5, 11), pattern(0, 16)[5..]);
+        assert!(pattern(0, 300).iter().all(|&b| b < 251));
+    }
+
+    #[test]
+    fn outbuf_tracks_pending() {
+        let mut ob = OutBuf::new();
+        assert!(ob.is_empty());
+        ob.push(b"abc");
+        assert_eq!(ob.len(), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! A multi-connection echo server — the simplest deterministic
+//! replicated service: output stream ≡ input stream.
+
+use crate::conn::OutBuf;
+use std::any::Any;
+use std::collections::HashMap;
+use tcpfo_tcp::app::{SocketApi, SocketApp};
+use tcpfo_tcp::types::{ListenerId, SocketId};
+
+/// Echo server accepting any number of connections on one port.
+pub struct EchoServer {
+    port: u16,
+    /// Designate accepted connections for failover (§7 method 1).
+    failover: bool,
+    listener: Option<ListenerId>,
+    conns: HashMap<SocketId, OutBuf>,
+    /// Total bytes echoed (observability).
+    pub echoed: u64,
+    /// Connections served to completion.
+    pub completed: u64,
+}
+
+impl EchoServer {
+    /// Creates an echo server on `port`.
+    pub fn new(port: u16) -> Self {
+        EchoServer {
+            port,
+            failover: false,
+            listener: None,
+            conns: HashMap::new(),
+            echoed: 0,
+            completed: 0,
+        }
+    }
+
+    /// Designates accepted connections as failover connections via the
+    /// socket option (§7 method 1).
+    pub fn with_failover_option(mut self) -> Self {
+        self.failover = true;
+        self
+    }
+}
+
+impl SocketApp for EchoServer {
+    fn poll(&mut self, api: &mut SocketApi<'_>) {
+        if self.listener.is_none() {
+            self.listener = api.listen(self.port, self.failover).ok();
+        }
+        if let Some(l) = self.listener {
+            while let Some(c) = api.accept(l) {
+                self.conns.insert(c, OutBuf::new());
+            }
+        }
+        let mut finished = Vec::new();
+        for (&c, out) in self.conns.iter_mut() {
+            out.flush(api, c);
+            if out.is_empty() {
+                let data = api.recv(c, 64 * 1024).unwrap_or_default();
+                if !data.is_empty() {
+                    self.echoed += data.len() as u64;
+                    out.push(&data);
+                    out.flush(api, c);
+                }
+            }
+            if api.peer_closed(c) && out.is_empty() {
+                let _ = api.close(c);
+                if api.state(c).is_none()
+                    || api.state(c) == Some(tcpfo_tcp::socket::TcpState::Closed)
+                {
+                    finished.push(c);
+                }
+            }
+            if api.state(c).is_none() || api.state(c) == Some(tcpfo_tcp::socket::TcpState::Closed) {
+                finished.push(c);
+            }
+        }
+        for c in finished {
+            if self.conns.remove(&c).is_some() {
+                self.completed += 1;
+                api.release(c);
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::Duplex;
+    use tcpfo_tcp::types::SocketAddr;
+    use tcpfo_wire::ipv4::Ipv4Addr;
+
+    /// Minimal scripted echo client used only for this module's tests.
+    struct Client {
+        server: SocketAddr,
+        message: Vec<u8>,
+        conn: Option<SocketId>,
+        sent: usize,
+        pub received: Vec<u8>,
+    }
+
+    impl SocketApp for Client {
+        fn poll(&mut self, api: &mut SocketApi<'_>) {
+            if self.conn.is_none() {
+                self.conn = api.connect(self.server, false).ok();
+            }
+            let Some(c) = self.conn else { return };
+            if !api.is_established(c) {
+                return;
+            }
+            if self.sent < self.message.len() {
+                self.sent += api.send(c, &self.message[self.sent..]).unwrap_or(0);
+            }
+            self.received
+                .extend(api.recv(c, 64 * 1024).unwrap_or_default());
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn echoes_multiple_connections() {
+        let mut net = Duplex::new();
+        let mut server = EchoServer::new(7);
+        let mut c1 = Client {
+            server: SocketAddr::new(Ipv4Addr::new(10, 0, 0, 2), 7),
+            message: b"first".to_vec(),
+            conn: None,
+            sent: 0,
+            received: Vec::new(),
+        };
+        let mut c2 = Client {
+            server: SocketAddr::new(Ipv4Addr::new(10, 0, 0, 2), 7),
+            message: b"second connection".to_vec(),
+            conn: None,
+            sent: 0,
+            received: Vec::new(),
+        };
+        for _ in 0..200 {
+            net.step_multi(&mut [&mut c1, &mut c2], &mut server);
+        }
+        assert_eq!(c1.received, b"first");
+        assert_eq!(c2.received, b"second connection");
+        assert_eq!(server.echoed, 22);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # tcpfo-apps
+//!
+//! Deterministic applications and measuring client drivers for the
+//! *Transparent TCP Connection Failover* (DSN 2003) reproduction.
+//!
+//! The paper's active replication requires the server application to be
+//! "deterministic on a per connection basis" (§1): the same request
+//! byte stream must produce the same reply byte stream on the primary
+//! and the secondary, regardless of how TCP chunked it into segments.
+//! Every server here has that property:
+//!
+//! * [`echo::EchoServer`] — output ≡ input.
+//! * [`store::StoreServer`] — the paper's on-line store example:
+//!   browse/buy with a deterministic catalog and per-connection state.
+//! * [`stream::SinkServer`] / [`stream::SourceServer`] — bulk stream
+//!   workloads behind Fig. 3, Fig. 4 and Fig. 5.
+//! * [`ftp::FtpServer`] / [`ftp::FtpClient`] — the Fig. 6 application,
+//!   with active-mode data connections the *server initiates* (§7.2).
+//!
+//! Client drivers in [`driver`] record the timestamps the paper's
+//! measurements are computed from (connect→established, send-call
+//! return per §9's send-buffer semantics, last-reply-byte, …).
+
+pub mod conn;
+pub mod driver;
+pub mod echo;
+pub mod ftp;
+pub mod store;
+pub mod stream;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use driver::{
+    duration_stats, BulkSendClient, ConnectProbeClient, DurationStats, RequestReplyClient,
+};
+pub use echo::EchoServer;
+pub use ftp::{FtpClient, FtpOp, FtpRecord, FtpServer, FTP_CTRL_PORT, FTP_DATA_PORT};
+pub use store::{StoreClient, StoreServer};
+pub use stream::{SinkServer, SourceServer};

@@ -1,0 +1,262 @@
+//! Stream workload servers for the §9 measurements.
+//!
+//! * [`SinkServer`] — discards and counts whatever clients send
+//!   (client→server transfers, Fig. 3 and the Fig. 5 send rate).
+//! * [`SourceServer`] — replies to `SEND <n>\n` requests with `n`
+//!   deterministic pattern bytes (server→client transfers, Fig. 4 and
+//!   the Fig. 5 receive rate). Deterministic on the byte stream, so it
+//!   replicates actively.
+
+use crate::conn::{pattern, LineBuf, OutBuf};
+use std::any::Any;
+use std::collections::HashMap;
+use tcpfo_tcp::app::{SocketApi, SocketApp};
+use tcpfo_tcp::socket::TcpState;
+use tcpfo_tcp::types::{ListenerId, SocketId};
+
+/// Counts and discards incoming bytes.
+pub struct SinkServer {
+    port: u16,
+    failover: bool,
+    listener: Option<ListenerId>,
+    conns: HashMap<SocketId, u64>,
+    /// Per-poll read budget; `usize::MAX` = drain eagerly. A small
+    /// budget makes this replica a *slow consumer*, shrinking its
+    /// advertised window — §3.2's min-window rule then throttles the
+    /// client to this replica's pace.
+    pub read_budget: usize,
+    /// Total bytes swallowed across all connections.
+    pub received: u64,
+}
+
+impl SinkServer {
+    /// Creates a sink on `port`.
+    pub fn new(port: u16) -> Self {
+        SinkServer {
+            port,
+            failover: false,
+            listener: None,
+            conns: HashMap::new(),
+            read_budget: usize::MAX,
+            received: 0,
+        }
+    }
+
+    /// Turns this sink into a slow consumer reading at most `budget`
+    /// bytes per poll.
+    pub fn with_read_budget(mut self, budget: usize) -> Self {
+        self.read_budget = budget;
+        self
+    }
+
+    /// Use the §7 socket-option designation for accepted connections.
+    pub fn with_failover_option(mut self) -> Self {
+        self.failover = true;
+        self
+    }
+}
+
+impl SocketApp for SinkServer {
+    fn poll(&mut self, api: &mut SocketApi<'_>) {
+        if self.listener.is_none() {
+            self.listener = api.listen(self.port, self.failover).ok();
+        }
+        if let Some(l) = self.listener {
+            while let Some(c) = api.accept(l) {
+                self.conns.insert(c, 0);
+            }
+        }
+        let mut finished = Vec::new();
+        for (&c, count) in self.conns.iter_mut() {
+            let data = api.recv(c, self.read_budget).unwrap_or_default();
+            *count += data.len() as u64;
+            self.received += data.len() as u64;
+            if api.peer_closed(c) {
+                let _ = api.close(c);
+            }
+            if api.state(c).is_none_or(|s| s == TcpState::Closed) {
+                finished.push(c);
+            }
+        }
+        for c in finished {
+            self.conns.remove(&c);
+            api.release(c);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Per-connection source state.
+#[derive(Default)]
+struct SourceConn {
+    lines: LineBuf,
+    out: OutBuf,
+    /// Remaining bytes of the current response (drip-fed to bound
+    /// memory), and the stream offset for pattern generation.
+    remaining: u64,
+    offset: u64,
+}
+
+/// Replies to `SEND <n>` requests with `n` pattern bytes.
+pub struct SourceServer {
+    port: u16,
+    failover: bool,
+    listener: Option<ListenerId>,
+    conns: HashMap<SocketId, SourceConn>,
+    /// Total bytes served.
+    pub served: u64,
+    /// Requests handled.
+    pub requests: u64,
+}
+
+impl SourceServer {
+    /// Creates a source on `port`.
+    pub fn new(port: u16) -> Self {
+        SourceServer {
+            port,
+            failover: false,
+            listener: None,
+            conns: HashMap::new(),
+            served: 0,
+            requests: 0,
+        }
+    }
+
+    /// Use the §7 socket-option designation for accepted connections.
+    pub fn with_failover_option(mut self) -> Self {
+        self.failover = true;
+        self
+    }
+}
+
+impl SocketApp for SourceServer {
+    fn poll(&mut self, api: &mut SocketApi<'_>) {
+        if self.listener.is_none() {
+            self.listener = api.listen(self.port, self.failover).ok();
+        }
+        if let Some(l) = self.listener {
+            while let Some(c) = api.accept(l) {
+                self.conns.insert(c, SourceConn::default());
+            }
+        }
+        let mut finished = Vec::new();
+        for (&c, st) in self.conns.iter_mut() {
+            let data = api.recv(c, usize::MAX).unwrap_or_default();
+            st.lines.push(&data);
+            while st.remaining == 0 {
+                let Some(line) = st.lines.pop_line() else {
+                    break;
+                };
+                if let Some(n) = line
+                    .strip_prefix("SEND ")
+                    .and_then(|v| v.parse::<u64>().ok())
+                {
+                    st.remaining = n;
+                    st.offset = 0;
+                    self.requests += 1;
+                }
+            }
+            // Drip the response: refill the out-buffer in bounded slabs.
+            st.out.flush(api, c);
+            while st.remaining > 0 && st.out.len() < 32 * 1024 {
+                let chunk = st.remaining.min(16 * 1024) as usize;
+                st.out.push(&pattern(st.offset, chunk));
+                st.offset += chunk as u64;
+                st.remaining -= chunk as u64;
+                self.served += chunk as u64;
+                st.out.flush(api, c);
+                if api.send_space(c) == 0 {
+                    break;
+                }
+            }
+            st.out.flush(api, c);
+            if api.peer_closed(c) && st.remaining == 0 && st.out.is_empty() {
+                let _ = api.close(c);
+            }
+            if api.state(c).is_none_or(|s| s == TcpState::Closed) {
+                finished.push(c);
+            }
+        }
+        for c in finished {
+            self.conns.remove(&c);
+            api.release(c);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::pattern_byte;
+    use crate::driver::{BulkSendClient, RequestReplyClient};
+    use crate::testutil::{Duplex, SERVER_IP};
+    use tcpfo_tcp::types::SocketAddr;
+
+    #[test]
+    fn sink_counts_bulk_send() {
+        let mut net = Duplex::new();
+        let mut server = SinkServer::new(9);
+        let mut client = BulkSendClient::new(SocketAddr::new(SERVER_IP, 9), 200_000);
+        for _ in 0..2_000 {
+            net.step(&mut client, &mut server);
+            if client.is_done() {
+                break;
+            }
+        }
+        assert!(client.is_done(), "bulk send did not finish");
+        assert_eq!(server.received, 200_000);
+    }
+
+    #[test]
+    fn source_serves_requested_bytes() {
+        let mut net = Duplex::new();
+        let mut server = SourceServer::new(9);
+        let mut client = RequestReplyClient::new(
+            SocketAddr::new(SERVER_IP, 9),
+            b"SEND 100000\n".to_vec(),
+            100_000,
+        );
+        for _ in 0..2_000 {
+            net.step(&mut client, &mut server);
+            if client.is_done() {
+                break;
+            }
+        }
+        assert!(
+            client.is_done(),
+            "reply incomplete: {}",
+            client.received_len()
+        );
+        assert_eq!(server.requests, 1);
+        // Spot-check the pattern at a few offsets.
+        for off in [0usize, 1, 77_777, 99_999] {
+            assert_eq!(client.received_byte(off), pattern_byte(off as u64));
+        }
+    }
+
+    #[test]
+    fn source_handles_sequential_requests_on_one_connection() {
+        let mut net = Duplex::new();
+        let mut server = SourceServer::new(9);
+        let mut client = RequestReplyClient::new(
+            SocketAddr::new(SERVER_IP, 9),
+            b"SEND 500\nSEND 500\n".to_vec(),
+            1_000,
+        );
+        for _ in 0..200 {
+            net.step(&mut client, &mut server);
+            if client.is_done() {
+                break;
+            }
+        }
+        assert!(client.is_done());
+        assert_eq!(server.requests, 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! E6 (extension) — failover timing: how the heartbeat timeout drives
+//! the client-visible service interruption when the primary is killed
+//! mid-download (§5). The interruption is detection + ARP takeover
+//! window T + retransmission catch-up.
+
+use tcpfo_bench::{header, measure_failover_timing, row};
+use tcpfo_net::time::SimDuration;
+
+fn main() {
+    println!("\n## E6: failover timing vs fault-detector timeout (§5)\n");
+    header(&[
+        "hb timeout",
+        "detection latency",
+        "client stall",
+        "transfer intact",
+    ]);
+    for (i, timeout_ms) in [10u64, 25, 50, 100, 200, 500].into_iter().enumerate() {
+        let t = measure_failover_timing(SimDuration::from_millis(timeout_ms), 0xE6 + i as u64);
+        row(&[
+            format!("{timeout_ms}ms"),
+            format!("{}", t.detection),
+            format!("{}", t.client_stall),
+            format!("{}", t.completed),
+        ]);
+    }
+    println!();
+}

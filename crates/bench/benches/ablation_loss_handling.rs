@@ -1,0 +1,27 @@
+//! E7 (extension) — §4 loss handling as goodput: download goodput under
+//! increasing random loss, standard vs failover. The bridge's
+//! retransmission forwarding and min-ack discipline must degrade
+//! gracefully, not collapse.
+
+use tcpfo_bench::{header, kbps, measure_goodput_under_loss, row, Mode};
+
+fn main() {
+    println!("\n## E7: download goodput under random loss (§4 machinery)\n");
+    header(&["loss rate", "standard TCP", "TCP Failover"]);
+    for (i, loss) in [0.0, 0.005, 0.01, 0.02, 0.05].into_iter().enumerate() {
+        let cells: Vec<String> = Mode::BOTH
+            .iter()
+            .map(|&m| {
+                measure_goodput_under_loss(m, loss, 2_000_000, 0xE7 + i as u64)
+                    .map(kbps)
+                    .unwrap_or_else(|| "stalled".to_string())
+            })
+            .collect();
+        row(&[
+            format!("{:.1}%", loss * 100.0),
+            cells[0].clone(),
+            cells[1].clone(),
+        ]);
+    }
+    println!();
+}

@@ -1,0 +1,22 @@
+//! E1 — connection setup time (§9, text): the paper reports
+//! standard TCP median 294µs / max 603µs, TCP Failover median 505µs /
+//! max 1193µs, with warm ARP caches.
+
+use tcpfo_bench::{header, measure_conn_setup, row, us, Mode};
+
+fn main() {
+    println!("\n## E1: connection setup time (paper §9 text)\n");
+    println!("paper: standard median 294µs max 603µs | failover median 505µs max 1193µs\n");
+    header(&["configuration", "median", "max", "min", "samples"]);
+    for mode in Mode::BOTH {
+        let stats = measure_conn_setup(mode, 50, 0xE1);
+        row(&[
+            mode.label().to_string(),
+            us(stats.median),
+            us(stats.max),
+            us(stats.min),
+            "50".to_string(),
+        ]);
+    }
+    println!();
+}

@@ -1,0 +1,36 @@
+//! Figure 3 — client-to-server data transfer: the median time for the
+//! application to *send* a message of 64 B – 1 MB (send returns when
+//! the last byte enters the stack, so the 64 KB send buffer flattens
+//! the curve below ~32 KB — the knee the paper points out), plus the
+//! time to full acknowledgment for context.
+
+use tcpfo_bench::{header, measure_send_time, row, us, Mode};
+use tcpfo_net::time::SimDuration;
+
+const SIZES: [u64; 9] = [
+    64, 256, 1_024, 4_096, 16_384, 32_768, 65_536, 262_144, 1_048_576,
+];
+
+fn median(mut xs: Vec<SimDuration>) -> SimDuration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    println!("\n## Figure 3: client→server send time vs message size\n");
+    println!(
+        "paper shape: flat below ~32KB (64KB send buffer), then linear; failover above standard\n"
+    );
+    header(&["message size", "standard TCP", "TCP Failover"]);
+    for &size in &SIZES {
+        let mut sends = Vec::new();
+        for mode in Mode::BOTH {
+            let samples: Vec<SimDuration> = (0..3)
+                .map(|i| measure_send_time(mode, size, 0xF3 + i * 17 + size).0)
+                .collect();
+            sends.push(median(samples));
+        }
+        row(&[format!("{size}B"), us(sends[0]), us(sends[1])]);
+    }
+    println!();
+}

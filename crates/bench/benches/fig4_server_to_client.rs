@@ -1,0 +1,38 @@
+//! Figure 4 — server-to-client data transfer: the client sends a small
+//! request and measures the time until the last byte of a 64 B – 1 MB
+//! reply arrives.
+
+use tcpfo_bench::{header, measure_request_reply, row, us, Mode};
+use tcpfo_net::time::SimDuration;
+
+const SIZES: [u64; 9] = [
+    64, 256, 1_024, 4_096, 16_384, 32_768, 65_536, 262_144, 1_048_576,
+];
+
+fn median(mut xs: Vec<SimDuration>) -> SimDuration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    println!("\n## Figure 4: server→client transfer time vs reply size\n");
+    println!("paper shape: both grow with size; failover above standard, gap widening with size\n");
+    header(&["reply size", "standard TCP", "TCP Failover", "ratio"]);
+    for &size in &SIZES {
+        let mut medians = Vec::new();
+        for mode in Mode::BOTH {
+            let samples: Vec<SimDuration> = (0..3)
+                .map(|i| measure_request_reply(mode, size, 0xF4 + i * 13 + size))
+                .collect();
+            medians.push(median(samples));
+        }
+        let ratio = medians[1].as_nanos() as f64 / medians[0].as_nanos() as f64;
+        row(&[
+            format!("{size}B"),
+            us(medians[0]),
+            us(medians[1]),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    println!();
+}

@@ -1,0 +1,46 @@
+//! Figure 6 — FTP get/put rates over a wide-area network, for the
+//! paper's five file sizes (0.2 KB – 1738.1 KB).
+//!
+//! The paper's qualitative shape: tiny files are RTT-bound (identical
+//! rates, both configurations), large files approach the path rate;
+//! put rates for small files look inflated because the client's
+//! stopwatch stops when the data enters the send buffer; failover
+//! trails standard slightly on gets. §9 cautions that WAN numbers
+//! "vary widely".
+
+use tcpfo_apps::ftp::FtpOp;
+use tcpfo_bench::{header, kbps, row, run_ftp_wan, Mode, FTP_FILE_SIZES};
+
+fn main() {
+    println!("\n## Figure 6: FTP send/receive rates over a WAN (KB/s)\n");
+    println!(
+        "paper columns: get std/fo | put std/fo — e.g. 18.2KB: 90.41/70.74 | 3846.13/3890.42\n"
+    );
+    header(&[
+        "file size",
+        "get standard",
+        "get failover",
+        "put standard",
+        "put failover",
+    ]);
+    // One session per mode does all gets then all puts.
+    let gets: Vec<FtpOp> = FTP_FILE_SIZES.iter().map(|&s| FtpOp::Get(s)).collect();
+    let puts: Vec<FtpOp> = FTP_FILE_SIZES.iter().map(|&s| FtpOp::Put(s)).collect();
+    let mut results = Vec::new();
+    for mode in Mode::BOTH {
+        let mut ops = gets.clone();
+        ops.extend(puts.clone());
+        results.push(run_ftp_wan(mode, ops, 0xF6));
+    }
+    let n = FTP_FILE_SIZES.len();
+    for (i, &size) in FTP_FILE_SIZES.iter().enumerate() {
+        row(&[
+            format!("{:.1}KB", size as f64 / 1000.0),
+            kbps(results[0][i].rate_kbps()),     // get, standard
+            kbps(results[1][i].rate_kbps()),     // get, failover
+            kbps(results[0][n + i].rate_kbps()), // put, standard
+            kbps(results[1][n + i].rate_kbps()), // put, failover
+        ]);
+    }
+    println!();
+}

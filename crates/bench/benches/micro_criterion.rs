@@ -1,0 +1,112 @@
+//! E9 — micro-benchmarks (wall-clock, via Criterion):
+//!
+//! * incremental (RFC 1624) vs full checksum recomputation — the §3.1
+//!   fast path the paper's bridge relies on;
+//! * bridge output-queue insert/match throughput;
+//! * secondary-bridge divert patching;
+//! * simulator event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tcpfo_core::queues::ByteQueue;
+use tcpfo_wire::checksum::{checksum, ChecksumDelta};
+use tcpfo_wire::ipv4::Ipv4Addr;
+use tcpfo_wire::tcp::{SegmentPatcher, TcpSegment};
+
+fn bench_checksums(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checksum");
+    let seg = TcpSegment::builder(80, 51000)
+        .seq(1234)
+        .ack(5678)
+        .window(8192)
+        .payload(bytes::Bytes::from(vec![7u8; 1460]))
+        .build();
+    let a = Ipv4Addr::new(10, 0, 0, 1);
+    let b = Ipv4Addr::new(10, 0, 0, 2);
+    let cdest = Ipv4Addr::new(192, 168, 0, 9);
+    let raw = seg.encode(a, b).to_vec();
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    group.bench_function("full_recompute_1460B", |bench| {
+        bench.iter(|| checksum(std::hint::black_box(&raw)))
+    });
+    group.bench_function("incremental_addr_rewrite", |bench| {
+        bench.iter(|| {
+            let mut d = ChecksumDelta::new();
+            d.replace_u32(u32::from(b), u32::from(cdest));
+            d.apply(std::hint::black_box(0x1234))
+        })
+    });
+    group.bench_function("patcher_divert_1460B", |bench| {
+        bench.iter(|| {
+            let mut p = SegmentPatcher::new(raw.clone(), a, b);
+            p.push_orig_dest_option(cdest, 51000);
+            p.set_pseudo_dst(cdest);
+            p.finish()
+        })
+    });
+    group.finish();
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("output_queue");
+    let payload = vec![42u8; 1460];
+    group.throughput(Throughput::Bytes(1460 * 64));
+    group.bench_function("insert_take_64_segments", |bench| {
+        bench.iter(|| {
+            let mut q = ByteQueue::new();
+            let mut seq = 1000u32;
+            for _ in 0..64 {
+                q.insert(seq, &payload, 1000);
+                seq = seq.wrapping_add(1460);
+            }
+            let mut head = 1000u32;
+            while q.contiguous_from(head) > 0 {
+                let n = q.contiguous_from(head).min(1460);
+                let taken = q.take(head, n);
+                std::hint::black_box(&taken);
+                head = head.wrapping_add(n as u32);
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    use tcpfo_net::hub::Hub;
+    use tcpfo_net::link::LinkParams;
+    use tcpfo_net::sim::{Ctx, Device, Simulator, TimerToken};
+    use tcpfo_net::time::SimDuration;
+
+    /// Ping-pong device pair for raw event-loop throughput.
+    struct Pinger;
+    impl Device for Pinger {
+        fn label(&self) -> &str {
+            "pinger"
+        }
+        fn handle_frame(&mut self, port: usize, frame: bytes::Bytes, ctx: &mut Ctx<'_>) {
+            ctx.transmit(port, frame);
+        }
+        fn handle_timer(&mut self, _: TimerToken, ctx: &mut Ctx<'_>) {
+            ctx.transmit(0, bytes::Bytes::from_static(&[0u8; 64]));
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    c.bench_function("simulator_100k_events", |bench| {
+        bench.iter(|| {
+            let mut sim = Simulator::new(1);
+            let hub = sim.add_device(Box::new(Hub::new("h", 2, 100_000_000)));
+            let a = sim.add_device(Box::new(Pinger));
+            let b = sim.add_device(Box::new(Pinger));
+            sim.connect((hub, 0), (a, 0), LinkParams::attachment());
+            sim.connect((hub, 1), (b, 0), LinkParams::attachment());
+            sim.schedule_timer(a, SimDuration::ZERO, TimerToken(0));
+            sim.run_until_idle(100_000);
+            std::hint::black_box(sim.events_processed())
+        })
+    });
+}
+
+criterion_group!(benches, bench_checksums, bench_queues, bench_simulator);
+criterion_main!(benches);

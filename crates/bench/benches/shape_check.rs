@@ -1,0 +1,107 @@
+//! Automated shape verification: asserts the qualitative claims of
+//! EXPERIMENTS.md (who wins, by roughly what factor, where the knees
+//! are) on reduced workloads, exiting non-zero if the reproduction
+//! drifts. This keeps the paper-vs-measured story continuously
+//! checked, not just recorded.
+
+use tcpfo_bench::{
+    measure_conn_setup, measure_recv_rate, measure_request_reply, measure_send_rate,
+    measure_send_time, Mode,
+};
+use tcpfo_net::time::SimDuration;
+
+struct Checker {
+    failures: u32,
+}
+
+impl Checker {
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        if ok {
+            println!("PASS  {name}: {detail}");
+        } else {
+            println!("FAIL  {name}: {detail}");
+            self.failures += 1;
+        }
+    }
+}
+
+fn main() {
+    let mut c = Checker { failures: 0 };
+
+    // E1: failover connection setup costs 1.3–2.2× standard, both in
+    // the hundreds of microseconds (paper: 294 µs vs 505 µs = 1.72×).
+    let std_setup = measure_conn_setup(Mode::Standard, 20, 0x5C);
+    let fo_setup = measure_conn_setup(Mode::Failover, 20, 0x5C);
+    let ratio = fo_setup.median.as_nanos() as f64 / std_setup.median.as_nanos() as f64;
+    c.check(
+        "E1 setup ratio",
+        (1.3..2.2).contains(&ratio),
+        format!(
+            "std {} fo {} ratio {ratio:.2} (paper 1.72)",
+            std_setup.median, fo_setup.median
+        ),
+    );
+    c.check(
+        "E1 setup magnitude",
+        (100..1_000).contains(&std_setup.median.as_micros()),
+        format!("standard median {}", std_setup.median),
+    );
+
+    // Fig. 3: below the 64 KB send buffer both configurations coincide
+    // (buffer-bound); above, failover is slower.
+    let (std_small, _) = measure_send_time(Mode::Standard, 16_384, 0x5C);
+    let (fo_small, _) = measure_send_time(Mode::Failover, 16_384, 0x5C);
+    c.check(
+        "Fig3 small messages buffer-bound",
+        std_small == fo_small && std_small < SimDuration::from_millis(1),
+        format!("16KB: std {std_small} fo {fo_small}"),
+    );
+    let (std_big, _) = measure_send_time(Mode::Standard, 524_288, 0x5C);
+    let (fo_big, _) = measure_send_time(Mode::Failover, 524_288, 0x5C);
+    c.check(
+        "Fig3 large messages failover slower",
+        fo_big > std_big,
+        format!("512KB: std {std_big} fo {fo_big}"),
+    );
+
+    // Fig. 4: the failover gap grows with reply size.
+    let r_small = measure_request_reply(Mode::Failover, 4_096, 0x5C).as_nanos() as f64
+        / measure_request_reply(Mode::Standard, 4_096, 0x5C).as_nanos() as f64;
+    let r_big = measure_request_reply(Mode::Failover, 524_288, 0x5C).as_nanos() as f64
+        / measure_request_reply(Mode::Standard, 524_288, 0x5C).as_nanos() as f64;
+    c.check(
+        "Fig4 ratio grows with size",
+        r_big > r_small && r_big > 1.5,
+        format!("4KB ratio {r_small:.2}, 512KB ratio {r_big:.2} (paper saturates ~1.9)"),
+    );
+
+    // Fig. 5: receive degrades much more than send (paper 0.40 vs
+    // 0.74); both below 1.
+    let bytes = 10_000_000;
+    let send_ratio = measure_send_rate(Mode::Failover, bytes, 0x5C)
+        / measure_send_rate(Mode::Standard, bytes, 0x5C);
+    let recv_ratio = measure_recv_rate(Mode::Failover, bytes, 0x5C)
+        / measure_recv_rate(Mode::Standard, bytes, 0x5C);
+    c.check(
+        "Fig5 receive degrades more than send",
+        recv_ratio < send_ratio && recv_ratio < 0.7 && send_ratio < 1.05,
+        format!("send ratio {send_ratio:.2} (paper 0.74), recv ratio {recv_ratio:.2} (paper 0.40)"),
+    );
+
+    // Fig. 5 calibration: the standard baseline is within 25% of the
+    // paper's absolute numbers.
+    let std_send = measure_send_rate(Mode::Standard, bytes, 0x5D);
+    let std_recv = measure_recv_rate(Mode::Standard, bytes, 0x5D);
+    c.check(
+        "Fig5 baseline calibration",
+        (std_send - 7833.7).abs() / 7833.7 < 0.25 && (std_recv - 8707.9).abs() / 8707.9 < 0.25,
+        format!("send {std_send:.0} (paper 7834), recv {std_recv:.0} (paper 8708) KB/s"),
+    );
+
+    println!();
+    if c.failures > 0 {
+        println!("{} shape check(s) FAILED", c.failures);
+        std::process::exit(1);
+    }
+    println!("all shape checks passed");
+}

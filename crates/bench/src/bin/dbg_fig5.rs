@@ -1,0 +1,38 @@
+use tcpfo_apps::driver::BulkSendClient;
+use tcpfo_apps::stream::SinkServer;
+use tcpfo_bench::*;
+use tcpfo_core::testbed::{addrs, Testbed};
+use tcpfo_net::time::SimDuration;
+use tcpfo_tcp::host::Host;
+use tcpfo_tcp::types::SocketAddr;
+
+fn main() {
+    let mut tb = Testbed::new(paper_testbed(Mode::Failover, 5));
+    install_servers(&mut tb, || SinkServer::new(80));
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(BulkSendClient::new(
+            SocketAddr::new(addrs::A_P, 80),
+            20_000_000,
+        )));
+    });
+    run_until(&mut tb, SimDuration::from_secs(60), |tb| {
+        tb.sim
+            .with::<Host, _>(tb.client, |h, _| h.app_mut::<BulkSendClient>(0).is_done())
+    });
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        for id in h.stack().socket_ids() {
+            let s = h.stack().socket(id).unwrap();
+            println!(
+                "client sock: retransmits={} cwnd={} sent={}",
+                s.retransmits,
+                s.cwnd(),
+                s.bytes_sent
+            );
+        }
+    });
+    let p = tb.primary_stats();
+    println!(
+        "primary: merged={} empty_acks={} rtx_fwd={}",
+        p.merged_segments, p.empty_acks, p.retransmissions_forwarded
+    );
+}

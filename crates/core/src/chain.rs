@@ -1,0 +1,671 @@
+//! Daisy-chained N-way replication — the extension §1 of the paper
+//! names but leaves out of scope: *"Higher degrees of replication can
+//! be achieved by daisy-chaining multiple backup servers."*
+//!
+//! The chain `head ← B1 ← B2 ← … ← tail` composes the paper's two
+//! bridges:
+//!
+//! * the **tail** is exactly a [`SecondaryBridge`] diverting to its
+//!   upstream neighbour;
+//! * every **middle** link runs a [`ChainBridge`]: the primary-bridge
+//!   merge of its own TCP output against the stream diverted from
+//!   below, with the *merged* result diverted one hop up (carrying the
+//!   original destination option), plus the secondary-style ingress
+//!   rewrite of client datagrams to its own address;
+//! * the **head** is the same [`ChainBridge`] with no upstream — its
+//!   merged output goes to the client.
+//!
+//! The client-facing sequence space is the **tail's** space: each link
+//! normalises its own ISN against the merged stream from below, so the
+//! invariant of §2 holds transitively — a byte is released to the
+//! client only when *every* replica has produced it, and
+//! `ack = min(ack_all)`, `win = min(win_all)`, `MSS = min(MSS_all)`.
+//!
+//! Failures heal locally (one failure at a time, like the paper's
+//! two-node system):
+//!
+//! * **head dies** → its neighbour promotes: stop diverting, take over
+//!   the VIP (gratuitous ARP). Ingress translation *continues* (its
+//!   TCBs stay keyed to its own address).
+//! * **middle dies** → its neighbours re-target each other; all
+//!   `Δseq`s and queue state stay valid because everything is in the
+//!   tail's space.
+//! * **tail dies** → its upstream applies §6 (flush + Δ-adjusted
+//!   pass-through) while continuing to divert upstream: one link
+//!   shorter, same protocol.
+
+use crate::designation::FailoverConfig;
+use crate::detector::DetectorConfig;
+use crate::primary::{PrimaryBridge, PrimaryMode};
+use crate::secondary::SecondaryBridge;
+use bytes::Bytes;
+use std::any::Any;
+use tcpfo_net::time::SimTime;
+use tcpfo_tcp::filter::{AddressedSegment, FailoverRule, FilterOutput, SegmentFilter};
+use tcpfo_tcp::host::{HostController, HostServices};
+use tcpfo_wire::ipv4::{Ipv4Addr, PROTO_HEARTBEAT};
+use tcpfo_wire::tcp::{SegmentPatcher, TcpView};
+
+/// Counters for the chain-specific plumbing.
+#[derive(Debug, Default, Clone)]
+pub struct ChainStats {
+    /// Merged segments diverted one hop up instead of to the client.
+    pub diverted_upstream: u64,
+    /// Client datagrams rewritten `vip → own` for the local stack.
+    pub ingress_rewrites: u64,
+}
+
+/// The bridge run by the head and every middle link of a daisy chain.
+///
+/// # Example
+///
+/// ```
+/// use tcpfo_core::{ChainBridge, FailoverConfig};
+/// use tcpfo_wire::ipv4::Ipv4Addr;
+///
+/// let vip = Ipv4Addr::new(10, 0, 0, 2);
+/// let own = Ipv4Addr::new(10, 0, 0, 3);
+/// let tail = Ipv4Addr::new(10, 0, 0, 4);
+/// // A middle link: merges its own output with the tail's diverted
+/// // stream and forwards the result to the head (the VIP owner).
+/// let mut link = ChainBridge::new(vip, own, Some(vip), tail, FailoverConfig::from_ports([80]));
+/// assert!(!link.is_head());
+/// // When the head dies, this link promotes and emits to the client.
+/// link.promote_to_head();
+/// assert!(link.is_head());
+/// ```
+pub struct ChainBridge {
+    /// The service address the client connects to.
+    vip: Ipv4Addr,
+    /// This replica's own address.
+    own: Ipv4Addr,
+    /// Next replica toward the head; `None` on the head itself.
+    upstream: Option<Ipv4Addr>,
+    /// Current downstream replica (our stream source).
+    downstream: Ipv4Addr,
+    /// The §3 merge machinery, configured to receive diverted segments
+    /// at `own` and to stamp client-facing output with the VIP.
+    inner: PrimaryBridge,
+    /// Chain-specific counters.
+    pub stats: ChainStats,
+}
+
+impl ChainBridge {
+    /// Creates the bridge for one link.
+    ///
+    /// `upstream == None` makes this the head. `downstream` is the
+    /// neighbour whose diverted stream we merge against.
+    pub fn new(
+        vip: Ipv4Addr,
+        own: Ipv4Addr,
+        upstream: Option<Ipv4Addr>,
+        downstream: Ipv4Addr,
+        config: FailoverConfig,
+    ) -> Self {
+        let mut inner = PrimaryBridge::new(vip, downstream, config);
+        inner.set_divert_dst(own);
+        ChainBridge {
+            vip,
+            own,
+            upstream,
+            downstream,
+            inner,
+            stats: ChainStats::default(),
+        }
+    }
+
+    /// The merge machinery (stats, mode).
+    pub fn inner(&self) -> &PrimaryBridge {
+        &self.inner
+    }
+
+    /// Whether this link is currently the head.
+    pub fn is_head(&self) -> bool {
+        self.upstream.is_none()
+    }
+
+    /// Head promotion: stop diverting; merged output now goes straight
+    /// to the client (the controller performs the IP takeover).
+    pub fn promote_to_head(&mut self) {
+        self.upstream = None;
+    }
+
+    /// Re-targets the upstream neighbour (healing after a middle dies).
+    pub fn set_upstream(&mut self, upstream: Ipv4Addr) {
+        self.upstream = Some(upstream);
+    }
+
+    /// Re-targets the downstream stream source (healing after a middle
+    /// below us dies; `Δseq` and queues remain valid).
+    pub fn set_downstream(&mut self, downstream: Ipv4Addr) {
+        self.downstream = downstream;
+        self.inner.set_downstream(downstream);
+    }
+
+    /// §6 at this link: the downstream (and everything below it) is
+    /// gone. Flush and degrade to Δ-adjusted pass-through; the returned
+    /// output must be dispatched.
+    pub fn downstream_failed(&mut self, now_nanos: u64) -> FilterOutput {
+        let out = self.inner.secondary_failed(now_nanos);
+        self.adapt(out)
+    }
+
+    /// Routes the inner bridge's output through the chain: client-
+    /// facing emissions are diverted upstream (unless we are the
+    /// head); local deliveries are rewritten to our own address.
+    fn adapt(&mut self, out: FilterOutput) -> FilterOutput {
+        let mut adapted = FilterOutput::empty();
+        for seg in out.to_wire {
+            let divert = match self.upstream {
+                Some(up) if seg.dst != self.downstream => Some(up),
+                _ => None,
+            };
+            match divert {
+                Some(up) => {
+                    let Ok(view) = TcpView::new(&seg.bytes) else {
+                        adapted.to_wire.push(seg);
+                        continue;
+                    };
+                    let orig_port = view.dst_port();
+                    let mut p = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
+                    p.push_orig_dest_option(seg.dst, orig_port);
+                    if seg.src == self.vip {
+                        p.set_pseudo_src(self.own);
+                    }
+                    p.set_pseudo_dst(up);
+                    let (bytes, src, dst) = p.finish();
+                    self.stats.diverted_upstream += 1;
+                    adapted.to_wire.push(AddressedSegment::new(src, dst, bytes));
+                }
+                None => adapted.to_wire.push(seg),
+            }
+        }
+        for seg in out.to_tcp {
+            if seg.dst == self.vip && self.own != self.vip {
+                let mut p = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
+                p.set_pseudo_dst(self.own);
+                let (bytes, src, dst) = p.finish();
+                self.stats.ingress_rewrites += 1;
+                adapted.to_tcp.push(AddressedSegment::new(src, dst, bytes));
+            } else {
+                adapted.to_tcp.push(seg);
+            }
+        }
+        adapted
+    }
+}
+
+impl SegmentFilter for ChainBridge {
+    fn on_outbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput {
+        let out = self.inner.on_outbound(seg, now_nanos);
+        self.adapt(out)
+    }
+
+    fn on_inbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput {
+        let out = self.inner.on_inbound(seg, now_nanos);
+        self.adapt(out)
+    }
+
+    fn designate(&mut self, rule: FailoverRule) {
+        self.inner.designate(rule);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl std::fmt::Debug for ChainBridge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainBridge")
+            .field("vip", &self.vip)
+            .field("own", &self.own)
+            .field("upstream", &self.upstream)
+            .field("downstream", &self.downstream)
+            .finish()
+    }
+}
+
+/// Fault detection and healing for one replica of a daisy chain.
+///
+/// Every replica heartbeats every other; when a peer goes silent past
+/// the timeout it is declared dead and this replica recomputes its
+/// neighbours among the living. (Like the paper's two-node system, one
+/// failure is handled at a time; concurrent failures heal sequentially
+/// as they are detected.)
+pub struct ChainController {
+    /// Replica addresses, head first. `chain[0]` owns the VIP at start.
+    chain: Vec<Ipv4Addr>,
+    my_index: usize,
+    config: DetectorConfig,
+    alive: Vec<bool>,
+    last_heard: Vec<Option<SimTime>>,
+    next_send: SimTime,
+    /// When this replica promoted itself to head, if it did.
+    pub promoted_at: Option<SimTime>,
+    /// Heartbeats sent.
+    pub heartbeats_sent: u64,
+}
+
+impl ChainController {
+    /// Creates the controller for `chain[my_index]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `my_index` is out of range or the chain has fewer than
+    /// two replicas.
+    pub fn new(chain: Vec<Ipv4Addr>, my_index: usize, config: DetectorConfig) -> Self {
+        assert!(chain.len() >= 2, "a chain needs at least two replicas");
+        assert!(my_index < chain.len());
+        let n = chain.len();
+        ChainController {
+            chain,
+            my_index,
+            config,
+            alive: vec![true; n],
+            last_heard: vec![None; n],
+            next_send: SimTime::ZERO,
+            promoted_at: None,
+            heartbeats_sent: 0,
+        }
+    }
+
+    /// The VIP this chain serves.
+    pub fn vip(&self) -> Ipv4Addr {
+        self.chain[0]
+    }
+
+    fn nearest_alive_up(&self) -> Option<usize> {
+        (0..self.my_index).rev().find(|&i| self.alive[i])
+    }
+
+    fn nearest_alive_down(&self) -> Option<usize> {
+        (self.my_index + 1..self.chain.len()).find(|&i| self.alive[i])
+    }
+
+    /// Applies the current liveness view to the bridge and the host.
+    fn reconfigure(&mut self, services: &mut HostServices<'_, '_>) {
+        let vip = self.vip();
+        let up = self.nearest_alive_up().map(|i| self.chain[i]);
+        let down = self.nearest_alive_down().map(|i| self.chain[i]);
+        let now = services.now;
+        let now_nanos = now.as_nanos();
+
+        // Phase 1: mutate the bridge, collecting host-side follow-ups.
+        let mut flush: Option<FilterOutput> = None;
+        let mut take_vip = false;
+        let mut rebind_own = false;
+        if let Some(chain_bridge) = services.filter.as_any_mut().downcast_mut::<ChainBridge>() {
+            match down {
+                Some(d) if d != chain_bridge.downstream => chain_bridge.set_downstream(d),
+                None if chain_bridge.inner.mode() == PrimaryMode::Normal => {
+                    flush = Some(chain_bridge.downstream_failed(now_nanos));
+                }
+                _ => {}
+            }
+            match up {
+                Some(u) => {
+                    if chain_bridge.upstream != Some(u) && !chain_bridge.is_head() {
+                        chain_bridge.set_upstream(u);
+                    }
+                }
+                None => {
+                    if !chain_bridge.is_head() {
+                        chain_bridge.promote_to_head();
+                        take_vip = true;
+                    }
+                }
+            }
+        } else if let Some(tail) = services
+            .filter
+            .as_any_mut()
+            .downcast_mut::<SecondaryBridge>()
+        {
+            match up {
+                Some(u) => {
+                    if tail.upstream() != u {
+                        tail.set_upstream(u);
+                    }
+                }
+                None => {
+                    // Last replica standing: the classic §5 takeover.
+                    if self.promoted_at.is_none() {
+                        tail.prepare_takeover();
+                        tail.complete_takeover();
+                        take_vip = true;
+                        rebind_own = true;
+                    }
+                }
+            }
+        }
+
+        // Phase 2: host-side effects, with the filter borrow released.
+        if let Some(out) = flush {
+            services.dispatch(out);
+        }
+        if take_vip {
+            if rebind_own {
+                services.net.promiscuous = false;
+                let own = self.chain[self.my_index];
+                services.stack.rebind_local_ip(own, vip);
+            }
+            if !services.net.local_ips.contains(&vip) {
+                services.net.local_ips.push(vip);
+            }
+            services.net.gratuitous_arp(vip, services.ctx);
+            self.promoted_at = Some(now);
+        }
+    }
+}
+
+impl HostController for ChainController {
+    fn on_tick(&mut self, services: &mut HostServices<'_, '_>) {
+        let now = services.now;
+        if now >= self.next_send {
+            for (i, &peer) in self.chain.iter().enumerate() {
+                if i != self.my_index && self.alive[i] {
+                    services.send_raw(PROTO_HEARTBEAT, peer, Bytes::from_static(b"HB"));
+                    self.heartbeats_sent += 1;
+                }
+            }
+            self.next_send = now + self.config.interval;
+        }
+        let mut changed = false;
+        for i in 0..self.chain.len() {
+            if i == self.my_index || !self.alive[i] {
+                continue;
+            }
+            let last = *self.last_heard[i].get_or_insert(now);
+            if now.duration_since(last) > self.config.timeout {
+                self.alive[i] = false;
+                changed = true;
+            }
+        }
+        if changed {
+            self.reconfigure(services);
+        }
+    }
+
+    fn on_raw(
+        &mut self,
+        proto: u8,
+        src: Ipv4Addr,
+        _payload: &[u8],
+        services: &mut HostServices<'_, '_>,
+    ) {
+        if proto == PROTO_HEARTBEAT {
+            if let Some(i) = self.chain.iter().position(|&a| a == src) {
+                self.last_heard[i] = Some(services.now);
+            }
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl std::fmt::Debug for ChainController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainController")
+            .field("chain", &self.chain)
+            .field("my_index", &self.my_index)
+            .field("alive", &self.alive)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use tcpfo_wire::tcp::{verify_segment_checksum, TcpFlags, TcpSegment};
+
+    const A_C: Ipv4Addr = Ipv4Addr::new(192, 168, 0, 9);
+    const VIP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2); // head's address
+    const B1: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3); // middle
+    const B2: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 4); // tail
+
+    fn raw(src: Ipv4Addr, dst: Ipv4Addr, seg: TcpSegment) -> AddressedSegment {
+        AddressedSegment::new(src, dst, seg.encode(src, dst).to_vec())
+    }
+
+    /// Diverts `seg` the way a downstream node at `from` would, to `to`.
+    fn divert(seg: TcpSegment, from: Ipv4Addr, to: Ipv4Addr) -> AddressedSegment {
+        let bytes = seg.encode(from, A_C).to_vec();
+        let mut p = SegmentPatcher::new(bytes, from, A_C);
+        p.push_orig_dest_option(A_C, 5555);
+        p.set_pseudo_dst(to);
+        let (bytes, src, dst) = p.finish();
+        AddressedSegment::new(src, dst, bytes)
+    }
+
+    fn middle() -> ChainBridge {
+        ChainBridge::new(VIP, B1, Some(VIP), B2, FailoverConfig::from_ports([80]))
+    }
+
+    #[test]
+    fn middle_diverts_merged_output_upstream() {
+        let mut b = middle();
+        // Client SYN (snooped at the middle).
+        let syn = raw(
+            A_C,
+            VIP,
+            TcpSegment::builder(5555, 80)
+                .seq(100)
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(60000)
+                .build(),
+        );
+        let out = b.on_inbound(syn, 0);
+        assert_eq!(out.to_tcp.len(), 1);
+        assert_eq!(out.to_tcp[0].dst, B1, "ingress rewritten to own address");
+        // Own TCP's SYN+ACK: held.
+        let own = raw(
+            B1,
+            A_C,
+            TcpSegment::builder(80, 5555)
+                .seq(7_000)
+                .ack(101)
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(50_000)
+                .build(),
+        );
+        assert!(b.on_outbound(own, 0).to_wire.is_empty());
+        // Tail's SYN+ACK arrives diverted to us: merge and divert up.
+        let tail = divert(
+            TcpSegment::builder(80, 5555)
+                .seq(9_000)
+                .ack(101)
+                .flags(TcpFlags::SYN)
+                .mss(1100)
+                .window(40_000)
+                .build(),
+            B2,
+            B1,
+        );
+        let out = b.on_inbound(tail, 0);
+        assert_eq!(out.to_wire.len(), 1);
+        let w = &out.to_wire[0];
+        assert_eq!(w.dst, VIP, "merged SYN+ACK diverted to the head");
+        assert_eq!(w.src, B1, "source rewritten from VIP to own");
+        assert!(verify_segment_checksum(w.src, w.dst, &w.bytes));
+        let seg = TcpSegment::decode(&w.bytes).unwrap();
+        assert_eq!(seg.seq, 9_000, "tail's sequence space");
+        assert_eq!(seg.mss(), Some(1100), "min MSS propagates up");
+        assert_eq!(seg.orig_dest(), Some((A_C, 5555)), "orig-dest restored");
+        assert_eq!(b.stats.diverted_upstream, 1);
+    }
+
+    #[test]
+    fn promoted_middle_emits_directly_to_client() {
+        let mut b = middle();
+        // Establish (as above, terse).
+        let syn = raw(
+            A_C,
+            VIP,
+            TcpSegment::builder(5555, 80)
+                .seq(100)
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(60000)
+                .build(),
+        );
+        let _ = b.on_inbound(syn, 0);
+        let own = raw(
+            B1,
+            A_C,
+            TcpSegment::builder(80, 5555)
+                .seq(7_000)
+                .ack(101)
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(50_000)
+                .build(),
+        );
+        let _ = b.on_outbound(own, 0);
+        let tail = divert(
+            TcpSegment::builder(80, 5555)
+                .seq(9_000)
+                .ack(101)
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(40_000)
+                .build(),
+            B2,
+            B1,
+        );
+        let _ = b.on_inbound(tail, 0);
+        assert!(!b.is_head());
+        b.promote_to_head();
+        assert!(b.is_head());
+        // Matched data now goes straight to the client, stamped VIP.
+        let own_data = raw(
+            B1,
+            A_C,
+            TcpSegment::builder(80, 5555)
+                .seq(7_001)
+                .ack(101)
+                .window(50_000)
+                .payload(Bytes::from_static(b"xyz"))
+                .build(),
+        );
+        let _ = b.on_outbound(own_data, 0);
+        let tail_data = divert(
+            TcpSegment::builder(80, 5555)
+                .seq(9_001)
+                .ack(101)
+                .window(40_000)
+                .payload(Bytes::from_static(b"xyz"))
+                .build(),
+            B2,
+            B1,
+        );
+        let out = b.on_inbound(tail_data, 0);
+        assert_eq!(out.to_wire.len(), 1);
+        assert_eq!(out.to_wire[0].dst, A_C, "straight to the client");
+        assert_eq!(out.to_wire[0].src, VIP, "stamped with the VIP");
+        let seg = TcpSegment::decode(&out.to_wire[0].bytes).unwrap();
+        assert!(
+            seg.orig_dest().is_none(),
+            "no internal option to the client"
+        );
+        assert_eq!(seg.seq, 9_001);
+    }
+
+    #[test]
+    fn set_downstream_keeps_merging_after_heal() {
+        let mut b = middle();
+        let syn = raw(
+            A_C,
+            VIP,
+            TcpSegment::builder(5555, 80)
+                .seq(100)
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(60000)
+                .build(),
+        );
+        let _ = b.on_inbound(syn, 0);
+        let own = raw(
+            B1,
+            A_C,
+            TcpSegment::builder(80, 5555)
+                .seq(7_000)
+                .ack(101)
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(50_000)
+                .build(),
+        );
+        let _ = b.on_outbound(own, 0);
+        let tail = divert(
+            TcpSegment::builder(80, 5555)
+                .seq(9_000)
+                .ack(101)
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(40_000)
+                .build(),
+            B2,
+            B1,
+        );
+        let _ = b.on_inbound(tail, 0);
+        // The tail B2 dies and a deeper node B3 takes over as our
+        // downstream — same sequence space, new source address.
+        let b3 = Ipv4Addr::new(10, 0, 0, 5);
+        b.set_downstream(b3);
+        let own_data = raw(
+            B1,
+            A_C,
+            TcpSegment::builder(80, 5555)
+                .seq(7_001)
+                .ack(101)
+                .window(50_000)
+                .payload(Bytes::from_static(b"hello"))
+                .build(),
+        );
+        let _ = b.on_outbound(own_data, 0);
+        let from_b3 = divert(
+            TcpSegment::builder(80, 5555)
+                .seq(9_001)
+                .ack(101)
+                .window(40_000)
+                .payload(Bytes::from_static(b"hello"))
+                .build(),
+            b3,
+            B1,
+        );
+        let out = b.on_inbound(from_b3, 0);
+        assert_eq!(
+            out.to_wire.len(),
+            1,
+            "merging continues with the new source"
+        );
+        assert_eq!(out.to_wire[0].dst, VIP);
+    }
+
+    #[test]
+    fn head_configuration_is_transparent_wrapper() {
+        // A ChainBridge with own == vip and no upstream behaves exactly
+        // like the plain PrimaryBridge (used for the chain's head).
+        let mut b = ChainBridge::new(VIP, VIP, None, B1, FailoverConfig::from_ports([80]));
+        let syn = raw(
+            A_C,
+            VIP,
+            TcpSegment::builder(5555, 80)
+                .seq(100)
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(60000)
+                .build(),
+        );
+        let out = b.on_inbound(syn, 0);
+        assert_eq!(out.to_tcp.len(), 1);
+        assert_eq!(out.to_tcp[0].dst, VIP, "no rewrite at the head");
+        assert!(b.is_head());
+        assert_eq!(b.stats.ingress_rewrites, 0);
+    }
+}

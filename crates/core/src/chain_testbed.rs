@@ -1,0 +1,239 @@
+//! Testbed for daisy-chained replication: the Figure-1 topology with
+//! `N ≥ 2` replicas on the shared segment.
+//!
+//! ```text
+//!   client ── router ── hub ── head (VIP) ── B1 ── … ── tail
+//!                        │        │ChainBridge│Chain│  │Secondary│
+//!                        └── all replicas snoop promiscuously ──┘
+//! ```
+
+use crate::chain::{ChainBridge, ChainController};
+use crate::designation::FailoverConfig;
+use crate::detector::DetectorConfig;
+use crate::secondary::SecondaryBridge;
+use crate::testbed::{addrs, macs};
+use tcpfo_net::hub::Hub;
+use tcpfo_net::link::LinkParams;
+use tcpfo_net::router::{Interface, Router};
+use tcpfo_net::sim::{NodeId, Simulator};
+use tcpfo_net::time::SimDuration;
+use tcpfo_tcp::config::TcpConfig;
+use tcpfo_tcp::host::{spawn_host, CpuModel, Host, HostConfig};
+use tcpfo_wire::ipv4::Ipv4Addr;
+use tcpfo_wire::mac::MacAddr;
+
+/// Parameters for a chained testbed.
+#[derive(Debug, Clone)]
+pub struct ChainConfig {
+    /// Number of replicas (head + backups), ≥ 2.
+    pub replicas: usize,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Failover port set (§7 method 2), identical on every replica.
+    pub failover_ports: Vec<u16>,
+    /// Fault-detector parameters.
+    pub detector: DetectorConfig,
+    /// Client↔router link.
+    pub client_link: LinkParams,
+    /// Host CPU model for the replicas.
+    pub cpu: CpuModel,
+    /// Base TCP configuration (per-replica ISN seeds derived from
+    /// `seed`).
+    pub tcp: TcpConfig,
+    /// Host stack tick.
+    pub tick: SimDuration,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            replicas: 3,
+            seed: 42,
+            failover_ports: vec![80],
+            detector: DetectorConfig::default(),
+            client_link: LinkParams::fast_ethernet(),
+            cpu: CpuModel::server_2003(),
+            tcp: TcpConfig::default(),
+            tick: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// The assembled chain testbed.
+pub struct ChainTestbed {
+    /// The simulator.
+    pub sim: Simulator,
+    /// Client host.
+    pub client: NodeId,
+    /// Replica hosts, head first (`replicas[0]` owns the VIP).
+    pub replicas: Vec<NodeId>,
+    /// Replica addresses, head first.
+    pub replica_addrs: Vec<Ipv4Addr>,
+    /// Router node.
+    pub router: NodeId,
+    /// Hub node.
+    pub hub: NodeId,
+    /// Built-from configuration.
+    pub config: ChainConfig,
+}
+
+impl ChainTestbed {
+    /// Builds the chained testbed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.replicas < 2` (the chain degenerates) or
+    /// `> 200` (address space).
+    pub fn new(config: ChainConfig) -> Self {
+        assert!((2..=200).contains(&config.replicas));
+        let n = config.replicas;
+        let vip = addrs::A_P;
+        let replica_addrs: Vec<Ipv4Addr> = (0..n)
+            .map(|i| Ipv4Addr::new(10, 0, 0, 2 + i as u8))
+            .collect();
+        let replica_macs: Vec<MacAddr> =
+            (0..n).map(|i| MacAddr::from_index(2 + i as u32)).collect();
+
+        let mut sim = Simulator::new(config.seed);
+        let hub = sim.add_device(Box::new(Hub::new("segment", n + 1, 100_000_000)));
+        let router = sim.add_device(Box::new(Router::new(
+            "router",
+            vec![
+                Interface {
+                    mac: macs::ROUTER_CLIENT,
+                    ip: addrs::GW_CLIENT,
+                    prefix_len: 24,
+                },
+                Interface {
+                    mac: macs::ROUTER_SERVER,
+                    ip: addrs::GW_SERVER,
+                    prefix_len: 24,
+                },
+            ],
+            SimDuration::from_micros(15),
+        )));
+        // Client.
+        let mut client_cfg = HostConfig::new("client", macs::CLIENT, addrs::A_C)
+            .with_gateway(addrs::GW_CLIENT)
+            .with_tcp(config.tcp.clone().with_isn_seed(config.seed ^ (1 << 32)));
+        client_cfg.cpu = config.cpu.scaled(0.6);
+        client_cfg.tick = config.tick;
+        let client = spawn_host(&mut sim, Host::new(client_cfg));
+        sim.connect((router, 0), (client, 0), config.client_link);
+        sim.connect((hub, 0), (router, 1), LinkParams::attachment());
+
+        // Replicas, head first.
+        let mut replicas = Vec::new();
+        for i in 0..n {
+            let fo = FailoverConfig::from_ports(config.failover_ports.iter().copied());
+            let mut hc = HostConfig::new(&format!("replica{i}"), replica_macs[i], replica_addrs[i])
+                .with_gateway(addrs::GW_SERVER)
+                .with_tcp(
+                    config
+                        .tcp
+                        .clone()
+                        .with_isn_seed(config.seed ^ ((i as u64 + 2) << 32)),
+                );
+            hc.cpu = config.cpu;
+            hc.tick = config.tick;
+            // Everyone except the head must snoop.
+            hc.promiscuous = i != 0;
+            let mut host = Host::new(hc);
+            if i == n - 1 {
+                // The tail is a plain secondary, diverting to its
+                // neighbour toward the head.
+                let mut tail = SecondaryBridge::new(vip, replica_addrs[i], fo);
+                tail.set_upstream(replica_addrs[i - 1]);
+                host.set_filter(Box::new(tail));
+            } else {
+                let upstream = if i == 0 {
+                    None
+                } else {
+                    Some(replica_addrs[i - 1])
+                };
+                host.set_filter(Box::new(ChainBridge::new(
+                    vip,
+                    replica_addrs[i],
+                    upstream,
+                    replica_addrs[i + 1],
+                    fo,
+                )));
+            }
+            host.set_controller(Box::new(ChainController::new(
+                replica_addrs.clone(),
+                i,
+                config.detector,
+            )));
+            for &p in &config.failover_ports {
+                host.stack_mut().add_failover_port(p);
+            }
+            let id = spawn_host(&mut sim, host);
+            sim.connect((hub, i + 1), (id, 0), LinkParams::attachment());
+            replicas.push(id);
+        }
+
+        let mut tb = ChainTestbed {
+            sim,
+            client,
+            replicas,
+            replica_addrs,
+            router,
+            hub,
+            config,
+        };
+        tb.prime_arp_caches();
+        tb
+    }
+
+    fn prime_arp_caches(&mut self) {
+        use addrs::*;
+        let addrs_copy = self.replica_addrs.clone();
+        self.sim.with::<Host, _>(self.client, |h, _| {
+            h.net_mut().prime_arp(GW_CLIENT, macs::ROUTER_CLIENT);
+        });
+        self.sim.with::<Router, _>(self.router, |r, _| {
+            r.prime_arp(A_C, 0, macs::CLIENT);
+            for (i, &a) in addrs_copy.iter().enumerate() {
+                r.prime_arp(a, 1, MacAddr::from_index(2 + i as u32));
+            }
+        });
+        for (i, &node) in self.replicas.clone().iter().enumerate() {
+            let addrs_copy = self.replica_addrs.clone();
+            self.sim.with::<Host, _>(node, |h, _| {
+                h.net_mut().prime_arp(GW_SERVER, macs::ROUTER_SERVER);
+                for (j, &a) in addrs_copy.iter().enumerate() {
+                    if j != i {
+                        h.net_mut().prime_arp(a, MacAddr::from_index(2 + j as u32));
+                    }
+                }
+            });
+        }
+    }
+
+    /// Kills replica `i` (0 = head) fail-stop.
+    pub fn kill_replica(&mut self, i: usize) {
+        self.sim.kill(self.replicas[i]);
+    }
+
+    /// Runs the simulation for `d`.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// Installs `mk()` on every replica (active replication).
+    pub fn install_servers<A: tcpfo_tcp::SocketApp>(&mut self, mk: impl Fn() -> A) {
+        for &node in &self.replicas.clone() {
+            self.sim.with::<Host, _>(node, |h, _| {
+                h.add_app(Box::new(mk()));
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for ChainTestbed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChainTestbed")
+            .field("replicas", &self.replica_addrs)
+            .finish()
+    }
+}

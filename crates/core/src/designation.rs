@@ -1,0 +1,136 @@
+//! Designating TCP failover connections (§7).
+//!
+//! The paper implements two methods: a per-socket option set by the
+//! application (method 1) and a configured set of port numbers
+//! (method 2). "The user must specify the same set of ports on the
+//! primary server host and the secondary server host."
+
+use std::collections::HashSet;
+use tcpfo_tcp::types::SocketAddr;
+use tcpfo_wire::ipv4::Ipv4Addr;
+
+/// A connection as the bridges key it: the replicated server's port and
+/// the unreplicated peer's endpoint. (The server's *address* is omitted
+/// on purpose — P keys with `a_p`, S with `a_s`, and the diverted
+/// segments carry a third view; the port + peer pair is invariant.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnKey {
+    /// The replicated server's TCP port (listening port, or the
+    /// deterministic ephemeral port for server-initiated connections).
+    pub server_port: u16,
+    /// The unreplicated peer (client C, or back-end server T in §7.2).
+    pub peer: SocketAddr,
+}
+
+impl ConnKey {
+    /// Creates a key.
+    pub fn new(server_port: u16, peer: SocketAddr) -> Self {
+        ConnKey { server_port, peer }
+    }
+}
+
+impl std::fmt::Display for ConnKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, ":{}<->{}", self.server_port, self.peer)
+    }
+}
+
+/// Which connections are TCP failover connections.
+///
+/// # Example
+///
+/// ```
+/// use tcpfo_core::designation::{ConnKey, FailoverConfig};
+/// use tcpfo_tcp::types::SocketAddr;
+/// use tcpfo_wire::ipv4::Ipv4Addr;
+///
+/// // §7 method 2: a port set, identical on both replicas…
+/// let mut cfg = FailoverConfig::from_ports([80, 21, 20]);
+/// // …combined with §7 method 1: per-socket designation.
+/// let client = SocketAddr::new(Ipv4Addr::new(192, 168, 0, 9), 5555);
+/// cfg.add_conn(ConnKey::new(8443, client));
+/// assert!(cfg.matches(80, client.ip, 1234));
+/// assert!(cfg.matches(8443, client.ip, 5555));
+/// assert!(!cfg.matches(8443, client.ip, 5556));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FailoverConfig {
+    /// Method 2: server ports whose connections always fail over.
+    ports: HashSet<u16>,
+    /// Method 1: individually designated connections.
+    conns: HashSet<ConnKey>,
+}
+
+impl FailoverConfig {
+    /// Creates an empty configuration.
+    pub fn new() -> Self {
+        FailoverConfig::default()
+    }
+
+    /// Creates a configuration from a port set (method 2).
+    pub fn from_ports(ports: impl IntoIterator<Item = u16>) -> Self {
+        FailoverConfig {
+            ports: ports.into_iter().collect(),
+            conns: HashSet::new(),
+        }
+    }
+
+    /// Adds a failover port (method 2).
+    pub fn add_port(&mut self, port: u16) {
+        self.ports.insert(port);
+    }
+
+    /// Designates a single connection (method 1, the socket option).
+    pub fn add_conn(&mut self, key: ConnKey) {
+        self.conns.insert(key);
+    }
+
+    /// Whether a connection with the given server port and peer is a
+    /// failover connection.
+    pub fn matches(&self, server_port: u16, peer_ip: Ipv4Addr, peer_port: u16) -> bool {
+        self.ports.contains(&server_port)
+            || self.conns.contains(&ConnKey::new(
+                server_port,
+                SocketAddr::new(peer_ip, peer_port),
+            ))
+    }
+
+    /// Whether anything at all is designated.
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty() && self.conns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PEER: Ipv4Addr = Ipv4Addr::new(192, 168, 0, 9);
+
+    #[test]
+    fn port_method_matches_any_peer() {
+        let cfg = FailoverConfig::from_ports([80, 21]);
+        assert!(cfg.matches(80, PEER, 5000));
+        assert!(cfg.matches(21, Ipv4Addr::new(1, 2, 3, 4), 9));
+        assert!(!cfg.matches(443, PEER, 5000));
+    }
+
+    #[test]
+    fn socket_option_method_matches_exact_connection() {
+        let mut cfg = FailoverConfig::new();
+        cfg.add_conn(ConnKey::new(443, SocketAddr::new(PEER, 5000)));
+        assert!(cfg.matches(443, PEER, 5000));
+        assert!(!cfg.matches(443, PEER, 5001), "different client port");
+        assert!(!cfg.matches(444, PEER, 5000), "different server port");
+    }
+
+    #[test]
+    fn methods_combine() {
+        let mut cfg = FailoverConfig::from_ports([80]);
+        cfg.add_conn(ConnKey::new(443, SocketAddr::new(PEER, 5000)));
+        assert!(cfg.matches(80, PEER, 1));
+        assert!(cfg.matches(443, PEER, 5000));
+        assert!(!cfg.is_empty());
+        assert!(FailoverConfig::new().is_empty());
+    }
+}

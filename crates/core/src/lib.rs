@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # tcpfo-core
+//!
+//! The contribution of *Transparent TCP Connection Failover* (Koch,
+//! Hortikar, Moser, Melliar-Smith — DSN 2003): a *bridge* sublayer
+//! between the TCP and IP layers of a primary and a secondary server
+//! that lets a TCP server endpoint fail over at any point in a
+//! connection's lifetime, transparently to an unmodified client and to
+//! the actively-replicated server application.
+//!
+//! * [`primary`] — the primary bridge: output-queue matching, `Δseq`
+//!   synchronisation, `min(ack)`/`min(win)` merging, the §3.4
+//!   empty-ACK rule, §4 retransmission recognition, §8 termination,
+//!   §6 secondary-failure degradation.
+//! * [`secondary`] — the secondary bridge: promiscuous ingress
+//!   `a_p → a_s` rewriting and egress `a_c → a_p` diversion with the
+//!   original-destination option (incremental checksums throughout).
+//! * [`queues`] — the primary/secondary output queues of Figure 2.
+//! * [`designation`] — §7's two ways of marking failover connections.
+//! * [`detector`] — heartbeat fault detector and the §5/§6 failover
+//!   procedures (IP takeover via gratuitous ARP + TCB re-keying).
+//! * [`testbed`] — the paper's Figure-1 topology (client, router,
+//!   shared segment, P, S, optional back-end T) as a one-call builder,
+//!   including the standard-TCP baseline and the switch ablation.
+//!
+//! # Example
+//!
+//! ```
+//! use tcpfo_core::testbed::{Testbed, TestbedConfig};
+//! use tcpfo_net::time::SimDuration;
+//!
+//! // The paper's replicated testbed with port 80 designated (§7
+//! // method 2), ready to run.
+//! let mut tb = Testbed::new(TestbedConfig::default());
+//! tb.run_for(SimDuration::from_millis(5));
+//! assert!(tb.secondary.is_some());
+//! ```
+
+pub mod chain;
+pub mod chain_testbed;
+pub mod designation;
+pub mod detector;
+pub mod primary;
+pub mod queues;
+pub mod secondary;
+pub mod testbed;
+
+pub use chain::{ChainBridge, ChainController};
+pub use chain_testbed::{ChainConfig, ChainTestbed};
+pub use designation::{ConnKey, FailoverConfig};
+pub use detector::{DetectorConfig, ReplicaController, Role};
+pub use primary::{PrimaryBridge, PrimaryMode, PrimaryStats};
+pub use secondary::{SecondaryBridge, SecondaryMode, SecondaryStats};
+pub use testbed::{SegmentKind, Testbed, TestbedConfig};

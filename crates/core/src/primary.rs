@@ -1,0 +1,1556 @@
+//! The primary server bridge (§3.2–§3.4, §4, §6, §8).
+//!
+//! Sits between the primary's TCP and IP layers. For every failover
+//! connection it:
+//!
+//! * holds the TCP layer's output in the *primary output queue*,
+//!   sequence-normalised by `Δseq = seq_P,init − seq_S,init`;
+//! * receives the secondary's diverted output (carrying the original
+//!   destination as a TCP option) into the *secondary output queue*;
+//! * releases to the client only bytes present in **both** queues, in
+//!   segments carrying the secondary's sequence numbers,
+//!   `ack = min(ack_P, ack_S)` and `win = min(win_P, win_S)`;
+//! * synthesises empty ACK segments when the minimum acknowledgment
+//!   advances without matched payload (the §3.4 deadlock rule);
+//! * recognises retransmissions (content entirely below `send_next`)
+//!   and forwards them immediately instead of enqueueing (§4);
+//! * translates client acknowledgments up into the primary's sequence
+//!   space (`ack + Δseq`) on ingress;
+//! * merges the three-way handshake (client- and server-initiated, §7)
+//!   advertising `MSS = min(MSS_P, MSS_S)`;
+//! * tears down per-connection state per §8, ACKing late FIN
+//!   retransmissions from the secondary and the client itself;
+//! * on secondary failure (§6) flushes the primary output queue and
+//!   degrades to pass-through *while still subtracting `Δseq`*.
+
+use crate::designation::{ConnKey, FailoverConfig};
+use crate::queues::ByteQueue;
+use bytes::Bytes;
+use std::collections::HashMap;
+use tcpfo_tcp::filter::{AddressedSegment, FailoverRule, FilterOutput, SegmentFilter};
+use tcpfo_tcp::seq::{seq_gt, seq_le, seq_min};
+use tcpfo_tcp::types::SocketAddr;
+use tcpfo_wire::ipv4::Ipv4Addr;
+use tcpfo_wire::tcp::{SegmentPatcher, TcpFlags, TcpSegment};
+
+/// How long closed-connection tombstones are kept (so late FIN
+/// retransmissions still get ACKed, §8), in nanoseconds.
+const TOMBSTONE_TTL_NANOS: u64 = 60_000_000_000;
+
+/// What remains of a connection after the bridge drops its queue state.
+#[derive(Debug, Clone, Copy)]
+struct Tombstone {
+    /// Creation time (nanoseconds; for garbage collection).
+    at: u64,
+    /// The connection's `Δseq`.
+    delta: u32,
+    /// §6-degraded *live* connection (keep translating both directions
+    /// forever) rather than a §8-closed one (only re-ACK late FINs).
+    degraded: bool,
+}
+
+/// Operating mode of the primary bridge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimaryMode {
+    /// Normal duplex operation with a live secondary.
+    Normal,
+    /// §6: the secondary failed; pass segments through immediately,
+    /// keep subtracting `Δseq`, leave ack/window untouched.
+    SecondaryFailed,
+}
+
+/// Which replica produced a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Replica {
+    Primary,
+    Secondary,
+}
+
+/// Counters exposed for tests and the evaluation harness.
+#[derive(Debug, Default, Clone)]
+pub struct PrimaryStats {
+    /// Data segments released to the client after matching.
+    pub merged_segments: u64,
+    /// Payload bytes released to the client.
+    pub merged_bytes: u64,
+    /// Synthesised empty ACK segments (§3.4).
+    pub empty_acks: u64,
+    /// Retransmissions recognised and forwarded immediately (§4).
+    pub retransmissions_forwarded: u64,
+    /// Client segments whose ack field was translated by `+Δseq`.
+    pub acks_translated: u64,
+    /// ACKs synthesised for late FINs after state deletion (§8).
+    pub late_fin_acks: u64,
+    /// Cross-queue payload mismatches (replica non-determinism).
+    pub mismatched_bytes: u64,
+    /// Segments dropped for arriving in an impossible state.
+    pub drops: u64,
+    /// FIN segments released to the client.
+    pub fins_sent: u64,
+    /// Connections fully torn down.
+    pub conns_closed: u64,
+}
+
+/// Per-connection bridge state.
+#[derive(Debug)]
+struct Conn {
+    client: SocketAddr,
+    server_port: u16,
+    /// Held SYN (client-initiated: SYN+ACK; server-initiated: SYN)
+    /// from the primary's TCP layer.
+    p_syn: Option<TcpSegment>,
+    /// Same from the secondary.
+    s_syn: Option<TcpSegment>,
+    /// `seq_P,init − seq_S,init`, known once both SYNs are seen.
+    delta: Option<u32>,
+    /// Effective MSS for merged segments: `min(MSS_P, MSS_S)`.
+    mss: u16,
+    /// Next client-facing sequence number to send (S space).
+    send_next: u32,
+    /// The primary output queue (normalised payload).
+    pq: ByteQueue,
+    /// The secondary output queue.
+    sq: ByteQueue,
+    /// Each replica's FIN position in client space, once produced.
+    p_fin: Option<u32>,
+    s_fin: Option<u32>,
+    /// Whether the merged FIN has been released.
+    fin_sent: bool,
+    /// Latest acknowledgment from each replica (client stream space).
+    ack_p: Option<u32>,
+    ack_s: Option<u32>,
+    /// Whether the most recent pure ACK from a replica repeated its
+    /// previous value (a re-ACK worth forwarding, §4 degenerate case).
+    last_was_replica_dup: bool,
+    /// Latest advertised windows.
+    win_p: u16,
+    win_s: u16,
+    /// Acknowledgment carried by the last segment sent to the client.
+    last_ack_sent: Option<u32>,
+    /// Highest ack observed from the client (S space).
+    client_acked: Option<u32>,
+    /// The client's FIN position, if received.
+    client_fin: Option<u32>,
+}
+
+impl Conn {
+    fn new(client: SocketAddr, server_port: u16) -> Self {
+        Conn {
+            client,
+            server_port,
+            p_syn: None,
+            s_syn: None,
+            delta: None,
+            mss: 536,
+            send_next: 0,
+            pq: ByteQueue::new(),
+            sq: ByteQueue::new(),
+            p_fin: None,
+            s_fin: None,
+            fin_sent: false,
+            ack_p: None,
+            ack_s: None,
+            last_was_replica_dup: false,
+            win_p: 0,
+            win_s: 0,
+            last_ack_sent: None,
+            client_acked: None,
+            client_fin: None,
+        }
+    }
+
+    fn min_ack(&self) -> Option<u32> {
+        match (self.ack_p, self.ack_s) {
+            (Some(a), Some(b)) => Some(seq_min(a, b)),
+            _ => None,
+        }
+    }
+
+    fn min_win(&self) -> u16 {
+        self.win_p.min(self.win_s)
+    }
+}
+
+/// The primary server bridge; install as the primary host's
+/// [`SegmentFilter`].
+///
+/// # Example
+///
+/// ```
+/// use tcpfo_core::{FailoverConfig, PrimaryBridge, PrimaryMode};
+/// use tcpfo_wire::ipv4::Ipv4Addr;
+///
+/// let a_p = Ipv4Addr::new(10, 0, 0, 2);
+/// let a_s = Ipv4Addr::new(10, 0, 0, 3);
+/// let mut bridge = PrimaryBridge::new(a_p, a_s, FailoverConfig::from_ports([80]));
+/// assert_eq!(bridge.mode(), PrimaryMode::Normal);
+/// // When the fault detector reports the secondary dead (§6):
+/// let flush = bridge.secondary_failed(0);
+/// assert_eq!(bridge.mode(), PrimaryMode::SecondaryFailed);
+/// assert!(flush.to_wire.is_empty()); // no connections were open
+/// ```
+pub struct PrimaryBridge {
+    a_p: Ipv4Addr,
+    a_s: Ipv4Addr,
+    /// Address diverted downstream segments are addressed to (the VIP
+    /// `a_p` on the head of a chain; this node's own address on a
+    /// middle link of a daisy chain).
+    divert_dst: Ipv4Addr,
+    config: FailoverConfig,
+    mode: PrimaryMode,
+    conns: HashMap<ConnKey, Conn>,
+    /// Tombstones: §8-closed connections (late-FIN re-ACK) and
+    /// §6-degraded live connections (Δ-adjusted pass-through).
+    closed: HashMap<ConnKey, Tombstone>,
+    /// ABLATION ONLY (defaults off): acknowledge with the primary's own
+    /// ack instead of `min(ack_P, ack_S)`. Violates requirement 2 of
+    /// §2 — after a primary failure the secondary may lack bytes the
+    /// client was told were received and can never get them back.
+    /// Exists so the test suite can demonstrate the rule is
+    /// load-bearing (`tests/min_ack_ablation.rs`).
+    pub unsafe_ack_without_min: bool,
+    /// Statistics.
+    pub stats: PrimaryStats,
+}
+
+impl PrimaryBridge {
+    /// Creates a bridge for primary `a_p` paired with secondary `a_s`.
+    pub fn new(a_p: Ipv4Addr, a_s: Ipv4Addr, config: FailoverConfig) -> Self {
+        PrimaryBridge {
+            a_p,
+            a_s,
+            divert_dst: a_p,
+            config,
+            mode: PrimaryMode::Normal,
+            conns: HashMap::new(),
+            closed: HashMap::new(),
+            unsafe_ack_without_min: false,
+            stats: PrimaryStats::default(),
+        }
+    }
+
+    /// Current operating mode.
+    pub fn mode(&self) -> PrimaryMode {
+        self.mode
+    }
+
+    /// Sets the address diverted segments arrive addressed to (middle
+    /// links of a daisy chain receive them at their own address).
+    pub fn set_divert_dst(&mut self, addr: Ipv4Addr) {
+        self.divert_dst = addr;
+    }
+
+    /// Re-targets the expected downstream replica (daisy-chain healing:
+    /// when the direct downstream dies, its own downstream takes over
+    /// as our stream source — `Δseq` and all queue state stay valid
+    /// because the client-facing space is the tail's space).
+    pub fn set_downstream(&mut self, addr: Ipv4Addr) {
+        self.a_s = addr;
+    }
+
+    /// Number of tracked failover connections.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// §6: the fault detector reports the secondary dead. Flushes every
+    /// primary output queue to the client and degrades to Δ-adjusted
+    /// pass-through. The returned output must be dispatched by the
+    /// caller (the host controller).
+    pub fn secondary_failed(&mut self, now_nanos: u64) -> FilterOutput {
+        let mut out = FilterOutput::empty();
+        self.mode = PrimaryMode::SecondaryFailed;
+        let mut finished = Vec::new();
+        for (key, conn) in self.conns.iter_mut() {
+            if conn.delta.is_none() {
+                // Handshake never completed against the secondary:
+                // release the held SYN unmodified; the connection
+                // continues as a plain TCP connection.
+                if let Some(p_syn) = conn.p_syn.take() {
+                    let bytes = p_syn.encode(self.a_p, conn.client.ip).to_vec();
+                    out.to_wire
+                        .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
+                }
+                finished.push((*key, 0u32, false));
+                continue;
+            }
+            // Step 1: remove all payload data from the primary output
+            // queue and send it to the client (respecting the MSS).
+            let Some(ack) = conn.ack_p else {
+                finished.push((*key, conn.delta.unwrap_or(0), true));
+                continue;
+            };
+            loop {
+                let avail = conn.pq.contiguous_from(conn.send_next);
+                if avail == 0 {
+                    break;
+                }
+                let n = avail.min(usize::from(conn.mss));
+                let payload = conn.pq.take(conn.send_next, n);
+                let seg = TcpSegment::builder(conn.server_port, conn.client.port)
+                    .seq(conn.send_next)
+                    .ack(ack)
+                    .window(conn.win_p)
+                    .flags(TcpFlags::PSH)
+                    .payload(Bytes::from(payload))
+                    .build();
+                let bytes = seg.encode(self.a_p, conn.client.ip).to_vec();
+                out.to_wire
+                    .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
+                conn.send_next = conn.send_next.wrapping_add(n as u32);
+                self.stats.merged_segments += 1;
+                self.stats.merged_bytes += n as u64;
+            }
+            if !conn.fin_sent && conn.p_fin == Some(conn.send_next) {
+                let seg = TcpSegment::builder(conn.server_port, conn.client.port)
+                    .seq(conn.send_next)
+                    .ack(ack)
+                    .window(conn.win_p)
+                    .flags(TcpFlags::FIN)
+                    .build();
+                let bytes = seg.encode(self.a_p, conn.client.ip).to_vec();
+                out.to_wire
+                    .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
+                conn.fin_sent = true;
+                conn.send_next = conn.send_next.wrapping_add(1);
+                self.stats.fins_sent += 1;
+            }
+            finished.push((*key, conn.delta.unwrap_or(0), true));
+        }
+        // Steps 2–3: replace per-connection queue state with the
+        // degraded pass-through tombstone that keeps subtracting Δseq
+        // forever (degraded tombstones are never pruned).
+        for (key, delta, keep) in finished {
+            self.conns.remove(&key);
+            if keep {
+                self.closed.insert(
+                    key,
+                    Tombstone {
+                        at: now_nanos,
+                        delta,
+                        degraded: true,
+                    },
+                );
+            }
+        }
+        out
+    }
+
+    /// Partial reintegration (an extension; the paper leaves
+    /// reintegration out of scope): a restarted secondary has
+    /// announced itself, so *new* connections replicate again.
+    /// Connections degraded by §6 stay on their Δ-adjusted
+    /// pass-through tombstones for their remaining lifetime — the
+    /// restarted secondary never saw their establishment.
+    pub fn reintegrate(&mut self) {
+        self.mode = PrimaryMode::Normal;
+    }
+
+    // ---------------------------------------------------------------
+    // Helpers
+    // ---------------------------------------------------------------
+
+    /// The acknowledgment to stamp on client-facing segments:
+    /// `min(ack_P, ack_S)` — or, under the ablation flag, the unsafe
+    /// primary-only acknowledgment.
+    fn client_ack(&self, conn: &Conn) -> Option<u32> {
+        if self.unsafe_ack_without_min {
+            conn.ack_p.or(conn.ack_s)
+        } else {
+            conn.min_ack()
+        }
+    }
+
+    fn emit_to_client(&mut self, conn: &mut Conn, seg: TcpSegment, out: &mut FilterOutput) {
+        if seg.flags.contains(TcpFlags::ACK) {
+            conn.last_ack_sent = Some(match conn.last_ack_sent {
+                Some(l) if seq_gt(l, seg.ack) => l,
+                _ => seg.ack,
+            });
+        }
+        let bytes = seg.encode(self.a_p, conn.client.ip).to_vec();
+        out.to_wire
+            .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
+    }
+
+    /// Releases everything both replicas agree on (§3.4 Figure 2), then
+    /// the merged FIN, then a bare ACK if the minimum advanced.
+    fn try_merge(&mut self, key: ConnKey, out: &mut FilterOutput) {
+        let Some(mut conn) = self.conns.remove(&key) else {
+            return;
+        };
+        loop {
+            let avail = conn
+                .pq
+                .contiguous_from(conn.send_next)
+                .min(conn.sq.contiguous_from(conn.send_next));
+            if avail > 0 {
+                let n = avail.min(usize::from(conn.mss));
+                let from_s = conn.sq.take(conn.send_next, n);
+                let from_p = conn.pq.take(conn.send_next, n);
+                if from_p != from_s {
+                    self.stats.mismatched_bytes += n as u64;
+                }
+                let Some(ack) = self.client_ack(&conn) else {
+                    self.stats.drops += 1;
+                    break;
+                };
+                let seg = TcpSegment::builder(conn.server_port, conn.client.port)
+                    .seq(conn.send_next)
+                    .ack(ack)
+                    .window(conn.min_win())
+                    .flags(TcpFlags::PSH)
+                    .payload(Bytes::from(from_s))
+                    .build();
+                conn.send_next = conn.send_next.wrapping_add(n as u32);
+                self.stats.merged_segments += 1;
+                self.stats.merged_bytes += n as u64;
+                self.emit_to_client(&mut conn, seg, out);
+                continue;
+            }
+            // FIN merge: both replicas have closed at this position.
+            if !conn.fin_sent
+                && conn.p_fin == Some(conn.send_next)
+                && conn.s_fin == Some(conn.send_next)
+            {
+                if let Some(ack) = self.client_ack(&conn) {
+                    let seg = TcpSegment::builder(conn.server_port, conn.client.port)
+                        .seq(conn.send_next)
+                        .ack(ack)
+                        .window(conn.min_win())
+                        .flags(TcpFlags::FIN)
+                        .build();
+                    conn.fin_sent = true;
+                    conn.send_next = conn.send_next.wrapping_add(1);
+                    self.stats.fins_sent += 1;
+                    self.emit_to_client(&mut conn, seg, out);
+                    continue;
+                }
+            }
+            break;
+        }
+        // §3.4: prevent the delayed-ACK deadlock — if min(ack) advanced
+        // beyond the last ack we sent, emit a bare ACK segment.
+        if let Some(m) = self.client_ack(&conn) {
+            let advanced = match conn.last_ack_sent {
+                Some(l) => seq_gt(m, l),
+                None => true,
+            };
+            if advanced {
+                let seg = TcpSegment::builder(conn.server_port, conn.client.port)
+                    .seq(conn.send_next)
+                    .ack(m)
+                    .window(conn.min_win())
+                    .build();
+                self.stats.empty_acks += 1;
+                self.emit_to_client(&mut conn, seg, out);
+            }
+        }
+        self.conns.insert(key, conn);
+    }
+
+    /// Builds the merged SYN / SYN+ACK once both replicas' SYNs are
+    /// held (§7.1, §7.2).
+    fn try_merge_syn(&mut self, key: ConnKey, out: &mut FilterOutput) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
+        let (Some(p), Some(s)) = (&conn.p_syn, &conn.s_syn) else {
+            return;
+        };
+        let delta = p.seq.wrapping_sub(s.seq);
+        conn.delta = Some(delta);
+        conn.mss = p.mss().unwrap_or(536).min(s.mss().unwrap_or(536));
+        conn.send_next = s.seq.wrapping_add(1);
+        let client_initiated = p.flags.contains(TcpFlags::ACK);
+        let mut b = TcpSegment::builder(conn.server_port, conn.client.port)
+            .seq(s.seq)
+            .flags(TcpFlags::SYN)
+            .window(conn.win_p.min(conn.win_s))
+            .mss(conn.mss);
+        if client_initiated {
+            // Both SYN+ACKs acknowledge the same client ISN.
+            debug_assert_eq!(p.ack, s.ack);
+            b = b.ack(p.ack);
+            conn.ack_p = Some(p.ack);
+            conn.ack_s = Some(s.ack);
+        }
+        let seg = b.build();
+        let mut conn = self.conns.remove(&key).expect("conn present");
+        self.emit_to_client(&mut conn, seg, out);
+        self.conns.insert(key, conn);
+    }
+
+    /// Rebuilds and immediately re-sends the merged handshake segment
+    /// (a replica retransmitted its SYN after the merge).
+    fn resend_merged_syn(&mut self, key: ConnKey, out: &mut FilterOutput) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            return;
+        };
+        let (Some(p), Some(s)) = (&conn.p_syn, &conn.s_syn) else {
+            return;
+        };
+        let client_initiated = p.flags.contains(TcpFlags::ACK);
+        let mut b = TcpSegment::builder(conn.server_port, conn.client.port)
+            .seq(s.seq)
+            .flags(TcpFlags::SYN)
+            .window(conn.min_win())
+            .mss(conn.mss);
+        if client_initiated {
+            b = b.ack(p.ack);
+        }
+        let seg = b.build();
+        self.stats.retransmissions_forwarded += 1;
+        let mut conn = self.conns.remove(&key).expect("conn present");
+        self.emit_to_client(&mut conn, seg, out);
+        self.conns.insert(key, conn);
+    }
+
+    /// Handles a data/FIN/ACK segment from either replica.
+    fn on_replica_segment(
+        &mut self,
+        key: ConnKey,
+        replica: Replica,
+        seg: &TcpSegment,
+        out: &mut FilterOutput,
+    ) {
+        let Some(conn) = self.conns.get_mut(&key) else {
+            // §8: a FIN from the secondary after state deletion is
+            // ACKed directly back to the secondary.
+            if replica == Replica::Secondary
+                && seg.flags.contains(TcpFlags::FIN)
+                && self.closed.contains_key(&key)
+            {
+                let ack_seg = TcpSegment::builder(key.peer.port, key.server_port)
+                    .seq(seg.ack)
+                    .ack(seg.seq.wrapping_add(seg.seq_len()))
+                    .window(seg.window)
+                    .build();
+                let bytes = ack_seg.encode(key.peer.ip, self.a_s).to_vec();
+                out.to_wire
+                    .push(AddressedSegment::new(key.peer.ip, self.a_s, bytes));
+                self.stats.late_fin_acks += 1;
+                return;
+            }
+            self.stats.drops += 1;
+            return;
+        };
+        // Handshake segments.
+        if seg.flags.contains(TcpFlags::SYN) {
+            let already_merged = conn.delta.is_some();
+            match replica {
+                Replica::Primary => {
+                    conn.win_p = seg.window;
+                    conn.p_syn = Some(seg.clone());
+                }
+                Replica::Secondary => {
+                    conn.win_s = seg.window;
+                    conn.s_syn = Some(seg.clone());
+                }
+            }
+            if already_merged {
+                self.resend_merged_syn(key, out);
+            } else {
+                self.try_merge_syn(key, out);
+            }
+            return;
+        }
+        // Record acknowledgment and window, noting whether this
+        // replica repeated its previous ack (a genuine re-ACK).
+        if seg.flags.contains(TcpFlags::ACK) {
+            match replica {
+                Replica::Primary => {
+                    conn.last_was_replica_dup = conn.ack_p == Some(seg.ack);
+                    conn.ack_p = Some(seg.ack);
+                    conn.win_p = seg.window;
+                }
+                Replica::Secondary => {
+                    conn.last_was_replica_dup = conn.ack_s == Some(seg.ack);
+                    conn.ack_s = Some(seg.ack);
+                    conn.win_s = seg.window;
+                }
+            }
+        }
+        let Some(delta) = conn.delta else {
+            // Data before the handshake merged: cannot normalise.
+            self.stats.drops += 1;
+            return;
+        };
+        // Normalise into client (secondary) sequence space.
+        let seq = match replica {
+            Replica::Primary => seg.seq.wrapping_sub(delta),
+            Replica::Secondary => seg.seq,
+        };
+        let payload_len = seg.payload.len() as u32;
+        let end = seq.wrapping_add(payload_len);
+        let has_fin = seg.flags.contains(TcpFlags::FIN);
+        if has_fin {
+            let fin_pos = end;
+            match replica {
+                Replica::Primary => conn.p_fin = Some(fin_pos),
+                Replica::Secondary => conn.s_fin = Some(fin_pos),
+            }
+        }
+        // RST: forward with translated sequence number and drop state.
+        if seg.flags.contains(TcpFlags::RST) {
+            let mut conn = self.conns.remove(&key).expect("conn present");
+            let rst = TcpSegment::builder(conn.server_port, conn.client.port)
+                .seq(seq)
+                .flags(TcpFlags::RST)
+                .build();
+            self.emit_to_client(&mut conn, rst, out);
+            self.stats.conns_closed += 1;
+            return;
+        }
+        let fin_end = if has_fin { end.wrapping_add(1) } else { end };
+        let is_retransmission = fin_end != seq && seq_le(fin_end, conn.send_next);
+        if is_retransmission {
+            // §4: the bridge receives only a single copy of a
+            // retransmission; do not enqueue, send immediately with the
+            // current minimum ack/window.
+            let unsafe_mode = self.unsafe_ack_without_min;
+            let ack_choice = if unsafe_mode {
+                conn.ack_p.or(conn.ack_s)
+            } else {
+                conn.min_ack()
+            };
+            let Some(ack) = ack_choice else {
+                self.stats.drops += 1;
+                return;
+            };
+            let mut flags = TcpFlags::EMPTY;
+            if !seg.payload.is_empty() {
+                flags |= TcpFlags::PSH;
+            }
+            if has_fin {
+                flags |= TcpFlags::FIN;
+            }
+            let rtx = TcpSegment::builder(conn.server_port, conn.client.port)
+                .seq(seq)
+                .ack(ack)
+                .window(conn.min_win())
+                .flags(flags)
+                .payload(seg.payload.clone())
+                .build();
+            self.stats.retransmissions_forwarded += 1;
+            let mut conn = self.conns.remove(&key).expect("conn present");
+            self.emit_to_client(&mut conn, rtx, out);
+            self.conns.insert(key, conn);
+            return;
+        }
+        if !seg.payload.is_empty() {
+            let send_next = conn.send_next;
+            match replica {
+                Replica::Primary => conn.pq.insert(seq, &seg.payload, send_next),
+                Replica::Secondary => conn.sq.insert(seq, &seg.payload, send_next),
+            }
+        }
+        let pure_ack = seg.payload.is_empty() && !has_fin && seg.flags.contains(TcpFlags::ACK);
+        let emitted_before = out.to_wire.len();
+        self.try_merge(key, out);
+        // Duplicate-ACK forwarding: a pure ACK that does not advance
+        // min(ack_P, ack_S) is a replica *re-ACK* — the degenerate case
+        // of §4's "recognises that k is a retransmission … sends k
+        // immediately" with an empty k. Without this, a lost merged ACK
+        // can never be repaired when the servers have no data to
+        // retransmit, and the client retries forever. It also carries
+        // window updates and feeds the client's fast retransmit.
+        if pure_ack && out.to_wire.len() == emitted_before {
+            if let Some(conn) = self.conns.get(&key) {
+                if let Some(m) = self.client_ack(conn) {
+                    // Only a *repeated* ack from one replica counts as
+                    // a re-ACK; the other replica merely catching up to
+                    // the minimum is normal duplex flow and forwarding
+                    // it would double the merged ACK cadence.
+                    if conn.last_ack_sent == Some(m) && conn.last_was_replica_dup {
+                        let seg = TcpSegment::builder(conn.server_port, conn.client.port)
+                            .seq(conn.send_next)
+                            .ack(m)
+                            .window(conn.min_win())
+                            .build();
+                        self.stats.empty_acks += 1;
+                        let mut conn = self.conns.remove(&key).expect("conn present");
+                        self.emit_to_client(&mut conn, seg, out);
+                        self.conns.insert(key, conn);
+                    }
+                }
+            }
+        }
+        self.maybe_teardown(key, out.to_wire.is_empty());
+    }
+
+    /// §8: once both directions are closed and acknowledged, delete the
+    /// connection state, leaving a tombstone for late retransmissions.
+    fn maybe_teardown(&mut self, key: ConnKey, _quiet: bool) {
+        let Some(conn) = self.conns.get(&key) else {
+            return;
+        };
+        let Some(delta) = conn.delta else { return };
+        // Server->client direction closed: merged FIN sent and
+        // acknowledged by the client.
+        let Some(client_acked) = conn.client_acked else {
+            return;
+        };
+        let server_side_done = conn.fin_sent && seq_le(conn.send_next, client_acked);
+        // Client->server direction closed: client FIN seen and both
+        // replicas acknowledged past it.
+        let client_side_done = match (conn.client_fin, conn.min_ack()) {
+            (Some(f), Some(m)) => seq_gt(m, f),
+            _ => false,
+        };
+        if server_side_done && client_side_done {
+            self.conns.remove(&key);
+            self.closed.insert(
+                key,
+                Tombstone {
+                    at: 0,
+                    delta,
+                    degraded: false,
+                },
+            );
+            self.stats.conns_closed += 1;
+        }
+    }
+
+    /// Expires §8 tombstones (called opportunistically); §6-degraded
+    /// tombstones carry live connections' `Δseq` and are kept for the
+    /// lifetime of the bridge.
+    fn gc_tombstones(&mut self, now_nanos: u64) {
+        if self.closed.len() > 1024 {
+            self.closed
+                .retain(|_, t| t.degraded || now_nanos.saturating_sub(t.at) < TOMBSTONE_TTL_NANOS);
+        }
+    }
+
+    /// Handles an ingress segment from the unreplicated peer (the
+    /// client C, or back-end T for server-initiated connections).
+    fn on_client_segment(
+        &mut self,
+        seg_parsed: &TcpSegment,
+        raw: AddressedSegment,
+        out: &mut FilterOutput,
+    ) {
+        let key = ConnKey::new(
+            seg_parsed.dst_port,
+            SocketAddr::new(raw.src, seg_parsed.src_port),
+        );
+        // New client-initiated connection?
+        if seg_parsed.flags.contains(TcpFlags::SYN) && !seg_parsed.flags.contains(TcpFlags::ACK) {
+            match self.mode {
+                PrimaryMode::Normal => {
+                    // A fresh SYN supersedes any tombstone for the
+                    // tuple (tuple reuse across a failover epoch).
+                    self.closed.remove(&key);
+                    self.conns
+                        .entry(key)
+                        .or_insert_with(|| Conn::new(key.peer, key.server_port));
+                }
+                PrimaryMode::SecondaryFailed => {
+                    // Born degraded: this connection is local-only for
+                    // its whole lifetime (Δseq = 0 pass-through), even
+                    // if a secondary reintegrates later.
+                    self.closed.entry(key).or_insert(Tombstone {
+                        at: 0,
+                        delta: 0,
+                        degraded: true,
+                    });
+                }
+            }
+            out.to_tcp.push(raw);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&key) else {
+            // §6-degraded live connection: translate the ack and pass
+            // everything to our TCP layer, forever.
+            if let Some(t) = self.closed.get(&key) {
+                if t.degraded {
+                    if seg_parsed.flags.contains(TcpFlags::ACK) {
+                        let delta = t.delta;
+                        let mut patcher = SegmentPatcher::new(raw.bytes, raw.src, raw.dst);
+                        patcher.set_ack(seg_parsed.ack.wrapping_add(delta));
+                        let (bytes, src, dst) = patcher.finish();
+                        self.stats.acks_translated += 1;
+                        out.to_tcp.push(AddressedSegment::new(src, dst, bytes));
+                    } else {
+                        out.to_tcp.push(raw);
+                    }
+                    return;
+                }
+            }
+            // §8: the client retransmits its FIN after we deleted the
+            // connection: ACK it ourselves.
+            if seg_parsed.flags.contains(TcpFlags::FIN) && self.closed.contains_key(&key) {
+                let ack_seg = TcpSegment::builder(key.server_port, key.peer.port)
+                    .seq(seg_parsed.ack)
+                    .ack(seg_parsed.seq.wrapping_add(seg_parsed.seq_len()))
+                    .window(seg_parsed.window)
+                    .build();
+                let bytes = ack_seg.encode(self.a_p, key.peer.ip).to_vec();
+                out.to_wire
+                    .push(AddressedSegment::new(self.a_p, key.peer.ip, bytes));
+                self.stats.late_fin_acks += 1;
+                return;
+            }
+            // Unknown connection (e.g. created before the bridge, or
+            // non-failover traffic that matched a port): pass through.
+            out.to_tcp.push(raw);
+            return;
+        };
+        // Track teardown progress (in S/client-facing space).
+        if seg_parsed.flags.contains(TcpFlags::ACK) {
+            conn.client_acked = Some(match conn.client_acked {
+                Some(a) if seq_gt(a, seg_parsed.ack) => a,
+                _ => seg_parsed.ack,
+            });
+        }
+        if seg_parsed.flags.contains(TcpFlags::FIN) {
+            conn.client_fin = Some(seg_parsed.seq.wrapping_add(seg_parsed.payload.len() as u32));
+        }
+        // Translate the acknowledgment into the primary's space.
+        if seg_parsed.flags.contains(TcpFlags::ACK) {
+            if let Some(delta) = conn.delta {
+                let mut patcher = SegmentPatcher::new(raw.bytes, raw.src, raw.dst);
+                patcher.set_ack(seg_parsed.ack.wrapping_add(delta));
+                let (bytes, src, dst) = patcher.finish();
+                self.stats.acks_translated += 1;
+                out.to_tcp.push(AddressedSegment::new(src, dst, bytes));
+            } else {
+                // An ACK cannot precede the merged SYN in a correct
+                // run; drop rather than corrupt the primary's TCB.
+                self.stats.drops += 1;
+            }
+        } else {
+            out.to_tcp.push(raw);
+        }
+        self.maybe_teardown(key, true);
+    }
+}
+
+impl SegmentFilter for PrimaryBridge {
+    fn on_outbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput {
+        self.gc_tombstones(now_nanos);
+        let Ok(parsed) = TcpSegment::decode(&seg.bytes) else {
+            return FilterOutput::wire(seg);
+        };
+        // Outbound segments from the primary's TCP layer to some peer.
+        let key = ConnKey::new(parsed.src_port, SocketAddr::new(seg.dst, parsed.dst_port));
+        let designated = self
+            .config
+            .matches(parsed.src_port, seg.dst, parsed.dst_port)
+            || self.conns.contains_key(&key)
+            || self.closed.contains_key(&key);
+        if !designated || seg.dst == self.a_s {
+            return FilterOutput::wire(seg);
+        }
+        // §6-degraded connections pass through immediately with Δseq
+        // subtracted and ack/window untouched — in *any* mode (they
+        // stay degraded even after a secondary reintegrates).
+        if let Some(t) = self.closed.get(&key) {
+            if t.degraded {
+                let mut p = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
+                p.set_seq(parsed.seq.wrapping_sub(t.delta));
+                let (bytes, src, dst) = p.finish();
+                return FilterOutput::wire(AddressedSegment::new(src, dst, bytes));
+            }
+        }
+        match self.mode {
+            PrimaryMode::SecondaryFailed => {
+                // Server-initiated opens while degraded are local-only
+                // for their lifetime, like client opens (see above).
+                if parsed.flags.contains(TcpFlags::SYN) && !parsed.flags.contains(TcpFlags::ACK) {
+                    self.closed.entry(key).or_insert(Tombstone {
+                        at: 0,
+                        delta: 0,
+                        degraded: true,
+                    });
+                }
+                FilterOutput::wire(seg)
+            }
+            PrimaryMode::Normal => {
+                // Any SYN from our own TCP layer opens bridge state: a
+                // SYN+ACK answers a client SYN that passed through
+                // before the designation was registered (§7 method 1),
+                // a bare SYN starts a server-initiated connection
+                // (§7.2).
+                if parsed.flags.contains(TcpFlags::SYN) {
+                    self.conns
+                        .entry(key)
+                        .or_insert_with(|| Conn::new(key.peer, key.server_port));
+                }
+                if !self.conns.contains_key(&key) {
+                    // Designated but unknown (e.g. tombstoned): the
+                    // TCP layer is retransmitting into a dead
+                    // connection; drop (the §8 tombstone path answers
+                    // the peer directly).
+                    self.stats.drops += 1;
+                    return FilterOutput::empty();
+                }
+                let mut out = FilterOutput::empty();
+                self.on_replica_segment(key, Replica::Primary, &parsed, &mut out);
+                out
+            }
+        }
+    }
+
+    fn on_inbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput {
+        self.gc_tombstones(now_nanos);
+        let Ok(parsed) = TcpSegment::decode(&seg.bytes) else {
+            return FilterOutput::tcp(seg);
+        };
+        // Diverted secondary segment? (carries the orig-dest option)
+        if let Some((orig_ip, orig_port)) = parsed.orig_dest() {
+            if seg.src == self.a_s && seg.dst == self.divert_dst {
+                if self.mode == PrimaryMode::SecondaryFailed {
+                    return FilterOutput::empty(); // §6 step 2
+                }
+                let key = ConnKey::new(parsed.src_port, SocketAddr::new(orig_ip, orig_port));
+                // Strip the option before processing so payload
+                // matching sees the canonical segment.
+                let mut patcher = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
+                patcher.strip_orig_dest_option();
+                let (bytes, ..) = patcher.finish();
+                let Ok(canonical) = TcpSegment::decode(&bytes) else {
+                    self.stats.drops += 1;
+                    return FilterOutput::empty();
+                };
+                // A SYN from the secondary may precede any primary
+                // activity (a server-initiated open where S ran first,
+                // or a SYN+ACK racing the primary's own): open state.
+                if canonical.flags.contains(TcpFlags::SYN) {
+                    self.conns
+                        .entry(key)
+                        .or_insert_with(|| Conn::new(key.peer, key.server_port));
+                }
+                let mut out = FilterOutput::empty();
+                self.on_replica_segment(key, Replica::Secondary, &canonical, &mut out);
+                return out;
+            }
+        }
+        // A segment from an unreplicated peer addressed to us?
+        if seg.dst == self.a_p {
+            let key_port = parsed.dst_port;
+            let designated = self.config.matches(key_port, seg.src, parsed.src_port)
+                || self.conns.contains_key(&ConnKey::new(
+                    key_port,
+                    SocketAddr::new(seg.src, parsed.src_port),
+                ))
+                || self.closed.contains_key(&ConnKey::new(
+                    key_port,
+                    SocketAddr::new(seg.src, parsed.src_port),
+                ));
+            if designated {
+                let mut out = FilterOutput::empty();
+                self.on_client_segment(&parsed, seg, &mut out);
+                return out;
+            }
+        }
+        FilterOutput::tcp(seg)
+    }
+
+    fn designate(&mut self, rule: FailoverRule) {
+        match rule {
+            FailoverRule::Port(p) => self.config.add_port(p),
+            FailoverRule::Tuple(t) => self.config.add_conn(ConnKey::new(t.local.port, t.remote)),
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+impl std::fmt::Debug for PrimaryBridge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrimaryBridge")
+            .field("a_p", &self.a_p)
+            .field("a_s", &self.a_s)
+            .field("mode", &self.mode)
+            .field("conns", &self.conns.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcpfo_wire::tcp::verify_segment_checksum;
+
+    const A_C: Ipv4Addr = Ipv4Addr::new(192, 168, 0, 9);
+    const A_P: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    const A_S: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+    const ISS_P: u32 = 5_000;
+    const ISS_S: u32 = 9_000;
+    const ISS_C: u32 = 100;
+
+    fn bridge() -> PrimaryBridge {
+        PrimaryBridge::new(A_P, A_S, FailoverConfig::from_ports([80]))
+    }
+
+    fn raw(src: Ipv4Addr, dst: Ipv4Addr, seg: TcpSegment) -> AddressedSegment {
+        AddressedSegment::new(src, dst, seg.encode(src, dst).to_vec())
+    }
+
+    /// Builds a segment as the secondary bridge would divert it.
+    fn diverted(seg: TcpSegment) -> AddressedSegment {
+        let bytes = seg.encode(A_S, A_C).to_vec();
+        let mut p = SegmentPatcher::new(bytes, A_S, A_C);
+        p.push_orig_dest_option(A_C, 5555);
+        p.set_pseudo_dst(A_P);
+        let (bytes, src, dst) = p.finish();
+        AddressedSegment::new(src, dst, bytes)
+    }
+
+    fn decode_wire(out: &FilterOutput, i: usize) -> TcpSegment {
+        TcpSegment::decode(&out.to_wire[i].bytes).expect("wire segment decodes")
+    }
+
+    /// Runs the whole client-initiated handshake through the bridge and
+    /// returns it established.
+    fn established() -> PrimaryBridge {
+        let mut b = bridge();
+        let syn = raw(
+            A_C,
+            A_P,
+            TcpSegment::builder(5555, 80)
+                .seq(ISS_C)
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(60_000)
+                .build(),
+        );
+        let out = b.on_inbound(syn, 0);
+        assert_eq!(out.to_tcp.len(), 1, "client SYN passes up");
+        let p_synack = raw(
+            A_P,
+            A_C,
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_P)
+                .ack(ISS_C + 1)
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(50_000)
+                .build(),
+        );
+        let held = b.on_outbound(p_synack, 0);
+        assert!(held.to_wire.is_empty(), "P's SYN+ACK is held");
+        let s_synack = diverted(
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_S)
+                .ack(ISS_C + 1)
+                .flags(TcpFlags::SYN)
+                .mss(1200)
+                .window(40_000)
+                .build(),
+        );
+        let merged = b.on_inbound(s_synack, 0);
+        assert_eq!(merged.to_wire.len(), 1);
+        let syn_ack = decode_wire(&merged, 0);
+        assert!(syn_ack.flags.contains(TcpFlags::SYN | TcpFlags::ACK));
+        assert_eq!(syn_ack.seq, ISS_S, "client-facing seq is the secondary's");
+        assert_eq!(syn_ack.ack, ISS_C + 1);
+        assert_eq!(syn_ack.mss(), Some(1200), "MSS = min(MSS_P, MSS_S)");
+        assert_eq!(syn_ack.window, 40_000, "win = min(win_P, win_S)");
+        assert!(verify_segment_checksum(
+            merged.to_wire[0].src,
+            merged.to_wire[0].dst,
+            &merged.to_wire[0].bytes
+        ));
+        b
+    }
+
+    fn p_data(seq_off: u32, payload: &'static [u8], ack: u32) -> AddressedSegment {
+        raw(
+            A_P,
+            A_C,
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_P + 1 + seq_off)
+                .ack(ack)
+                .window(50_000)
+                .payload(Bytes::from_static(payload))
+                .build(),
+        )
+    }
+
+    fn s_data(seq_off: u32, payload: &'static [u8], ack: u32) -> AddressedSegment {
+        diverted(
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_S + 1 + seq_off)
+                .ack(ack)
+                .window(40_000)
+                .payload(Bytes::from_static(payload))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn handshake_merges_syn_acks() {
+        let b = established();
+        assert_eq!(b.conn_count(), 1);
+    }
+
+    #[test]
+    fn data_released_only_when_both_replicas_match() {
+        let mut b = established();
+        // P produces first: held.
+        let out = b.on_outbound(p_data(0, b"hello world", ISS_C + 1), 0);
+        assert!(out.to_wire.is_empty(), "P-only data is held");
+        // S produces the same bytes: released in S space.
+        let out = b.on_inbound(s_data(0, b"hello world", ISS_C + 1), 0);
+        assert_eq!(out.to_wire.len(), 1);
+        let seg = decode_wire(&out, 0);
+        assert_eq!(seg.seq, ISS_S + 1);
+        assert_eq!(&seg.payload[..], b"hello world");
+        assert_eq!(b.stats.merged_bytes, 11);
+        assert_eq!(b.stats.mismatched_bytes, 0);
+    }
+
+    #[test]
+    fn figure2_partial_match_keeps_remainder() {
+        // The worked example of §3.4 / Figure 2: P delivers bytes the
+        // bridge can only partially match; the remainder waits.
+        let mut b = established();
+        let _ = b.on_inbound(s_data(0, b"abcd", ISS_C + 1), 0); // S: 4 bytes
+        let out = b.on_outbound(p_data(0, b"ab", ISS_C + 1), 0); // P: first 2
+        assert_eq!(out.to_wire.len(), 1);
+        assert_eq!(&decode_wire(&out, 0).payload[..], b"ab");
+        // P's next two bytes release the rest.
+        let out = b.on_outbound(p_data(2, b"cd", ISS_C + 1), 0);
+        assert_eq!(&decode_wire(&out, 0).payload[..], b"cd");
+        assert_eq!(b.stats.merged_bytes, 4);
+    }
+
+    #[test]
+    fn ack_and_window_are_minima() {
+        let mut b = established();
+        let _ = b.on_outbound(p_data(0, b"xy", ISS_C + 21), 0); // P acks further
+        let out = b.on_inbound(s_data(0, b"xy", ISS_C + 11), 0); // S lags
+        let seg = decode_wire(&out, 0);
+        assert_eq!(seg.ack, ISS_C + 11, "min(ack_P, ack_S)");
+        assert_eq!(seg.window, 40_000, "min(win_P, win_S)");
+    }
+
+    #[test]
+    fn empty_ack_emitted_when_min_advances() {
+        // §3.4: "TCP must send empty segments to acknowledge the client
+        // segments" when the applications are silent.
+        let mut b = established();
+        let p_ack = raw(
+            A_P,
+            A_C,
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_P + 1)
+                .ack(ISS_C + 50)
+                .window(50_000)
+                .build(),
+        );
+        let out = b.on_outbound(p_ack, 0);
+        assert!(
+            out.to_wire.is_empty(),
+            "one-sided ack advance is held (min unchanged)"
+        );
+        let s_ack = diverted(
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_S + 1)
+                .ack(ISS_C + 50)
+                .window(40_000)
+                .build(),
+        );
+        let out = b.on_inbound(s_ack, 0);
+        assert_eq!(out.to_wire.len(), 1, "min advanced -> bare ACK");
+        let seg = decode_wire(&out, 0);
+        assert!(seg.payload.is_empty());
+        assert_eq!(seg.ack, ISS_C + 50);
+        assert_eq!(b.stats.empty_acks, 1);
+    }
+
+    #[test]
+    fn replica_re_ack_is_forwarded() {
+        let mut b = established();
+        let s_ack = |a| {
+            diverted(
+                TcpSegment::builder(80, 5555)
+                    .seq(ISS_S + 1)
+                    .ack(a)
+                    .window(40_000)
+                    .build(),
+            )
+        };
+        let p_ack = |a| {
+            raw(
+                A_P,
+                A_C,
+                TcpSegment::builder(80, 5555)
+                    .seq(ISS_P + 1)
+                    .ack(a)
+                    .window(50_000)
+                    .build(),
+            )
+        };
+        let _ = b.on_outbound(p_ack(ISS_C + 50), 0);
+        let _ = b.on_inbound(s_ack(ISS_C + 50), 0); // emitted (advance)
+                                                    // S re-acks the same value (its re-ACK of an out-of-window
+                                                    // client retransmission): forwarded so the client learns.
+        let out = b.on_inbound(s_ack(ISS_C + 50), 0);
+        assert_eq!(out.to_wire.len(), 1, "replica re-ack forwarded");
+        assert_eq!(b.stats.empty_acks, 2);
+    }
+
+    #[test]
+    fn retransmission_below_send_next_is_forwarded_immediately() {
+        // §4: "it does not enqueue k, but sends k immediately".
+        let mut b = established();
+        let _ = b.on_outbound(p_data(0, b"hello", ISS_C + 1), 0);
+        let _ = b.on_inbound(s_data(0, b"hello", ISS_C + 1), 0); // released
+                                                                 // P retransmits the same bytes (it missed an ack).
+        let out = b.on_outbound(p_data(0, b"hello", ISS_C + 1), 0);
+        assert_eq!(out.to_wire.len(), 1, "retransmission goes straight out");
+        let seg = decode_wire(&out, 0);
+        assert_eq!(seg.seq, ISS_S + 1);
+        assert_eq!(&seg.payload[..], b"hello");
+        assert_eq!(b.stats.retransmissions_forwarded, 1);
+        // And S's copy too ("the bridge sends k twice").
+        let out = b.on_inbound(s_data(0, b"hello", ISS_C + 1), 0);
+        assert_eq!(out.to_wire.len(), 1);
+        assert_eq!(b.stats.retransmissions_forwarded, 2);
+    }
+
+    #[test]
+    fn client_ack_translated_into_primary_space() {
+        let mut b = established();
+        let client_ack = raw(
+            A_C,
+            A_P,
+            TcpSegment::builder(5555, 80)
+                .seq(ISS_C + 1)
+                .ack(ISS_S + 21)
+                .window(60_000)
+                .build(),
+        );
+        let out = b.on_inbound(client_ack, 0);
+        assert_eq!(out.to_tcp.len(), 1);
+        let seg = TcpSegment::decode(&out.to_tcp[0].bytes).unwrap();
+        assert_eq!(seg.ack, ISS_P + 21, "ack raised by Δseq");
+        assert!(verify_segment_checksum(
+            out.to_tcp[0].src,
+            out.to_tcp[0].dst,
+            &out.to_tcp[0].bytes
+        ));
+        assert_eq!(b.stats.acks_translated, 1);
+    }
+
+    #[test]
+    fn fin_released_only_when_both_replicas_closed() {
+        let mut b = established();
+        let p_fin = raw(
+            A_P,
+            A_C,
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_P + 1)
+                .ack(ISS_C + 1)
+                .window(50_000)
+                .flags(TcpFlags::FIN)
+                .build(),
+        );
+        let out = b.on_outbound(p_fin, 0);
+        assert!(out.to_wire.is_empty(), "one-sided FIN held");
+        let s_fin = diverted(
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_S + 1)
+                .ack(ISS_C + 1)
+                .window(40_000)
+                .flags(TcpFlags::FIN)
+                .build(),
+        );
+        let out = b.on_inbound(s_fin, 0);
+        assert_eq!(out.to_wire.len(), 1);
+        let seg = decode_wire(&out, 0);
+        assert!(seg.flags.contains(TcpFlags::FIN));
+        assert_eq!(seg.seq, ISS_S + 1);
+        assert_eq!(b.stats.fins_sent, 1);
+    }
+
+    #[test]
+    fn mismatched_replica_payload_is_counted() {
+        let mut b = established();
+        let _ = b.on_outbound(p_data(0, b"AAAA", ISS_C + 1), 0);
+        let out = b.on_inbound(s_data(0, b"AABA", ISS_C + 1), 0);
+        assert_eq!(out.to_wire.len(), 1, "still released (S wins)");
+        assert_eq!(
+            &decode_wire(&out, 0).payload[..],
+            b"AABA",
+            "client-facing bytes are S's"
+        );
+        assert!(b.stats.mismatched_bytes > 0, "divergence must be visible");
+    }
+
+    #[test]
+    fn secondary_failed_flushes_queue_and_degrades() {
+        let mut b = established();
+        // P produced 8 bytes the secondary never matched.
+        let _ = b.on_outbound(p_data(0, b"buffered", ISS_C + 1), 0);
+        let out = b.secondary_failed(1_000);
+        assert_eq!(b.mode(), PrimaryMode::SecondaryFailed);
+        assert_eq!(out.to_wire.len(), 1, "queue flushed (§6 step 1)");
+        let seg = decode_wire(&out, 0);
+        assert_eq!(seg.seq, ISS_S + 1, "flush stays in S space");
+        assert_eq!(&seg.payload[..], b"buffered");
+        assert_eq!(seg.ack, ISS_C + 1, "ack is now ack_P alone");
+        // Subsequent P output passes straight through with seq - Δ.
+        let out = b.on_outbound(p_data(8, b"after", ISS_C + 1), 0);
+        assert_eq!(out.to_wire.len(), 1);
+        assert_eq!(
+            decode_wire(&out, 0).seq,
+            ISS_S + 9,
+            "Δseq still subtracted (§6 step 3)"
+        );
+        // Client acks keep being translated +Δ.
+        let client_ack = raw(
+            A_C,
+            A_P,
+            TcpSegment::builder(5555, 80)
+                .seq(ISS_C + 1)
+                .ack(ISS_S + 9)
+                .window(60_000)
+                .build(),
+        );
+        let out = b.on_inbound(client_ack, 0);
+        assert_eq!(
+            TcpSegment::decode(&out.to_tcp[0].bytes).unwrap().ack,
+            ISS_P + 9
+        );
+        // Diverted segments from the (dead) secondary are dropped (§6 step 2).
+        let out = b.on_inbound(s_data(0, b"zombie", ISS_C + 1), 0);
+        assert!(out.to_wire.is_empty() && out.to_tcp.is_empty());
+    }
+
+    #[test]
+    fn late_secondary_fin_gets_acked_from_tombstone() {
+        // §8: "it creates an ACK and sends it back to S".
+        let mut b = established();
+        close_both_sides(&mut b);
+        assert_eq!(b.conn_count(), 0, "state deleted after full close");
+        let late_fin = diverted(
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_S + 1)
+                .ack(ISS_C + 2)
+                .window(40_000)
+                .flags(TcpFlags::FIN)
+                .build(),
+        );
+        let out = b.on_inbound(late_fin, 0);
+        assert_eq!(out.to_wire.len(), 1);
+        let ack = decode_wire(&out, 0);
+        assert_eq!(out.to_wire[0].dst, A_S, "sent back to the secondary");
+        assert_eq!(ack.ack, ISS_S + 2, "acks the FIN");
+        assert_eq!(b.stats.late_fin_acks, 1);
+    }
+
+    #[test]
+    fn late_client_fin_gets_acked_from_tombstone() {
+        // §8: "it creates an ACK and sends the ACK back to C".
+        let mut b = established();
+        close_both_sides(&mut b);
+        let late_fin = raw(
+            A_C,
+            A_P,
+            TcpSegment::builder(5555, 80)
+                .seq(ISS_C + 1)
+                .ack(ISS_S + 2)
+                .window(60_000)
+                .flags(TcpFlags::FIN)
+                .build(),
+        );
+        let out = b.on_inbound(late_fin, 0);
+        assert_eq!(out.to_wire.len(), 1);
+        assert_eq!(out.to_wire[0].dst, A_C);
+        assert_eq!(decode_wire(&out, 0).ack, ISS_C + 2);
+        assert_eq!(b.stats.late_fin_acks, 1);
+    }
+
+    /// Drives a full §8 bilateral close through an established bridge.
+    fn close_both_sides(b: &mut PrimaryBridge) {
+        // Servers close: both FINs at stream start.
+        let p_fin = raw(
+            A_P,
+            A_C,
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_P + 1)
+                .ack(ISS_C + 1)
+                .window(50_000)
+                .flags(TcpFlags::FIN)
+                .build(),
+        );
+        let _ = b.on_outbound(p_fin, 0);
+        let s_fin = diverted(
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_S + 1)
+                .ack(ISS_C + 1)
+                .window(40_000)
+                .flags(TcpFlags::FIN)
+                .build(),
+        );
+        let _ = b.on_inbound(s_fin, 0);
+        // Client FIN+ACK of the servers' FIN.
+        let client_finack = raw(
+            A_C,
+            A_P,
+            TcpSegment::builder(5555, 80)
+                .seq(ISS_C + 1)
+                .ack(ISS_S + 2)
+                .window(60_000)
+                .flags(TcpFlags::FIN)
+                .build(),
+        );
+        let _ = b.on_inbound(client_finack, 0);
+        // Both replicas ack the client's FIN: min(ack) covers it.
+        let p_ack = raw(
+            A_P,
+            A_C,
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_P + 2)
+                .ack(ISS_C + 2)
+                .window(50_000)
+                .build(),
+        );
+        let _ = b.on_outbound(p_ack, 0);
+        let s_ack = diverted(
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_S + 2)
+                .ack(ISS_C + 2)
+                .window(40_000)
+                .build(),
+        );
+        let _ = b.on_inbound(s_ack, 0);
+    }
+
+    #[test]
+    fn server_initiated_syn_merge() {
+        // §7.2: both replicas SYN towards an unreplicated back-end.
+        let a_t = Ipv4Addr::new(10, 0, 0, 4);
+        let mut b = PrimaryBridge::new(A_P, A_S, FailoverConfig::from_ports([20]));
+        let p_syn = raw(
+            A_P,
+            a_t,
+            TcpSegment::builder(20, 7000)
+                .seq(ISS_P)
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(50_000)
+                .build(),
+        );
+        let out = b.on_outbound(p_syn, 0);
+        assert!(out.to_wire.is_empty(), "P's SYN held until S's arrives");
+        // S's SYN, diverted with orig-dest = the back-end.
+        let s_syn_seg = TcpSegment::builder(20, 7000)
+            .seq(ISS_S)
+            .flags(TcpFlags::SYN)
+            .mss(1460)
+            .window(40_000)
+            .build();
+        let bytes = s_syn_seg.encode(A_S, a_t).to_vec();
+        let mut p = SegmentPatcher::new(bytes, A_S, a_t);
+        p.push_orig_dest_option(a_t, 7000);
+        p.set_pseudo_dst(A_P);
+        let (bytes, src, dst) = p.finish();
+        let out = b.on_inbound(AddressedSegment::new(src, dst, bytes), 0);
+        assert_eq!(out.to_wire.len(), 1, "merged SYN emitted to T");
+        let syn = decode_wire(&out, 0);
+        assert!(syn.flags.contains(TcpFlags::SYN));
+        assert!(!syn.flags.contains(TcpFlags::ACK));
+        assert_eq!(syn.seq, ISS_S);
+        assert_eq!(out.to_wire[0].dst, a_t);
+    }
+
+    #[test]
+    fn non_failover_traffic_passes_untouched() {
+        let mut b = bridge();
+        let seg = raw(
+            A_P,
+            A_C,
+            TcpSegment::builder(9999, 5555).seq(1).ack(2).build(),
+        );
+        let out = b.on_outbound(seg.clone(), 0);
+        assert_eq!(out.to_wire, vec![seg]);
+        let inb = raw(
+            A_C,
+            A_P,
+            TcpSegment::builder(5555, 9999).seq(2).ack(1).build(),
+        );
+        let out = b.on_inbound(inb.clone(), 0);
+        assert_eq!(out.to_tcp, vec![inb]);
+        assert_eq!(b.conn_count(), 0);
+    }
+
+    #[test]
+    fn rst_from_primary_is_translated_and_state_dropped() {
+        let mut b = established();
+        let rst = raw(
+            A_P,
+            A_C,
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_P + 1)
+                .flags(TcpFlags::RST)
+                .build(),
+        );
+        let out = b.on_outbound(rst, 0);
+        assert_eq!(out.to_wire.len(), 1);
+        let seg = decode_wire(&out, 0);
+        assert!(seg.flags.contains(TcpFlags::RST));
+        assert_eq!(seg.seq, ISS_S + 1, "RST carries the client-facing seq");
+        assert_eq!(b.conn_count(), 0);
+    }
+
+    #[test]
+    fn syn_retransmission_resends_merged_syn_ack() {
+        let mut b = established();
+        // P's TCP retransmits its SYN+ACK (the client ACK was slow).
+        let p_synack = raw(
+            A_P,
+            A_C,
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_P)
+                .ack(ISS_C + 1)
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(50_000)
+                .build(),
+        );
+        let out = b.on_outbound(p_synack, 0);
+        assert_eq!(out.to_wire.len(), 1, "merged SYN+ACK re-sent");
+        let seg = decode_wire(&out, 0);
+        assert!(seg.flags.contains(TcpFlags::SYN | TcpFlags::ACK));
+        assert_eq!(seg.seq, ISS_S);
+        assert!(b.stats.retransmissions_forwarded >= 1);
+    }
+
+    #[test]
+    fn segments_capped_at_min_mss() {
+        let mut b = established(); // merged MSS = 1200
+        static BIG: [u8; 3000] = [7u8; 3000];
+        let p = raw(
+            A_P,
+            A_C,
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_P + 1)
+                .ack(ISS_C + 1)
+                .window(50_000)
+                .payload(Bytes::from_static(&BIG))
+                .build(),
+        );
+        let _ = b.on_outbound(p, 0);
+        let s = diverted(
+            TcpSegment::builder(80, 5555)
+                .seq(ISS_S + 1)
+                .ack(ISS_C + 1)
+                .window(40_000)
+                .payload(Bytes::from_static(&BIG))
+                .build(),
+        );
+        let out = b.on_inbound(s, 0);
+        assert_eq!(out.to_wire.len(), 3, "3000 bytes at MSS 1200 -> 3 segments");
+        for (i, w) in out.to_wire.iter().enumerate() {
+            let seg = TcpSegment::decode(&w.bytes).unwrap();
+            assert!(seg.payload.len() <= 1200, "segment {i} exceeds merged MSS");
+        }
+    }
+}

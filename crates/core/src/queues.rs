@@ -1,0 +1,349 @@
+//! The primary and secondary server output queues (§3.2, Figure 2).
+//!
+//! Each queue holds payload bytes one replica has produced for the
+//! client, addressed in the *client-facing* sequence space (the
+//! secondary's space; the primary's bytes are normalised by `Δseq`
+//! before insertion). The bridge releases to the client exactly the
+//! bytes present in **both** queues, in order.
+
+use tcpfo_tcp::seq::{seq_diff, seq_le, seq_lt};
+
+/// A sparse byte buffer keyed by sequence number.
+///
+/// # Example
+///
+/// ```
+/// use tcpfo_core::queues::ByteQueue;
+///
+/// // The bridge releases only bytes present contiguously from the
+/// // next client-facing sequence number.
+/// let mut q = ByteQueue::new();
+/// q.insert(1000, b"he", 1000);
+/// q.insert(1005, b"tail", 1000);        // a gap at 1002..1005
+/// assert_eq!(q.contiguous_from(1000), 2);
+/// q.insert(1002, b"llo", 1000);         // gap filled
+/// assert_eq!(q.contiguous_from(1000), 9);
+/// assert_eq!(q.take(1000, 9), b"hellotail");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ByteQueue {
+    /// Sorted, non-overlapping, non-adjacent-merged runs.
+    runs: Vec<(u32, Vec<u8>)>,
+    /// Bytes that arrived twice with *different* contents — evidence of
+    /// replica non-determinism, which the paper's §1 assumption rules
+    /// out. Counted, never silently ignored.
+    pub mismatched_bytes: u64,
+}
+
+impl ByteQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        ByteQueue::default()
+    }
+
+    /// Total buffered bytes.
+    pub fn len(&self) -> usize {
+        self.runs.iter().map(|(_, d)| d.len()).sum()
+    }
+
+    /// Whether the queue holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Inserts `data` at `seq`, discarding any portion below `floor`
+    /// (bytes already released to the client). Overlaps with existing
+    /// runs are deduplicated; differing overlap content increments
+    /// [`ByteQueue::mismatched_bytes`].
+    pub fn insert(&mut self, mut seq: u32, mut data: &[u8], floor: u32) {
+        if data.is_empty() {
+            return;
+        }
+        if seq_lt(seq, floor) {
+            let skip = seq_diff(floor, seq) as usize;
+            if skip >= data.len() {
+                return;
+            }
+            data = &data[skip..];
+            seq = floor;
+        }
+        // Clip against each existing run, inserting only fresh spans.
+        let mut spans: Vec<(u32, Vec<u8>)> = vec![(seq, data.to_vec())];
+        for (rstart, rdata) in &self.runs {
+            let rend = rstart.wrapping_add(rdata.len() as u32);
+            let mut next = Vec::new();
+            for (s, d) in spans {
+                let e = s.wrapping_add(d.len() as u32);
+                // No overlap?
+                if seq_le(e, *rstart) || seq_le(rend, s) {
+                    next.push((s, d));
+                    continue;
+                }
+                // Verify overlapping content matches.
+                let ov_start = if seq_lt(s, *rstart) { *rstart } else { s };
+                let ov_end = if seq_lt(e, rend) { e } else { rend };
+                let ov_len = seq_diff(ov_end, ov_start) as usize;
+                let in_new = seq_diff(ov_start, s) as usize;
+                let in_run = seq_diff(ov_start, *rstart) as usize;
+                let differing = d[in_new..in_new + ov_len]
+                    .iter()
+                    .zip(&rdata[in_run..in_run + ov_len])
+                    .filter(|(a, b)| a != b)
+                    .count();
+                self.mismatched_bytes += differing as u64;
+                // Keep the non-overlapping head/tail of the new span.
+                if seq_lt(s, *rstart) {
+                    let head = seq_diff(*rstart, s) as usize;
+                    next.push((s, d[..head].to_vec()));
+                }
+                if seq_lt(rend, e) {
+                    let tail = seq_diff(rend, s) as usize;
+                    next.push((rend, d[tail..].to_vec()));
+                }
+            }
+            spans = next;
+            if spans.is_empty() {
+                return;
+            }
+        }
+        self.runs.extend(spans);
+        self.runs.sort_by(|a, b| {
+            if a.0 == b.0 {
+                std::cmp::Ordering::Equal
+            } else if seq_lt(a.0, b.0) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        // Coalesce adjacent runs.
+        let mut merged: Vec<(u32, Vec<u8>)> = Vec::with_capacity(self.runs.len());
+        for (s, d) in std::mem::take(&mut self.runs) {
+            if let Some((ls, ld)) = merged.last_mut() {
+                if ls.wrapping_add(ld.len() as u32) == s {
+                    ld.extend_from_slice(&d);
+                    continue;
+                }
+            }
+            merged.push((s, d));
+        }
+        self.runs = merged;
+    }
+
+    /// Length of the contiguous run starting exactly at `seq` (0 if the
+    /// queue does not contain that byte).
+    pub fn contiguous_from(&self, seq: u32) -> usize {
+        for (s, d) in &self.runs {
+            if *s == seq {
+                return d.len();
+            }
+            let end = s.wrapping_add(d.len() as u32);
+            if seq_lt(*s, seq) && seq_lt(seq, end) {
+                return seq_diff(end, seq) as usize;
+            }
+        }
+        0
+    }
+
+    /// Removes and returns `n` bytes starting at `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bytes are not present contiguously (callers gate
+    /// on [`ByteQueue::contiguous_from`]).
+    pub fn take(&mut self, seq: u32, n: usize) -> Vec<u8> {
+        assert!(
+            n > 0 && self.contiguous_from(seq) >= n,
+            "take of absent bytes"
+        );
+        let idx = self
+            .runs
+            .iter()
+            .position(|(s, d)| {
+                let end = s.wrapping_add(d.len() as u32);
+                seq_le(*s, seq) && seq_lt(seq, end)
+            })
+            .expect("run exists");
+        let (s, d) = &mut self.runs[idx];
+        let off = seq_diff(seq, *s) as usize;
+        debug_assert_eq!(
+            off, 0,
+            "take must start at a run head after floor discipline"
+        );
+        let out: Vec<u8> = d.drain(off..off + n).collect();
+        if d.is_empty() {
+            self.runs.remove(idx);
+        } else {
+            *s = s.wrapping_add(n as u32);
+        }
+        out
+    }
+
+    /// Drops every byte below `floor` (used when the other replica's
+    /// retransmission proves the client has the data).
+    pub fn discard_below(&mut self, floor: u32) {
+        let mut keep = Vec::new();
+        for (s, d) in std::mem::take(&mut self.runs) {
+            let end = s.wrapping_add(d.len() as u32);
+            if seq_le(end, floor) {
+                continue;
+            }
+            if seq_lt(s, floor) {
+                let skip = seq_diff(floor, s) as usize;
+                keep.push((floor, d[skip..].to_vec()));
+            } else {
+                keep.push((s, d));
+            }
+        }
+        self.runs = keep;
+    }
+
+    /// Removes and returns the contiguous bytes starting at `seq`
+    /// (everything transmittable in one flush — the §6 procedure's
+    /// step 1).
+    pub fn drain_contiguous(&mut self, seq: u32) -> Vec<u8> {
+        let n = self.contiguous_from(seq);
+        if n == 0 {
+            return Vec::new();
+        }
+        self.take(seq, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_and_take_in_order() {
+        let mut q = ByteQueue::new();
+        q.insert(100, b"abcd", 100);
+        assert_eq!(q.contiguous_from(100), 4);
+        assert_eq!(q.take(100, 2), b"ab");
+        assert_eq!(q.contiguous_from(102), 2);
+        assert_eq!(q.take(102, 2), b"cd");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn floor_discards_already_sent() {
+        let mut q = ByteQueue::new();
+        q.insert(100, b"abcdef", 103);
+        assert_eq!(q.contiguous_from(100), 0);
+        assert_eq!(q.contiguous_from(103), 3);
+        assert_eq!(q.take(103, 3), b"def");
+        // Entirely below floor: no-op.
+        q.insert(50, b"zz", 103);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_ignored() {
+        // "In case the bridge receives P's copy first, it finds m in
+        // P's queue and discards the second copy" (§4).
+        let mut q = ByteQueue::new();
+        q.insert(10, b"hello", 10);
+        q.insert(10, b"hello", 10);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.mismatched_bytes, 0);
+    }
+
+    #[test]
+    fn overlapping_extension_coalesces() {
+        let mut q = ByteQueue::new();
+        q.insert(10, b"abc", 10);
+        q.insert(12, b"cde", 10); // overlaps 1 byte, extends 2
+        assert_eq!(q.contiguous_from(10), 5);
+        assert_eq!(q.take(10, 5), b"abcde");
+    }
+
+    #[test]
+    fn gap_then_fill() {
+        let mut q = ByteQueue::new();
+        q.insert(20, b"late", 10);
+        assert_eq!(q.contiguous_from(10), 0);
+        q.insert(10, b"0123456789", 10);
+        assert_eq!(q.contiguous_from(10), 14);
+    }
+
+    #[test]
+    fn mismatch_detected() {
+        let mut q = ByteQueue::new();
+        q.insert(10, b"aaaa", 10);
+        q.insert(10, b"aaXa", 10);
+        assert_eq!(q.mismatched_bytes, 1, "one byte differs");
+        // Original content is kept.
+        assert_eq!(q.take(10, 4), b"aaaa");
+    }
+
+    #[test]
+    fn discard_below_trims() {
+        let mut q = ByteQueue::new();
+        q.insert(10, b"abcdef", 10);
+        q.discard_below(13);
+        assert_eq!(q.contiguous_from(13), 3);
+        assert_eq!(q.take(13, 3), b"def");
+    }
+
+    #[test]
+    fn drain_contiguous_flushes_front_only() {
+        let mut q = ByteQueue::new();
+        q.insert(10, b"abc", 10);
+        q.insert(20, b"xyz", 10);
+        assert_eq!(q.drain_contiguous(10), b"abc");
+        assert_eq!(q.len(), 3, "the gapped run stays");
+        assert!(q.drain_contiguous(13).is_empty());
+    }
+
+    #[test]
+    fn wrapping_sequence_space() {
+        let start = u32::MAX - 2;
+        let mut q = ByteQueue::new();
+        q.insert(start, b"abcdef", start);
+        assert_eq!(q.contiguous_from(start), 6);
+        assert_eq!(q.take(start, 4), b"abcd");
+        assert_eq!(q.contiguous_from(1), 2);
+    }
+
+    proptest! {
+        /// Whatever the fragmentation, the queue releases the original
+        /// stream exactly once, in order.
+        #[test]
+        fn prop_release_equals_stream(
+            base in any::<u32>(),
+            len in 1usize..300,
+            frags in proptest::collection::vec((0usize..30, 1usize..50), 1..40),
+        ) {
+            let stream: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let mut q = ByteQueue::new();
+            let mut floor = base;
+            let mut released = Vec::new();
+            for (off_factor, flen) in frags {
+                let off = (off_factor * 13) % len;
+                let end = (off + flen).min(len);
+                q.insert(base.wrapping_add(off as u32), &stream[off..end], floor);
+                // Release whatever became contiguous.
+                let n = q.contiguous_from(floor);
+                if n > 0 {
+                    released.extend(q.take(floor, n));
+                    floor = floor.wrapping_add(n as u32);
+                }
+            }
+            // Feed remaining sequentially to finish.
+            let mut off = 0usize;
+            while off < len {
+                let end = (off + 11).min(len);
+                q.insert(base.wrapping_add(off as u32), &stream[off..end], floor);
+                let n = q.contiguous_from(floor);
+                if n > 0 {
+                    released.extend(q.take(floor, n));
+                    floor = floor.wrapping_add(n as u32);
+                }
+                off = end;
+            }
+            prop_assert_eq!(q.mismatched_bytes, 0);
+            prop_assert_eq!(released, stream);
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! The secondary server bridge (§3.1, §5).
+//!
+//! The secondary's NIC runs in promiscuous mode on the shared segment,
+//! so every client datagram addressed to the primary passes this
+//! bridge. For failover connections it:
+//!
+//! * **ingress**: rewrites the destination `a_p → a_s` (with an
+//!   RFC 1624 incremental checksum fixup) so the secondary's unmodified
+//!   TCP layer processes the client stream as if addressed directly;
+//! * **egress**: rewrites the destination `a_c → a_p`, diverting all
+//!   output to the primary, and appends the *original destination* TCP
+//!   option so the primary bridge can recover the client endpoint.
+//!
+//! On primary failure (§5) the controller calls
+//! [`SecondaryBridge::prepare_takeover`] (steps 1–4: stop egress,
+//! disable promiscuous mode and both translations); the host controller
+//! then performs IP takeover (gratuitous ARP, re-keying the TCBs), and
+//! the bridge stays disabled — the secondary "behaves like any standard
+//! TCP server".
+
+use crate::designation::{ConnKey, FailoverConfig};
+use std::collections::HashSet;
+use tcpfo_tcp::filter::{AddressedSegment, FailoverRule, FilterOutput, SegmentFilter};
+use tcpfo_tcp::types::SocketAddr;
+use tcpfo_wire::ipv4::Ipv4Addr;
+use tcpfo_wire::tcp::{SegmentPatcher, TcpFlags, TcpView};
+
+/// Counters exposed for tests and the evaluation harness.
+#[derive(Debug, Default, Clone)]
+pub struct SecondaryStats {
+    /// Ingress datagrams rewritten `a_p → a_s`.
+    pub ingress_translated: u64,
+    /// Egress segments diverted `a_c → a_p` (with orig-dest option).
+    pub egress_diverted: u64,
+    /// Segments dropped while egress was held during takeover.
+    pub held_dropped: u64,
+}
+
+/// Operating state of the secondary bridge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecondaryMode {
+    /// Normal snoop-and-divert operation.
+    Active,
+    /// §5 step 1: takeover in progress; hold client-bound egress.
+    Holding,
+    /// §5 steps 3–4 complete: translations disabled; the bridge is
+    /// transparent.
+    Disabled,
+}
+
+/// The secondary server bridge; install as the secondary host's
+/// [`SegmentFilter`].
+///
+/// # Example
+///
+/// ```
+/// use tcpfo_core::{FailoverConfig, SecondaryBridge, SecondaryMode};
+/// use tcpfo_wire::ipv4::Ipv4Addr;
+///
+/// let a_p = Ipv4Addr::new(10, 0, 0, 2);
+/// let a_s = Ipv4Addr::new(10, 0, 0, 3);
+/// let mut bridge = SecondaryBridge::new(a_p, a_s, FailoverConfig::from_ports([80]));
+/// assert_eq!(bridge.mode(), SecondaryMode::Active);
+/// // §5 takeover sequence driven by the fault detector:
+/// bridge.prepare_takeover();   // step 1: hold client-bound egress
+/// bridge.complete_takeover();  // steps 3-4: translations off
+/// assert_eq!(bridge.mode(), SecondaryMode::Disabled);
+/// ```
+pub struct SecondaryBridge {
+    a_p: Ipv4Addr,
+    a_s: Ipv4Addr,
+    /// Where diverted egress is sent: the primary (`a_p`) in the
+    /// two-node configuration, the next replica toward the head on a
+    /// daisy chain.
+    upstream: Ipv4Addr,
+    config: FailoverConfig,
+    mode: SecondaryMode,
+    /// Connections whose SYN this bridge has witnessed. Non-SYN ingress
+    /// is only claimed for these: a freshly (re)started secondary must
+    /// not feed a connection it never saw established into its stack —
+    /// the stack would answer with a RST (reintegration support).
+    seen: HashSet<ConnKey>,
+    /// Statistics.
+    pub stats: SecondaryStats,
+}
+
+impl SecondaryBridge {
+    /// Creates a bridge for secondary `a_s` shadowing primary `a_p`.
+    pub fn new(a_p: Ipv4Addr, a_s: Ipv4Addr, config: FailoverConfig) -> Self {
+        SecondaryBridge {
+            a_p,
+            a_s,
+            upstream: a_p,
+            config,
+            mode: SecondaryMode::Active,
+            seen: HashSet::new(),
+            stats: SecondaryStats::default(),
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> SecondaryMode {
+        self.mode
+    }
+
+    /// Re-targets the diversion (daisy-chain healing: when the direct
+    /// upstream dies, divert to the next living replica toward the
+    /// head).
+    pub fn set_upstream(&mut self, upstream: Ipv4Addr) {
+        self.upstream = upstream;
+    }
+
+    /// The current diversion target.
+    pub fn upstream(&self) -> Ipv4Addr {
+        self.upstream
+    }
+
+    /// §5 step 1: stop sending client-addressed segments. Outbound
+    /// failover segments are dropped while holding — the TCP layer's
+    /// retransmission timers re-produce them after takeover, exactly as
+    /// the paper observes for the window `T`.
+    pub fn prepare_takeover(&mut self) {
+        self.mode = SecondaryMode::Holding;
+    }
+
+    /// §5 steps 3–4: disable both address translations. Called once the
+    /// IP takeover (gratuitous ARP + TCB re-keying) is done; from here
+    /// on the bridge is a no-op.
+    pub fn complete_takeover(&mut self) {
+        self.mode = SecondaryMode::Disabled;
+    }
+
+    /// Whether a segment belongs to a designated failover connection.
+    /// On ingress the server port is the destination port; on egress it
+    /// is the source port.
+    fn designated(&self, server_port: u16, peer: SocketAddr) -> bool {
+        self.config.matches(server_port, peer.ip, peer.port)
+    }
+}
+
+impl SegmentFilter for SecondaryBridge {
+    fn on_outbound(&mut self, seg: AddressedSegment, _now: u64) -> FilterOutput {
+        if self.mode == SecondaryMode::Disabled {
+            return FilterOutput::wire(seg);
+        }
+        let Ok(view) = TcpView::new(&seg.bytes) else {
+            return FilterOutput::wire(seg);
+        };
+        // Failover segments: produced by our TCP layer (src == a_s),
+        // addressed to the unreplicated peer (not the primary).
+        let peer = SocketAddr::new(seg.dst, view.dst_port());
+        if seg.src != self.a_s || seg.dst == self.a_p || !self.designated(view.src_port(), peer) {
+            return FilterOutput::wire(seg);
+        }
+        if self.mode == SecondaryMode::Holding {
+            self.stats.held_dropped += 1;
+            return FilterOutput::empty();
+        }
+        // Divert to the primary, recording the original destination.
+        let orig = seg.dst;
+        let orig_port = view.dst_port();
+        let mut patcher = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
+        patcher.push_orig_dest_option(orig, orig_port);
+        patcher.set_pseudo_dst(self.upstream);
+        let (bytes, src, dst) = patcher.finish();
+        self.stats.egress_diverted += 1;
+        FilterOutput::wire(AddressedSegment::new(src, dst, bytes))
+    }
+
+    fn on_inbound(&mut self, seg: AddressedSegment, _now: u64) -> FilterOutput {
+        // While holding (§5 step 1) ingress translation stays active:
+        // "the secondary server can receive data from the client until
+        // the promiscuous receive mode of its network interface is
+        // disabled". Only the completed takeover (steps 3-4) disables
+        // the a_p→a_s translation; the stack then owns a_p directly.
+        if self.mode == SecondaryMode::Disabled {
+            return FilterOutput::tcp(seg);
+        }
+        // §3.1: "discards all datagrams … that are not addressed to P"
+        // (non-matching ones simply pass; the host drops non-local).
+        if seg.dst != self.a_p {
+            return FilterOutput::tcp(seg);
+        }
+        let Ok(view) = TcpView::new(&seg.bytes) else {
+            return FilterOutput::tcp(seg);
+        };
+        // Ignore the primary's diverted... nothing is diverted *to* us;
+        // but segments from a_s itself must never loop.
+        if seg.src == self.a_s {
+            return FilterOutput::tcp(seg);
+        }
+        let peer = SocketAddr::new(seg.src, view.src_port());
+        if !self.designated(view.dst_port(), peer) {
+            return FilterOutput::tcp(seg);
+        }
+        // Only claim connections whose establishment we witnessed.
+        let key = ConnKey::new(view.dst_port(), peer);
+        if view.flags().contains(TcpFlags::SYN) {
+            self.seen.insert(key);
+        } else if !self.seen.contains(&key) {
+            return FilterOutput::tcp(seg);
+        }
+        let mut patcher = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
+        patcher.set_pseudo_dst(self.a_s);
+        let (bytes, src, dst) = patcher.finish();
+        self.stats.ingress_translated += 1;
+        FilterOutput::tcp(AddressedSegment::new(src, dst, bytes))
+    }
+
+    fn designate(&mut self, rule: FailoverRule) {
+        match rule {
+            FailoverRule::Port(p) => self.config.add_port(p),
+            FailoverRule::Tuple(t) => self
+                .config
+                .add_conn(crate::designation::ConnKey::new(t.local.port, t.remote)),
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+impl std::fmt::Debug for SecondaryBridge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecondaryBridge")
+            .field("a_p", &self.a_p)
+            .field("a_s", &self.a_s)
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use tcpfo_wire::tcp::{verify_segment_checksum, TcpSegment};
+
+    const A_P: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    const A_S: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+    const A_C: Ipv4Addr = Ipv4Addr::new(192, 168, 0, 9);
+
+    fn bridge() -> SecondaryBridge {
+        let mut b = SecondaryBridge::new(A_P, A_S, FailoverConfig::from_ports([80]));
+        // Witness the connection's SYN so non-SYN ingress is claimed
+        // (the reintegration gate).
+        let syn = TcpSegment::builder(51000, 80)
+            .seq(99)
+            .flags(TcpFlags::SYN)
+            .build();
+        let _ = b.on_inbound(
+            AddressedSegment::new(A_C, A_P, syn.encode(A_C, A_P).to_vec()),
+            0,
+        );
+        b
+    }
+
+    fn client_segment() -> AddressedSegment {
+        let seg = TcpSegment::builder(51000, 80)
+            .seq(100)
+            .ack(200)
+            .window(4000)
+            .payload(Bytes::from_static(b"GET /"))
+            .build();
+        AddressedSegment::new(A_C, A_P, seg.encode(A_C, A_P).to_vec())
+    }
+
+    fn server_reply() -> AddressedSegment {
+        let seg = TcpSegment::builder(80, 51000)
+            .seq(200)
+            .ack(105)
+            .window(8000)
+            .payload(Bytes::from_static(b"200 OK"))
+            .build();
+        AddressedSegment::new(A_S, A_C, seg.encode(A_S, A_C).to_vec())
+    }
+
+    #[test]
+    fn ingress_rewrites_ap_to_as_with_valid_checksum() {
+        let mut b = bridge();
+        let out = b.on_inbound(client_segment(), 0);
+        assert_eq!(out.to_tcp.len(), 1);
+        let seg = &out.to_tcp[0];
+        assert_eq!(seg.dst, A_S, "destination translated to the secondary");
+        assert_eq!(seg.src, A_C);
+        assert!(verify_segment_checksum(seg.src, seg.dst, &seg.bytes));
+        assert_eq!(
+            b.stats.ingress_translated, 2,
+            "the witnessed SYN plus the data segment"
+        );
+    }
+
+    #[test]
+    fn egress_diverts_to_primary_with_orig_dest() {
+        let mut b = bridge();
+        let out = b.on_outbound(server_reply(), 0);
+        assert_eq!(out.to_wire.len(), 1);
+        let seg = &out.to_wire[0];
+        assert_eq!(seg.dst, A_P, "diverted to the primary");
+        assert!(verify_segment_checksum(seg.src, seg.dst, &seg.bytes));
+        let parsed = TcpSegment::decode(&seg.bytes).unwrap();
+        assert_eq!(parsed.orig_dest(), Some((A_C, 51000)));
+        assert_eq!(parsed.payload, Bytes::from_static(b"200 OK"));
+        assert_eq!(b.stats.egress_diverted, 1);
+    }
+
+    #[test]
+    fn non_failover_traffic_passes_untouched() {
+        let mut b = bridge();
+        // Port 9999 is not designated.
+        let seg = TcpSegment::builder(1234, 9999).seq(1).build();
+        let raw = AddressedSegment::new(A_C, A_P, seg.encode(A_C, A_P).to_vec());
+        let out = b.on_inbound(raw.clone(), 0);
+        assert_eq!(out.to_tcp, vec![raw]);
+        let seg2 = TcpSegment::builder(9999, 1234).seq(1).build();
+        let raw2 = AddressedSegment::new(A_S, A_C, seg2.encode(A_S, A_C).to_vec());
+        let out2 = b.on_outbound(raw2.clone(), 0);
+        assert_eq!(out2.to_wire, vec![raw2]);
+    }
+
+    #[test]
+    fn traffic_to_other_hosts_untouched() {
+        let mut b = bridge();
+        // Addressed to a third host, snooped promiscuously.
+        let seg = TcpSegment::builder(51000, 80).seq(1).build();
+        let other = Ipv4Addr::new(10, 0, 0, 50);
+        let raw = AddressedSegment::new(A_C, other, seg.encode(A_C, other).to_vec());
+        let out = b.on_inbound(raw.clone(), 0);
+        assert_eq!(out.to_tcp, vec![raw], "dst != a_p is ignored");
+    }
+
+    #[test]
+    fn holding_drops_client_bound_egress() {
+        let mut b = bridge();
+        b.prepare_takeover();
+        assert_eq!(b.mode(), SecondaryMode::Holding);
+        let out = b.on_outbound(server_reply(), 0);
+        assert!(out.to_wire.is_empty());
+        assert_eq!(b.stats.held_dropped, 1);
+        // Ingress still translated while promiscuous mode lives (§5:
+        // "can receive data from the client until promiscuous receive
+        // mode … is disabled").
+        let inp = b.on_inbound(client_segment(), 0);
+        assert_eq!(inp.to_tcp[0].dst, A_S);
+    }
+
+    #[test]
+    fn disabled_bridge_is_transparent() {
+        let mut b = bridge();
+        b.prepare_takeover();
+        b.complete_takeover();
+        assert_eq!(b.mode(), SecondaryMode::Disabled);
+        let raw = client_segment();
+        let out = b.on_inbound(raw.clone(), 0);
+        assert_eq!(out.to_tcp, vec![raw], "a_p→a_s translation disabled");
+        let reply = server_reply();
+        let out2 = b.on_outbound(reply.clone(), 0);
+        assert_eq!(out2.to_wire, vec![reply], "a_c→a_p translation disabled");
+    }
+
+    #[test]
+    fn socket_option_designation() {
+        let mut b = SecondaryBridge::new(A_P, A_S, FailoverConfig::new());
+        // Not designated yet.
+        let out = b.on_inbound(client_segment(), 0);
+        assert_eq!(out.to_tcp[0].dst, A_P);
+        // Designate via the tuple rule (as the stack would).
+        b.designate(FailoverRule::Tuple(tcpfo_tcp::types::FourTuple::new(
+            tcpfo_tcp::types::SocketAddr::new(A_S, 80),
+            tcpfo_tcp::types::SocketAddr::new(A_C, 51000),
+        )));
+        // Witness the SYN, then data is claimed.
+        let syn = TcpSegment::builder(51000, 80)
+            .seq(99)
+            .flags(TcpFlags::SYN)
+            .build();
+        let _ = b.on_inbound(
+            AddressedSegment::new(A_C, A_P, syn.encode(A_C, A_P).to_vec()),
+            0,
+        );
+        let out2 = b.on_inbound(client_segment(), 0);
+        assert_eq!(out2.to_tcp[0].dst, A_S);
+    }
+
+    #[test]
+    fn unwitnessed_connection_is_not_claimed() {
+        // A freshly restarted secondary must not claim (and RST) a
+        // connection established before it booted.
+        let mut b = SecondaryBridge::new(A_P, A_S, FailoverConfig::from_ports([80]));
+        let raw = client_segment(); // data, no SYN ever seen
+        let out = b.on_inbound(raw.clone(), 0);
+        assert_eq!(out.to_tcp, vec![raw], "must pass through untranslated");
+        assert_eq!(b.stats.ingress_translated, 0);
+    }
+
+    #[test]
+    fn round_trip_restores_original_bytes() {
+        // divert then strip must reproduce the original segment — the
+        // primary bridge relies on this for payload matching.
+        let mut b = bridge();
+        let original = server_reply();
+        let out = b.on_outbound(original.clone(), 0);
+        let diverted = &out.to_wire[0];
+        let mut p = SegmentPatcher::new(diverted.bytes.clone(), diverted.src, diverted.dst);
+        let stripped = p.strip_orig_dest_option();
+        p.set_pseudo_dst(A_C);
+        let (bytes, src, dst) = p.finish();
+        assert_eq!(stripped, Some((A_C, 51000)));
+        assert_eq!((src, dst), (A_S, A_C));
+        assert_eq!(bytes, original.bytes);
+    }
+}

@@ -1,0 +1,462 @@
+//! The paper's testbed (Figure 1) as a ready-made simulation:
+//!
+//! ```text
+//!   client C ──(link)── router ──┐
+//!                                hub (shared 100 Mb/s segment)
+//!                        primary P ┤
+//!                      secondary S ┤   (promiscuous)
+//!                 back-end T (opt) ┘
+//! ```
+//!
+//! The same builder produces the **standard TCP** baseline (no
+//! secondary, no bridges) used by every comparison in §9, the
+//! **failover** configuration, the switched-segment ablation, and the
+//! WAN variant for the FTP experiment (Fig. 6).
+
+use crate::designation::FailoverConfig;
+use crate::detector::{DetectorConfig, ReplicaController, Role};
+use crate::primary::PrimaryBridge;
+use crate::secondary::SecondaryBridge;
+use tcpfo_net::hub::Hub;
+use tcpfo_net::link::LinkParams;
+use tcpfo_net::router::{Interface, Router};
+use tcpfo_net::sim::{NodeId, Simulator};
+use tcpfo_net::switch::Switch;
+use tcpfo_net::time::SimDuration;
+use tcpfo_tcp::config::TcpConfig;
+use tcpfo_tcp::host::{spawn_host, CpuModel, Host, HostConfig};
+
+/// Well-known testbed addresses.
+pub mod addrs {
+    use tcpfo_wire::ipv4::Ipv4Addr;
+
+    /// The unreplicated client C.
+    pub const A_C: Ipv4Addr = Ipv4Addr::new(192, 168, 0, 9);
+    /// The primary server P.
+    pub const A_P: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+    /// The secondary server S.
+    pub const A_S: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
+    /// The unreplicated back-end T (§7.2), on the server segment.
+    pub const A_T: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 4);
+    /// Router interface on the client network.
+    pub const GW_CLIENT: Ipv4Addr = Ipv4Addr::new(192, 168, 0, 1);
+    /// Router interface on the server segment.
+    pub const GW_SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+}
+
+/// MAC addresses, fixed so ARP caches can be primed.
+pub mod macs {
+    use tcpfo_wire::mac::MacAddr;
+
+    /// Client NIC.
+    pub const CLIENT: MacAddr = MacAddr::from_index(1);
+    /// Primary NIC.
+    pub const PRIMARY: MacAddr = MacAddr::from_index(2);
+    /// Secondary NIC.
+    pub const SECONDARY: MacAddr = MacAddr::from_index(3);
+    /// Back-end NIC.
+    pub const BACKEND: MacAddr = MacAddr::from_index(4);
+    /// Router, client side.
+    pub const ROUTER_CLIENT: MacAddr = MacAddr::from_index(100);
+    /// Router, server side.
+    pub const ROUTER_SERVER: MacAddr = MacAddr::from_index(101);
+}
+
+/// What kind of server segment to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Shared hub — the paper's configuration; promiscuous snooping
+    /// works.
+    Hub,
+    /// Learning switch — the ablation (E8): unicast client traffic is
+    /// invisible to the secondary.
+    Switch,
+}
+
+/// Testbed parameters.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Simulation seed (determinism).
+    pub seed: u64,
+    /// Build the secondary + bridges (`false` = standard TCP baseline).
+    pub replicated: bool,
+    /// Also attach the unreplicated back-end T to the server segment.
+    pub with_backend: bool,
+    /// Failover port set (§7 method 2) configured identically on P
+    /// and S.
+    pub failover_ports: Vec<u16>,
+    /// Fault-detector parameters.
+    pub detector: DetectorConfig,
+    /// Client↔router link ([`LinkParams::fast_ethernet`] for the LAN
+    /// experiments, [`LinkParams::wan`] for Fig. 6).
+    pub client_link: LinkParams,
+    /// Server-segment kind (hub in the paper; switch for the ablation).
+    pub segment: SegmentKind,
+    /// Server-host CPU cost model (calibrates §9 latencies/rates).
+    pub cpu: CpuModel,
+    /// Client-host CPU model (the paper's client was a faster 1 GHz
+    /// machine).
+    pub client_cpu: CpuModel,
+    /// Host stack tick.
+    pub tick: SimDuration,
+    /// Router store-and-forward delay.
+    pub router_delay: SimDuration,
+    /// Base TCP configuration applied to every host (per-host ISN
+    /// seeds are derived from `seed`).
+    pub tcp: TcpConfig,
+    /// Random loss on the server-segment attachments (for §4 tests).
+    pub attachment_loss: f64,
+    /// Extra loss on frames *towards the primary* (covers §4's "the
+    /// primary server does not receive a client segment" and "the
+    /// secondary server's segment is dropped by the primary").
+    pub loss_to_primary: f64,
+    /// Extra loss towards the secondary (§4: "the secondary server
+    /// drops the client segment although the primary receives it").
+    pub loss_to_secondary: f64,
+    /// Extra loss on frames from the segment towards the router (§4:
+    /// "the primary server's segment is lost on its way to the
+    /// client").
+    pub loss_to_router: f64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            seed: 42,
+            replicated: true,
+            with_backend: false,
+            failover_ports: vec![80],
+            detector: DetectorConfig::default(),
+            client_link: LinkParams::fast_ethernet(),
+            segment: SegmentKind::Hub,
+            cpu: CpuModel::server_2003(),
+            client_cpu: CpuModel::server_2003().scaled(0.6),
+            tick: SimDuration::from_millis(1),
+            router_delay: SimDuration::from_micros(15),
+            tcp: TcpConfig::default(),
+            attachment_loss: 0.0,
+            loss_to_primary: 0.0,
+            loss_to_secondary: 0.0,
+            loss_to_router: 0.0,
+        }
+    }
+}
+
+impl TestbedConfig {
+    /// The standard-TCP baseline used throughout §9: one server, no
+    /// bridges.
+    pub fn standard_tcp() -> Self {
+        TestbedConfig {
+            replicated: false,
+            failover_ports: Vec::new(),
+            ..TestbedConfig::default()
+        }
+    }
+}
+
+/// The assembled testbed.
+pub struct Testbed {
+    /// The simulator; drive it with `run_for` / `run_until`.
+    pub sim: Simulator,
+    /// Client host node.
+    pub client: NodeId,
+    /// Primary server node.
+    pub primary: NodeId,
+    /// Secondary server node (when replicated).
+    pub secondary: Option<NodeId>,
+    /// Back-end host node (when configured).
+    pub backend: Option<NodeId>,
+    /// Router node.
+    pub router: NodeId,
+    /// Hub or switch node.
+    pub segment: NodeId,
+    /// The configuration it was built from.
+    pub config: TestbedConfig,
+}
+
+impl Testbed {
+    /// Builds the testbed.
+    pub fn new(config: TestbedConfig) -> Self {
+        let mut sim = Simulator::new(config.seed);
+        let ports = if config.with_backend { 4 } else { 3 };
+        let segment: NodeId = match config.segment {
+            SegmentKind::Hub => sim.add_device(Box::new(Hub::new("segment", ports, 100_000_000))),
+            SegmentKind::Switch => sim.add_device(Box::new(Switch::new("segment", ports))),
+        };
+        let router = sim.add_device(Box::new(Router::new(
+            "router",
+            vec![
+                Interface {
+                    mac: macs::ROUTER_CLIENT,
+                    ip: addrs::GW_CLIENT,
+                    prefix_len: 24,
+                },
+                Interface {
+                    mac: macs::ROUTER_SERVER,
+                    ip: addrs::GW_SERVER,
+                    prefix_len: 24,
+                },
+            ],
+            config.router_delay,
+        )));
+
+        let mk_tcp = |seed_off: u64| {
+            config
+                .tcp
+                .clone()
+                .with_isn_seed(config.seed ^ (seed_off << 32))
+        };
+        let mk_host = |label: &str, mac, ip, tcp: TcpConfig| {
+            let mut h = HostConfig::new(label, mac, ip)
+                .with_gateway(addrs::GW_SERVER)
+                .with_tcp(tcp);
+            h.cpu = config.cpu;
+            h.tick = config.tick;
+            h
+        };
+
+        // Client.
+        let mut client_cfg = HostConfig::new("client", macs::CLIENT, addrs::A_C)
+            .with_gateway(addrs::GW_CLIENT)
+            .with_tcp(mk_tcp(1));
+        client_cfg.cpu = config.client_cpu;
+        client_cfg.tick = config.tick;
+        let client = spawn_host(&mut sim, Host::new(client_cfg));
+
+        // Primary.
+        let mut primary_host = Host::new(mk_host("primary", macs::PRIMARY, addrs::A_P, mk_tcp(2)));
+        if config.replicated {
+            let fo = FailoverConfig::from_ports(config.failover_ports.iter().copied());
+            primary_host.set_filter(Box::new(PrimaryBridge::new(addrs::A_P, addrs::A_S, fo)));
+            primary_host.set_controller(Box::new(ReplicaController::new(
+                Role::Primary,
+                addrs::A_S,
+                addrs::A_P,
+                addrs::A_S,
+                config.detector,
+            )));
+            for &p in &config.failover_ports {
+                primary_host.stack_mut().add_failover_port(p);
+            }
+        }
+        let primary = spawn_host(&mut sim, primary_host);
+
+        // Secondary.
+        let secondary = if config.replicated {
+            let mut cfg = mk_host("secondary", macs::SECONDARY, addrs::A_S, mk_tcp(3));
+            cfg.promiscuous = true;
+            let mut host = Host::new(cfg);
+            let fo = FailoverConfig::from_ports(config.failover_ports.iter().copied());
+            host.set_filter(Box::new(SecondaryBridge::new(addrs::A_P, addrs::A_S, fo)));
+            host.set_controller(Box::new(ReplicaController::new(
+                Role::Secondary,
+                addrs::A_P,
+                addrs::A_P,
+                addrs::A_S,
+                config.detector,
+            )));
+            for &p in &config.failover_ports {
+                host.stack_mut().add_failover_port(p);
+            }
+            Some(spawn_host(&mut sim, host))
+        } else {
+            None
+        };
+
+        // Back-end.
+        let backend = if config.with_backend {
+            let host = Host::new(mk_host("backend", macs::BACKEND, addrs::A_T, mk_tcp(4)));
+            Some(spawn_host(&mut sim, host))
+        } else {
+            None
+        };
+
+        // Wiring.
+        let attach = match config.segment {
+            SegmentKind::Hub => LinkParams::attachment().with_loss(config.attachment_loss),
+            SegmentKind::Switch => LinkParams::fast_ethernet().with_loss(config.attachment_loss),
+        };
+        sim.connect((router, 0), (client, 0), config.client_link);
+        // Per-direction loss overrides model the §4 cases: the first
+        // LinkParams governs frames transmitted by the *segment* side.
+        let with_extra =
+            |base: LinkParams, extra: f64| base.with_loss((base.loss + extra).min(1.0));
+        sim.connect_asym(
+            (segment, 0),
+            (router, 1),
+            with_extra(attach, config.loss_to_router),
+            attach,
+        );
+        sim.connect_asym(
+            (segment, 1),
+            (primary, 0),
+            with_extra(attach, config.loss_to_primary),
+            attach,
+        );
+        if let Some(s) = secondary {
+            sim.connect_asym(
+                (segment, 2),
+                (s, 0),
+                with_extra(attach, config.loss_to_secondary),
+                attach,
+            );
+        }
+        if let Some(t) = backend {
+            sim.connect((segment, 3), (t, 0), attach);
+        }
+
+        let mut tb = Testbed {
+            sim,
+            client,
+            primary,
+            secondary,
+            backend,
+            router,
+            segment,
+            config,
+        };
+        tb.prime_arp_caches();
+        tb
+    }
+
+    /// Pre-populates every ARP cache ("we made sure that the MAC
+    /// addresses of all nodes were present in the ARP caches", §9).
+    fn prime_arp_caches(&mut self) {
+        use addrs::*;
+        use macs::*;
+        let secondary = self.secondary;
+        let backend = self.backend;
+        self.sim.with::<Host, _>(self.client, |h, _| {
+            h.net_mut().prime_arp(GW_CLIENT, ROUTER_CLIENT);
+        });
+        self.sim.with::<Router, _>(self.router, |r, _| {
+            r.prime_arp(A_C, 0, CLIENT);
+            r.prime_arp(A_P, 1, PRIMARY);
+            if secondary.is_some() {
+                r.prime_arp(A_S, 1, SECONDARY);
+            }
+            if backend.is_some() {
+                r.prime_arp(A_T, 1, BACKEND);
+            }
+        });
+        self.sim.with::<Host, _>(self.primary, |h, _| {
+            h.net_mut().prime_arp(GW_SERVER, ROUTER_SERVER);
+            h.net_mut().prime_arp(A_S, SECONDARY);
+            h.net_mut().prime_arp(A_T, BACKEND);
+        });
+        if let Some(s) = secondary {
+            self.sim.with::<Host, _>(s, |h, _| {
+                h.net_mut().prime_arp(GW_SERVER, ROUTER_SERVER);
+                h.net_mut().prime_arp(A_P, PRIMARY);
+                h.net_mut().prime_arp(A_T, BACKEND);
+            });
+        }
+        if let Some(t) = backend {
+            self.sim.with::<Host, _>(t, |h, _| {
+                h.net_mut().prime_arp(GW_SERVER, ROUTER_SERVER);
+                h.net_mut().prime_arp(A_P, PRIMARY);
+                if secondary.is_some() {
+                    h.net_mut().prime_arp(A_S, SECONDARY);
+                }
+            });
+        }
+    }
+
+    /// Kills the primary host (fail-stop). The secondary's fault
+    /// detector will take over after its timeout.
+    pub fn kill_primary(&mut self) {
+        self.sim.kill(self.primary);
+    }
+
+    /// Kills the secondary host (fail-stop).
+    pub fn kill_secondary(&mut self) {
+        if let Some(s) = self.secondary {
+            self.sim.kill(s);
+        }
+    }
+
+    /// Boots a fresh secondary in place of a killed one (empty state,
+    /// same address and wiring) and re-primes its ARP cache. The
+    /// primary reintegrates it on the first heartbeat; apps must be
+    /// reinstalled by the caller.
+    pub fn revive_secondary(&mut self) {
+        let s = self.secondary.expect("replicated testbed");
+        let mut cfg = HostConfig::new("secondary", macs::SECONDARY, addrs::A_S)
+            .with_gateway(addrs::GW_SERVER)
+            .with_tcp(
+                self.config
+                    .tcp
+                    .clone()
+                    .with_isn_seed(self.config.seed ^ (3 << 32)),
+            );
+        cfg.cpu = self.config.cpu;
+        cfg.tick = self.config.tick;
+        cfg.promiscuous = true;
+        let mut host = Host::new(cfg);
+        let fo = FailoverConfig::from_ports(self.config.failover_ports.iter().copied());
+        host.set_filter(Box::new(SecondaryBridge::new(addrs::A_P, addrs::A_S, fo)));
+        host.set_controller(Box::new(ReplicaController::new(
+            Role::Secondary,
+            addrs::A_P,
+            addrs::A_P,
+            addrs::A_S,
+            self.config.detector,
+        )));
+        for &p in &self.config.failover_ports {
+            host.stack_mut().add_failover_port(p);
+        }
+        self.sim.replace_device(s, Box::new(host));
+        self.sim
+            .schedule_timer(s, SimDuration::ZERO, tcpfo_tcp::host::TOKEN_TICK);
+        self.sim.with::<Host, _>(s, |h, _| {
+            h.net_mut().prime_arp(addrs::GW_SERVER, macs::ROUTER_SERVER);
+            h.net_mut().prime_arp(addrs::A_P, macs::PRIMARY);
+        });
+    }
+
+    /// Runs the simulation for `d`.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// Snapshot of the primary bridge statistics.
+    pub fn primary_stats(&mut self) -> crate::primary::PrimaryStats {
+        self.sim.with::<Host, _>(self.primary, |h, _| {
+            h.filter_mut()
+                .as_any_mut()
+                .downcast_mut::<PrimaryBridge>()
+                .expect("primary bridge installed")
+                .stats
+                .clone()
+        })
+    }
+
+    /// Snapshot of the secondary bridge statistics.
+    pub fn secondary_stats(&mut self) -> crate::secondary::SecondaryStats {
+        let s = self.secondary.expect("replicated testbed");
+        self.sim.with::<Host, _>(s, |h, _| {
+            h.filter_mut()
+                .as_any_mut()
+                .downcast_mut::<SecondaryBridge>()
+                .expect("secondary bridge installed")
+                .stats
+                .clone()
+        })
+    }
+
+    /// When the surviving replica detected the peer failure, if it has.
+    pub fn failover_detected_at(&mut self, node: NodeId) -> Option<tcpfo_net::time::SimTime> {
+        self.sim.with::<Host, _>(node, |h, _| {
+            h.controller_mut::<ReplicaController>().peer_failed_at
+        })
+    }
+}
+
+impl std::fmt::Debug for Testbed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Testbed")
+            .field("replicated", &self.config.replicated)
+            .field("segment", &self.config.segment)
+            .finish()
+    }
+}

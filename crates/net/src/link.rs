@@ -1,0 +1,138 @@
+//! Link models.
+//!
+//! A link (one direction of a wire) has a serialisation bandwidth, a
+//! propagation delay, a random loss probability and a drop-tail queue
+//! bound. The paper's testbed maps onto these as:
+//!
+//! * dedicated 100 Mb/s Ethernet between client and router —
+//!   [`LinkParams::fast_ethernet`]
+//! * attachment to the shared hub segment — [`LinkParams::attachment`]
+//!   (no serialisation; the *hub medium* charges it, modelling the
+//!   shared half-duplex segment P and S sit on)
+//! * the wide-area path of the FTP experiment (Fig. 6) —
+//!   [`LinkParams::wan`] with loss and long propagation
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one direction of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Serialisation bandwidth in bits/s; `None` means the link itself
+    /// does not serialise (a shared medium attached to it will).
+    pub bandwidth_bps: Option<u64>,
+    /// One-way propagation delay.
+    pub propagation: SimDuration,
+    /// Probability in `[0, 1]` that a frame is lost after occupying the
+    /// medium.
+    pub loss: f64,
+    /// Maximum queueing delay before drop-tail discard.
+    pub max_queue: SimDuration,
+    /// Random extra propagation, uniform in `[0, jitter)`, drawn per
+    /// frame. Non-zero jitter can *reorder* frames — the stress TCP's
+    /// duplicate-ACK machinery and the bridge's reassembly queues must
+    /// absorb.
+    pub jitter: SimDuration,
+}
+
+impl LinkParams {
+    /// A dedicated full-duplex 100 Mb/s Ethernet link with a few
+    /// microseconds of propagation — the client↔router links of the
+    /// paper's testbed.
+    pub fn fast_ethernet() -> Self {
+        LinkParams {
+            bandwidth_bps: Some(100_000_000),
+            propagation: SimDuration::from_micros(2),
+            loss: 0.0,
+            max_queue: SimDuration::from_millis(200),
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// An attachment to a shared medium (hub): negligible delay, no
+    /// serialisation of its own.
+    pub fn attachment() -> Self {
+        LinkParams {
+            bandwidth_bps: None,
+            propagation: SimDuration::from_nanos(500),
+            loss: 0.0,
+            max_queue: SimDuration::from_millis(500),
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// A wide-area path: `rtt/2` propagation each way, `loss`
+    /// probability per frame, modest bandwidth — the Fig. 6 FTP setup.
+    pub fn wan(bandwidth_bps: u64, one_way: SimDuration, loss: f64) -> Self {
+        LinkParams {
+            bandwidth_bps: Some(bandwidth_bps),
+            propagation: one_way,
+            loss,
+            max_queue: SimDuration::from_millis(400),
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    /// Returns a copy with the given loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&loss));
+        self.loss = loss;
+        self
+    }
+
+    /// Returns a copy with the given propagation delay.
+    pub fn with_propagation(mut self, propagation: SimDuration) -> Self {
+        self.propagation = propagation;
+        self
+    }
+
+    /// Returns a copy with the given per-frame propagation jitter
+    /// (enables reordering).
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Serialisation time of a frame of `bytes` on this link.
+    pub fn serialization(&self, bytes: usize) -> SimDuration {
+        match self.bandwidth_bps {
+            Some(bps) => SimDuration::serialization(bytes, bps),
+            None => SimDuration::ZERO,
+        }
+    }
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams::fast_ethernet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_ethernet_serialization() {
+        let p = LinkParams::fast_ethernet();
+        // 1250 bytes = 10_000 bits at 100 Mb/s -> 100 µs.
+        assert_eq!(p.serialization(1250).as_micros(), 100);
+    }
+
+    #[test]
+    fn attachment_has_no_serialization() {
+        assert_eq!(
+            LinkParams::attachment().serialization(10_000),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn builders() {
+        let p = LinkParams::fast_ethernet()
+            .with_loss(0.25)
+            .with_propagation(SimDuration::from_millis(10));
+        assert_eq!(p.loss, 0.25);
+        assert_eq!(p.propagation, SimDuration::from_millis(10));
+    }
+}

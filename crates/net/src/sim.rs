@@ -1,0 +1,707 @@
+//! The discrete-event simulator core: clock, event heap, devices, wires.
+//!
+//! Everything in the reproduction — hosts with full TCP stacks, the
+//! failover bridges, hubs, switches, routers — is a [`Device`] attached
+//! to a [`Simulator`] by wires. Devices receive frames and timer events
+//! through [`Device::handle_frame`] / [`Device::handle_timer`] and act
+//! through the [`Ctx`] handed to them (transmit, schedule timers, draw
+//! randomness). The simulator is single-threaded and, for a fixed seed
+//! and call sequence, fully deterministic: events at equal timestamps
+//! fire in insertion order.
+
+use crate::link::LinkParams;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEntry, TraceKind};
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Index of a device within a [`Simulator`].
+pub type NodeId = usize;
+
+/// Opaque timer cookie delivered back to [`Device::handle_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(pub u64);
+
+/// A simulated network element.
+///
+/// Implementors include the hub, switch and router in this crate and
+/// the TCP hosts in `tcpfo-tcp`.
+pub trait Device: Any {
+    /// Human-readable name used in traces.
+    fn label(&self) -> &str;
+
+    /// Called when a frame arrives on `port`.
+    fn handle_frame(&mut self, port: usize, frame: Bytes, ctx: &mut Ctx<'_>);
+
+    /// Called when a timer armed with [`Ctx::schedule`] (or
+    /// [`Simulator::schedule_timer`]) fires.
+    fn handle_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_>);
+
+    /// Downcast support for [`Simulator::with`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[derive(Debug)]
+enum Event {
+    Frame {
+        node: NodeId,
+        port: usize,
+        frame: Bytes,
+    },
+    Timer {
+        node: NodeId,
+        token: TimerToken,
+    },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WireEnd {
+    wire: usize,
+    /// 0 if this end is `ends[0]`, 1 otherwise.
+    side: usize,
+}
+
+struct Wire {
+    ends: [(NodeId, usize); 2],
+    /// `params[d]` governs transmission *from* `ends[d]` *to*
+    /// `ends[1-d]`.
+    params: [LinkParams; 2],
+    busy_until: [SimTime; 2],
+}
+
+/// Mutable simulator internals handed to a device while it runs.
+pub struct Ctx<'a> {
+    core: &'a mut SimCore,
+    node: NodeId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The id of the device being dispatched.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Arms a timer that fires on this device after `delay`.
+    pub fn schedule(&mut self, delay: SimDuration, token: TimerToken) {
+        let at = self.core.now + delay;
+        self.core.push(
+            at,
+            Event::Timer {
+                node: self.node,
+                token,
+            },
+        );
+    }
+
+    /// Deterministic randomness source.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.core.rng
+    }
+
+    /// Transmits `frame` out of `port`, modelling serialisation,
+    /// queueing, propagation and loss of the attached link.
+    ///
+    /// Unconnected ports silently drop (a trace entry records it).
+    pub fn transmit(&mut self, port: usize, frame: Bytes) {
+        self.core
+            .transmit(self.node, port, frame, SimDuration::ZERO);
+    }
+
+    /// Like [`Ctx::transmit`], but the frame only reaches the link
+    /// after `delay` (used by the hub to model medium serialisation
+    /// before handing the frame to the attachment wires).
+    pub fn transmit_delayed(&mut self, port: usize, frame: Bytes, delay: SimDuration) {
+        self.core.transmit(self.node, port, frame, delay);
+    }
+
+    /// Records a custom trace entry for this device.
+    pub fn trace_note(&mut self, note: String) {
+        let now = self.core.now;
+        let node = self.node;
+        self.core.trace(now, node, TraceKind::Note(note), None);
+    }
+}
+
+struct SimCore {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    wires: Vec<Wire>,
+    ports: HashMap<(NodeId, usize), WireEnd>,
+    dead: Vec<bool>,
+    rng: StdRng,
+    trace_enabled: bool,
+    trace: Vec<TraceEntry>,
+    events_processed: u64,
+}
+
+impl SimCore {
+    fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    fn trace(&mut self, at: SimTime, node: NodeId, kind: TraceKind, frame: Option<&Bytes>) {
+        if self.trace_enabled {
+            self.trace.push(TraceEntry {
+                at,
+                node,
+                kind,
+                frame: frame.cloned(),
+            });
+        }
+    }
+
+    fn transmit(&mut self, node: NodeId, port: usize, frame: Bytes, delay: SimDuration) {
+        let Some(&WireEnd { wire, side }) = self.ports.get(&(node, port)) else {
+            let now = self.now;
+            self.trace(now, node, TraceKind::DropNoWire { port }, Some(&frame));
+            return;
+        };
+        let now = self.now + delay;
+        let w = &mut self.wires[wire];
+        let params = w.params[side];
+        let start = w.busy_until[side].max(now);
+        if start.duration_since(now) > params.max_queue {
+            self.trace(now, node, TraceKind::DropQueueFull { port }, Some(&frame));
+            return;
+        }
+        let ser = params.serialization(frame.len());
+        w.busy_until[side] = start + ser;
+        let lost = params.loss > 0.0 && self.rng.gen::<f64>() < params.loss;
+        let (peer_node, peer_port) = w.ends[1 - side];
+        if lost {
+            self.trace(now, node, TraceKind::DropLoss { port }, Some(&frame));
+            return;
+        }
+        let mut arrival = start + ser + params.propagation;
+        if params.jitter > SimDuration::ZERO {
+            let extra = self.rng.gen_range(0..params.jitter.as_nanos().max(1));
+            arrival += SimDuration::from_nanos(extra);
+        }
+        self.trace(now, node, TraceKind::Tx { port }, Some(&frame));
+        self.push(
+            arrival,
+            Event::Frame {
+                node: peer_node,
+                port: peer_port,
+                frame,
+            },
+        );
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// # Example
+///
+/// ```
+/// use tcpfo_net::sim::Simulator;
+/// use tcpfo_net::hub::Hub;
+/// use tcpfo_net::time::SimDuration;
+///
+/// let mut sim = Simulator::new(42);
+/// let hub = sim.add_device(Box::new(Hub::new("hub0", 3, 100_000_000)));
+/// assert_eq!(hub, 0);
+/// sim.run_for(SimDuration::from_millis(1));
+/// assert_eq!(sim.now().as_millis(), 1);
+/// ```
+pub struct Simulator {
+    core: SimCore,
+    nodes: Vec<Option<Box<dyn Device>>>,
+}
+
+impl Simulator {
+    /// Creates a simulator seeded for deterministic randomness.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            core: SimCore {
+                now: SimTime::ZERO,
+                seq: 0,
+                heap: BinaryHeap::new(),
+                wires: Vec::new(),
+                ports: HashMap::new(),
+                dead: Vec::new(),
+                rng: StdRng::seed_from_u64(seed),
+                trace_enabled: false,
+                trace: Vec::new(),
+                events_processed: 0,
+            },
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Adds a device, returning its id.
+    pub fn add_device(&mut self, device: Box<dyn Device>) -> NodeId {
+        self.nodes.push(Some(device));
+        self.core.dead.push(false);
+        self.nodes.len() - 1
+    }
+
+    /// Connects `a` and `b` with a symmetric wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port is already wired or a node id is out of
+    /// range.
+    pub fn connect(&mut self, a: (NodeId, usize), b: (NodeId, usize), params: LinkParams) {
+        self.connect_asym(a, b, params, params);
+    }
+
+    /// Connects `a` and `b` with per-direction parameters
+    /// (`a_to_b` governs frames transmitted by `a`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port is already wired or a node id is out of
+    /// range.
+    pub fn connect_asym(
+        &mut self,
+        a: (NodeId, usize),
+        b: (NodeId, usize),
+        a_to_b: LinkParams,
+        b_to_a: LinkParams,
+    ) {
+        assert!(
+            a.0 < self.nodes.len() && b.0 < self.nodes.len(),
+            "node id out of range"
+        );
+        assert!(
+            !self.core.ports.contains_key(&a),
+            "port {a:?} already wired"
+        );
+        assert!(
+            !self.core.ports.contains_key(&b),
+            "port {b:?} already wired"
+        );
+        let wire = self.core.wires.len();
+        self.core.wires.push(Wire {
+            ends: [a, b],
+            params: [a_to_b, b_to_a],
+            busy_until: [SimTime::ZERO; 2],
+        });
+        self.core.ports.insert(a, WireEnd { wire, side: 0 });
+        self.core.ports.insert(b, WireEnd { wire, side: 1 });
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// Marks a node fail-stop dead: pending and future events for it
+    /// are discarded, it never transmits again.
+    pub fn kill(&mut self, node: NodeId) {
+        self.core.dead[node] = true;
+    }
+
+    /// Replaces a (possibly dead) node's device with a fresh one,
+    /// keeping the wiring — models a machine rebooting with empty
+    /// state. Stale events queued for the node will be delivered to
+    /// the replacement, exactly like frames arriving at a freshly
+    /// booted NIC.
+    pub fn replace_device(&mut self, node: NodeId, device: Box<dyn Device>) {
+        self.nodes[node] = Some(device);
+        self.core.dead[node] = false;
+    }
+
+    /// Returns `true` if the node has been [`Simulator::kill`]ed.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.core.dead[node]
+    }
+
+    /// Arms a timer on `node` after `delay` (for bootstrapping devices
+    /// from outside).
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, token: TimerToken) {
+        let at = self.core.now + delay;
+        self.core.push(at, Event::Timer { node, token });
+    }
+
+    /// Runs `f` against the concrete device `T` at `node` with a
+    /// dispatch context, e.g. to drive an application from a test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not hold a `T`.
+    pub fn with<T: Device, R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut T, &mut Ctx<'_>) -> R,
+    ) -> R {
+        let mut device = self.nodes[node].take().expect("device re-entrancy");
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node,
+        };
+        let result = f(
+            device
+                .as_any_mut()
+                .downcast_mut::<T>()
+                .expect("device type mismatch"),
+            &mut ctx,
+        );
+        self.nodes[node] = Some(device);
+        result
+    }
+
+    /// Dispatches the next event. Returns `false` when the heap is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(scheduled)) = self.core.heap.pop() else {
+            return false;
+        };
+        debug_assert!(scheduled.at >= self.core.now, "time went backwards");
+        self.core.now = scheduled.at;
+        self.core.events_processed += 1;
+        let node = match &scheduled.event {
+            Event::Frame { node, .. } | Event::Timer { node, .. } => *node,
+        };
+        if self.core.dead[node] {
+            return true;
+        }
+        let mut device = self.nodes[node].take().expect("device re-entrancy");
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node,
+        };
+        match scheduled.event {
+            Event::Frame { port, frame, .. } => {
+                ctx.core
+                    .trace(scheduled.at, node, TraceKind::Rx { port }, Some(&frame));
+                device.handle_frame(port, frame, &mut ctx);
+            }
+            Event::Timer { token, .. } => device.handle_timer(token, &mut ctx),
+        }
+        self.nodes[node] = Some(device);
+        true
+    }
+
+    /// Runs until the clock reaches `deadline` (events at exactly
+    /// `deadline` are processed) or the heap drains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(next)) = self.core.heap.peek() {
+            if next.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.core.now < deadline {
+            self.core.now = deadline;
+        }
+    }
+
+    /// Runs for `duration` of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.core.now + duration;
+        self.run_until(deadline);
+    }
+
+    /// Runs until no events remain or `max_events` have been
+    /// dispatched. Returns `true` if the simulation drained.
+    pub fn run_until_idle(&mut self, max_events: u64) -> bool {
+        for _ in 0..max_events {
+            if !self.step() {
+                return true;
+            }
+        }
+        self.core.heap.is_empty()
+    }
+
+    /// Enables or disables packet tracing.
+    pub fn set_trace_enabled(&mut self, enabled: bool) {
+        self.core.trace_enabled = enabled;
+    }
+
+    /// Takes the accumulated trace, leaving it empty.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        std::mem::take(&mut self.core.trace)
+    }
+
+    /// Label of a node (for reports).
+    pub fn label(&self, node: NodeId) -> String {
+        self.nodes[node]
+            .as_ref()
+            .map(|d| d.label().to_string())
+            .unwrap_or_else(|| format!("node{node}"))
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.core.now)
+            .field("nodes", &self.nodes.len())
+            .field("wires", &self.core.wires.len())
+            .field("pending_events", &self.core.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every frame back out the port it arrived on after a fixed
+    /// delay, counting what it saw.
+    struct Echo {
+        label: String,
+        seen: Vec<Bytes>,
+        fired: Vec<TimerToken>,
+    }
+
+    impl Echo {
+        fn new(label: &str) -> Self {
+            Echo {
+                label: label.to_string(),
+                seen: Vec::new(),
+                fired: Vec::new(),
+            }
+        }
+    }
+
+    impl Device for Echo {
+        fn label(&self) -> &str {
+            &self.label
+        }
+        fn handle_frame(&mut self, port: usize, frame: Bytes, ctx: &mut Ctx<'_>) {
+            self.seen.push(frame.clone());
+            ctx.transmit(port, frame);
+        }
+        fn handle_timer(&mut self, token: TimerToken, ctx: &mut Ctx<'_>) {
+            self.fired.push(token);
+            if token == TimerToken(7) {
+                ctx.transmit(0, Bytes::from_static(b"ping"));
+            }
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_nodes(params: LinkParams) -> (Simulator, NodeId, NodeId) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_device(Box::new(Echo::new("a")));
+        let b = sim.add_device(Box::new(Echo::new("b")));
+        sim.connect((a, 0), (b, 0), params);
+        (sim, a, b)
+    }
+
+    #[test]
+    fn frame_ping_pong_with_latency() {
+        let params = LinkParams {
+            bandwidth_bps: None,
+            propagation: SimDuration::from_micros(10),
+            loss: 0.0,
+            max_queue: SimDuration::from_secs(1),
+            jitter: SimDuration::ZERO,
+        };
+        let (mut sim, a, b) = two_nodes(params);
+        sim.schedule_timer(a, SimDuration::ZERO, TimerToken(7));
+        // a sends at t=0; b receives at 10µs and echoes; a receives at 20µs.
+        sim.run_until(SimTime::from_nanos(15_000));
+        sim.with::<Echo, _>(b, |e, _| assert_eq!(e.seen.len(), 1));
+        sim.with::<Echo, _>(a, |e, _| assert_eq!(e.seen.len(), 0));
+        // Cut the ping-pong off after a few more exchanges.
+        sim.run_until(SimTime::from_nanos(45_000));
+        sim.with::<Echo, _>(a, |e, _| assert_eq!(e.seen.len(), 2)); // 20µs, 40µs
+    }
+
+    #[test]
+    fn serialization_delays_back_to_back_frames() {
+        let params = LinkParams {
+            bandwidth_bps: Some(8_000_000), // 1 byte/µs
+            propagation: SimDuration::ZERO,
+            loss: 0.0,
+            max_queue: SimDuration::from_secs(1),
+            jitter: SimDuration::ZERO,
+        };
+        let mut sim = Simulator::new(1);
+        let a = sim.add_device(Box::new(Echo::new("a")));
+        let b = sim.add_device(Box::new(Echo::new("b")));
+        sim.connect((a, 0), (b, 0), params);
+        // Two 100-byte frames transmitted at t=0 must arrive at 100µs
+        // and 200µs.
+        sim.with::<Echo, _>(a, |_, ctx| {
+            ctx.transmit(0, Bytes::from(vec![0u8; 100]));
+            ctx.transmit(0, Bytes::from(vec![1u8; 100]));
+        });
+        sim.run_until(SimTime::from_nanos(100_000));
+        sim.with::<Echo, _>(b, |e, _| assert_eq!(e.seen.len(), 1));
+        sim.run_until(SimTime::from_nanos(200_000));
+        sim.with::<Echo, _>(b, |e, _| assert_eq!(e.seen.len(), 2));
+    }
+
+    #[test]
+    fn loss_drops_all_when_probability_one() {
+        let params = LinkParams {
+            bandwidth_bps: None,
+            propagation: SimDuration::ZERO,
+            loss: 1.0,
+            max_queue: SimDuration::from_secs(1),
+            jitter: SimDuration::ZERO,
+        };
+        let (mut sim, a, b) = two_nodes(params);
+        sim.with::<Echo, _>(a, |_, ctx| ctx.transmit(0, Bytes::from_static(b"x")));
+        sim.run_until_idle(100);
+        sim.with::<Echo, _>(b, |e, _| assert!(e.seen.is_empty()));
+    }
+
+    /// Counts frames without echoing them back.
+    struct Quiet {
+        seen: usize,
+    }
+
+    impl Device for Quiet {
+        fn label(&self) -> &str {
+            "quiet"
+        }
+        fn handle_frame(&mut self, _port: usize, _frame: Bytes, _ctx: &mut Ctx<'_>) {
+            self.seen += 1;
+        }
+        fn handle_timer(&mut self, _: TimerToken, _: &mut Ctx<'_>) {}
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let params = LinkParams {
+            bandwidth_bps: Some(8_000), // 1 ms per byte
+            propagation: SimDuration::ZERO,
+            loss: 0.0,
+            max_queue: SimDuration::from_millis(1),
+            jitter: SimDuration::ZERO,
+        };
+        let mut sim = Simulator::new(1);
+        let a = sim.add_device(Box::new(Echo::new("a")));
+        let b = sim.add_device(Box::new(Quiet { seen: 0 }));
+        sim.connect((a, 0), (b, 0), params);
+        sim.with::<Echo, _>(a, |_, ctx| {
+            // First frame occupies the link for 2 ms; second would queue
+            // 2 ms > max 1 ms and is dropped.
+            ctx.transmit(0, Bytes::from(vec![0u8; 2]));
+            ctx.transmit(0, Bytes::from(vec![1u8; 2]));
+        });
+        sim.run_until_idle(100);
+        sim.with::<Quiet, _>(b, |q, _| assert_eq!(q.seen, 1));
+    }
+
+    #[test]
+    fn killed_node_receives_nothing() {
+        let params = LinkParams {
+            bandwidth_bps: None,
+            propagation: SimDuration::from_micros(1),
+            loss: 0.0,
+            max_queue: SimDuration::from_secs(1),
+            jitter: SimDuration::ZERO,
+        };
+        let (mut sim, a, b) = two_nodes(params);
+        sim.with::<Echo, _>(a, |_, ctx| ctx.transmit(0, Bytes::from_static(b"x")));
+        sim.kill(b);
+        sim.run_until_idle(100);
+        sim.with::<Echo, _>(b, |e, _| assert!(e.seen.is_empty()));
+        assert!(sim.is_dead(b));
+        assert!(!sim.is_dead(a));
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_ties_by_insertion() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_device(Box::new(Echo::new("a")));
+        sim.schedule_timer(a, SimDuration::from_micros(5), TimerToken(2));
+        sim.schedule_timer(a, SimDuration::from_micros(1), TimerToken(1));
+        sim.schedule_timer(a, SimDuration::from_micros(5), TimerToken(3));
+        sim.run_until_idle(10);
+        sim.with::<Echo, _>(a, |e, _| {
+            assert_eq!(e.fired, vec![TimerToken(1), TimerToken(2), TimerToken(3)]);
+        });
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim = Simulator::new(1);
+        sim.run_until(SimTime::from_nanos(999));
+        assert_eq!(sim.now(), SimTime::from_nanos(999));
+        sim.run_for(SimDuration::from_nanos(1));
+        assert_eq!(sim.now(), SimTime::from_nanos(1_000));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let params = LinkParams {
+                bandwidth_bps: Some(1_000_000),
+                propagation: SimDuration::from_micros(3),
+                loss: 0.3,
+                max_queue: SimDuration::from_secs(1),
+                jitter: SimDuration::ZERO,
+            };
+            let (mut sim, a, b) = two_nodes(params);
+            for i in 0..20 {
+                sim.schedule_timer(a, SimDuration::from_micros(i * 7), TimerToken(7));
+            }
+            sim.run_until(SimTime::from_nanos(50_000_000));
+            sim.with::<Echo, _>(b, |e, _| e.seen.len())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trace_records_tx_and_rx() {
+        let params = LinkParams::attachment();
+        let (mut sim, a, _b) = two_nodes(params);
+        sim.set_trace_enabled(true);
+        sim.with::<Echo, _>(a, |_, ctx| ctx.transmit(0, Bytes::from_static(b"t")));
+        sim.run_until_idle(10);
+        let trace = sim.take_trace();
+        assert!(trace.iter().any(|t| matches!(t.kind, TraceKind::Tx { .. })));
+        assert!(trace.iter().any(|t| matches!(t.kind, TraceKind::Rx { .. })));
+    }
+
+    #[test]
+    fn unwired_port_drops_silently() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_device(Box::new(Echo::new("a")));
+        sim.with::<Echo, _>(a, |_, ctx| ctx.transmit(9, Bytes::from_static(b"x")));
+        assert!(sim.run_until_idle(10));
+    }
+}

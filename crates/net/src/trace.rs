@@ -1,0 +1,140 @@
+//! Packet traces for debugging and assertions.
+
+use crate::sim::NodeId;
+use crate::time::SimTime;
+use bytes::Bytes;
+use tcpfo_wire::eth::{EtherType, EthernetFrame};
+use tcpfo_wire::ipv4::Ipv4Packet;
+use tcpfo_wire::tcp::TcpView;
+
+/// What happened at a trace point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Device transmitted a frame out of `port`.
+    Tx {
+        /// Egress port.
+        port: usize,
+    },
+    /// Device received a frame on `port`.
+    Rx {
+        /// Ingress port.
+        port: usize,
+    },
+    /// Frame dropped: random link loss.
+    DropLoss {
+        /// Egress port.
+        port: usize,
+    },
+    /// Frame dropped: drop-tail queue bound exceeded.
+    DropQueueFull {
+        /// Egress port.
+        port: usize,
+    },
+    /// Frame dropped: port has no wire.
+    DropNoWire {
+        /// Egress port.
+        port: usize,
+    },
+    /// Free-form device annotation.
+    Note(String),
+}
+
+/// One entry of the simulator's packet trace.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which device.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: TraceKind,
+    /// The frame involved, if any.
+    pub frame: Option<Bytes>,
+}
+
+impl TraceEntry {
+    /// Best-effort one-line human summary (decodes Ethernet/IPv4/TCP).
+    pub fn summary(&self) -> String {
+        let head = format!("{} node{} {:?}", self.at, self.node, self.kind);
+        let Some(frame) = &self.frame else {
+            return head;
+        };
+        match EthernetFrame::decode(frame) {
+            Ok(eth) => {
+                let detail = match eth.ethertype {
+                    EtherType::Ipv4 => match Ipv4Packet::decode(&eth.payload) {
+                        Ok(ip) => {
+                            let tcp = TcpView::new(&ip.payload)
+                                .map(|v| {
+                                    format!(
+                                        " tcp {}→{} seq={} ack={} len={} [{}]",
+                                        v.src_port(),
+                                        v.dst_port(),
+                                        v.seq(),
+                                        v.ack(),
+                                        v.payload().len(),
+                                        v.flags()
+                                    )
+                                })
+                                .unwrap_or_default();
+                            format!("ip {}→{} proto={}{}", ip.src, ip.dst, ip.protocol, tcp)
+                        }
+                        Err(e) => format!("bad ip: {e}"),
+                    },
+                    EtherType::Arp => "arp".to_string(),
+                    EtherType::Other(v) => format!("ethertype {v:#06x}"),
+                };
+                format!("{head} {}→{} {detail}", eth.src, eth.dst)
+            }
+            Err(e) => format!("{head} bad frame: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use tcpfo_wire::ipv4::{Ipv4Addr, PROTO_TCP};
+    use tcpfo_wire::mac::MacAddr;
+    use tcpfo_wire::tcp::TcpSegment;
+
+    #[test]
+    fn summary_decodes_nested_layers() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let seg = TcpSegment::builder(1111, 80)
+            .seq(5)
+            .ack(6)
+            .payload(Bytes::from_static(b"xyz"))
+            .build();
+        let ip = Ipv4Packet::new(src, dst, PROTO_TCP, seg.encode(src, dst));
+        let eth = EthernetFrame::new(
+            MacAddr::from_index(2),
+            MacAddr::from_index(1),
+            EtherType::Ipv4,
+            ip.encode(),
+        );
+        let entry = TraceEntry {
+            at: SimTime::ZERO,
+            node: 0,
+            kind: TraceKind::Tx { port: 0 },
+            frame: Some(eth.encode()),
+        };
+        let s = entry.summary();
+        assert!(s.contains("10.0.0.1→10.0.0.2"), "{s}");
+        assert!(s.contains("1111→80"), "{s}");
+        assert!(s.contains("len=3"), "{s}");
+    }
+
+    #[test]
+    fn summary_without_frame() {
+        let entry = TraceEntry {
+            at: SimTime::ZERO,
+            node: 3,
+            kind: TraceKind::Note("hello".into()),
+            frame: None,
+        };
+        assert!(entry.summary().contains("hello"));
+    }
+}

@@ -1,0 +1,157 @@
+//! The segment-filter hook at the TCP/IP boundary.
+//!
+//! The paper's entire mechanism lives "in the primary and secondary
+//! servers' network stack between the TCP layer and the IP layer"
+//! (§1) — the authors call that sublayer the *bridge*. This module
+//! defines the corresponding extension point of our stack: every
+//! segment crossing the boundary, in either direction, is offered to
+//! the host's [`SegmentFilter`]. The failover bridges in `tcpfo-core`
+//! implement this trait; ordinary hosts use [`NoopFilter`].
+
+use crate::types::FourTuple;
+use tcpfo_wire::ipv4::Ipv4Addr;
+
+/// A raw TCP segment together with the IP addresses it travels between
+/// (which its checksum covers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressedSegment {
+    /// IP source.
+    pub src: Ipv4Addr,
+    /// IP destination.
+    pub dst: Ipv4Addr,
+    /// Raw TCP segment bytes (header + payload).
+    pub bytes: Vec<u8>,
+}
+
+impl AddressedSegment {
+    /// Creates an addressed segment.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, bytes: Vec<u8>) -> Self {
+        AddressedSegment { src, dst, bytes }
+    }
+}
+
+/// What a filter decided to do with (and in response to) a segment.
+#[derive(Debug, Default)]
+pub struct FilterOutput {
+    /// Segments to hand to the IP layer for transmission (bypassing the
+    /// outbound filter — filters never re-filter their own output).
+    pub to_wire: Vec<AddressedSegment>,
+    /// Segments to deliver up to the local TCP layer. The host drops
+    /// any whose destination is not a local address.
+    pub to_tcp: Vec<AddressedSegment>,
+}
+
+impl FilterOutput {
+    /// Nothing to emit or deliver.
+    pub fn empty() -> Self {
+        FilterOutput::default()
+    }
+
+    /// Pass a segment onward to the wire.
+    pub fn wire(seg: AddressedSegment) -> Self {
+        FilterOutput {
+            to_wire: vec![seg],
+            to_tcp: Vec::new(),
+        }
+    }
+
+    /// Deliver a segment up to TCP.
+    pub fn tcp(seg: AddressedSegment) -> Self {
+        FilterOutput {
+            to_wire: Vec::new(),
+            to_tcp: vec![seg],
+        }
+    }
+
+    /// Merges another output into this one.
+    pub fn extend(&mut self, other: FilterOutput) {
+        self.to_wire.extend(other.to_wire);
+        self.to_tcp.extend(other.to_tcp);
+    }
+}
+
+/// A rule designating connections as failover connections (§7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailoverRule {
+    /// Method 2: every connection using this local server port.
+    Port(u16),
+    /// Method 1 (socket option): exactly this 4-tuple, registered when
+    /// the application opens the socket.
+    Tuple(FourTuple),
+}
+
+/// The bridge hook between the TCP and IP layers.
+///
+/// Outbound segments (local TCP → IP) pass through
+/// [`SegmentFilter::on_outbound`]; inbound segments (IP → local TCP,
+/// *including* segments snooped promiscuously whose destination is not
+/// local) pass through [`SegmentFilter::on_inbound`]. The filter
+/// decides what continues in each direction.
+pub trait SegmentFilter {
+    /// Intercepts a segment the local TCP layer wants transmitted.
+    /// `now_nanos` is the simulated clock.
+    fn on_outbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput;
+
+    /// Intercepts a segment arriving from the network before TCP
+    /// demultiplexing.
+    fn on_inbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput;
+
+    /// Registers a failover-connection designation (§7's socket option
+    /// or port-set configuration). Filters that do not care ignore it.
+    fn designate(&mut self, _rule: FailoverRule) {}
+
+    /// Downcast support so controllers can reconfigure a concrete
+    /// bridge (failover procedures of §5/§6).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// The identity filter used by ordinary (non-replicated) hosts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopFilter;
+
+impl SegmentFilter for NoopFilter {
+    fn on_outbound(&mut self, seg: AddressedSegment, _now: u64) -> FilterOutput {
+        FilterOutput::wire(seg)
+    }
+
+    fn on_inbound(&mut self, seg: AddressedSegment, _now: u64) -> FilterOutput {
+        FilterOutput::tcp(seg)
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> AddressedSegment {
+        AddressedSegment::new(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            vec![0u8; 20],
+        )
+    }
+
+    #[test]
+    fn noop_passes_through() {
+        let mut f = NoopFilter;
+        let out = f.on_outbound(seg(), 0);
+        assert_eq!(out.to_wire.len(), 1);
+        assert!(out.to_tcp.is_empty());
+        let inp = f.on_inbound(seg(), 0);
+        assert_eq!(inp.to_tcp.len(), 1);
+        assert!(inp.to_wire.is_empty());
+    }
+
+    #[test]
+    fn output_extend_merges() {
+        let mut a = FilterOutput::wire(seg());
+        a.extend(FilterOutput::tcp(seg()));
+        a.extend(FilterOutput::empty());
+        assert_eq!(a.to_wire.len(), 1);
+        assert_eq!(a.to_tcp.len(), 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! RFC 793 edge-case conformance: crafted segments injected directly
+//! into a stack, checking the responses a conforming implementation
+//! must give. These are the corners the bridge leans on (§4's loss
+//! analysis assumes the TCP layers below behave exactly like this).
+
+use bytes::Bytes;
+use tcpfo_net::time::SimTime;
+use tcpfo_tcp::config::TcpConfig;
+use tcpfo_tcp::socket::TcpState;
+use tcpfo_tcp::stack::TcpStack;
+use tcpfo_tcp::types::SocketAddr;
+use tcpfo_wire::ipv4::Ipv4Addr;
+use tcpfo_wire::tcp::{TcpFlags, TcpSegment};
+
+const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1); // remote
+const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2); // the stack under test
+
+fn cfg() -> TcpConfig {
+    TcpConfig {
+        delayed_ack: None,
+        nagle: false,
+        ..TcpConfig::default().with_isn_seed(5)
+    }
+}
+
+/// A server stack with one established connection from A:5555.
+/// Returns (stack, server ISS, client next seq).
+fn established() -> (TcpStack, u32, u32) {
+    let now = SimTime::ZERO;
+    let mut stack = TcpStack::new(cfg());
+    stack.listen(80, false).unwrap();
+    let syn = TcpSegment::builder(5555, 80)
+        .seq(1_000)
+        .flags(TcpFlags::SYN)
+        .mss(1460)
+        .window(60_000)
+        .build();
+    stack.inject(A, B, &syn, now);
+    let synack = stack.peek_outbox().pop().expect("syn+ack").2;
+    let iss = synack.seq;
+    stack.take_outbox();
+    let ack = TcpSegment::builder(5555, 80)
+        .seq(1_001)
+        .ack(iss.wrapping_add(1))
+        .window(60_000)
+        .build();
+    stack.inject(A, B, &ack, now);
+    stack.take_outbox();
+    (stack, iss, 1_001)
+}
+
+fn sole_response(stack: &mut TcpStack) -> Option<TcpSegment> {
+    let mut out = stack.take_outbox();
+    match out.len() {
+        0 => None,
+        1 => Some(TcpSegment::decode(&out.remove(0).bytes).unwrap()),
+        n => panic!("expected at most one response, got {n}"),
+    }
+}
+
+#[test]
+fn ack_of_unsent_data_elicits_reack_not_accept() {
+    let (mut stack, iss, cseq) = established();
+    let now = SimTime::ZERO;
+    // Acknowledge a byte the server never sent.
+    let bogus = TcpSegment::builder(5555, 80)
+        .seq(cseq)
+        .ack(iss.wrapping_add(50_000))
+        .window(60_000)
+        .build();
+    stack.inject(A, B, &bogus, now);
+    let resp = sole_response(&mut stack).expect("must re-ACK");
+    assert!(resp.flags.contains(TcpFlags::ACK));
+    assert_eq!(resp.ack, cseq, "correct state re-announced");
+    let id = stack.socket_ids()[0];
+    assert_eq!(
+        stack.socket(id).unwrap().snd_una(),
+        iss.wrapping_add(1),
+        "SND.UNA untouched"
+    );
+}
+
+#[test]
+fn old_duplicate_data_is_reacked_and_discarded() {
+    let (mut stack, iss, cseq) = established();
+    let now = SimTime::ZERO;
+    let data = TcpSegment::builder(5555, 80)
+        .seq(cseq)
+        .ack(iss.wrapping_add(1))
+        .window(60_000)
+        .payload(Bytes::from_static(b"hello"))
+        .build();
+    stack.inject(A, B, &data, now);
+    stack.take_outbox();
+    // The exact same segment again (a retransmission the §4 analysis
+    // relies on being re-ACKed).
+    stack.inject(A, B, &data, now);
+    let resp = sole_response(&mut stack).expect("duplicate must be re-ACKed");
+    assert_eq!(resp.ack, cseq.wrapping_add(5));
+    assert!(resp.payload.is_empty());
+    let id = stack.socket_ids()[0];
+    assert_eq!(
+        stack.recv(id, 100, now).unwrap(),
+        b"hello",
+        "payload delivered exactly once"
+    );
+}
+
+#[test]
+fn data_far_beyond_window_rejected_with_ack() {
+    let (mut stack, iss, cseq) = established();
+    let now = SimTime::ZERO;
+    let wild = TcpSegment::builder(5555, 80)
+        .seq(cseq.wrapping_add(1_000_000))
+        .ack(iss.wrapping_add(1))
+        .window(60_000)
+        .payload(Bytes::from_static(b"far future"))
+        .build();
+    stack.inject(A, B, &wild, now);
+    let resp = sole_response(&mut stack).expect("out-of-window elicits ACK");
+    assert_eq!(resp.ack, cseq, "window edge re-announced");
+    let id = stack.socket_ids()[0];
+    assert_eq!(stack.socket(id).unwrap().recv_available(), 0);
+}
+
+#[test]
+fn rst_must_be_in_window_to_kill() {
+    let (mut stack, iss, cseq) = established();
+    let now = SimTime::ZERO;
+    // Out-of-window RST: blind reset attack; must NOT kill the
+    // connection (RFC 793 acceptability applies to RST too).
+    let blind = TcpSegment::builder(5555, 80)
+        .seq(cseq.wrapping_sub(100_000))
+        .flags(TcpFlags::RST)
+        .build();
+    stack.inject(A, B, &blind, now);
+    let id = stack.socket_ids()[0];
+    assert_eq!(stack.socket(id).unwrap().state, TcpState::Established);
+    // In-window RST kills.
+    let valid = TcpSegment::builder(5555, 80)
+        .seq(cseq)
+        .flags(TcpFlags::RST)
+        .build();
+    stack.inject(A, B, &valid, now);
+    assert_eq!(stack.socket(id).unwrap().state, TcpState::Closed);
+    let _ = iss;
+}
+
+#[test]
+fn syn_ack_retransmission_is_reacked() {
+    // The client's final handshake ACK was lost; the server (here: the
+    // remote) retransmits its SYN+ACK; a synchronized receiver must
+    // re-ACK rather than reset — the bridge's merged SYN+ACK
+    // retransmission path (§7.1) depends on this.
+    let now = SimTime::ZERO;
+    let mut client = TcpStack::new(cfg());
+    let cs = client
+        .connect(B, SocketAddr::new(A, 80), false, now)
+        .unwrap();
+    let syn = client.peek_outbox().pop().unwrap().2;
+    client.take_outbox();
+    let synack = TcpSegment::builder(80, syn.src_port)
+        .seq(40_000)
+        .ack(syn.seq.wrapping_add(1))
+        .flags(TcpFlags::SYN)
+        .mss(1460)
+        .window(50_000)
+        .build();
+    client.inject(A, B, &synack, now);
+    client.take_outbox(); // the handshake ACK (lost, per scenario)
+    assert!(client.socket(cs).unwrap().is_established());
+    // SYN+ACK again.
+    client.inject(A, B, &synack, now);
+    let resp = sole_response(&mut client).expect("re-ACK the SYN+ACK");
+    assert!(resp.flags.contains(TcpFlags::ACK));
+    assert!(!resp.flags.contains(TcpFlags::RST), "no reset");
+    assert_eq!(resp.ack, 40_001);
+}
+
+#[test]
+fn segment_to_listening_port_without_syn_gets_rst() {
+    let now = SimTime::ZERO;
+    let mut stack = TcpStack::new(cfg());
+    stack.listen(80, false).unwrap();
+    // Stray data to a listening port (no connection): RST.
+    let stray = TcpSegment::builder(5555, 80)
+        .seq(1)
+        .ack(2)
+        .window(100)
+        .payload(Bytes::from_static(b"?"))
+        .build();
+    stack.inject(A, B, &stray, now);
+    let resp = sole_response(&mut stack).expect("RST for stray data");
+    assert!(resp.flags.contains(TcpFlags::RST));
+    assert_eq!(resp.seq, 2, "RST carries the stray segment's ack");
+}
+
+#[test]
+fn fin_with_missing_data_waits_for_the_hole() {
+    let (mut stack, iss, cseq) = established();
+    let now = SimTime::ZERO;
+    // FIN after a hole: bytes [cseq, cseq+4) never delivered.
+    let fin = TcpSegment::builder(5555, 80)
+        .seq(cseq.wrapping_add(4))
+        .ack(iss.wrapping_add(1))
+        .window(60_000)
+        .flags(TcpFlags::FIN)
+        .payload(Bytes::from_static(b"tail"))
+        .build();
+    stack.inject(A, B, &fin, now);
+    stack.take_outbox();
+    let id = stack.socket_ids()[0];
+    assert_eq!(
+        stack.socket(id).unwrap().state,
+        TcpState::Established,
+        "FIN must not take effect before the stream is complete"
+    );
+    // The hole fills: now the FIN is consumed.
+    let head = TcpSegment::builder(5555, 80)
+        .seq(cseq)
+        .ack(iss.wrapping_add(1))
+        .window(60_000)
+        .payload(Bytes::from_static(b"head"))
+        .build();
+    stack.inject(A, B, &head, now);
+    stack.take_outbox();
+    assert_eq!(stack.socket(id).unwrap().state, TcpState::CloseWait);
+    assert_eq!(stack.recv(id, 100, now).unwrap(), b"headtail");
+}

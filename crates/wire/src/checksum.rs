@@ -1,0 +1,282 @@
+//! Internet checksums (RFC 1071) and incremental updates (RFC 1624).
+//!
+//! The paper's bridges rewrite addresses and sequence/acknowledgment
+//! numbers inside TCP segments as they pass the TCP/IP boundary. §3.1:
+//! *"it is not necessary to recompute the checksum from scratch. Instead,
+//! we subtract the original bytes from the checksum, and add the new
+//! bytes to the checksum."* [`ChecksumDelta`] implements exactly that,
+//! using the `HC' = ~(~HC + ~m + m')` formulation of RFC 1624 which is
+//! correct even in the `0xffff` corner cases that tripped up RFC 1141.
+
+/// Accumulates the ones-complement sum of a byte stream.
+///
+/// Feed any number of byte slices (odd lengths are handled by virtual
+/// zero padding of the *final* partial word of each slice, so callers
+/// must only split input at even offsets — the layered encoders in this
+/// crate always do).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Creates an accumulator with an empty sum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a big-endian 16-bit word to the sum.
+    pub fn add_u16(&mut self, word: u16) {
+        self.sum += u32::from(word);
+    }
+
+    /// Adds a 32-bit value as two 16-bit big-endian words.
+    pub fn add_u32(&mut self, value: u32) {
+        self.add_u16((value >> 16) as u16);
+        self.add_u16(value as u16);
+    }
+
+    /// Adds a byte slice; an odd final byte is padded with zero.
+    pub fn add_bytes(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.add_u16(u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.add_u16(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Folds the accumulated sum and returns the ones-complement
+    /// checksum, as stored in protocol headers.
+    pub fn finish(self) -> u16 {
+        let mut sum = self.sum;
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
+/// Computes the RFC 1071 checksum of `bytes` in one call.
+///
+/// The checksum field itself must be zeroed (or excluded) by the caller,
+/// as protocol specifications require.
+pub fn checksum(bytes: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(bytes);
+    c.finish()
+}
+
+/// Incremental checksum update per RFC 1624 (equation 3).
+///
+/// Record every 16-bit (or 32-bit) field you overwrite with
+/// [`ChecksumDelta::replace_u16`] / [`ChecksumDelta::replace_u32`], then
+/// patch the stored checksum with [`ChecksumDelta::apply`]. The result
+/// equals a full recomputation (verified by property test below).
+///
+/// # Example
+///
+/// ```
+/// use tcpfo_wire::checksum::{checksum, ChecksumDelta};
+///
+/// let mut data = vec![0x12, 0x34, 0x56, 0x78];
+/// let mut stored = checksum(&data);
+/// // Rewrite the first word 0x1234 -> 0xabcd, fixing the checksum
+/// // incrementally instead of re-summing the whole buffer.
+/// let mut delta = ChecksumDelta::new();
+/// delta.replace_u16(0x1234, 0xabcd);
+/// data[0] = 0xab;
+/// data[1] = 0xcd;
+/// stored = delta.apply(stored);
+/// assert_eq!(stored, checksum(&data));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChecksumDelta {
+    /// Accumulated `~m + m'` terms.
+    acc: u32,
+}
+
+impl ChecksumDelta {
+    /// Creates an empty (identity) delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if no replacement has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.acc == 0
+    }
+
+    /// Records the replacement of 16-bit field value `old` by `new`.
+    pub fn replace_u16(&mut self, old: u16, new: u16) {
+        self.acc += u32::from(!old);
+        self.acc += u32::from(new);
+    }
+
+    /// Records the replacement of a 32-bit field (e.g. an IPv4 address
+    /// or a TCP sequence number) as two 16-bit replacements.
+    pub fn replace_u32(&mut self, old: u32, new: u32) {
+        self.replace_u16((old >> 16) as u16, (new >> 16) as u16);
+        self.replace_u16(old as u16, new as u16);
+    }
+
+    /// Records the *addition* of bytes not previously covered by the
+    /// checksum (e.g. a TCP option appended by the secondary bridge).
+    /// `bytes` must start at an even offset within the checksummed data.
+    pub fn append_bytes(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.replace_u16(0, u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.replace_u16(0, u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Patches a stored checksum, returning the updated value
+    /// (`HC' = ~(~HC + ~m + m')`).
+    pub fn apply(&self, stored: u16) -> u16 {
+        let mut sum = u32::from(!stored) + self.acc;
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example sequence from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // The ones-complement sum is 0xddf2, checksum is its complement.
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(checksum(&[0xab]), checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn empty_buffer_checksum_is_all_ones() {
+        assert_eq!(checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn checksum_of_data_including_correct_checksum_verifies() {
+        // A receiver sums the data *with* the checksum field in place
+        // and expects the folded sum to be 0xffff (i.e. finish() == 0).
+        let mut data = vec![0xde, 0xad, 0xbe, 0xef, 0x01, 0x02];
+        let ck = checksum(&data);
+        data.extend_from_slice(&ck.to_be_bytes());
+        assert_eq!(checksum(&data), 0);
+    }
+
+    #[test]
+    fn delta_identity() {
+        let delta = ChecksumDelta::new();
+        assert!(delta.is_empty());
+        assert_eq!(delta.apply(0x1234), 0x1234);
+    }
+
+    #[test]
+    fn delta_matches_recompute_for_simple_replacement() {
+        let mut data = vec![0u8; 20];
+        data[4] = 0x99;
+        let before = checksum(&data);
+        let mut delta = ChecksumDelta::new();
+        delta.replace_u16(u16::from_be_bytes([data[4], data[5]]), 0x1357);
+        data[4] = 0x13;
+        data[5] = 0x57;
+        assert_eq!(delta.apply(before), checksum(&data));
+    }
+
+    #[test]
+    fn rfc1624_corner_case() {
+        // RFC 1624 §4 worked example: header checksum 0xdd2f, field
+        // changes 0x5555 -> 0x3285; new checksum must be 0x0000 per the
+        // corrected (eqn 3) arithmetic.
+        let mut delta = ChecksumDelta::new();
+        delta.replace_u16(0x5555, 0x3285);
+        assert_eq!(delta.apply(0xdd2f), 0x0000);
+    }
+
+    #[test]
+    fn append_bytes_matches_recompute() {
+        let mut data = vec![1, 2, 3, 4, 5, 6];
+        let before = checksum(&data);
+        let mut delta = ChecksumDelta::new();
+        let extra = [9, 8, 7, 6];
+        delta.append_bytes(&extra);
+        data.extend_from_slice(&extra);
+        assert_eq!(delta.apply(before), checksum(&data));
+    }
+
+    proptest! {
+        /// Incremental update must equal full recomputation for
+        /// arbitrary data and arbitrary 16-bit field rewrites at even
+        /// offsets — this is the §3.1 bridge fast path.
+        #[test]
+        fn prop_incremental_equals_full(
+            mut data in proptest::collection::vec(any::<u8>(), 2..256),
+            word_index in 0usize..128,
+            new_value in any::<u16>(),
+        ) {
+            if data.len() % 2 == 1 { data.push(0); }
+            let words = data.len() / 2;
+            let idx = (word_index % words) * 2;
+            let old = u16::from_be_bytes([data[idx], data[idx + 1]]);
+            let before = checksum(&data);
+
+            let mut delta = ChecksumDelta::new();
+            delta.replace_u16(old, new_value);
+            let [hi, lo] = new_value.to_be_bytes();
+            data[idx] = hi;
+            data[idx + 1] = lo;
+
+            prop_assert_eq!(delta.apply(before), checksum(&data));
+        }
+
+        /// Two stacked deltas applied in sequence equal one combined
+        /// recomputation (bridges may patch a segment more than once:
+        /// address rewrite, then ack adjustment).
+        #[test]
+        fn prop_deltas_compose(
+            mut data in proptest::collection::vec(any::<u8>(), 4..64),
+            a in any::<u16>(),
+            b in any::<u16>(),
+        ) {
+            if data.len() % 2 == 1 { data.push(0); }
+            let before = checksum(&data);
+            let w0 = u16::from_be_bytes([data[0], data[1]]);
+            let w1 = u16::from_be_bytes([data[2], data[3]]);
+
+            let mut d1 = ChecksumDelta::new();
+            d1.replace_u16(w0, a);
+            let mut d2 = ChecksumDelta::new();
+            d2.replace_u16(w1, b);
+
+            data[..2].copy_from_slice(&a.to_be_bytes());
+            data[2..4].copy_from_slice(&b.to_be_bytes());
+
+            prop_assert_eq!(d2.apply(d1.apply(before)), checksum(&data));
+        }
+
+        /// u32 replacement is equivalent to two u16 replacements.
+        #[test]
+        fn prop_u32_replacement(old in any::<u32>(), new in any::<u32>(), stored in any::<u16>()) {
+            let mut d32 = ChecksumDelta::new();
+            d32.replace_u32(old, new);
+            let mut d16 = ChecksumDelta::new();
+            d16.replace_u16((old >> 16) as u16, (new >> 16) as u16);
+            d16.replace_u16(old as u16, new as u16);
+            prop_assert_eq!(d32.apply(stored), d16.apply(stored));
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by all decoders in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when decoding a wire format fails.
+///
+/// Decoders in this crate never panic on malformed input; they return a
+/// `WireError` describing the first problem encountered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed header of the protocol.
+    Truncated {
+        /// Protocol whose header was truncated (e.g. `"ipv4"`).
+        layer: &'static str,
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A length field is inconsistent with the buffer (e.g. IPv4
+    /// `total_length` larger than the datagram, TCP data offset past the
+    /// end of the segment).
+    BadLength {
+        /// Protocol whose length field is inconsistent.
+        layer: &'static str,
+        /// Human-readable description of the inconsistency.
+        what: &'static str,
+    },
+    /// A field holds a value the decoder cannot interpret (e.g. IPv4
+    /// version != 4, TCP data offset < 5).
+    BadField {
+        /// Protocol containing the bad field.
+        layer: &'static str,
+        /// Field name.
+        field: &'static str,
+        /// Offending value, widened to `u32`.
+        value: u32,
+    },
+    /// A TCP option's length byte is zero or runs past the option area.
+    BadOption {
+        /// Option kind byte.
+        kind: u8,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated {
+                layer,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {layer} header: need {needed} bytes, have {available}"
+            ),
+            WireError::BadLength { layer, what } => {
+                write!(f, "inconsistent {layer} length: {what}")
+            }
+            WireError::BadField {
+                layer,
+                field,
+                value,
+            } => write!(f, "invalid {layer} field {field}: {value:#x}"),
+            WireError::BadOption { kind } => {
+                write!(f, "malformed tcp option of kind {kind}")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = WireError::Truncated {
+            layer: "ipv4",
+            needed: 20,
+            available: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "truncated ipv4 header: need 20 bytes, have 3"
+        );
+        let e = WireError::BadField {
+            layer: "ipv4",
+            field: "version",
+            value: 6,
+        };
+        assert_eq!(e.to_string(), "invalid ipv4 field version: 0x6");
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<T: Error + Send + Sync + 'static>() {}
+        assert_error::<WireError>();
+    }
+}

@@ -1,0 +1,280 @@
+//! IPv4 datagrams.
+//!
+//! The simulator's routers work at this layer and, as the paper notes
+//! (§2), "have no knowledge of TCP" — forwarding decisions use only the
+//! fields defined here.
+
+use crate::checksum::{checksum, Checksum};
+use crate::error::WireError;
+use bytes::{BufMut, Bytes, BytesMut};
+
+pub use std::net::Ipv4Addr;
+
+/// IP protocol number for TCP.
+pub const PROTO_TCP: u8 = 6;
+/// IP protocol number used by the fault detector's heartbeat datagrams
+/// (an experimental value; the paper only requires *a* fault detector).
+pub const PROTO_HEARTBEAT: u8 = 253;
+
+/// Length in bytes of the option-less IPv4 header emitted by this crate.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// Default initial time-to-live.
+pub const DEFAULT_TTL: u8 = 64;
+
+/// An IPv4 datagram (no IP options; `IHL == 5`).
+///
+/// # Example
+///
+/// ```
+/// use tcpfo_wire::ipv4::{Ipv4Addr, Ipv4Packet, PROTO_TCP};
+/// use bytes::Bytes;
+///
+/// let pkt = Ipv4Packet::new(
+///     Ipv4Addr::new(10, 0, 0, 1),
+///     Ipv4Addr::new(10, 0, 1, 2),
+///     PROTO_TCP,
+///     Bytes::from_static(b"payload"),
+/// );
+/// let bytes = pkt.encode();
+/// let back = Ipv4Packet::decode(&bytes)?;
+/// assert_eq!(back.dst, Ipv4Addr::new(10, 0, 1, 2));
+/// assert_eq!(&back.payload[..], b"payload");
+/// # Ok::<(), tcpfo_wire::WireError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Packet {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// IP protocol number of the payload (e.g. [`PROTO_TCP`]).
+    pub protocol: u8,
+    /// Remaining hop count; decremented by routers.
+    pub ttl: u8,
+    /// Datagram identification (used only for tracing here; the
+    /// simulator never fragments).
+    pub identification: u16,
+    /// Transport payload.
+    pub payload: Bytes,
+}
+
+impl Ipv4Packet {
+    /// Creates a datagram with [`DEFAULT_TTL`] and identification 0.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, payload: Bytes) -> Self {
+        Ipv4Packet {
+            src,
+            dst,
+            protocol,
+            ttl: DEFAULT_TTL,
+            identification: 0,
+            payload,
+        }
+    }
+
+    /// Total on-wire length (header + payload).
+    pub fn wire_len(&self) -> usize {
+        IPV4_HEADER_LEN + self.payload.len()
+    }
+
+    /// Encodes the datagram, computing the header checksum.
+    pub fn encode(&self) -> Bytes {
+        let total = self.wire_len();
+        debug_assert!(total <= u16::MAX as usize, "datagram too large");
+        let mut buf = BytesMut::with_capacity(total);
+        buf.put_u8(0x45); // version 4, IHL 5
+        buf.put_u8(0); // DSCP/ECN
+        buf.put_u16(total as u16);
+        buf.put_u16(self.identification);
+        buf.put_u16(0x4000); // flags: don't fragment
+        buf.put_u8(self.ttl);
+        buf.put_u8(self.protocol);
+        buf.put_u16(0); // checksum placeholder
+        buf.put_slice(&self.src.octets());
+        buf.put_slice(&self.dst.octets());
+        let ck = checksum(&buf[..IPV4_HEADER_LEN]);
+        buf[10..12].copy_from_slice(&ck.to_be_bytes());
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decodes a datagram, validating version, lengths and the header
+    /// checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] if the buffer is truncated, the version or
+    /// IHL is unsupported, the total length is inconsistent, or the
+    /// header checksum does not verify.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < IPV4_HEADER_LEN {
+            return Err(WireError::Truncated {
+                layer: "ipv4",
+                needed: IPV4_HEADER_LEN,
+                available: bytes.len(),
+            });
+        }
+        let version = bytes[0] >> 4;
+        if version != 4 {
+            return Err(WireError::BadField {
+                layer: "ipv4",
+                field: "version",
+                value: u32::from(version),
+            });
+        }
+        let ihl = usize::from(bytes[0] & 0x0f) * 4;
+        if ihl != IPV4_HEADER_LEN {
+            return Err(WireError::BadField {
+                layer: "ipv4",
+                field: "ihl",
+                value: (ihl / 4) as u32,
+            });
+        }
+        let total = usize::from(u16::from_be_bytes([bytes[2], bytes[3]]));
+        if total < IPV4_HEADER_LEN || total > bytes.len() {
+            return Err(WireError::BadLength {
+                layer: "ipv4",
+                what: "total_length outside datagram bounds",
+            });
+        }
+        if checksum(&bytes[..IPV4_HEADER_LEN]) != 0 {
+            return Err(WireError::BadField {
+                layer: "ipv4",
+                field: "header_checksum",
+                value: u32::from(u16::from_be_bytes([bytes[10], bytes[11]])),
+            });
+        }
+        Ok(Ipv4Packet {
+            src: Ipv4Addr::new(bytes[12], bytes[13], bytes[14], bytes[15]),
+            dst: Ipv4Addr::new(bytes[16], bytes[17], bytes[18], bytes[19]),
+            protocol: bytes[9],
+            ttl: bytes[8],
+            identification: u16::from_be_bytes([bytes[4], bytes[5]]),
+            payload: Bytes::copy_from_slice(&bytes[IPV4_HEADER_LEN..total]),
+        })
+    }
+}
+
+/// Accumulates the TCP/UDP pseudo-header into a [`Checksum`].
+///
+/// `transport_len` is the length of the transport header plus payload.
+pub fn pseudo_header_sum(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    protocol: u8,
+    transport_len: usize,
+) -> Checksum {
+    let mut c = Checksum::new();
+    c.add_u32(u32::from(src));
+    c.add_u32(u32::from(dst));
+    c.add_u16(u16::from(protocol));
+    c.add_u16(transport_len as u16);
+    c
+}
+
+/// Returns `true` if `addr` is on the network `network/prefix_len`.
+///
+/// The secondary bridge uses this test ("based on the network ID of the
+/// client endpoint's IP address", §7.1) to decide which SYN segments to
+/// translate.
+pub fn same_network(addr: Ipv4Addr, network: Ipv4Addr, prefix_len: u8) -> bool {
+    debug_assert!(prefix_len <= 32);
+    if prefix_len == 0 {
+        return true;
+    }
+    let mask = u32::MAX << (32 - u32::from(prefix_len));
+    (u32::from(addr) & mask) == (u32::from(network) & mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Packet {
+        Ipv4Packet::new(
+            Ipv4Addr::new(192, 168, 1, 10),
+            Ipv4Addr::new(10, 0, 0, 7),
+            PROTO_TCP,
+            Bytes::from_static(&[1, 2, 3, 4, 5]),
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let pkt = sample();
+        let bytes = pkt.encode();
+        assert_eq!(Ipv4Packet::decode(&bytes).unwrap(), pkt);
+    }
+
+    #[test]
+    fn header_checksum_verifies_to_zero() {
+        let bytes = sample().encode();
+        assert_eq!(checksum(&bytes[..IPV4_HEADER_LEN]), 0);
+    }
+
+    #[test]
+    fn corrupted_header_rejected() {
+        let mut bytes = sample().encode().to_vec();
+        bytes[8] ^= 0xff; // flip the TTL without fixing the checksum
+        assert!(matches!(
+            Ipv4Packet::decode(&bytes),
+            Err(WireError::BadField {
+                field: "header_checksum",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(matches!(
+            Ipv4Packet::decode(&[0x45, 0, 0]),
+            Err(WireError::Truncated { layer: "ipv4", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = sample().encode().to_vec();
+        bytes[0] = 0x65;
+        assert!(matches!(
+            Ipv4Packet::decode(&bytes),
+            Err(WireError::BadField {
+                field: "version",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn total_length_beyond_buffer_rejected() {
+        let pkt = sample();
+        let bytes = pkt.encode();
+        // Chop off payload bytes so total_length points past the end.
+        assert!(matches!(
+            Ipv4Packet::decode(&bytes[..bytes.len() - 2]),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_padding_ignored() {
+        // Ethernet minimum-size padding after the datagram must not leak
+        // into the payload.
+        let pkt = sample();
+        let mut bytes = pkt.encode().to_vec();
+        bytes.extend_from_slice(&[0u8; 10]);
+        assert_eq!(Ipv4Packet::decode(&bytes).unwrap().payload, pkt.payload);
+    }
+
+    #[test]
+    fn same_network_prefixes() {
+        let a = Ipv4Addr::new(10, 1, 2, 3);
+        assert!(same_network(a, Ipv4Addr::new(10, 1, 2, 0), 24));
+        assert!(!same_network(a, Ipv4Addr::new(10, 1, 3, 0), 24));
+        assert!(same_network(a, Ipv4Addr::new(10, 9, 9, 9), 8));
+        assert!(same_network(a, Ipv4Addr::new(200, 0, 0, 1), 0));
+        assert!(!same_network(a, Ipv4Addr::new(10, 1, 2, 4), 32));
+        assert!(same_network(a, Ipv4Addr::new(10, 1, 2, 3), 32));
+    }
+}

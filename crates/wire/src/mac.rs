@@ -1,0 +1,100 @@
+//! Ethernet MAC addresses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// # Example
+///
+/// ```
+/// use tcpfo_wire::mac::MacAddr;
+///
+/// let a = MacAddr::new([0x02, 0, 0, 0, 0, 0x01]);
+/// assert!(!a.is_broadcast());
+/// assert_eq!(a.to_string(), "02:00:00:00:00:01");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The all-ones broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address, used as a placeholder in ARP requests.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Creates an address from its six octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// Returns a locally-administered unicast address derived from a
+    /// small host index — convenient for simulator NICs.
+    pub const fn from_index(index: u32) -> Self {
+        let b = index.to_be_bytes();
+        // 0x02 sets the locally-administered bit, clears multicast.
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// Returns the six octets.
+    pub const fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// Returns `true` for the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Returns `true` if the group (multicast) bit is set; broadcast is
+    /// also a group address.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_properties() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::ZERO.is_broadcast());
+    }
+
+    #[test]
+    fn from_index_is_unicast_and_unique() {
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        assert_ne!(a, b);
+        assert!(!a.is_multicast());
+        assert!(!b.is_multicast());
+    }
+
+    #[test]
+    fn display_format() {
+        let a = MacAddr::new([0xde, 0xad, 0xbe, 0xef, 0x00, 0x42]);
+        assert_eq!(a.to_string(), "de:ad:be:ef:00:42");
+    }
+}

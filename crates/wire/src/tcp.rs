@@ -1,0 +1,1029 @@
+//! TCP segments (RFC 793) with options, plus raw-byte views and patching
+//! helpers for the failover bridges.
+//!
+//! Three representations are provided:
+//!
+//! * [`TcpSegment`] — fully parsed, used by the TCP stack itself.
+//! * [`TcpView`] — zero-copy read access to a raw segment, used by the
+//!   bridges to inspect segments cheaply on the fast path.
+//! * [`SegmentPatcher`] — edits a raw segment in place (address/port/
+//!   sequence/ack/window rewrites, option insertion/removal) while
+//!   maintaining the checksum *incrementally* per RFC 1624, which is the
+//!   technique the paper describes in §3.1.
+
+use crate::checksum::ChecksumDelta;
+use crate::error::WireError;
+use crate::ipv4::{pseudo_header_sum, Ipv4Addr, PROTO_TCP};
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Minimum TCP header length (no options).
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// Option kind for the *original destination* option the secondary
+/// bridge appends to diverted segments (§3.1: "The original destination
+/// address of the segment is included in the segment as a TCP header
+/// option"). Kind 253 is reserved for experiments by RFC 4727.
+pub const OPT_KIND_ORIG_DEST: u8 = 253;
+
+/// TCP header flags.
+///
+/// A deliberate small bitset type rather than six `bool`s (the flags
+/// travel together on every segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// No flags set.
+    pub const EMPTY: TcpFlags = TcpFlags(0);
+    /// FIN: sender has finished sending.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN: synchronise sequence numbers.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST: reset the connection.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH: push buffered data to the application.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK: acknowledgment field is significant.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG: urgent pointer is significant.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// Returns `true` if every flag in `other` is set in `self`.
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if any flag in `other` is set in `self`.
+    pub fn intersects(self, other: TcpFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for TcpFlags {
+    fn bitor_assign(&mut self, rhs: TcpFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut any = false;
+        for (bit, name) in [
+            (TcpFlags::SYN, "SYN"),
+            (TcpFlags::FIN, "FIN"),
+            (TcpFlags::RST, "RST"),
+            (TcpFlags::PSH, "PSH"),
+            (TcpFlags::ACK, "ACK"),
+            (TcpFlags::URG, "URG"),
+        ] {
+            if self.contains(bit) {
+                if any {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                any = true;
+            }
+        }
+        if !any {
+            write!(f, "(none)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A TCP option.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpOption {
+    /// Maximum segment size (kind 2), carried on SYN segments. The
+    /// primary bridge advertises `min(MSS_P, MSS_S)` to the client (§7.1).
+    Mss(u16),
+    /// Original destination of a diverted segment (kind
+    /// [`OPT_KIND_ORIG_DEST`]): the client address/port the secondary's
+    /// TCP layer addressed before the bridge rewrote it to the primary.
+    OrigDest {
+        /// Original destination IP (the client's address `a_c`).
+        addr: Ipv4Addr,
+        /// Original destination port (the client's port).
+        port: u16,
+    },
+    /// An option this implementation does not interpret, preserved
+    /// verbatim (kind, payload after the length byte).
+    Unknown(u8, Vec<u8>),
+}
+
+impl TcpOption {
+    /// Encoded length in bytes (kind + length + payload).
+    pub fn wire_len(&self) -> usize {
+        match self {
+            TcpOption::Mss(_) => 4,
+            TcpOption::OrigDest { .. } => 8,
+            TcpOption::Unknown(_, data) => 2 + data.len(),
+        }
+    }
+
+    fn encode_into(&self, buf: &mut BytesMut) {
+        match self {
+            TcpOption::Mss(mss) => {
+                buf.put_u8(2);
+                buf.put_u8(4);
+                buf.put_u16(*mss);
+            }
+            TcpOption::OrigDest { addr, port } => {
+                buf.put_u8(OPT_KIND_ORIG_DEST);
+                buf.put_u8(8);
+                buf.put_slice(&addr.octets());
+                buf.put_u16(*port);
+            }
+            TcpOption::Unknown(kind, data) => {
+                buf.put_u8(*kind);
+                buf.put_u8((2 + data.len()) as u8);
+                buf.put_slice(data);
+            }
+        }
+    }
+}
+
+/// Encodes `options` into the padded option block of a TCP header.
+pub fn encode_options(options: &[TcpOption]) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    for opt in options {
+        opt.encode_into(&mut buf);
+    }
+    // Pad to a 4-byte boundary with NOPs (kind 1) — unlike end-of-list
+    // padding, this keeps the block parseable if options are appended.
+    while !buf.len().is_multiple_of(4) {
+        buf.put_u8(1);
+    }
+    buf.to_vec()
+}
+
+/// Decodes the option block of a TCP header.
+///
+/// # Errors
+///
+/// Returns [`WireError::BadOption`] if a length byte is shorter than 2
+/// or runs past the block.
+pub fn decode_options(mut bytes: &[u8]) -> Result<Vec<TcpOption>, WireError> {
+    let mut options = Vec::new();
+    while let Some(&kind) = bytes.first() {
+        match kind {
+            0 => break,               // end of list
+            1 => bytes = &bytes[1..], // NOP
+            _ => {
+                if bytes.len() < 2 {
+                    return Err(WireError::BadOption { kind });
+                }
+                let len = usize::from(bytes[1]);
+                if len < 2 || len > bytes.len() {
+                    return Err(WireError::BadOption { kind });
+                }
+                let body = &bytes[2..len];
+                options.push(match (kind, body.len()) {
+                    (2, 2) => TcpOption::Mss(u16::from_be_bytes([body[0], body[1]])),
+                    (OPT_KIND_ORIG_DEST, 6) => TcpOption::OrigDest {
+                        addr: Ipv4Addr::new(body[0], body[1], body[2], body[3]),
+                        port: u16::from_be_bytes([body[4], body[5]]),
+                    },
+                    _ => TcpOption::Unknown(kind, body.to_vec()),
+                });
+                bytes = &bytes[len..];
+            }
+        }
+    }
+    Ok(options)
+}
+
+/// A parsed TCP segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte (or of the SYN/FIN).
+    pub seq: u32,
+    /// Acknowledgment number (valid when `flags` contains ACK).
+    pub ack: u32,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window.
+    pub window: u16,
+    /// Options carried in the header.
+    pub options: Vec<TcpOption>,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl TcpSegment {
+    /// Starts building a segment between the given ports.
+    pub fn builder(src_port: u16, dst_port: u16) -> TcpSegmentBuilder {
+        TcpSegmentBuilder {
+            segment: TcpSegment {
+                src_port,
+                dst_port,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::EMPTY,
+                window: 0,
+                options: Vec::new(),
+                payload: Bytes::new(),
+            },
+        }
+    }
+
+    /// Sequence-space length: payload bytes plus one for SYN and one for
+    /// FIN ("SYN and FIN each occupy one sequence number").
+    pub fn seq_len(&self) -> u32 {
+        let mut len = self.payload.len() as u32;
+        if self.flags.contains(TcpFlags::SYN) {
+            len += 1;
+        }
+        if self.flags.contains(TcpFlags::FIN) {
+            len += 1;
+        }
+        len
+    }
+
+    /// Returns the MSS option value, if present.
+    pub fn mss(&self) -> Option<u16> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::Mss(v) => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Returns the original-destination option, if present.
+    pub fn orig_dest(&self) -> Option<(Ipv4Addr, u16)> {
+        self.options.iter().find_map(|o| match o {
+            TcpOption::OrigDest { addr, port } => Some((*addr, *port)),
+            _ => None,
+        })
+    }
+
+    /// Header length including options, in bytes.
+    pub fn header_len(&self) -> usize {
+        let opt = encode_options(&self.options).len();
+        TCP_HEADER_LEN + opt
+    }
+
+    /// Total encoded length.
+    pub fn wire_len(&self) -> usize {
+        self.header_len() + self.payload.len()
+    }
+
+    /// Encodes the segment, computing the checksum over the pseudo
+    /// header for `src`/`dst`.
+    pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Bytes {
+        let opts = encode_options(&self.options);
+        let header_len = TCP_HEADER_LEN + opts.len();
+        debug_assert!(header_len <= 60, "tcp options too long");
+        let total = header_len + self.payload.len();
+        let mut buf = BytesMut::with_capacity(total);
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u32(self.seq);
+        buf.put_u32(self.ack);
+        buf.put_u8(((header_len / 4) as u8) << 4);
+        buf.put_u8(self.flags.0);
+        buf.put_u16(self.window);
+        buf.put_u16(0); // checksum placeholder
+        buf.put_u16(0); // urgent pointer
+        buf.put_slice(&opts);
+        buf.put_slice(&self.payload);
+        let mut ck = pseudo_header_sum(src, dst, PROTO_TCP, total);
+        ck.add_bytes(&buf);
+        let sum = ck.finish();
+        buf[16..18].copy_from_slice(&sum.to_be_bytes());
+        buf.freeze()
+    }
+
+    /// Decodes a segment. The checksum is *not* verified here (the IP
+    /// addresses are needed for that) — call [`TcpSegment::verify_checksum`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] for truncated buffers, a data offset
+    /// smaller than 5 or past the end of the buffer, or malformed
+    /// options.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        if bytes.len() < TCP_HEADER_LEN {
+            return Err(WireError::Truncated {
+                layer: "tcp",
+                needed: TCP_HEADER_LEN,
+                available: bytes.len(),
+            });
+        }
+        let data_offset = usize::from(bytes[12] >> 4) * 4;
+        if data_offset < TCP_HEADER_LEN {
+            return Err(WireError::BadField {
+                layer: "tcp",
+                field: "data_offset",
+                value: (data_offset / 4) as u32,
+            });
+        }
+        if data_offset > bytes.len() {
+            return Err(WireError::BadLength {
+                layer: "tcp",
+                what: "data offset past end of segment",
+            });
+        }
+        Ok(TcpSegment {
+            src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+            dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+            seq: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            ack: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+            flags: TcpFlags(bytes[13] & 0x3f),
+            window: u16::from_be_bytes([bytes[14], bytes[15]]),
+            options: decode_options(&bytes[TCP_HEADER_LEN..data_offset])?,
+            payload: Bytes::copy_from_slice(&bytes[data_offset..]),
+        })
+    }
+
+    /// Verifies the checksum the segment was encoded with against the
+    /// pseudo header for `src`/`dst`.
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        // Re-encoding is canonical because our encoder is deterministic.
+        let bytes = self.encode(src, dst);
+        verify_segment_checksum(src, dst, &bytes)
+    }
+}
+
+/// Verifies the checksum of raw TCP segment bytes against the pseudo
+/// header for `src`/`dst`.
+pub fn verify_segment_checksum(src: Ipv4Addr, dst: Ipv4Addr, segment: &[u8]) -> bool {
+    let mut ck = pseudo_header_sum(src, dst, PROTO_TCP, segment.len());
+    ck.add_bytes(segment);
+    ck.finish() == 0
+}
+
+/// Builder for [`TcpSegment`].
+#[derive(Debug, Clone)]
+pub struct TcpSegmentBuilder {
+    segment: TcpSegment,
+}
+
+impl TcpSegmentBuilder {
+    /// Sets the sequence number.
+    pub fn seq(mut self, seq: u32) -> Self {
+        self.segment.seq = seq;
+        self
+    }
+
+    /// Sets the acknowledgment number and the ACK flag.
+    pub fn ack(mut self, ack: u32) -> Self {
+        self.segment.ack = ack;
+        self.segment.flags |= TcpFlags::ACK;
+        self
+    }
+
+    /// Ors in header flags.
+    pub fn flags(mut self, flags: TcpFlags) -> Self {
+        self.segment.flags |= flags;
+        self
+    }
+
+    /// Sets the advertised window.
+    pub fn window(mut self, window: u16) -> Self {
+        self.segment.window = window;
+        self
+    }
+
+    /// Appends an MSS option.
+    pub fn mss(mut self, mss: u16) -> Self {
+        self.segment.options.push(TcpOption::Mss(mss));
+        self
+    }
+
+    /// Appends an original-destination option.
+    pub fn orig_dest(mut self, addr: Ipv4Addr, port: u16) -> Self {
+        self.segment
+            .options
+            .push(TcpOption::OrigDest { addr, port });
+        self
+    }
+
+    /// Sets the payload.
+    pub fn payload(mut self, payload: Bytes) -> Self {
+        self.segment.payload = payload;
+        self
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> TcpSegment {
+        self.segment
+    }
+}
+
+/// Zero-copy read access to a raw TCP segment.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpView<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> TcpView<'a> {
+    /// Wraps raw segment bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when the fixed header or data offset is
+    /// inconsistent with the buffer.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, WireError> {
+        if bytes.len() < TCP_HEADER_LEN {
+            return Err(WireError::Truncated {
+                layer: "tcp",
+                needed: TCP_HEADER_LEN,
+                available: bytes.len(),
+            });
+        }
+        let off = usize::from(bytes[12] >> 4) * 4;
+        if off < TCP_HEADER_LEN || off > bytes.len() {
+            return Err(WireError::BadLength {
+                layer: "tcp",
+                what: "data offset past end of segment",
+            });
+        }
+        Ok(TcpView { bytes })
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.bytes[0], self.bytes[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.bytes[2], self.bytes[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        u32::from_be_bytes([self.bytes[4], self.bytes[5], self.bytes[6], self.bytes[7]])
+    }
+
+    /// Acknowledgment number.
+    pub fn ack(&self) -> u32 {
+        u32::from_be_bytes([self.bytes[8], self.bytes[9], self.bytes[10], self.bytes[11]])
+    }
+
+    /// Header flags.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.bytes[13] & 0x3f)
+    }
+
+    /// Advertised window.
+    pub fn window(&self) -> u16 {
+        u16::from_be_bytes([self.bytes[14], self.bytes[15]])
+    }
+
+    /// Header length in bytes.
+    pub fn header_len(&self) -> usize {
+        usize::from(self.bytes[12] >> 4) * 4
+    }
+
+    /// Payload bytes.
+    pub fn payload(&self) -> &'a [u8] {
+        &self.bytes[self.header_len()..]
+    }
+
+    /// Sequence-space length (payload + SYN + FIN).
+    pub fn seq_len(&self) -> u32 {
+        let mut len = self.payload().len() as u32;
+        let f = self.flags();
+        if f.contains(TcpFlags::SYN) {
+            len += 1;
+        }
+        if f.contains(TcpFlags::FIN) {
+            len += 1;
+        }
+        len
+    }
+
+    /// Returns the original-destination option, if present, without
+    /// allocating.
+    pub fn orig_dest(&self) -> Option<(Ipv4Addr, u16)> {
+        let opts = decode_options(&self.bytes[TCP_HEADER_LEN..self.header_len()]).ok()?;
+        opts.into_iter().find_map(|o| match o {
+            TcpOption::OrigDest { addr, port } => Some((addr, port)),
+            _ => None,
+        })
+    }
+}
+
+/// In-place editor for raw TCP segment bytes that keeps the checksum
+/// consistent via RFC 1624 incremental updates (§3.1 of the paper).
+///
+/// The patcher is created from the segment bytes plus the pseudo-header
+/// addresses that the checksum currently reflects. Every mutation
+/// records its delta; [`SegmentPatcher::finish`] writes the patched
+/// checksum and returns the bytes together with the (possibly updated)
+/// pseudo-header addresses.
+///
+/// # Example
+///
+/// ```
+/// use bytes::Bytes;
+/// use tcpfo_wire::ipv4::Ipv4Addr;
+/// use tcpfo_wire::tcp::{SegmentPatcher, TcpSegment, TcpFlags, verify_segment_checksum};
+///
+/// let a_c = Ipv4Addr::new(192, 168, 0, 9);
+/// let a_s = Ipv4Addr::new(10, 0, 0, 2);
+/// let a_p = Ipv4Addr::new(10, 0, 0, 1);
+/// // The secondary's TCP layer addressed this segment to the client…
+/// let seg = TcpSegment::builder(80, 4242)
+///     .seq(7)
+///     .ack(9)
+///     .payload(Bytes::from_static(b"reply"))
+///     .build();
+/// let raw = seg.encode(a_s, a_c);
+/// // …and the secondary bridge diverts it to the primary, patching the
+/// // pseudo-header destination and appending the orig-dest option.
+/// let mut p = SegmentPatcher::new(raw.to_vec(), a_s, a_c);
+/// p.set_pseudo_dst(a_p);
+/// p.push_orig_dest_option(a_c, 4242);
+/// let (bytes, src, dst) = p.finish();
+/// assert_eq!((src, dst), (a_s, a_p));
+/// assert!(verify_segment_checksum(src, dst, &bytes));
+/// ```
+#[derive(Debug)]
+pub struct SegmentPatcher {
+    bytes: Vec<u8>,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    delta: ChecksumDelta,
+}
+
+impl SegmentPatcher {
+    /// Wraps raw segment bytes whose checksum currently covers the
+    /// pseudo header `(src, dst)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than a TCP header (bridges only
+    /// patch segments they have already validated).
+    pub fn new(bytes: Vec<u8>, src: Ipv4Addr, dst: Ipv4Addr) -> Self {
+        assert!(bytes.len() >= TCP_HEADER_LEN, "segment too short to patch");
+        SegmentPatcher {
+            bytes,
+            src,
+            dst,
+            delta: ChecksumDelta::new(),
+        }
+    }
+
+    /// Read-only view of the current bytes.
+    pub fn view(&self) -> TcpView<'_> {
+        TcpView::new(&self.bytes).expect("patcher holds a valid segment")
+    }
+
+    fn replace_u16_at(&mut self, offset: usize, new: u16) {
+        let old = u16::from_be_bytes([self.bytes[offset], self.bytes[offset + 1]]);
+        self.delta.replace_u16(old, new);
+        self.bytes[offset..offset + 2].copy_from_slice(&new.to_be_bytes());
+    }
+
+    fn replace_u32_at(&mut self, offset: usize, new: u32) {
+        let old = u32::from_be_bytes([
+            self.bytes[offset],
+            self.bytes[offset + 1],
+            self.bytes[offset + 2],
+            self.bytes[offset + 3],
+        ]);
+        self.delta.replace_u32(old, new);
+        self.bytes[offset..offset + 4].copy_from_slice(&new.to_be_bytes());
+    }
+
+    /// Rewrites the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.replace_u16_at(0, port);
+    }
+
+    /// Rewrites the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.replace_u16_at(2, port);
+    }
+
+    /// Rewrites the sequence number (primary bridge: `seq − Δseq`).
+    pub fn set_seq(&mut self, seq: u32) {
+        self.replace_u32_at(4, seq);
+    }
+
+    /// Rewrites the acknowledgment number (primary bridge ingress:
+    /// `ack + Δseq`; egress: `min(ack_P, ack_S)`).
+    pub fn set_ack(&mut self, ack: u32) {
+        self.replace_u32_at(8, ack);
+    }
+
+    /// Rewrites the advertised window (`min(win_P, win_S)`).
+    pub fn set_window(&mut self, window: u16) {
+        self.replace_u16_at(14, window);
+    }
+
+    /// Changes the pseudo-header *source* address the checksum covers
+    /// (used together with rewriting the IP header's source field).
+    pub fn set_pseudo_src(&mut self, new: Ipv4Addr) {
+        self.delta.replace_u32(u32::from(self.src), u32::from(new));
+        self.src = new;
+    }
+
+    /// Changes the pseudo-header *destination* address the checksum
+    /// covers (the `a_p → a_s` and `a_c → a_p` translations of §3.1).
+    pub fn set_pseudo_dst(&mut self, new: Ipv4Addr) {
+        self.delta.replace_u32(u32::from(self.dst), u32::from(new));
+        self.dst = new;
+    }
+
+    /// Appends an original-destination option to the header, shifting
+    /// the payload and updating data offset, pseudo-header length and
+    /// checksum incrementally.
+    pub fn push_orig_dest_option(&mut self, addr: Ipv4Addr, port: u16) {
+        let mut opt = Vec::with_capacity(8);
+        opt.push(OPT_KIND_ORIG_DEST);
+        opt.push(8);
+        opt.extend_from_slice(&addr.octets());
+        opt.extend_from_slice(&port.to_be_bytes());
+        self.insert_option_bytes(&opt);
+    }
+
+    /// Removes an original-destination option if present (primary bridge
+    /// strips it before segments could ever reach the client).
+    ///
+    /// Returns the option's value when one was removed.
+    pub fn strip_orig_dest_option(&mut self) -> Option<(Ipv4Addr, u16)> {
+        let header_len = self.view().header_len();
+        let mut off = TCP_HEADER_LEN;
+        while off < header_len {
+            match self.bytes[off] {
+                0 => break,
+                1 => off += 1,
+                kind => {
+                    if off + 1 >= header_len {
+                        break;
+                    }
+                    let len = usize::from(self.bytes[off + 1]);
+                    if len < 2 || off + len > header_len {
+                        break;
+                    }
+                    if kind == OPT_KIND_ORIG_DEST && len == 8 {
+                        let addr = Ipv4Addr::new(
+                            self.bytes[off + 2],
+                            self.bytes[off + 3],
+                            self.bytes[off + 4],
+                            self.bytes[off + 5],
+                        );
+                        let port = u16::from_be_bytes([self.bytes[off + 6], self.bytes[off + 7]]);
+                        self.remove_option_bytes(off, len);
+                        return Some((addr, port));
+                    }
+                    off += len;
+                }
+            }
+        }
+        None
+    }
+
+    /// Inserts raw option bytes (length a multiple of 4) at the end of
+    /// the option area.
+    fn insert_option_bytes(&mut self, opt: &[u8]) {
+        assert_eq!(opt.len() % 4, 0, "options must keep 4-byte alignment");
+        let header_len = self.view().header_len();
+        assert!(header_len + opt.len() <= 60, "no room for option");
+        // The option lands at `header_len`, which is a multiple of 4 —
+        // an even offset — so parity of all following bytes is kept and
+        // the incremental sum stays valid.
+        self.bytes
+            .splice(header_len..header_len, opt.iter().copied());
+        self.delta.append_bytes(opt);
+        self.bump_data_offset(opt.len(), true);
+    }
+
+    fn remove_option_bytes(&mut self, offset: usize, len: usize) {
+        assert_eq!(len % 4, 0);
+        assert_eq!(offset % 2, 0, "options start at even offsets here");
+        let removed: Vec<u8> = self
+            .bytes
+            .splice(offset..offset + len, std::iter::empty())
+            .collect();
+        // Subtract the removed words from the checksum.
+        let mut chunks = removed.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.delta
+                .replace_u16(u16::from_be_bytes([chunk[0], chunk[1]]), 0);
+        }
+        self.bump_data_offset(len, false);
+    }
+
+    /// Adjusts the data-offset nibble and the pseudo-header length after
+    /// growing (`grow == true`) or shrinking the header by `delta_bytes`.
+    fn bump_data_offset(&mut self, delta_bytes: usize, grow: bool) {
+        // `self.bytes` already reflects the splice in both directions.
+        let new_total = self.bytes.len() as u16;
+        let delta_words = delta_bytes / 4;
+        // Patch the offset/flags 16-bit word.
+        let old_word = u16::from_be_bytes([self.bytes[12], self.bytes[13]]);
+        let old_offset_words = usize::from(self.bytes[12] >> 4);
+        let new_offset_words = if grow {
+            old_offset_words + delta_words
+        } else {
+            old_offset_words - delta_words
+        };
+        let new_word = ((new_offset_words as u16) << 12) | (old_word & 0x0fff);
+        self.delta.replace_u16(old_word, new_word);
+        self.bytes[12..14].copy_from_slice(&new_word.to_be_bytes());
+        // Patch the pseudo-header TCP length.
+        let old_total = if grow {
+            new_total - delta_bytes as u16
+        } else {
+            new_total + delta_bytes as u16
+        };
+        self.delta.replace_u16(old_total, new_total);
+    }
+
+    /// Writes the patched checksum and returns the segment bytes plus
+    /// the pseudo-header addresses the checksum now covers (which the
+    /// caller must use as the IP source/destination).
+    pub fn finish(mut self) -> (Vec<u8>, Ipv4Addr, Ipv4Addr) {
+        let old = u16::from_be_bytes([self.bytes[16], self.bytes[17]]);
+        let new = self.delta.apply(old);
+        self.bytes[16..18].copy_from_slice(&new.to_be_bytes());
+        (self.bytes, self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 168, 7, 9))
+    }
+
+    fn sample() -> TcpSegment {
+        TcpSegment::builder(80, 51000)
+            .seq(0xdead_beef)
+            .ack(0x0102_0304)
+            .flags(TcpFlags::PSH)
+            .window(8192)
+            .payload(Bytes::from_static(b"hello, failover"))
+            .build()
+    }
+
+    #[test]
+    fn round_trip_plain() {
+        let (src, dst) = addrs();
+        let seg = sample();
+        let bytes = seg.encode(src, dst);
+        let back = TcpSegment::decode(&bytes).unwrap();
+        assert_eq!(back, seg);
+        assert!(verify_segment_checksum(src, dst, &bytes));
+    }
+
+    #[test]
+    fn round_trip_with_options() {
+        let (src, dst) = addrs();
+        let seg = TcpSegment::builder(21, 1024)
+            .seq(1)
+            .flags(TcpFlags::SYN)
+            .mss(1460)
+            .orig_dest(Ipv4Addr::new(172, 16, 0, 8), 3333)
+            .build();
+        let bytes = seg.encode(src, dst);
+        let back = TcpSegment::decode(&bytes).unwrap();
+        assert_eq!(back.mss(), Some(1460));
+        assert_eq!(back.orig_dest(), Some((Ipv4Addr::new(172, 16, 0, 8), 3333)));
+        assert!(verify_segment_checksum(src, dst, &bytes));
+    }
+
+    #[test]
+    fn seq_len_counts_syn_and_fin() {
+        let syn = TcpSegment::builder(1, 2).flags(TcpFlags::SYN).build();
+        assert_eq!(syn.seq_len(), 1);
+        let finseg = TcpSegment::builder(1, 2)
+            .flags(TcpFlags::FIN)
+            .payload(Bytes::from_static(b"xy"))
+            .build();
+        assert_eq!(finseg.seq_len(), 3);
+        assert_eq!(sample().seq_len(), 15);
+    }
+
+    #[test]
+    fn view_matches_decode() {
+        let (src, dst) = addrs();
+        let seg = sample();
+        let bytes = seg.encode(src, dst);
+        let view = TcpView::new(&bytes).unwrap();
+        assert_eq!(view.src_port(), seg.src_port);
+        assert_eq!(view.dst_port(), seg.dst_port);
+        assert_eq!(view.seq(), seg.seq);
+        assert_eq!(view.ack(), seg.ack);
+        assert_eq!(view.window(), seg.window);
+        assert_eq!(view.payload(), &seg.payload[..]);
+        assert_eq!(view.seq_len(), seg.seq_len());
+        assert!(view.flags().contains(TcpFlags::PSH | TcpFlags::ACK));
+    }
+
+    #[test]
+    fn patcher_field_rewrites_keep_checksum_valid() {
+        let (src, dst) = addrs();
+        let bytes = sample().encode(src, dst).to_vec();
+        let mut p = SegmentPatcher::new(bytes, src, dst);
+        p.set_seq(0x1111_2222);
+        p.set_ack(0x3333_4444);
+        p.set_window(99);
+        p.set_src_port(8080);
+        p.set_dst_port(9090);
+        let (out, s, d) = p.finish();
+        assert!(verify_segment_checksum(s, d, &out));
+        let back = TcpSegment::decode(&out).unwrap();
+        assert_eq!(back.seq, 0x1111_2222);
+        assert_eq!(back.ack, 0x3333_4444);
+        assert_eq!(back.window, 99);
+        assert_eq!(back.src_port, 8080);
+        assert_eq!(back.dst_port, 9090);
+        assert_eq!(back.payload, sample().payload);
+    }
+
+    #[test]
+    fn patcher_pseudo_dst_rewrite_matches_full_encode() {
+        // The secondary bridge's a_p -> a_s ingress translation.
+        let a_c = Ipv4Addr::new(192, 168, 0, 9);
+        let a_p = Ipv4Addr::new(10, 0, 0, 1);
+        let a_s = Ipv4Addr::new(10, 0, 0, 2);
+        let seg = sample();
+        let bytes = seg.encode(a_c, a_p).to_vec();
+        let mut p = SegmentPatcher::new(bytes, a_c, a_p);
+        p.set_pseudo_dst(a_s);
+        let (out, s, d) = p.finish();
+        assert_eq!((s, d), (a_c, a_s));
+        assert!(verify_segment_checksum(s, d, &out));
+        assert_eq!(out, seg.encode(a_c, a_s).to_vec());
+    }
+
+    #[test]
+    fn patcher_option_insert_and_strip_round_trip() {
+        let a_c = Ipv4Addr::new(192, 168, 0, 9);
+        let a_s = Ipv4Addr::new(10, 0, 0, 2);
+        let a_p = Ipv4Addr::new(10, 0, 0, 1);
+        let seg = sample();
+        let original = seg.encode(a_s, a_c).to_vec();
+
+        let mut p = SegmentPatcher::new(original.clone(), a_s, a_c);
+        p.set_pseudo_dst(a_p);
+        p.push_orig_dest_option(a_c, 51000);
+        let (diverted, s, d) = p.finish();
+        assert!(verify_segment_checksum(s, d, &diverted));
+        let view = TcpView::new(&diverted).unwrap();
+        assert_eq!(view.orig_dest(), Some((a_c, 51000)));
+        assert_eq!(view.payload(), &seg.payload[..]);
+
+        // Primary bridge strips the option back off.
+        let mut p2 = SegmentPatcher::new(diverted, a_s, a_p);
+        let stripped = p2.strip_orig_dest_option();
+        assert_eq!(stripped, Some((a_c, 51000)));
+        p2.set_pseudo_dst(a_c);
+        let (restored, s2, d2) = p2.finish();
+        assert!(verify_segment_checksum(s2, d2, &restored));
+        assert_eq!(restored, original);
+    }
+
+    #[test]
+    fn strip_absent_option_is_noop() {
+        let (src, dst) = addrs();
+        let bytes = sample().encode(src, dst).to_vec();
+        let mut p = SegmentPatcher::new(bytes.clone(), src, dst);
+        assert_eq!(p.strip_orig_dest_option(), None);
+        let (out, ..) = p.finish();
+        assert_eq!(out, bytes);
+    }
+
+    #[test]
+    fn decode_rejects_bad_data_offset() {
+        let (src, dst) = addrs();
+        let mut bytes = sample().encode(src, dst).to_vec();
+        bytes[12] = 0x40; // data offset 4 words < 5
+        assert!(matches!(
+            TcpSegment::decode(&bytes),
+            Err(WireError::BadField {
+                field: "data_offset",
+                ..
+            })
+        ));
+        bytes[12] = 0xf0; // 60-byte header on a short segment
+        let short = &bytes[..30];
+        assert!(TcpSegment::decode(short).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_option_length() {
+        let (src, dst) = addrs();
+        let seg = TcpSegment::builder(1, 2)
+            .flags(TcpFlags::SYN)
+            .mss(536)
+            .build();
+        let mut bytes = seg.encode(src, dst).to_vec();
+        bytes[21] = 0; // MSS option length byte -> 0
+        assert!(matches!(
+            TcpSegment::decode(&bytes),
+            Err(WireError::BadOption { kind: 2 })
+        ));
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!((TcpFlags::SYN | TcpFlags::ACK).to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::EMPTY.to_string(), "(none)");
+    }
+
+    #[test]
+    fn unknown_options_preserved() {
+        let opts = vec![TcpOption::Unknown(99, vec![1, 2, 3])];
+        let encoded = encode_options(&opts);
+        assert_eq!(decode_options(&encoded).unwrap(), opts);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_flags() -> impl Strategy<Value = TcpFlags> {
+        (0u8..0x40).prop_map(TcpFlags)
+    }
+
+    proptest! {
+        /// encode/decode is the identity on the parsed representation.
+        #[test]
+        fn prop_round_trip(
+            src_port in any::<u16>(),
+            dst_port in any::<u16>(),
+            seq in any::<u32>(),
+            ack in any::<u32>(),
+            window in any::<u16>(),
+            flags in arb_flags(),
+            payload in proptest::collection::vec(any::<u8>(), 0..512),
+            mss in proptest::option::of(any::<u16>()),
+        ) {
+            let mut b = TcpSegment::builder(src_port, dst_port)
+                .seq(seq)
+                .window(window)
+                .flags(flags)
+                .payload(Bytes::from(payload));
+            if flags.contains(TcpFlags::ACK) {
+                b = b.ack(ack);
+            }
+            if let Some(m) = mss {
+                b = b.mss(m);
+            }
+            let seg = b.build();
+            let (s, d) = (Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8));
+            let bytes = seg.encode(s, d);
+            let back = TcpSegment::decode(&bytes).unwrap();
+            prop_assert_eq!(back, seg);
+            prop_assert!(verify_segment_checksum(s, d, &bytes));
+        }
+
+        /// Any sequence of patcher edits leaves a checksum identical to
+        /// a full re-encode of the edited segment — the bridge's
+        /// incremental path can never corrupt a segment.
+        #[test]
+        fn prop_patcher_equals_reencode(
+            seq in any::<u32>(),
+            ack in any::<u32>(),
+            new_seq in any::<u32>(),
+            new_ack in any::<u32>(),
+            new_win in any::<u16>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+            swap_dst in any::<bool>(),
+        ) {
+            let a = Ipv4Addr::new(10, 0, 0, 1);
+            let b = Ipv4Addr::new(10, 0, 0, 2);
+            let c = Ipv4Addr::new(172, 16, 5, 5);
+            let seg = TcpSegment::builder(1000, 2000)
+                .seq(seq).ack(ack).window(1).payload(Bytes::from(payload.clone()))
+                .build();
+            let mut p = SegmentPatcher::new(seg.encode(a, b).to_vec(), a, b);
+            p.set_seq(new_seq);
+            p.set_ack(new_ack);
+            p.set_window(new_win);
+            if swap_dst {
+                p.set_pseudo_dst(c);
+            }
+            let (out, s, d) = p.finish();
+            let expected = TcpSegment::builder(1000, 2000)
+                .seq(new_seq).ack(new_ack).window(new_win)
+                .payload(Bytes::from(payload))
+                .build()
+                .encode(s, d);
+            prop_assert_eq!(out, expected.to_vec());
+            prop_assert!(verify_segment_checksum(s, d, &expected));
+        }
+    }
+}

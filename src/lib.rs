@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # tcp-failover
+//!
+//! A reproduction of *Transparent TCP Connection Failover* (R. R. Koch,
+//! S. Hortikar, L. E. Moser, P. M. Melliar-Smith — DSN 2003).
+//!
+//! The paper inserts a *bridge* sublayer between the TCP and IP layers
+//! of a primary and a secondary server so that a TCP server endpoint can
+//! fail over from the primary to the secondary at any point in the
+//! lifetime of a connection — transparently to an unmodified client and
+//! to the (actively replicated) server application.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`wire`] — byte-exact Ethernet/ARP/IPv4/TCP formats and RFC 1624
+//!   incremental checksums
+//! * [`net`] — deterministic discrete-event network simulator (shared
+//!   Ethernet hub, switch, router, ARP, losses) standing in for the
+//!   paper's physical testbed
+//! * [`tcp`] — a from-scratch userspace TCP stack with the bridge hook
+//!   at the TCP/IP boundary
+//! * [`core`] — the paper's contribution: primary/secondary bridges,
+//!   fault detector, §5/§6 failover procedures, replicated-pair
+//!   orchestration
+//! * [`apps`] — deterministic replicated applications (echo, online
+//!   store, FTP) and client drivers
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+
+pub use tcpfo_apps as apps;
+pub use tcpfo_core as core;
+pub use tcpfo_net as net;
+pub use tcpfo_tcp as tcp;
+pub use tcpfo_wire as wire;

@@ -1,0 +1,181 @@
+//! Integration: daisy-chained N-way replication (the §1 extension).
+//! Three or more replicas; the client-facing stream is the tail's
+//! sequence space; head, middle and tail failures each heal while a
+//! transfer is in flight.
+
+use tcp_failover::apps::driver::{BulkSendClient, RequestReplyClient};
+use tcp_failover::apps::store::{StoreClient, StoreServer};
+use tcp_failover::apps::stream::{SinkServer, SourceServer};
+use tcp_failover::core::chain_testbed::{ChainConfig, ChainTestbed};
+use tcp_failover::core::testbed::addrs;
+use tcp_failover::net::time::SimDuration;
+use tcp_failover::tcp::host::Host;
+use tcp_failover::tcp::types::SocketAddr;
+
+fn vip(port: u16) -> SocketAddr {
+    SocketAddr::new(addrs::A_P, port)
+}
+
+fn download_testbed(replicas: usize, total: u64, seed: u64) -> ChainTestbed {
+    let mut tb = ChainTestbed::new(ChainConfig {
+        replicas,
+        seed,
+        ..ChainConfig::default()
+    });
+    tb.install_servers(|| SourceServer::new(80));
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(RequestReplyClient::new(
+            vip(80),
+            format!("SEND {total}\n").into_bytes(),
+            total,
+        )));
+    });
+    tb
+}
+
+fn assert_download_done(tb: &mut ChainTestbed, total: u64) {
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        let c = h.app_mut::<RequestReplyClient>(0);
+        assert!(
+            c.is_done(),
+            "download stalled at {} of {total}",
+            c.received_len()
+        );
+        assert_eq!(c.mismatches, 0, "stream corrupted");
+    });
+}
+
+#[test]
+fn three_way_chain_fault_free() {
+    let mut tb = download_testbed(3, 300_000, 1);
+    tb.run_for(SimDuration::from_secs(10));
+    assert_download_done(&mut tb, 300_000);
+    // Every replica actually served the stream (active replication).
+    for (i, &node) in tb.replicas.clone().iter().enumerate() {
+        let served = tb
+            .sim
+            .with::<Host, _>(node, |h, _| h.app_mut::<SourceServer>(0).served);
+        assert_eq!(served, 300_000, "replica {i} did not serve");
+    }
+}
+
+#[test]
+fn five_way_chain_fault_free() {
+    let mut tb = download_testbed(5, 120_000, 2);
+    tb.run_for(SimDuration::from_secs(20));
+    assert_download_done(&mut tb, 120_000);
+}
+
+#[test]
+fn head_failure_promotes_first_backup() {
+    let mut tb = download_testbed(3, 2_000_000, 3);
+    tb.run_for(SimDuration::from_millis(200));
+    tb.kill_replica(0); // the head
+    tb.run_for(SimDuration::from_secs(30));
+    assert_download_done(&mut tb, 2_000_000);
+    // The first backup promoted itself and owns the VIP now.
+    let b1 = tb.replicas[1];
+    tb.sim.with::<Host, _>(b1, |h, _| {
+        assert!(h.net_mut().local_ips.contains(&addrs::A_P), "VIP takeover");
+        let c = h.controller_mut::<tcp_failover::core::ChainController>();
+        assert!(c.promoted_at.is_some(), "B1 promoted");
+    });
+}
+
+#[test]
+fn middle_failure_heals_around_it() {
+    let mut tb = download_testbed(3, 2_000_000, 4);
+    tb.run_for(SimDuration::from_millis(200));
+    tb.kill_replica(1); // the middle
+    tb.run_for(SimDuration::from_secs(30));
+    assert_download_done(&mut tb, 2_000_000);
+    // The head still holds the VIP; nobody promoted.
+    tb.sim.with::<Host, _>(tb.replicas[2], |h, _| {
+        let c = h.controller_mut::<tcp_failover::core::ChainController>();
+        assert!(c.promoted_at.is_none(), "tail must not promote");
+    });
+}
+
+#[test]
+fn tail_failure_degrades_last_link() {
+    let mut tb = download_testbed(3, 2_000_000, 5);
+    tb.run_for(SimDuration::from_millis(200));
+    tb.kill_replica(2); // the tail
+    tb.run_for(SimDuration::from_secs(30));
+    assert_download_done(&mut tb, 2_000_000);
+}
+
+#[test]
+fn sequential_failures_down_to_one() {
+    // Kill the head, then the new head: the last replica standing
+    // serves the connection to completion (two §5-style takeovers).
+    let mut tb = download_testbed(3, 4_000_000, 6);
+    tb.run_for(SimDuration::from_millis(150));
+    tb.kill_replica(0);
+    tb.run_for(SimDuration::from_secs(5));
+    tb.kill_replica(1);
+    tb.run_for(SimDuration::from_secs(40));
+    assert_download_done(&mut tb, 4_000_000);
+    tb.sim.with::<Host, _>(tb.replicas[2], |h, _| {
+        assert!(h.net_mut().local_ips.contains(&addrs::A_P));
+        assert!(!h.net_mut().promiscuous, "classic §5 takeover at the tail");
+    });
+}
+
+#[test]
+fn chain_upload_acked_only_when_all_replicas_have_it() {
+    let mut tb = ChainTestbed::new(ChainConfig {
+        replicas: 3,
+        seed: 7,
+        ..ChainConfig::default()
+    });
+    tb.install_servers(|| SinkServer::new(80));
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(BulkSendClient::new(vip(80), 300_000)));
+    });
+    tb.run_for(SimDuration::from_secs(15));
+    let done = tb
+        .sim
+        .with::<Host, _>(tb.client, |h, _| h.app_mut::<BulkSendClient>(0).is_done());
+    assert!(done, "upload did not finish");
+    for (i, &node) in tb.replicas.clone().iter().enumerate() {
+        let got = tb
+            .sim
+            .with::<Host, _>(node, |h, _| h.app_mut::<SinkServer>(0).received);
+        assert_eq!(got, 300_000, "replica {i} missed bytes");
+    }
+}
+
+#[test]
+fn chain_store_session_survives_head_failure() {
+    let mut tb = ChainTestbed::new(ChainConfig {
+        replicas: 3,
+        seed: 8,
+        ..ChainConfig::default()
+    });
+    tb.install_servers(|| StoreServer::new(80));
+    let mut script: Vec<String> = Vec::new();
+    for i in 0..30 {
+        script.push(format!("BROWSE item{i}"));
+        script.push(format!("BUY item{i} 2"));
+    }
+    script.push("QUIT".into());
+    let n_cmds = script.len() as u64;
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(StoreClient::new(vip(80), script)));
+    });
+    tb.run_for(SimDuration::from_millis(40));
+    tb.kill_replica(0);
+    tb.run_for(SimDuration::from_secs(30));
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        let c = h.app_mut::<StoreClient>(0);
+        assert!(c.is_done(), "stalled at {} replies", c.replies.len());
+        assert_eq!(c.mismatches, 0);
+    });
+    // The surviving replicas each executed the full command stream.
+    for &node in &tb.replicas.clone()[1..] {
+        tb.sim.with::<Host, _>(node, |h, _| {
+            assert_eq!(h.app_mut::<StoreServer>(0).commands, n_cmds);
+        });
+    }
+}

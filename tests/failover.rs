@@ -1,0 +1,246 @@
+//! Integration: §5 (primary failure → secondary IP takeover) and §6
+//! (secondary failure → primary degrades), at various points in a
+//! connection's lifetime — the paper's headline property is that the
+//! failover can happen *at any time* and the client never notices.
+
+use tcp_failover::apps::driver::{BulkSendClient, RequestReplyClient};
+use tcp_failover::apps::store::{StoreClient, StoreServer};
+use tcp_failover::apps::stream::{SinkServer, SourceServer};
+use tcp_failover::core::detector::ReplicaController;
+use tcp_failover::core::testbed::{addrs, Testbed, TestbedConfig};
+use tcp_failover::net::time::SimDuration;
+use tcp_failover::tcp::host::Host;
+use tcp_failover::tcp::types::SocketAddr;
+
+fn server_addr(port: u16) -> SocketAddr {
+    SocketAddr::new(addrs::A_P, port)
+}
+
+macro_rules! replicate {
+    ($tb:expr, $mk:expr) => {{
+        let tb: &mut Testbed = $tb;
+        tb.sim.with::<Host, _>(tb.primary, |h, _| {
+            h.add_app(Box::new($mk));
+        });
+        let s = tb.secondary.expect("replicated testbed");
+        tb.sim.with::<Host, _>(s, |h, _| {
+            h.add_app(Box::new($mk));
+        });
+    }};
+}
+
+/// §5: kill the primary mid-download; the secondary takes over the
+/// primary's IP and finishes the transfer; the client's byte stream is
+/// intact.
+#[test]
+fn primary_fails_mid_download() {
+    let mut tb = Testbed::new(TestbedConfig::default());
+    replicate!(&mut tb, SourceServer::new(80));
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(RequestReplyClient::new(
+            server_addr(80),
+            b"SEND 2000000\n".to_vec(),
+            2_000_000,
+        )));
+    });
+    // Let roughly half the transfer happen, then fail the primary.
+    tb.run_for(SimDuration::from_millis(120));
+    let before = tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.app_mut::<RequestReplyClient>(0).received_len()
+    });
+    assert!(
+        before > 0 && before < 2_000_000,
+        "failover must hit mid-transfer, got {before}"
+    );
+    tb.kill_primary();
+    tb.run_for(SimDuration::from_secs(20));
+
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        let c = h.app_mut::<RequestReplyClient>(0);
+        assert!(c.is_done(), "transfer died at {} bytes", c.received_len());
+        assert_eq!(c.mismatches, 0, "stream corrupted across failover");
+    });
+    // The secondary detected the failure and took over.
+    let s = tb.secondary.unwrap();
+    let detected = tb.failover_detected_at(s);
+    assert!(detected.is_some(), "fault detector never fired");
+    tb.sim.with::<Host, _>(s, |h, _| {
+        assert!(
+            !h.net_mut().promiscuous,
+            "promiscuous mode disabled (§5 step 2)"
+        );
+        assert!(
+            h.net_mut().local_ips.contains(&addrs::A_P),
+            "IP takeover (§5 step 5)"
+        );
+    });
+}
+
+/// §5 again, but for a client→server upload: no byte the primary acked
+/// may be lost (requirement 2 of §2).
+#[test]
+fn primary_fails_mid_upload() {
+    let mut tb = Testbed::new(TestbedConfig::default());
+    replicate!(&mut tb, SinkServer::new(80));
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(BulkSendClient::new(server_addr(80), 2_000_000)));
+    });
+    tb.run_for(SimDuration::from_millis(120));
+    tb.kill_primary();
+    tb.run_for(SimDuration::from_secs(20));
+
+    let done = tb
+        .sim
+        .with::<Host, _>(tb.client, |h, _| h.app_mut::<BulkSendClient>(0).is_done());
+    assert!(done, "upload did not finish after failover");
+    // The surviving replica has the complete stream.
+    let s_received = tb.sim.with::<Host, _>(tb.secondary.unwrap(), |h, _| {
+        h.app_mut::<SinkServer>(0).received
+    });
+    assert_eq!(s_received, 2_000_000, "secondary missed acknowledged bytes");
+}
+
+/// §5 with an interactive session: the store keeps answering after the
+/// takeover, with per-connection state (stock, order ids) intact.
+#[test]
+fn primary_fails_mid_store_session() {
+    let mut tb = Testbed::new(TestbedConfig::default());
+    replicate!(&mut tb, StoreServer::new(80));
+    let mut script: Vec<String> = Vec::new();
+    for i in 0..40 {
+        script.push(format!("BROWSE item{i}"));
+        script.push(format!("BUY item{i} 1"));
+    }
+    script.push("QUIT".into());
+    let expected_cmds = script.len() as u64;
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(StoreClient::new(server_addr(80), script)));
+    });
+    tb.run_for(SimDuration::from_millis(40));
+    tb.kill_primary();
+    tb.run_for(SimDuration::from_secs(20));
+
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        let c = h.app_mut::<StoreClient>(0);
+        assert!(
+            c.is_done(),
+            "session stalled after {} replies",
+            c.replies.len()
+        );
+        assert_eq!(c.mismatches, 0, "post-failover replies diverged");
+    });
+    tb.sim.with::<Host, _>(tb.secondary.unwrap(), |h, _| {
+        assert_eq!(h.app_mut::<StoreServer>(0).commands, expected_cmds);
+    });
+}
+
+/// §6: kill the secondary mid-download; the primary flushes its output
+/// queue, stops delaying, and the transfer completes — with `Δseq`
+/// still subtracted from every outgoing sequence number.
+#[test]
+fn secondary_fails_mid_download() {
+    let mut tb = Testbed::new(TestbedConfig::default());
+    replicate!(&mut tb, SourceServer::new(80));
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(RequestReplyClient::new(
+            server_addr(80),
+            b"SEND 2000000\n".to_vec(),
+            2_000_000,
+        )));
+    });
+    tb.run_for(SimDuration::from_millis(120));
+    tb.kill_secondary();
+    tb.run_for(SimDuration::from_secs(20));
+
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        let c = h.app_mut::<RequestReplyClient>(0);
+        assert!(c.is_done(), "transfer died at {} bytes", c.received_len());
+        assert_eq!(c.mismatches, 0, "Δseq compensation broke the stream");
+    });
+    let detected = tb.failover_detected_at(tb.primary);
+    assert!(detected.is_some(), "primary never noticed");
+    assert_eq!(
+        tb.sim.with::<Host, _>(tb.primary, |h, _| {
+            h.filter_mut()
+                .as_any_mut()
+                .downcast_mut::<tcp_failover::core::PrimaryBridge>()
+                .unwrap()
+                .mode()
+        }),
+        tcp_failover::core::PrimaryMode::SecondaryFailed
+    );
+}
+
+/// §6 for an upload.
+#[test]
+fn secondary_fails_mid_upload() {
+    let mut tb = Testbed::new(TestbedConfig::default());
+    replicate!(&mut tb, SinkServer::new(80));
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(BulkSendClient::new(server_addr(80), 2_000_000)));
+    });
+    tb.run_for(SimDuration::from_millis(120));
+    tb.kill_secondary();
+    tb.run_for(SimDuration::from_secs(20));
+
+    let done = tb
+        .sim
+        .with::<Host, _>(tb.client, |h, _| h.app_mut::<BulkSendClient>(0).is_done());
+    assert!(done, "upload did not finish after secondary failure");
+    let p_received = tb
+        .sim
+        .with::<Host, _>(tb.primary, |h, _| h.app_mut::<SinkServer>(0).received);
+    assert_eq!(p_received, 2_000_000);
+}
+
+/// Failover before any connection exists: connections opened *after*
+/// the takeover go straight to the secondary (now owning a_p).
+#[test]
+fn connection_opened_after_takeover() {
+    let mut tb = Testbed::new(TestbedConfig::default());
+    replicate!(&mut tb, SourceServer::new(80));
+    tb.run_for(SimDuration::from_millis(20));
+    tb.kill_primary();
+    // Wait out detection + takeover.
+    tb.run_for(SimDuration::from_millis(500));
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(RequestReplyClient::new(
+            server_addr(80),
+            b"SEND 50000\n".to_vec(),
+            50_000,
+        )));
+    });
+    tb.run_for(SimDuration::from_secs(10));
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        let c = h.app_mut::<RequestReplyClient>(0);
+        assert!(c.is_done(), "post-takeover connect failed");
+        assert_eq!(c.mismatches, 0);
+    });
+}
+
+/// The detection timestamp respects the configured timeout.
+#[test]
+fn detection_latency_tracks_timeout() {
+    let mut tb = Testbed::new(TestbedConfig::default());
+    replicate!(&mut tb, SinkServer::new(80));
+    tb.run_for(SimDuration::from_millis(100));
+    let kill_time = tb.sim.now();
+    tb.kill_primary();
+    tb.run_for(SimDuration::from_secs(1));
+    let s = tb.secondary.unwrap();
+    let detected = tb.failover_detected_at(s).expect("detected");
+    let latency = detected.duration_since(kill_time);
+    let timeout = tb.config.detector.timeout;
+    assert!(latency >= timeout, "detected before timeout: {latency}");
+    assert!(
+        latency.as_millis() <= timeout.as_millis() + 30,
+        "detection too slow: {latency}"
+    );
+    // The controller counted heartbeats both ways before the failure.
+    tb.sim.with::<Host, _>(s, |h, _| {
+        let c = h.controller_mut::<ReplicaController>();
+        assert!(c.heartbeats_sent > 0);
+        assert!(c.heartbeats_received > 0);
+        assert!(c.failover_done_at.is_some());
+    });
+}
