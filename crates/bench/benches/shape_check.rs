@@ -6,27 +6,40 @@
 
 use tcpfo_bench::{
     measure_conn_setup, measure_recv_rate, measure_request_reply, measure_send_rate,
-    measure_send_time, Mode,
+    measure_send_time, telemetry_export_path, Mode,
 };
 use tcpfo_net::time::SimDuration;
+use tcpfo_telemetry::Journal;
 
+/// Records every verdict as a structured journal event (printed via
+/// the exposition format, exportable as JSON with `--telemetry`)
+/// instead of free-form prints.
 struct Checker {
+    journal: Journal,
     failures: u32,
 }
 
 impl Checker {
     fn check(&mut self, name: &str, ok: bool, detail: String) {
-        if ok {
-            println!("PASS  {name}: {detail}");
-        } else {
-            println!("FAIL  {name}: {detail}");
+        self.journal.record(
+            0,
+            "shape_check",
+            if ok { "pass" } else { "fail" },
+            &[("name", name.to_string()), ("detail", detail)],
+        );
+        let e = self.journal.tail(1).pop().expect("just recorded");
+        println!("{}", e.summary());
+        if !ok {
             self.failures += 1;
         }
     }
 }
 
 fn main() {
-    let mut c = Checker { failures: 0 };
+    let mut c = Checker {
+        journal: Journal::new(),
+        failures: 0,
+    };
 
     // E1: failover connection setup costs 1.3–2.2× standard, both in
     // the hundreds of microseconds (paper: 294 µs vs 505 µs = 1.72×).
@@ -98,6 +111,17 @@ fn main() {
         format!("send {std_send:.0} (paper 7834), recv {std_recv:.0} (paper 8708) KB/s"),
     );
 
+    if let Some(path) = telemetry_export_path() {
+        let path = if path.extension().is_some_and(|e| e == "json") {
+            path
+        } else {
+            let _ = std::fs::create_dir_all(&path);
+            path.join("shape_check.json")
+        };
+        if let Err(e) = std::fs::write(&path, c.journal.to_json()) {
+            eprintln!("telemetry export to {} failed: {e}", path.display());
+        }
+    }
     println!();
     if c.failures > 0 {
         println!("{} shape check(s) FAILED", c.failures);

@@ -1,3 +1,8 @@
+//! Debug harness for the Fig. 5 send-rate scenario: runs one failover
+//! upload and prints the unified telemetry exposition (metrics table,
+//! journal tail) instead of ad-hoc counters. Pass `--telemetry <path>`
+//! (or set `TCPFO_TELEMETRY_JSON`) to also write the JSON export.
+
 use tcpfo_apps::driver::BulkSendClient;
 use tcpfo_apps::stream::SinkServer;
 use tcpfo_bench::*;
@@ -19,20 +24,16 @@ fn main() {
         tb.sim
             .with::<Host, _>(tb.client, |h, _| h.app_mut::<BulkSendClient>(0).is_done())
     });
-    tb.sim.with::<Host, _>(tb.client, |h, _| {
-        for id in h.stack().socket_ids() {
-            let s = h.stack().socket(id).unwrap();
-            println!(
-                "client sock: retransmits={} cwnd={} sent={}",
-                s.retransmits,
-                s.cwnd(),
-                s.bytes_sent
-            );
+    // The registry carries everything the old debug prints showed:
+    // client retransmits and cwnd under `tcp.client.*`, the bridge
+    // counters under `core.primary.*`.
+    println!("{}", tb.metrics_snapshot().to_table());
+    let events = tb.telemetry.journal.tail(20);
+    if !events.is_empty() {
+        println!("journal tail:");
+        for e in &events {
+            println!("  {}", e.summary());
         }
-    });
-    let p = tb.primary_stats();
-    println!(
-        "primary: merged={} empty_acks={} rtx_fwd={}",
-        p.merged_segments, p.empty_acks, p.retransmissions_forwarded
-    );
+    }
+    export_run_telemetry(&mut tb, "dbg_fig5");
 }

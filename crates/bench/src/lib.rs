@@ -317,6 +317,7 @@ pub fn measure_failover_timing(timeout: SimDuration, seed: u64) -> FailoverTimin
         let c = h.app_mut::<RequestReplyClient>(0);
         c.is_done() && c.mismatches == 0
     });
+    export_run_telemetry(&mut tb, &format!("failover_{}ms", timeout.as_millis()));
     FailoverTiming {
         timeout,
         detection: detected.duration_since(killed_at),
@@ -358,6 +359,46 @@ pub fn measure_goodput_under_loss(mode: Mode, loss: f64, bytes: u64, seed: u64) 
         c.transfer_time()
             .map(|d| bytes as f64 / 1000.0 / d.as_secs_f64())
     })
+}
+
+// ---------------------------------------------------------------------
+// Telemetry export
+// ---------------------------------------------------------------------
+
+/// Destination for machine-readable telemetry exports: the value of a
+/// `--telemetry <path>` command-line argument if present, else the
+/// `TCPFO_TELEMETRY_JSON` environment variable. `None` disables export
+/// (the default for plain `cargo bench` runs).
+pub fn telemetry_export_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--telemetry" {
+            return args.next().map(Into::into);
+        }
+    }
+    std::env::var_os("TCPFO_TELEMETRY_JSON").map(Into::into)
+}
+
+/// Writes the testbed's full telemetry export (metrics registry, §5
+/// failover timeline, event journal) as JSON when a destination is
+/// configured — see [`telemetry_export_path`]. A destination ending in
+/// `.json` is written directly; anything else is treated as a
+/// directory receiving `<label>.json`.
+pub fn export_run_telemetry(tb: &mut Testbed, label: &str) {
+    let Some(path) = telemetry_export_path() else {
+        return;
+    };
+    let path = if path.extension().is_some_and(|e| e == "json") {
+        path
+    } else {
+        let _ = std::fs::create_dir_all(&path);
+        path.join(format!("{label}.json"))
+    };
+    let doc = tb.export_telemetry_json();
+    match std::fs::write(&path, doc) {
+        Ok(()) => eprintln!("telemetry written to {}", path.display()),
+        Err(e) => eprintln!("telemetry export to {} failed: {e}", path.display()),
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -20,6 +20,7 @@ use bytes::Bytes;
 use std::any::Any;
 use tcpfo_net::time::{SimDuration, SimTime};
 use tcpfo_tcp::host::{HostController, HostServices};
+use tcpfo_telemetry::{Counter, FailoverPhase, Telemetry};
 use tcpfo_wire::ipv4::{Ipv4Addr, PROTO_HEARTBEAT};
 
 /// Which replica this controller runs on.
@@ -49,6 +50,16 @@ impl Default for DetectorConfig {
     }
 }
 
+/// Registry handles for one controller, under `core.detector.primary`
+/// or `core.detector.secondary` depending on the role.
+struct DetectorInstruments {
+    hub: Telemetry,
+    scope: &'static str,
+    heartbeats_sent: Counter,
+    heartbeats_received: Counter,
+    rejoins: Counter,
+}
+
 /// The replica-side controller: heartbeats + failover procedures.
 pub struct ReplicaController {
     role: Role,
@@ -68,6 +79,7 @@ pub struct ReplicaController {
     pub heartbeats_received: u64,
     /// Times a declared-dead peer came back and was reintegrated.
     pub rejoins: u64,
+    telemetry: Option<DetectorInstruments>,
 }
 
 impl ReplicaController {
@@ -93,6 +105,38 @@ impl ReplicaController {
             heartbeats_sent: 0,
             heartbeats_received: 0,
             rejoins: 0,
+            telemetry: None,
+        }
+    }
+
+    /// Connects the controller to a telemetry hub: mirrors heartbeat
+    /// counters under `core.detector.{primary,secondary}`, journals
+    /// every failover step, and stamps the §5 timeline phases
+    /// (detection, egress hold, ARP takeover).
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        let scope_name = match self.role {
+            Role::Primary => "core.detector.primary",
+            Role::Secondary => "core.detector.secondary",
+        };
+        let scope = telemetry.registry.scope(scope_name);
+        self.telemetry = Some(DetectorInstruments {
+            hub: telemetry.clone(),
+            scope: scope_name,
+            heartbeats_sent: scope.counter("heartbeats_sent"),
+            heartbeats_received: scope.counter("heartbeats_received"),
+            rejoins: scope.counter("rejoins"),
+        });
+    }
+
+    fn journal(&self, now: SimTime, kind: &str, fields: &[(&str, String)]) {
+        if let Some(t) = &self.telemetry {
+            t.hub.journal.record(now.as_nanos(), t.scope, kind, fields);
+        }
+    }
+
+    fn mark(&self, phase: FailoverPhase, now: SimTime) {
+        if let Some(t) = &self.telemetry {
+            t.hub.timeline.mark(phase, now.as_nanos());
         }
     }
 
@@ -105,6 +149,8 @@ impl ReplicaController {
         let now = services.now;
         if self.peer_failed_at.is_none() {
             self.peer_failed_at = Some(now);
+            self.mark(FailoverPhase::Detection, now);
+            self.journal(now, "detection", &[("peer", self.peer_ip.to_string())]);
         }
         match self.role {
             Role::Secondary => self.takeover(services),
@@ -115,12 +161,15 @@ impl ReplicaController {
 
     /// §5: the primary failed; the secondary takes over its identity.
     fn takeover(&mut self, services: &mut HostServices<'_, '_>) {
+        let now = services.now;
         let bridge = services
             .filter
             .as_any_mut()
             .downcast_mut::<SecondaryBridge>()
             .expect("secondary controller requires SecondaryBridge");
         // Step 1: stop sending client-addressed TCP segments.
+        self.mark(FailoverPhase::EgressHold, now);
+        self.journal(now, "takeover.egress_hold", &[]);
         bridge.prepare_takeover();
         // Step 2: disable promiscuous receive mode.
         services.net.promiscuous = false;
@@ -134,6 +183,8 @@ impl ReplicaController {
         }
         services.stack.rebind_local_ip(self.a_s, self.a_p);
         services.net.gratuitous_arp(self.a_p, services.ctx);
+        self.mark(FailoverPhase::ArpTakeover, now);
+        self.journal(now, "takeover.arp", &[("vip", self.a_p.to_string())]);
         // "After the change of IP address is completed, the bridge
         // resumes sending TCP segments" — retransmission timers on the
         // re-keyed sockets take it from here.
@@ -142,6 +193,7 @@ impl ReplicaController {
     /// §6: the secondary failed; the primary flushes and degrades.
     fn drop_secondary(&mut self, services: &mut HostServices<'_, '_>) {
         let now_nanos = services.now.as_nanos();
+        self.journal(services.now, "secondary_failed", &[]);
         let bridge = services
             .filter
             .as_any_mut()
@@ -162,8 +214,14 @@ impl HostController for ReplicaController {
             self.heartbeats_sent += 1;
             self.next_send = now + self.config.interval;
         }
+        if let Some(t) = &self.telemetry {
+            t.heartbeats_sent.set_at_least(self.heartbeats_sent);
+            t.heartbeats_received.set_at_least(self.heartbeats_received);
+            t.rejoins.set_at_least(self.rejoins);
+        }
         if self.peer_failed_at.is_none() && now.duration_since(last) > self.config.timeout {
-            self.peer_failed_at = Some(now);
+            // force_failover records peer_failed_at (and the Detection
+            // timeline mark) before running the role's procedure.
             self.force_failover(services);
         }
     }
@@ -192,6 +250,7 @@ impl HostController for ReplicaController {
                 self.peer_failed_at = None;
                 self.failover_done_at = None;
                 self.rejoins += 1;
+                self.journal(services.now, "reintegration", &[("peer", src.to_string())]);
             }
         }
     }

@@ -30,6 +30,7 @@ use std::collections::HashMap;
 use tcpfo_tcp::filter::{AddressedSegment, FailoverRule, FilterOutput, SegmentFilter};
 use tcpfo_tcp::seq::{seq_gt, seq_le, seq_min};
 use tcpfo_tcp::types::SocketAddr;
+use tcpfo_telemetry::{Counter, Gauge, Telemetry};
 use tcpfo_wire::ipv4::Ipv4Addr;
 use tcpfo_wire::tcp::{SegmentPatcher, TcpFlags, TcpSegment};
 
@@ -89,6 +90,28 @@ pub struct PrimaryStats {
     pub fins_sent: u64,
     /// Connections fully torn down.
     pub conns_closed: u64,
+}
+
+/// Registry handles mirroring [`PrimaryStats`] plus output-queue depth
+/// gauges, all under the `core.primary` scope. `now_ns` caches the sim
+/// time of the segment currently being filtered so journal events
+/// emitted deep inside the merge logic carry a timestamp (the inner
+/// merge functions deliberately do not take a clock).
+struct PrimaryInstruments {
+    hub: Telemetry,
+    merged_segments: Counter,
+    merged_bytes: Counter,
+    empty_acks: Counter,
+    retransmissions_forwarded: Counter,
+    acks_translated: Counter,
+    late_fin_acks: Counter,
+    mismatched_bytes: Counter,
+    drops: Counter,
+    fins_sent: Counter,
+    conns_closed: Counter,
+    pq_depth: Gauge,
+    sq_depth: Gauge,
+    now_ns: u64,
 }
 
 /// Per-connection bridge state.
@@ -211,6 +234,7 @@ pub struct PrimaryBridge {
     pub unsafe_ack_without_min: bool,
     /// Statistics.
     pub stats: PrimaryStats,
+    telemetry: Option<PrimaryInstruments>,
 }
 
 impl PrimaryBridge {
@@ -226,6 +250,66 @@ impl PrimaryBridge {
             closed: HashMap::new(),
             unsafe_ack_without_min: false,
             stats: PrimaryStats::default(),
+            telemetry: None,
+        }
+    }
+
+    /// Connects the bridge to a telemetry hub: mirrors
+    /// [`PrimaryStats`] onto registry counters under `core.primary`,
+    /// tracks output-queue depths, and journals sync / empty-ACK /
+    /// retransmission / degradation events.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        let scope = telemetry.registry.scope("core.primary");
+        self.telemetry = Some(PrimaryInstruments {
+            hub: telemetry.clone(),
+            merged_segments: scope.counter("merged_segments"),
+            merged_bytes: scope.counter("merged_bytes"),
+            empty_acks: scope.counter("empty_acks"),
+            retransmissions_forwarded: scope.counter("retransmissions_forwarded"),
+            acks_translated: scope.counter("acks_translated"),
+            late_fin_acks: scope.counter("late_fin_acks"),
+            mismatched_bytes: scope.counter("mismatched_bytes"),
+            drops: scope.counter("drops"),
+            fins_sent: scope.counter("fins_sent"),
+            conns_closed: scope.counter("conns_closed"),
+            pq_depth: scope.gauge("pq_depth"),
+            sq_depth: scope.gauge("sq_depth"),
+            now_ns: 0,
+        });
+    }
+
+    /// Publishes [`PrimaryStats`] and the summed output-queue depths to
+    /// the registry. Runs on every filtered segment; snapshotting code
+    /// (the testbed) calls it once more so the registry is fresh even
+    /// when the last event predates the snapshot.
+    pub fn sync_telemetry(&mut self, now_nanos: u64) {
+        let (pq, sq) = self.conns.values().fold((0u64, 0u64), |(p, s), c| {
+            (p + c.pq.len() as u64, s + c.sq.len() as u64)
+        });
+        let Some(t) = &mut self.telemetry else {
+            return;
+        };
+        t.now_ns = now_nanos;
+        t.merged_segments.set_at_least(self.stats.merged_segments);
+        t.merged_bytes.set_at_least(self.stats.merged_bytes);
+        t.empty_acks.set_at_least(self.stats.empty_acks);
+        t.retransmissions_forwarded
+            .set_at_least(self.stats.retransmissions_forwarded);
+        t.acks_translated.set_at_least(self.stats.acks_translated);
+        t.late_fin_acks.set_at_least(self.stats.late_fin_acks);
+        t.mismatched_bytes.set_at_least(self.stats.mismatched_bytes);
+        t.drops.set_at_least(self.stats.drops);
+        t.fins_sent.set_at_least(self.stats.fins_sent);
+        t.conns_closed.set_at_least(self.stats.conns_closed);
+        t.pq_depth.set_at(pq, now_nanos);
+        t.sq_depth.set_at(sq, now_nanos);
+    }
+
+    /// Appends an event to the journal, stamped with the sim time of
+    /// the segment currently being filtered.
+    fn journal(&self, kind: &str, fields: &[(&str, String)]) {
+        if let Some(t) = &self.telemetry {
+            t.hub.journal.record(t.now_ns, "core.primary", kind, fields);
         }
     }
 
@@ -258,6 +342,8 @@ impl PrimaryBridge {
     /// pass-through. The returned output must be dispatched by the
     /// caller (the host controller).
     pub fn secondary_failed(&mut self, now_nanos: u64) -> FilterOutput {
+        self.sync_telemetry(now_nanos);
+        self.journal("degraded", &[("live_conns", self.conns.len().to_string())]);
         let mut out = FilterOutput::empty();
         self.mode = PrimaryMode::SecondaryFailed;
         let mut finished = Vec::new();
@@ -333,6 +419,7 @@ impl PrimaryBridge {
                 );
             }
         }
+        self.sync_telemetry(now_nanos);
         out
     }
 
@@ -344,6 +431,7 @@ impl PrimaryBridge {
     /// restarted secondary never saw their establishment.
     pub fn reintegrate(&mut self) {
         self.mode = PrimaryMode::Normal;
+        self.journal("reintegrated", &[]);
     }
 
     // ---------------------------------------------------------------
@@ -443,6 +531,7 @@ impl PrimaryBridge {
                     .window(conn.min_win())
                     .build();
                 self.stats.empty_acks += 1;
+                self.journal("empty_ack", &[("ack", m.to_string())]);
                 self.emit_to_client(&mut conn, seg, out);
             }
         }
@@ -477,6 +566,13 @@ impl PrimaryBridge {
         }
         let seg = b.build();
         let mut conn = self.conns.remove(&key).expect("conn present");
+        self.journal(
+            "sync",
+            &[
+                ("client", format!("{}:{}", conn.client.ip, conn.client.port)),
+                ("delta_seq", delta.to_string()),
+            ],
+        );
         self.emit_to_client(&mut conn, seg, out);
         self.conns.insert(key, conn);
     }
@@ -501,6 +597,7 @@ impl PrimaryBridge {
         }
         let seg = b.build();
         self.stats.retransmissions_forwarded += 1;
+        self.journal("retransmission", &[("kind", "syn".to_string())]);
         let mut conn = self.conns.remove(&key).expect("conn present");
         self.emit_to_client(&mut conn, seg, out);
         self.conns.insert(key, conn);
@@ -633,6 +730,13 @@ impl PrimaryBridge {
                 .payload(seg.payload.clone())
                 .build();
             self.stats.retransmissions_forwarded += 1;
+            self.journal(
+                "retransmission",
+                &[
+                    ("seq", seq.to_string()),
+                    ("len", seg.payload.len().to_string()),
+                ],
+            );
             let mut conn = self.conns.remove(&key).expect("conn present");
             self.emit_to_client(&mut conn, rtx, out);
             self.conns.insert(key, conn);
@@ -669,6 +773,10 @@ impl PrimaryBridge {
                             .window(conn.min_win())
                             .build();
                         self.stats.empty_acks += 1;
+                        self.journal(
+                            "empty_ack",
+                            &[("ack", m.to_string()), ("kind", "re_ack".to_string())],
+                        );
                         let mut conn = self.conns.remove(&key).expect("conn present");
                         self.emit_to_client(&mut conn, seg, out);
                         self.conns.insert(key, conn);
@@ -829,6 +937,7 @@ impl PrimaryBridge {
 impl SegmentFilter for PrimaryBridge {
     fn on_outbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput {
         self.gc_tombstones(now_nanos);
+        self.sync_telemetry(now_nanos);
         let Ok(parsed) = TcpSegment::decode(&seg.bytes) else {
             return FilterOutput::wire(seg);
         };
@@ -894,6 +1003,7 @@ impl SegmentFilter for PrimaryBridge {
 
     fn on_inbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput {
         self.gc_tombstones(now_nanos);
+        self.sync_telemetry(now_nanos);
         let Ok(parsed) = TcpSegment::decode(&seg.bytes) else {
             return FilterOutput::tcp(seg);
         };

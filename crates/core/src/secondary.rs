@@ -22,6 +22,7 @@ use crate::designation::{ConnKey, FailoverConfig};
 use std::collections::HashSet;
 use tcpfo_tcp::filter::{AddressedSegment, FailoverRule, FilterOutput, SegmentFilter};
 use tcpfo_tcp::types::SocketAddr;
+use tcpfo_telemetry::{Counter, FailoverPhase, Telemetry};
 use tcpfo_wire::ipv4::Ipv4Addr;
 use tcpfo_wire::tcp::{SegmentPatcher, TcpFlags, TcpView};
 
@@ -34,6 +35,15 @@ pub struct SecondaryStats {
     pub egress_diverted: u64,
     /// Segments dropped while egress was held during takeover.
     pub held_dropped: u64,
+}
+
+/// Registry handles mirroring [`SecondaryStats`] under the
+/// `core.secondary` scope, plus the shared hub for timeline marks.
+struct SecondaryInstruments {
+    hub: Telemetry,
+    ingress_translated: Counter,
+    egress_diverted: Counter,
+    held_dropped: Counter,
 }
 
 /// Operating state of the secondary bridge.
@@ -82,6 +92,7 @@ pub struct SecondaryBridge {
     seen: HashSet<ConnKey>,
     /// Statistics.
     pub stats: SecondaryStats,
+    telemetry: Option<SecondaryInstruments>,
 }
 
 impl SecondaryBridge {
@@ -95,7 +106,33 @@ impl SecondaryBridge {
             mode: SecondaryMode::Active,
             seen: HashSet::new(),
             stats: SecondaryStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Connects the bridge to a telemetry hub: mirrors
+    /// [`SecondaryStats`] onto registry counters under `core.secondary`
+    /// and stamps the [`FailoverPhase::FirstClientByte`] timeline mark
+    /// when the first post-takeover data segment leaves for the client.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        let scope = telemetry.registry.scope("core.secondary");
+        self.telemetry = Some(SecondaryInstruments {
+            hub: telemetry.clone(),
+            ingress_translated: scope.counter("ingress_translated"),
+            egress_diverted: scope.counter("egress_diverted"),
+            held_dropped: scope.counter("held_dropped"),
+        });
+    }
+
+    /// Publishes [`SecondaryStats`] to the registry.
+    pub fn sync_telemetry(&mut self, _now_nanos: u64) {
+        let Some(t) = &self.telemetry else {
+            return;
+        };
+        t.ingress_translated
+            .set_at_least(self.stats.ingress_translated);
+        t.egress_diverted.set_at_least(self.stats.egress_diverted);
+        t.held_dropped.set_at_least(self.stats.held_dropped);
     }
 
     /// Current mode.
@@ -139,8 +176,32 @@ impl SecondaryBridge {
 }
 
 impl SegmentFilter for SecondaryBridge {
-    fn on_outbound(&mut self, seg: AddressedSegment, _now: u64) -> FilterOutput {
+    fn on_outbound(&mut self, seg: AddressedSegment, now: u64) -> FilterOutput {
+        self.sync_telemetry(now);
         if self.mode == SecondaryMode::Disabled {
+            // §5 complete: the first data byte the promoted secondary
+            // sends toward the client closes the failover timeline.
+            if let Some(t) = &self.telemetry {
+                if t.hub.timeline.at(FailoverPhase::FirstClientByte).is_none()
+                    && seg.dst != self.a_p
+                    && seg.dst != self.a_s
+                {
+                    if let Ok(view) = TcpView::new(&seg.bytes) {
+                        if !view.payload().is_empty() {
+                            t.hub.timeline.mark(FailoverPhase::FirstClientByte, now);
+                            t.hub.journal.record(
+                                now,
+                                "core.secondary",
+                                "first_client_byte",
+                                &[
+                                    ("seq", view.seq().to_string()),
+                                    ("len", view.payload().len().to_string()),
+                                ],
+                            );
+                        }
+                    }
+                }
+            }
             return FilterOutput::wire(seg);
         }
         let Ok(view) = TcpView::new(&seg.bytes) else {
@@ -167,7 +228,8 @@ impl SegmentFilter for SecondaryBridge {
         FilterOutput::wire(AddressedSegment::new(src, dst, bytes))
     }
 
-    fn on_inbound(&mut self, seg: AddressedSegment, _now: u64) -> FilterOutput {
+    fn on_inbound(&mut self, seg: AddressedSegment, now: u64) -> FilterOutput {
+        self.sync_telemetry(now);
         // While holding (§5 step 1) ingress translation stays active:
         // "the secondary server can receive data from the client until
         // the promiscuous receive mode of its network interface is

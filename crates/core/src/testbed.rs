@@ -23,8 +23,10 @@ use tcpfo_net::router::{Interface, Router};
 use tcpfo_net::sim::{NodeId, Simulator};
 use tcpfo_net::switch::Switch;
 use tcpfo_net::time::SimDuration;
+use tcpfo_net::trace::{to_pcapng, TraceKind};
 use tcpfo_tcp::config::TcpConfig;
 use tcpfo_tcp::host::{spawn_host, CpuModel, Host, HostConfig};
+use tcpfo_telemetry::{FailoverPhase, MetricsSnapshot, Telemetry};
 
 /// Well-known testbed addresses.
 pub mod addrs {
@@ -172,12 +174,17 @@ pub struct Testbed {
     pub segment: NodeId,
     /// The configuration it was built from.
     pub config: TestbedConfig,
+    /// The telemetry hub shared by the simulator, every host stack, the
+    /// bridges and the fault detectors.
+    pub telemetry: Telemetry,
 }
 
 impl Testbed {
     /// Builds the testbed.
     pub fn new(config: TestbedConfig) -> Self {
+        let telemetry = Telemetry::new();
         let mut sim = Simulator::new(config.seed);
+        sim.set_telemetry(telemetry.clone());
         let ports = if config.with_backend { 4 } else { 3 };
         let segment: NodeId = match config.segment {
             SegmentKind::Hub => sim.add_device(Box::new(Hub::new("segment", ports, 100_000_000))),
@@ -221,20 +228,27 @@ impl Testbed {
             .with_tcp(mk_tcp(1));
         client_cfg.cpu = config.client_cpu;
         client_cfg.tick = config.tick;
-        let client = spawn_host(&mut sim, Host::new(client_cfg));
+        let mut client_host = Host::new(client_cfg);
+        client_host.set_telemetry(&telemetry);
+        let client = spawn_host(&mut sim, client_host);
 
         // Primary.
         let mut primary_host = Host::new(mk_host("primary", macs::PRIMARY, addrs::A_P, mk_tcp(2)));
+        primary_host.set_telemetry(&telemetry);
         if config.replicated {
             let fo = FailoverConfig::from_ports(config.failover_ports.iter().copied());
-            primary_host.set_filter(Box::new(PrimaryBridge::new(addrs::A_P, addrs::A_S, fo)));
-            primary_host.set_controller(Box::new(ReplicaController::new(
+            let mut bridge = PrimaryBridge::new(addrs::A_P, addrs::A_S, fo);
+            bridge.set_telemetry(&telemetry);
+            primary_host.set_filter(Box::new(bridge));
+            let mut controller = ReplicaController::new(
                 Role::Primary,
                 addrs::A_S,
                 addrs::A_P,
                 addrs::A_S,
                 config.detector,
-            )));
+            );
+            controller.set_telemetry(&telemetry);
+            primary_host.set_controller(Box::new(controller));
             for &p in &config.failover_ports {
                 primary_host.stack_mut().add_failover_port(p);
             }
@@ -246,15 +260,20 @@ impl Testbed {
             let mut cfg = mk_host("secondary", macs::SECONDARY, addrs::A_S, mk_tcp(3));
             cfg.promiscuous = true;
             let mut host = Host::new(cfg);
+            host.set_telemetry(&telemetry);
             let fo = FailoverConfig::from_ports(config.failover_ports.iter().copied());
-            host.set_filter(Box::new(SecondaryBridge::new(addrs::A_P, addrs::A_S, fo)));
-            host.set_controller(Box::new(ReplicaController::new(
+            let mut bridge = SecondaryBridge::new(addrs::A_P, addrs::A_S, fo);
+            bridge.set_telemetry(&telemetry);
+            host.set_filter(Box::new(bridge));
+            let mut controller = ReplicaController::new(
                 Role::Secondary,
                 addrs::A_P,
                 addrs::A_P,
                 addrs::A_S,
                 config.detector,
-            )));
+            );
+            controller.set_telemetry(&telemetry);
+            host.set_controller(Box::new(controller));
             for &p in &config.failover_ports {
                 host.stack_mut().add_failover_port(p);
             }
@@ -265,7 +284,8 @@ impl Testbed {
 
         // Back-end.
         let backend = if config.with_backend {
-            let host = Host::new(mk_host("backend", macs::BACKEND, addrs::A_T, mk_tcp(4)));
+            let mut host = Host::new(mk_host("backend", macs::BACKEND, addrs::A_T, mk_tcp(4)));
+            host.set_telemetry(&telemetry);
             Some(spawn_host(&mut sim, host))
         } else {
             None
@@ -314,6 +334,7 @@ impl Testbed {
             router,
             segment,
             config,
+            telemetry,
         };
         tb.prime_arp_caches();
         tb
@@ -365,14 +386,27 @@ impl Testbed {
     /// Kills the primary host (fail-stop). The secondary's fault
     /// detector will take over after its timeout.
     pub fn kill_primary(&mut self) {
+        self.mark_failure("primary");
         self.sim.kill(self.primary);
     }
 
     /// Kills the secondary host (fail-stop).
     pub fn kill_secondary(&mut self) {
         if let Some(s) = self.secondary {
+            self.mark_failure("secondary");
             self.sim.kill(s);
         }
+    }
+
+    /// Stamps [`FailoverPhase::Failure`] on the shared timeline — the
+    /// injected fail-stop is the reference point every later phase is
+    /// measured against.
+    fn mark_failure(&self, which: &str) {
+        let now = self.sim.now().as_nanos();
+        self.telemetry.timeline.mark(FailoverPhase::Failure, now);
+        self.telemetry
+            .journal
+            .record(now, "testbed", "kill", &[("node", which.to_string())]);
     }
 
     /// Boots a fresh secondary in place of a killed one (empty state,
@@ -393,15 +427,20 @@ impl Testbed {
         cfg.tick = self.config.tick;
         cfg.promiscuous = true;
         let mut host = Host::new(cfg);
+        host.set_telemetry(&self.telemetry);
         let fo = FailoverConfig::from_ports(self.config.failover_ports.iter().copied());
-        host.set_filter(Box::new(SecondaryBridge::new(addrs::A_P, addrs::A_S, fo)));
-        host.set_controller(Box::new(ReplicaController::new(
+        let mut bridge = SecondaryBridge::new(addrs::A_P, addrs::A_S, fo);
+        bridge.set_telemetry(&self.telemetry);
+        host.set_filter(Box::new(bridge));
+        let mut controller = ReplicaController::new(
             Role::Secondary,
             addrs::A_P,
             addrs::A_P,
             addrs::A_S,
             self.config.detector,
-        )));
+        );
+        controller.set_telemetry(&self.telemetry);
+        host.set_controller(Box::new(controller));
         for &p in &self.config.failover_ports {
             host.stack_mut().add_failover_port(p);
         }
@@ -449,6 +488,90 @@ impl Testbed {
         self.sim.with::<Host, _>(node, |h, _| {
             h.controller_mut::<ReplicaController>().peer_failed_at
         })
+    }
+
+    /// Pushes each bridge's latest stats into the registry so a
+    /// snapshot taken now reflects segments filtered since the last
+    /// one (bridges otherwise publish lazily, on their next segment).
+    fn sync_bridge_telemetry(&mut self) {
+        let now = self.sim.now().as_nanos();
+        self.sim.with::<Host, _>(self.primary, |h, _| {
+            if let Some(b) = h.filter_mut().as_any_mut().downcast_mut::<PrimaryBridge>() {
+                b.sync_telemetry(now);
+            }
+        });
+        if let Some(s) = self.secondary {
+            self.sim.with::<Host, _>(s, |h, _| {
+                if let Some(b) = h
+                    .filter_mut()
+                    .as_any_mut()
+                    .downcast_mut::<SecondaryBridge>()
+                {
+                    b.sync_telemetry(now);
+                }
+            });
+        }
+    }
+
+    /// A fresh snapshot of every registered metric, from all layers.
+    pub fn metrics_snapshot(&mut self) -> MetricsSnapshot {
+        self.sync_bridge_telemetry();
+        self.telemetry.registry.snapshot(self.sim.now().as_nanos())
+    }
+
+    /// The full telemetry export (metrics + failover timeline + event
+    /// journal) as a JSON document.
+    pub fn export_telemetry_json(&mut self) -> String {
+        self.sync_bridge_telemetry();
+        self.telemetry.export_json(self.sim.now().as_nanos())
+    }
+
+    /// A pcapng capture of every traced frame the client host received,
+    /// openable in Wireshark/tshark. Requires tracing
+    /// (`tb.sim.set_trace_enabled(true)`) during the run.
+    pub fn client_capture_pcapng(&mut self) -> Vec<u8> {
+        let client = self.client;
+        let entries = self.sim.trace_tail(usize::MAX);
+        to_pcapng(&entries, |e| {
+            e.node == client && matches!(e.kind, TraceKind::Rx { .. })
+        })
+    }
+
+    /// Everything needed to diagnose a failed run from the log alone:
+    /// the tail of the packet trace, the failover timeline, and a
+    /// metrics snapshot.
+    pub fn dump_diagnostics(&mut self, trace_tail: usize) -> String {
+        let snap = self.metrics_snapshot();
+        let mut out = String::new();
+        out.push_str("--- trace tail ---\n");
+        let entries = self.sim.trace_tail(trace_tail);
+        if entries.is_empty() {
+            out.push_str("(no trace; enable with sim.set_trace_enabled(true))\n");
+        }
+        for e in &entries {
+            out.push_str(&e.summary());
+            out.push('\n');
+        }
+        out.push_str("--- failover timeline ---\n");
+        out.push_str(&self.telemetry.timeline.breakdown());
+        out.push_str("--- journal tail ---\n");
+        for e in self.telemetry.journal.tail(20) {
+            out.push_str(&e.summary());
+            out.push('\n');
+        }
+        out.push_str("--- metrics ---\n");
+        out.push_str(&snap.to_table());
+        out
+    }
+
+    /// Asserts `cond`, panicking with `msg` *plus* the full
+    /// diagnostics dump — so a CI failure log carries the trace tail,
+    /// timeline and metrics without re-running anything.
+    #[track_caller]
+    pub fn expect(&mut self, cond: bool, msg: &str) {
+        if !cond {
+            panic!("{msg}\n{}", self.dump_diagnostics(40));
+        }
     }
 }
 

@@ -13,10 +13,9 @@
 //!   [`LinkParams::wan`] with loss and long propagation
 
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Parameters of one direction of a link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkParams {
     /// Serialisation bandwidth in bits/s; `None` means the link itself
     /// does not serialise (a shared medium attached to it will).

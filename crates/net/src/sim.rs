@@ -17,7 +17,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use tcpfo_telemetry::{Counter, Gauge, Telemetry};
+
+/// Default bound on retained trace entries (drop-oldest beyond this).
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
 /// Index of a device within a [`Simulator`].
 pub type NodeId = usize;
@@ -154,6 +158,15 @@ impl<'a> Ctx<'a> {
     }
 }
 
+/// Cached per-`(node, port)` instrument handles so the transmit hot
+/// path does one `HashMap` lookup instead of a registry name lookup.
+struct LinkInstruments {
+    drops_loss: Counter,
+    drops_queue_full: Counter,
+    drops_no_wire: Counter,
+    queue_delay_ns: Gauge,
+}
+
 struct SimCore {
     now: SimTime,
     seq: u64,
@@ -163,8 +176,12 @@ struct SimCore {
     dead: Vec<bool>,
     rng: StdRng,
     trace_enabled: bool,
-    trace: Vec<TraceEntry>,
+    trace: VecDeque<TraceEntry>,
+    trace_capacity: usize,
+    trace_dropped: u64,
     events_processed: u64,
+    telemetry: Option<Telemetry>,
+    link_instruments: HashMap<(NodeId, usize), LinkInstruments>,
 }
 
 impl SimCore {
@@ -176,7 +193,11 @@ impl SimCore {
 
     fn trace(&mut self, at: SimTime, node: NodeId, kind: TraceKind, frame: Option<&Bytes>) {
         if self.trace_enabled {
-            self.trace.push(TraceEntry {
+            if self.trace.len() == self.trace_capacity {
+                self.trace.pop_front();
+                self.trace_dropped += 1;
+            }
+            self.trace.push_back(TraceEntry {
                 at,
                 node,
                 kind,
@@ -185,9 +206,29 @@ impl SimCore {
         }
     }
 
+    fn link_instruments(&mut self, node: NodeId, port: usize) -> Option<&LinkInstruments> {
+        let telemetry = self.telemetry.as_ref()?;
+        Some(
+            self.link_instruments
+                .entry((node, port))
+                .or_insert_with(|| {
+                    let scope = telemetry.registry.scope(&format!("net.n{node}.p{port}"));
+                    LinkInstruments {
+                        drops_loss: scope.counter("drops.loss"),
+                        drops_queue_full: scope.counter("drops.queue_full"),
+                        drops_no_wire: scope.counter("drops.no_wire"),
+                        queue_delay_ns: scope.gauge("queue_delay_ns"),
+                    }
+                }),
+        )
+    }
+
     fn transmit(&mut self, node: NodeId, port: usize, frame: Bytes, delay: SimDuration) {
         let Some(&WireEnd { wire, side }) = self.ports.get(&(node, port)) else {
             let now = self.now;
+            if let Some(i) = self.link_instruments(node, port) {
+                i.drops_no_wire.inc_at(now.as_nanos());
+            }
             self.trace(now, node, TraceKind::DropNoWire { port }, Some(&frame));
             return;
         };
@@ -195,15 +236,29 @@ impl SimCore {
         let w = &mut self.wires[wire];
         let params = w.params[side];
         let start = w.busy_until[side].max(now);
-        if start.duration_since(now) > params.max_queue {
+        let queue_delay = start.duration_since(now);
+        if queue_delay > params.max_queue {
+            if let Some(i) = self.link_instruments(node, port) {
+                i.drops_queue_full.inc_at(now.as_nanos());
+            }
             self.trace(now, node, TraceKind::DropQueueFull { port }, Some(&frame));
             return;
         }
+        if self.telemetry.is_some() {
+            if let Some(i) = self.link_instruments(node, port) {
+                i.queue_delay_ns
+                    .set_at(queue_delay.as_nanos(), now.as_nanos());
+            }
+        }
+        let w = &mut self.wires[wire];
         let ser = params.serialization(frame.len());
         w.busy_until[side] = start + ser;
         let lost = params.loss > 0.0 && self.rng.gen::<f64>() < params.loss;
         let (peer_node, peer_port) = w.ends[1 - side];
         if lost {
+            if let Some(i) = self.link_instruments(node, port) {
+                i.drops_loss.inc_at(now.as_nanos());
+            }
             self.trace(now, node, TraceKind::DropLoss { port }, Some(&frame));
             return;
         }
@@ -257,8 +312,12 @@ impl Simulator {
                 dead: Vec::new(),
                 rng: StdRng::seed_from_u64(seed),
                 trace_enabled: false,
-                trace: Vec::new(),
+                trace: VecDeque::new(),
+                trace_capacity: DEFAULT_TRACE_CAPACITY,
+                trace_dropped: 0,
                 events_processed: 0,
+                telemetry: None,
+                link_instruments: HashMap::new(),
             },
             nodes: Vec::new(),
         }
@@ -450,9 +509,54 @@ impl Simulator {
         self.core.trace_enabled = enabled;
     }
 
+    /// Bounds the trace ring buffer to `capacity` entries. When full,
+    /// the *oldest* entries are evicted (and counted by
+    /// [`Simulator::trace_dropped`]), so the retained tail always
+    /// covers the most recent activity. Defaults to
+    /// [`DEFAULT_TRACE_CAPACITY`].
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        let capacity = capacity.max(1);
+        self.core.trace_capacity = capacity;
+        while self.core.trace.len() > capacity {
+            self.core.trace.pop_front();
+            self.core.trace_dropped += 1;
+        }
+    }
+
+    /// Number of trace entries evicted because the ring was full.
+    pub fn trace_dropped(&self) -> u64 {
+        self.core.trace_dropped
+    }
+
     /// Takes the accumulated trace, leaving it empty.
     pub fn take_trace(&mut self) -> Vec<TraceEntry> {
-        std::mem::take(&mut self.core.trace)
+        std::mem::take(&mut self.core.trace).into_iter().collect()
+    }
+
+    /// Copies the most recent `n` trace entries, oldest first, without
+    /// draining the buffer.
+    pub fn trace_tail(&self, n: usize) -> Vec<TraceEntry> {
+        let len = self.core.trace.len();
+        self.core
+            .trace
+            .iter()
+            .skip(len.saturating_sub(n))
+            .cloned()
+            .collect()
+    }
+
+    /// Installs a telemetry hub. The simulator then maintains
+    /// per-`(node, port)` drop counters (`net.n<N>.p<P>.drops.*`) and
+    /// queue-delay gauges with high-water marks
+    /// (`net.n<N>.p<P>.queue_delay_ns`).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.core.telemetry = Some(telemetry);
+        self.core.link_instruments.clear();
+    }
+
+    /// The installed telemetry hub, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.core.telemetry.as_ref()
     }
 
     /// Label of a node (for reports).
@@ -703,5 +807,81 @@ mod tests {
         let a = sim.add_device(Box::new(Echo::new("a")));
         sim.with::<Echo, _>(a, |_, ctx| ctx.transmit(9, Bytes::from_static(b"x")));
         assert!(sim.run_until_idle(10));
+    }
+
+    #[test]
+    fn trace_ring_drops_oldest_and_counts() {
+        let params = LinkParams::attachment();
+        let (mut sim, a, _b) = two_nodes(params);
+        sim.set_trace_enabled(true);
+        sim.set_trace_capacity(4);
+        for i in 0..6u8 {
+            sim.with::<Echo, _>(a, |_, ctx| ctx.trace_note(format!("n{i}")));
+        }
+        assert_eq!(sim.trace_dropped(), 2);
+        let tail = sim.trace_tail(2);
+        assert_eq!(tail.len(), 2);
+        assert!(matches!(&tail[1].kind, TraceKind::Note(n) if n == "n5"));
+        let trace = sim.take_trace();
+        assert_eq!(trace.len(), 4, "ring retains only the newest entries");
+        assert!(matches!(&trace[0].kind, TraceKind::Note(n) if n == "n2"));
+        // Shrinking below the current length evicts immediately.
+        sim.set_trace_capacity(1);
+        for i in 0..3u8 {
+            sim.with::<Echo, _>(a, |_, ctx| ctx.trace_note(format!("m{i}")));
+        }
+        assert_eq!(sim.take_trace().len(), 1);
+    }
+
+    #[test]
+    fn telemetry_counts_drops_per_link() {
+        use tcpfo_telemetry::Telemetry;
+
+        // Loss drops.
+        let params = LinkParams {
+            bandwidth_bps: None,
+            propagation: SimDuration::ZERO,
+            loss: 1.0,
+            max_queue: SimDuration::from_secs(1),
+            jitter: SimDuration::ZERO,
+        };
+        let (mut sim, a, _b) = two_nodes(params);
+        let telemetry = Telemetry::new();
+        sim.set_telemetry(telemetry.clone());
+        sim.with::<Echo, _>(a, |_, ctx| {
+            ctx.transmit(0, Bytes::from_static(b"x"));
+            ctx.transmit(9, Bytes::from_static(b"y")); // unwired
+        });
+        sim.run_until_idle(10);
+        let snap = telemetry.registry.snapshot(sim.now().as_nanos());
+        assert_eq!(snap.counter("net.n0.p0.drops.loss"), Some(1));
+        assert_eq!(snap.counter("net.n0.p9.drops.no_wire"), Some(1));
+
+        // Queue-full drops and queue-delay high-water.
+        let slow = LinkParams {
+            bandwidth_bps: Some(8_000), // 1 ms per byte
+            propagation: SimDuration::ZERO,
+            loss: 0.0,
+            max_queue: SimDuration::from_millis(2),
+            jitter: SimDuration::ZERO,
+        };
+        let mut sim = Simulator::new(1);
+        let a = sim.add_device(Box::new(Echo::new("a")));
+        let b = sim.add_device(Box::new(Quiet { seen: 0 }));
+        sim.connect((a, 0), (b, 0), slow);
+        let telemetry = Telemetry::new();
+        sim.set_telemetry(telemetry.clone());
+        sim.with::<Echo, _>(a, |_, ctx| {
+            // 2 ms serialisation each: 2nd queues 2 ms, 3rd would queue
+            // 4 ms > max 2 ms and is dropped.
+            ctx.transmit(0, Bytes::from(vec![0u8; 2]));
+            ctx.transmit(0, Bytes::from(vec![1u8; 2]));
+            ctx.transmit(0, Bytes::from(vec![2u8; 2]));
+        });
+        sim.run_until_idle(100);
+        let snap = telemetry.registry.snapshot(sim.now().as_nanos());
+        assert_eq!(snap.counter("net.n0.p0.drops.queue_full"), Some(1));
+        let g = snap.gauge("net.n0.p0.queue_delay_ns").unwrap();
+        assert_eq!(g.high_water, 2_000_000, "second frame queued 2 ms");
     }
 }

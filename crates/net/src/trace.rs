@@ -5,6 +5,7 @@ use crate::time::SimTime;
 use bytes::Bytes;
 use tcpfo_wire::eth::{EtherType, EthernetFrame};
 use tcpfo_wire::ipv4::Ipv4Packet;
+use tcpfo_wire::pcapng::PcapngWriter;
 use tcpfo_wire::tcp::TcpView;
 
 /// What happened at a trace point.
@@ -91,6 +92,26 @@ impl TraceEntry {
     }
 }
 
+/// Converts a trace to a pcapng capture openable in Wireshark/tshark.
+///
+/// Only entries carrying frames are captured. By default that includes
+/// both the Tx and Rx record of every hop; pass a `filter` to restrict
+/// it (e.g. `|e| matches!(e.kind, TraceKind::Rx { .. }) && e.node == client`
+/// for "what the client's NIC saw"). Each packet carries the node and
+/// direction as a Wireshark packet comment.
+pub fn to_pcapng(entries: &[TraceEntry], filter: impl Fn(&TraceEntry) -> bool) -> Vec<u8> {
+    let mut w = PcapngWriter::new("sim0");
+    for e in entries {
+        let Some(frame) = &e.frame else { continue };
+        if !filter(e) {
+            continue;
+        }
+        let comment = format!("node{} {:?}", e.node, e.kind);
+        w.packet_with_comment(e.at.as_nanos(), frame, Some(&comment));
+    }
+    w.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +146,38 @@ mod tests {
         assert!(s.contains("10.0.0.1→10.0.0.2"), "{s}");
         assert!(s.contains("1111→80"), "{s}");
         assert!(s.contains("len=3"), "{s}");
+    }
+
+    #[test]
+    fn pcapng_round_trips_traced_frames() {
+        let frame = Bytes::from_static(&[0u8; 14]);
+        let entries = vec![
+            TraceEntry {
+                at: SimTime::from_nanos(5),
+                node: 1,
+                kind: TraceKind::Tx { port: 0 },
+                frame: Some(frame.clone()),
+            },
+            TraceEntry {
+                at: SimTime::from_nanos(9),
+                node: 2,
+                kind: TraceKind::Note("no frame".into()),
+                frame: None,
+            },
+            TraceEntry {
+                at: SimTime::from_nanos(12),
+                node: 2,
+                kind: TraceKind::Rx { port: 3 },
+                frame: Some(frame.clone()),
+            },
+        ];
+        let file = to_pcapng(&entries, |_| true);
+        let back = tcpfo_wire::pcapng::read_packets(&file).expect("well-formed");
+        assert_eq!(back.len(), 2, "frameless entries are skipped");
+        assert_eq!(back[0].ts_ns, 5);
+        assert_eq!(back[1].ts_ns, 12);
+        let rx_only = to_pcapng(&entries, |e| matches!(e.kind, TraceKind::Rx { .. }));
+        assert_eq!(tcpfo_wire::pcapng::read_packets(&rx_only).unwrap().len(), 1);
     }
 
     #[test]

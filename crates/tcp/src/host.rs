@@ -29,6 +29,7 @@ use std::any::Any;
 use std::collections::HashMap;
 use tcpfo_net::sim::{Ctx, Device, NodeId, Simulator, TimerToken};
 use tcpfo_net::time::{SimDuration, SimTime};
+use tcpfo_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use tcpfo_wire::arp::{ArpOp, ArpPacket};
 use tcpfo_wire::eth::{EtherType, EthernetFrame};
 use tcpfo_wire::ipv4::{same_network, Ipv4Addr, Ipv4Packet, PROTO_TCP};
@@ -352,6 +353,20 @@ pub trait HostController: 'static {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
+/// Registry handles a host publishes its TCP counters through, under
+/// the scope `tcp.<label>`.
+struct TcpInstruments {
+    retransmits: Counter,
+    rto_expiries: Counter,
+    checksum_drops: Counter,
+    rst_sent: Counter,
+    /// Current / high-water peer-advertised send window across all
+    /// live sockets.
+    snd_wnd: Gauge,
+    /// Congestion-window evolution, sampled once per tick per socket.
+    cwnd: Histogram,
+}
+
 /// A simulated host with a full network stack.
 pub struct Host {
     label: String,
@@ -361,6 +376,7 @@ pub struct Host {
     apps: Vec<Option<Box<dyn SocketApp>>>,
     controller: Option<Box<dyn HostController>>,
     tick: SimDuration,
+    telemetry: Option<TcpInstruments>,
 }
 
 impl Host {
@@ -375,6 +391,45 @@ impl Host {
             apps: Vec::new(),
             controller: None,
             tick: cfg.tick,
+            telemetry: None,
+        }
+    }
+
+    /// Connects this host to a telemetry hub. Stack counters
+    /// (retransmits, RTO expiries, checksum drops, RSTs) and window
+    /// evolution are then published under `tcp.<label>` once per tick.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        let scope = telemetry.registry.scope(&format!("tcp.{}", self.label));
+        self.telemetry = Some(TcpInstruments {
+            retransmits: scope.counter("retransmits"),
+            rto_expiries: scope.counter("rto_expiries"),
+            checksum_drops: scope.counter("checksum_drops"),
+            rst_sent: scope.counter("rst_sent"),
+            snd_wnd: scope.gauge("snd_wnd"),
+            cwnd: scope.histogram("cwnd"),
+        });
+    }
+
+    fn publish_telemetry(&mut self, now: SimTime) {
+        let Some(t) = &self.telemetry else { return };
+        let now_ns = now.as_nanos();
+        t.retransmits.set_at_least(self.stack.total_retransmits());
+        t.rto_expiries.set_at_least(self.stack.total_rto_expiries());
+        t.checksum_drops.set_at_least(self.stack.checksum_drops);
+        t.rst_sent.set_at_least(self.stack.rst_sent);
+        let mut wnd_sum = 0u64;
+        let mut any = false;
+        for id in self.stack.socket_ids() {
+            if let Some(sock) = self.stack.socket(id) {
+                if sock.is_established() {
+                    any = true;
+                    wnd_sum += u64::from(sock.snd_wnd());
+                    t.cwnd.record(u64::from(sock.cwnd()));
+                }
+            }
+        }
+        if any {
+            t.snd_wnd.set_at(wnd_sum, now_ns);
         }
     }
 
@@ -601,6 +656,7 @@ impl Device for Host {
         self.pump(ctx);
         self.run_controller_tick(ctx);
         self.poll_apps(ctx);
+        self.publish_telemetry(ctx.now());
         let tick = self.tick;
         ctx.schedule(tick, TOKEN_TICK);
     }

@@ -169,6 +169,9 @@ pub struct Socket {
     // ---- counters (observability) ----
     /// Segments retransmitted (RTO + fast retransmit).
     pub retransmits: u64,
+    /// Retransmission-timer expiries (a subset of `retransmits`:
+    /// go-back-N rewinds only, not fast retransmits).
+    pub rto_expiries: u64,
     /// Bytes the application wrote.
     pub bytes_sent: u64,
     /// Bytes delivered to the application.
@@ -238,6 +241,7 @@ impl Socket {
             zero_window_probe_pending: false,
             rst_sent: false,
             retransmits: 0,
+            rto_expiries: 0,
             bytes_sent: 0,
             bytes_received: 0,
         }
@@ -737,6 +741,7 @@ impl Socket {
         // Go-back-N: rewind and let output() resend.
         self.snd_nxt = self.snd_una;
         self.retransmits += 1;
+        self.rto_expiries += 1;
         self.rtx_deadline = Some(now + self.rtt.rto());
     }
 

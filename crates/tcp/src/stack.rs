@@ -111,6 +111,11 @@ pub struct TcpStack {
     pub checksum_drops: u64,
     /// Segments that matched no socket and were answered with RST.
     pub rst_sent: u64,
+    /// Retransmits carried by sockets that have since been reaped, so
+    /// [`TcpStack::total_retransmits`] never goes backwards.
+    retired_retransmits: u64,
+    /// RTO expiries carried by reaped sockets.
+    retired_rto_expiries: u64,
 }
 
 impl TcpStack {
@@ -128,6 +133,8 @@ impl TcpStack {
             pending_designations: Vec::new(),
             checksum_drops: 0,
             rst_sent: 0,
+            retired_retransmits: 0,
+            retired_rto_expiries: 0,
         }
     }
 
@@ -486,9 +493,35 @@ impl TcpStack {
 
     fn reap(&mut self, id: SocketId) {
         if let Some(Some(sock)) = self.sockets.get(id.0) {
+            self.retired_retransmits += sock.retransmits;
+            self.retired_rto_expiries += sock.rto_expiries;
             self.demux.remove(&sock.tuple);
             self.sockets[id.0] = None;
         }
+    }
+
+    /// Segments retransmitted across all sockets, including ones that
+    /// have since been released (monotone over the stack's lifetime).
+    pub fn total_retransmits(&self) -> u64 {
+        self.retired_retransmits
+            + self
+                .sockets
+                .iter()
+                .flatten()
+                .map(|s| s.retransmits)
+                .sum::<u64>()
+    }
+
+    /// Retransmission-timer expiries across all sockets, including
+    /// released ones (monotone over the stack's lifetime).
+    pub fn total_rto_expiries(&self) -> u64 {
+        self.retired_rto_expiries
+            + self
+                .sockets
+                .iter()
+                .flatten()
+                .map(|s| s.rto_expiries)
+                .sum::<u64>()
     }
 
     fn alloc_ephemeral(

@@ -1,0 +1,135 @@
+//! A tiny hand-rolled JSON writer.
+//!
+//! The build environment has no registry access, so instead of a
+//! `serde_json` dependency the exposition layer emits JSON through
+//! this module: string escaping plus a small object/array builder.
+//! Output is deterministic (insertion order is preserved).
+
+use std::fmt::Write as _;
+
+/// Escapes `s` per RFC 8259 and wraps it in double quotes.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// An object builder producing pretty-printed JSON with two-space
+/// indentation. Values are pre-rendered JSON fragments.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Appends a field whose value is already rendered JSON.
+    pub fn raw(&mut self, key: &str, value: impl Into<String>) -> &mut Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Appends a string field (escaped).
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.raw(key, quote(value))
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.raw(key, value.to_string())
+    }
+
+    /// Renders the object, indenting nested fragments one level.
+    pub fn render(&self) -> String {
+        if self.fields.is_empty() {
+            return "{}".to_string();
+        }
+        let mut out = String::from("{\n");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&quote(key));
+            out.push_str(": ");
+            out.push_str(&reindent(value));
+            if i + 1 < self.fields.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a JSON array from pre-rendered element fragments.
+pub fn array(elements: &[String]) -> String {
+    if elements.is_empty() {
+        return "[]".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (i, e) in elements.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&reindent(e));
+        if i + 1 < elements.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Shifts the continuation lines of a nested fragment right by one
+/// indentation level so nesting stays aligned.
+fn reindent(fragment: &str) -> String {
+    let mut lines = fragment.lines();
+    let mut out = lines.next().unwrap_or_default().to_string();
+    for line in lines {
+        out.push('\n');
+        out.push_str("  ");
+        out.push_str(line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn object_and_array_render() {
+        let mut inner = JsonObject::new();
+        inner.u64("n", 3);
+        let mut obj = JsonObject::new();
+        obj.string("name", "x").raw("inner", inner.render());
+        let doc = obj.render();
+        assert!(doc.contains("\"name\": \"x\""), "{doc}");
+        assert!(doc.contains("\"n\": 3"), "{doc}");
+        assert_eq!(array(&[]), "[]");
+        let arr = array(&["1".to_string(), "2".to_string()]);
+        assert!(arr.starts_with("[\n  1,\n  2\n]"), "{arr}");
+    }
+}

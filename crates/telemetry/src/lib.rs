@@ -1,0 +1,142 @@
+#![warn(missing_docs)]
+
+//! # tcpfo-telemetry
+//!
+//! The unified observability layer of the reproduction. The paper's
+//! headline claims are *measurements* — client-visible failover time
+//! (§5, Fig. 5), matched-release throughput (§3.2), empty-ACK
+//! behaviour under delayed ACKs (§3.4) — so every layer of the stack
+//! reports into one place:
+//!
+//! * [`registry`] — a sim-time-aware metrics registry: monotone
+//!   [`Counter`]s, [`Gauge`]s with high-water marks, and
+//!   [`Histogram`]s with fixed log2 buckets. No wall clock anywhere:
+//!   every instrument is keyed by the simulated clock (nanoseconds
+//!   since simulation start, i.e. `SimTime::as_nanos()`).
+//! * [`journal`] — a bounded structured event journal for discrete
+//!   occurrences (mode changes, Δseq sync, takeover steps).
+//! * [`timeline`] — the §5 failover timeline: one timestamp per phase
+//!   from failure to the first post-takeover client-bound byte.
+//!
+//! Exposition is JSON (machines) and an aligned text table (humans);
+//! both are derived from [`MetricsSnapshot`].
+//!
+//! # Example
+//!
+//! ```
+//! use tcpfo_telemetry::Telemetry;
+//!
+//! let t = Telemetry::new();
+//! let scope = t.registry.scope("net");
+//! scope.counter("drops.loss").inc_at(1_000);
+//! scope.gauge("queue_delay_ns").set_at(250, 1_000);
+//! let snap = t.registry.snapshot(2_000);
+//! assert_eq!(snap.counter("net.drops.loss"), Some(1));
+//! assert!(snap.to_json().contains("net.drops.loss"));
+//! ```
+
+pub mod journal;
+pub mod json;
+pub mod registry;
+pub mod table;
+pub mod timeline;
+
+pub use journal::{Event, Journal};
+pub use registry::{
+    Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, Scope,
+};
+pub use timeline::{FailoverPhase, FailoverTimeline};
+
+/// Formats sim-nanoseconds with the same unit scaling the simulator's
+/// `SimTime` display uses.
+pub fn fmt_nanos(ns: u64) -> String {
+    if ns == 0 {
+        "0ns".to_string()
+    } else if ns.is_multiple_of(1_000_000_000) {
+        format!("{}s", ns / 1_000_000_000)
+    } else if ns.is_multiple_of(1_000_000) {
+        format!("{}ms", ns / 1_000_000)
+    } else if ns.is_multiple_of(1_000) {
+        format!("{}µs", ns / 1_000)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// The bundle every layer threads around: registry + journal +
+/// timeline. Cloning is cheap (shared handles).
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// The metrics registry.
+    pub registry: Registry,
+    /// The structured event journal.
+    pub journal: Journal,
+    /// The §5 failover timeline.
+    pub timeline: FailoverTimeline,
+}
+
+impl Telemetry {
+    /// Creates an empty telemetry hub.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// One JSON document combining the metrics snapshot (taken at
+    /// `now_ns`), the failover timeline, and the journal tail.
+    pub fn export_json(&self, now_ns: u64) -> String {
+        let mut out = String::from("{\n  \"at_ns\": ");
+        out.push_str(&now_ns.to_string());
+        out.push_str(",\n  \"metrics\": ");
+        out.push_str(&indent(&self.registry.snapshot(now_ns).to_json(), 2));
+        out.push_str(",\n  \"timeline\": ");
+        out.push_str(&indent(&self.timeline.to_json(), 2));
+        out.push_str(",\n  \"events\": ");
+        out.push_str(&indent(&self.journal.to_json(), 2));
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn indent(s: &str, by: usize) -> String {
+    let pad = " ".repeat(by);
+    s.trim_end()
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 0 {
+                l.to_string()
+            } else {
+                format!("{pad}{l}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_nanos_units() {
+        assert_eq!(fmt_nanos(0), "0ns");
+        assert_eq!(fmt_nanos(1_500), "1500ns");
+        assert_eq!(fmt_nanos(2_000), "2µs");
+        assert_eq!(fmt_nanos(3_000_000), "3ms");
+        assert_eq!(fmt_nanos(4_000_000_000), "4s");
+    }
+
+    #[test]
+    fn export_json_combines_sections() {
+        let t = Telemetry::new();
+        t.registry.scope("core").counter("matched_bytes").add(512);
+        t.journal
+            .record(10, "core.primary", "sync", &[("delta_seq", "4000".into())]);
+        t.timeline.mark(FailoverPhase::Failure, 5);
+        let doc = t.export_json(100);
+        assert!(doc.contains("\"metrics\""), "{doc}");
+        assert!(doc.contains("core.matched_bytes"), "{doc}");
+        assert!(doc.contains("\"timeline\""), "{doc}");
+        assert!(doc.contains("\"events\""), "{doc}");
+    }
+}

@@ -1,0 +1,213 @@
+//! The §5 failover timeline.
+//!
+//! The paper's Fig. 5 decomposes client-visible failover time into
+//! phases; this module captures one sim timestamp per
+//! [`FailoverPhase`], first mark wins. [`FailoverTimeline::breakdown`]
+//! renders the phase-to-phase deltas the experiments report.
+
+use std::sync::{Arc, Mutex};
+
+use crate::json::JsonObject;
+
+/// The phases of a §5 takeover, in causal order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FailoverPhase {
+    /// The primary stopped responding (injected failure).
+    Failure,
+    /// The secondary's heartbeat monitor declared the primary dead.
+    Detection,
+    /// The secondary began holding egress while reconfiguring.
+    EgressHold,
+    /// The secondary claimed the primary's IP (gratuitous ARP, TCB
+    /// rekey) and resumed egress.
+    ArpTakeover,
+    /// First client-bound payload byte sent by the promoted secondary.
+    FirstClientByte,
+}
+
+impl FailoverPhase {
+    /// All phases in causal order.
+    pub const ALL: [FailoverPhase; 5] = [
+        FailoverPhase::Failure,
+        FailoverPhase::Detection,
+        FailoverPhase::EgressHold,
+        FailoverPhase::ArpTakeover,
+        FailoverPhase::FirstClientByte,
+    ];
+
+    /// Stable lowercase name used in JSON and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailoverPhase::Failure => "failure",
+            FailoverPhase::Detection => "detection",
+            FailoverPhase::EgressHold => "egress_hold",
+            FailoverPhase::ArpTakeover => "arp_takeover",
+            FailoverPhase::FirstClientByte => "first_client_byte",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FailoverPhase::Failure => 0,
+            FailoverPhase::Detection => 1,
+            FailoverPhase::EgressHold => 2,
+            FailoverPhase::ArpTakeover => 3,
+            FailoverPhase::FirstClientByte => 4,
+        }
+    }
+}
+
+/// Shared record of when each failover phase first occurred.
+#[derive(Debug, Clone, Default)]
+pub struct FailoverTimeline {
+    marks: Arc<Mutex<[Option<u64>; 5]>>,
+}
+
+impl FailoverTimeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        FailoverTimeline::default()
+    }
+
+    /// Records `phase` at sim time `now_ns`. The first mark for a
+    /// phase wins; later marks are ignored, so "first client byte"
+    /// can be marked on every candidate send.
+    pub fn mark(&self, phase: FailoverPhase, now_ns: u64) {
+        let mut marks = self.marks.lock().unwrap();
+        if marks[phase.index()].is_none() {
+            marks[phase.index()] = Some(now_ns);
+        }
+    }
+
+    /// When `phase` first occurred, if it has.
+    pub fn at(&self, phase: FailoverPhase) -> Option<u64> {
+        self.marks.lock().unwrap()[phase.index()]
+    }
+
+    /// Whether every phase has been marked.
+    pub fn is_complete(&self) -> bool {
+        self.marks.lock().unwrap().iter().all(Option::is_some)
+    }
+
+    /// Whether the marked phases are in causal order (each marked
+    /// phase's timestamp is ≥ every earlier marked phase's).
+    pub fn is_monotone(&self) -> bool {
+        let marks = self.marks.lock().unwrap();
+        let mut last = 0u64;
+        for t in marks.iter().flatten() {
+            if *t < last {
+                return false;
+            }
+            last = *t;
+        }
+        true
+    }
+
+    /// Client-visible failover time: first client byte − failure.
+    pub fn total_ns(&self) -> Option<u64> {
+        let start = self.at(FailoverPhase::Failure)?;
+        let end = self.at(FailoverPhase::FirstClientByte)?;
+        end.checked_sub(start)
+    }
+
+    /// Clears all marks (for reuse across repeated failovers).
+    pub fn reset(&self) {
+        *self.marks.lock().unwrap() = [None; 5];
+    }
+
+    /// Human-readable per-phase breakdown with deltas, e.g.
+    /// `detection          52ms  (+50ms)`.
+    pub fn breakdown(&self) -> String {
+        let mut out = String::from("failover timeline:\n");
+        let mut prev: Option<u64> = None;
+        for phase in FailoverPhase::ALL {
+            let line = match self.at(phase) {
+                Some(t) => {
+                    let delta = prev
+                        .map(|p| format!("  (+{})", crate::fmt_nanos(t.saturating_sub(p))))
+                        .unwrap_or_default();
+                    prev = Some(t);
+                    format!("  {:<18} {:>12}{delta}", phase.name(), crate::fmt_nanos(t))
+                }
+                None => format!("  {:<18} {:>12}", phase.name(), "-"),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        if let Some(total) = self.total_ns() {
+            out.push_str(&format!(
+                "  {:<18} {:>12}\n",
+                "client_visible",
+                crate::fmt_nanos(total)
+            ));
+        }
+        out
+    }
+
+    /// Renders the timeline as a JSON object (unmarked phases are
+    /// `null`).
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        for phase in FailoverPhase::ALL {
+            match self.at(phase) {
+                Some(t) => obj.u64(phase.name(), t),
+                None => obj.raw(phase.name(), "null"),
+            };
+        }
+        match self.total_ns() {
+            Some(t) => obj.u64("client_visible_ns", t),
+            None => obj.raw("client_visible_ns", "null"),
+        };
+        obj.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_mark_wins() {
+        let t = FailoverTimeline::new();
+        t.mark(FailoverPhase::FirstClientByte, 100);
+        t.mark(FailoverPhase::FirstClientByte, 200);
+        assert_eq!(t.at(FailoverPhase::FirstClientByte), Some(100));
+    }
+
+    #[test]
+    fn completeness_monotonicity_total() {
+        let t = FailoverTimeline::new();
+        assert!(!t.is_complete());
+        assert!(t.is_monotone(), "vacuously monotone when empty");
+        t.mark(FailoverPhase::Failure, 10);
+        t.mark(FailoverPhase::Detection, 60);
+        t.mark(FailoverPhase::EgressHold, 60);
+        t.mark(FailoverPhase::ArpTakeover, 61);
+        t.mark(FailoverPhase::FirstClientByte, 90);
+        assert!(t.is_complete());
+        assert!(t.is_monotone());
+        assert_eq!(t.total_ns(), Some(80));
+        t.reset();
+        assert!(!t.is_complete());
+    }
+
+    #[test]
+    fn out_of_order_detected() {
+        let t = FailoverTimeline::new();
+        t.mark(FailoverPhase::Failure, 100);
+        t.mark(FailoverPhase::Detection, 50);
+        assert!(!t.is_monotone());
+    }
+
+    #[test]
+    fn renders() {
+        let t = FailoverTimeline::new();
+        t.mark(FailoverPhase::Failure, 1_000_000);
+        let text = t.breakdown();
+        assert!(text.contains("failure"), "{text}");
+        assert!(text.contains("1ms"), "{text}");
+        let json = t.to_json();
+        assert!(json.contains("\"failure\": 1000000"), "{json}");
+        assert!(json.contains("\"detection\": null"), "{json}");
+    }
+}

@@ -23,6 +23,8 @@
 //!   *original destination* option the secondary bridge appends (§3.1)
 //! * [`checksum`] — RFC 1071 ones-complement sums and RFC 1624
 //!   incremental updates
+//! * [`pcapng`] — pcapng capture files, so simulator traces open in
+//!   Wireshark/tshark
 //!
 //! # Example
 //!
@@ -49,6 +51,7 @@ pub mod error;
 pub mod eth;
 pub mod ipv4;
 pub mod mac;
+pub mod pcapng;
 pub mod tcp;
 
 pub use error::WireError;

@@ -1,6 +1,5 @@
 //! Ethernet MAC addresses.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 48-bit IEEE 802 MAC address.
@@ -14,9 +13,7 @@ use std::fmt;
 /// assert!(!a.is_broadcast());
 /// assert_eq!(a.to_string(), "02:00:00:00:00:01");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MacAddr(pub [u8; 6]);
 
 impl MacAddr {

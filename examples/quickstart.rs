@@ -74,5 +74,10 @@ fn main() {
         .failover_detected_at(secondary)
         .expect("fault detector fired");
     println!("primary failure detected at t={detected}");
+
+    // 7. The telemetry hub recorded the whole thing: the §5 phase
+    //    timeline plus per-layer counters (see `tb.metrics_snapshot()`
+    //    for the full table, `tb.export_telemetry_json()` for JSON).
+    println!("\n{}", tb.telemetry.timeline.breakdown());
     println!("done: the client's TCP connection survived the server failure.");
 }

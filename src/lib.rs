@@ -25,6 +25,8 @@
 //!   orchestration
 //! * [`apps`] — deterministic replicated applications (echo, online
 //!   store, FTP) and client drivers
+//! * [`telemetry`] — sim-time metrics registry, structured event
+//!   journal and §5 failover timeline shared by all layers
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour and
 //! `EXPERIMENTS.md` for the paper-vs-measured results.
@@ -33,4 +35,5 @@ pub use tcpfo_apps as apps;
 pub use tcpfo_core as core;
 pub use tcpfo_net as net;
 pub use tcpfo_tcp as tcp;
+pub use tcpfo_telemetry as telemetry;
 pub use tcpfo_wire as wire;

@@ -35,6 +35,10 @@ macro_rules! replicate {
 #[test]
 fn primary_fails_mid_download() {
     let mut tb = Testbed::new(TestbedConfig::default());
+    // Keep the packet trace so a failure dumps its tail (bounded by
+    // the ring, so a long run cannot exhaust memory).
+    tb.sim.set_trace_enabled(true);
+    tb.sim.set_trace_capacity(4_096);
     replicate!(&mut tb, SourceServer::new(80));
     tb.sim.with::<Host, _>(tb.client, |h, _| {
         h.add_app(Box::new(RequestReplyClient::new(
@@ -55,25 +59,27 @@ fn primary_fails_mid_download() {
     tb.kill_primary();
     tb.run_for(SimDuration::from_secs(20));
 
-    tb.sim.with::<Host, _>(tb.client, |h, _| {
+    // Headline assertions go through `tb.expect`, which dumps the
+    // trace tail, timeline and metrics snapshot on failure so a CI
+    // log alone is enough to diagnose a regression.
+    let (done, received, mismatches) = tb.sim.with::<Host, _>(tb.client, |h, _| {
         let c = h.app_mut::<RequestReplyClient>(0);
-        assert!(c.is_done(), "transfer died at {} bytes", c.received_len());
-        assert_eq!(c.mismatches, 0, "stream corrupted across failover");
+        (c.is_done(), c.received_len(), c.mismatches)
     });
+    tb.expect(done, &format!("transfer died at {received} bytes"));
+    tb.expect(mismatches == 0, "stream corrupted across failover");
     // The secondary detected the failure and took over.
     let s = tb.secondary.unwrap();
     let detected = tb.failover_detected_at(s);
-    assert!(detected.is_some(), "fault detector never fired");
-    tb.sim.with::<Host, _>(s, |h, _| {
-        assert!(
-            !h.net_mut().promiscuous,
-            "promiscuous mode disabled (§5 step 2)"
-        );
-        assert!(
+    tb.expect(detected.is_some(), "fault detector never fired");
+    let (promiscuous, owns_a_p) = tb.sim.with::<Host, _>(s, |h, _| {
+        (
+            h.net_mut().promiscuous,
             h.net_mut().local_ips.contains(&addrs::A_P),
-            "IP takeover (§5 step 5)"
-        );
+        )
     });
+    tb.expect(!promiscuous, "promiscuous mode disabled (§5 step 2)");
+    tb.expect(owns_a_p, "IP takeover (§5 step 5)");
 }
 
 /// §5 again, but for a client→server upload: no byte the primary acked
@@ -81,6 +87,8 @@ fn primary_fails_mid_download() {
 #[test]
 fn primary_fails_mid_upload() {
     let mut tb = Testbed::new(TestbedConfig::default());
+    tb.sim.set_trace_enabled(true);
+    tb.sim.set_trace_capacity(4_096);
     replicate!(&mut tb, SinkServer::new(80));
     tb.sim.with::<Host, _>(tb.client, |h, _| {
         h.add_app(Box::new(BulkSendClient::new(server_addr(80), 2_000_000)));
@@ -92,12 +100,15 @@ fn primary_fails_mid_upload() {
     let done = tb
         .sim
         .with::<Host, _>(tb.client, |h, _| h.app_mut::<BulkSendClient>(0).is_done());
-    assert!(done, "upload did not finish after failover");
+    tb.expect(done, "upload did not finish after failover");
     // The surviving replica has the complete stream.
     let s_received = tb.sim.with::<Host, _>(tb.secondary.unwrap(), |h, _| {
         h.app_mut::<SinkServer>(0).received
     });
-    assert_eq!(s_received, 2_000_000, "secondary missed acknowledged bytes");
+    tb.expect(
+        s_received == 2_000_000,
+        &format!("secondary missed acknowledged bytes: got {s_received}"),
+    );
 }
 
 /// §5 with an interactive session: the store keeps answering after the
@@ -140,6 +151,8 @@ fn primary_fails_mid_store_session() {
 #[test]
 fn secondary_fails_mid_download() {
     let mut tb = Testbed::new(TestbedConfig::default());
+    tb.sim.set_trace_enabled(true);
+    tb.sim.set_trace_capacity(4_096);
     replicate!(&mut tb, SourceServer::new(80));
     tb.sim.with::<Host, _>(tb.client, |h, _| {
         h.add_app(Box::new(RequestReplyClient::new(
@@ -152,13 +165,14 @@ fn secondary_fails_mid_download() {
     tb.kill_secondary();
     tb.run_for(SimDuration::from_secs(20));
 
-    tb.sim.with::<Host, _>(tb.client, |h, _| {
+    let (done, received, mismatches) = tb.sim.with::<Host, _>(tb.client, |h, _| {
         let c = h.app_mut::<RequestReplyClient>(0);
-        assert!(c.is_done(), "transfer died at {} bytes", c.received_len());
-        assert_eq!(c.mismatches, 0, "Δseq compensation broke the stream");
+        (c.is_done(), c.received_len(), c.mismatches)
     });
+    tb.expect(done, &format!("transfer died at {received} bytes"));
+    tb.expect(mismatches == 0, "Δseq compensation broke the stream");
     let detected = tb.failover_detected_at(tb.primary);
-    assert!(detected.is_some(), "primary never noticed");
+    tb.expect(detected.is_some(), "primary never noticed");
     assert_eq!(
         tb.sim.with::<Host, _>(tb.primary, |h, _| {
             h.filter_mut()

@@ -1,0 +1,166 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset this workspace's micro-benchmarks use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! [`BenchmarkGroup::throughput`], the [`criterion_group!`] /
+//! [`criterion_main!`] macros, and [`black_box`]. Timing is a simple
+//! warm-up + timed-batch loop over `std::time::Instant` — adequate for
+//! relative comparisons, without the real crate's statistics.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Wall-clock budget for each benchmark's timed phase.
+    measure_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            budget: self.measure_budget,
+            result: None,
+        };
+        f(&mut b);
+        report(name, None, &b);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group sharing a throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            budget: self.criterion.measure_budget,
+            result: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), self.throughput, &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly, recording total time and iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < self.budget / 10 {
+            black_box(f());
+            calib_iters += 1;
+            if calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().checked_div(calib_iters.max(1) as u32);
+        let target_iters = match per_iter {
+            Some(d) if d > Duration::ZERO => {
+                (self.budget.as_nanos() / d.as_nanos().max(1)).clamp(10, 10_000_000) as u64
+            }
+            _ => 10_000_000,
+        };
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(f());
+        }
+        self.result = Some((start.elapsed(), target_iters));
+    }
+}
+
+fn report(name: &str, throughput: Option<Throughput>, b: &Bencher) {
+    let Some((total, iters)) = b.result else {
+        println!("{name:<40} (no measurement)");
+        return;
+    };
+    let per_iter_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            let mbps = n as f64 / per_iter_ns * 1e9 / 1e6;
+            format!("  {mbps:10.1} MB/s")
+        }
+        Throughput::Elements(n) => {
+            let eps = n as f64 / per_iter_ns * 1e9;
+            format!("  {eps:10.0} elem/s")
+        }
+    });
+    println!(
+        "{name:<40} {per_iter_ns:12.1} ns/iter  ({iters} iters){}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
