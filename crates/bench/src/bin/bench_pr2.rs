@@ -1,0 +1,223 @@
+//! PR-2 regression gate: times the zero-copy datapath head-to-head
+//! against the frozen pre-PR-2 baselines and writes a machine-readable
+//! summary to `BENCH_PR2.json` (override with `TCPFO_BENCH_JSON`).
+//!
+//! Covered:
+//! * full `TcpSegment` encode vs header-template emission;
+//! * copying (legacy) vs rope output-queue insert/take;
+//! * `HashMap` vs dense simulator port lookup;
+//! * the Fig. 5 stream-rate scenario (simulated KB/s, standard vs
+//!   failover) as an end-to-end sanity figure.
+//!
+//! `TCPFO_BENCH_QUICK=1` shrinks sample counts and the stream length
+//! so CI finishes in seconds; local runs without it use larger samples.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use tcpfo_bench::legacy_queue::LegacyByteQueue;
+use tcpfo_bench::{measure_recv_rate, measure_send_rate, Mode};
+use tcpfo_core::queues::ByteQueue;
+use tcpfo_wire::checksum::raw_sum;
+use tcpfo_wire::ipv4::Ipv4Addr;
+use tcpfo_wire::tcp::{HeaderTemplate, TcpFlags, TcpSegment};
+
+/// Best-of-`reps` average nanoseconds per call of `f`.
+fn time_ns(iters: u64, reps: u32, mut f: impl FnMut()) -> f64 {
+    // Warm caches, allocator pools and branch predictors first.
+    for _ in 0..iters / 4 + 1 {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+struct Pair {
+    name: &'static str,
+    baseline_ns: f64,
+    optimized_ns: f64,
+}
+
+impl Pair {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns / self.optimized_ns
+    }
+}
+
+fn bench_segment_release(iters: u64, reps: u32) -> Pair {
+    let a = Ipv4Addr::new(10, 0, 0, 1);
+    let cdest = Ipv4Addr::new(192, 168, 0, 9);
+    let payload = bytes::Bytes::from(vec![42u8; 1460]);
+    let p2 = payload.clone();
+    let baseline_ns = time_ns(iters, reps, move || {
+        let seg = TcpSegment::builder(80, 51000)
+            .seq(std::hint::black_box(7777))
+            .ack(8888)
+            .window(8192)
+            .payload(p2.clone())
+            .build();
+        std::hint::black_box(seg.encode(a, cdest));
+    });
+    let tmpl = HeaderTemplate::new(a, cdest, 80, 51000);
+    let sum = raw_sum(&payload);
+    let mut buf = bytes::BytesMut::with_capacity(2048);
+    let optimized_ns = time_ns(iters, reps, move || {
+        std::hint::black_box(tmpl.emit(
+            &mut buf,
+            std::hint::black_box(7777),
+            8888,
+            TcpFlags::ACK,
+            8192,
+            &payload,
+            Some(sum),
+        ));
+    });
+    Pair {
+        name: "segment_release_1460B",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
+fn bench_queue(iters: u64, reps: u32) -> Pair {
+    let payload = vec![42u8; 1460];
+    let shared = bytes::Bytes::from(payload.clone());
+    let baseline_ns = time_ns(iters, reps, || {
+        let mut q = LegacyByteQueue::new();
+        let mut seq = 1000u32;
+        for _ in 0..64 {
+            q.insert(seq, &payload, 1000);
+            seq = seq.wrapping_add(1460);
+        }
+        let mut head = 1000u32;
+        while q.contiguous_from(head) > 0 {
+            let n = q.contiguous_from(head).min(1460);
+            std::hint::black_box(&q.take(head, n));
+            head = head.wrapping_add(n as u32);
+        }
+    });
+    let optimized_ns = time_ns(iters, reps, || {
+        let mut q = ByteQueue::new();
+        let mut seq = 1000u32;
+        for _ in 0..64 {
+            q.insert(seq, shared.clone(), 1000);
+            seq = seq.wrapping_add(1460);
+        }
+        let mut head = 1000u32;
+        while q.contiguous_from(head) > 0 {
+            let n = q.contiguous_from(head).min(1460);
+            std::hint::black_box(&q.take(head, n));
+            head = head.wrapping_add(n as u32);
+        }
+    });
+    Pair {
+        name: "output_queue_insert_take_64x1460B",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
+fn bench_port_lookup(iters: u64, reps: u32) -> Pair {
+    const NODES: usize = 16;
+    const PORTS: usize = 4;
+    let mut map: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+    let mut dense: Vec<Vec<Option<(usize, usize)>>> = vec![vec![None; PORTS]; NODES];
+    for (n, row) in dense.iter_mut().enumerate() {
+        for (p, slot) in row.iter_mut().enumerate() {
+            map.insert((n, p), (n * PORTS + p, p & 1));
+            *slot = Some((n * PORTS + p, p & 1));
+        }
+    }
+    let keys: Vec<(usize, usize)> = (0..256).map(|i| (i % NODES, (i / 3) % PORTS)).collect();
+    let baseline_ns = time_ns(iters, reps, || {
+        let mut acc = 0usize;
+        for k in std::hint::black_box(&keys) {
+            if let Some(&(w, s)) = map.get(k) {
+                acc = acc.wrapping_add(w ^ s);
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    let optimized_ns = time_ns(iters, reps, || {
+        let mut acc = 0usize;
+        for &(n, p) in std::hint::black_box(&keys) {
+            if let Some((w, s)) = dense[n][p] {
+                acc = acc.wrapping_add(w ^ s);
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    Pair {
+        name: "sim_port_lookup_256",
+        baseline_ns,
+        optimized_ns,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("TCPFO_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let (iters, reps) = if quick { (200, 3) } else { (2_000, 5) };
+    let fig5_bytes: u64 = if quick { 2_000_000 } else { 20_000_000 };
+
+    eprintln!("bench_pr2: quick={quick} iters={iters} reps={reps} fig5_bytes={fig5_bytes}");
+    let pairs = [
+        bench_segment_release(iters, reps),
+        bench_queue(iters, reps),
+        bench_port_lookup(iters, reps),
+    ];
+    for p in &pairs {
+        eprintln!(
+            "  {:<36} baseline {:>10.1} ns  optimized {:>10.1} ns  speedup {:.2}x",
+            p.name,
+            p.baseline_ns,
+            p.optimized_ns,
+            p.speedup()
+        );
+    }
+
+    // Fig. 5 end-to-end stream rates (simulated time, so the absolute
+    // KB/s is deterministic; wall-clock gains show up as a faster run).
+    let fig5_wall = Instant::now();
+    let send_std = measure_send_rate(Mode::Standard, fig5_bytes, 0xF5);
+    let send_fo = measure_send_rate(Mode::Failover, fig5_bytes, 0xF5);
+    let recv_std = measure_recv_rate(Mode::Standard, fig5_bytes, 0xF5);
+    let recv_fo = measure_recv_rate(Mode::Failover, fig5_bytes, 0xF5);
+    let fig5_wall_ms = fig5_wall.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "  fig5 ({} MB): send {:.1}/{:.1} KB/s, recv {:.1}/{:.1} KB/s, wall {:.0} ms",
+        fig5_bytes / 1_000_000,
+        send_std,
+        send_fo,
+        recv_std,
+        recv_fo,
+        fig5_wall_ms
+    );
+
+    let mut micro = String::new();
+    for (i, p) in pairs.iter().enumerate() {
+        if i > 0 {
+            micro.push_str(",\n");
+        }
+        micro.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline_ns\": {:.1}, \"optimized_ns\": {:.1}, \"speedup\": {:.3}}}",
+            p.name,
+            p.baseline_ns,
+            p.optimized_ns,
+            p.speedup()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"PR2 zero-copy datapath\",\n  \"quick\": {quick},\n  \"iters\": {iters},\n  \"micro\": [\n{micro}\n  ],\n  \"fig5\": {{\n    \"stream_bytes\": {fig5_bytes},\n    \"send_kbps\": {{\"standard\": {send_std:.2}, \"failover\": {send_fo:.2}}},\n    \"recv_kbps\": {{\"standard\": {recv_std:.2}, \"failover\": {recv_fo:.2}}},\n    \"wall_ms\": {fig5_wall_ms:.0}\n  }}\n}}\n"
+    );
+    let path = std::env::var("TCPFO_BENCH_JSON").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+    std::fs::write(&path, &json).expect("write bench json");
+    println!("{json}");
+    eprintln!("bench_pr2: wrote {path}");
+}

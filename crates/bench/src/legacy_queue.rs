@@ -1,0 +1,154 @@
+//! The pre-PR-2 copying `ByteQueue`, frozen verbatim as a benchmark
+//! baseline. The live implementation (`tcpfo_core::queues::ByteQueue`)
+//! is a zero-copy rope over shared [`bytes::Bytes`] slices; this copy
+//! keeps the old `Vec<u8>`-per-run representation so the head-to-head
+//! numbers in `micro_criterion` / `bench_pr2` stay honest as the live
+//! queue evolves. Do not "improve" this module.
+
+use tcpfo_tcp::seq::{seq_diff, seq_le, seq_lt};
+
+/// A sparse byte buffer keyed by sequence number (copying baseline).
+#[derive(Debug, Clone, Default)]
+pub struct LegacyByteQueue {
+    /// Sorted, non-overlapping, non-adjacent-merged runs.
+    runs: Vec<(u32, Vec<u8>)>,
+    /// Bytes that arrived twice with *different* contents.
+    pub mismatched_bytes: u64,
+}
+
+impl LegacyByteQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        LegacyByteQueue::default()
+    }
+
+    /// Total buffered bytes (the old O(runs) scan).
+    pub fn len(&self) -> usize {
+        self.runs.iter().map(|(_, d)| d.len()).sum()
+    }
+
+    /// Whether the queue holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Inserts `data` at `seq`, discarding any portion below `floor`.
+    pub fn insert(&mut self, mut seq: u32, mut data: &[u8], floor: u32) {
+        if data.is_empty() {
+            return;
+        }
+        if seq_lt(seq, floor) {
+            let skip = seq_diff(floor, seq) as usize;
+            if skip >= data.len() {
+                return;
+            }
+            data = &data[skip..];
+            seq = floor;
+        }
+        // Clip against each existing run, inserting only fresh spans.
+        let mut spans: Vec<(u32, Vec<u8>)> = vec![(seq, data.to_vec())];
+        for (rstart, rdata) in &self.runs {
+            let rend = rstart.wrapping_add(rdata.len() as u32);
+            let mut next = Vec::new();
+            for (s, d) in spans {
+                let e = s.wrapping_add(d.len() as u32);
+                if seq_le(e, *rstart) || seq_le(rend, s) {
+                    next.push((s, d));
+                    continue;
+                }
+                let ov_start = if seq_lt(s, *rstart) { *rstart } else { s };
+                let ov_end = if seq_lt(e, rend) { e } else { rend };
+                let ov_len = seq_diff(ov_end, ov_start) as usize;
+                let in_new = seq_diff(ov_start, s) as usize;
+                let in_run = seq_diff(ov_start, *rstart) as usize;
+                let differing = d[in_new..in_new + ov_len]
+                    .iter()
+                    .zip(&rdata[in_run..in_run + ov_len])
+                    .filter(|(a, b)| a != b)
+                    .count();
+                self.mismatched_bytes += differing as u64;
+                if seq_lt(s, *rstart) {
+                    let head = seq_diff(*rstart, s) as usize;
+                    next.push((s, d[..head].to_vec()));
+                }
+                if seq_lt(rend, e) {
+                    let tail = seq_diff(rend, s) as usize;
+                    next.push((rend, d[tail..].to_vec()));
+                }
+            }
+            spans = next;
+            if spans.is_empty() {
+                return;
+            }
+        }
+        self.runs.extend(spans);
+        self.runs.sort_by(|a, b| {
+            if a.0 == b.0 {
+                std::cmp::Ordering::Equal
+            } else if seq_lt(a.0, b.0) {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            }
+        });
+        // Coalesce adjacent runs.
+        let mut merged: Vec<(u32, Vec<u8>)> = Vec::with_capacity(self.runs.len());
+        for (s, d) in std::mem::take(&mut self.runs) {
+            if let Some((ls, ld)) = merged.last_mut() {
+                if ls.wrapping_add(ld.len() as u32) == s {
+                    ld.extend_from_slice(&d);
+                    continue;
+                }
+            }
+            merged.push((s, d));
+        }
+        self.runs = merged;
+    }
+
+    /// Length of the contiguous run starting exactly at `seq`.
+    pub fn contiguous_from(&self, seq: u32) -> usize {
+        for (s, d) in &self.runs {
+            if *s == seq {
+                return d.len();
+            }
+            let end = s.wrapping_add(d.len() as u32);
+            if seq_lt(*s, seq) && seq_lt(seq, end) {
+                return seq_diff(end, seq) as usize;
+            }
+        }
+        0
+    }
+
+    /// Removes and returns `n` bytes starting at `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bytes are not present contiguously.
+    pub fn take(&mut self, seq: u32, n: usize) -> Vec<u8> {
+        assert!(
+            n > 0 && self.contiguous_from(seq) >= n,
+            "take of absent bytes"
+        );
+        let idx = self
+            .runs
+            .iter()
+            .position(|(s, d)| {
+                let end = s.wrapping_add(d.len() as u32);
+                seq_le(*s, seq) && seq_lt(seq, end)
+            })
+            .expect("run exists");
+        let (s, d) = &mut self.runs[idx];
+        let off = seq_diff(seq, *s) as usize;
+        debug_assert_eq!(
+            off, 0,
+            "take must start at a run head after floor discipline"
+        );
+        let out: Vec<u8> = d.drain(off..off + n).collect();
+        if d.is_empty() {
+            self.runs.remove(idx);
+        } else {
+            *s = s.wrapping_add(n as u32);
+        }
+        out
+    }
+}

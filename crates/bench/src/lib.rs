@@ -23,6 +23,8 @@ use tcpfo_net::time::{SimDuration, SimTime};
 use tcpfo_tcp::host::Host;
 use tcpfo_tcp::types::SocketAddr;
 
+pub mod legacy_queue;
+
 /// Send-side copy cost in nanoseconds per byte (the `send()` syscall
 /// copying into the socket buffer on a 566 MHz P-III, ~400 MB/s). The
 /// simulator charges CPU per *emitted segment*; the copy into the

@@ -196,14 +196,18 @@ impl ChainBridge {
 }
 
 impl SegmentFilter for ChainBridge {
-    fn on_outbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput {
-        let out = self.inner.on_outbound(seg, now_nanos);
-        self.adapt(out)
+    fn on_outbound_into(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
+        let inner_out = self.inner.on_outbound(seg, now_nanos);
+        out.extend(self.adapt(inner_out));
     }
 
-    fn on_inbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput {
-        let out = self.inner.on_inbound(seg, now_nanos);
-        self.adapt(out)
+    fn on_inbound_into(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
+        let inner_out = self.inner.on_inbound(seg, now_nanos);
+        out.extend(self.adapt(inner_out));
+    }
+
+    fn on_tick(&mut self, now_nanos: u64) {
+        self.inner.on_tick(now_nanos);
     }
 
     fn designate(&mut self, rule: FailoverRule) {

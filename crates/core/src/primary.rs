@@ -24,15 +24,15 @@
 //!   degrades to pass-through *while still subtracting `Δseq`*.
 
 use crate::designation::{ConnKey, FailoverConfig};
-use crate::queues::ByteQueue;
-use bytes::Bytes;
+use crate::queues::{ByteQueue, TakenBytes};
+use bytes::BytesMut;
 use std::collections::HashMap;
 use tcpfo_tcp::filter::{AddressedSegment, FailoverRule, FilterOutput, SegmentFilter};
 use tcpfo_tcp::seq::{seq_gt, seq_le, seq_min};
 use tcpfo_tcp::types::SocketAddr;
 use tcpfo_telemetry::{Counter, Gauge, Telemetry};
 use tcpfo_wire::ipv4::Ipv4Addr;
-use tcpfo_wire::tcp::{SegmentPatcher, TcpFlags, TcpSegment};
+use tcpfo_wire::tcp::{peek_orig_dest, HeaderTemplate, SegmentPatcher, TcpFlags, TcpSegment};
 
 /// How long closed-connection tombstones are kept (so late FIN
 /// retransmissions still get ACKed, §8), in nanoseconds.
@@ -119,6 +119,9 @@ struct PrimaryInstruments {
 struct Conn {
     client: SocketAddr,
     server_port: u16,
+    /// Prebuilt client-facing egress header: pseudo-header and port sums
+    /// cached once, so releasing bytes never recomputes them.
+    tmpl: HeaderTemplate,
     /// Held SYN (client-initiated: SYN+ACK; server-initiated: SYN)
     /// from the primary's TCP layer.
     p_syn: Option<TcpSegment>,
@@ -157,10 +160,11 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(client: SocketAddr, server_port: u16) -> Self {
+    fn new(a_p: Ipv4Addr, client: SocketAddr, server_port: u16) -> Self {
         Conn {
             client,
             server_port,
+            tmpl: HeaderTemplate::new(a_p, client.ip, server_port, client.port),
             p_syn: None,
             s_syn: None,
             delta: None,
@@ -235,6 +239,10 @@ pub struct PrimaryBridge {
     /// Statistics.
     pub stats: PrimaryStats,
     telemetry: Option<PrimaryInstruments>,
+    /// Recycled egress scratch for template-emitted segments: once the
+    /// previously emitted bytes are dropped downstream, the next emit
+    /// reclaims the allocation.
+    emit_buf: BytesMut,
 }
 
 impl PrimaryBridge {
@@ -251,6 +259,7 @@ impl PrimaryBridge {
             unsafe_ack_without_min: false,
             stats: PrimaryStats::default(),
             telemetry: None,
+            emit_buf: BytesMut::with_capacity(2048),
         }
     }
 
@@ -305,6 +314,23 @@ impl PrimaryBridge {
         t.sq_depth.set_at(sq, now_nanos);
     }
 
+    /// Stamps the sim time of the segment currently being filtered, so
+    /// journal events emitted deep inside the merge logic carry a
+    /// timestamp. One store; runs per packet (unlike
+    /// [`PrimaryBridge::sync_telemetry`], which runs on the host tick).
+    fn stamp_now(&mut self, now_nanos: u64) {
+        if let Some(t) = &mut self.telemetry {
+            t.now_ns = now_nanos;
+        }
+    }
+
+    /// Whether journal events are recorded — call sites gate on this so
+    /// the hot path never formats event fields that would be thrown
+    /// away.
+    fn journal_on(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
     /// Appends an event to the journal, stamped with the sim time of
     /// the segment currently being filtered.
     fn journal(&self, kind: &str, fields: &[(&str, String)]) {
@@ -353,7 +379,7 @@ impl PrimaryBridge {
                 // release the held SYN unmodified; the connection
                 // continues as a plain TCP connection.
                 if let Some(p_syn) = conn.p_syn.take() {
-                    let bytes = p_syn.encode(self.a_p, conn.client.ip).to_vec();
+                    let bytes = p_syn.encode(self.a_p, conn.client.ip);
                     out.to_wire
                         .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
                 }
@@ -378,9 +404,9 @@ impl PrimaryBridge {
                     .ack(ack)
                     .window(conn.win_p)
                     .flags(TcpFlags::PSH)
-                    .payload(Bytes::from(payload))
+                    .payload(payload.into_contiguous())
                     .build();
-                let bytes = seg.encode(self.a_p, conn.client.ip).to_vec();
+                let bytes = seg.encode(self.a_p, conn.client.ip);
                 out.to_wire
                     .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
                 conn.send_next = conn.send_next.wrapping_add(n as u32);
@@ -394,7 +420,7 @@ impl PrimaryBridge {
                     .window(conn.win_p)
                     .flags(TcpFlags::FIN)
                     .build();
-                let bytes = seg.encode(self.a_p, conn.client.ip).to_vec();
+                let bytes = seg.encode(self.a_p, conn.client.ip);
                 out.to_wire
                     .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
                 conn.fin_sent = true;
@@ -449,6 +475,8 @@ impl PrimaryBridge {
         }
     }
 
+    /// Cold-path emitter for segments that need options (merged SYNs):
+    /// full encode.
     fn emit_to_client(&mut self, conn: &mut Conn, seg: TcpSegment, out: &mut FilterOutput) {
         if seg.flags.contains(TcpFlags::ACK) {
             conn.last_ack_sent = Some(match conn.last_ack_sent {
@@ -456,9 +484,102 @@ impl PrimaryBridge {
                 _ => seg.ack,
             });
         }
-        let bytes = seg.encode(self.a_p, conn.client.ip).to_vec();
+        let bytes = seg.encode(self.a_p, conn.client.ip);
         out.to_wire
             .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
+    }
+
+    /// Hot-path emitter: patches the connection's prebuilt header
+    /// template into the recycled scratch buffer. No allocation, no
+    /// full checksum pass (callers supply the payload's cached sum when
+    /// they have one).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_hot<'a>(
+        &mut self,
+        conn: &mut Conn,
+        seq: u32,
+        ack: Option<u32>,
+        mut flags: TcpFlags,
+        window: u16,
+        parts: impl Iterator<Item = &'a [u8]> + Clone,
+        payload_len: usize,
+        payload_sum: Option<u32>,
+        out: &mut FilterOutput,
+    ) {
+        let ack_val = match ack {
+            Some(a) => {
+                flags |= TcpFlags::ACK;
+                conn.last_ack_sent = Some(match conn.last_ack_sent {
+                    Some(l) if seq_gt(l, a) => l,
+                    _ => a,
+                });
+                a
+            }
+            None => 0,
+        };
+        let bytes = conn.tmpl.emit_parts(
+            &mut self.emit_buf,
+            seq,
+            ack_val,
+            flags,
+            window,
+            parts,
+            payload_len,
+            payload_sum,
+        );
+        out.to_wire
+            .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
+    }
+
+    /// [`PrimaryBridge::emit_hot`] for a rope release: the payload is
+    /// the [`TakenBytes`] chain straight out of the output queues,
+    /// checksummed from its cached sum.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_release(
+        &mut self,
+        conn: &mut Conn,
+        seq: u32,
+        ack: Option<u32>,
+        flags: TcpFlags,
+        window: u16,
+        payload: &TakenBytes,
+        out: &mut FilterOutput,
+    ) {
+        self.emit_hot(
+            conn,
+            seq,
+            ack,
+            flags,
+            window,
+            payload.parts(),
+            payload.len(),
+            Some(payload.sum()),
+            out,
+        );
+    }
+
+    /// [`PrimaryBridge::emit_hot`] for an empty segment (bare ACKs,
+    /// merged FINs, translated RSTs).
+    fn emit_empty(
+        &mut self,
+        conn: &mut Conn,
+        seq: u32,
+        ack: Option<u32>,
+        flags: TcpFlags,
+        window: u16,
+        out: &mut FilterOutput,
+    ) {
+        self.emit_hot(
+            conn,
+            seq,
+            ack,
+            flags,
+            window,
+            std::iter::empty(),
+            0,
+            Some(0),
+            out,
+        );
     }
 
     /// Releases everything both replicas agree on (§3.4 Figure 2), then
@@ -483,17 +604,12 @@ impl PrimaryBridge {
                     self.stats.drops += 1;
                     break;
                 };
-                let seg = TcpSegment::builder(conn.server_port, conn.client.port)
-                    .seq(conn.send_next)
-                    .ack(ack)
-                    .window(conn.min_win())
-                    .flags(TcpFlags::PSH)
-                    .payload(Bytes::from(from_s))
-                    .build();
+                let seq = conn.send_next;
                 conn.send_next = conn.send_next.wrapping_add(n as u32);
                 self.stats.merged_segments += 1;
                 self.stats.merged_bytes += n as u64;
-                self.emit_to_client(&mut conn, seg, out);
+                let win = conn.min_win();
+                self.emit_release(&mut conn, seq, Some(ack), TcpFlags::PSH, win, &from_s, out);
                 continue;
             }
             // FIN merge: both replicas have closed at this position.
@@ -502,16 +618,12 @@ impl PrimaryBridge {
                 && conn.s_fin == Some(conn.send_next)
             {
                 if let Some(ack) = self.client_ack(&conn) {
-                    let seg = TcpSegment::builder(conn.server_port, conn.client.port)
-                        .seq(conn.send_next)
-                        .ack(ack)
-                        .window(conn.min_win())
-                        .flags(TcpFlags::FIN)
-                        .build();
+                    let seq = conn.send_next;
                     conn.fin_sent = true;
                     conn.send_next = conn.send_next.wrapping_add(1);
                     self.stats.fins_sent += 1;
-                    self.emit_to_client(&mut conn, seg, out);
+                    let win = conn.min_win();
+                    self.emit_empty(&mut conn, seq, Some(ack), TcpFlags::FIN, win, out);
                     continue;
                 }
             }
@@ -525,14 +637,12 @@ impl PrimaryBridge {
                 None => true,
             };
             if advanced {
-                let seg = TcpSegment::builder(conn.server_port, conn.client.port)
-                    .seq(conn.send_next)
-                    .ack(m)
-                    .window(conn.min_win())
-                    .build();
                 self.stats.empty_acks += 1;
-                self.journal("empty_ack", &[("ack", m.to_string())]);
-                self.emit_to_client(&mut conn, seg, out);
+                if self.journal_on() {
+                    self.journal("empty_ack", &[("ack", m.to_string())]);
+                }
+                let (seq, win) = (conn.send_next, conn.min_win());
+                self.emit_empty(&mut conn, seq, Some(m), TcpFlags::EMPTY, win, out);
             }
         }
         self.conns.insert(key, conn);
@@ -566,13 +676,15 @@ impl PrimaryBridge {
         }
         let seg = b.build();
         let mut conn = self.conns.remove(&key).expect("conn present");
-        self.journal(
-            "sync",
-            &[
-                ("client", format!("{}:{}", conn.client.ip, conn.client.port)),
-                ("delta_seq", delta.to_string()),
-            ],
-        );
+        if self.journal_on() {
+            self.journal(
+                "sync",
+                &[
+                    ("client", format!("{}:{}", conn.client.ip, conn.client.port)),
+                    ("delta_seq", delta.to_string()),
+                ],
+            );
+        }
         self.emit_to_client(&mut conn, seg, out);
         self.conns.insert(key, conn);
     }
@@ -597,7 +709,9 @@ impl PrimaryBridge {
         }
         let seg = b.build();
         self.stats.retransmissions_forwarded += 1;
-        self.journal("retransmission", &[("kind", "syn".to_string())]);
+        if self.journal_on() {
+            self.journal("retransmission", &[("kind", "syn".to_string())]);
+        }
         let mut conn = self.conns.remove(&key).expect("conn present");
         self.emit_to_client(&mut conn, seg, out);
         self.conns.insert(key, conn);
@@ -623,7 +737,7 @@ impl PrimaryBridge {
                     .ack(seg.seq.wrapping_add(seg.seq_len()))
                     .window(seg.window)
                     .build();
-                let bytes = ack_seg.encode(key.peer.ip, self.a_s).to_vec();
+                let bytes = ack_seg.encode(key.peer.ip, self.a_s);
                 out.to_wire
                     .push(AddressedSegment::new(key.peer.ip, self.a_s, bytes));
                 self.stats.late_fin_acks += 1;
@@ -691,11 +805,7 @@ impl PrimaryBridge {
         // RST: forward with translated sequence number and drop state.
         if seg.flags.contains(TcpFlags::RST) {
             let mut conn = self.conns.remove(&key).expect("conn present");
-            let rst = TcpSegment::builder(conn.server_port, conn.client.port)
-                .seq(seq)
-                .flags(TcpFlags::RST)
-                .build();
-            self.emit_to_client(&mut conn, rst, out);
+            self.emit_empty(&mut conn, seq, None, TcpFlags::RST, 0, out);
             self.stats.conns_closed += 1;
             return;
         }
@@ -722,31 +832,37 @@ impl PrimaryBridge {
             if has_fin {
                 flags |= TcpFlags::FIN;
             }
-            let rtx = TcpSegment::builder(conn.server_port, conn.client.port)
-                .seq(seq)
-                .ack(ack)
-                .window(conn.min_win())
-                .flags(flags)
-                .payload(seg.payload.clone())
-                .build();
             self.stats.retransmissions_forwarded += 1;
-            self.journal(
-                "retransmission",
-                &[
-                    ("seq", seq.to_string()),
-                    ("len", seg.payload.len().to_string()),
-                ],
-            );
+            if self.journal_on() {
+                self.journal(
+                    "retransmission",
+                    &[
+                        ("seq", seq.to_string()),
+                        ("len", seg.payload.len().to_string()),
+                    ],
+                );
+            }
             let mut conn = self.conns.remove(&key).expect("conn present");
-            self.emit_to_client(&mut conn, rtx, out);
+            let win = conn.min_win();
+            self.emit_hot(
+                &mut conn,
+                seq,
+                Some(ack),
+                flags,
+                win,
+                std::iter::once(&seg.payload[..]),
+                seg.payload.len(),
+                None,
+                out,
+            );
             self.conns.insert(key, conn);
             return;
         }
         if !seg.payload.is_empty() {
             let send_next = conn.send_next;
             match replica {
-                Replica::Primary => conn.pq.insert(seq, &seg.payload, send_next),
-                Replica::Secondary => conn.sq.insert(seq, &seg.payload, send_next),
+                Replica::Primary => conn.pq.insert(seq, seg.payload.clone(), send_next),
+                Replica::Secondary => conn.sq.insert(seq, seg.payload.clone(), send_next),
             }
         }
         let pure_ack = seg.payload.is_empty() && !has_fin && seg.flags.contains(TcpFlags::ACK);
@@ -767,18 +883,16 @@ impl PrimaryBridge {
                     // the minimum is normal duplex flow and forwarding
                     // it would double the merged ACK cadence.
                     if conn.last_ack_sent == Some(m) && conn.last_was_replica_dup {
-                        let seg = TcpSegment::builder(conn.server_port, conn.client.port)
-                            .seq(conn.send_next)
-                            .ack(m)
-                            .window(conn.min_win())
-                            .build();
                         self.stats.empty_acks += 1;
-                        self.journal(
-                            "empty_ack",
-                            &[("ack", m.to_string()), ("kind", "re_ack".to_string())],
-                        );
+                        if self.journal_on() {
+                            self.journal(
+                                "empty_ack",
+                                &[("ack", m.to_string()), ("kind", "re_ack".to_string())],
+                            );
+                        }
                         let mut conn = self.conns.remove(&key).expect("conn present");
-                        self.emit_to_client(&mut conn, seg, out);
+                        let (seq, win) = (conn.send_next, conn.min_win());
+                        self.emit_empty(&mut conn, seq, Some(m), TcpFlags::EMPTY, win, out);
                         self.conns.insert(key, conn);
                     }
                 }
@@ -832,26 +946,29 @@ impl PrimaryBridge {
 
     /// Handles an ingress segment from the unreplicated peer (the
     /// client C, or back-end T for server-initiated connections).
+    ///
+    /// Takes `parsed` by value so its payload slice (which shares
+    /// `raw.bytes`' storage) can be dropped before the ack-translate
+    /// patch — leaving the buffer uniquely owned means the patcher
+    /// takes it over in place instead of copying.
     fn on_client_segment(
         &mut self,
-        seg_parsed: &TcpSegment,
+        parsed: TcpSegment,
         raw: AddressedSegment,
         out: &mut FilterOutput,
     ) {
-        let key = ConnKey::new(
-            seg_parsed.dst_port,
-            SocketAddr::new(raw.src, seg_parsed.src_port),
-        );
+        let key = ConnKey::new(parsed.dst_port, SocketAddr::new(raw.src, parsed.src_port));
         // New client-initiated connection?
-        if seg_parsed.flags.contains(TcpFlags::SYN) && !seg_parsed.flags.contains(TcpFlags::ACK) {
+        if parsed.flags.contains(TcpFlags::SYN) && !parsed.flags.contains(TcpFlags::ACK) {
             match self.mode {
                 PrimaryMode::Normal => {
                     // A fresh SYN supersedes any tombstone for the
                     // tuple (tuple reuse across a failover epoch).
                     self.closed.remove(&key);
+                    let a_p = self.a_p;
                     self.conns
                         .entry(key)
-                        .or_insert_with(|| Conn::new(key.peer, key.server_port));
+                        .or_insert_with(|| Conn::new(a_p, key.peer, key.server_port));
                 }
                 PrimaryMode::SecondaryFailed => {
                     // Born degraded: this connection is local-only for
@@ -872,10 +989,11 @@ impl PrimaryBridge {
             // everything to our TCP layer, forever.
             if let Some(t) = self.closed.get(&key) {
                 if t.degraded {
-                    if seg_parsed.flags.contains(TcpFlags::ACK) {
-                        let delta = t.delta;
+                    if parsed.flags.contains(TcpFlags::ACK) {
+                        let new_ack = parsed.ack.wrapping_add(t.delta);
+                        drop(parsed);
                         let mut patcher = SegmentPatcher::new(raw.bytes, raw.src, raw.dst);
-                        patcher.set_ack(seg_parsed.ack.wrapping_add(delta));
+                        patcher.set_ack(new_ack);
                         let (bytes, src, dst) = patcher.finish();
                         self.stats.acks_translated += 1;
                         out.to_tcp.push(AddressedSegment::new(src, dst, bytes));
@@ -887,13 +1005,13 @@ impl PrimaryBridge {
             }
             // §8: the client retransmits its FIN after we deleted the
             // connection: ACK it ourselves.
-            if seg_parsed.flags.contains(TcpFlags::FIN) && self.closed.contains_key(&key) {
+            if parsed.flags.contains(TcpFlags::FIN) && self.closed.contains_key(&key) {
                 let ack_seg = TcpSegment::builder(key.server_port, key.peer.port)
-                    .seq(seg_parsed.ack)
-                    .ack(seg_parsed.seq.wrapping_add(seg_parsed.seq_len()))
-                    .window(seg_parsed.window)
+                    .seq(parsed.ack)
+                    .ack(parsed.seq.wrapping_add(parsed.seq_len()))
+                    .window(parsed.window)
                     .build();
-                let bytes = ack_seg.encode(self.a_p, key.peer.ip).to_vec();
+                let bytes = ack_seg.encode(self.a_p, key.peer.ip);
                 out.to_wire
                     .push(AddressedSegment::new(self.a_p, key.peer.ip, bytes));
                 self.stats.late_fin_acks += 1;
@@ -905,20 +1023,22 @@ impl PrimaryBridge {
             return;
         };
         // Track teardown progress (in S/client-facing space).
-        if seg_parsed.flags.contains(TcpFlags::ACK) {
+        if parsed.flags.contains(TcpFlags::ACK) {
             conn.client_acked = Some(match conn.client_acked {
-                Some(a) if seq_gt(a, seg_parsed.ack) => a,
-                _ => seg_parsed.ack,
+                Some(a) if seq_gt(a, parsed.ack) => a,
+                _ => parsed.ack,
             });
         }
-        if seg_parsed.flags.contains(TcpFlags::FIN) {
-            conn.client_fin = Some(seg_parsed.seq.wrapping_add(seg_parsed.payload.len() as u32));
+        if parsed.flags.contains(TcpFlags::FIN) {
+            conn.client_fin = Some(parsed.seq.wrapping_add(parsed.payload.len() as u32));
         }
         // Translate the acknowledgment into the primary's space.
-        if seg_parsed.flags.contains(TcpFlags::ACK) {
+        if parsed.flags.contains(TcpFlags::ACK) {
             if let Some(delta) = conn.delta {
+                let new_ack = parsed.ack.wrapping_add(delta);
+                drop(parsed);
                 let mut patcher = SegmentPatcher::new(raw.bytes, raw.src, raw.dst);
-                patcher.set_ack(seg_parsed.ack.wrapping_add(delta));
+                patcher.set_ack(new_ack);
                 let (bytes, src, dst) = patcher.finish();
                 self.stats.acks_translated += 1;
                 out.to_tcp.push(AddressedSegment::new(src, dst, bytes));
@@ -935,11 +1055,11 @@ impl PrimaryBridge {
 }
 
 impl SegmentFilter for PrimaryBridge {
-    fn on_outbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput {
-        self.gc_tombstones(now_nanos);
-        self.sync_telemetry(now_nanos);
-        let Ok(parsed) = TcpSegment::decode(&seg.bytes) else {
-            return FilterOutput::wire(seg);
+    fn on_outbound_into(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
+        self.stamp_now(now_nanos);
+        let Ok(parsed) = TcpSegment::decode_shared(&seg.bytes) else {
+            out.to_wire.push(seg);
+            return;
         };
         // Outbound segments from the primary's TCP layer to some peer.
         let key = ConnKey::new(parsed.src_port, SocketAddr::new(seg.dst, parsed.dst_port));
@@ -949,17 +1069,21 @@ impl SegmentFilter for PrimaryBridge {
             || self.conns.contains_key(&key)
             || self.closed.contains_key(&key);
         if !designated || seg.dst == self.a_s {
-            return FilterOutput::wire(seg);
+            out.to_wire.push(seg);
+            return;
         }
         // §6-degraded connections pass through immediately with Δseq
         // subtracted and ack/window untouched — in *any* mode (they
         // stay degraded even after a secondary reintegrates).
         if let Some(t) = self.closed.get(&key) {
             if t.degraded {
+                let new_seq = parsed.seq.wrapping_sub(t.delta);
+                drop(parsed);
                 let mut p = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
-                p.set_seq(parsed.seq.wrapping_sub(t.delta));
+                p.set_seq(new_seq);
                 let (bytes, src, dst) = p.finish();
-                return FilterOutput::wire(AddressedSegment::new(src, dst, bytes));
+                out.to_wire.push(AddressedSegment::new(src, dst, bytes));
+                return;
             }
         }
         match self.mode {
@@ -973,7 +1097,7 @@ impl SegmentFilter for PrimaryBridge {
                         degraded: true,
                     });
                 }
-                FilterOutput::wire(seg)
+                out.to_wire.push(seg);
             }
             PrimaryMode::Normal => {
                 // Any SYN from our own TCP layer opens bridge state: a
@@ -982,9 +1106,10 @@ impl SegmentFilter for PrimaryBridge {
                 // a bare SYN starts a server-initiated connection
                 // (§7.2).
                 if parsed.flags.contains(TcpFlags::SYN) {
+                    let a_p = self.a_p;
                     self.conns
                         .entry(key)
-                        .or_insert_with(|| Conn::new(key.peer, key.server_port));
+                        .or_insert_with(|| Conn::new(a_p, key.peer, key.server_port));
                 }
                 if !self.conns.contains_key(&key) {
                     // Designated but unknown (e.g. tombstoned): the
@@ -992,50 +1117,50 @@ impl SegmentFilter for PrimaryBridge {
                     // connection; drop (the §8 tombstone path answers
                     // the peer directly).
                     self.stats.drops += 1;
-                    return FilterOutput::empty();
+                    return;
                 }
-                let mut out = FilterOutput::empty();
-                self.on_replica_segment(key, Replica::Primary, &parsed, &mut out);
-                out
+                self.on_replica_segment(key, Replica::Primary, &parsed, out);
             }
         }
     }
 
-    fn on_inbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput {
-        self.gc_tombstones(now_nanos);
-        self.sync_telemetry(now_nanos);
-        let Ok(parsed) = TcpSegment::decode(&seg.bytes) else {
-            return FilterOutput::tcp(seg);
-        };
-        // Diverted secondary segment? (carries the orig-dest option)
-        if let Some((orig_ip, orig_port)) = parsed.orig_dest() {
-            if seg.src == self.a_s && seg.dst == self.divert_dst {
+    fn on_inbound_into(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
+        self.stamp_now(now_nanos);
+        // Diverted secondary segment? (carries the orig-dest option —
+        // probed on the raw bytes, so the buffer stays uniquely owned
+        // for the in-place strip below.)
+        if seg.src == self.a_s && seg.dst == self.divert_dst {
+            if let Some((orig_ip, orig_port)) = peek_orig_dest(&seg.bytes) {
                 if self.mode == PrimaryMode::SecondaryFailed {
-                    return FilterOutput::empty(); // §6 step 2
+                    return; // §6 step 2
                 }
-                let key = ConnKey::new(parsed.src_port, SocketAddr::new(orig_ip, orig_port));
                 // Strip the option before processing so payload
                 // matching sees the canonical segment.
                 let mut patcher = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
                 patcher.strip_orig_dest_option();
                 let (bytes, ..) = patcher.finish();
-                let Ok(canonical) = TcpSegment::decode(&bytes) else {
+                let Ok(canonical) = TcpSegment::decode_shared(&bytes) else {
                     self.stats.drops += 1;
-                    return FilterOutput::empty();
+                    return;
                 };
+                let key = ConnKey::new(canonical.src_port, SocketAddr::new(orig_ip, orig_port));
                 // A SYN from the secondary may precede any primary
                 // activity (a server-initiated open where S ran first,
                 // or a SYN+ACK racing the primary's own): open state.
                 if canonical.flags.contains(TcpFlags::SYN) {
+                    let a_p = self.a_p;
                     self.conns
                         .entry(key)
-                        .or_insert_with(|| Conn::new(key.peer, key.server_port));
+                        .or_insert_with(|| Conn::new(a_p, key.peer, key.server_port));
                 }
-                let mut out = FilterOutput::empty();
-                self.on_replica_segment(key, Replica::Secondary, &canonical, &mut out);
-                return out;
+                self.on_replica_segment(key, Replica::Secondary, &canonical, out);
+                return;
             }
         }
+        let Ok(parsed) = TcpSegment::decode_shared(&seg.bytes) else {
+            out.to_tcp.push(seg);
+            return;
+        };
         // A segment from an unreplicated peer addressed to us?
         if seg.dst == self.a_p {
             let key_port = parsed.dst_port;
@@ -1049,12 +1174,16 @@ impl SegmentFilter for PrimaryBridge {
                     SocketAddr::new(seg.src, parsed.src_port),
                 ));
             if designated {
-                let mut out = FilterOutput::empty();
-                self.on_client_segment(&parsed, seg, &mut out);
-                return out;
+                self.on_client_segment(parsed, seg, out);
+                return;
             }
         }
-        FilterOutput::tcp(seg)
+        out.to_tcp.push(seg);
+    }
+
+    fn on_tick(&mut self, now_nanos: u64) {
+        self.gc_tombstones(now_nanos);
+        self.sync_telemetry(now_nanos);
     }
 
     fn designate(&mut self, rule: FailoverRule) {
@@ -1083,6 +1212,7 @@ impl std::fmt::Debug for PrimaryBridge {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use tcpfo_wire::tcp::verify_segment_checksum;
 
     const A_C: Ipv4Addr = Ipv4Addr::new(192, 168, 0, 9);

@@ -5,8 +5,150 @@
 //! secondary's space; the primary's bytes are normalised by `Δseq`
 //! before insertion). The bridge releases to the client exactly the
 //! bytes present in **both** queues, in order.
+//!
+//! The queue is a *rope*: a sorted vector of refcounted [`Bytes`]
+//! chunks, each a sub-slice of the parsed segment payload it arrived
+//! in. Inserting buffers a slice (no copy), releasing hands the same
+//! slice back out ([`TakenBytes`]), and each chunk carries its Internet
+//! checksum contribution, computed once at insert time, so the egress
+//! path never rescans payload bytes. Adjacent chunks stay separate;
+//! contiguity is implied by `prev.end() == next.start`.
 
+use bytes::Bytes;
 use tcpfo_tcp::seq::{seq_diff, seq_le, seq_lt};
+use tcpfo_wire::checksum::{fold_sum, raw_sum, sub_sum, swap_sum};
+
+/// One rope chunk: a slice of a received segment's payload positioned
+/// in the client-facing sequence space.
+#[derive(Debug, Clone)]
+struct Chunk {
+    start: u32,
+    data: Bytes,
+    /// Raw one's-complement sum of `data`, as if at an even byte
+    /// offset. Cached when the chunk is created.
+    sum: u32,
+}
+
+impl Chunk {
+    fn end(&self) -> u32 {
+        self.start.wrapping_add(self.data.len() as u32)
+    }
+}
+
+/// Bytes removed from a [`ByteQueue`]: a chain of refcounted payload
+/// slices plus their cached checksum sum.
+///
+/// In the steady state a release consumes exactly one chunk, so the
+/// chain has a single part and building it never allocates. Multi-part
+/// chains (a release spanning several buffered segments) push the
+/// extra parts into a spill vector.
+#[derive(Debug, Clone, Default)]
+pub struct TakenBytes {
+    first: Option<Bytes>,
+    rest: Vec<Bytes>,
+    sum: u32,
+    len: usize,
+}
+
+impl TakenBytes {
+    /// An empty chain.
+    pub fn empty() -> Self {
+        TakenBytes::default()
+    }
+
+    /// Total bytes in the chain.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the chain holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Raw one's-complement sum of the chained content, as if at an
+    /// even byte offset — ready to feed a checksum accumulator without
+    /// touching the payload again.
+    pub fn sum(&self) -> u32 {
+        self.sum
+    }
+
+    /// The chain's parts in order, as plain slices.
+    pub fn parts(&self) -> impl Iterator<Item = &[u8]> + Clone {
+        self.first
+            .as_deref()
+            .into_iter()
+            .chain(self.rest.iter().map(|b| b.as_ref()))
+    }
+
+    /// The chained bytes in order.
+    pub fn iter_bytes(&self) -> impl Iterator<Item = u8> + '_ {
+        self.parts().flat_map(|s| s.iter().copied())
+    }
+
+    /// The single backing slice, when the chain has exactly one part.
+    pub fn as_contiguous(&self) -> Option<&Bytes> {
+        if self.rest.is_empty() {
+            self.first.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Flattens into one [`Bytes`]; free for single-part chains, copies
+    /// for multi-part ones.
+    pub fn into_contiguous(self) -> Bytes {
+        if self.rest.is_empty() {
+            self.first.unwrap_or_default()
+        } else {
+            Bytes::from(self.to_vec())
+        }
+    }
+
+    /// Copies the chained bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.len);
+        for p in self.parts() {
+            v.extend_from_slice(p);
+        }
+        v
+    }
+
+    fn push_part(&mut self, data: Bytes, raw: u32) {
+        let contrib = if self.len.is_multiple_of(2) {
+            u32::from(fold_sum(raw))
+        } else {
+            swap_sum(raw)
+        };
+        self.sum = u32::from(fold_sum(self.sum)) + contrib;
+        self.len += data.len();
+        if self.first.is_none() {
+            self.first = Some(data);
+        } else {
+            self.rest.push(data);
+        }
+    }
+}
+
+impl PartialEq for TakenBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter_bytes().eq(other.iter_bytes())
+    }
+}
+
+impl Eq for TakenBytes {}
+
+impl PartialEq<[u8]> for TakenBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.len == other.len() && self.iter_bytes().eq(other.iter().copied())
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for TakenBytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        *self == other[..]
+    }
+}
 
 /// A sparse byte buffer keyed by sequence number.
 ///
@@ -27,8 +169,12 @@ use tcpfo_tcp::seq::{seq_diff, seq_le, seq_lt};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ByteQueue {
-    /// Sorted, non-overlapping, non-adjacent-merged runs.
-    runs: Vec<(u32, Vec<u8>)>,
+    /// Sorted, non-overlapping chunks. Adjacent chunks are *not*
+    /// physically merged — a contiguous run is a maximal series of
+    /// chunks with `prev.end() == next.start`.
+    chunks: Vec<Chunk>,
+    /// Maintained byte total, so [`ByteQueue::len`] is O(1).
+    total: usize,
     /// Bytes that arrived twice with *different* contents — evidence of
     /// replica non-determinism, which the paper's §1 assumption rules
     /// out. Counted, never silently ignored.
@@ -43,19 +189,27 @@ impl ByteQueue {
 
     /// Total buffered bytes.
     pub fn len(&self) -> usize {
-        self.runs.iter().map(|(_, d)| d.len()).sum()
+        self.total
     }
 
     /// Whether the queue holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.runs.is_empty()
+        self.chunks.is_empty()
+    }
+
+    /// Index of the first chunk whose end lies beyond `seq`.
+    fn search(&self, seq: u32) -> usize {
+        self.chunks.partition_point(|c| seq_le(c.end(), seq))
     }
 
     /// Inserts `data` at `seq`, discarding any portion below `floor`
-    /// (bytes already released to the client). Overlaps with existing
-    /// runs are deduplicated; differing overlap content increments
+    /// (bytes already released to the client). The queue keeps a
+    /// refcounted slice of `data` — no copy. Overlaps with existing
+    /// chunks are deduplicated; differing overlap content increments
     /// [`ByteQueue::mismatched_bytes`].
-    pub fn insert(&mut self, mut seq: u32, mut data: &[u8], floor: u32) {
+    pub fn insert(&mut self, seq: u32, data: impl Into<Bytes>, floor: u32) {
+        let mut data = data.into();
+        let mut seq = seq;
         if data.is_empty() {
             return;
         }
@@ -64,41 +218,60 @@ impl ByteQueue {
             if skip >= data.len() {
                 return;
             }
-            data = &data[skip..];
+            data = data.slice(skip..);
             seq = floor;
         }
-        // Clip against each existing run, inserting only fresh spans.
-        let mut spans: Vec<(u32, Vec<u8>)> = vec![(seq, data.to_vec())];
-        for (rstart, rdata) in &self.runs {
-            let rend = rstart.wrapping_add(rdata.len() as u32);
+        // Fast path (in-order arrival): strictly beyond everything
+        // buffered. No clipping, no sort, no allocation beyond vector
+        // growth.
+        let fits_at_tail = match self.chunks.last() {
+            None => true,
+            Some(c) => seq_le(c.end(), seq),
+        };
+        if fits_at_tail {
+            self.total += data.len();
+            let sum = raw_sum(&data);
+            self.chunks.push(Chunk {
+                start: seq,
+                data,
+                sum,
+            });
+            return;
+        }
+        // Slow path: clip against each existing chunk, inserting only
+        // fresh spans (still slices of `data`, never copies).
+        let mut spans: Vec<(u32, Bytes)> = vec![(seq, data)];
+        for c in &self.chunks {
+            let rstart = c.start;
+            let rend = c.end();
             let mut next = Vec::new();
             for (s, d) in spans {
                 let e = s.wrapping_add(d.len() as u32);
                 // No overlap?
-                if seq_le(e, *rstart) || seq_le(rend, s) {
+                if seq_le(e, rstart) || seq_le(rend, s) {
                     next.push((s, d));
                     continue;
                 }
                 // Verify overlapping content matches.
-                let ov_start = if seq_lt(s, *rstart) { *rstart } else { s };
+                let ov_start = if seq_lt(s, rstart) { rstart } else { s };
                 let ov_end = if seq_lt(e, rend) { e } else { rend };
                 let ov_len = seq_diff(ov_end, ov_start) as usize;
                 let in_new = seq_diff(ov_start, s) as usize;
-                let in_run = seq_diff(ov_start, *rstart) as usize;
+                let in_run = seq_diff(ov_start, rstart) as usize;
                 let differing = d[in_new..in_new + ov_len]
                     .iter()
-                    .zip(&rdata[in_run..in_run + ov_len])
+                    .zip(&c.data[in_run..in_run + ov_len])
                     .filter(|(a, b)| a != b)
                     .count();
                 self.mismatched_bytes += differing as u64;
                 // Keep the non-overlapping head/tail of the new span.
-                if seq_lt(s, *rstart) {
-                    let head = seq_diff(*rstart, s) as usize;
-                    next.push((s, d[..head].to_vec()));
+                if seq_lt(s, rstart) {
+                    let head = seq_diff(rstart, s) as usize;
+                    next.push((s, d.slice(..head)));
                 }
                 if seq_lt(rend, e) {
                     let tail = seq_diff(rend, s) as usize;
-                    next.push((rend, d[tail..].to_vec()));
+                    next.push((rend, d.slice(tail..)));
                 }
             }
             spans = next;
@@ -106,105 +279,133 @@ impl ByteQueue {
                 return;
             }
         }
-        self.runs.extend(spans);
-        self.runs.sort_by(|a, b| {
-            if a.0 == b.0 {
+        for (s, d) in spans {
+            self.total += d.len();
+            let sum = raw_sum(&d);
+            self.chunks.push(Chunk {
+                start: s,
+                data: d,
+                sum,
+            });
+        }
+        self.chunks.sort_by(|a, b| {
+            if a.start == b.start {
                 std::cmp::Ordering::Equal
-            } else if seq_lt(a.0, b.0) {
+            } else if seq_lt(a.start, b.start) {
                 std::cmp::Ordering::Less
             } else {
                 std::cmp::Ordering::Greater
             }
         });
-        // Coalesce adjacent runs.
-        let mut merged: Vec<(u32, Vec<u8>)> = Vec::with_capacity(self.runs.len());
-        for (s, d) in std::mem::take(&mut self.runs) {
-            if let Some((ls, ld)) = merged.last_mut() {
-                if ls.wrapping_add(ld.len() as u32) == s {
-                    ld.extend_from_slice(&d);
-                    continue;
-                }
-            }
-            merged.push((s, d));
-        }
-        self.runs = merged;
     }
 
     /// Length of the contiguous run starting exactly at `seq` (0 if the
     /// queue does not contain that byte).
     pub fn contiguous_from(&self, seq: u32) -> usize {
-        for (s, d) in &self.runs {
-            if *s == seq {
-                return d.len();
-            }
-            let end = s.wrapping_add(d.len() as u32);
-            if seq_lt(*s, seq) && seq_lt(seq, end) {
-                return seq_diff(end, seq) as usize;
-            }
+        let idx = self.search(seq);
+        let Some(c) = self.chunks.get(idx) else {
+            return 0;
+        };
+        if !seq_le(c.start, seq) {
+            return 0;
         }
-        0
+        let mut n = seq_diff(c.end(), seq) as usize;
+        let mut end = c.end();
+        for c in &self.chunks[idx + 1..] {
+            if c.start != end {
+                break;
+            }
+            n += c.data.len();
+            end = c.end();
+        }
+        n
     }
 
-    /// Removes and returns `n` bytes starting at `seq`.
+    /// Removes and returns `n` bytes starting at `seq`, as a chain of
+    /// the same refcounted slices that were inserted (no copy). The
+    /// chain carries the cached checksum sum of its content.
     ///
     /// # Panics
     ///
     /// Panics if the bytes are not present contiguously (callers gate
     /// on [`ByteQueue::contiguous_from`]).
-    pub fn take(&mut self, seq: u32, n: usize) -> Vec<u8> {
+    pub fn take(&mut self, seq: u32, n: usize) -> TakenBytes {
         assert!(
             n > 0 && self.contiguous_from(seq) >= n,
             "take of absent bytes"
         );
-        let idx = self
-            .runs
-            .iter()
-            .position(|(s, d)| {
-                let end = s.wrapping_add(d.len() as u32);
-                seq_le(*s, seq) && seq_lt(seq, end)
-            })
-            .expect("run exists");
-        let (s, d) = &mut self.runs[idx];
-        let off = seq_diff(seq, *s) as usize;
+        let idx = self.search(seq);
         debug_assert_eq!(
-            off, 0,
-            "take must start at a run head after floor discipline"
+            self.chunks[idx].start, seq,
+            "take must start at a chunk head after floor discipline"
         );
-        let out: Vec<u8> = d.drain(off..off + n).collect();
-        if d.is_empty() {
-            self.runs.remove(idx);
-        } else {
-            *s = s.wrapping_add(n as u32);
+        // Count whole chunks consumed; pre-split a trailing partial one.
+        let mut whole = 0usize;
+        let mut acc = 0usize;
+        while acc < n {
+            let clen = self.chunks[idx + whole].data.len();
+            if acc + clen > n {
+                break;
+            }
+            acc += clen;
+            whole += 1;
         }
+        let mut split: Option<(Bytes, u32)> = None;
+        if acc < n {
+            let need = n - acc;
+            let c = &mut self.chunks[idx + whole];
+            let part = c.data.slice(..need);
+            let part_sum = raw_sum(&part);
+            // Derive the remainder's sum from the cached whole-chunk
+            // sum (RFC 1624 algebra) instead of rescanning it. An odd
+            // split shifts the remainder's byte-pair alignment, which
+            // swaps the bytes of its one's-complement sum.
+            let rem = sub_sum(c.sum, part_sum);
+            c.sum = if need % 2 == 1 {
+                swap_sum(rem)
+            } else {
+                u32::from(fold_sum(rem))
+            };
+            c.data = c.data.slice(need..);
+            c.start = c.start.wrapping_add(need as u32);
+            split = Some((part, part_sum));
+        }
+        let mut out = TakenBytes::empty();
+        for c in self.chunks.drain(idx..idx + whole) {
+            out.push_part(c.data, c.sum);
+        }
+        if let Some((part, part_sum)) = split {
+            out.push_part(part, part_sum);
+        }
+        self.total -= n;
         out
     }
 
     /// Drops every byte below `floor` (used when the other replica's
     /// retransmission proves the client has the data).
     pub fn discard_below(&mut self, floor: u32) {
-        let mut keep = Vec::new();
-        for (s, d) in std::mem::take(&mut self.runs) {
-            let end = s.wrapping_add(d.len() as u32);
-            if seq_le(end, floor) {
-                continue;
-            }
-            if seq_lt(s, floor) {
-                let skip = seq_diff(floor, s) as usize;
-                keep.push((floor, d[skip..].to_vec()));
-            } else {
-                keep.push((s, d));
+        let cut = self.search(floor);
+        for c in self.chunks.drain(..cut) {
+            self.total -= c.data.len();
+        }
+        if let Some(c) = self.chunks.first_mut() {
+            if seq_lt(c.start, floor) {
+                let skip = seq_diff(floor, c.start) as usize;
+                c.data = c.data.slice(skip..);
+                c.sum = raw_sum(&c.data);
+                c.start = floor;
+                self.total -= skip;
             }
         }
-        self.runs = keep;
     }
 
     /// Removes and returns the contiguous bytes starting at `seq`
     /// (everything transmittable in one flush — the §6 procedure's
     /// step 1).
-    pub fn drain_contiguous(&mut self, seq: u32) -> Vec<u8> {
+    pub fn drain_contiguous(&mut self, seq: u32) -> TakenBytes {
         let n = self.contiguous_from(seq);
         if n == 0 {
-            return Vec::new();
+            return TakenBytes::empty();
         }
         self.take(seq, n)
     }
@@ -214,6 +415,12 @@ impl ByteQueue {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// Folds `raw` into a nonzero base so congruent one's-complement
+    /// sums (0 vs 0xffff) compare equal.
+    fn contrib(raw: u32) -> u16 {
+        fold_sum(0x1234 + u32::from(fold_sum(raw)))
+    }
 
     #[test]
     fn insert_and_take_in_order() {
@@ -306,6 +513,107 @@ mod tests {
         assert_eq!(q.contiguous_from(1), 2);
     }
 
+    #[test]
+    fn insert_keeps_slice_without_copy() {
+        let seg = Bytes::from(b"0123456789".to_vec());
+        let payload = seg.slice(4..);
+        let mut q = ByteQueue::new();
+        q.insert(100, payload, 100);
+        let taken = q.take(100, 6);
+        let got = taken.as_contiguous().expect("single chunk");
+        // Same backing storage: the slice views the original segment.
+        assert_eq!(&got[..], b"456789");
+    }
+
+    #[test]
+    fn take_sum_matches_content_across_chunks() {
+        let mut q = ByteQueue::new();
+        q.insert(10, b"abc", 10);
+        q.insert(13, b"defgh", 10);
+        q.insert(18, b"i", 10);
+        let taken = q.take(10, 7); // "abc" + "defg" (split "defgh")
+        assert_eq!(taken, b"abcdefg");
+        assert_eq!(contrib(taken.sum()), contrib(raw_sum(b"abcdefg")));
+        let rest = q.take(17, 2); // remainder of split + "i"
+        assert_eq!(rest, b"hi");
+        assert_eq!(contrib(rest.sum()), contrib(raw_sum(b"hi")));
+    }
+
+    #[test]
+    fn len_is_maintained_total() {
+        let mut q = ByteQueue::new();
+        q.insert(10, b"abc", 10);
+        q.insert(20, b"xyz", 10);
+        assert_eq!(q.len(), 6);
+        q.take(10, 2);
+        assert_eq!(q.len(), 4);
+        q.discard_below(21);
+        assert_eq!(q.len(), 2);
+    }
+
+    /// A naive reference model: one cell per sequence number.
+    struct Model {
+        base: u32,
+        cells: Vec<Option<u8>>,
+    }
+
+    impl Model {
+        fn new(base: u32) -> Self {
+            Model {
+                base,
+                cells: Vec::new(),
+            }
+        }
+
+        fn off(&self, seq: u32) -> usize {
+            seq_diff(seq, self.base) as usize
+        }
+
+        fn insert(&mut self, seq: u32, data: &[u8], floor: u32) {
+            for (i, &b) in data.iter().enumerate() {
+                let s = seq.wrapping_add(i as u32);
+                if seq_lt(s, floor) {
+                    continue;
+                }
+                let o = self.off(s);
+                if self.cells.len() <= o {
+                    self.cells.resize(o + 1, None);
+                }
+                if self.cells[o].is_none() {
+                    self.cells[o] = Some(b);
+                }
+            }
+        }
+
+        fn contiguous_from(&self, seq: u32) -> usize {
+            let mut o = self.off(seq);
+            let mut n = 0;
+            while o < self.cells.len() && self.cells[o].is_some() {
+                n += 1;
+                o += 1;
+            }
+            n
+        }
+
+        fn take(&mut self, seq: u32, n: usize) -> Vec<u8> {
+            let o = self.off(seq);
+            (o..o + n)
+                .map(|i| self.cells[i].take().expect("model take of absent byte"))
+                .collect()
+        }
+
+        fn discard_below(&mut self, floor: u32) {
+            let o = self.off(floor).min(self.cells.len());
+            for c in &mut self.cells[..o] {
+                *c = None;
+            }
+        }
+
+        fn len(&self) -> usize {
+            self.cells.iter().filter(|c| c.is_some()).count()
+        }
+    }
+
     proptest! {
         /// Whatever the fragmentation, the queue releases the original
         /// stream exactly once, in order.
@@ -322,11 +630,11 @@ mod tests {
             for (off_factor, flen) in frags {
                 let off = (off_factor * 13) % len;
                 let end = (off + flen).min(len);
-                q.insert(base.wrapping_add(off as u32), &stream[off..end], floor);
+                q.insert(base.wrapping_add(off as u32), stream[off..end].to_vec(), floor);
                 // Release whatever became contiguous.
                 let n = q.contiguous_from(floor);
                 if n > 0 {
-                    released.extend(q.take(floor, n));
+                    released.extend(q.take(floor, n).iter_bytes());
                     floor = floor.wrapping_add(n as u32);
                 }
             }
@@ -334,16 +642,72 @@ mod tests {
             let mut off = 0usize;
             while off < len {
                 let end = (off + 11).min(len);
-                q.insert(base.wrapping_add(off as u32), &stream[off..end], floor);
+                q.insert(base.wrapping_add(off as u32), stream[off..end].to_vec(), floor);
                 let n = q.contiguous_from(floor);
                 if n > 0 {
-                    released.extend(q.take(floor, n));
+                    released.extend(q.take(floor, n).iter_bytes());
                     floor = floor.wrapping_add(n as u32);
                 }
                 off = end;
             }
             prop_assert_eq!(q.mismatched_bytes, 0);
             prop_assert_eq!(released, stream);
+        }
+
+        /// The rope agrees with a naive cell-per-byte reference model
+        /// under random insert / take / discard interleavings, including
+        /// wrap-around sequence numbers, and every take's cached sum is
+        /// congruent to its content's checksum sum.
+        #[test]
+        fn prop_rope_matches_reference_model(
+            base in any::<u32>(),
+            ops in proptest::collection::vec(
+                (0u8..3, 0usize..200, 1usize..40),
+                1..60,
+            ),
+        ) {
+            let mut q = ByteQueue::new();
+            let mut m = Model::new(base);
+            let mut floor = base;
+            for (kind, off, arg) in ops {
+                match kind {
+                    // Insert a fragment of the canonical stream.
+                    0 => {
+                        let data: Vec<u8> =
+                            (off..off + arg).map(|i| (i * 37 % 253) as u8).collect();
+                        let seq = base.wrapping_add(off as u32);
+                        q.insert(seq, data.clone(), floor);
+                        m.insert(seq, &data, floor);
+                    }
+                    // Take part of what is contiguous at the floor.
+                    1 => {
+                        let avail = q.contiguous_from(floor);
+                        prop_assert_eq!(avail, m.contiguous_from(floor));
+                        if avail > 0 {
+                            let k = arg.min(avail);
+                            let got = q.take(floor, k);
+                            let want = m.take(floor, k);
+                            prop_assert_eq!(&got, &want[..]);
+                            prop_assert_eq!(
+                                contrib(got.sum()),
+                                contrib(raw_sum(&want)),
+                                "cached sum must match content sum"
+                            );
+                            floor = floor.wrapping_add(k as u32);
+                        }
+                    }
+                    // Discard ahead of the floor.
+                    _ => {
+                        let ahead = (arg % 17) as u32;
+                        let new_floor = floor.wrapping_add(ahead);
+                        q.discard_below(new_floor);
+                        m.discard_below(new_floor);
+                        floor = new_floor;
+                    }
+                }
+                prop_assert_eq!(q.len(), m.len());
+                prop_assert_eq!(q.mismatched_bytes, 0);
+            }
         }
     }
 }

@@ -176,8 +176,7 @@ impl SecondaryBridge {
 }
 
 impl SegmentFilter for SecondaryBridge {
-    fn on_outbound(&mut self, seg: AddressedSegment, now: u64) -> FilterOutput {
-        self.sync_telemetry(now);
+    fn on_outbound_into(&mut self, seg: AddressedSegment, now: u64, out: &mut FilterOutput) {
         if self.mode == SecondaryMode::Disabled {
             // §5 complete: the first data byte the promoted secondary
             // sends toward the client closes the failover timeline.
@@ -202,20 +201,23 @@ impl SegmentFilter for SecondaryBridge {
                     }
                 }
             }
-            return FilterOutput::wire(seg);
+            out.to_wire.push(seg);
+            return;
         }
         let Ok(view) = TcpView::new(&seg.bytes) else {
-            return FilterOutput::wire(seg);
+            out.to_wire.push(seg);
+            return;
         };
         // Failover segments: produced by our TCP layer (src == a_s),
         // addressed to the unreplicated peer (not the primary).
         let peer = SocketAddr::new(seg.dst, view.dst_port());
         if seg.src != self.a_s || seg.dst == self.a_p || !self.designated(view.src_port(), peer) {
-            return FilterOutput::wire(seg);
+            out.to_wire.push(seg);
+            return;
         }
         if self.mode == SecondaryMode::Holding {
             self.stats.held_dropped += 1;
-            return FilterOutput::empty();
+            return;
         }
         // Divert to the primary, recording the original destination.
         let orig = seg.dst;
@@ -225,48 +227,57 @@ impl SegmentFilter for SecondaryBridge {
         patcher.set_pseudo_dst(self.upstream);
         let (bytes, src, dst) = patcher.finish();
         self.stats.egress_diverted += 1;
-        FilterOutput::wire(AddressedSegment::new(src, dst, bytes))
+        out.to_wire.push(AddressedSegment::new(src, dst, bytes));
     }
 
-    fn on_inbound(&mut self, seg: AddressedSegment, now: u64) -> FilterOutput {
-        self.sync_telemetry(now);
+    fn on_inbound_into(&mut self, seg: AddressedSegment, _now: u64, out: &mut FilterOutput) {
         // While holding (§5 step 1) ingress translation stays active:
         // "the secondary server can receive data from the client until
         // the promiscuous receive mode of its network interface is
         // disabled". Only the completed takeover (steps 3-4) disables
         // the a_p→a_s translation; the stack then owns a_p directly.
         if self.mode == SecondaryMode::Disabled {
-            return FilterOutput::tcp(seg);
+            out.to_tcp.push(seg);
+            return;
         }
         // §3.1: "discards all datagrams … that are not addressed to P"
         // (non-matching ones simply pass; the host drops non-local).
         if seg.dst != self.a_p {
-            return FilterOutput::tcp(seg);
+            out.to_tcp.push(seg);
+            return;
         }
         let Ok(view) = TcpView::new(&seg.bytes) else {
-            return FilterOutput::tcp(seg);
+            out.to_tcp.push(seg);
+            return;
         };
         // Ignore the primary's diverted... nothing is diverted *to* us;
         // but segments from a_s itself must never loop.
         if seg.src == self.a_s {
-            return FilterOutput::tcp(seg);
+            out.to_tcp.push(seg);
+            return;
         }
         let peer = SocketAddr::new(seg.src, view.src_port());
         if !self.designated(view.dst_port(), peer) {
-            return FilterOutput::tcp(seg);
+            out.to_tcp.push(seg);
+            return;
         }
         // Only claim connections whose establishment we witnessed.
         let key = ConnKey::new(view.dst_port(), peer);
         if view.flags().contains(TcpFlags::SYN) {
             self.seen.insert(key);
         } else if !self.seen.contains(&key) {
-            return FilterOutput::tcp(seg);
+            out.to_tcp.push(seg);
+            return;
         }
         let mut patcher = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
         patcher.set_pseudo_dst(self.a_s);
         let (bytes, src, dst) = patcher.finish();
         self.stats.ingress_translated += 1;
-        FilterOutput::tcp(AddressedSegment::new(src, dst, bytes))
+        out.to_tcp.push(AddressedSegment::new(src, dst, bytes));
+    }
+
+    fn on_tick(&mut self, now_nanos: u64) {
+        self.sync_telemetry(now_nanos);
     }
 
     fn designate(&mut self, rule: FailoverRule) {

@@ -156,6 +156,12 @@ impl<'a> Ctx<'a> {
         let node = self.node;
         self.core.trace(now, node, TraceKind::Note(note), None);
     }
+
+    /// Whether tracing is on. Devices should gate `format!` arguments
+    /// to [`Ctx::trace_note`] on this so disabled runs pay nothing.
+    pub fn trace_enabled(&self) -> bool {
+        self.core.trace_enabled
+    }
 }
 
 /// Cached per-`(node, port)` instrument handles so the transmit hot
@@ -172,7 +178,9 @@ struct SimCore {
     seq: u64,
     heap: BinaryHeap<Reverse<Scheduled>>,
     wires: Vec<Wire>,
-    ports: HashMap<(NodeId, usize), WireEnd>,
+    /// Dense per-node port→wire table (`port_table[node][port]`): two
+    /// bounds-checked indexes replace a per-transmit hash+probe.
+    port_table: Vec<Vec<Option<WireEnd>>>,
     dead: Vec<bool>,
     rng: StdRng,
     trace_enabled: bool,
@@ -223,8 +231,12 @@ impl SimCore {
         )
     }
 
+    fn wire_end(&self, node: NodeId, port: usize) -> Option<WireEnd> {
+        *self.port_table.get(node)?.get(port)?
+    }
+
     fn transmit(&mut self, node: NodeId, port: usize, frame: Bytes, delay: SimDuration) {
-        let Some(&WireEnd { wire, side }) = self.ports.get(&(node, port)) else {
+        let Some(WireEnd { wire, side }) = self.wire_end(node, port) else {
             let now = self.now;
             if let Some(i) = self.link_instruments(node, port) {
                 i.drops_no_wire.inc_at(now.as_nanos());
@@ -308,7 +320,7 @@ impl Simulator {
                 seq: 0,
                 heap: BinaryHeap::new(),
                 wires: Vec::new(),
-                ports: HashMap::new(),
+                port_table: Vec::new(),
                 dead: Vec::new(),
                 rng: StdRng::seed_from_u64(seed),
                 trace_enabled: false,
@@ -327,6 +339,7 @@ impl Simulator {
     pub fn add_device(&mut self, device: Box<dyn Device>) -> NodeId {
         self.nodes.push(Some(device));
         self.core.dead.push(false);
+        self.core.port_table.push(Vec::new());
         self.nodes.len() - 1
     }
 
@@ -359,11 +372,11 @@ impl Simulator {
             "node id out of range"
         );
         assert!(
-            !self.core.ports.contains_key(&a),
+            self.core.wire_end(a.0, a.1).is_none(),
             "port {a:?} already wired"
         );
         assert!(
-            !self.core.ports.contains_key(&b),
+            self.core.wire_end(b.0, b.1).is_none(),
             "port {b:?} already wired"
         );
         let wire = self.core.wires.len();
@@ -372,8 +385,16 @@ impl Simulator {
             params: [a_to_b, b_to_a],
             busy_until: [SimTime::ZERO; 2],
         });
-        self.core.ports.insert(a, WireEnd { wire, side: 0 });
-        self.core.ports.insert(b, WireEnd { wire, side: 1 });
+        self.set_wire_end(a, WireEnd { wire, side: 0 });
+        self.set_wire_end(b, WireEnd { wire, side: 1 });
+    }
+
+    fn set_wire_end(&mut self, (node, port): (NodeId, usize), end: WireEnd) {
+        let row = &mut self.core.port_table[node];
+        if row.len() <= port {
+            row.resize(port + 1, None);
+        }
+        row[port] = Some(end);
     }
 
     /// Current simulated time.

@@ -9,10 +9,14 @@
 //! implement this trait; ordinary hosts use [`NoopFilter`].
 
 use crate::types::FourTuple;
+use bytes::Bytes;
 use tcpfo_wire::ipv4::Ipv4Addr;
 
 /// A raw TCP segment together with the IP addresses it travels between
 /// (which its checksum covers).
+///
+/// The bytes are refcounted ([`Bytes`]), so an addressed segment can be
+/// sliced apart — header inspected, payload queued — without copying.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AddressedSegment {
     /// IP source.
@@ -20,17 +24,25 @@ pub struct AddressedSegment {
     /// IP destination.
     pub dst: Ipv4Addr,
     /// Raw TCP segment bytes (header + payload).
-    pub bytes: Vec<u8>,
+    pub bytes: Bytes,
 }
 
 impl AddressedSegment {
     /// Creates an addressed segment.
-    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, bytes: Vec<u8>) -> Self {
-        AddressedSegment { src, dst, bytes }
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, bytes: impl Into<Bytes>) -> Self {
+        AddressedSegment {
+            src,
+            dst,
+            bytes: bytes.into(),
+        }
     }
 }
 
 /// What a filter decided to do with (and in response to) a segment.
+///
+/// The hot path reuses one `FilterOutput` per host ([`FilterOutput::clear`]
+/// keeps the vector allocations), so steady-state filtering never
+/// allocates for the output lists themselves.
 #[derive(Debug, Default)]
 pub struct FilterOutput {
     /// Segments to hand to the IP layer for transmission (bypassing the
@@ -63,6 +75,17 @@ impl FilterOutput {
         }
     }
 
+    /// Empties both lists, keeping their allocations for reuse.
+    pub fn clear(&mut self) {
+        self.to_wire.clear();
+        self.to_tcp.clear();
+    }
+
+    /// Whether both lists are empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_wire.is_empty() && self.to_tcp.is_empty()
+    }
+
     /// Merges another output into this one.
     pub fn extend(&mut self, other: FilterOutput) {
         self.to_wire.extend(other.to_wire);
@@ -83,18 +106,40 @@ pub enum FailoverRule {
 /// The bridge hook between the TCP and IP layers.
 ///
 /// Outbound segments (local TCP → IP) pass through
-/// [`SegmentFilter::on_outbound`]; inbound segments (IP → local TCP,
-/// *including* segments snooped promiscuously whose destination is not
-/// local) pass through [`SegmentFilter::on_inbound`]. The filter
-/// decides what continues in each direction.
+/// [`SegmentFilter::on_outbound_into`]; inbound segments (IP → local
+/// TCP, *including* segments snooped promiscuously whose destination is
+/// not local) pass through [`SegmentFilter::on_inbound_into`]. The
+/// filter decides what continues in each direction, appending to a
+/// caller-owned [`FilterOutput`] so the host can reuse one output
+/// across packets. The by-value [`SegmentFilter::on_outbound`] /
+/// [`SegmentFilter::on_inbound`] wrappers are provided for tests and
+/// cold paths.
 pub trait SegmentFilter {
-    /// Intercepts a segment the local TCP layer wants transmitted.
-    /// `now_nanos` is the simulated clock.
-    fn on_outbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput;
+    /// Intercepts a segment the local TCP layer wants transmitted,
+    /// appending results to `out`. `now_nanos` is the simulated clock.
+    fn on_outbound_into(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput);
 
     /// Intercepts a segment arriving from the network before TCP
-    /// demultiplexing.
-    fn on_inbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput;
+    /// demultiplexing, appending results to `out`.
+    fn on_inbound_into(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput);
+
+    /// Convenience wrapper returning a fresh [`FilterOutput`].
+    fn on_outbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput {
+        let mut out = FilterOutput::empty();
+        self.on_outbound_into(seg, now_nanos, &mut out);
+        out
+    }
+
+    /// Convenience wrapper returning a fresh [`FilterOutput`].
+    fn on_inbound(&mut self, seg: AddressedSegment, now_nanos: u64) -> FilterOutput {
+        let mut out = FilterOutput::empty();
+        self.on_inbound_into(seg, now_nanos, &mut out);
+        out
+    }
+
+    /// Periodic housekeeping driven by the host's timer (telemetry
+    /// publication and the like). Never called per packet.
+    fn on_tick(&mut self, _now_nanos: u64) {}
 
     /// Registers a failover-connection designation (§7's socket option
     /// or port-set configuration). Filters that do not care ignore it.
@@ -110,12 +155,12 @@ pub trait SegmentFilter {
 pub struct NoopFilter;
 
 impl SegmentFilter for NoopFilter {
-    fn on_outbound(&mut self, seg: AddressedSegment, _now: u64) -> FilterOutput {
-        FilterOutput::wire(seg)
+    fn on_outbound_into(&mut self, seg: AddressedSegment, _now: u64, out: &mut FilterOutput) {
+        out.to_wire.push(seg);
     }
 
-    fn on_inbound(&mut self, seg: AddressedSegment, _now: u64) -> FilterOutput {
-        FilterOutput::tcp(seg)
+    fn on_inbound_into(&mut self, seg: AddressedSegment, _now: u64, out: &mut FilterOutput) {
+        out.to_tcp.push(seg);
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
@@ -153,5 +198,15 @@ mod tests {
         a.extend(FilterOutput::empty());
         assert_eq!(a.to_wire.len(), 1);
         assert_eq!(a.to_tcp.len(), 1);
+    }
+
+    #[test]
+    fn output_clear_keeps_capacity() {
+        let mut a = FilterOutput::wire(seg());
+        a.extend(FilterOutput::tcp(seg()));
+        let cap = a.to_wire.capacity();
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.to_wire.capacity(), cap);
     }
 }

@@ -213,7 +213,7 @@ impl HostNet {
 
     /// Sends a TCP segment as an IP datagram.
     pub fn send_tcp(&mut self, seg: AddressedSegment, ctx: &mut Ctx<'_>) {
-        let pkt = Ipv4Packet::new(seg.src, seg.dst, PROTO_TCP, Bytes::from(seg.bytes));
+        let pkt = Ipv4Packet::new(seg.src, seg.dst, PROTO_TCP, seg.bytes);
         self.send_ip(pkt, ctx);
     }
 
@@ -377,6 +377,10 @@ pub struct Host {
     controller: Option<Box<dyn HostController>>,
     tick: SimDuration,
     telemetry: Option<TcpInstruments>,
+    /// Reused filter-output scratch — per-packet filtering appends into
+    /// these vectors and drains them, so the steady state never
+    /// allocates output lists.
+    fout: FilterOutput,
 }
 
 impl Host {
@@ -392,6 +396,7 @@ impl Host {
             controller: None,
             tick: cfg.tick,
             telemetry: None,
+            fout: FilterOutput::empty(),
         }
     }
 
@@ -528,15 +533,26 @@ impl Host {
     // Internals
     // ---------------------------------------------------------------
 
-    fn process_filter_output(&mut self, output: FilterOutput, ctx: &mut Ctx<'_>) {
-        for seg in output.to_wire {
+    /// Drains a filter output, keeping its allocations for reuse.
+    fn dispatch_filter_output(&mut self, output: &mut FilterOutput, ctx: &mut Ctx<'_>) {
+        for seg in output.to_wire.drain(..) {
             self.net.send_tcp(seg, ctx);
         }
-        for seg in output.to_tcp {
+        for seg in output.to_tcp.drain(..) {
             if self.net.is_local(seg.dst) {
                 self.stack.on_segment(&seg, ctx.now());
             }
         }
+    }
+
+    /// Runs one segment through the inbound filter using the reused
+    /// output scratch.
+    fn filter_inbound(&mut self, seg: AddressedSegment, ctx: &mut Ctx<'_>) {
+        let mut fo = std::mem::take(&mut self.fout);
+        self.filter
+            .on_inbound_into(seg, ctx.now().as_nanos(), &mut fo);
+        self.dispatch_filter_output(&mut fo, ctx);
+        self.fout = fo;
     }
 
     /// Drains stack output through the filter until quiescent.
@@ -549,10 +565,13 @@ impl Host {
             if out.is_empty() {
                 return;
             }
+            let mut fo = std::mem::take(&mut self.fout);
             for seg in out {
-                let fo = self.filter.on_outbound(seg, ctx.now().as_nanos());
-                self.process_filter_output(fo, ctx);
+                self.filter
+                    .on_outbound_into(seg, ctx.now().as_nanos(), &mut fo);
+                self.dispatch_filter_output(&mut fo, ctx);
             }
+            self.fout = fo;
         }
         debug_assert!(false, "host pump did not quiesce");
     }
@@ -637,9 +656,8 @@ impl Device for Host {
                 };
                 self.net.charge_rx(pkt.payload.len(), ctx);
                 if pkt.protocol == PROTO_TCP {
-                    let seg = AddressedSegment::new(pkt.src, pkt.dst, pkt.payload.to_vec());
-                    let fo = self.filter.on_inbound(seg, ctx.now().as_nanos());
-                    self.process_filter_output(fo, ctx);
+                    let seg = AddressedSegment::new(pkt.src, pkt.dst, pkt.payload.clone());
+                    self.filter_inbound(seg, ctx);
                 } else if self.net.is_local(pkt.dst) {
                     self.run_controller_raw(pkt.protocol, pkt.src, &pkt.payload.clone(), ctx);
                 }
@@ -656,6 +674,7 @@ impl Device for Host {
         self.pump(ctx);
         self.run_controller_tick(ctx);
         self.poll_apps(ctx);
+        self.filter.on_tick(ctx.now().as_nanos());
         self.publish_telemetry(ctx.now());
         let tick = self.tick;
         ctx.schedule(tick, TOKEN_TICK);

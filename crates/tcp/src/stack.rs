@@ -385,7 +385,7 @@ impl TcpStack {
                 b = b.ack(parsed.seq.wrapping_add(parsed.seq_len()));
             }
             let rst = b.build();
-            let bytes = rst.encode(seg.dst, seg.src).to_vec();
+            let bytes = rst.encode(seg.dst, seg.src);
             self.outbox
                 .push(AddressedSegment::new(seg.dst, seg.src, bytes));
         }
@@ -476,7 +476,7 @@ impl TcpStack {
         sock.output(now, &self.cfg, &mut segs);
         let (src, dst) = (sock.tuple.local.ip, sock.tuple.remote.ip);
         for seg in segs {
-            let bytes = seg.encode(src, dst).to_vec();
+            let bytes = seg.encode(src, dst);
             self.outbox.push(AddressedSegment::new(src, dst, bytes));
         }
     }
@@ -549,7 +549,7 @@ impl TcpStack {
 
     /// Test/bench helper: delivers a raw already-encoded segment.
     pub fn inject(&mut self, src: Ipv4Addr, dst: Ipv4Addr, seg: &TcpSegment, now: SimTime) {
-        let bytes = seg.encode(src, dst).to_vec();
+        let bytes = seg.encode(src, dst);
         self.on_segment(&AddressedSegment::new(src, dst, bytes), now);
     }
 
@@ -677,8 +677,10 @@ mod tests {
         client.send(SocketId(0), b"data", now).unwrap();
         let mut segs = client.take_outbox();
         assert_eq!(segs.len(), 1);
-        let last = segs[0].bytes.len() - 1;
-        segs[0].bytes[last] ^= 0xff;
+        let mut corrupted = segs[0].bytes.to_vec();
+        let last = corrupted.len() - 1;
+        corrupted[last] ^= 0xff;
+        segs[0].bytes = corrupted.into();
         server.on_segment(&segs[0], now);
         assert_eq!(server.checksum_drops, 1);
     }

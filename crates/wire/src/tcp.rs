@@ -11,7 +11,7 @@
 //!   maintaining the checksum *incrementally* per RFC 1624, which is the
 //!   technique the paper describes in §3.1.
 
-use crate::checksum::ChecksumDelta;
+use crate::checksum::{raw_sum, swap_sum, Checksum, ChecksumDelta};
 use crate::error::WireError;
 use crate::ipv4::{pseudo_header_sum, Ipv4Addr, PROTO_TCP};
 use bytes::{BufMut, Bytes, BytesMut};
@@ -347,6 +347,55 @@ impl TcpSegment {
         })
     }
 
+    /// Decodes a segment whose bytes are already refcounted, slicing
+    /// the payload out of the shared buffer instead of copying it. The
+    /// bridges use this on their per-segment path so queued payload
+    /// bytes stay shared all the way from the wire to the output queue.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TcpSegment::decode`].
+    pub fn decode_shared(bytes: &Bytes) -> Result<Self, WireError> {
+        if bytes.len() < TCP_HEADER_LEN {
+            return Err(WireError::Truncated {
+                layer: "tcp",
+                needed: TCP_HEADER_LEN,
+                available: bytes.len(),
+            });
+        }
+        let data_offset = usize::from(bytes[12] >> 4) * 4;
+        if data_offset < TCP_HEADER_LEN {
+            return Err(WireError::BadField {
+                layer: "tcp",
+                field: "data_offset",
+                value: (data_offset / 4) as u32,
+            });
+        }
+        if data_offset > bytes.len() {
+            return Err(WireError::BadLength {
+                layer: "tcp",
+                what: "data offset past end of segment",
+            });
+        }
+        Ok(TcpSegment {
+            src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+            dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+            seq: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            ack: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+            flags: TcpFlags(bytes[13] & 0x3f),
+            window: u16::from_be_bytes([bytes[14], bytes[15]]),
+            options: decode_options(&bytes[TCP_HEADER_LEN..data_offset])?,
+            // Empty payloads get a detached empty `Bytes` so pure ACKs
+            // never pin the arriving buffer's refcount (the inbound hot
+            // path wants to take the buffer over in place).
+            payload: if data_offset < bytes.len() {
+                bytes.slice(data_offset..)
+            } else {
+                Bytes::new()
+            },
+        })
+    }
+
     /// Verifies the checksum the segment was encoded with against the
     /// pseudo header for `src`/`dst`.
     pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
@@ -517,6 +566,212 @@ impl<'a> TcpView<'a> {
     }
 }
 
+/// Prebuilt per-connection egress header for the primary bridge's
+/// release path.
+///
+/// The paper's bridge never recomputes a checksum from scratch (§3.1);
+/// for segments the bridge *originates* (releasing matched bytes,
+/// synthesising §3.4 empty ACKs, answering recognised retransmissions)
+/// the equivalent trick is to sum the invariant parts of the header —
+/// pseudo-header addresses, protocol, ports — once at connection setup
+/// and fold in only the per-segment fields at emit time. Combined with
+/// a recycled [`BytesMut`] scratch buffer, [`HeaderTemplate::emit`]
+/// builds a fully checksummed option-less segment with no allocation
+/// and no full checksum pass over the header.
+///
+/// # Example
+///
+/// ```
+/// use bytes::{Bytes, BytesMut};
+/// use tcpfo_wire::ipv4::Ipv4Addr;
+/// use tcpfo_wire::tcp::{HeaderTemplate, TcpFlags, TcpSegment, verify_segment_checksum};
+///
+/// let a_p = Ipv4Addr::new(10, 0, 0, 1);
+/// let a_c = Ipv4Addr::new(192, 168, 0, 9);
+/// let tpl = HeaderTemplate::new(a_p, a_c, 80, 4242);
+/// let mut scratch = BytesMut::with_capacity(1500);
+/// let flags = TcpFlags::ACK | TcpFlags::PSH;
+/// let bytes = tpl.emit(&mut scratch, 7, 9, flags, 8192, b"reply", None);
+/// assert!(verify_segment_checksum(a_p, a_c, &bytes));
+/// let seg = TcpSegment::decode(&bytes).unwrap();
+/// assert_eq!((seg.seq, seg.ack, &seg.payload[..]), (7, 9, &b"reply"[..]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeaderTemplate {
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    /// Sum of everything that never changes per segment: pseudo-header
+    /// addresses + protocol, source and destination ports. (The
+    /// pseudo-header length, data offset and urgent pointer are folded
+    /// in at emit time.)
+    static_sum: u32,
+}
+
+impl HeaderTemplate {
+    /// Builds a template for segments from `(src, src_port)` to
+    /// `(dst, dst_port)`.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16) -> Self {
+        let mut ck = Checksum::new();
+        ck.add_u32(u32::from(src));
+        ck.add_u32(u32::from(dst));
+        ck.add_u16(u16::from(PROTO_TCP));
+        ck.add_u16(src_port);
+        ck.add_u16(dst_port);
+        HeaderTemplate {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            static_sum: ck.raw(),
+        }
+    }
+
+    /// The pseudo-header source address (IP source for emitted bytes).
+    pub fn src(&self) -> Ipv4Addr {
+        self.src
+    }
+
+    /// The pseudo-header destination address.
+    pub fn dst(&self) -> Ipv4Addr {
+        self.dst
+    }
+
+    /// Emits one option-less segment into `buf` and returns the frozen
+    /// bytes.
+    ///
+    /// `payload_sum`, when given, must be the even-offset unfolded
+    /// ones-complement sum of `payload` (see
+    /// [`crate::checksum::raw_sum`]); the payload is then never scanned
+    /// for checksumming. `buf` is reserved, written, split and frozen —
+    /// once the previously emitted `Bytes` has been dropped downstream,
+    /// the allocation is recycled and emission touches no allocator.
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit(
+        &self,
+        buf: &mut BytesMut,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+        window: u16,
+        payload: &[u8],
+        payload_sum: Option<u32>,
+    ) -> Bytes {
+        self.emit_parts(
+            buf,
+            seq,
+            ack,
+            flags,
+            window,
+            std::iter::once(payload),
+            payload.len(),
+            payload_sum,
+        )
+    }
+
+    /// Like [`HeaderTemplate::emit`], but the payload arrives as a
+    /// chain of slices (the rope queue's [`bytes::Bytes`] chunks)
+    /// written back to back. `payload_len` must equal the summed length
+    /// of `parts`; `payload_sum`, when given, their even-offset
+    /// one's-complement sum.
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit_parts<'a>(
+        &self,
+        buf: &mut BytesMut,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+        window: u16,
+        parts: impl Iterator<Item = &'a [u8]> + Clone,
+        payload_len: usize,
+        payload_sum: Option<u32>,
+    ) -> Bytes {
+        let total = TCP_HEADER_LEN + payload_len;
+        let offset_flags = (((TCP_HEADER_LEN / 4) as u16) << 12) | u16::from(flags.0);
+        let mut ck = Checksum::new();
+        ck.add_raw(self.static_sum);
+        ck.add_u16(total as u16);
+        ck.add_u32(seq);
+        ck.add_u32(ack);
+        ck.add_u16(offset_flags);
+        ck.add_u16(window);
+        match payload_sum {
+            Some(sum) => ck.add_raw(sum),
+            None => {
+                let mut at_odd = false;
+                for p in parts.clone() {
+                    if at_odd {
+                        ck.add_raw(swap_sum(raw_sum(p)));
+                    } else {
+                        ck.add_bytes(p);
+                    }
+                    at_odd ^= p.len() % 2 == 1;
+                }
+            }
+        }
+        let sum = ck.finish();
+        buf.reserve(total);
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u32(seq);
+        buf.put_u32(ack);
+        buf.put_u16(offset_flags);
+        buf.put_u16(window);
+        buf.put_u16(sum);
+        buf.put_u16(0); // urgent pointer
+        let mut written = 0usize;
+        for p in parts {
+            buf.put_slice(p);
+            written += p.len();
+        }
+        debug_assert_eq!(written, payload_len, "payload_len must match parts");
+        buf.split().freeze()
+    }
+}
+
+/// Scans raw segment bytes for the original-destination option without
+/// decoding the segment (and without allocating). The inbound hot path
+/// uses this to classify diverted secondary segments before deciding
+/// whether the buffer needs patching.
+pub fn peek_orig_dest(bytes: &[u8]) -> Option<(Ipv4Addr, u16)> {
+    if bytes.len() < TCP_HEADER_LEN {
+        return None;
+    }
+    let header_len = usize::from(bytes[12] >> 4) * 4;
+    if header_len <= TCP_HEADER_LEN || header_len > bytes.len() {
+        return None;
+    }
+    let mut off = TCP_HEADER_LEN;
+    while off < header_len {
+        match bytes[off] {
+            0 => break,
+            1 => off += 1,
+            kind => {
+                if off + 1 >= header_len {
+                    break;
+                }
+                let len = usize::from(bytes[off + 1]);
+                if len < 2 || off + len > header_len {
+                    break;
+                }
+                if kind == OPT_KIND_ORIG_DEST && len == 8 {
+                    let addr = Ipv4Addr::new(
+                        bytes[off + 2],
+                        bytes[off + 3],
+                        bytes[off + 4],
+                        bytes[off + 5],
+                    );
+                    let port = u16::from_be_bytes([bytes[off + 6], bytes[off + 7]]);
+                    return Some((addr, port));
+                }
+                off += len;
+            }
+        }
+    }
+    None
+}
+
 /// In-place editor for raw TCP segment bytes that keeps the checksum
 /// consistent via RFC 1624 incremental updates (§3.1 of the paper).
 ///
@@ -545,7 +800,7 @@ impl<'a> TcpView<'a> {
 /// let raw = seg.encode(a_s, a_c);
 /// // …and the secondary bridge diverts it to the primary, patching the
 /// // pseudo-header destination and appending the orig-dest option.
-/// let mut p = SegmentPatcher::new(raw.to_vec(), a_s, a_c);
+/// let mut p = SegmentPatcher::new(raw, a_s, a_c);
 /// p.set_pseudo_dst(a_p);
 /// p.push_orig_dest_option(a_c, 4242);
 /// let (bytes, src, dst) = p.finish();
@@ -554,7 +809,7 @@ impl<'a> TcpView<'a> {
 /// ```
 #[derive(Debug)]
 pub struct SegmentPatcher {
-    bytes: Vec<u8>,
+    bytes: BytesMut,
     src: Ipv4Addr,
     dst: Ipv4Addr,
     delta: ChecksumDelta,
@@ -562,14 +817,20 @@ pub struct SegmentPatcher {
 
 impl SegmentPatcher {
     /// Wraps raw segment bytes whose checksum currently covers the
-    /// pseudo header `(src, dst)`.
+    /// pseudo header `(src, dst)`. When the caller holds the only
+    /// reference to the buffer it is taken over in place; otherwise the
+    /// bytes are copied out once.
     ///
     /// # Panics
     ///
     /// Panics if `bytes` is shorter than a TCP header (bridges only
     /// patch segments they have already validated).
-    pub fn new(bytes: Vec<u8>, src: Ipv4Addr, dst: Ipv4Addr) -> Self {
+    pub fn new(bytes: impl Into<Bytes>, src: Ipv4Addr, dst: Ipv4Addr) -> Self {
+        let bytes = bytes.into();
         assert!(bytes.len() >= TCP_HEADER_LEN, "segment too short to patch");
+        let bytes = bytes
+            .try_into_mut()
+            .unwrap_or_else(|shared| BytesMut::from(&shared[..]));
         SegmentPatcher {
             bytes,
             src,
@@ -698,8 +959,11 @@ impl SegmentPatcher {
         // The option lands at `header_len`, which is a multiple of 4 —
         // an even offset — so parity of all following bytes is kept and
         // the incremental sum stays valid.
+        let old_len = self.bytes.len();
+        self.bytes.extend_from_slice(opt); // grow, content fixed below
         self.bytes
-            .splice(header_len..header_len, opt.iter().copied());
+            .copy_within(header_len..old_len, header_len + opt.len());
+        self.bytes[header_len..header_len + opt.len()].copy_from_slice(opt);
         self.delta.append_bytes(opt);
         self.bump_data_offset(opt.len(), true);
     }
@@ -707,16 +971,15 @@ impl SegmentPatcher {
     fn remove_option_bytes(&mut self, offset: usize, len: usize) {
         assert_eq!(len % 4, 0);
         assert_eq!(offset % 2, 0, "options start at even offsets here");
-        let removed: Vec<u8> = self
-            .bytes
-            .splice(offset..offset + len, std::iter::empty())
-            .collect();
         // Subtract the removed words from the checksum.
-        let mut chunks = removed.chunks_exact(2);
+        let mut chunks = self.bytes[offset..offset + len].chunks_exact(2);
         for chunk in &mut chunks {
             self.delta
                 .replace_u16(u16::from_be_bytes([chunk[0], chunk[1]]), 0);
         }
+        let total = self.bytes.len();
+        self.bytes.copy_within(offset + len..total, offset);
+        self.bytes.truncate(total - len);
         self.bump_data_offset(len, false);
     }
 
@@ -749,11 +1012,11 @@ impl SegmentPatcher {
     /// Writes the patched checksum and returns the segment bytes plus
     /// the pseudo-header addresses the checksum now covers (which the
     /// caller must use as the IP source/destination).
-    pub fn finish(mut self) -> (Vec<u8>, Ipv4Addr, Ipv4Addr) {
+    pub fn finish(mut self) -> (Bytes, Ipv4Addr, Ipv4Addr) {
         let old = u16::from_be_bytes([self.bytes[16], self.bytes[17]]);
         let new = self.delta.apply(old);
         self.bytes[16..18].copy_from_slice(&new.to_be_bytes());
-        (self.bytes, self.src, self.dst)
+        (self.bytes.freeze(), self.src, self.dst)
     }
 }
 
@@ -936,6 +1199,52 @@ mod tests {
     }
 
     #[test]
+    fn header_template_matches_full_encode() {
+        let (src, dst) = addrs();
+        let tpl = HeaderTemplate::new(src, dst, 80, 51000);
+        assert_eq!((tpl.src(), tpl.dst()), (src, dst));
+        let mut scratch = BytesMut::with_capacity(128);
+        let flags = TcpFlags::PSH | TcpFlags::ACK;
+        let emitted = tpl.emit(
+            &mut scratch,
+            0xdead_beef,
+            0x0102_0304,
+            flags,
+            8192,
+            b"hello, failover",
+            None,
+        );
+        assert_eq!(emitted, sample().encode(src, dst));
+        assert!(verify_segment_checksum(src, dst, &emitted));
+    }
+
+    #[test]
+    fn header_template_recycles_scratch() {
+        let (src, dst) = addrs();
+        let tpl = HeaderTemplate::new(src, dst, 1, 2);
+        let mut scratch = BytesMut::with_capacity(64);
+        let first = tpl.emit(&mut scratch, 1, 2, TcpFlags::ACK, 10, b"aa", None);
+        drop(first);
+        let second = tpl.emit(&mut scratch, 3, 4, TcpFlags::ACK, 10, b"bb", None);
+        assert!(verify_segment_checksum(src, dst, &second));
+        let seg = TcpSegment::decode(&second).unwrap();
+        assert_eq!((seg.seq, &seg.payload[..]), (3, &b"bb"[..]));
+    }
+
+    #[test]
+    fn decode_shared_slices_payload_without_copy() {
+        let (src, dst) = addrs();
+        let bytes = sample().encode(src, dst);
+        let shared = TcpSegment::decode_shared(&bytes).unwrap();
+        assert_eq!(shared, TcpSegment::decode(&bytes).unwrap());
+        // The payload is a view into the segment buffer, not a copy:
+        // slicing the buffer at the same offsets yields equal bytes and
+        // both survive dropping the original handle.
+        let hl = shared.header_len();
+        assert_eq!(shared.payload, bytes.slice(hl..));
+    }
+
+    #[test]
     fn flags_display() {
         assert_eq!((TcpFlags::SYN | TcpFlags::ACK).to_string(), "SYN|ACK");
         assert_eq!(TcpFlags::EMPTY.to_string(), "(none)");
@@ -1022,8 +1331,41 @@ mod proptests {
                 .payload(Bytes::from(payload))
                 .build()
                 .encode(s, d);
-            prop_assert_eq!(out, expected.to_vec());
+            prop_assert_eq!(out, expected.clone());
             prop_assert!(verify_segment_checksum(s, d, &expected));
+        }
+
+        /// A header-template emission is byte-identical to a full
+        /// builder + encode of the same option-less segment, with or
+        /// without a cached payload sum — the primary bridge's release
+        /// path can never diverge from the canonical encoder.
+        #[test]
+        fn prop_template_emit_equals_encode(
+            seq in any::<u32>(),
+            ack in any::<u32>(),
+            window in any::<u16>(),
+            fin in any::<bool>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..512),
+            use_cached_sum in any::<bool>(),
+        ) {
+            let (s, d) = (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 168, 7, 9));
+            let mut flags = TcpFlags::ACK | TcpFlags::PSH;
+            if fin {
+                flags |= TcpFlags::FIN;
+            }
+            let expected = TcpSegment::builder(80, 51000)
+                .seq(seq)
+                .ack(ack)
+                .flags(flags)
+                .window(window)
+                .payload(Bytes::from(payload.clone()))
+                .build()
+                .encode(s, d);
+            let tpl = HeaderTemplate::new(s, d, 80, 51000);
+            let mut scratch = BytesMut::new();
+            let cached = use_cached_sum.then(|| crate::checksum::raw_sum(&payload));
+            let emitted = tpl.emit(&mut scratch, seq, ack, flags, window, &payload, cached);
+            prop_assert_eq!(emitted, expected);
         }
     }
 }

@@ -1,8 +1,10 @@
 //! Minimal offline stand-in for the `bytes` crate.
 //!
 //! Implements exactly the API subset this workspace uses: cheaply
-//! cloneable immutable [`Bytes`], a growable [`BytesMut`] builder, and
-//! the [`BufMut`] write trait. Semantics match the real crate for that
+//! cloneable immutable [`Bytes`], a growable [`BytesMut`] builder with
+//! the real crate's storage-recycling semantics (`reserve` reclaims the
+//! allocation once every frozen view has been dropped), and the
+//! [`BufMut`] write trait. Semantics match the real crate for that
 //! subset; representation is a reference-counted `Vec<u8>`.
 
 use std::borrow::Borrow;
@@ -11,12 +13,30 @@ use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::Arc;
 
+/// Shared storage for all empty buffers, so `Bytes::new()` /
+/// `BytesMut::new()` never touch the allocator after first use (the
+/// real crate points empties at a static).
+fn empty_storage() -> Arc<Vec<u8>> {
+    static EMPTY: std::sync::OnceLock<Arc<Vec<u8>>> = std::sync::OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
+
 /// A cheaply cloneable, immutable, contiguous slice of memory.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes {
+            data: empty_storage(),
+            start: 0,
+            end: 0,
+        }
+    }
 }
 
 impl Bytes {
@@ -77,6 +97,25 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
     }
+
+    /// Converts into a [`BytesMut`] without copying when this handle is
+    /// the sole owner of the backing storage; otherwise hands `self`
+    /// back. Mirrors `Bytes::try_into_mut` from the real crate.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        if Arc::strong_count(&self.data) == 1 {
+            let Bytes {
+                mut data,
+                start,
+                end,
+            } = self;
+            Arc::get_mut(&mut data)
+                .expect("sole owner checked above")
+                .truncate(end);
+            Ok(BytesMut { data, start })
+        } else {
+            Err(self)
+        }
+    }
 }
 
 impl Deref for Bytes {
@@ -111,6 +150,12 @@ impl From<Vec<u8>> for Bytes {
 
 impl From<&'static [u8]> for Bytes {
     fn from(v: &'static [u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<&'static [u8; N]> for Bytes {
+    fn from(v: &'static [u8; N]) -> Self {
         Bytes::from(v.to_vec())
     }
 }
@@ -217,9 +262,26 @@ impl<'a> IntoIterator for &'a Bytes {
 }
 
 /// A growable byte buffer for building frames.
-#[derive(Clone, Default, PartialEq, Eq)]
+///
+/// Like the real crate, a `BytesMut` can hand out frozen [`Bytes`]
+/// views of its contents via [`BytesMut::split`] + [`BytesMut::freeze`]
+/// and later *reclaim* the backing allocation in [`BytesMut::reserve`]
+/// once every view has been dropped — the reserve/write/split/freeze
+/// cycle touches the allocator only while a previous view is still
+/// alive. The buffer's view is `data[start..]`; `split` advances
+/// `start` past the frozen region.
 pub struct BytesMut {
-    data: Vec<u8>,
+    data: Arc<Vec<u8>>,
+    start: usize,
+}
+
+impl Default for BytesMut {
+    fn default() -> Self {
+        BytesMut {
+            data: empty_storage(),
+            start: 0,
+        }
+    }
 }
 
 impl BytesMut {
@@ -231,47 +293,156 @@ impl BytesMut {
     /// Creates an empty buffer with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
         BytesMut {
-            data: Vec::with_capacity(cap),
+            data: Arc::new(Vec::with_capacity(cap)),
+            start: 0,
         }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.data.len() - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
+    }
+
+    /// Spare capacity after the current contents.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity() - self.start
+    }
+
+    /// Makes the storage uniquely owned, copying the current view out
+    /// if a frozen `Bytes` (or a clone) still shares it.
+    fn vec_mut(&mut self) -> &mut Vec<u8> {
+        if Arc::get_mut(&mut self.data).is_none() {
+            let mut v = Vec::with_capacity(self.len());
+            v.extend_from_slice(&self.data[self.start..]);
+            self.data = Arc::new(v);
+            self.start = 0;
+        }
+        Arc::get_mut(&mut self.data).expect("made unique above")
+    }
+
+    /// Ensures room for `additional` more bytes.
+    ///
+    /// When the buffer is empty and the storage is no longer shared
+    /// (every split-off `Bytes` has been dropped), the existing
+    /// allocation is reclaimed instead of growing — the real crate's
+    /// recycling behaviour, which keeps steady-state emit loops off the
+    /// allocator.
+    pub fn reserve(&mut self, additional: usize) {
+        if let Some(v) = Arc::get_mut(&mut self.data) {
+            if self.start == v.len() {
+                v.clear();
+                self.start = 0;
+            }
+            v.reserve(additional);
+        } else {
+            let mut v = Vec::with_capacity(self.len() + additional);
+            v.extend_from_slice(&self.data[self.start..]);
+            self.data = Arc::new(v);
+            self.start = 0;
+        }
+    }
+
+    /// Empties the buffer (the allocation is kept when unshared).
+    pub fn clear(&mut self) {
+        if let Some(v) = Arc::get_mut(&mut self.data) {
+            v.clear();
+            self.start = 0;
+        } else {
+            self.data = Arc::new(Vec::new());
+            self.start = 0;
+        }
+    }
+
+    /// Shortens the buffer to `n` bytes; no-op if already shorter.
+    pub fn truncate(&mut self, n: usize) {
+        if n >= self.len() {
+            return;
+        }
+        self.vec_mut();
+        let end = self.start + n;
+        Arc::get_mut(&mut self.data)
+            .expect("unique after vec_mut")
+            .truncate(end);
     }
 
     /// Appends a slice.
     pub fn extend_from_slice(&mut self, data: &[u8]) {
-        self.data.extend_from_slice(data);
+        self.vec_mut().extend_from_slice(data);
+    }
+
+    /// Splits off everything written so far, leaving `self` empty but
+    /// still holding (a claim on) the allocation. Freeze the returned
+    /// buffer to get an immutable view; once that view drops, the next
+    /// [`BytesMut::reserve`] on `self` reclaims the storage.
+    pub fn split(&mut self) -> BytesMut {
+        let out = BytesMut {
+            data: Arc::clone(&self.data),
+            start: self.start,
+        };
+        self.start = self.data.len();
+        out
     }
 
     /// Freezes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes::from(self.data)
+        let end = self.data.len();
+        Bytes {
+            data: self.data,
+            start: self.start,
+            end,
+        }
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> Self {
+        BytesMut {
+            data: Arc::new(self.data[self.start..].to_vec()),
+            start: 0,
+        }
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for BytesMut {}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut {
+            data: Arc::new(v.to_vec()),
+            start: 0,
+        }
     }
 }
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..]
     }
 }
 
 impl std::ops::DerefMut for BytesMut {
     fn deref_mut(&mut self) -> &mut [u8] {
-        &mut self.data
+        self.vec_mut();
+        let start = self.start;
+        let v = Arc::get_mut(&mut self.data).expect("unique after vec_mut");
+        &mut v[start..]
     }
 }
 
 impl fmt::Debug for BytesMut {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "BytesMut({} bytes)", self.data.len())
+        write!(f, "BytesMut({} bytes)", self.len())
     }
 }
 
@@ -303,7 +474,7 @@ pub trait BufMut {
 
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
-        self.data.extend_from_slice(src);
+        self.extend_from_slice(src);
     }
 }
 
@@ -338,5 +509,63 @@ mod tests {
             b,
             Bytes::from(vec![0xAB, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, b'x', b'y'])
         );
+    }
+
+    #[test]
+    fn try_into_mut_unique_and_shared() {
+        let b = Bytes::from(vec![1, 2, 3, 4]).slice(1..3);
+        let m = b.try_into_mut().expect("sole owner");
+        assert_eq!(&m[..], &[2, 3]);
+
+        let b = Bytes::from(vec![1, 2, 3]);
+        let keep = b.clone();
+        let back = b.try_into_mut().expect_err("shared");
+        assert_eq!(back, keep);
+    }
+
+    #[test]
+    fn split_freeze_and_reclaim() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_slice(b"first");
+        let first = buf.split().freeze();
+        assert_eq!(first, Bytes::from_static(b"first"));
+        assert!(buf.is_empty());
+
+        // While `first` is alive the storage is shared; writing after a
+        // reserve must not corrupt it.
+        buf.reserve(6);
+        buf.put_slice(b"second");
+        assert_eq!(first, Bytes::from_static(b"first"));
+        let second = buf.split().freeze();
+        assert_eq!(second, Bytes::from_static(b"second"));
+
+        // Once every view drops, reserve reclaims the allocation.
+        drop(first);
+        drop(second);
+        buf.reserve(4);
+        buf.put_slice(b"x");
+        assert_eq!(&buf[..], b"x");
+    }
+
+    #[test]
+    fn deref_mut_copies_out_shared_storage() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"abcd");
+        let frozen = buf.split().freeze();
+        buf.put_slice(b"wxyz");
+        buf[0] = b'W';
+        assert_eq!(&buf[..], b"Wxyz");
+        assert_eq!(frozen, Bytes::from_static(b"abcd"));
+    }
+
+    #[test]
+    fn truncate_and_clear() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"hello");
+        buf.truncate(10); // no-op
+        buf.truncate(2);
+        assert_eq!(&buf[..], b"he");
+        buf.clear();
+        assert!(buf.is_empty());
     }
 }
