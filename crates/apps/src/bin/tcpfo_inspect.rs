@@ -1,0 +1,218 @@
+//! `tcpfo-inspect`: operator's view of the bridge — connection state
+//! tables, invariant-auditor ledgers, failover timeline, Prometheus
+//! text export, and flight-recorder bundle pretty-printing.
+//!
+//! ```text
+//! tcpfo-inspect run [--failover]   audited canned run, print state tables
+//! tcpfo-inspect prometheus         same run, Prometheus exposition only
+//! tcpfo-inspect bundle <dir>       pretty-print a flight-recorder bundle
+//! ```
+//!
+//! The `run` subcommands drive the deterministic simulated testbed (no
+//! sockets, no privileges), so the output is reproducible and the tool
+//! doubles as a smoke test of the audited datapath.
+
+use tcpfo_apps::driver::RequestReplyClient;
+use tcpfo_apps::stream::SourceServer;
+use tcpfo_core::testbed::{addrs, Testbed, TestbedConfig};
+use tcpfo_core::PrimaryBridge;
+use tcpfo_net::time::SimDuration;
+use tcpfo_tcp::host::Host;
+use tcpfo_tcp::types::SocketAddr;
+use tcpfo_telemetry::table::render_snapshot;
+use tcpfo_wire::eth::{EtherType, EthernetFrame};
+use tcpfo_wire::ipv4::Ipv4Packet;
+use tcpfo_wire::pcapng::read_packets;
+use tcpfo_wire::tcp::TcpView;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => run(args.iter().any(|a| a == "--failover"), false),
+        Some("prometheus") => run(false, true),
+        Some("bundle") => match args.get(1) {
+            Some(dir) => bundle(dir),
+            None => usage(),
+        },
+        _ => usage(),
+    };
+    std::process::exit(code);
+}
+
+fn usage() -> i32 {
+    eprintln!(
+        "tcpfo-inspect — bridge state tables and Prometheus export\n\n\
+         USAGE:\n  tcpfo-inspect run [--failover]   audited canned run, print state tables\n  \
+         tcpfo-inspect prometheus         same run, Prometheus exposition only\n  \
+         tcpfo-inspect bundle <dir>       pretty-print a flight-recorder bundle"
+    );
+    2
+}
+
+/// Drives an audited canned transfer (optionally failing the primary
+/// mid-way) and prints the operator tables — or, with `prom_only`, just
+/// the Prometheus text exposition.
+fn run(failover: bool, prom_only: bool) -> i32 {
+    let mut tb = Testbed::new(TestbedConfig {
+        audit: Some(true),
+        ..TestbedConfig::default()
+    });
+    for node in [tb.primary, tb.secondary.expect("replicated testbed")] {
+        tb.sim.with::<Host, _>(node, |h, _| {
+            h.add_app(Box::new(SourceServer::new(80)));
+        });
+    }
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(RequestReplyClient::new(
+            SocketAddr::new(addrs::A_P, 80),
+            b"SEND 2000000\n".to_vec(),
+            2_000_000,
+        )));
+    });
+    tb.run_for(SimDuration::from_millis(120));
+    // Snapshot the primary's connection table mid-transfer, while the
+    // bridge still holds live per-connection state.
+    let rows = tb.sim.with::<Host, _>(tb.primary, |h, _| {
+        h.filter_mut()
+            .as_any_mut()
+            .downcast_mut::<PrimaryBridge>()
+            .map(|b| b.connection_rows())
+            .unwrap_or_default()
+    });
+    if failover {
+        tb.kill_primary();
+    }
+    tb.run_for(SimDuration::from_secs(20));
+
+    let snap = tb.metrics_snapshot();
+    if prom_only {
+        print!("{}", snap.to_prometheus());
+        return exit_code(&mut tb);
+    }
+
+    println!("=== connections (primary bridge, mid-transfer) ===");
+    println!(
+        "{:<22} {:>5} {:>10} {:>6} {:>10} {:>6} {:>6} {:>10} {:>7} {:>4}",
+        "client", "port", "delta", "mss", "send_next", "pq_B", "sq_B", "min_ack", "min_win", "fin"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:>5} {:>10} {:>6} {:>10} {:>6} {:>6} {:>10} {:>7} {:>4}",
+            r.client.to_string(),
+            r.server_port,
+            r.delta.map_or("-".into(), |d| d.to_string()),
+            r.mss,
+            r.send_next,
+            r.pq_bytes,
+            r.sq_bytes,
+            r.min_ack.map_or("-".into(), |a| a.to_string()),
+            r.min_win,
+            if r.fin_sent { "yes" } else { "no" }
+        );
+    }
+
+    println!("\n=== invariant auditors ===");
+    if let Some(report) = tb.with_primary_audit(|a| a.report()) {
+        println!("{report}");
+    }
+    if let Some(report) = tb.with_secondary_audit(|a| a.report()) {
+        println!("{report}");
+    }
+
+    println!("=== failover timeline ===");
+    println!("{}", tb.telemetry.timeline.breakdown());
+
+    println!("=== metrics ===");
+    println!("{}", render_snapshot(&snap));
+    exit_code(&mut tb)
+}
+
+fn exit_code(tb: &mut Testbed) -> i32 {
+    let violations = tb.audit_violations();
+    if violations > 0 {
+        eprintln!("tcpfo-inspect: {violations} invariant violation(s) recorded");
+        1
+    } else {
+        0
+    }
+}
+
+/// Pretty-prints a flight-recorder bundle directory: the rule ledger
+/// and violations, the tail of the trace ring, a per-packet summary of
+/// the capture, and the timeline, if present.
+fn bundle(dir: &str) -> i32 {
+    let dir = std::path::Path::new(dir);
+    let ledger = dir.join("ledger.txt");
+    if !ledger.exists() {
+        eprintln!(
+            "tcpfo-inspect: {} does not look like a bundle (no ledger.txt)",
+            dir.display()
+        );
+        return 2;
+    }
+    println!("=== rule ledger + violations ===");
+    match std::fs::read_to_string(&ledger) {
+        Ok(s) => println!("{s}"),
+        Err(e) => eprintln!("ledger.txt: {e}"),
+    }
+    println!("=== trace ring (last 40) ===");
+    match std::fs::read_to_string(dir.join("trace_ring.txt")) {
+        Ok(s) => {
+            let lines: Vec<&str> = s.lines().collect();
+            for line in lines.iter().skip(lines.len().saturating_sub(40)) {
+                println!("{line}");
+            }
+        }
+        Err(e) => eprintln!("trace_ring.txt: {e}"),
+    }
+    println!("\n=== capture.pcapng ===");
+    match std::fs::read(dir.join("capture.pcapng")) {
+        Ok(bytes) => match read_packets(&bytes) {
+            Ok(pkts) => {
+                println!("{} packet(s)", pkts.len());
+                for p in &pkts {
+                    println!(
+                        "  {:>12} ns  {:>5} B  {}",
+                        p.ts_ns,
+                        p.frame.len(),
+                        tcp_line(&p.frame)
+                    );
+                }
+            }
+            Err(e) => eprintln!("capture.pcapng does not parse: {e}"),
+        },
+        Err(e) => eprintln!("capture.pcapng: {e}"),
+    }
+    let timeline = dir.join("timeline.json");
+    if let Ok(s) = std::fs::read_to_string(&timeline) {
+        println!("\n=== timeline.json ===\n{s}");
+    }
+    0
+}
+
+/// One-line Ethernet/IPv4/TCP summary of a captured frame.
+fn tcp_line(frame: &[u8]) -> String {
+    let Ok(eth) = EthernetFrame::decode(&bytes::Bytes::copy_from_slice(frame)) else {
+        return "non-ethernet".into();
+    };
+    if eth.ethertype != EtherType::Ipv4 {
+        return format!("{:?}", eth.ethertype);
+    }
+    let Ok(ip) = Ipv4Packet::decode(&eth.payload) else {
+        return "bad ipv4".into();
+    };
+    match TcpView::new(&ip.payload) {
+        Ok(v) => format!(
+            "{}:{} → {}:{} seq={} ack={} len={} [{}]",
+            ip.src,
+            v.src_port(),
+            ip.dst,
+            v.dst_port(),
+            v.seq(),
+            v.ack(),
+            v.payload().len(),
+            v.flags()
+        ),
+        Err(_) => format!("ip {} → {} proto={}", ip.src, ip.dst, ip.protocol),
+    }
+}

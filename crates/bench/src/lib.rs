@@ -138,7 +138,15 @@ pub fn measure_conn_setup(mode: Mode, n: u32, seed: u64) -> DurationStats {
 /// One Fig. 3 measurement: the application-level send time (buffer
 /// semantics, §9) and the fully-acknowledged time for one message.
 pub fn measure_send_time(mode: Mode, bytes: u64, seed: u64) -> (SimDuration, SimDuration) {
-    let mut tb = Testbed::new(paper_testbed(mode, seed));
+    measure_send_time_cfg(paper_testbed(mode, seed), bytes)
+}
+
+/// [`measure_send_time`] against an explicit testbed configuration —
+/// lets callers toggle knobs the mode presets don't (e.g.
+/// `cfg.audit = Some(true)` to measure the invariant auditor's
+/// overhead).
+pub fn measure_send_time_cfg(cfg: TestbedConfig, bytes: u64) -> (SimDuration, SimDuration) {
+    let mut tb = Testbed::new(cfg);
     install_servers(&mut tb, || SinkServer::new(80));
     tb.sim.with::<Host, _>(tb.client, |h, _| {
         h.add_app(Box::new(BulkSendClient::new(
@@ -167,7 +175,12 @@ pub fn measure_send_time(mode: Mode, bytes: u64, seed: u64) -> (SimDuration, Sim
 
 /// One Fig. 4 measurement: request → last reply byte.
 pub fn measure_request_reply(mode: Mode, reply_bytes: u64, seed: u64) -> SimDuration {
-    let mut tb = Testbed::new(paper_testbed(mode, seed));
+    measure_request_reply_cfg(paper_testbed(mode, seed), reply_bytes)
+}
+
+/// [`measure_request_reply`] against an explicit testbed configuration.
+pub fn measure_request_reply_cfg(cfg: TestbedConfig, reply_bytes: u64) -> SimDuration {
+    let mut tb = Testbed::new(cfg);
     install_servers(&mut tb, || SourceServer::new(80));
     tb.sim.with::<Host, _>(tb.client, |h, _| {
         h.add_app(Box::new(RequestReplyClient::new(
@@ -196,13 +209,23 @@ pub fn measure_request_reply(mode: Mode, reply_bytes: u64, seed: u64) -> SimDura
 /// Fig. 5 send rate: client streams `bytes` to the server; KB/s until
 /// fully acknowledged.
 pub fn measure_send_rate(mode: Mode, bytes: u64, seed: u64) -> f64 {
-    let (_buffered, acked) = measure_send_time(mode, bytes, seed);
+    measure_send_rate_cfg(paper_testbed(mode, seed), bytes)
+}
+
+/// [`measure_send_rate`] against an explicit testbed configuration.
+pub fn measure_send_rate_cfg(cfg: TestbedConfig, bytes: u64) -> f64 {
+    let (_buffered, acked) = measure_send_time_cfg(cfg, bytes);
     bytes as f64 / 1000.0 / acked.as_secs_f64()
 }
 
 /// Fig. 5 receive rate: client downloads `bytes`; KB/s to last byte.
 pub fn measure_recv_rate(mode: Mode, bytes: u64, seed: u64) -> f64 {
-    let d = measure_request_reply(mode, bytes, seed);
+    measure_recv_rate_cfg(paper_testbed(mode, seed), bytes)
+}
+
+/// [`measure_recv_rate`] against an explicit testbed configuration.
+pub fn measure_recv_rate_cfg(cfg: TestbedConfig, bytes: u64) -> f64 {
+    let d = measure_request_reply_cfg(cfg, bytes);
     bytes as f64 / 1000.0 / d.as_secs_f64()
 }
 

@@ -119,6 +119,12 @@ impl ChainBridge {
         &self.inner
     }
 
+    /// Attaches (or detaches) the online invariant auditor on the
+    /// inner merge bridge.
+    pub fn set_audit(&mut self, audit: Option<Box<tcpfo_telemetry::InvariantAuditor>>) {
+        self.inner.set_audit(audit);
+    }
+
     /// Whether this link is currently the head.
     pub fn is_head(&self) -> bool {
         self.upstream.is_none()

@@ -50,6 +50,6 @@ pub use chain::{ChainBridge, ChainController};
 pub use chain_testbed::{ChainConfig, ChainTestbed};
 pub use designation::{ConnKey, FailoverConfig};
 pub use detector::{DetectorConfig, ReplicaController, Role};
-pub use primary::{PrimaryBridge, PrimaryMode, PrimaryStats};
+pub use primary::{ConnRow, PrimaryBridge, PrimaryMode, PrimaryStats};
 pub use secondary::{SecondaryBridge, SecondaryMode, SecondaryStats};
 pub use testbed::{SegmentKind, Testbed, TestbedConfig};

@@ -27,12 +27,14 @@ use crate::designation::{ConnKey, FailoverConfig};
 use crate::queues::{ByteQueue, TakenBytes};
 use bytes::BytesMut;
 use std::collections::HashMap;
-use tcpfo_tcp::filter::{AddressedSegment, FailoverRule, FilterOutput, SegmentFilter};
+use tcpfo_tcp::filter::{AddressedSegment, FailoverRule, FilterOutput, SegmentFilter, TraceId};
 use tcpfo_tcp::seq::{seq_gt, seq_le, seq_min};
 use tcpfo_tcp::types::SocketAddr;
-use tcpfo_telemetry::{Counter, Gauge, Telemetry};
+use tcpfo_telemetry::{Counter, Gauge, InvariantAuditor, Telemetry};
 use tcpfo_wire::ipv4::Ipv4Addr;
-use tcpfo_wire::tcp::{peek_orig_dest, HeaderTemplate, SegmentPatcher, TcpFlags, TcpSegment};
+use tcpfo_wire::tcp::{
+    peek_orig_dest, HeaderTemplate, SegmentPatcher, TcpFlags, TcpSegment, TcpView,
+};
 
 /// How long closed-connection tombstones are kept (so late FIN
 /// retransmissions still get ACKed, §8), in nanoseconds.
@@ -243,6 +245,38 @@ pub struct PrimaryBridge {
     /// previously emitted bytes are dropped downstream, the next emit
     /// reclaims the allocation.
     emit_buf: BytesMut,
+    /// Online invariant auditor (attached via [`PrimaryBridge::set_audit`]).
+    /// Detached — the default — costs one branch per filtered segment.
+    audit: Option<Box<InvariantAuditor>>,
+    /// Causal trace id of the segment currently being filtered;
+    /// everything the bridge emits in response inherits it.
+    cur_trace: TraceId,
+}
+
+/// A diagnostic snapshot of one tracked connection (for inspection
+/// tools such as `tcpfo-inspect`).
+#[derive(Debug, Clone)]
+pub struct ConnRow {
+    /// Client socket address.
+    pub client: SocketAddr,
+    /// Local server port.
+    pub server_port: u16,
+    /// `Δseq`, once the handshake merged.
+    pub delta: Option<u32>,
+    /// Effective MSS: `min(MSS_P, MSS_S)`.
+    pub mss: u16,
+    /// Next client-facing sequence number (S space).
+    pub send_next: u32,
+    /// Buffered bytes in the primary output queue.
+    pub pq_bytes: usize,
+    /// Buffered bytes in the secondary output queue.
+    pub sq_bytes: usize,
+    /// `min(ack_P, ack_S)` when both replicas have acknowledged.
+    pub min_ack: Option<u32>,
+    /// `min(win_P, win_S)`.
+    pub min_win: u16,
+    /// Whether the merged FIN has been released.
+    pub fin_sent: bool,
 }
 
 impl PrimaryBridge {
@@ -260,7 +294,47 @@ impl PrimaryBridge {
             stats: PrimaryStats::default(),
             telemetry: None,
             emit_buf: BytesMut::with_capacity(2048),
+            audit: None,
+            cur_trace: TraceId::NONE,
         }
+    }
+
+    /// Attaches (or detaches) the online invariant auditor. When
+    /// detached — the default — the only cost is one `Option` branch
+    /// per filtered segment, preserving the zero-allocation steady
+    /// state (`tests/zero_alloc.rs`).
+    pub fn set_audit(&mut self, audit: Option<Box<InvariantAuditor>>) {
+        self.audit = audit;
+    }
+
+    /// The attached invariant auditor, if any.
+    pub fn audit(&self) -> Option<&InvariantAuditor> {
+        self.audit.as_deref()
+    }
+
+    /// Mutable access to the attached invariant auditor.
+    pub fn audit_mut(&mut self) -> Option<&mut InvariantAuditor> {
+        self.audit.as_deref_mut()
+    }
+
+    /// Diagnostic rows for every tracked connection, in no particular
+    /// order (inspection tools sort).
+    pub fn connection_rows(&self) -> Vec<ConnRow> {
+        self.conns
+            .values()
+            .map(|c| ConnRow {
+                client: c.client,
+                server_port: c.server_port,
+                delta: c.delta,
+                mss: c.mss,
+                send_next: c.send_next,
+                pq_bytes: c.pq.len(),
+                sq_bytes: c.sq.len(),
+                min_ack: c.min_ack(),
+                min_win: c.min_win(),
+                fin_sent: c.fin_sent,
+            })
+            .collect()
     }
 
     /// Connects the bridge to a telemetry hub: mirrors
@@ -369,6 +443,9 @@ impl PrimaryBridge {
     /// caller (the host controller).
     pub fn secondary_failed(&mut self, now_nanos: u64) -> FilterOutput {
         self.sync_telemetry(now_nanos);
+        if let Some(a) = &mut self.audit {
+            a.note_degraded(now_nanos);
+        }
         self.journal("degraded", &[("live_conns", self.conns.len().to_string())]);
         let mut out = FilterOutput::empty();
         self.mode = PrimaryMode::SecondaryFailed;
@@ -457,6 +534,10 @@ impl PrimaryBridge {
     /// restarted secondary never saw their establishment.
     pub fn reintegrate(&mut self) {
         self.mode = PrimaryMode::Normal;
+        let now = self.telemetry.as_ref().map_or(0, |t| t.now_ns);
+        if let Some(a) = &mut self.audit {
+            a.note_reintegrated(now);
+        }
         self.journal("reintegrated", &[]);
     }
 
@@ -486,7 +567,7 @@ impl PrimaryBridge {
         }
         let bytes = seg.encode(self.a_p, conn.client.ip);
         out.to_wire
-            .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
+            .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes).traced(self.cur_trace));
     }
 
     /// Hot-path emitter: patches the connection's prebuilt header
@@ -528,7 +609,7 @@ impl PrimaryBridge {
             payload_sum,
         );
         out.to_wire
-            .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
+            .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes).traced(self.cur_trace));
     }
 
     /// [`PrimaryBridge::emit_hot`] for a rope release: the payload is
@@ -738,8 +819,9 @@ impl PrimaryBridge {
                     .window(seg.window)
                     .build();
                 let bytes = ack_seg.encode(key.peer.ip, self.a_s);
-                out.to_wire
-                    .push(AddressedSegment::new(key.peer.ip, self.a_s, bytes));
+                out.to_wire.push(
+                    AddressedSegment::new(key.peer.ip, self.a_s, bytes).traced(self.cur_trace),
+                );
                 self.stats.late_fin_acks += 1;
                 return;
             }
@@ -996,7 +1078,8 @@ impl PrimaryBridge {
                         patcher.set_ack(new_ack);
                         let (bytes, src, dst) = patcher.finish();
                         self.stats.acks_translated += 1;
-                        out.to_tcp.push(AddressedSegment::new(src, dst, bytes));
+                        out.to_tcp
+                            .push(AddressedSegment::new(src, dst, bytes).traced(self.cur_trace));
                     } else {
                         out.to_tcp.push(raw);
                     }
@@ -1012,8 +1095,9 @@ impl PrimaryBridge {
                     .window(parsed.window)
                     .build();
                 let bytes = ack_seg.encode(self.a_p, key.peer.ip);
-                out.to_wire
-                    .push(AddressedSegment::new(self.a_p, key.peer.ip, bytes));
+                out.to_wire.push(
+                    AddressedSegment::new(self.a_p, key.peer.ip, bytes).traced(self.cur_trace),
+                );
                 self.stats.late_fin_acks += 1;
                 return;
             }
@@ -1041,7 +1125,8 @@ impl PrimaryBridge {
                 patcher.set_ack(new_ack);
                 let (bytes, src, dst) = patcher.finish();
                 self.stats.acks_translated += 1;
-                out.to_tcp.push(AddressedSegment::new(src, dst, bytes));
+                out.to_tcp
+                    .push(AddressedSegment::new(src, dst, bytes).traced(self.cur_trace));
             } else {
                 // An ACK cannot precede the merged SYN in a correct
                 // run; drop rather than corrupt the primary's TCB.
@@ -1052,11 +1137,12 @@ impl PrimaryBridge {
         }
         self.maybe_teardown(key, true);
     }
-}
 
-impl SegmentFilter for PrimaryBridge {
-    fn on_outbound_into(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
+    /// The outbound datapath. The [`SegmentFilter::on_outbound_into`]
+    /// implementation wraps this with the (optional) audit observation.
+    fn outbound_inner(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
         self.stamp_now(now_nanos);
+        self.cur_trace = seg.trace;
         let Ok(parsed) = TcpSegment::decode_shared(&seg.bytes) else {
             out.to_wire.push(seg);
             return;
@@ -1082,7 +1168,8 @@ impl SegmentFilter for PrimaryBridge {
                 let mut p = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
                 p.set_seq(new_seq);
                 let (bytes, src, dst) = p.finish();
-                out.to_wire.push(AddressedSegment::new(src, dst, bytes));
+                out.to_wire
+                    .push(AddressedSegment::new(src, dst, bytes).traced(self.cur_trace));
                 return;
             }
         }
@@ -1124,8 +1211,11 @@ impl SegmentFilter for PrimaryBridge {
         }
     }
 
-    fn on_inbound_into(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
+    /// The inbound datapath. The [`SegmentFilter::on_inbound_into`]
+    /// implementation wraps this with the (optional) audit observation.
+    fn inbound_inner(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
         self.stamp_now(now_nanos);
+        self.cur_trace = seg.trace;
         // Diverted secondary segment? (carries the orig-dest option —
         // probed on the raw bytes, so the buffer stays uniquely owned
         // for the in-place strip below.)
@@ -1179,6 +1269,95 @@ impl SegmentFilter for PrimaryBridge {
             }
         }
         out.to_tcp.push(seg);
+    }
+
+    /// Pre-step audit observation for an outbound segment: mirrors the
+    /// inner designation check so only segments the bridge will treat
+    /// as primary replica output are shadowed.
+    fn audit_outbound_observe(&self, aud: &mut InvariantAuditor, seg: &AddressedSegment) {
+        let Ok(parsed) = TcpView::new(&seg.bytes) else {
+            return;
+        };
+        let (src_port, dst_port) = (parsed.src_port(), parsed.dst_port());
+        let key = ConnKey::new(src_port, SocketAddr::new(seg.dst, dst_port));
+        let designated = self.config.matches(src_port, seg.dst, dst_port)
+            || self.conns.contains_key(&key)
+            || self.closed.contains_key(&key);
+        let degraded_tomb = self.closed.get(&key).is_some_and(|t| t.degraded);
+        if designated && seg.dst != self.a_s && !degraded_tomb && self.mode == PrimaryMode::Normal {
+            aud.note_primary_out(seg.src, seg.dst, &seg.bytes, seg.trace);
+        }
+    }
+
+    /// Pre-step audit observation for an inbound segment: diverted
+    /// secondary output or (designated) client ingress.
+    fn audit_inbound_observe(&self, aud: &mut InvariantAuditor, seg: &AddressedSegment) {
+        if seg.src == self.a_s && seg.dst == self.divert_dst && peek_orig_dest(&seg.bytes).is_some()
+        {
+            aud.note_secondary_diverted(seg.src, seg.dst, &seg.bytes, seg.trace);
+            return;
+        }
+        if seg.dst != self.a_p {
+            return;
+        }
+        let Ok(parsed) = TcpView::new(&seg.bytes) else {
+            return;
+        };
+        let (src_port, dst_port) = (parsed.src_port(), parsed.dst_port());
+        let key = ConnKey::new(dst_port, SocketAddr::new(seg.src, src_port));
+        let designated = self.config.matches(dst_port, seg.src, src_port)
+            || self.conns.contains_key(&key)
+            || self.closed.contains_key(&key);
+        aud.note_client_ingress(seg.src, seg.dst, &seg.bytes, seg.trace, designated);
+    }
+
+    /// Post-step audit scan of everything the inner datapath appended
+    /// to `out`: client-bound wire segments are releases, segments back
+    /// toward the secondary are noted, deliver-ups are checked for the
+    /// `+Δseq` ack translation.
+    fn audit_scan(&self, aud: &mut InvariantAuditor, out: &FilterOutput, w0: usize, t0: usize) {
+        for s in &out.to_wire[w0..] {
+            if s.dst == self.a_s {
+                aud.note_other_egress(s.src, s.dst, &s.bytes, s.trace);
+            } else {
+                aud.check_release(s.src, s.dst, &s.bytes, s.trace);
+            }
+        }
+        for s in &out.to_tcp[t0..] {
+            aud.check_deliver_up(s.src, s.dst, &s.bytes, s.trace);
+        }
+    }
+}
+
+impl SegmentFilter for PrimaryBridge {
+    fn on_outbound_into(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
+        if self.audit.is_none() {
+            self.outbound_inner(seg, now_nanos, out);
+            return;
+        }
+        let mut aud = self.audit.take().expect("audit attached");
+        aud.begin_event(now_nanos);
+        self.audit_outbound_observe(&mut aud, &seg);
+        let (w0, t0) = (out.to_wire.len(), out.to_tcp.len());
+        self.outbound_inner(seg, now_nanos, out);
+        self.audit_scan(&mut aud, out, w0, t0);
+        aud.end_event(now_nanos);
+        self.audit = Some(aud);
+    }
+
+    fn on_inbound_into(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
+        if self.audit.is_none() {
+            self.inbound_inner(seg, now_nanos, out);
+            return;
+        }
+        let mut aud = self.audit.take().expect("audit attached");
+        aud.begin_event(now_nanos);
+        self.audit_inbound_observe(&mut aud, &seg);
+        let (w0, t0) = (out.to_wire.len(), out.to_tcp.len());
+        self.inbound_inner(seg, now_nanos, out);
+        self.audit_scan(&mut aud, out, w0, t0);
+        aud.end_event(now_nanos);
+        self.audit = Some(aud);
     }
 
     fn on_tick(&mut self, now_nanos: u64) {

@@ -22,7 +22,8 @@ use crate::designation::{ConnKey, FailoverConfig};
 use std::collections::HashSet;
 use tcpfo_tcp::filter::{AddressedSegment, FailoverRule, FilterOutput, SegmentFilter};
 use tcpfo_tcp::types::SocketAddr;
-use tcpfo_telemetry::{Counter, FailoverPhase, Telemetry};
+use tcpfo_telemetry::audit::{SecondaryPhase, TakeoverStep};
+use tcpfo_telemetry::{Counter, FailoverPhase, InvariantAuditor, Telemetry};
 use tcpfo_wire::ipv4::Ipv4Addr;
 use tcpfo_wire::tcp::{SegmentPatcher, TcpFlags, TcpView};
 
@@ -93,6 +94,12 @@ pub struct SecondaryBridge {
     /// Statistics.
     pub stats: SecondaryStats,
     telemetry: Option<SecondaryInstruments>,
+    /// Online invariant auditor (attached via
+    /// [`SecondaryBridge::set_audit`]).
+    audit: Option<Box<InvariantAuditor>>,
+    /// Sim time of the most recent filtered segment or tick, so the
+    /// clock-less takeover calls can stamp auditor events.
+    last_now: u64,
 }
 
 impl SecondaryBridge {
@@ -107,7 +114,25 @@ impl SecondaryBridge {
             seen: HashSet::new(),
             stats: SecondaryStats::default(),
             telemetry: None,
+            audit: None,
+            last_now: 0,
         }
+    }
+
+    /// Attaches (or detaches) the online invariant auditor. Detached —
+    /// the default — costs one branch per filtered segment.
+    pub fn set_audit(&mut self, audit: Option<Box<InvariantAuditor>>) {
+        self.audit = audit;
+    }
+
+    /// The attached invariant auditor, if any.
+    pub fn audit(&self) -> Option<&InvariantAuditor> {
+        self.audit.as_deref()
+    }
+
+    /// Mutable access to the attached invariant auditor.
+    pub fn audit_mut(&mut self) -> Option<&mut InvariantAuditor> {
+        self.audit.as_deref_mut()
     }
 
     /// Connects the bridge to a telemetry hub: mirrors
@@ -158,6 +183,10 @@ impl SecondaryBridge {
     /// the paper observes for the window `T`.
     pub fn prepare_takeover(&mut self) {
         self.mode = SecondaryMode::Holding;
+        let now = self.last_now;
+        if let Some(a) = &mut self.audit {
+            a.note_takeover_step(TakeoverStep::EgressHold, now);
+        }
     }
 
     /// §5 steps 3–4: disable both address translations. Called once the
@@ -165,6 +194,10 @@ impl SecondaryBridge {
     /// on the bridge is a no-op.
     pub fn complete_takeover(&mut self) {
         self.mode = SecondaryMode::Disabled;
+        let now = self.last_now;
+        if let Some(a) = &mut self.audit {
+            a.note_takeover_step(TakeoverStep::TranslationOff, now);
+        }
     }
 
     /// Whether a segment belongs to a designated failover connection.
@@ -173,10 +206,10 @@ impl SecondaryBridge {
     fn designated(&self, server_port: u16, peer: SocketAddr) -> bool {
         self.config.matches(server_port, peer.ip, peer.port)
     }
-}
 
-impl SegmentFilter for SecondaryBridge {
-    fn on_outbound_into(&mut self, seg: AddressedSegment, now: u64, out: &mut FilterOutput) {
+    /// The egress datapath. The [`SegmentFilter::on_outbound_into`]
+    /// implementation wraps this with the (optional) audit observation.
+    fn outbound_inner(&mut self, seg: AddressedSegment, now: u64, out: &mut FilterOutput) {
         if self.mode == SecondaryMode::Disabled {
             // §5 complete: the first data byte the promoted secondary
             // sends toward the client closes the failover timeline.
@@ -222,15 +255,19 @@ impl SegmentFilter for SecondaryBridge {
         // Divert to the primary, recording the original destination.
         let orig = seg.dst;
         let orig_port = view.dst_port();
+        let trace = seg.trace;
         let mut patcher = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
         patcher.push_orig_dest_option(orig, orig_port);
         patcher.set_pseudo_dst(self.upstream);
         let (bytes, src, dst) = patcher.finish();
         self.stats.egress_diverted += 1;
-        out.to_wire.push(AddressedSegment::new(src, dst, bytes));
+        out.to_wire
+            .push(AddressedSegment::new(src, dst, bytes).traced(trace));
     }
 
-    fn on_inbound_into(&mut self, seg: AddressedSegment, _now: u64, out: &mut FilterOutput) {
+    /// The ingress datapath. The [`SegmentFilter::on_inbound_into`]
+    /// implementation wraps this with the (optional) audit observation.
+    fn inbound_inner(&mut self, seg: AddressedSegment, _now: u64, out: &mut FilterOutput) {
         // While holding (§5 step 1) ingress translation stays active:
         // "the secondary server can receive data from the client until
         // the promiscuous receive mode of its network interface is
@@ -269,14 +306,89 @@ impl SegmentFilter for SecondaryBridge {
             out.to_tcp.push(seg);
             return;
         }
+        let trace = seg.trace;
         let mut patcher = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
         patcher.set_pseudo_dst(self.a_s);
         let (bytes, src, dst) = patcher.finish();
         self.stats.ingress_translated += 1;
-        out.to_tcp.push(AddressedSegment::new(src, dst, bytes));
+        out.to_tcp
+            .push(AddressedSegment::new(src, dst, bytes).traced(trace));
+    }
+
+    /// Pre-step audit observation for ingress: records the client
+    /// segment and (for witnessed designated connections) arms the
+    /// `a_p → a_s` translation check.
+    fn audit_inbound_observe(&self, aud: &mut InvariantAuditor, seg: &AddressedSegment) {
+        if self.mode == SecondaryMode::Disabled {
+            return;
+        }
+        let designated = match TcpView::new(&seg.bytes) {
+            Ok(view) => self.designated(view.dst_port(), SocketAddr::new(seg.src, view.src_port())),
+            Err(_) => false,
+        };
+        aud.note_secondary_ingress(
+            self.a_p, self.a_s, seg.src, seg.dst, &seg.bytes, seg.trace, designated,
+        );
+    }
+
+    /// The bridge mode expressed in the auditor's vocabulary.
+    fn audit_phase(&self) -> SecondaryPhase {
+        match self.mode {
+            SecondaryMode::Active => SecondaryPhase::Active,
+            SecondaryMode::Holding => SecondaryPhase::Holding,
+            SecondaryMode::Disabled => SecondaryPhase::Disabled,
+        }
+    }
+}
+
+impl SegmentFilter for SecondaryBridge {
+    fn on_outbound_into(&mut self, seg: AddressedSegment, now: u64, out: &mut FilterOutput) {
+        self.last_now = now;
+        if self.audit.is_none() {
+            self.outbound_inner(seg, now, out);
+            return;
+        }
+        let mut aud = self.audit.take().expect("audit attached");
+        aud.begin_event(now);
+        let phase = self.audit_phase();
+        let w0 = out.to_wire.len();
+        self.outbound_inner(seg, now, out);
+        for s in &out.to_wire[w0..] {
+            aud.check_secondary_egress(
+                phase,
+                self.a_p,
+                self.a_s,
+                self.upstream,
+                s.src,
+                s.dst,
+                &s.bytes,
+                s.trace,
+            );
+        }
+        aud.end_event(now);
+        self.audit = Some(aud);
+    }
+
+    fn on_inbound_into(&mut self, seg: AddressedSegment, now: u64, out: &mut FilterOutput) {
+        self.last_now = now;
+        if self.audit.is_none() {
+            self.inbound_inner(seg, now, out);
+            return;
+        }
+        let mut aud = self.audit.take().expect("audit attached");
+        aud.begin_event(now);
+        self.audit_inbound_observe(&mut aud, &seg);
+        let t0 = out.to_tcp.len();
+        self.inbound_inner(seg, now, out);
+        for s in &out.to_tcp[t0..] {
+            aud.check_secondary_deliver_up(self.a_s, s.src, s.dst, &s.bytes, s.trace);
+        }
+        aud.end_event(now);
+        self.audit = Some(aud);
     }
 
     fn on_tick(&mut self, now_nanos: u64) {
+        self.last_now = now_nanos;
         self.sync_telemetry(now_nanos);
     }
 

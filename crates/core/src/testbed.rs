@@ -20,13 +20,15 @@ use crate::secondary::SecondaryBridge;
 use tcpfo_net::hub::Hub;
 use tcpfo_net::link::LinkParams;
 use tcpfo_net::router::{Interface, Router};
+use tcpfo_net::sim::DEFAULT_TRACE_CAPACITY;
 use tcpfo_net::sim::{NodeId, Simulator};
 use tcpfo_net::switch::Switch;
 use tcpfo_net::time::SimDuration;
 use tcpfo_net::trace::{to_pcapng, TraceKind};
 use tcpfo_tcp::config::TcpConfig;
 use tcpfo_tcp::host::{spawn_host, CpuModel, Host, HostConfig};
-use tcpfo_telemetry::{FailoverPhase, MetricsSnapshot, Telemetry};
+use tcpfo_telemetry::audit::{env_audit_enabled, env_capacity};
+use tcpfo_telemetry::{AuditConfig, FailoverPhase, InvariantAuditor, MetricsSnapshot, Telemetry};
 
 /// Well-known testbed addresses.
 pub mod addrs {
@@ -119,6 +121,16 @@ pub struct TestbedConfig {
     /// "the primary server's segment is lost on its way to the
     /// client").
     pub loss_to_router: f64,
+    /// Attach the online invariant auditor to both bridges. `None`
+    /// follows the `TCPFO_AUDIT` environment knob; `Some(_)` overrides
+    /// it.
+    pub audit: Option<bool>,
+    /// Event-journal ring capacity. `None` follows `TCPFO_JOURNAL_CAP`
+    /// (default [`tcpfo_telemetry::journal::DEFAULT_CAPACITY`]).
+    pub journal_capacity: Option<usize>,
+    /// Packet-trace ring capacity. `None` follows `TCPFO_TRACE_CAP`
+    /// (default [`DEFAULT_TRACE_CAPACITY`]).
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for TestbedConfig {
@@ -140,6 +152,9 @@ impl Default for TestbedConfig {
             loss_to_primary: 0.0,
             loss_to_secondary: 0.0,
             loss_to_router: 0.0,
+            audit: None,
+            journal_capacity: None,
+            trace_capacity: None,
         }
     }
 }
@@ -182,9 +197,18 @@ pub struct Testbed {
 impl Testbed {
     /// Builds the testbed.
     pub fn new(config: TestbedConfig) -> Self {
-        let telemetry = Telemetry::new();
+        let telemetry = match config.journal_capacity {
+            Some(cap) => Telemetry::with_journal_capacity(cap),
+            None => Telemetry::from_env(),
+        };
+        let audit_on = config.audit.unwrap_or_else(env_audit_enabled);
         let mut sim = Simulator::new(config.seed);
         sim.set_telemetry(telemetry.clone());
+        sim.set_trace_capacity(
+            config
+                .trace_capacity
+                .unwrap_or_else(|| env_capacity("TCPFO_TRACE_CAP", DEFAULT_TRACE_CAPACITY)),
+        );
         let ports = if config.with_backend { 4 } else { 3 };
         let segment: NodeId = match config.segment {
             SegmentKind::Hub => sim.add_device(Box::new(Hub::new("segment", ports, 100_000_000))),
@@ -239,6 +263,11 @@ impl Testbed {
             let fo = FailoverConfig::from_ports(config.failover_ports.iter().copied());
             let mut bridge = PrimaryBridge::new(addrs::A_P, addrs::A_S, fo);
             bridge.set_telemetry(&telemetry);
+            if audit_on {
+                bridge.set_audit(Some(Box::new(
+                    InvariantAuditor::new(AuditConfig::from_env("primary")).with_hub(&telemetry),
+                )));
+            }
             primary_host.set_filter(Box::new(bridge));
             let mut controller = ReplicaController::new(
                 Role::Primary,
@@ -264,6 +293,11 @@ impl Testbed {
             let fo = FailoverConfig::from_ports(config.failover_ports.iter().copied());
             let mut bridge = SecondaryBridge::new(addrs::A_P, addrs::A_S, fo);
             bridge.set_telemetry(&telemetry);
+            if audit_on {
+                bridge.set_audit(Some(Box::new(
+                    InvariantAuditor::new(AuditConfig::from_env("secondary")).with_hub(&telemetry),
+                )));
+            }
             host.set_filter(Box::new(bridge));
             let mut controller = ReplicaController::new(
                 Role::Secondary,
@@ -431,6 +465,12 @@ impl Testbed {
         let fo = FailoverConfig::from_ports(self.config.failover_ports.iter().copied());
         let mut bridge = SecondaryBridge::new(addrs::A_P, addrs::A_S, fo);
         bridge.set_telemetry(&self.telemetry);
+        if self.config.audit.unwrap_or_else(env_audit_enabled) {
+            bridge.set_audit(Some(Box::new(
+                InvariantAuditor::new(AuditConfig::from_env("secondary-revived"))
+                    .with_hub(&self.telemetry),
+            )));
+        }
         host.set_filter(Box::new(bridge));
         let mut controller = ReplicaController::new(
             Role::Secondary,
@@ -537,6 +577,51 @@ impl Testbed {
         })
     }
 
+    /// A pcapng capture of every transmitted frame anywhere in the
+    /// simulation — including the diverted S→P leg, whose packets carry
+    /// an `orig-dest` annotation in their comment block. Requires
+    /// tracing (`tb.sim.set_trace_enabled(true)`) during the run.
+    pub fn full_capture_pcapng(&mut self) -> Vec<u8> {
+        let entries = self.sim.trace_tail(usize::MAX);
+        to_pcapng(&entries, |e| matches!(e.kind, TraceKind::Tx { .. }))
+    }
+
+    /// Runs `f` against the primary bridge's attached auditor, if any.
+    pub fn with_primary_audit<R>(&mut self, f: impl FnOnce(&InvariantAuditor) -> R) -> Option<R> {
+        self.sim.with::<Host, _>(self.primary, move |h, _| {
+            let aud = h
+                .filter_mut()
+                .as_any_mut()
+                .downcast_mut::<PrimaryBridge>()?
+                .audit()?;
+            Some(f(aud))
+        })
+    }
+
+    /// Runs `f` against the secondary bridge's attached auditor, if
+    /// any.
+    pub fn with_secondary_audit<R>(&mut self, f: impl FnOnce(&InvariantAuditor) -> R) -> Option<R> {
+        let s = self.secondary?;
+        self.sim.with::<Host, _>(s, move |h, _| {
+            let aud = h
+                .filter_mut()
+                .as_any_mut()
+                .downcast_mut::<SecondaryBridge>()?
+                .audit()?;
+            Some(f(aud))
+        })
+    }
+
+    /// Total invariant violations recorded by both bridges' auditors
+    /// (0 when detached).
+    pub fn audit_violations(&mut self) -> u64 {
+        self.with_primary_audit(|a| a.ledger().total_violations())
+            .unwrap_or(0)
+            + self
+                .with_secondary_audit(|a| a.ledger().total_violations())
+                .unwrap_or(0)
+    }
+
     /// Everything needed to diagnose a failed run from the log alone:
     /// the tail of the packet trace, the failover timeline, and a
     /// metrics snapshot.
@@ -561,6 +646,14 @@ impl Testbed {
         }
         out.push_str("--- metrics ---\n");
         out.push_str(&snap.to_table());
+        if let Some(report) = self.with_primary_audit(|a| a.report()) {
+            out.push_str("--- primary auditor ---\n");
+            out.push_str(&report);
+        }
+        if let Some(report) = self.with_secondary_audit(|a| a.report()) {
+            out.push_str("--- secondary auditor ---\n");
+            out.push_str(&report);
+        }
         out
     }
 

@@ -106,10 +106,27 @@ pub fn to_pcapng(entries: &[TraceEntry], filter: impl Fn(&TraceEntry) -> bool) -
         if !filter(e) {
             continue;
         }
-        let comment = format!("node{} {:?}", e.node, e.kind);
+        let mut comment = format!("node{} {:?}", e.node, e.kind);
+        // Annotate the diverted S→P failover leg: a TCP segment still
+        // carrying the bridge's original-destination option is the
+        // secondary's output in flight toward the primary's merge.
+        if let Some((ip, port)) = orig_dest_of(frame) {
+            comment.push_str(&format!(" diverted S→P leg, orig-dest={ip}:{port}"));
+        }
         w.packet_with_comment(e.at.as_nanos(), frame, Some(&comment));
     }
     w.finish()
+}
+
+/// The original-destination option of the TCP segment inside `frame`,
+/// if the frame is Ethernet/IPv4/TCP and the option is present.
+fn orig_dest_of(frame: &Bytes) -> Option<(tcpfo_wire::ipv4::Ipv4Addr, u16)> {
+    let eth = EthernetFrame::decode(frame).ok()?;
+    if eth.ethertype != EtherType::Ipv4 {
+        return None;
+    }
+    let ip = Ipv4Packet::decode(&eth.payload).ok()?;
+    tcpfo_wire::tcp::peek_orig_dest(&ip.payload)
 }
 
 #[cfg(test)]

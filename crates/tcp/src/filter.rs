@@ -12,12 +12,19 @@ use crate::types::FourTuple;
 use bytes::Bytes;
 use tcpfo_wire::ipv4::Ipv4Addr;
 
+pub use tcpfo_telemetry::audit::TraceId;
+
 /// A raw TCP segment together with the IP addresses it travels between
 /// (which its checksum covers).
 ///
 /// The bytes are refcounted ([`Bytes`]), so an addressed segment can be
 /// sliced apart — header inspected, payload queued — without copying.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Each segment also carries a causal [`TraceId`], stamped where it
+/// enters the datapath (frame receive, stack outbox) and propagated by
+/// the bridges through translation, queueing and release. The id is
+/// observability metadata only: equality ignores it.
+#[derive(Debug, Clone)]
 pub struct AddressedSegment {
     /// IP source.
     pub src: Ipv4Addr,
@@ -25,15 +32,39 @@ pub struct AddressedSegment {
     pub dst: Ipv4Addr,
     /// Raw TCP segment bytes (header + payload).
     pub bytes: Bytes,
+    /// Causal trace id ([`TraceId::NONE`] when never stamped).
+    pub trace: TraceId,
 }
 
+impl PartialEq for AddressedSegment {
+    fn eq(&self, other: &Self) -> bool {
+        self.src == other.src && self.dst == other.dst && self.bytes == other.bytes
+    }
+}
+
+impl Eq for AddressedSegment {}
+
 impl AddressedSegment {
-    /// Creates an addressed segment.
+    /// Creates an addressed segment (not yet traced).
     pub fn new(src: Ipv4Addr, dst: Ipv4Addr, bytes: impl Into<Bytes>) -> Self {
         AddressedSegment {
             src,
             dst,
             bytes: bytes.into(),
+            trace: TraceId::NONE,
+        }
+    }
+
+    /// Builder: tags the segment with a causal trace id.
+    pub fn traced(mut self, trace: TraceId) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Stamps a fresh trace id if the segment has none yet.
+    pub fn ensure_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = TraceId::fresh();
         }
     }
 }

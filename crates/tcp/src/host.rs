@@ -566,7 +566,10 @@ impl Host {
                 return;
             }
             let mut fo = std::mem::take(&mut self.fout);
-            for seg in out {
+            for mut seg in out {
+                // Stack-originated segments enter the datapath here:
+                // give each a causal trace id.
+                seg.ensure_trace();
                 self.filter
                     .on_outbound_into(seg, ctx.now().as_nanos(), &mut fo);
                 self.dispatch_filter_output(&mut fo, ctx);
@@ -656,7 +659,10 @@ impl Device for Host {
                 };
                 self.net.charge_rx(pkt.payload.len(), ctx);
                 if pkt.protocol == PROTO_TCP {
-                    let seg = AddressedSegment::new(pkt.src, pkt.dst, pkt.payload.clone());
+                    // A received frame is a datapath entry point (for a
+                    // bridge host this is the client-ingress stamp).
+                    let mut seg = AddressedSegment::new(pkt.src, pkt.dst, pkt.payload.clone());
+                    seg.ensure_trace();
                     self.filter_inbound(seg, ctx);
                 } else if self.net.is_local(pkt.dst) {
                     self.run_controller_raw(pkt.protocol, pkt.src, &pkt.payload.clone(), ctx);

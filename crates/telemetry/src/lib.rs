@@ -35,12 +35,14 @@
 //! assert!(snap.to_json().contains("net.drops.loss"));
 //! ```
 
+pub mod audit;
 pub mod journal;
 pub mod json;
 pub mod registry;
 pub mod table;
 pub mod timeline;
 
+pub use audit::{AuditConfig, InvariantAuditor, Rule, RuleLedger, TraceId, Violation};
 pub use journal::{Event, Journal};
 pub use registry::{
     Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, Scope,
@@ -79,6 +81,23 @@ impl Telemetry {
     /// Creates an empty telemetry hub.
     pub fn new() -> Self {
         Telemetry::default()
+    }
+
+    /// A hub whose journal capacity honours the `TCPFO_JOURNAL_CAP`
+    /// environment knob (default [`journal::DEFAULT_CAPACITY`]).
+    pub fn from_env() -> Self {
+        Telemetry::with_journal_capacity(audit::env_capacity(
+            "TCPFO_JOURNAL_CAP",
+            journal::DEFAULT_CAPACITY,
+        ))
+    }
+
+    /// A hub with an explicit journal ring capacity.
+    pub fn with_journal_capacity(capacity: usize) -> Self {
+        Telemetry {
+            journal: Journal::with_capacity(capacity),
+            ..Telemetry::default()
+        }
     }
 
     /// One JSON document combining the metrics snapshot (taken at

@@ -436,6 +436,47 @@ impl MetricsSnapshot {
     pub fn to_table(&self) -> String {
         crate::table::render_snapshot(self)
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Metric names are prefixed with `tcpfo_` and dots become
+    /// underscores; gauges also expose their high-water mark, and
+    /// histograms expose cumulative `_bucket{le=...}` series plus
+    /// `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 6);
+            out.push_str("tcpfo_");
+            for c in name.chars() {
+                out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+            }
+            out
+        }
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+        }
+        for (name, g) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", g.value));
+            out.push_str(&format!(
+                "# TYPE {n}_high_water gauge\n{n}_high_water {}\n",
+                g.high_water
+            ));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for (le, c) in &h.buckets {
+                cumulative += c;
+                out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
 }
 
 #[cfg(test)]

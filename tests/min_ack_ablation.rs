@@ -35,11 +35,16 @@ fn run(unsafe_ack: bool, seed: u64) -> (bool, u64) {
     }
     if unsafe_ack {
         tb.sim.with::<Host, _>(tb.primary, |h, _| {
-            h.filter_mut()
+            let bridge = h
+                .filter_mut()
                 .as_any_mut()
                 .downcast_mut::<PrimaryBridge>()
-                .unwrap()
-                .unsafe_ack_without_min = true;
+                .unwrap();
+            bridge.unsafe_ack_without_min = true;
+            // The whole point of this run is to violate the §3.2 min-ack
+            // invariant; detach the auditor (if `TCPFO_AUDIT=1` attached
+            // one) so it doesn't — correctly — abort the ablation.
+            bridge.set_audit(None);
         });
     }
     tb.sim.with::<Host, _>(tb.client, |h, _| {
