@@ -27,6 +27,7 @@ pub mod conn;
 pub mod driver;
 pub mod echo;
 pub mod ftp;
+pub mod manyflow;
 pub mod store;
 pub mod stream;
 
@@ -38,5 +39,6 @@ pub use driver::{
 };
 pub use echo::EchoServer;
 pub use ftp::{FtpClient, FtpOp, FtpRecord, FtpServer, FTP_CTRL_PORT, FTP_DATA_PORT};
+pub use manyflow::{ManyFlowConfig, ManyFlowNet, ManyFlowWorkload};
 pub use store::{StoreClient, StoreServer};
 pub use stream::{SinkServer, SourceServer};

@@ -1,0 +1,426 @@
+//! Deterministic many-flow workload generator for the sharded flow
+//! table (PR-4).
+//!
+//! The paper's testbed measures one connection at a time; the flow
+//! table exists for the regime it does not measure — thousands of
+//! concurrent connections churning through the bridge. This module
+//! scripts that regime *at the segment level*: for each of `flows`
+//! connections it emits the exact `(direction, segment)` sequence a
+//! primary bridge would see — client SYN, held primary SYN+ACK,
+//! diverted secondary SYN+ACK, `rounds` of matching replica data with
+//! client ACKs, and a full §8 teardown — and interleaves the flows
+//! round-robin so every batch exercises many shards at once.
+//!
+//! Everything is derived from [`ManyFlowConfig::seed`] with a SplitMix
+//! generator: same config, same bytes, always. That property is what
+//! lets `bench_pr4` assert byte-identical bridge output across shard
+//! counts.
+
+use bytes::Bytes;
+use tcpfo_tcp::filter::{AddressedSegment, BatchDir, FlowKey};
+use tcpfo_tcp::types::SocketAddr;
+use tcpfo_wire::ipv4::Ipv4Addr;
+use tcpfo_wire::tcp::{SegmentPatcher, TcpFlags, TcpSegment};
+
+/// Parameters of a generated many-flow workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManyFlowConfig {
+    /// Number of concurrent connections to script.
+    pub flows: usize,
+    /// First flow index. Two workloads with disjoint
+    /// `offset..offset+flows` ranges use disjoint client tuples, so
+    /// they can be replayed back-to-back into one bridge (e.g. a
+    /// second wave evicting the first under capacity pressure).
+    pub offset: usize,
+    /// Server→client data exchanges per connection.
+    pub rounds: usize,
+    /// Payload bytes per data segment.
+    pub payload: usize,
+    /// Whether each connection ends with a full §8 teardown. When
+    /// `false` the flows are left established — the shape a capacity /
+    /// eviction experiment wants.
+    pub close: bool,
+    /// Seed for all derived sequence numbers and payload bytes.
+    pub seed: u64,
+}
+
+impl Default for ManyFlowConfig {
+    fn default() -> Self {
+        Self {
+            flows: 100,
+            offset: 0,
+            rounds: 2,
+            payload: 512,
+            close: true,
+            seed: 0xF4,
+        }
+    }
+}
+
+/// The server port every scripted connection targets.
+pub const SERVER_PORT: u16 = 80;
+
+/// Addresses the scripted segments assume, mirroring the paper's
+/// testbed: primary bridge `a_p`, secondary bridge `a_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManyFlowNet {
+    /// Primary server / bridge address (segments from P and from C
+    /// arrive addressed here).
+    pub a_p: Ipv4Addr,
+    /// Secondary server address (diverted segments carry this source).
+    pub a_s: Ipv4Addr,
+}
+
+impl Default for ManyFlowNet {
+    fn default() -> Self {
+        Self {
+            a_p: Ipv4Addr::new(10, 0, 0, 2),
+            a_s: Ipv4Addr::new(10, 0, 0, 3),
+        }
+    }
+}
+
+/// SplitMix64 — the repo's standard deterministic scalar generator.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Per-flow identity and initial sequence numbers, all seed-derived.
+#[derive(Debug, Clone, Copy)]
+struct FlowPlan {
+    client: SocketAddr,
+    iss_c: u32,
+    iss_p: u32,
+    iss_s: u32,
+}
+
+impl FlowPlan {
+    fn new(index: usize, seed: u64) -> Self {
+        let mut st = seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        // Distinct client IP per flow (192.168.x.y spans 200 hosts per
+        // /24, good for >50k flows); the port just adds entropy.
+        let ip = Ipv4Addr::new(192, 168, (1 + index / 200) as u8, (10 + index % 200) as u8);
+        let port = 10_000 + (index & 0x3fff) as u16;
+        Self {
+            client: SocketAddr::new(ip, port),
+            iss_c: splitmix(&mut st) as u32,
+            iss_p: splitmix(&mut st) as u32,
+            iss_s: splitmix(&mut st) as u32,
+        }
+    }
+}
+
+/// One scripted step: a direction plus the wire segment.
+pub type Step = (BatchDir, AddressedSegment);
+
+/// A fully scripted many-flow workload.
+#[derive(Debug)]
+pub struct ManyFlowWorkload {
+    steps: Vec<Step>,
+    keys: Vec<FlowKey>,
+    steps_per_flow: usize,
+}
+
+impl ManyFlowWorkload {
+    /// Scripts the workload: `flows` interleaved connection scripts
+    /// against a bridge at `net.a_p` / `net.a_s`.
+    pub fn generate(cfg: &ManyFlowConfig, net: ManyFlowNet) -> Self {
+        let mut per_flow: Vec<Vec<Step>> = Vec::with_capacity(cfg.flows);
+        let mut keys = Vec::with_capacity(cfg.flows);
+        for i in 0..cfg.flows {
+            let plan = FlowPlan::new(cfg.offset + i, cfg.seed);
+            keys.push(FlowKey::new(SERVER_PORT, plan.client));
+            per_flow.push(script_flow(cfg, net, plan, i));
+        }
+        let steps_per_flow = per_flow.first().map_or(0, Vec::len);
+        // Round-robin interleave: step 0 of every flow, then step 1 of
+        // every flow, … — every batch touches many flows, so a sharded
+        // run exercises cross-shard merging on each call.
+        let mut steps = Vec::with_capacity(cfg.flows * steps_per_flow);
+        for step in 0..steps_per_flow {
+            for flow in &per_flow {
+                steps.push(flow[step].clone());
+            }
+        }
+        Self {
+            steps,
+            keys,
+            steps_per_flow,
+        }
+    }
+
+    /// The interleaved steps, in deterministic order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Consumes the workload into batches of at most `batch` steps,
+    /// preserving order.
+    pub fn into_batches(self, batch: usize) -> Vec<Vec<Step>> {
+        assert!(batch > 0, "batch size must be positive");
+        let mut out = Vec::new();
+        let mut it = self.steps.into_iter().peekable();
+        while it.peek().is_some() {
+            out.push(it.by_ref().take(batch).collect());
+        }
+        out
+    }
+
+    /// Flow keys, in flow-index order.
+    pub fn keys(&self) -> &[FlowKey] {
+        &self.keys
+    }
+
+    /// Steps scripted per connection.
+    pub fn steps_per_flow(&self) -> usize {
+        self.steps_per_flow
+    }
+}
+
+fn raw(src: Ipv4Addr, dst: Ipv4Addr, seg: TcpSegment) -> AddressedSegment {
+    AddressedSegment::new(src, dst, seg.encode(src, dst).to_vec())
+}
+
+/// Builds a segment as the secondary bridge would divert it to the
+/// primary: source rewritten metadata via the ORIG_DEST option, the
+/// checksum patched for the primary's pseudo-header.
+fn diverted(net: ManyFlowNet, client: SocketAddr, seg: TcpSegment) -> AddressedSegment {
+    let bytes = seg.encode(net.a_s, client.ip).to_vec();
+    let mut p = SegmentPatcher::new(bytes, net.a_s, client.ip);
+    p.push_orig_dest_option(client.ip, client.port);
+    p.set_pseudo_dst(net.a_p);
+    let (bytes, src, dst) = p.finish();
+    AddressedSegment::new(src, dst, bytes)
+}
+
+/// Deterministic payload: same for P and S (the bridge requires the
+/// replicas to produce identical byte streams), distinct per flow and
+/// round so cross-flow aliasing bugs cannot cancel out.
+fn round_payload(cfg: &ManyFlowConfig, flow: usize, round: usize) -> Bytes {
+    let mut st = cfg
+        .seed
+        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+        .wrapping_add((flow as u64) << 20)
+        .wrapping_add(round as u64);
+    let mut bytes = Vec::with_capacity(cfg.payload);
+    while bytes.len() < cfg.payload {
+        bytes.extend_from_slice(&splitmix(&mut st).to_le_bytes());
+    }
+    bytes.truncate(cfg.payload);
+    Bytes::from(bytes)
+}
+
+/// Scripts one connection: handshake, `rounds` data exchanges, and —
+/// when configured — a full bidirectional close.
+fn script_flow(cfg: &ManyFlowConfig, net: ManyFlowNet, plan: FlowPlan, index: usize) -> Vec<Step> {
+    let FlowPlan {
+        client,
+        iss_c,
+        iss_p,
+        iss_s,
+    } = plan;
+    let mut steps = Vec::new();
+    let seg_to = |dst_port: u16| TcpSegment::builder(SERVER_PORT, dst_port);
+
+    // --- Handshake -------------------------------------------------
+    steps.push((
+        BatchDir::Inbound,
+        raw(
+            client.ip,
+            net.a_p,
+            TcpSegment::builder(client.port, SERVER_PORT)
+                .seq(iss_c)
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(60_000)
+                .build(),
+        ),
+    ));
+    steps.push((
+        BatchDir::Outbound,
+        raw(
+            net.a_p,
+            client.ip,
+            seg_to(client.port)
+                .seq(iss_p)
+                .ack(iss_c.wrapping_add(1))
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(50_000)
+                .build(),
+        ),
+    ));
+    steps.push((
+        BatchDir::Inbound,
+        diverted(
+            net,
+            client,
+            seg_to(client.port)
+                .seq(iss_s)
+                .ack(iss_c.wrapping_add(1))
+                .flags(TcpFlags::SYN)
+                .mss(1460)
+                .window(40_000)
+                .build(),
+        ),
+    ));
+
+    // --- Data rounds (server → client, replicas in lockstep) -------
+    let mut sent = 0u32;
+    for round in 0..cfg.rounds {
+        let payload = round_payload(cfg, index, round);
+        let len = payload.len() as u32;
+        steps.push((
+            BatchDir::Outbound,
+            raw(
+                net.a_p,
+                client.ip,
+                seg_to(client.port)
+                    .seq(iss_p.wrapping_add(1).wrapping_add(sent))
+                    .ack(iss_c.wrapping_add(1))
+                    .window(50_000)
+                    .payload(payload.clone())
+                    .build(),
+            ),
+        ));
+        steps.push((
+            BatchDir::Inbound,
+            diverted(
+                net,
+                client,
+                seg_to(client.port)
+                    .seq(iss_s.wrapping_add(1).wrapping_add(sent))
+                    .ack(iss_c.wrapping_add(1))
+                    .window(40_000)
+                    .payload(payload)
+                    .build(),
+            ),
+        ));
+        sent = sent.wrapping_add(len);
+        // Client ACKs the merged release (client speaks S space).
+        steps.push((
+            BatchDir::Inbound,
+            raw(
+                client.ip,
+                net.a_p,
+                TcpSegment::builder(client.port, SERVER_PORT)
+                    .seq(iss_c.wrapping_add(1))
+                    .ack(iss_s.wrapping_add(1).wrapping_add(sent))
+                    .flags(TcpFlags::ACK)
+                    .window(60_000)
+                    .build(),
+            ),
+        ));
+    }
+
+    if !cfg.close {
+        return steps;
+    }
+
+    // --- §8 teardown ----------------------------------------------
+    // Client closes first; both replicas ACK past the FIN, then FIN
+    // themselves; the client ACKs the merged FIN.
+    let client_fin_end = iss_c.wrapping_add(2);
+    steps.push((
+        BatchDir::Inbound,
+        raw(
+            client.ip,
+            net.a_p,
+            TcpSegment::builder(client.port, SERVER_PORT)
+                .seq(iss_c.wrapping_add(1))
+                .ack(iss_s.wrapping_add(1).wrapping_add(sent))
+                .flags(TcpFlags::FIN | TcpFlags::ACK)
+                .window(60_000)
+                .build(),
+        ),
+    ));
+    for replica in 0..2u32 {
+        let iss = if replica == 0 { iss_p } else { iss_s };
+        let seg = seg_to(client.port)
+            .seq(iss.wrapping_add(1).wrapping_add(sent))
+            .ack(client_fin_end)
+            .flags(TcpFlags::FIN | TcpFlags::ACK)
+            .window(if replica == 0 { 50_000 } else { 40_000 })
+            .build();
+        steps.push(if replica == 0 {
+            (BatchDir::Outbound, raw(net.a_p, client.ip, seg))
+        } else {
+            (BatchDir::Inbound, diverted(net, client, seg))
+        });
+    }
+    // Final client ACK of the merged FIN (S space, FIN takes one).
+    steps.push((
+        BatchDir::Inbound,
+        raw(
+            client.ip,
+            net.a_p,
+            TcpSegment::builder(client.port, SERVER_PORT)
+                .seq(client_fin_end)
+                .ack(iss_s.wrapping_add(2).wrapping_add(sent))
+                .flags(TcpFlags::ACK)
+                .window(60_000)
+                .build(),
+        ),
+    ));
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_distinct() {
+        let cfg = ManyFlowConfig {
+            flows: 1000,
+            offset: 0,
+            ..Default::default()
+        };
+        let w = ManyFlowWorkload::generate(&cfg, ManyFlowNet::default());
+        let mut keys = w.keys().to_vec();
+        keys.sort_by_key(|k| (k.peer.ip.octets(), k.peer.port));
+        keys.dedup();
+        assert_eq!(keys.len(), 1000, "every flow has a distinct 4-tuple");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = ManyFlowConfig {
+            flows: 7,
+            offset: 0,
+            rounds: 2,
+            payload: 64,
+            close: true,
+            seed: 42,
+        };
+        let a = ManyFlowWorkload::generate(&cfg, ManyFlowNet::default());
+        let b = ManyFlowWorkload::generate(&cfg, ManyFlowNet::default());
+        assert_eq!(a.steps().len(), b.steps().len());
+        for (x, y) in a.steps().iter().zip(b.steps()) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1.bytes, y.1.bytes);
+        }
+    }
+
+    #[test]
+    fn interleave_covers_all_flows_per_cycle() {
+        let cfg = ManyFlowConfig {
+            flows: 5,
+            offset: 0,
+            rounds: 1,
+            payload: 8,
+            close: false,
+            seed: 1,
+        };
+        let w = ManyFlowWorkload::generate(&cfg, ManyFlowNet::default());
+        assert_eq!(w.steps().len(), 5 * w.steps_per_flow());
+        // First cycle is every flow's SYN.
+        for step in &w.steps()[..5] {
+            assert_eq!(step.0, BatchDir::Inbound);
+        }
+    }
+}

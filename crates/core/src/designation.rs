@@ -10,30 +10,11 @@ use tcpfo_tcp::types::SocketAddr;
 use tcpfo_wire::ipv4::Ipv4Addr;
 
 /// A connection as the bridges key it: the replicated server's port and
-/// the unreplicated peer's endpoint. (The server's *address* is omitted
-/// on purpose — P keys with `a_p`, S with `a_s`, and the diverted
-/// segments carry a third view; the port + peer pair is invariant.)
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ConnKey {
-    /// The replicated server's TCP port (listening port, or the
-    /// deterministic ephemeral port for server-initiated connections).
-    pub server_port: u16,
-    /// The unreplicated peer (client C, or back-end server T in §7.2).
-    pub peer: SocketAddr,
-}
-
-impl ConnKey {
-    /// Creates a key.
-    pub fn new(server_port: u16, peer: SocketAddr) -> Self {
-        ConnKey { server_port, peer }
-    }
-}
-
-impl std::fmt::Display for ConnKey {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, ":{}<->{}", self.server_port, self.peer)
-    }
-}
+/// the unreplicated peer's endpoint. This is the canonical
+/// [`tcpfo_tcp::filter::FlowKey`] under its historical name — the key
+/// is parsed once at the filter boundary and used verbatim for
+/// designation, flow-table lookup and shard routing.
+pub use tcpfo_tcp::filter::FlowKey as ConnKey;
 
 /// Which connections are TCP failover connections.
 ///

@@ -1,0 +1,660 @@
+//! The sharded flow table.
+//!
+//! A [`FlowTable`] is a power-of-two number of [`Shard`]s. Each shard
+//! owns a slab of slots (index-stable, free-list recycled), a hash
+//! index from [`FlowKey`] to slot, and an intrusive LRU list threaded
+//! through the slots. All per-flow operations are O(1); iteration is
+//! in shard-index + slab-slot order, which is deterministic for a
+//! fixed event sequence (unlike `HashMap` iteration, whose order
+//! changes run to run with `std`'s seeded hasher — the previous
+//! bridge code iterated such maps during §6 degradation).
+//!
+//! Shard selection uses [`FlowKey::hash64`], a deterministic hash, so
+//! a fixed seed maps every flow to the same shard in every run and at
+//! every shard count. Shards share nothing: packet batches can fan out
+//! across shards on scoped threads.
+//!
+//! Memory is bounded: each shard holds at most `capacity / shards`
+//! flows. Inserting into a full shard evicts the least-recently-used
+//! entry ([`Evicted`] is handed back to the caller, which owns the
+//! policy — the primary bridge resets evicted live clients). The
+//! timer-driven [`Shard::gc`] reaps entries whose TTL expired per
+//! [`GcPolicy`]; §6-degraded flows are exempt from GC but not from
+//! LRU eviction.
+
+use super::lifecycle::FlowState;
+use std::collections::HashMap;
+use tcpfo_tcp::filter::FlowKey;
+
+/// Sentinel for "no slot" in the intrusive LRU links.
+const NONE: u32 = u32::MAX;
+
+/// Time-to-live policy for [`Shard::gc`], all in sim nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct GcPolicy {
+    /// How long §8 TimeWait residue is kept so late FIN
+    /// retransmissions still get re-ACKed (the paper keeps tombstones
+    /// "for some time"; we use TCP's conventional 60 s).
+    pub timewait_ttl: u64,
+    /// Idle TTL for live flows (Establishing / Replicated / Closing):
+    /// generous, because reaping a genuinely live flow breaks it. This
+    /// is a leak backstop, not a policy knob.
+    pub idle_ttl: u64,
+}
+
+impl Default for GcPolicy {
+    fn default() -> Self {
+        GcPolicy {
+            timewait_ttl: 60_000_000_000, // 60 s sim
+            idle_ttl: 3_600_000_000_000,  // 1 h sim
+        }
+    }
+}
+
+impl GcPolicy {
+    /// The TTL applying to a state; `None` means exempt (Degraded
+    /// flows live until evicted — they are still carrying traffic).
+    pub fn ttl_for(&self, state: FlowState) -> Option<u64> {
+        match state {
+            FlowState::TimeWait => Some(self.timewait_ttl),
+            FlowState::Degraded => None,
+            _ => Some(self.idle_ttl),
+        }
+    }
+}
+
+/// Construction parameters for a [`FlowTable`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlowTableConfig {
+    /// Shard count; rounded up to a power of two, minimum 1.
+    pub shards: usize,
+    /// Total capacity across all shards (each shard gets
+    /// `capacity / shards`, minimum 1).
+    pub capacity: usize,
+    /// GC policy.
+    pub gc: GcPolicy,
+}
+
+impl Default for FlowTableConfig {
+    fn default() -> Self {
+        FlowTableConfig {
+            shards: 1,
+            capacity: 65_536,
+            gc: GcPolicy::default(),
+        }
+    }
+}
+
+impl FlowTableConfig {
+    /// Config with explicit shard count and total capacity.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        FlowTableConfig {
+            shards: shards.max(1).next_power_of_two(),
+            capacity: capacity.max(1),
+            gc: GcPolicy::default(),
+        }
+    }
+
+    /// Reads `TCPFO_FLOW_SHARDS` and `TCPFO_FLOW_CAP` from the
+    /// environment, falling back to the defaults (1 shard, 65 536
+    /// flows) when unset or unparsable.
+    pub fn from_env() -> Self {
+        let parse = |name: &str, default: usize| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or(default)
+        };
+        FlowTableConfig::new(
+            parse("TCPFO_FLOW_SHARDS", 1),
+            parse("TCPFO_FLOW_CAP", 65_536),
+        )
+    }
+}
+
+/// Per-shard statistics (backpressure counters included).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Flows currently resident.
+    pub occupancy: u64,
+    /// Flows ever inserted.
+    pub inserted: u64,
+    /// Flows evicted by LRU under capacity pressure.
+    pub evicted: u64,
+    /// Flows reaped by GC (TTL expiry).
+    pub reaped: u64,
+    /// Key lookups served (hits and misses).
+    pub lookups: u64,
+}
+
+impl ShardStats {
+    /// Folds another shard's counters into this one (aggregation).
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.occupancy += other.occupancy;
+        self.inserted += other.inserted;
+        self.evicted += other.evicted;
+        self.reaped += other.reaped;
+        self.lookups += other.lookups;
+    }
+}
+
+/// A flow pushed out of the table, handed back to the caller.
+#[derive(Debug)]
+pub struct Evicted<T> {
+    /// The evicted flow's key.
+    pub key: FlowKey,
+    /// Its state at eviction time.
+    pub state: FlowState,
+    /// Its data.
+    pub data: T,
+}
+
+/// One slab slot.
+#[derive(Debug)]
+struct Slot<T> {
+    key: FlowKey,
+    state: FlowState,
+    /// Last touch (insert / mutable lookup / explicit touch), sim ns.
+    last_activity: u64,
+    /// When the current state was entered, sim ns.
+    state_since: u64,
+    /// Intrusive LRU links (slot indices; [`NONE`] terminates).
+    prev: u32,
+    next: u32,
+    data: T,
+}
+
+/// One shard: slab + hash index + LRU list + stats.
+#[derive(Debug)]
+pub struct Shard<T> {
+    slots: Vec<Option<Slot<T>>>,
+    free: Vec<u32>,
+    index: HashMap<FlowKey, u32>,
+    /// Most-recently-used slot.
+    head: u32,
+    /// Least-recently-used slot (eviction candidate).
+    tail: u32,
+    capacity: usize,
+    /// Statistics (readable by telemetry exporters).
+    pub stats: ShardStats,
+}
+
+impl<T> Shard<T> {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NONE,
+            tail: NONE,
+            capacity: capacity.max(1),
+            stats: ShardStats::default(),
+        }
+    }
+
+    /// Resident flow count.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The shard's capacity (flows).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the key is resident (does not touch the LRU).
+    pub fn contains(&self, key: &FlowKey) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// The flow's state, if resident (does not touch the LRU).
+    pub fn state(&self, key: &FlowKey) -> Option<FlowState> {
+        let &slot = self.index.get(key)?;
+        Some(self.slot(slot).state)
+    }
+
+    /// Shared access without touching the LRU (diagnostics, designation
+    /// checks).
+    pub fn peek(&self, key: &FlowKey) -> Option<&T> {
+        let &slot = self.index.get(key)?;
+        Some(&self.slot(slot).data)
+    }
+
+    /// Mutable access; touches the LRU and stamps `last_activity`.
+    pub fn get_mut(&mut self, key: &FlowKey, now: u64) -> Option<&mut T> {
+        self.stats.lookups += 1;
+        let slot = *self.index.get(key)?;
+        self.unlink(slot);
+        self.link_front(slot);
+        let s = self.slot_mut(slot);
+        s.last_activity = now;
+        Some(&mut s.data)
+    }
+
+    /// Marks the flow used without returning data.
+    pub fn touch(&mut self, key: &FlowKey, now: u64) {
+        let _ = self.get_mut(key, now);
+    }
+
+    /// Moves the flow to `state`, stamping `state_since`. No-op when
+    /// the key is absent; debug-asserts the transition is legal.
+    pub fn set_state(&mut self, key: &FlowKey, state: FlowState, now: u64) {
+        let Some(&slot) = self.index.get(key) else {
+            return;
+        };
+        let s = self.slot_mut(slot);
+        debug_assert!(
+            s.state == state || s.state.can_transition(state),
+            "illegal flow transition {} -> {} for {}",
+            s.state,
+            state,
+            key
+        );
+        if s.state != state {
+            s.state = state;
+            s.state_since = now;
+        }
+    }
+
+    /// Inserts (or replaces) a flow. At capacity, the least-recently-
+    /// used entry is evicted first and returned — the caller owns the
+    /// eviction policy (e.g. resetting the evicted flow's client).
+    pub fn insert(
+        &mut self,
+        key: FlowKey,
+        state: FlowState,
+        data: T,
+        now: u64,
+    ) -> Option<Evicted<T>> {
+        if let Some(&slot) = self.index.get(&key) {
+            // Replace in place: fresh state machine, same slot.
+            let s = self.slot_mut(slot);
+            s.state = state;
+            s.last_activity = now;
+            s.state_since = now;
+            s.data = data;
+            self.unlink(slot);
+            self.link_front(slot);
+            return None;
+        }
+        let evicted = if self.index.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NONE, "full shard must have an LRU tail");
+            self.stats.evicted += 1;
+            self.remove_slot(victim)
+        } else {
+            None
+        };
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(Slot {
+                    key,
+                    state,
+                    last_activity: now,
+                    state_since: now,
+                    prev: NONE,
+                    next: NONE,
+                    data,
+                });
+                i
+            }
+            None => {
+                self.slots.push(Some(Slot {
+                    key,
+                    state,
+                    last_activity: now,
+                    state_since: now,
+                    prev: NONE,
+                    next: NONE,
+                    data,
+                }));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index.insert(key, slot);
+        self.link_front(slot);
+        self.stats.inserted += 1;
+        self.stats.occupancy = self.index.len() as u64;
+        evicted
+    }
+
+    /// Removes a flow, returning its state and data.
+    pub fn remove(&mut self, key: &FlowKey) -> Option<(FlowState, T)> {
+        let slot = self.index.get(key).copied()?;
+        let ev = self.remove_slot(slot)?;
+        Some((ev.state, ev.data))
+    }
+
+    /// Reaps every flow whose TTL (per `policy`) has expired, invoking
+    /// `reaped` for each with the state it held before reaping.
+    pub fn gc(&mut self, now: u64, policy: &GcPolicy, reaped: &mut dyn FnMut(Evicted<T>)) {
+        for i in 0..self.slots.len() {
+            let expired = match &self.slots[i] {
+                Some(s) => match policy.ttl_for(s.state) {
+                    Some(ttl) => now.saturating_sub(s.last_activity) >= ttl,
+                    None => false,
+                },
+                None => false,
+            };
+            if expired {
+                self.stats.reaped += 1;
+                if let Some(ev) = self.remove_slot(i as u32) {
+                    reaped(ev);
+                }
+            }
+        }
+    }
+
+    /// Iterates resident flows in slab-slot order (deterministic for a
+    /// fixed event sequence — unlike `HashMap` iteration).
+    pub fn iter(&self) -> impl Iterator<Item = (FlowKey, FlowState, &T)> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|s| (s.key, s.state, &s.data)))
+    }
+
+    /// Resident keys in slab-slot order (for mutation loops that need
+    /// to detach entries one at a time).
+    pub fn keys(&self) -> Vec<FlowKey> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|s| s.key))
+            .collect()
+    }
+
+    fn slot(&self, i: u32) -> &Slot<T> {
+        self.slots[i as usize].as_ref().expect("live slot")
+    }
+
+    fn slot_mut(&mut self, i: u32) -> &mut Slot<T> {
+        self.slots[i as usize].as_mut().expect("live slot")
+    }
+
+    /// Detaches a slot from the LRU list (slot stays in the slab).
+    fn unlink(&mut self, i: u32) {
+        let (prev, next) = {
+            let s = self.slot(i);
+            (s.prev, s.next)
+        };
+        if prev != NONE {
+            self.slot_mut(prev).next = next;
+        } else if self.head == i {
+            self.head = next;
+        }
+        if next != NONE {
+            self.slot_mut(next).prev = prev;
+        } else if self.tail == i {
+            self.tail = prev;
+        }
+        let s = self.slot_mut(i);
+        s.prev = NONE;
+        s.next = NONE;
+    }
+
+    /// Pushes a detached slot to the most-recently-used end.
+    fn link_front(&mut self, i: u32) {
+        let old = self.head;
+        {
+            let s = self.slot_mut(i);
+            s.prev = NONE;
+            s.next = old;
+        }
+        if old != NONE {
+            self.slot_mut(old).prev = i;
+        }
+        self.head = i;
+        if self.tail == NONE {
+            self.tail = i;
+        }
+    }
+
+    /// Frees a slot entirely: LRU unlink, index removal, slab free.
+    fn remove_slot(&mut self, i: u32) -> Option<Evicted<T>> {
+        self.unlink(i);
+        let s = self.slots[i as usize].take()?;
+        self.index.remove(&s.key);
+        self.free.push(i);
+        self.stats.occupancy = self.index.len() as u64;
+        Some(Evicted {
+            key: s.key,
+            state: s.state,
+            data: s.data,
+        })
+    }
+}
+
+/// The sharded flow table: shard routing plus whole-table helpers.
+/// Single-key operations delegate to the owning shard; batch callers
+/// take [`FlowTable::shards_mut`] and fan out.
+#[derive(Debug)]
+pub struct FlowTable<T> {
+    shards: Vec<Shard<T>>,
+    config: FlowTableConfig,
+}
+
+impl<T> FlowTable<T> {
+    /// Builds a table per `config`.
+    pub fn new(config: FlowTableConfig) -> Self {
+        let shards = config.shards.max(1).next_power_of_two();
+        let per_shard = (config.capacity / shards).max(1);
+        FlowTable {
+            shards: (0..shards).map(|_| Shard::new(per_shard)).collect(),
+            config,
+        }
+    }
+
+    /// The construction config (shard count normalised).
+    pub fn config(&self) -> &FlowTableConfig {
+        &self.config
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a key routes to (deterministic).
+    pub fn shard_of(&self, key: &FlowKey) -> usize {
+        key.shard_of(self.shards.len())
+    }
+
+    /// A shard by index.
+    pub fn shard(&self, i: usize) -> &Shard<T> {
+        &self.shards[i]
+    }
+
+    /// All shards, for scatter–gather executors.
+    pub fn shards_mut(&mut self) -> &mut [Shard<T>] {
+        &mut self.shards
+    }
+
+    /// The shard owning `key`.
+    pub fn for_key_mut(&mut self, key: &FlowKey) -> &mut Shard<T> {
+        let i = key.shard_of(self.shards.len());
+        &mut self.shards[i]
+    }
+
+    /// Total resident flows.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    /// Whether no flows are resident.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Shard::is_empty)
+    }
+
+    /// Whether the key is resident anywhere.
+    pub fn contains(&self, key: &FlowKey) -> bool {
+        self.shards[self.shard_of(key)].contains(key)
+    }
+
+    /// See [`Shard::peek`].
+    pub fn peek(&self, key: &FlowKey) -> Option<&T> {
+        self.shards[self.shard_of(key)].peek(key)
+    }
+
+    /// See [`Shard::state`].
+    pub fn state(&self, key: &FlowKey) -> Option<FlowState> {
+        self.shards[self.shard_of(key)].state(key)
+    }
+
+    /// See [`Shard::get_mut`].
+    pub fn get_mut(&mut self, key: &FlowKey, now: u64) -> Option<&mut T> {
+        self.for_key_mut(key).get_mut(key, now)
+    }
+
+    /// See [`Shard::insert`].
+    pub fn insert(
+        &mut self,
+        key: FlowKey,
+        state: FlowState,
+        data: T,
+        now: u64,
+    ) -> Option<Evicted<T>> {
+        self.for_key_mut(&key).insert(key, state, data, now)
+    }
+
+    /// See [`Shard::remove`].
+    pub fn remove(&mut self, key: &FlowKey) -> Option<(FlowState, T)> {
+        self.for_key_mut(key).remove(key)
+    }
+
+    /// See [`Shard::set_state`].
+    pub fn set_state(&mut self, key: &FlowKey, state: FlowState, now: u64) {
+        self.for_key_mut(key).set_state(key, state, now);
+    }
+
+    /// Runs GC on every shard in shard order.
+    pub fn gc(&mut self, now: u64, reaped: &mut dyn FnMut(Evicted<T>)) {
+        let policy = self.config.gc;
+        for shard in &mut self.shards {
+            shard.gc(now, &policy, reaped);
+        }
+    }
+
+    /// Iterates all resident flows in shard-index + slab-slot order
+    /// (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = (FlowKey, FlowState, &T)> {
+        self.shards.iter().flat_map(Shard::iter)
+    }
+
+    /// Aggregated statistics across shards.
+    pub fn stats_total(&self) -> ShardStats {
+        let mut total = ShardStats::default();
+        for s in &self.shards {
+            total.merge(&s.stats);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcpfo_tcp::types::SocketAddr;
+    use tcpfo_wire::ipv4::Ipv4Addr;
+
+    fn key(n: u16) -> FlowKey {
+        FlowKey::new(80, SocketAddr::new(Ipv4Addr::new(10, 1, 0, 1), 40_000 + n))
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t = FlowTable::new(FlowTableConfig::new(4, 64));
+        assert!(t.insert(key(1), FlowState::Establishing, "a", 10).is_none());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.state(&key(1)), Some(FlowState::Establishing));
+        *t.get_mut(&key(1), 20).unwrap() = "b";
+        assert_eq!(t.peek(&key(1)), Some(&"b"));
+        assert_eq!(t.remove(&key(1)), Some((FlowState::Establishing, "b")));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        // One shard so capacity pressure is easy to stage.
+        let mut t = FlowTable::new(FlowTableConfig::new(1, 3));
+        for n in 0..3 {
+            assert!(t.insert(key(n), FlowState::Replicated, n, 0).is_none());
+        }
+        // Touch 0 so 1 becomes the LRU victim.
+        t.get_mut(&key(0), 5);
+        let ev = t.insert(key(9), FlowState::Establishing, 9, 10).unwrap();
+        assert_eq!(ev.key, key(1));
+        assert_eq!(ev.state, FlowState::Replicated);
+        assert_eq!(ev.data, 1);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.stats_total().evicted, 1);
+        assert!(t.contains(&key(0)) && t.contains(&key(2)) && t.contains(&key(9)));
+    }
+
+    #[test]
+    fn gc_reaps_timewait_after_ttl_and_spares_degraded() {
+        let mut t = FlowTable::new(FlowTableConfig::new(2, 64));
+        t.insert(key(1), FlowState::TimeWait, (), 0);
+        t.insert(key(2), FlowState::Degraded, (), 0);
+        t.insert(key(3), FlowState::Replicated, (), 0);
+        let ttl = t.config().gc.timewait_ttl;
+        let mut reaped = Vec::new();
+        t.gc(ttl - 1, &mut |ev| reaped.push(ev.key));
+        assert!(reaped.is_empty(), "nothing expires before the TTL");
+        t.gc(ttl, &mut |ev| reaped.push(ev.key));
+        assert_eq!(reaped, vec![key(1)], "only the TimeWait entry reaps");
+        assert!(t.contains(&key(2)), "degraded flows are GC-exempt");
+        assert!(t.contains(&key(3)), "live flows outlast the TimeWait TTL");
+        assert_eq!(t.stats_total().reaped, 1);
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic_and_stable() {
+        let t4 = FlowTable::<()>::new(FlowTableConfig::new(4, 64));
+        let u4 = FlowTable::<()>::new(FlowTableConfig::new(4, 64));
+        for n in 0..200 {
+            assert_eq!(t4.shard_of(&key(n)), u4.shard_of(&key(n)));
+            assert_eq!(t4.shard_of(&key(n)), key(n).shard_of(4));
+        }
+        // All shards get some traffic (hash spreads).
+        let mut seen = [false; 4];
+        for n in 0..200 {
+            seen[t4.shard_of(&key(n))] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "200 flows must hit all 4 shards");
+    }
+
+    #[test]
+    fn slab_order_iteration_is_stable() {
+        let mut t = FlowTable::new(FlowTableConfig::new(1, 16));
+        for n in 0..5 {
+            t.insert(key(n), FlowState::Replicated, n, 0);
+        }
+        t.remove(&key(2));
+        t.insert(key(7), FlowState::Replicated, 7, 1); // reuses slot 2
+        let order: Vec<u16> = t.iter().map(|(_, _, &d)| d).collect();
+        assert_eq!(order, vec![0, 1, 7, 3, 4], "slab order, freed slot reused");
+    }
+
+    #[test]
+    fn reinsert_same_key_replaces_without_eviction() {
+        let mut t = FlowTable::new(FlowTableConfig::new(1, 2));
+        t.insert(key(1), FlowState::Establishing, 1, 0);
+        t.insert(key(2), FlowState::Establishing, 2, 0);
+        assert!(t.insert(key(1), FlowState::Establishing, 10, 5).is_none());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.peek(&key(1)), Some(&10));
+    }
+
+    #[test]
+    fn config_normalises_shards_to_power_of_two() {
+        let t = FlowTable::<()>::new(FlowTableConfig::new(3, 64));
+        assert_eq!(t.shard_count(), 4);
+        let t = FlowTable::<()>::new(FlowTableConfig::new(0, 64));
+        assert_eq!(t.shard_count(), 1);
+    }
+}

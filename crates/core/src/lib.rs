@@ -18,6 +18,9 @@
 //!   original-destination option (incremental checksums throughout).
 //! * [`queues`] — the primary/secondary output queues of Figure 2.
 //! * [`designation`] — §7's two ways of marking failover connections.
+//! * [`flow`] — the sharded flow table both bridges store per-flow
+//!   state in: explicit lifecycle, capacity limits, LRU eviction,
+//!   timer-driven GC, per-shard stats.
 //! * [`detector`] — heartbeat fault detector and the §5/§6 failover
 //!   procedures (IP takeover via gratuitous ARP + TCB re-keying).
 //! * [`testbed`] — the paper's Figure-1 topology (client, router,
@@ -41,6 +44,7 @@ pub mod chain;
 pub mod chain_testbed;
 pub mod designation;
 pub mod detector;
+pub mod flow;
 pub mod primary;
 pub mod queues;
 pub mod secondary;
@@ -50,6 +54,7 @@ pub use chain::{ChainBridge, ChainController};
 pub use chain_testbed::{ChainConfig, ChainTestbed};
 pub use designation::{ConnKey, FailoverConfig};
 pub use detector::{DetectorConfig, ReplicaController, Role};
+pub use flow::{FlowKey, FlowState, FlowTable, FlowTableConfig};
 pub use primary::{ConnRow, PrimaryBridge, PrimaryMode, PrimaryStats};
 pub use secondary::{SecondaryBridge, SecondaryMode, SecondaryStats};
 pub use testbed::{SegmentKind, Testbed, TestbedConfig};

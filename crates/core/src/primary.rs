@@ -22,34 +22,57 @@
 //!   retransmissions from the secondary and the client itself;
 //! * on secondary failure (§6) flushes the primary output queue and
 //!   degrades to pass-through *while still subtracting `Δseq`*.
+//!
+//! Per-connection state lives in a sharded [`FlowTable`] (see
+//! [`crate::flow`]): bounded capacity with LRU eviction, an explicit
+//! lifecycle, and timer-driven GC that expires §8 tombstones. The
+//! per-flow logic itself runs in an [`Engine`] bound to one shard, so
+//! [`PrimaryBridge::process_batch`] can fan a packet batch out across
+//! shards on scoped threads (`tcpfo_net::ShardExecutor`) with a
+//! deterministic input-order merge.
 
 use crate::designation::{ConnKey, FailoverConfig};
+use crate::flow::{Evicted, FlowState, FlowTable, FlowTableConfig, Shard, ShardStats};
 use crate::queues::{ByteQueue, TakenBytes};
 use bytes::BytesMut;
-use std::collections::HashMap;
-use tcpfo_tcp::filter::{AddressedSegment, FailoverRule, FilterOutput, SegmentFilter, TraceId};
+use tcpfo_net::ShardExecutor;
+use tcpfo_tcp::filter::{
+    AddressedSegment, BatchDir, FailoverRule, FilterOutput, SegmentFilter, TraceId,
+};
 use tcpfo_tcp::seq::{seq_gt, seq_le, seq_min};
 use tcpfo_tcp::types::SocketAddr;
 use tcpfo_telemetry::{Counter, Gauge, InvariantAuditor, Telemetry};
 use tcpfo_wire::ipv4::Ipv4Addr;
 use tcpfo_wire::tcp::{
-    peek_orig_dest, HeaderTemplate, SegmentPatcher, TcpFlags, TcpSegment, TcpView,
+    peek_orig_dest, peek_ports, HeaderTemplate, SegmentPatcher, TcpFlags, TcpSegment, TcpView,
 };
 
-/// How long closed-connection tombstones are kept (so late FIN
-/// retransmissions still get ACKed, §8), in nanoseconds.
-const TOMBSTONE_TTL_NANOS: u64 = 60_000_000_000;
+/// How often the timer-driven flow-table GC actually sweeps (the host
+/// tick fires far more often), in sim nanoseconds.
+const GC_INTERVAL_NANOS: u64 = 1_000_000_000;
 
 /// What remains of a connection after the bridge drops its queue state.
+/// Expiry is the flow table's job now: §8 tombstones sit in
+/// [`FlowState::TimeWait`] and are reaped on the TTL; §6-degraded ones
+/// sit in [`FlowState::Degraded`] and are GC-exempt.
 #[derive(Debug, Clone, Copy)]
 struct Tombstone {
-    /// Creation time (nanoseconds; for garbage collection).
-    at: u64,
     /// The connection's `Δseq`.
     delta: u32,
     /// §6-degraded *live* connection (keep translating both directions
     /// forever) rather than a §8-closed one (only re-ACK late FINs).
     degraded: bool,
+}
+
+/// One entry in the primary's flow table: a live connection with queue
+/// state, or the residue that outlives it.
+#[derive(Debug)]
+enum PrimaryFlow {
+    /// Live connection (boxed: a [`Conn`] is two queues plus a header
+    /// template; tombstones are 8 bytes).
+    Live(Box<Conn>),
+    /// §8 or §6 residue.
+    Tomb(Tombstone),
 }
 
 /// Operating mode of the primary bridge.
@@ -92,6 +115,39 @@ pub struct PrimaryStats {
     pub fins_sent: u64,
     /// Connections fully torn down.
     pub conns_closed: u64,
+    /// Flows pushed out of the table by LRU under capacity pressure.
+    pub evicted_flows: u64,
+    /// RST segments synthesised to reset evicted live connections.
+    pub evicted_rsts: u64,
+    /// Flow entries reaped by the timer-driven GC (TTL expiry).
+    pub flows_reaped: u64,
+}
+
+impl PrimaryStats {
+    /// Folds another stats block into this one (all counters are sums,
+    /// so batch workers can accumulate privately and merge).
+    pub fn add(&mut self, o: &PrimaryStats) {
+        self.merged_segments += o.merged_segments;
+        self.merged_bytes += o.merged_bytes;
+        self.empty_acks += o.empty_acks;
+        self.retransmissions_forwarded += o.retransmissions_forwarded;
+        self.acks_translated += o.acks_translated;
+        self.late_fin_acks += o.late_fin_acks;
+        self.mismatched_bytes += o.mismatched_bytes;
+        self.drops += o.drops;
+        self.fins_sent += o.fins_sent;
+        self.conns_closed += o.conns_closed;
+        self.evicted_flows += o.evicted_flows;
+        self.evicted_rsts += o.evicted_rsts;
+        self.flows_reaped += o.flows_reaped;
+    }
+}
+
+/// Per-shard gauge handles (occupancy, LRU evictions, GC reaps).
+struct ShardGaugeSet {
+    occupancy: Gauge,
+    evicted: Gauge,
+    reaped: Gauge,
 }
 
 /// Registry handles mirroring [`PrimaryStats`] plus output-queue depth
@@ -111,8 +167,15 @@ struct PrimaryInstruments {
     drops: Counter,
     fins_sent: Counter,
     conns_closed: Counter,
+    evicted_flows: Counter,
+    evicted_rsts: Counter,
+    flows_reaped: Counter,
     pq_depth: Gauge,
     sq_depth: Gauge,
+    /// Per-shard flow-table gauges under `core.primary.flow`, created
+    /// on demand (the shard count can change via
+    /// [`PrimaryBridge::set_flow_config`]).
+    shard_gauges: Vec<ShardGaugeSet>,
     now_ns: u64,
 }
 
@@ -200,6 +263,23 @@ impl Conn {
     }
 }
 
+/// The lifecycle state a live connection's table entry should carry,
+/// derived from its merge progress (FIN positions never un-set, so this
+/// is monotone along [`FlowState::can_transition`]).
+fn state_of(conn: &Conn) -> FlowState {
+    if conn.delta.is_none() {
+        FlowState::Establishing
+    } else if conn.fin_sent
+        || conn.p_fin.is_some()
+        || conn.s_fin.is_some()
+        || conn.client_fin.is_some()
+    {
+        FlowState::Closing
+    } else {
+        FlowState::Replicated
+    }
+}
+
 /// The primary server bridge; install as the primary host's
 /// [`SegmentFilter`].
 ///
@@ -227,10 +307,9 @@ pub struct PrimaryBridge {
     divert_dst: Ipv4Addr,
     config: FailoverConfig,
     mode: PrimaryMode,
-    conns: HashMap<ConnKey, Conn>,
-    /// Tombstones: §8-closed connections (late-FIN re-ACK) and
-    /// §6-degraded live connections (Δ-adjusted pass-through).
-    closed: HashMap<ConnKey, Tombstone>,
+    /// All per-connection state: live connections and §6/§8 residue,
+    /// sharded by [`ConnKey::hash64`].
+    flows: FlowTable<PrimaryFlow>,
     /// ABLATION ONLY (defaults off): acknowledge with the primary's own
     /// ack instead of `min(ack_P, ack_S)`. Violates requirement 2 of
     /// §2 — after a primary failure the secondary may lack bytes the
@@ -248,9 +327,8 @@ pub struct PrimaryBridge {
     /// Online invariant auditor (attached via [`PrimaryBridge::set_audit`]).
     /// Detached — the default — costs one branch per filtered segment.
     audit: Option<Box<InvariantAuditor>>,
-    /// Causal trace id of the segment currently being filtered;
-    /// everything the bridge emits in response inherits it.
-    cur_trace: TraceId,
+    /// Last time the flow-table GC swept.
+    last_gc: u64,
 }
 
 /// A diagnostic snapshot of one tracked connection (for inspection
@@ -281,6 +359,9 @@ pub struct ConnRow {
 
 impl PrimaryBridge {
     /// Creates a bridge for primary `a_p` paired with secondary `a_s`.
+    /// The flow table is sized from the environment
+    /// (`TCPFO_FLOW_SHARDS`, `TCPFO_FLOW_CAP`); override with
+    /// [`PrimaryBridge::set_flow_config`].
     pub fn new(a_p: Ipv4Addr, a_s: Ipv4Addr, config: FailoverConfig) -> Self {
         PrimaryBridge {
             a_p,
@@ -288,15 +369,31 @@ impl PrimaryBridge {
             divert_dst: a_p,
             config,
             mode: PrimaryMode::Normal,
-            conns: HashMap::new(),
-            closed: HashMap::new(),
+            flows: FlowTable::new(FlowTableConfig::from_env()),
             unsafe_ack_without_min: false,
             stats: PrimaryStats::default(),
             telemetry: None,
             emit_buf: BytesMut::with_capacity(2048),
             audit: None,
-            cur_trace: TraceId::NONE,
+            last_gc: 0,
         }
+    }
+
+    /// Rebuilds the flow table with a new shard count / capacity,
+    /// migrating every resident entry. Entries that no longer fit are
+    /// dropped and counted as evictions.
+    pub fn set_flow_config(&mut self, config: FlowTableConfig) {
+        let mut table = FlowTable::new(config);
+        for shard in self.flows.shards_mut() {
+            for key in shard.keys() {
+                if let Some((st, data)) = shard.remove(&key) {
+                    if table.insert(key, st, data, 0).is_some() {
+                        self.stats.evicted_flows += 1;
+                    }
+                }
+            }
+        }
+        self.flows = table;
     }
 
     /// Attaches (or detaches) the online invariant auditor. When
@@ -320,27 +417,30 @@ impl PrimaryBridge {
     /// Diagnostic rows for every tracked connection, in no particular
     /// order (inspection tools sort).
     pub fn connection_rows(&self) -> Vec<ConnRow> {
-        self.conns
-            .values()
-            .map(|c| ConnRow {
-                client: c.client,
-                server_port: c.server_port,
-                delta: c.delta,
-                mss: c.mss,
-                send_next: c.send_next,
-                pq_bytes: c.pq.len(),
-                sq_bytes: c.sq.len(),
-                min_ack: c.min_ack(),
-                min_win: c.min_win(),
-                fin_sent: c.fin_sent,
+        self.flows
+            .iter()
+            .filter_map(|(_, _, f)| match f {
+                PrimaryFlow::Live(c) => Some(ConnRow {
+                    client: c.client,
+                    server_port: c.server_port,
+                    delta: c.delta,
+                    mss: c.mss,
+                    send_next: c.send_next,
+                    pq_bytes: c.pq.len(),
+                    sq_bytes: c.sq.len(),
+                    min_ack: c.min_ack(),
+                    min_win: c.min_win(),
+                    fin_sent: c.fin_sent,
+                }),
+                PrimaryFlow::Tomb(_) => None,
             })
             .collect()
     }
 
     /// Connects the bridge to a telemetry hub: mirrors
     /// [`PrimaryStats`] onto registry counters under `core.primary`,
-    /// tracks output-queue depths, and journals sync / empty-ACK /
-    /// retransmission / degradation events.
+    /// tracks output-queue depths and per-shard flow-table gauges, and
+    /// journals sync / empty-ACK / retransmission / degradation events.
     pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
         let scope = telemetry.registry.scope("core.primary");
         self.telemetry = Some(PrimaryInstruments {
@@ -355,37 +455,71 @@ impl PrimaryBridge {
             drops: scope.counter("drops"),
             fins_sent: scope.counter("fins_sent"),
             conns_closed: scope.counter("conns_closed"),
+            evicted_flows: scope.counter("evicted_flows"),
+            evicted_rsts: scope.counter("evicted_rsts"),
+            flows_reaped: scope.counter("flows_reaped"),
             pq_depth: scope.gauge("pq_depth"),
             sq_depth: scope.gauge("sq_depth"),
+            shard_gauges: Vec::new(),
             now_ns: 0,
         });
     }
 
-    /// Publishes [`PrimaryStats`] and the summed output-queue depths to
-    /// the registry. Runs on every filtered segment; snapshotting code
-    /// (the testbed) calls it once more so the registry is fresh even
-    /// when the last event predates the snapshot.
+    /// Publishes [`PrimaryStats`], the summed output-queue depths and
+    /// the per-shard flow-table gauges to the registry. Runs on every
+    /// filtered segment; snapshotting code (the testbed) calls it once
+    /// more so the registry is fresh even when the last event predates
+    /// the snapshot.
     pub fn sync_telemetry(&mut self, now_nanos: u64) {
-        let (pq, sq) = self.conns.values().fold((0u64, 0u64), |(p, s), c| {
-            (p + c.pq.len() as u64, s + c.sq.len() as u64)
-        });
-        let Some(t) = &mut self.telemetry else {
+        let PrimaryBridge {
+            flows,
+            stats,
+            telemetry,
+            ..
+        } = self;
+        let Some(t) = telemetry else {
             return;
         };
+        let (pq, sq) = flows
+            .iter()
+            .fold((0u64, 0u64), |(p, s), (_, _, f)| match f {
+                PrimaryFlow::Live(c) => (p + c.pq.len() as u64, s + c.sq.len() as u64),
+                PrimaryFlow::Tomb(_) => (p, s),
+            });
         t.now_ns = now_nanos;
-        t.merged_segments.set_at_least(self.stats.merged_segments);
-        t.merged_bytes.set_at_least(self.stats.merged_bytes);
-        t.empty_acks.set_at_least(self.stats.empty_acks);
+        t.merged_segments.set_at_least(stats.merged_segments);
+        t.merged_bytes.set_at_least(stats.merged_bytes);
+        t.empty_acks.set_at_least(stats.empty_acks);
         t.retransmissions_forwarded
-            .set_at_least(self.stats.retransmissions_forwarded);
-        t.acks_translated.set_at_least(self.stats.acks_translated);
-        t.late_fin_acks.set_at_least(self.stats.late_fin_acks);
-        t.mismatched_bytes.set_at_least(self.stats.mismatched_bytes);
-        t.drops.set_at_least(self.stats.drops);
-        t.fins_sent.set_at_least(self.stats.fins_sent);
-        t.conns_closed.set_at_least(self.stats.conns_closed);
+            .set_at_least(stats.retransmissions_forwarded);
+        t.acks_translated.set_at_least(stats.acks_translated);
+        t.late_fin_acks.set_at_least(stats.late_fin_acks);
+        t.mismatched_bytes.set_at_least(stats.mismatched_bytes);
+        t.drops.set_at_least(stats.drops);
+        t.fins_sent.set_at_least(stats.fins_sent);
+        t.conns_closed.set_at_least(stats.conns_closed);
+        t.evicted_flows.set_at_least(stats.evicted_flows);
+        t.evicted_rsts.set_at_least(stats.evicted_rsts);
+        t.flows_reaped.set_at_least(stats.flows_reaped);
         t.pq_depth.set_at(pq, now_nanos);
         t.sq_depth.set_at(sq, now_nanos);
+        while t.shard_gauges.len() < flows.shard_count() {
+            let i = t.shard_gauges.len();
+            let scope = t.hub.registry.scope("core.primary.flow");
+            t.shard_gauges.push(ShardGaugeSet {
+                occupancy: scope.gauge(&format!("shard{i}.occupancy")),
+                evicted: scope.gauge(&format!("shard{i}.evicted")),
+                reaped: scope.gauge(&format!("shard{i}.reaps")),
+            });
+        }
+        for (i, g) in t.shard_gauges.iter().enumerate() {
+            if i < flows.shard_count() {
+                let s = flows.shard(i).stats;
+                g.occupancy.set_at(s.occupancy, now_nanos);
+                g.evicted.set_at(s.evicted, now_nanos);
+                g.reaped.set_at(s.reaped, now_nanos);
+            }
+        }
     }
 
     /// Stamps the sim time of the segment currently being filtered, so
@@ -396,13 +530,6 @@ impl PrimaryBridge {
         if let Some(t) = &mut self.telemetry {
             t.now_ns = now_nanos;
         }
-    }
-
-    /// Whether journal events are recorded — call sites gate on this so
-    /// the hot path never formats event fields that would be thrown
-    /// away.
-    fn journal_on(&self) -> bool {
-        self.telemetry.is_some()
     }
 
     /// Appends an event to the journal, stamped with the sim time of
@@ -432,26 +559,65 @@ impl PrimaryBridge {
         self.a_s = addr;
     }
 
-    /// Number of tracked failover connections.
+    /// Number of tracked *live* failover connections (excludes §6/§8
+    /// residue; see [`PrimaryBridge::flow_count`] for the total).
     pub fn conn_count(&self) -> usize {
-        self.conns.len()
+        self.flows.iter().filter(|(_, st, _)| st.is_live()).count()
+    }
+
+    /// Total flow-table entries: live connections plus tombstones.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Aggregated flow-table statistics across all shards.
+    pub fn flow_stats(&self) -> ShardStats {
+        self.flows.stats_total()
+    }
+
+    /// The lifecycle state of one flow, if resident (live or tombstone).
+    pub fn flow_state(&self, key: &ConnKey) -> Option<FlowState> {
+        self.flows.state(key)
+    }
+
+    /// Whether the flow table holds any entry (live or tombstone) for
+    /// `key`.
+    pub fn flows_contain(&self, key: &ConnKey) -> bool {
+        self.flows.contains(key)
+    }
+
+    /// Number of flow-table shards (a power of two).
+    pub fn flow_shard_count(&self) -> usize {
+        self.flows.shard_count()
     }
 
     /// §6: the fault detector reports the secondary dead. Flushes every
     /// primary output queue to the client and degrades to Δ-adjusted
     /// pass-through. The returned output must be dispatched by the
     /// caller (the host controller).
+    ///
+    /// Connections are processed in shard + slab-slot order — a fixed,
+    /// reproducible order (the old `HashMap` iteration here was the one
+    /// run-to-run nondeterminism in the bridge).
     pub fn secondary_failed(&mut self, now_nanos: u64) -> FilterOutput {
         self.sync_telemetry(now_nanos);
         if let Some(a) = &mut self.audit {
             a.note_degraded(now_nanos);
         }
-        self.journal("degraded", &[("live_conns", self.conns.len().to_string())]);
+        let live: Vec<ConnKey> = self
+            .flows
+            .iter()
+            .filter(|(_, st, _)| st.is_live())
+            .map(|(k, _, _)| k)
+            .collect();
+        self.journal("degraded", &[("live_conns", live.len().to_string())]);
         let mut out = FilterOutput::empty();
         self.mode = PrimaryMode::SecondaryFailed;
-        let mut finished = Vec::new();
-        for (key, conn) in self.conns.iter_mut() {
-            if conn.delta.is_none() {
+        for key in live {
+            let Some((_, PrimaryFlow::Live(mut conn))) = self.flows.remove(&key) else {
+                continue;
+            };
+            let Some(delta) = conn.delta else {
                 // Handshake never completed against the secondary:
                 // release the held SYN unmodified; the connection
                 // continues as a plain TCP connection.
@@ -460,67 +626,59 @@ impl PrimaryBridge {
                     out.to_wire
                         .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
                 }
-                finished.push((*key, 0u32, false));
-                continue;
-            }
-            // Step 1: remove all payload data from the primary output
-            // queue and send it to the client (respecting the MSS).
-            let Some(ack) = conn.ack_p else {
-                finished.push((*key, conn.delta.unwrap_or(0), true));
                 continue;
             };
-            loop {
-                let avail = conn.pq.contiguous_from(conn.send_next);
-                if avail == 0 {
-                    break;
+            // Step 1: remove all payload data from the primary output
+            // queue and send it to the client (respecting the MSS).
+            if let Some(ack) = conn.ack_p {
+                loop {
+                    let avail = conn.pq.contiguous_from(conn.send_next);
+                    if avail == 0 {
+                        break;
+                    }
+                    let n = avail.min(usize::from(conn.mss));
+                    let payload = conn.pq.take(conn.send_next, n);
+                    let seg = TcpSegment::builder(conn.server_port, conn.client.port)
+                        .seq(conn.send_next)
+                        .ack(ack)
+                        .window(conn.win_p)
+                        .flags(TcpFlags::PSH)
+                        .payload(payload.into_contiguous())
+                        .build();
+                    let bytes = seg.encode(self.a_p, conn.client.ip);
+                    out.to_wire
+                        .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
+                    conn.send_next = conn.send_next.wrapping_add(n as u32);
+                    self.stats.merged_segments += 1;
+                    self.stats.merged_bytes += n as u64;
                 }
-                let n = avail.min(usize::from(conn.mss));
-                let payload = conn.pq.take(conn.send_next, n);
-                let seg = TcpSegment::builder(conn.server_port, conn.client.port)
-                    .seq(conn.send_next)
-                    .ack(ack)
-                    .window(conn.win_p)
-                    .flags(TcpFlags::PSH)
-                    .payload(payload.into_contiguous())
-                    .build();
-                let bytes = seg.encode(self.a_p, conn.client.ip);
-                out.to_wire
-                    .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
-                conn.send_next = conn.send_next.wrapping_add(n as u32);
-                self.stats.merged_segments += 1;
-                self.stats.merged_bytes += n as u64;
+                if !conn.fin_sent && conn.p_fin == Some(conn.send_next) {
+                    let seg = TcpSegment::builder(conn.server_port, conn.client.port)
+                        .seq(conn.send_next)
+                        .ack(ack)
+                        .window(conn.win_p)
+                        .flags(TcpFlags::FIN)
+                        .build();
+                    let bytes = seg.encode(self.a_p, conn.client.ip);
+                    out.to_wire
+                        .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
+                    conn.fin_sent = true;
+                    conn.send_next = conn.send_next.wrapping_add(1);
+                    self.stats.fins_sent += 1;
+                }
             }
-            if !conn.fin_sent && conn.p_fin == Some(conn.send_next) {
-                let seg = TcpSegment::builder(conn.server_port, conn.client.port)
-                    .seq(conn.send_next)
-                    .ack(ack)
-                    .window(conn.win_p)
-                    .flags(TcpFlags::FIN)
-                    .build();
-                let bytes = seg.encode(self.a_p, conn.client.ip);
-                out.to_wire
-                    .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes));
-                conn.fin_sent = true;
-                conn.send_next = conn.send_next.wrapping_add(1);
-                self.stats.fins_sent += 1;
-            }
-            finished.push((*key, conn.delta.unwrap_or(0), true));
-        }
-        // Steps 2–3: replace per-connection queue state with the
-        // degraded pass-through tombstone that keeps subtracting Δseq
-        // forever (degraded tombstones are never pruned).
-        for (key, delta, keep) in finished {
-            self.conns.remove(&key);
-            if keep {
-                self.closed.insert(
-                    key,
-                    Tombstone {
-                        at: now_nanos,
-                        delta,
-                        degraded: true,
-                    },
-                );
-            }
+            // Steps 2–3: replace the queue state with the degraded
+            // pass-through tombstone that keeps subtracting Δseq
+            // forever (degraded tombstones are GC-exempt).
+            self.flows.insert(
+                key,
+                FlowState::Degraded,
+                PrimaryFlow::Tomb(Tombstone {
+                    delta,
+                    degraded: true,
+                }),
+                now_nanos,
+            );
         }
         self.sync_telemetry(now_nanos);
         out
@@ -541,15 +699,390 @@ impl PrimaryBridge {
         self.journal("reintegrated", &[]);
     }
 
+    /// Timer-driven flow GC: expires §8 TimeWait tombstones after their
+    /// TTL and reaps long-idle live flows (a leak backstop). Runs at
+    /// most once per [`GC_INTERVAL_NANOS`] of sim time.
+    fn gc_flows(&mut self, now_nanos: u64) {
+        if now_nanos.saturating_sub(self.last_gc) < GC_INTERVAL_NANOS {
+            return;
+        }
+        self.last_gc = now_nanos;
+        let PrimaryBridge { flows, stats, .. } = self;
+        flows.gc(now_nanos, &mut |_ev| {
+            stats.flows_reaped += 1;
+        });
+    }
+
     // ---------------------------------------------------------------
-    // Helpers
+    // Shard routing and the batch entry point
+    // ---------------------------------------------------------------
+
+    /// Shard an outbound (our TCP layer → wire) segment belongs to.
+    /// Unparseable segments route to shard 0; they pass through
+    /// untouched, so the choice only needs to be deterministic.
+    fn route_outbound(&self, seg: &AddressedSegment) -> usize {
+        ConnKey::of_egress(seg).map_or(0, |k| self.flows.shard_of(&k))
+    }
+
+    /// Shard an inbound (wire → our TCP layer) segment belongs to.
+    /// Diverted secondary output is keyed by the original destination
+    /// carried in its option, exactly as the datapath will key it.
+    fn route_inbound(&self, seg: &AddressedSegment) -> usize {
+        if seg.src == self.a_s && seg.dst == self.divert_dst {
+            if let (Some((orig_ip, orig_port)), Some((src_port, _))) =
+                (peek_orig_dest(&seg.bytes), peek_ports(&seg.bytes))
+            {
+                let key = ConnKey::new(src_port, SocketAddr::new(orig_ip, orig_port));
+                return self.flows.shard_of(&key);
+            }
+        }
+        ConnKey::of_ingress(seg).map_or(0, |k| self.flows.shard_of(&k))
+    }
+
+    /// Builds a per-shard engine borrowing this bridge's state. The
+    /// engine's shard reference is a *field-path* borrow of `flows`, so
+    /// `stats` / `emit_buf` stay independently borrowable inside it.
+    fn engine(&mut self, shard: usize, trace: TraceId, now_nanos: u64) -> Engine<'_> {
+        let PrimaryBridge {
+            a_p,
+            a_s,
+            divert_dst,
+            mode,
+            unsafe_ack_without_min,
+            config,
+            flows,
+            stats,
+            emit_buf,
+            telemetry,
+            ..
+        } = self;
+        Engine {
+            a_p: *a_p,
+            a_s: *a_s,
+            divert_dst: *divert_dst,
+            mode: *mode,
+            unsafe_ack: *unsafe_ack_without_min,
+            now: now_nanos,
+            trace,
+            config: &*config,
+            shard: &mut flows.shards_mut()[shard],
+            stats,
+            emit_buf,
+            instruments: telemetry.as_ref(),
+        }
+    }
+
+    /// The outbound datapath. The [`SegmentFilter::on_outbound_into`]
+    /// implementation wraps this with the (optional) audit observation.
+    fn outbound_inner(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
+        self.stamp_now(now_nanos);
+        let si = self.route_outbound(&seg);
+        self.engine(si, seg.trace, now_nanos).outbound(seg, out);
+    }
+
+    /// The inbound datapath. The [`SegmentFilter::on_inbound_into`]
+    /// implementation wraps this with the (optional) audit observation.
+    fn inbound_inner(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
+        self.stamp_now(now_nanos);
+        let si = self.route_inbound(&seg);
+        self.engine(si, seg.trace, now_nanos).inbound(seg, out);
+    }
+
+    /// Filters a whole batch, fanning items across flow-table shards on
+    /// `exec`'s threads. Returns one [`FilterOutput`] per input, **in
+    /// input order** — together with the shard-local independence of
+    /// per-flow state this makes the result byte-identical to filtering
+    /// the batch one segment at a time, at any thread or shard count
+    /// (`tests/shard_determinism.rs` proves it).
+    ///
+    /// Falls back to the sequential path when the auditor or telemetry
+    /// is attached (both observe cross-flow order) or the executor is
+    /// inline.
+    pub fn process_batch(
+        &mut self,
+        batch: Vec<(BatchDir, AddressedSegment)>,
+        now_nanos: u64,
+        exec: &ShardExecutor,
+    ) -> Vec<FilterOutput> {
+        if self.audit.is_some() || self.telemetry.is_some() || exec.threads() <= 1 {
+            return batch
+                .into_iter()
+                .map(|(dir, seg)| {
+                    let mut out = FilterOutput::empty();
+                    match dir {
+                        BatchDir::Outbound => self.on_outbound_into(seg, now_nanos, &mut out),
+                        BatchDir::Inbound => self.on_inbound_into(seg, now_nanos, &mut out),
+                    }
+                    out
+                })
+                .collect();
+        }
+        let items: Vec<(usize, (BatchDir, AddressedSegment))> = batch
+            .into_iter()
+            .map(|(dir, seg)| {
+                let si = match dir {
+                    BatchDir::Outbound => self.route_outbound(&seg),
+                    BatchDir::Inbound => self.route_inbound(&seg),
+                };
+                (si, (dir, seg))
+            })
+            .collect();
+        let PrimaryBridge {
+            a_p,
+            a_s,
+            divert_dst,
+            mode,
+            unsafe_ack_without_min,
+            config,
+            flows,
+            ..
+        } = self;
+        let (a_p, a_s, divert_dst, mode, unsafe_ack) =
+            (*a_p, *a_s, *divert_dst, *mode, *unsafe_ack_without_min);
+        let config: &FailoverConfig = config;
+        // Each worker accumulates stats privately and hands the block
+        // back on its bucket's last item; the fold below sums them.
+        // All counters are sums, so the merged total is independent of
+        // thread scheduling.
+        type Produced = (FilterOutput, Option<PrimaryStats>);
+        let results: Vec<Produced> = exec.run(flows.shards_mut(), items, &|_si, shard, inputs| {
+            let mut stats = PrimaryStats::default();
+            let mut emit_buf = BytesMut::with_capacity(2048);
+            let n = inputs.len();
+            inputs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (dir, seg))| {
+                    let mut out = FilterOutput::empty();
+                    {
+                        let mut eng = Engine {
+                            a_p,
+                            a_s,
+                            divert_dst,
+                            mode,
+                            unsafe_ack,
+                            now: now_nanos,
+                            trace: seg.trace,
+                            config,
+                            shard: &mut *shard,
+                            stats: &mut stats,
+                            emit_buf: &mut emit_buf,
+                            instruments: None,
+                        };
+                        match dir {
+                            BatchDir::Outbound => eng.outbound(seg, &mut out),
+                            BatchDir::Inbound => eng.inbound(seg, &mut out),
+                        }
+                    }
+                    let s = if i + 1 == n {
+                        Some(stats.clone())
+                    } else {
+                        None
+                    };
+                    (out, s)
+                })
+                .collect()
+        });
+        let mut outs = Vec::with_capacity(results.len());
+        for (out, s) in results {
+            if let Some(s) = s {
+                self.stats.add(&s);
+            }
+            outs.push(out);
+        }
+        outs
+    }
+
+    // ---------------------------------------------------------------
+    // Audit shadowing
+    // ---------------------------------------------------------------
+
+    /// Pre-step audit observation for an outbound segment: mirrors the
+    /// inner designation check so only segments the bridge will treat
+    /// as primary replica output are shadowed.
+    fn audit_outbound_observe(&self, aud: &mut InvariantAuditor, seg: &AddressedSegment) {
+        let Ok(parsed) = TcpView::new(&seg.bytes) else {
+            return;
+        };
+        let (src_port, dst_port) = (parsed.src_port(), parsed.dst_port());
+        let key = ConnKey::new(src_port, SocketAddr::new(seg.dst, dst_port));
+        let designated =
+            self.config.matches(src_port, seg.dst, dst_port) || self.flows.contains(&key);
+        let degraded_tomb =
+            matches!(self.flows.peek(&key), Some(PrimaryFlow::Tomb(t)) if t.degraded);
+        if designated && seg.dst != self.a_s && !degraded_tomb && self.mode == PrimaryMode::Normal {
+            aud.note_primary_out(seg.src, seg.dst, &seg.bytes, seg.trace);
+        }
+    }
+
+    /// Pre-step audit observation for an inbound segment: diverted
+    /// secondary output or (designated) client ingress.
+    fn audit_inbound_observe(&self, aud: &mut InvariantAuditor, seg: &AddressedSegment) {
+        if seg.src == self.a_s && seg.dst == self.divert_dst && peek_orig_dest(&seg.bytes).is_some()
+        {
+            aud.note_secondary_diverted(seg.src, seg.dst, &seg.bytes, seg.trace);
+            return;
+        }
+        if seg.dst != self.a_p {
+            return;
+        }
+        let Ok(parsed) = TcpView::new(&seg.bytes) else {
+            return;
+        };
+        let (src_port, dst_port) = (parsed.src_port(), parsed.dst_port());
+        let key = ConnKey::new(dst_port, SocketAddr::new(seg.src, src_port));
+        let designated =
+            self.config.matches(dst_port, seg.src, src_port) || self.flows.contains(&key);
+        aud.note_client_ingress(seg.src, seg.dst, &seg.bytes, seg.trace, designated);
+    }
+
+    /// Post-step audit scan of everything the inner datapath appended
+    /// to `out`: client-bound wire segments are releases, segments back
+    /// toward the secondary are noted, deliver-ups are checked for the
+    /// `+Δseq` ack translation.
+    fn audit_scan(&self, aud: &mut InvariantAuditor, out: &FilterOutput, w0: usize, t0: usize) {
+        for s in &out.to_wire[w0..] {
+            if s.dst == self.a_s {
+                aud.note_other_egress(s.src, s.dst, &s.bytes, s.trace);
+            } else {
+                aud.check_release(s.src, s.dst, &s.bytes, s.trace);
+            }
+        }
+        for s in &out.to_tcp[t0..] {
+            aud.check_deliver_up(s.src, s.dst, &s.bytes, s.trace);
+        }
+    }
+}
+
+/// The per-flow datapath, bound to one flow-table shard.
+///
+/// Scalars are copied out of the bridge and the mutable pieces are held
+/// as *separate* references, so the borrow checker can see that a flow
+/// borrowed out of `shard` never aliases `stats` or `emit_buf`. That is
+/// what lets [`PrimaryBridge::process_batch`] run one engine per shard
+/// on scoped threads: an engine only ever touches its own shard plus
+/// thread-local stats and scratch.
+struct Engine<'a> {
+    a_p: Ipv4Addr,
+    a_s: Ipv4Addr,
+    divert_dst: Ipv4Addr,
+    mode: PrimaryMode,
+    unsafe_ack: bool,
+    /// Sim time of the segment being filtered.
+    now: u64,
+    /// Causal trace of the segment being filtered.
+    trace: TraceId,
+    config: &'a FailoverConfig,
+    shard: &'a mut Shard<PrimaryFlow>,
+    stats: &'a mut PrimaryStats,
+    emit_buf: &'a mut BytesMut,
+    /// `None` on parallel workers — journal events only flow on the
+    /// sequential path, where cross-flow order is meaningful.
+    instruments: Option<&'a PrimaryInstruments>,
+}
+
+impl Engine<'_> {
+    fn journal_on(&self) -> bool {
+        self.instruments.is_some()
+    }
+
+    fn journal(&self, kind: &str, fields: &[(&str, String)]) {
+        if let Some(t) = self.instruments {
+            t.hub.journal.record(self.now, "core.primary", kind, fields);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Flow-table access
+    // ---------------------------------------------------------------
+
+    /// The tombstone for `key`, if its entry is residue.
+    fn tomb(&self, key: &ConnKey) -> Option<Tombstone> {
+        match self.shard.peek(key) {
+            Some(PrimaryFlow::Tomb(t)) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Whether `key` is a live (queue-carrying) connection.
+    fn is_live(&self, key: &ConnKey) -> bool {
+        self.shard.state(key).is_some_and(FlowState::is_live)
+    }
+
+    /// Detaches a live connection for owned mutation; pair with
+    /// [`Engine::put_live`].
+    fn take_live(&mut self, key: &ConnKey) -> Option<Box<Conn>> {
+        if !self.is_live(key) {
+            return None;
+        }
+        match self.shard.remove(key) {
+            Some((_, PrimaryFlow::Live(c))) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Reattaches a live connection, deriving its lifecycle state from
+    /// its merge progress. Routes any capacity eviction to
+    /// [`Engine::on_evicted`].
+    fn put_live(&mut self, key: ConnKey, conn: Box<Conn>, out: &mut FilterOutput) {
+        let st = state_of(&conn);
+        if let Some(ev) = self
+            .shard
+            .insert(key, st, PrimaryFlow::Live(conn), self.now)
+        {
+            self.on_evicted(ev, out);
+        }
+    }
+
+    /// Inserts residue (a §6 or §8 tombstone).
+    fn put_tomb(&mut self, key: ConnKey, st: FlowState, tomb: Tombstone, out: &mut FilterOutput) {
+        if let Some(ev) = self
+            .shard
+            .insert(key, st, PrimaryFlow::Tomb(tomb), self.now)
+        {
+            self.on_evicted(ev, out);
+        }
+    }
+
+    /// Capacity-pressure eviction: the table pushed out its LRU entry
+    /// to make room. An established live connection cannot silently
+    /// vanish — its client would retransmit into a black hole forever —
+    /// so it is reset with an RST in the client-facing sequence space.
+    fn on_evicted(&mut self, ev: Evicted<PrimaryFlow>, out: &mut FilterOutput) {
+        self.stats.evicted_flows += 1;
+        if self.journal_on() {
+            self.journal(
+                "flow_evicted",
+                &[
+                    ("flow", ev.key.to_string()),
+                    ("state", ev.state.to_string()),
+                ],
+            );
+        }
+        if let PrimaryFlow::Live(conn) = ev.data {
+            if conn.delta.is_some() {
+                let seg = TcpSegment::builder(conn.server_port, conn.client.port)
+                    .seq(conn.send_next)
+                    .flags(TcpFlags::RST)
+                    .build();
+                let bytes = seg.encode(self.a_p, conn.client.ip);
+                out.to_wire.push(
+                    AddressedSegment::new(self.a_p, conn.client.ip, bytes).traced(self.trace),
+                );
+                self.stats.evicted_rsts += 1;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Emission helpers
     // ---------------------------------------------------------------
 
     /// The acknowledgment to stamp on client-facing segments:
     /// `min(ack_P, ack_S)` — or, under the ablation flag, the unsafe
     /// primary-only acknowledgment.
     fn client_ack(&self, conn: &Conn) -> Option<u32> {
-        if self.unsafe_ack_without_min {
+        if self.unsafe_ack {
             conn.ack_p.or(conn.ack_s)
         } else {
             conn.min_ack()
@@ -567,7 +1100,7 @@ impl PrimaryBridge {
         }
         let bytes = seg.encode(self.a_p, conn.client.ip);
         out.to_wire
-            .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes).traced(self.cur_trace));
+            .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes).traced(self.trace));
     }
 
     /// Hot-path emitter: patches the connection's prebuilt header
@@ -575,14 +1108,14 @@ impl PrimaryBridge {
     /// full checksum pass (callers supply the payload's cached sum when
     /// they have one).
     #[allow(clippy::too_many_arguments)]
-    fn emit_hot<'a>(
+    fn emit_hot<'p>(
         &mut self,
         conn: &mut Conn,
         seq: u32,
         ack: Option<u32>,
         mut flags: TcpFlags,
         window: u16,
-        parts: impl Iterator<Item = &'a [u8]> + Clone,
+        parts: impl Iterator<Item = &'p [u8]> + Clone,
         payload_len: usize,
         payload_sum: Option<u32>,
         out: &mut FilterOutput,
@@ -599,7 +1132,7 @@ impl PrimaryBridge {
             None => 0,
         };
         let bytes = conn.tmpl.emit_parts(
-            &mut self.emit_buf,
+            self.emit_buf,
             seq,
             ack_val,
             flags,
@@ -609,11 +1142,11 @@ impl PrimaryBridge {
             payload_sum,
         );
         out.to_wire
-            .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes).traced(self.cur_trace));
+            .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes).traced(self.trace));
     }
 
-    /// [`PrimaryBridge::emit_hot`] for a rope release: the payload is
-    /// the [`TakenBytes`] chain straight out of the output queues,
+    /// [`Engine::emit_hot`] for a rope release: the payload is the
+    /// [`TakenBytes`] chain straight out of the output queues,
     /// checksummed from its cached sum.
     #[allow(clippy::too_many_arguments)]
     fn emit_release(
@@ -639,8 +1172,8 @@ impl PrimaryBridge {
         );
     }
 
-    /// [`PrimaryBridge::emit_hot`] for an empty segment (bare ACKs,
-    /// merged FINs, translated RSTs).
+    /// [`Engine::emit_hot`] for an empty segment (bare ACKs, merged
+    /// FINs, translated RSTs).
     fn emit_empty(
         &mut self,
         conn: &mut Conn,
@@ -663,10 +1196,14 @@ impl PrimaryBridge {
         );
     }
 
+    // ---------------------------------------------------------------
+    // The merge datapath
+    // ---------------------------------------------------------------
+
     /// Releases everything both replicas agree on (§3.4 Figure 2), then
     /// the merged FIN, then a bare ACK if the minimum advanced.
     fn try_merge(&mut self, key: ConnKey, out: &mut FilterOutput) {
-        let Some(mut conn) = self.conns.remove(&key) else {
+        let Some(mut conn) = self.take_live(&key) else {
             return;
         };
         loop {
@@ -726,13 +1263,13 @@ impl PrimaryBridge {
                 self.emit_empty(&mut conn, seq, Some(m), TcpFlags::EMPTY, win, out);
             }
         }
-        self.conns.insert(key, conn);
+        self.put_live(key, conn, out);
     }
 
     /// Builds the merged SYN / SYN+ACK once both replicas' SYNs are
     /// held (§7.1, §7.2).
     fn try_merge_syn(&mut self, key: ConnKey, out: &mut FilterOutput) {
-        let Some(conn) = self.conns.get_mut(&key) else {
+        let Some(PrimaryFlow::Live(conn)) = self.shard.get_mut(&key, self.now) else {
             return;
         };
         let (Some(p), Some(s)) = (&conn.p_syn, &conn.s_syn) else {
@@ -756,7 +1293,7 @@ impl PrimaryBridge {
             conn.ack_s = Some(s.ack);
         }
         let seg = b.build();
-        let mut conn = self.conns.remove(&key).expect("conn present");
+        let mut conn = self.take_live(&key).expect("conn present");
         if self.journal_on() {
             self.journal(
                 "sync",
@@ -767,13 +1304,13 @@ impl PrimaryBridge {
             );
         }
         self.emit_to_client(&mut conn, seg, out);
-        self.conns.insert(key, conn);
+        self.put_live(key, conn, out);
     }
 
     /// Rebuilds and immediately re-sends the merged handshake segment
     /// (a replica retransmitted its SYN after the merge).
     fn resend_merged_syn(&mut self, key: ConnKey, out: &mut FilterOutput) {
-        let Some(conn) = self.conns.get_mut(&key) else {
+        let Some(PrimaryFlow::Live(conn)) = self.shard.get_mut(&key, self.now) else {
             return;
         };
         let (Some(p), Some(s)) = (&conn.p_syn, &conn.s_syn) else {
@@ -793,9 +1330,9 @@ impl PrimaryBridge {
         if self.journal_on() {
             self.journal("retransmission", &[("kind", "syn".to_string())]);
         }
-        let mut conn = self.conns.remove(&key).expect("conn present");
+        let mut conn = self.take_live(&key).expect("conn present");
         self.emit_to_client(&mut conn, seg, out);
-        self.conns.insert(key, conn);
+        self.put_live(key, conn, out);
     }
 
     /// Handles a data/FIN/ACK segment from either replica.
@@ -806,12 +1343,12 @@ impl PrimaryBridge {
         seg: &TcpSegment,
         out: &mut FilterOutput,
     ) {
-        let Some(conn) = self.conns.get_mut(&key) else {
+        if !self.is_live(&key) {
             // §8: a FIN from the secondary after state deletion is
             // ACKed directly back to the secondary.
             if replica == Replica::Secondary
                 && seg.flags.contains(TcpFlags::FIN)
-                && self.closed.contains_key(&key)
+                && self.shard.contains(&key)
             {
                 let ack_seg = TcpSegment::builder(key.peer.port, key.server_port)
                     .seq(seg.ack)
@@ -819,14 +1356,16 @@ impl PrimaryBridge {
                     .window(seg.window)
                     .build();
                 let bytes = ack_seg.encode(key.peer.ip, self.a_s);
-                out.to_wire.push(
-                    AddressedSegment::new(key.peer.ip, self.a_s, bytes).traced(self.cur_trace),
-                );
+                out.to_wire
+                    .push(AddressedSegment::new(key.peer.ip, self.a_s, bytes).traced(self.trace));
                 self.stats.late_fin_acks += 1;
                 return;
             }
             self.stats.drops += 1;
             return;
+        }
+        let Some(PrimaryFlow::Live(conn)) = self.shard.get_mut(&key, self.now) else {
+            unreachable!("live lifecycle state implies a live flow entry");
         };
         // Handshake segments.
         if seg.flags.contains(TcpFlags::SYN) {
@@ -886,7 +1425,7 @@ impl PrimaryBridge {
         }
         // RST: forward with translated sequence number and drop state.
         if seg.flags.contains(TcpFlags::RST) {
-            let mut conn = self.conns.remove(&key).expect("conn present");
+            let mut conn = self.take_live(&key).expect("conn present");
             self.emit_empty(&mut conn, seq, None, TcpFlags::RST, 0, out);
             self.stats.conns_closed += 1;
             return;
@@ -897,8 +1436,7 @@ impl PrimaryBridge {
             // §4: the bridge receives only a single copy of a
             // retransmission; do not enqueue, send immediately with the
             // current minimum ack/window.
-            let unsafe_mode = self.unsafe_ack_without_min;
-            let ack_choice = if unsafe_mode {
+            let ack_choice = if self.unsafe_ack {
                 conn.ack_p.or(conn.ack_s)
             } else {
                 conn.min_ack()
@@ -924,7 +1462,7 @@ impl PrimaryBridge {
                     ],
                 );
             }
-            let mut conn = self.conns.remove(&key).expect("conn present");
+            let mut conn = self.take_live(&key).expect("conn present");
             let win = conn.min_win();
             self.emit_hot(
                 &mut conn,
@@ -937,7 +1475,7 @@ impl PrimaryBridge {
                 None,
                 out,
             );
-            self.conns.insert(key, conn);
+            self.put_live(key, conn, out);
             return;
         }
         if !seg.payload.is_empty() {
@@ -958,7 +1496,7 @@ impl PrimaryBridge {
         // retransmit, and the client retries forever. It also carries
         // window updates and feeds the client's fast retransmit.
         if pure_ack && out.to_wire.len() == emitted_before {
-            if let Some(conn) = self.conns.get(&key) {
+            if let Some(PrimaryFlow::Live(conn)) = self.shard.peek(&key) {
                 if let Some(m) = self.client_ack(conn) {
                     // Only a *repeated* ack from one replica counts as
                     // a re-ACK; the other replica merely catching up to
@@ -972,21 +1510,22 @@ impl PrimaryBridge {
                                 &[("ack", m.to_string()), ("kind", "re_ack".to_string())],
                             );
                         }
-                        let mut conn = self.conns.remove(&key).expect("conn present");
+                        let mut conn = self.take_live(&key).expect("conn present");
                         let (seq, win) = (conn.send_next, conn.min_win());
                         self.emit_empty(&mut conn, seq, Some(m), TcpFlags::EMPTY, win, out);
-                        self.conns.insert(key, conn);
+                        self.put_live(key, conn, out);
                     }
                 }
             }
         }
-        self.maybe_teardown(key, out.to_wire.is_empty());
+        self.maybe_teardown(key);
     }
 
     /// §8: once both directions are closed and acknowledged, delete the
-    /// connection state, leaving a tombstone for late retransmissions.
-    fn maybe_teardown(&mut self, key: ConnKey, _quiet: bool) {
-        let Some(conn) = self.conns.get(&key) else {
+    /// connection state, leaving a TimeWait tombstone for late
+    /// retransmissions (reaped by the flow GC after its TTL).
+    fn maybe_teardown(&mut self, key: ConnKey) {
+        let Some(PrimaryFlow::Live(conn)) = self.shard.peek(&key) else {
             return;
         };
         let Some(delta) = conn.delta else { return };
@@ -1003,26 +1542,16 @@ impl PrimaryBridge {
             _ => false,
         };
         if server_side_done && client_side_done {
-            self.conns.remove(&key);
-            self.closed.insert(
+            self.shard.insert(
                 key,
-                Tombstone {
-                    at: 0,
+                FlowState::TimeWait,
+                PrimaryFlow::Tomb(Tombstone {
                     delta,
                     degraded: false,
-                },
+                }),
+                self.now,
             );
             self.stats.conns_closed += 1;
-        }
-    }
-
-    /// Expires §8 tombstones (called opportunistically); §6-degraded
-    /// tombstones carry live connections' `Δseq` and are kept for the
-    /// lifetime of the bridge.
-    fn gc_tombstones(&mut self, now_nanos: u64) {
-        if self.closed.len() > 1024 {
-            self.closed
-                .retain(|_, t| t.degraded || now_nanos.saturating_sub(t.at) < TOMBSTONE_TTL_NANOS);
         }
     }
 
@@ -1045,31 +1574,37 @@ impl PrimaryBridge {
             match self.mode {
                 PrimaryMode::Normal => {
                     // A fresh SYN supersedes any tombstone for the
-                    // tuple (tuple reuse across a failover epoch).
-                    self.closed.remove(&key);
-                    let a_p = self.a_p;
-                    self.conns
-                        .entry(key)
-                        .or_insert_with(|| Conn::new(a_p, key.peer, key.server_port));
+                    // tuple (tuple reuse across a failover epoch); the
+                    // insert replaces residue in place.
+                    if !self.is_live(&key) {
+                        let conn = Box::new(Conn::new(self.a_p, key.peer, key.server_port));
+                        self.put_live(key, conn, out);
+                    }
                 }
                 PrimaryMode::SecondaryFailed => {
                     // Born degraded: this connection is local-only for
                     // its whole lifetime (Δseq = 0 pass-through), even
                     // if a secondary reintegrates later.
-                    self.closed.entry(key).or_insert(Tombstone {
-                        at: 0,
-                        delta: 0,
-                        degraded: true,
-                    });
+                    if !self.shard.contains(&key) {
+                        self.put_tomb(
+                            key,
+                            FlowState::Degraded,
+                            Tombstone {
+                                delta: 0,
+                                degraded: true,
+                            },
+                            out,
+                        );
+                    }
                 }
             }
             out.to_tcp.push(raw);
             return;
         }
-        let Some(conn) = self.conns.get_mut(&key) else {
+        if !self.is_live(&key) {
             // §6-degraded live connection: translate the ack and pass
             // everything to our TCP layer, forever.
-            if let Some(t) = self.closed.get(&key) {
+            if let Some(t) = self.tomb(&key) {
                 if t.degraded {
                     if parsed.flags.contains(TcpFlags::ACK) {
                         let new_ack = parsed.ack.wrapping_add(t.delta);
@@ -1079,7 +1614,7 @@ impl PrimaryBridge {
                         let (bytes, src, dst) = patcher.finish();
                         self.stats.acks_translated += 1;
                         out.to_tcp
-                            .push(AddressedSegment::new(src, dst, bytes).traced(self.cur_trace));
+                            .push(AddressedSegment::new(src, dst, bytes).traced(self.trace));
                     } else {
                         out.to_tcp.push(raw);
                     }
@@ -1088,16 +1623,15 @@ impl PrimaryBridge {
             }
             // §8: the client retransmits its FIN after we deleted the
             // connection: ACK it ourselves.
-            if parsed.flags.contains(TcpFlags::FIN) && self.closed.contains_key(&key) {
+            if parsed.flags.contains(TcpFlags::FIN) && self.shard.contains(&key) {
                 let ack_seg = TcpSegment::builder(key.server_port, key.peer.port)
                     .seq(parsed.ack)
                     .ack(parsed.seq.wrapping_add(parsed.seq_len()))
                     .window(parsed.window)
                     .build();
                 let bytes = ack_seg.encode(self.a_p, key.peer.ip);
-                out.to_wire.push(
-                    AddressedSegment::new(self.a_p, key.peer.ip, bytes).traced(self.cur_trace),
-                );
+                out.to_wire
+                    .push(AddressedSegment::new(self.a_p, key.peer.ip, bytes).traced(self.trace));
                 self.stats.late_fin_acks += 1;
                 return;
             }
@@ -1105,6 +1639,9 @@ impl PrimaryBridge {
             // non-failover traffic that matched a port): pass through.
             out.to_tcp.push(raw);
             return;
+        }
+        let Some(PrimaryFlow::Live(conn)) = self.shard.get_mut(&key, self.now) else {
+            unreachable!("live lifecycle state implies a live flow entry");
         };
         // Track teardown progress (in S/client-facing space).
         if parsed.flags.contains(TcpFlags::ACK) {
@@ -1116,9 +1653,12 @@ impl PrimaryBridge {
         if parsed.flags.contains(TcpFlags::FIN) {
             conn.client_fin = Some(parsed.seq.wrapping_add(parsed.payload.len() as u32));
         }
+        let delta_opt = conn.delta;
+        let new_state = state_of(conn);
+        self.shard.set_state(&key, new_state, self.now);
         // Translate the acknowledgment into the primary's space.
         if parsed.flags.contains(TcpFlags::ACK) {
-            if let Some(delta) = conn.delta {
+            if let Some(delta) = delta_opt {
                 let new_ack = parsed.ack.wrapping_add(delta);
                 drop(parsed);
                 let mut patcher = SegmentPatcher::new(raw.bytes, raw.src, raw.dst);
@@ -1126,7 +1666,7 @@ impl PrimaryBridge {
                 let (bytes, src, dst) = patcher.finish();
                 self.stats.acks_translated += 1;
                 out.to_tcp
-                    .push(AddressedSegment::new(src, dst, bytes).traced(self.cur_trace));
+                    .push(AddressedSegment::new(src, dst, bytes).traced(self.trace));
             } else {
                 // An ACK cannot precede the merged SYN in a correct
                 // run; drop rather than corrupt the primary's TCB.
@@ -1135,14 +1675,15 @@ impl PrimaryBridge {
         } else {
             out.to_tcp.push(raw);
         }
-        self.maybe_teardown(key, true);
+        self.maybe_teardown(key);
     }
 
-    /// The outbound datapath. The [`SegmentFilter::on_outbound_into`]
-    /// implementation wraps this with the (optional) audit observation.
-    fn outbound_inner(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
-        self.stamp_now(now_nanos);
-        self.cur_trace = seg.trace;
+    // ---------------------------------------------------------------
+    // Direction entry points
+    // ---------------------------------------------------------------
+
+    /// The outbound datapath body (our TCP layer → wire).
+    fn outbound(&mut self, seg: AddressedSegment, out: &mut FilterOutput) {
         let Ok(parsed) = TcpSegment::decode_shared(&seg.bytes) else {
             out.to_wire.push(seg);
             return;
@@ -1152,8 +1693,7 @@ impl PrimaryBridge {
         let designated = self
             .config
             .matches(parsed.src_port, seg.dst, parsed.dst_port)
-            || self.conns.contains_key(&key)
-            || self.closed.contains_key(&key);
+            || self.shard.contains(&key);
         if !designated || seg.dst == self.a_s {
             out.to_wire.push(seg);
             return;
@@ -1161,7 +1701,7 @@ impl PrimaryBridge {
         // §6-degraded connections pass through immediately with Δseq
         // subtracted and ack/window untouched — in *any* mode (they
         // stay degraded even after a secondary reintegrates).
-        if let Some(t) = self.closed.get(&key) {
+        if let Some(t) = self.tomb(&key) {
             if t.degraded {
                 let new_seq = parsed.seq.wrapping_sub(t.delta);
                 drop(parsed);
@@ -1169,7 +1709,7 @@ impl PrimaryBridge {
                 p.set_seq(new_seq);
                 let (bytes, src, dst) = p.finish();
                 out.to_wire
-                    .push(AddressedSegment::new(src, dst, bytes).traced(self.cur_trace));
+                    .push(AddressedSegment::new(src, dst, bytes).traced(self.trace));
                 return;
             }
         }
@@ -1177,12 +1717,19 @@ impl PrimaryBridge {
             PrimaryMode::SecondaryFailed => {
                 // Server-initiated opens while degraded are local-only
                 // for their lifetime, like client opens (see above).
-                if parsed.flags.contains(TcpFlags::SYN) && !parsed.flags.contains(TcpFlags::ACK) {
-                    self.closed.entry(key).or_insert(Tombstone {
-                        at: 0,
-                        delta: 0,
-                        degraded: true,
-                    });
+                if parsed.flags.contains(TcpFlags::SYN)
+                    && !parsed.flags.contains(TcpFlags::ACK)
+                    && !self.shard.contains(&key)
+                {
+                    self.put_tomb(
+                        key,
+                        FlowState::Degraded,
+                        Tombstone {
+                            delta: 0,
+                            degraded: true,
+                        },
+                        out,
+                    );
                 }
                 out.to_wire.push(seg);
             }
@@ -1192,13 +1739,11 @@ impl PrimaryBridge {
                 // before the designation was registered (§7 method 1),
                 // a bare SYN starts a server-initiated connection
                 // (§7.2).
-                if parsed.flags.contains(TcpFlags::SYN) {
-                    let a_p = self.a_p;
-                    self.conns
-                        .entry(key)
-                        .or_insert_with(|| Conn::new(a_p, key.peer, key.server_port));
+                if parsed.flags.contains(TcpFlags::SYN) && !self.is_live(&key) {
+                    let conn = Box::new(Conn::new(self.a_p, key.peer, key.server_port));
+                    self.put_live(key, conn, out);
                 }
-                if !self.conns.contains_key(&key) {
+                if !self.is_live(&key) {
                     // Designated but unknown (e.g. tombstoned): the
                     // TCP layer is retransmitting into a dead
                     // connection; drop (the §8 tombstone path answers
@@ -1211,11 +1756,8 @@ impl PrimaryBridge {
         }
     }
 
-    /// The inbound datapath. The [`SegmentFilter::on_inbound_into`]
-    /// implementation wraps this with the (optional) audit observation.
-    fn inbound_inner(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
-        self.stamp_now(now_nanos);
-        self.cur_trace = seg.trace;
+    /// The inbound datapath body (wire → our TCP layer).
+    fn inbound(&mut self, seg: AddressedSegment, out: &mut FilterOutput) {
         // Diverted secondary segment? (carries the orig-dest option —
         // probed on the raw bytes, so the buffer stays uniquely owned
         // for the in-place strip below.)
@@ -1237,11 +1779,9 @@ impl PrimaryBridge {
                 // A SYN from the secondary may precede any primary
                 // activity (a server-initiated open where S ran first,
                 // or a SYN+ACK racing the primary's own): open state.
-                if canonical.flags.contains(TcpFlags::SYN) {
-                    let a_p = self.a_p;
-                    self.conns
-                        .entry(key)
-                        .or_insert_with(|| Conn::new(a_p, key.peer, key.server_port));
+                if canonical.flags.contains(TcpFlags::SYN) && !self.is_live(&key) {
+                    let conn = Box::new(Conn::new(self.a_p, key.peer, key.server_port));
+                    self.put_live(key, conn, out);
                 }
                 self.on_replica_segment(key, Replica::Secondary, &canonical, out);
                 return;
@@ -1253,79 +1793,17 @@ impl PrimaryBridge {
         };
         // A segment from an unreplicated peer addressed to us?
         if seg.dst == self.a_p {
-            let key_port = parsed.dst_port;
-            let designated = self.config.matches(key_port, seg.src, parsed.src_port)
-                || self.conns.contains_key(&ConnKey::new(
-                    key_port,
-                    SocketAddr::new(seg.src, parsed.src_port),
-                ))
-                || self.closed.contains_key(&ConnKey::new(
-                    key_port,
-                    SocketAddr::new(seg.src, parsed.src_port),
-                ));
+            let key = ConnKey::new(parsed.dst_port, SocketAddr::new(seg.src, parsed.src_port));
+            let designated = self
+                .config
+                .matches(parsed.dst_port, seg.src, parsed.src_port)
+                || self.shard.contains(&key);
             if designated {
                 self.on_client_segment(parsed, seg, out);
                 return;
             }
         }
         out.to_tcp.push(seg);
-    }
-
-    /// Pre-step audit observation for an outbound segment: mirrors the
-    /// inner designation check so only segments the bridge will treat
-    /// as primary replica output are shadowed.
-    fn audit_outbound_observe(&self, aud: &mut InvariantAuditor, seg: &AddressedSegment) {
-        let Ok(parsed) = TcpView::new(&seg.bytes) else {
-            return;
-        };
-        let (src_port, dst_port) = (parsed.src_port(), parsed.dst_port());
-        let key = ConnKey::new(src_port, SocketAddr::new(seg.dst, dst_port));
-        let designated = self.config.matches(src_port, seg.dst, dst_port)
-            || self.conns.contains_key(&key)
-            || self.closed.contains_key(&key);
-        let degraded_tomb = self.closed.get(&key).is_some_and(|t| t.degraded);
-        if designated && seg.dst != self.a_s && !degraded_tomb && self.mode == PrimaryMode::Normal {
-            aud.note_primary_out(seg.src, seg.dst, &seg.bytes, seg.trace);
-        }
-    }
-
-    /// Pre-step audit observation for an inbound segment: diverted
-    /// secondary output or (designated) client ingress.
-    fn audit_inbound_observe(&self, aud: &mut InvariantAuditor, seg: &AddressedSegment) {
-        if seg.src == self.a_s && seg.dst == self.divert_dst && peek_orig_dest(&seg.bytes).is_some()
-        {
-            aud.note_secondary_diverted(seg.src, seg.dst, &seg.bytes, seg.trace);
-            return;
-        }
-        if seg.dst != self.a_p {
-            return;
-        }
-        let Ok(parsed) = TcpView::new(&seg.bytes) else {
-            return;
-        };
-        let (src_port, dst_port) = (parsed.src_port(), parsed.dst_port());
-        let key = ConnKey::new(dst_port, SocketAddr::new(seg.src, src_port));
-        let designated = self.config.matches(dst_port, seg.src, src_port)
-            || self.conns.contains_key(&key)
-            || self.closed.contains_key(&key);
-        aud.note_client_ingress(seg.src, seg.dst, &seg.bytes, seg.trace, designated);
-    }
-
-    /// Post-step audit scan of everything the inner datapath appended
-    /// to `out`: client-bound wire segments are releases, segments back
-    /// toward the secondary are noted, deliver-ups are checked for the
-    /// `+Δseq` ack translation.
-    fn audit_scan(&self, aud: &mut InvariantAuditor, out: &FilterOutput, w0: usize, t0: usize) {
-        for s in &out.to_wire[w0..] {
-            if s.dst == self.a_s {
-                aud.note_other_egress(s.src, s.dst, &s.bytes, s.trace);
-            } else {
-                aud.check_release(s.src, s.dst, &s.bytes, s.trace);
-            }
-        }
-        for s in &out.to_tcp[t0..] {
-            aud.check_deliver_up(s.src, s.dst, &s.bytes, s.trace);
-        }
     }
 }
 
@@ -1361,7 +1839,7 @@ impl SegmentFilter for PrimaryBridge {
     }
 
     fn on_tick(&mut self, now_nanos: u64) {
-        self.gc_tombstones(now_nanos);
+        self.gc_flows(now_nanos);
         self.sync_telemetry(now_nanos);
     }
 
@@ -1383,7 +1861,7 @@ impl std::fmt::Debug for PrimaryBridge {
             .field("a_p", &self.a_p)
             .field("a_s", &self.a_s)
             .field("mode", &self.mode)
-            .field("conns", &self.conns.len())
+            .field("flows", &self.flows.len())
             .finish()
     }
 }

@@ -11,6 +11,13 @@
 //!   output to the primary, and appends the *original destination* TCP
 //!   option so the primary bridge can recover the client endpoint.
 //!
+//! Witnessed connections are tracked in a sharded [`FlowTable`] with
+//! the same lifecycle the primary uses: SYN opens an `Establishing`
+//! entry, data moves it to `Replicated`, FINs in both directions walk
+//! it through `Closing` into `TimeWait`, and the timer-driven GC reaps
+//! it — the witness set is bounded, where the old `HashSet` grew
+//! forever under connection churn.
+//!
 //! On primary failure (§5) the controller calls
 //! [`SecondaryBridge::prepare_takeover`] (steps 1–4: stop egress,
 //! disable promiscuous mode and both translations); the host controller
@@ -19,13 +26,27 @@
 //! TCP server".
 
 use crate::designation::{ConnKey, FailoverConfig};
-use std::collections::HashSet;
+use crate::flow::{FlowState, FlowTable, FlowTableConfig, ShardStats};
 use tcpfo_tcp::filter::{AddressedSegment, FailoverRule, FilterOutput, SegmentFilter};
 use tcpfo_tcp::types::SocketAddr;
 use tcpfo_telemetry::audit::{SecondaryPhase, TakeoverStep};
-use tcpfo_telemetry::{Counter, FailoverPhase, InvariantAuditor, Telemetry};
+use tcpfo_telemetry::{Counter, FailoverPhase, Gauge, InvariantAuditor, Telemetry};
 use tcpfo_wire::ipv4::Ipv4Addr;
 use tcpfo_wire::tcp::{SegmentPatcher, TcpFlags, TcpView};
+
+/// How often the timer-driven flow-table GC actually sweeps (the host
+/// tick fires far more often), in sim nanoseconds.
+const GC_INTERVAL_NANOS: u64 = 1_000_000_000;
+
+/// Per-connection witness state: which directions have closed, so the
+/// lifecycle can walk the entry into `TimeWait` and the GC can reap it.
+#[derive(Debug, Default, Clone, Copy)]
+struct SeenFlow {
+    /// Client FIN witnessed on ingress.
+    client_fin: bool,
+    /// Our own server FIN witnessed on (diverted) egress.
+    server_fin: bool,
+}
 
 /// Counters exposed for tests and the evaluation harness.
 #[derive(Debug, Default, Clone)]
@@ -36,6 +57,10 @@ pub struct SecondaryStats {
     pub egress_diverted: u64,
     /// Segments dropped while egress was held during takeover.
     pub held_dropped: u64,
+    /// Witness entries pushed out by LRU under capacity pressure.
+    pub evicted_flows: u64,
+    /// Witness entries reaped by the timer-driven GC (TTL expiry).
+    pub flows_reaped: u64,
 }
 
 /// Registry handles mirroring [`SecondaryStats`] under the
@@ -45,6 +70,9 @@ struct SecondaryInstruments {
     ingress_translated: Counter,
     egress_diverted: Counter,
     held_dropped: Counter,
+    evicted_flows: Counter,
+    flows_reaped: Counter,
+    flow_occupancy: Gauge,
 }
 
 /// Operating state of the secondary bridge.
@@ -90,7 +118,7 @@ pub struct SecondaryBridge {
     /// is only claimed for these: a freshly (re)started secondary must
     /// not feed a connection it never saw established into its stack —
     /// the stack would answer with a RST (reintegration support).
-    seen: HashSet<ConnKey>,
+    flows: FlowTable<SeenFlow>,
     /// Statistics.
     pub stats: SecondaryStats,
     telemetry: Option<SecondaryInstruments>,
@@ -100,10 +128,15 @@ pub struct SecondaryBridge {
     /// Sim time of the most recent filtered segment or tick, so the
     /// clock-less takeover calls can stamp auditor events.
     last_now: u64,
+    /// Last time the flow-table GC swept.
+    last_gc: u64,
 }
 
 impl SecondaryBridge {
     /// Creates a bridge for secondary `a_s` shadowing primary `a_p`.
+    /// The witness flow table is sized from the environment
+    /// (`TCPFO_FLOW_SHARDS`, `TCPFO_FLOW_CAP`); override with
+    /// [`SecondaryBridge::set_flow_config`].
     pub fn new(a_p: Ipv4Addr, a_s: Ipv4Addr, config: FailoverConfig) -> Self {
         SecondaryBridge {
             a_p,
@@ -111,12 +144,45 @@ impl SecondaryBridge {
             upstream: a_p,
             config,
             mode: SecondaryMode::Active,
-            seen: HashSet::new(),
+            flows: FlowTable::new(FlowTableConfig::from_env()),
             stats: SecondaryStats::default(),
             telemetry: None,
             audit: None,
             last_now: 0,
+            last_gc: 0,
         }
+    }
+
+    /// Rebuilds the witness flow table with a new shard count /
+    /// capacity, migrating every resident entry. Entries that no longer
+    /// fit are dropped and counted as evictions.
+    pub fn set_flow_config(&mut self, config: FlowTableConfig) {
+        let mut table = FlowTable::new(config);
+        for shard in self.flows.shards_mut() {
+            for key in shard.keys() {
+                if let Some((st, data)) = shard.remove(&key) {
+                    if table.insert(key, st, data, 0).is_some() {
+                        self.stats.evicted_flows += 1;
+                    }
+                }
+            }
+        }
+        self.flows = table;
+    }
+
+    /// Number of tracked witness entries.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Aggregated flow-table statistics across all shards.
+    pub fn flow_stats(&self) -> ShardStats {
+        self.flows.stats_total()
+    }
+
+    /// Number of flow-table shards (a power of two).
+    pub fn flow_shard_count(&self) -> usize {
+        self.flows.shard_count()
     }
 
     /// Attaches (or detaches) the online invariant auditor. Detached —
@@ -146,11 +212,15 @@ impl SecondaryBridge {
             ingress_translated: scope.counter("ingress_translated"),
             egress_diverted: scope.counter("egress_diverted"),
             held_dropped: scope.counter("held_dropped"),
+            evicted_flows: scope.counter("evicted_flows"),
+            flows_reaped: scope.counter("flows_reaped"),
+            flow_occupancy: scope.gauge("flow_occupancy"),
         });
     }
 
-    /// Publishes [`SecondaryStats`] to the registry.
-    pub fn sync_telemetry(&mut self, _now_nanos: u64) {
+    /// Publishes [`SecondaryStats`] and the witness-table occupancy to
+    /// the registry.
+    pub fn sync_telemetry(&mut self, now_nanos: u64) {
         let Some(t) = &self.telemetry else {
             return;
         };
@@ -158,6 +228,9 @@ impl SecondaryBridge {
             .set_at_least(self.stats.ingress_translated);
         t.egress_diverted.set_at_least(self.stats.egress_diverted);
         t.held_dropped.set_at_least(self.stats.held_dropped);
+        t.evicted_flows.set_at_least(self.stats.evicted_flows);
+        t.flows_reaped.set_at_least(self.stats.flows_reaped);
+        t.flow_occupancy.set_at(self.flows.len() as u64, now_nanos);
     }
 
     /// Current mode.
@@ -198,6 +271,21 @@ impl SecondaryBridge {
         if let Some(a) = &mut self.audit {
             a.note_takeover_step(TakeoverStep::TranslationOff, now);
         }
+    }
+
+    /// Timer-driven witness GC: reaps TimeWait entries after their TTL
+    /// and long-idle entries (the leak backstop — connections whose
+    /// teardown this bridge never witnessed, e.g. across a takeover).
+    /// Runs at most once per [`GC_INTERVAL_NANOS`] of sim time.
+    fn gc_flows(&mut self, now_nanos: u64) {
+        if now_nanos.saturating_sub(self.last_gc) < GC_INTERVAL_NANOS {
+            return;
+        }
+        self.last_gc = now_nanos;
+        let SecondaryBridge { flows, stats, .. } = self;
+        flows.gc(now_nanos, &mut |_ev| {
+            stats.flows_reaped += 1;
+        });
     }
 
     /// Whether a segment belongs to a designated failover connection.
@@ -252,6 +340,21 @@ impl SecondaryBridge {
             self.stats.held_dropped += 1;
             return;
         }
+        // Walk the witness lifecycle on our own FIN: both directions
+        // closed moves the entry into TimeWait for the GC to reap.
+        if view.flags().contains(TcpFlags::FIN) {
+            let key = ConnKey::new(view.src_port(), peer);
+            if let Some(flow) = self.flows.get_mut(&key, now) {
+                flow.server_fin = true;
+                let both = flow.client_fin;
+                let st = if both {
+                    FlowState::TimeWait
+                } else {
+                    FlowState::Closing
+                };
+                self.flows.set_state(&key, st, now);
+            }
+        }
         // Divert to the primary, recording the original destination.
         let orig = seg.dst;
         let orig_port = view.dst_port();
@@ -267,7 +370,7 @@ impl SecondaryBridge {
 
     /// The ingress datapath. The [`SegmentFilter::on_inbound_into`]
     /// implementation wraps this with the (optional) audit observation.
-    fn inbound_inner(&mut self, seg: AddressedSegment, _now: u64, out: &mut FilterOutput) {
+    fn inbound_inner(&mut self, seg: AddressedSegment, now: u64, out: &mut FilterOutput) {
         // While holding (§5 step 1) ingress translation stays active:
         // "the secondary server can receive data from the client until
         // the promiscuous receive mode of its network interface is
@@ -301,10 +404,36 @@ impl SecondaryBridge {
         // Only claim connections whose establishment we witnessed.
         let key = ConnKey::new(view.dst_port(), peer);
         if view.flags().contains(TcpFlags::SYN) {
-            self.seen.insert(key);
-        } else if !self.seen.contains(&key) {
-            out.to_tcp.push(seg);
-            return;
+            // A SYN opens (or, for tuple reuse, resets) the witness
+            // entry — the insert replaces any residue in place.
+            if self
+                .flows
+                .insert(key, FlowState::Establishing, SeenFlow::default(), now)
+                .is_some()
+            {
+                self.stats.evicted_flows += 1;
+            }
+        } else {
+            let Some(flow) = self.flows.get_mut(&key, now) else {
+                out.to_tcp.push(seg);
+                return;
+            };
+            if view.flags().contains(TcpFlags::FIN) {
+                flow.client_fin = true;
+            }
+            let (cf, sf) = (flow.client_fin, flow.server_fin);
+            let st = match (cf, sf) {
+                (true, true) => FlowState::TimeWait,
+                (true, false) | (false, true) => FlowState::Closing,
+                (false, false) => FlowState::Replicated,
+            };
+            // Never regress a Closing/TimeWait entry back to
+            // Replicated on a late plain data segment.
+            if st != FlowState::Replicated
+                || self.flows.state(&key) == Some(FlowState::Establishing)
+            {
+                self.flows.set_state(&key, st, now);
+            }
         }
         let trace = seg.trace;
         let mut patcher = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
@@ -389,6 +518,7 @@ impl SegmentFilter for SecondaryBridge {
 
     fn on_tick(&mut self, now_nanos: u64) {
         self.last_now = now_nanos;
+        self.gc_flows(now_nanos);
         self.sync_telemetry(now_nanos);
     }
 
@@ -412,6 +542,7 @@ impl std::fmt::Debug for SecondaryBridge {
             .field("a_p", &self.a_p)
             .field("a_s", &self.a_s)
             .field("mode", &self.mode)
+            .field("flows", &self.flows.len())
             .finish()
     }
 }

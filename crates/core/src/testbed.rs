@@ -15,6 +15,7 @@
 
 use crate::designation::FailoverConfig;
 use crate::detector::{DetectorConfig, ReplicaController, Role};
+use crate::flow::FlowTableConfig;
 use crate::primary::PrimaryBridge;
 use crate::secondary::SecondaryBridge;
 use tcpfo_net::hub::Hub;
@@ -131,6 +132,12 @@ pub struct TestbedConfig {
     /// Packet-trace ring capacity. `None` follows `TCPFO_TRACE_CAP`
     /// (default [`DEFAULT_TRACE_CAPACITY`]).
     pub trace_capacity: Option<usize>,
+    /// Flow-table shard count for both bridges. `None` follows the
+    /// `TCPFO_FLOW_SHARDS` environment knob (default 1).
+    pub flow_shards: Option<usize>,
+    /// Total flow-table capacity for both bridges. `None` follows the
+    /// `TCPFO_FLOW_CAP` environment knob (default 65 536).
+    pub flow_cap: Option<usize>,
 }
 
 impl Default for TestbedConfig {
@@ -155,6 +162,8 @@ impl Default for TestbedConfig {
             audit: None,
             journal_capacity: None,
             trace_capacity: None,
+            flow_shards: None,
+            flow_cap: None,
         }
     }
 }
@@ -169,6 +178,19 @@ impl TestbedConfig {
             ..TestbedConfig::default()
         }
     }
+}
+
+/// The flow-table config the testbed's bridges should use, when either
+/// knob overrides the environment defaults.
+fn flow_config_override(config: &TestbedConfig) -> Option<FlowTableConfig> {
+    if config.flow_shards.is_none() && config.flow_cap.is_none() {
+        return None;
+    }
+    let base = FlowTableConfig::from_env();
+    Some(FlowTableConfig::new(
+        config.flow_shards.unwrap_or(base.shards),
+        config.flow_cap.unwrap_or(base.capacity),
+    ))
 }
 
 /// The assembled testbed.
@@ -262,6 +284,9 @@ impl Testbed {
         if config.replicated {
             let fo = FailoverConfig::from_ports(config.failover_ports.iter().copied());
             let mut bridge = PrimaryBridge::new(addrs::A_P, addrs::A_S, fo);
+            if let Some(fc) = flow_config_override(&config) {
+                bridge.set_flow_config(fc);
+            }
             bridge.set_telemetry(&telemetry);
             if audit_on {
                 bridge.set_audit(Some(Box::new(
@@ -292,6 +317,9 @@ impl Testbed {
             host.set_telemetry(&telemetry);
             let fo = FailoverConfig::from_ports(config.failover_ports.iter().copied());
             let mut bridge = SecondaryBridge::new(addrs::A_P, addrs::A_S, fo);
+            if let Some(fc) = flow_config_override(&config) {
+                bridge.set_flow_config(fc);
+            }
             bridge.set_telemetry(&telemetry);
             if audit_on {
                 bridge.set_audit(Some(Box::new(

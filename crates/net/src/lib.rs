@@ -20,6 +20,9 @@
 //! * [`router`] — IPv4 forwarding + ARP, including the gratuitous-ARP
 //!   cache update that implements IP takeover (§5).
 //! * [`trace`] — packet traces with protocol-aware summaries.
+//! * [`exec`] — scatter–gather [`exec::ShardExecutor`] for sharded
+//!   datapaths: scoped-thread fan-out with a deterministic
+//!   input-order merge, so parallel runs stay byte-identical.
 //!
 //! Determinism: single-threaded, seeded RNG, ties in the event heap
 //! break by insertion order. Running the same scenario twice produces
@@ -41,6 +44,7 @@
 //! # let _ = hub;
 //! ```
 
+pub mod exec;
 pub mod hub;
 pub mod link;
 pub mod router;
@@ -49,6 +53,7 @@ pub mod switch;
 pub mod time;
 pub mod trace;
 
+pub use exec::ShardExecutor;
 pub use link::LinkParams;
 pub use sim::{Ctx, Device, NodeId, Simulator, TimerToken};
 pub use time::{SimDuration, SimTime};

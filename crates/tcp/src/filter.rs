@@ -8,11 +8,126 @@
 //! the host's [`SegmentFilter`]. The failover bridges in `tcpfo-core`
 //! implement this trait; ordinary hosts use [`NoopFilter`].
 
-use crate::types::FourTuple;
+use crate::types::{FourTuple, SocketAddr};
 use bytes::Bytes;
+use tcpfo_telemetry::audit::AuditKey;
 use tcpfo_wire::ipv4::Ipv4Addr;
+use tcpfo_wire::tcp::peek_ports;
 
 pub use tcpfo_telemetry::audit::TraceId;
+
+/// The canonical per-connection key used throughout the datapath: the
+/// replicated server's TCP port plus the unreplicated peer's endpoint.
+///
+/// The server's *address* is deliberately absent — the primary keys
+/// with `a_p`, the secondary with `a_s`, and diverted segments carry a
+/// third view; the port + peer pair is the invariant all of them agree
+/// on. A segment yields the same key no matter which direction it
+/// travels, provided the right orientation constructor is used:
+/// [`FlowKey::from_segment_ingress`] for peer → server segments and
+/// [`FlowKey::from_segment_egress`] for server → peer segments. These
+/// two constructors are the *only* places src/dst are swapped; the
+/// bridges never hand-assemble a key from raw port fields.
+///
+/// # Example
+///
+/// ```
+/// use tcpfo_tcp::filter::FlowKey;
+/// use tcpfo_wire::ipv4::Ipv4Addr;
+///
+/// let client = Ipv4Addr::new(192, 168, 0, 9);
+/// // A client segment (client:5555 → server:80)…
+/// let up = FlowKey::from_segment_ingress(client, 5555, 80);
+/// // …and the server's reply (server:80 → client:5555)…
+/// let down = FlowKey::from_segment_egress(client, 80, 5555);
+/// // …map to the same flow.
+/// assert_eq!(up, down);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// The replicated server's TCP port (listening port, or the
+    /// deterministic ephemeral port for server-initiated connections).
+    pub server_port: u16,
+    /// The unreplicated peer (client C, or back-end server T in §7.2).
+    pub peer: SocketAddr,
+}
+
+impl FlowKey {
+    /// Creates a key from its parts.
+    pub fn new(server_port: u16, peer: SocketAddr) -> Self {
+        FlowKey { server_port, peer }
+    }
+
+    /// Key for a segment travelling *peer → server* (ingress): the
+    /// segment's source is the peer, its destination port the server.
+    pub fn from_segment_ingress(peer_ip: Ipv4Addr, src_port: u16, dst_port: u16) -> Self {
+        FlowKey {
+            server_port: dst_port,
+            peer: SocketAddr::new(peer_ip, src_port),
+        }
+    }
+
+    /// Key for a segment travelling *server → peer* (egress): the
+    /// segment's destination is the peer, its source port the server.
+    pub fn from_segment_egress(peer_ip: Ipv4Addr, src_port: u16, dst_port: u16) -> Self {
+        FlowKey {
+            server_port: src_port,
+            peer: SocketAddr::new(peer_ip, dst_port),
+        }
+    }
+
+    /// Parses the key straight off an ingress (peer → server) segment's
+    /// raw bytes. `None` when the buffer is too short for a TCP header.
+    pub fn of_ingress(seg: &AddressedSegment) -> Option<Self> {
+        let (src_port, dst_port) = peek_ports(&seg.bytes)?;
+        Some(FlowKey::from_segment_ingress(seg.src, src_port, dst_port))
+    }
+
+    /// Parses the key straight off an egress (server → peer) segment's
+    /// raw bytes. `None` when the buffer is too short for a TCP header.
+    pub fn of_egress(seg: &AddressedSegment) -> Option<Self> {
+        let (src_port, dst_port) = peek_ports(&seg.bytes)?;
+        Some(FlowKey::from_segment_egress(seg.dst, src_port, dst_port))
+    }
+
+    /// Deterministic 64-bit hash of the key (SplitMix64 finalisation
+    /// over the packed fields). Used for shard selection, so it must
+    /// not depend on process-random state the way `std`'s default
+    /// `HashMap` hasher does: a fixed seed must map every flow to the
+    /// same shard in every run.
+    pub fn hash64(&self) -> u64 {
+        let packed = (u64::from(self.peer.ip.to_bits()) << 32)
+            | (u64::from(self.peer.port) << 16)
+            | u64::from(self.server_port);
+        let mut z = packed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The shard this flow belongs to in a table of `shards` shards
+    /// (must be a power of two).
+    pub fn shard_of(&self, shards: usize) -> usize {
+        debug_assert!(shards.is_power_of_two());
+        (self.hash64() & (shards as u64 - 1)) as usize
+    }
+}
+
+impl std::fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, ":{}<->{}", self.server_port, self.peer)
+    }
+}
+
+impl From<FlowKey> for AuditKey {
+    fn from(k: FlowKey) -> AuditKey {
+        AuditKey {
+            peer_ip: k.peer.ip,
+            peer_port: k.peer.port,
+            server_port: k.server_port,
+        }
+    }
+}
 
 /// A raw TCP segment together with the IP addresses it travels between
 /// (which its checksum covers).
@@ -67,6 +182,17 @@ impl AddressedSegment {
             self.trace = TraceId::fresh();
         }
     }
+}
+
+/// Which side of the TCP/IP boundary a segment in a batch came from,
+/// for batch-processing bridges that accept mixed-direction batches
+/// (e.g. `PrimaryBridge::process_batch` in `tcpfo-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchDir {
+    /// From the local TCP layer toward the wire.
+    Outbound,
+    /// From the wire toward the local TCP layer.
+    Inbound,
 }
 
 /// What a filter decided to do with (and in response to) a segment.

@@ -730,6 +730,21 @@ impl HeaderTemplate {
     }
 }
 
+/// Reads the source and destination ports off raw segment bytes
+/// without decoding (and without allocating). The bridges derive their
+/// flow keys from this before deciding whether a full decode is
+/// worthwhile; returns `None` when the buffer is too short to carry a
+/// TCP header.
+pub fn peek_ports(bytes: &[u8]) -> Option<(u16, u16)> {
+    if bytes.len() < TCP_HEADER_LEN {
+        return None;
+    }
+    Some((
+        u16::from_be_bytes([bytes[0], bytes[1]]),
+        u16::from_be_bytes([bytes[2], bytes[3]]),
+    ))
+}
+
 /// Scans raw segment bytes for the original-destination option without
 /// decoding the segment (and without allocating). The inbound hot path
 /// uses this to classify diverted secondary segments before deciding
