@@ -5,6 +5,8 @@
 //! ```text
 //! tcpfo-inspect run [--failover]   audited canned run, print state tables
 //! tcpfo-inspect prometheus         same run, Prometheus exposition only
+//! tcpfo-inspect watch [--failover] [--frames N] [--plain]
+//!                                  live one-screen refresher over the run
 //! tcpfo-inspect bundle <dir>       pretty-print a flight-recorder bundle
 //! ```
 //!
@@ -30,6 +32,7 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("run") => run(args.iter().any(|a| a == "--failover"), false),
         Some("prometheus") => run(false, true),
+        Some("watch") => watch(&args[1..]),
         Some("bundle") => match args.get(1) {
             Some(dir) => bundle(dir),
             None => usage(),
@@ -44,6 +47,8 @@ fn usage() -> i32 {
         "tcpfo-inspect — bridge state tables and Prometheus export\n\n\
          USAGE:\n  tcpfo-inspect run [--failover]   audited canned run, print state tables\n  \
          tcpfo-inspect prometheus         same run, Prometheus exposition only\n  \
+         tcpfo-inspect watch [--failover] [--frames N] [--plain]\n                                   \
+         live one-screen refresher over the run\n  \
          tcpfo-inspect bundle <dir>       pretty-print a flight-recorder bundle"
     );
     2
@@ -55,6 +60,7 @@ fn usage() -> i32 {
 fn run(failover: bool, prom_only: bool) -> i32 {
     let mut tb = Testbed::new(TestbedConfig {
         audit: Some(true),
+        latency: Some(true),
         ..TestbedConfig::default()
     });
     for node in [tb.primary, tb.secondary.expect("replicated testbed")] {
@@ -125,6 +131,162 @@ fn run(failover: bool, prom_only: bool) -> i32 {
     println!("=== metrics ===");
     println!("{}", render_snapshot(&snap));
     exit_code(&mut tb)
+}
+
+/// Live one-screen refresher: drives the canned transfer in fixed
+/// sim-time slices and redraws a compact dashboard — per-stage latency
+/// quantiles, flow-table shard occupancy, headline counters, and the
+/// failover timeline — after every slice. `--failover` kills the
+/// primary halfway through; `--plain` suppresses the ANSI
+/// clear-screen so the frames stack (useful for logs and CI).
+fn watch(args: &[String]) -> i32 {
+    let failover = args.iter().any(|a| a == "--failover");
+    let plain = args.iter().any(|a| a == "--plain");
+    let frames: usize = args
+        .iter()
+        .position(|a| a == "--frames")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let frames = frames.max(1);
+
+    let mut tb = Testbed::new(TestbedConfig {
+        audit: Some(true),
+        latency: Some(true),
+        ..TestbedConfig::default()
+    });
+    for node in [tb.primary, tb.secondary.expect("replicated testbed")] {
+        tb.sim.with::<Host, _>(node, |h, _| {
+            h.add_app(Box::new(SourceServer::new(80)));
+        });
+    }
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(RequestReplyClient::new(
+            SocketAddr::new(addrs::A_P, 80),
+            b"SEND 4000000\n".to_vec(),
+            4_000_000,
+        )));
+    });
+
+    let slice = SimDuration::from_millis(250);
+    for frame in 0..frames {
+        // Kill the primary after the first frame so the takeover lands
+        // mid-transfer and the remaining frames show the recovery.
+        if failover && frame == 1 {
+            tb.kill_primary();
+        }
+        tb.run_for(slice);
+        let snap = tb.metrics_snapshot();
+        if !plain {
+            // Clear screen and home the cursor so the frame redraws in
+            // place.
+            print!("\x1b[2J\x1b[H");
+        }
+        render_watch_frame(
+            &snap,
+            frame,
+            frames,
+            &tb.telemetry.timeline.breakdown(),
+            tb.sim.now(),
+        );
+    }
+    exit_code(&mut tb)
+}
+
+/// One dashboard frame: latency quantiles, shard gauges, counters, and
+/// the timeline so far.
+fn render_watch_frame(
+    snap: &tcpfo_telemetry::MetricsSnapshot,
+    frame: usize,
+    frames: usize,
+    timeline: &str,
+    now: tcpfo_net::time::SimTime,
+) {
+    println!(
+        "tcpfo-inspect watch — frame {}/{} — sim t = {} ms",
+        frame + 1,
+        frames,
+        now.as_nanos() / 1_000_000
+    );
+
+    println!("\n── per-stage latency (host ns) ──");
+    println!(
+        "{:<36} {:>9} {:>8} {:>8} {:>8} {:>8}",
+        "histogram", "count", "p50", "p99", "p999", "max"
+    );
+    let mut any = false;
+    for (name, h) in &snap.histograms {
+        if !name.contains(".lat.") {
+            continue;
+        }
+        any = true;
+        println!(
+            "{:<36} {:>9} {:>8} {:>8} {:>8} {:>8}",
+            name,
+            h.count,
+            h.p50(),
+            h.p99(),
+            h.p999(),
+            h.max
+        );
+    }
+    if !any {
+        println!("(no latency samples yet)");
+    }
+
+    println!("\n── flow-table shards ──");
+    println!(
+        "{:<30} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "shard", "occupancy", "inserted", "evicted", "reaped", "lru"
+    );
+    let shard_prefixes: std::collections::BTreeSet<String> = snap
+        .gauges
+        .keys()
+        .filter_map(|k| {
+            let (prefix, _) = k.rsplit_once('.')?;
+            prefix.contains(".shard").then(|| prefix.to_string())
+        })
+        .collect();
+    let gauge = |prefix: &str, field: &str| {
+        snap.gauges
+            .get(&format!("{prefix}.{field}"))
+            .map_or(0, |g| g.value)
+    };
+    for p in &shard_prefixes {
+        println!(
+            "{:<30} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            p,
+            gauge(p, "occupancy"),
+            gauge(p, "inserted"),
+            gauge(p, "evicted"),
+            gauge(p, "reaped"),
+            gauge(p, "lru_depth"),
+        );
+    }
+    if shard_prefixes.is_empty() {
+        println!("(no shard gauges yet)");
+    }
+
+    println!("\n── headline counters ──");
+    for (name, v) in &snap.counters {
+        if *v == 0 {
+            continue;
+        }
+        let headline = name.ends_with(".merged_segments")
+            || name.ends_with(".merged_bytes")
+            || name.ends_with(".empty_acks")
+            || name.ends_with(".retransmissions_forwarded")
+            || name.ends_with(".acks_translated")
+            || name.ends_with(".ingress_translated")
+            || name.ends_with(".egress_diverted")
+            || name.ends_with(".drops");
+        if headline {
+            println!("{name:<44} {v:>12}");
+        }
+    }
+
+    println!("\n── failover timeline ──");
+    print!("{timeline}");
 }
 
 fn exit_code(tb: &mut Testbed) -> i32 {

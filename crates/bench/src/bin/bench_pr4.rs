@@ -25,7 +25,7 @@
 use std::time::Instant;
 
 use tcpfo_apps::manyflow::{ManyFlowConfig, ManyFlowNet, ManyFlowWorkload};
-use tcpfo_bench::{measure_recv_rate_cfg, measure_send_rate_cfg, paper_testbed, Mode};
+use tcpfo_bench::{json_figure, measure_recv_rate_cfg, measure_send_rate_cfg, paper_testbed, Mode};
 use tcpfo_core::flow::FlowTableConfig;
 use tcpfo_core::{FailoverConfig, PrimaryBridge};
 use tcpfo_net::ShardExecutor;
@@ -84,17 +84,6 @@ fn run_workload(
     }
     let secs = wall.elapsed().as_secs_f64();
     (digest(&outs), b.stats.merged_bytes, segments, secs)
-}
-
-/// Pulls a frozen figure out of a bench JSON without a JSON parser
-/// (the files are generated with a fixed layout).
-fn json_figure(json: &str, section: &str, key: &str) -> Option<f64> {
-    let sec = json.find(&format!("\"{section}\""))?;
-    let tail = &json[sec..];
-    let k = tail.find(&format!("\"{key}\""))?;
-    let tail = &tail[k + key.len() + 3..];
-    let end = tail.find([',', '}'])?;
-    tail[..end].trim().parse().ok()
 }
 
 fn main() {

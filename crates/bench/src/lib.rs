@@ -22,6 +22,7 @@ use tcpfo_net::link::LinkParams;
 use tcpfo_net::time::{SimDuration, SimTime};
 use tcpfo_tcp::host::Host;
 use tcpfo_tcp::types::SocketAddr;
+use tcpfo_telemetry::MttrBreakdown;
 
 pub mod legacy_queue;
 
@@ -285,6 +286,10 @@ pub struct FailoverTiming {
     pub client_stall: SimDuration,
     /// Whether the transfer completed intact.
     pub completed: bool,
+    /// The §5 takeover decomposition from the failover timeline —
+    /// `None` when a phase never fired (e.g. no client-visible byte
+    /// from S).
+    pub mttr: Option<MttrBreakdown>,
 }
 
 /// Kills the primary mid-download and measures detection latency and
@@ -348,6 +353,7 @@ pub fn measure_failover_timing(timeout: SimDuration, seed: u64) -> FailoverTimin
         detection: detected.duration_since(killed_at),
         client_stall: max_gap,
         completed,
+        mttr: tb.telemetry.timeline.mttr(),
     }
 }
 
@@ -424,6 +430,20 @@ pub fn export_run_telemetry(tb: &mut Testbed, label: &str) {
         Ok(()) => eprintln!("telemetry written to {}", path.display()),
         Err(e) => eprintln!("telemetry export to {} failed: {e}", path.display()),
     }
+}
+
+/// Pulls a frozen figure out of a bench JSON document without a JSON
+/// parser: finds `"section"`, then the first `"key"` after it, and
+/// parses the number that follows. The `BENCH_PR*.json` files are
+/// generated with a fixed layout, so this is robust for gate checks
+/// and keeps the harness dependency-free.
+pub fn json_figure(json: &str, section: &str, key: &str) -> Option<f64> {
+    let sec = json.find(&format!("\"{section}\""))?;
+    let tail = &json[sec..];
+    let k = tail.find(&format!("\"{key}\""))?;
+    let tail = &tail[k + key.len() + 3..];
+    let end = tail.find([',', '}'])?;
+    tail[..end].trim().parse().ok()
 }
 
 // ---------------------------------------------------------------------

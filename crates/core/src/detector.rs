@@ -112,7 +112,7 @@ impl ReplicaController {
     /// Connects the controller to a telemetry hub: mirrors heartbeat
     /// counters under `core.detector.{primary,secondary}`, journals
     /// every failover step, and stamps the §5 timeline phases
-    /// (detection, egress hold, ARP takeover).
+    /// (detection, egress hold, translation off, ARP takeover).
     pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
         let scope_name = match self.role {
             Role::Primary => "core.detector.primary",
@@ -175,6 +175,8 @@ impl ReplicaController {
         services.net.promiscuous = false;
         // Steps 3–4: disable both address translations.
         bridge.complete_takeover();
+        self.mark(FailoverPhase::TranslationOff, now);
+        self.journal(now, "takeover.translation_off", &[]);
         // Step 5: take over the primary's IP address. Re-keying the
         // failover TCBs from a_s to a_p is the stack-level half of the
         // takeover (see DESIGN.md §2 for why this is needed).

@@ -41,7 +41,9 @@ use tcpfo_tcp::filter::{
 };
 use tcpfo_tcp::seq::{seq_gt, seq_le, seq_min};
 use tcpfo_tcp::types::SocketAddr;
-use tcpfo_telemetry::{Counter, Gauge, InvariantAuditor, Telemetry};
+use tcpfo_telemetry::{
+    Counter, Gauge, HostClock, InvariantAuditor, LatencyObservatory, Stage, StageLatency, Telemetry,
+};
 use tcpfo_wire::ipv4::Ipv4Addr;
 use tcpfo_wire::tcp::{
     peek_orig_dest, peek_ports, HeaderTemplate, SegmentPatcher, TcpFlags, TcpSegment, TcpView,
@@ -143,11 +145,15 @@ impl PrimaryStats {
     }
 }
 
-/// Per-shard gauge handles (occupancy, LRU evictions, GC reaps).
+/// Per-shard gauge handles (occupancy, inserts, LRU evictions, GC
+/// reaps, lookups, LRU chain depth).
 struct ShardGaugeSet {
     occupancy: Gauge,
+    inserted: Gauge,
     evicted: Gauge,
     reaped: Gauge,
+    lookups: Gauge,
+    lru_depth: Gauge,
 }
 
 /// Registry handles mirroring [`PrimaryStats`] plus output-queue depth
@@ -327,6 +333,11 @@ pub struct PrimaryBridge {
     /// Online invariant auditor (attached via [`PrimaryBridge::set_audit`]).
     /// Detached — the default — costs one branch per filtered segment.
     audit: Option<Box<InvariantAuditor>>,
+    /// Per-stage latency observatory (attached via
+    /// [`PrimaryBridge::set_latency`]). Detached — the default — costs
+    /// one branch per stage site; the hot path never reads the host
+    /// clock.
+    latency: Option<Box<LatencyObservatory>>,
     /// Last time the flow-table GC swept.
     last_gc: u64,
 }
@@ -375,6 +386,7 @@ impl PrimaryBridge {
             telemetry: None,
             emit_buf: BytesMut::with_capacity(2048),
             audit: None,
+            latency: None,
             last_gc: 0,
         }
     }
@@ -412,6 +424,25 @@ impl PrimaryBridge {
     /// Mutable access to the attached invariant auditor.
     pub fn audit_mut(&mut self) -> Option<&mut InvariantAuditor> {
         self.audit.as_deref_mut()
+    }
+
+    /// Attaches (or detaches) the per-stage latency observatory. When
+    /// detached — the default — each stage site costs one `Option`
+    /// branch and the host clock is never read, preserving both the
+    /// zero-allocation steady state (`tests/zero_alloc.rs`) and
+    /// deterministic replay.
+    pub fn set_latency(&mut self, latency: Option<Box<LatencyObservatory>>) {
+        self.latency = latency;
+    }
+
+    /// The attached latency observatory, if any.
+    pub fn latency(&self) -> Option<&LatencyObservatory> {
+        self.latency.as_deref()
+    }
+
+    /// Mutable access to the attached latency observatory.
+    pub fn latency_mut(&mut self) -> Option<&mut LatencyObservatory> {
+        self.latency.as_deref_mut()
     }
 
     /// Diagnostic rows for every tracked connection, in no particular
@@ -475,6 +506,7 @@ impl PrimaryBridge {
             flows,
             stats,
             telemetry,
+            latency,
             ..
         } = self;
         let Some(t) = telemetry else {
@@ -508,17 +540,27 @@ impl PrimaryBridge {
             let scope = t.hub.registry.scope("core.primary.flow");
             t.shard_gauges.push(ShardGaugeSet {
                 occupancy: scope.gauge(&format!("shard{i}.occupancy")),
+                inserted: scope.gauge(&format!("shard{i}.inserted")),
                 evicted: scope.gauge(&format!("shard{i}.evicted")),
                 reaped: scope.gauge(&format!("shard{i}.reaps")),
+                lookups: scope.gauge(&format!("shard{i}.lookups")),
+                lru_depth: scope.gauge(&format!("shard{i}.lru_depth")),
             });
         }
         for (i, g) in t.shard_gauges.iter().enumerate() {
             if i < flows.shard_count() {
-                let s = flows.shard(i).stats;
+                let shard = flows.shard(i);
+                let s = shard.stats;
                 g.occupancy.set_at(s.occupancy, now_nanos);
+                g.inserted.set_at(s.inserted, now_nanos);
                 g.evicted.set_at(s.evicted, now_nanos);
                 g.reaped.set_at(s.reaped, now_nanos);
+                g.lookups.set_at(s.lookups, now_nanos);
+                g.lru_depth.set_at(shard.len() as u64, now_nanos);
             }
+        }
+        if let Some(obs) = latency.as_deref_mut() {
+            obs.publish(&t.hub.registry.scope("core.primary"), now_nanos);
         }
     }
 
@@ -754,6 +796,7 @@ impl PrimaryBridge {
             stats,
             emit_buf,
             telemetry,
+            latency,
             ..
         } = self;
         Engine {
@@ -769,6 +812,7 @@ impl PrimaryBridge {
             stats,
             emit_buf,
             instruments: telemetry.as_ref(),
+            lat: latency.as_deref_mut().map(LatencyObservatory::stages_mut),
         }
     }
 
@@ -840,14 +884,17 @@ impl PrimaryBridge {
         let (a_p, a_s, divert_dst, mode, unsafe_ack) =
             (*a_p, *a_s, *divert_dst, *mode, *unsafe_ack_without_min);
         let config: &FailoverConfig = config;
-        // Each worker accumulates stats privately and hands the block
+        let lat_on = self.latency.is_some();
+        // Each worker accumulates stats (and, when the observatory is
+        // attached, a private stage-latency copy) and hands the block
         // back on its bucket's last item; the fold below sums them.
-        // All counters are sums, so the merged total is independent of
-        // thread scheduling.
-        type Produced = (FilterOutput, Option<PrimaryStats>);
+        // All counters are sums and histogram merging is lossless, so
+        // the merged total is independent of thread scheduling.
+        type Produced = (FilterOutput, Option<(PrimaryStats, Option<StageLatency>)>);
         let results: Vec<Produced> = exec.run(flows.shards_mut(), items, &|_si, shard, inputs| {
             let mut stats = PrimaryStats::default();
             let mut emit_buf = BytesMut::with_capacity(2048);
+            let mut lat = lat_on.then(StageLatency::new);
             let n = inputs.len();
             inputs
                 .into_iter()
@@ -868,6 +915,7 @@ impl PrimaryBridge {
                             stats: &mut stats,
                             emit_buf: &mut emit_buf,
                             instruments: None,
+                            lat: lat.as_mut(),
                         };
                         match dir {
                             BatchDir::Outbound => eng.outbound(seg, &mut out),
@@ -875,7 +923,7 @@ impl PrimaryBridge {
                         }
                     }
                     let s = if i + 1 == n {
-                        Some(stats.clone())
+                        Some((stats.clone(), lat))
                     } else {
                         None
                     };
@@ -885,8 +933,11 @@ impl PrimaryBridge {
         });
         let mut outs = Vec::with_capacity(results.len());
         for (out, s) in results {
-            if let Some(s) = s {
+            if let Some((s, l)) = s {
                 self.stats.add(&s);
+                if let (Some(obs), Some(l)) = (self.latency.as_deref_mut(), l.as_ref()) {
+                    obs.merge_stages(l);
+                }
             }
             outs.push(out);
         }
@@ -979,6 +1030,10 @@ struct Engine<'a> {
     /// `None` on parallel workers — journal events only flow on the
     /// sequential path, where cross-flow order is meaningful.
     instruments: Option<&'a PrimaryInstruments>,
+    /// Per-stage latency histograms (the observatory's, or a worker's
+    /// private copy). `None` — the default — keeps every stage site to
+    /// one branch with no clock read.
+    lat: Option<&'a mut StageLatency>,
 }
 
 impl Engine<'_> {
@@ -989,6 +1044,25 @@ impl Engine<'_> {
     fn journal(&self, kind: &str, fields: &[(&str, String)]) {
         if let Some(t) = self.instruments {
             t.hub.journal.record(self.now, "core.primary", kind, fields);
+        }
+    }
+
+    /// Host-time stamp opening a stage measurement; 0 (and no clock
+    /// read) when the observatory is detached.
+    #[inline]
+    fn lat_start(&self) -> u64 {
+        if self.lat.is_some() {
+            HostClock::now_ns()
+        } else {
+            0
+        }
+    }
+
+    /// Closes a stage measurement opened by [`Engine::lat_start`].
+    #[inline]
+    fn lat_end(&mut self, stage: Stage, t0: u64) {
+        if let Some(l) = self.lat.as_deref_mut() {
+            l.record(stage, HostClock::now_ns().saturating_sub(t0));
         }
     }
 
@@ -1004,21 +1078,34 @@ impl Engine<'_> {
         }
     }
 
-    /// Whether `key` is a live (queue-carrying) connection.
-    fn is_live(&self, key: &ConnKey) -> bool {
+    /// Whether `key` is a live (queue-carrying) connection, without a
+    /// latency sample (for callers already inside a measured span).
+    fn is_live_raw(&self, key: &ConnKey) -> bool {
         self.shard.state(key).is_some_and(FlowState::is_live)
+    }
+
+    /// Whether `key` is a live (queue-carrying) connection.
+    fn is_live(&mut self, key: &ConnKey) -> bool {
+        let t0 = self.lat_start();
+        let live = self.is_live_raw(key);
+        self.lat_end(Stage::FlowLookup, t0);
+        live
     }
 
     /// Detaches a live connection for owned mutation; pair with
     /// [`Engine::put_live`].
     fn take_live(&mut self, key: &ConnKey) -> Option<Box<Conn>> {
-        if !self.is_live(key) {
-            return None;
-        }
-        match self.shard.remove(key) {
-            Some((_, PrimaryFlow::Live(c))) => Some(c),
-            _ => None,
-        }
+        let t0 = self.lat_start();
+        let taken = if self.is_live_raw(key) {
+            match self.shard.remove(key) {
+                Some((_, PrimaryFlow::Live(c))) => Some(c),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        self.lat_end(Stage::FlowLookup, t0);
+        taken
     }
 
     /// Reattaches a live connection, deriving its lifecycle state from
@@ -1131,6 +1218,7 @@ impl Engine<'_> {
             }
             None => 0,
         };
+        let t0 = self.lat_start();
         let bytes = conn.tmpl.emit_parts(
             self.emit_buf,
             seq,
@@ -1143,6 +1231,7 @@ impl Engine<'_> {
         );
         out.to_wire
             .push(AddressedSegment::new(self.a_p, conn.client.ip, bytes).traced(self.trace));
+        self.lat_end(Stage::EgressEmit, t0);
     }
 
     /// [`Engine::emit_hot`] for a rope release: the payload is the
@@ -1207,6 +1296,7 @@ impl Engine<'_> {
             return;
         };
         loop {
+            let qm0 = self.lat_start();
             let avail = conn
                 .pq
                 .contiguous_from(conn.send_next)
@@ -1218,6 +1308,7 @@ impl Engine<'_> {
                 if from_p != from_s {
                     self.stats.mismatched_bytes += n as u64;
                 }
+                self.lat_end(Stage::QueueMatch, qm0);
                 let Some(ack) = self.client_ack(&conn) else {
                     self.stats.drops += 1;
                     break;
@@ -1230,6 +1321,9 @@ impl Engine<'_> {
                 self.emit_release(&mut conn, seq, Some(ack), TcpFlags::PSH, win, &from_s, out);
                 continue;
             }
+            // No matched payload: the release decision itself is still
+            // a queue-match sample.
+            self.lat_end(Stage::QueueMatch, qm0);
             // FIN merge: both replicas have closed at this position.
             if !conn.fin_sent
                 && conn.p_fin == Some(conn.send_next)
@@ -1609,9 +1703,11 @@ impl Engine<'_> {
                     if parsed.flags.contains(TcpFlags::ACK) {
                         let new_ack = parsed.ack.wrapping_add(t.delta);
                         drop(parsed);
+                        let t0 = self.lat_start();
                         let mut patcher = SegmentPatcher::new(raw.bytes, raw.src, raw.dst);
                         patcher.set_ack(new_ack);
                         let (bytes, src, dst) = patcher.finish();
+                        self.lat_end(Stage::ChecksumFixup, t0);
                         self.stats.acks_translated += 1;
                         out.to_tcp
                             .push(AddressedSegment::new(src, dst, bytes).traced(self.trace));
@@ -1661,9 +1757,11 @@ impl Engine<'_> {
             if let Some(delta) = delta_opt {
                 let new_ack = parsed.ack.wrapping_add(delta);
                 drop(parsed);
+                let t0 = self.lat_start();
                 let mut patcher = SegmentPatcher::new(raw.bytes, raw.src, raw.dst);
                 patcher.set_ack(new_ack);
                 let (bytes, src, dst) = patcher.finish();
+                self.lat_end(Stage::ChecksumFixup, t0);
                 self.stats.acks_translated += 1;
                 out.to_tcp
                     .push(AddressedSegment::new(src, dst, bytes).traced(self.trace));
@@ -1684,7 +1782,10 @@ impl Engine<'_> {
 
     /// The outbound datapath body (our TCP layer → wire).
     fn outbound(&mut self, seg: AddressedSegment, out: &mut FilterOutput) {
-        let Ok(parsed) = TcpSegment::decode_shared(&seg.bytes) else {
+        let ip0 = self.lat_start();
+        let parsed = TcpSegment::decode_shared(&seg.bytes);
+        self.lat_end(Stage::IngressParse, ip0);
+        let Ok(parsed) = parsed else {
             out.to_wire.push(seg);
             return;
         };
@@ -1705,9 +1806,11 @@ impl Engine<'_> {
             if t.degraded {
                 let new_seq = parsed.seq.wrapping_sub(t.delta);
                 drop(parsed);
+                let t0 = self.lat_start();
                 let mut p = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
                 p.set_seq(new_seq);
                 let (bytes, src, dst) = p.finish();
+                self.lat_end(Stage::ChecksumFixup, t0);
                 out.to_wire
                     .push(AddressedSegment::new(src, dst, bytes).traced(self.trace));
                 return;
@@ -1768,10 +1871,15 @@ impl Engine<'_> {
                 }
                 // Strip the option before processing so payload
                 // matching sees the canonical segment.
+                let t0 = self.lat_start();
                 let mut patcher = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
                 patcher.strip_orig_dest_option();
                 let (bytes, ..) = patcher.finish();
-                let Ok(canonical) = TcpSegment::decode_shared(&bytes) else {
+                self.lat_end(Stage::ChecksumFixup, t0);
+                let ip0 = self.lat_start();
+                let canonical = TcpSegment::decode_shared(&bytes);
+                self.lat_end(Stage::IngressParse, ip0);
+                let Ok(canonical) = canonical else {
                     self.stats.drops += 1;
                     return;
                 };
@@ -1787,7 +1895,10 @@ impl Engine<'_> {
                 return;
             }
         }
-        let Ok(parsed) = TcpSegment::decode_shared(&seg.bytes) else {
+        let ip0 = self.lat_start();
+        let parsed = TcpSegment::decode_shared(&seg.bytes);
+        self.lat_end(Stage::IngressParse, ip0);
+        let Ok(parsed) = parsed else {
             out.to_tcp.push(seg);
             return;
         };
@@ -1848,6 +1959,10 @@ impl SegmentFilter for PrimaryBridge {
             FailoverRule::Port(p) => self.config.add_port(p),
             FailoverRule::Tuple(t) => self.config.add_conn(ConnKey::new(t.local.port, t.remote)),
         }
+    }
+
+    fn latency_stages(&self) -> Option<&StageLatency> {
+        self.latency.as_deref().map(LatencyObservatory::stages)
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {

@@ -30,7 +30,10 @@ use crate::flow::{FlowState, FlowTable, FlowTableConfig, ShardStats};
 use tcpfo_tcp::filter::{AddressedSegment, FailoverRule, FilterOutput, SegmentFilter};
 use tcpfo_tcp::types::SocketAddr;
 use tcpfo_telemetry::audit::{SecondaryPhase, TakeoverStep};
-use tcpfo_telemetry::{Counter, FailoverPhase, Gauge, InvariantAuditor, Telemetry};
+use tcpfo_telemetry::{
+    Counter, FailoverPhase, Gauge, HostClock, InvariantAuditor, LatencyObservatory, Stage,
+    Telemetry,
+};
 use tcpfo_wire::ipv4::Ipv4Addr;
 use tcpfo_wire::tcp::{SegmentPatcher, TcpFlags, TcpView};
 
@@ -63,6 +66,17 @@ pub struct SecondaryStats {
     pub flows_reaped: u64,
 }
 
+/// Per-shard witness-table gauge handles (occupancy, inserts, LRU
+/// evictions, GC reaps, lookups, LRU chain depth).
+struct ShardGaugeSet {
+    occupancy: Gauge,
+    inserted: Gauge,
+    evicted: Gauge,
+    reaped: Gauge,
+    lookups: Gauge,
+    lru_depth: Gauge,
+}
+
 /// Registry handles mirroring [`SecondaryStats`] under the
 /// `core.secondary` scope, plus the shared hub for timeline marks.
 struct SecondaryInstruments {
@@ -73,6 +87,10 @@ struct SecondaryInstruments {
     evicted_flows: Counter,
     flows_reaped: Counter,
     flow_occupancy: Gauge,
+    /// Per-shard witness-table gauges under `core.secondary.flow`,
+    /// created on demand (the shard count can change via
+    /// [`SecondaryBridge::set_flow_config`]).
+    shard_gauges: Vec<ShardGaugeSet>,
 }
 
 /// Operating state of the secondary bridge.
@@ -125,6 +143,11 @@ pub struct SecondaryBridge {
     /// Online invariant auditor (attached via
     /// [`SecondaryBridge::set_audit`]).
     audit: Option<Box<InvariantAuditor>>,
+    /// Per-stage latency observatory (attached via
+    /// [`SecondaryBridge::set_latency`]). Detached — the default —
+    /// costs one branch per stage site; the hot path never reads the
+    /// host clock.
+    latency: Option<Box<LatencyObservatory>>,
     /// Sim time of the most recent filtered segment or tick, so the
     /// clock-less takeover calls can stamp auditor events.
     last_now: u64,
@@ -148,6 +171,7 @@ impl SecondaryBridge {
             stats: SecondaryStats::default(),
             telemetry: None,
             audit: None,
+            latency: None,
             last_now: 0,
             last_gc: 0,
         }
@@ -201,6 +225,43 @@ impl SecondaryBridge {
         self.audit.as_deref_mut()
     }
 
+    /// Attaches (or detaches) the per-stage latency observatory. When
+    /// detached — the default — each stage site costs one `Option`
+    /// branch and the host clock is never read.
+    pub fn set_latency(&mut self, latency: Option<Box<LatencyObservatory>>) {
+        self.latency = latency;
+    }
+
+    /// The attached latency observatory, if any.
+    pub fn latency(&self) -> Option<&LatencyObservatory> {
+        self.latency.as_deref()
+    }
+
+    /// Mutable access to the attached latency observatory.
+    pub fn latency_mut(&mut self) -> Option<&mut LatencyObservatory> {
+        self.latency.as_deref_mut()
+    }
+
+    /// Host-time stamp opening a stage measurement; 0 (and no clock
+    /// read) when the observatory is detached.
+    #[inline]
+    fn lat_start(&self) -> u64 {
+        if self.latency.is_some() {
+            HostClock::now_ns()
+        } else {
+            0
+        }
+    }
+
+    /// Closes a stage measurement opened by
+    /// [`SecondaryBridge::lat_start`].
+    #[inline]
+    fn lat_end(&mut self, stage: Stage, t0: u64) {
+        if let Some(l) = self.latency.as_deref_mut() {
+            l.record(stage, HostClock::now_ns().saturating_sub(t0));
+        }
+    }
+
     /// Connects the bridge to a telemetry hub: mirrors
     /// [`SecondaryStats`] onto registry counters under `core.secondary`
     /// and stamps the [`FailoverPhase::FirstClientByte`] timeline mark
@@ -215,22 +276,57 @@ impl SecondaryBridge {
             evicted_flows: scope.counter("evicted_flows"),
             flows_reaped: scope.counter("flows_reaped"),
             flow_occupancy: scope.gauge("flow_occupancy"),
+            shard_gauges: Vec::new(),
         });
     }
 
-    /// Publishes [`SecondaryStats`] and the witness-table occupancy to
-    /// the registry.
+    /// Publishes [`SecondaryStats`], the witness-table occupancy, the
+    /// per-shard witness gauges, and the stage-latency quantiles (when
+    /// an observatory is attached) to the registry.
     pub fn sync_telemetry(&mut self, now_nanos: u64) {
-        let Some(t) = &self.telemetry else {
+        let SecondaryBridge {
+            flows,
+            stats,
+            telemetry,
+            latency,
+            ..
+        } = self;
+        let Some(t) = telemetry else {
             return;
         };
-        t.ingress_translated
-            .set_at_least(self.stats.ingress_translated);
-        t.egress_diverted.set_at_least(self.stats.egress_diverted);
-        t.held_dropped.set_at_least(self.stats.held_dropped);
-        t.evicted_flows.set_at_least(self.stats.evicted_flows);
-        t.flows_reaped.set_at_least(self.stats.flows_reaped);
-        t.flow_occupancy.set_at(self.flows.len() as u64, now_nanos);
+        t.ingress_translated.set_at_least(stats.ingress_translated);
+        t.egress_diverted.set_at_least(stats.egress_diverted);
+        t.held_dropped.set_at_least(stats.held_dropped);
+        t.evicted_flows.set_at_least(stats.evicted_flows);
+        t.flows_reaped.set_at_least(stats.flows_reaped);
+        t.flow_occupancy.set_at(flows.len() as u64, now_nanos);
+        while t.shard_gauges.len() < flows.shard_count() {
+            let i = t.shard_gauges.len();
+            let scope = t.hub.registry.scope("core.secondary.flow");
+            t.shard_gauges.push(ShardGaugeSet {
+                occupancy: scope.gauge(&format!("shard{i}.occupancy")),
+                inserted: scope.gauge(&format!("shard{i}.inserted")),
+                evicted: scope.gauge(&format!("shard{i}.evicted")),
+                reaped: scope.gauge(&format!("shard{i}.reaps")),
+                lookups: scope.gauge(&format!("shard{i}.lookups")),
+                lru_depth: scope.gauge(&format!("shard{i}.lru_depth")),
+            });
+        }
+        for (i, g) in t.shard_gauges.iter().enumerate() {
+            if i < flows.shard_count() {
+                let shard = flows.shard(i);
+                let s = shard.stats;
+                g.occupancy.set_at(s.occupancy, now_nanos);
+                g.inserted.set_at(s.inserted, now_nanos);
+                g.evicted.set_at(s.evicted, now_nanos);
+                g.reaped.set_at(s.reaped, now_nanos);
+                g.lookups.set_at(s.lookups, now_nanos);
+                g.lru_depth.set_at(shard.len() as u64, now_nanos);
+            }
+        }
+        if let Some(obs) = latency.as_deref_mut() {
+            obs.publish(&t.hub.registry.scope("core.secondary"), now_nanos);
+        }
     }
 
     /// Current mode.
@@ -325,7 +421,10 @@ impl SecondaryBridge {
             out.to_wire.push(seg);
             return;
         }
-        let Ok(view) = TcpView::new(&seg.bytes) else {
+        let ip0 = self.lat_start();
+        let view = TcpView::new(&seg.bytes);
+        self.lat_end(Stage::IngressParse, ip0);
+        let Ok(view) = view else {
             out.to_wire.push(seg);
             return;
         };
@@ -344,25 +443,30 @@ impl SecondaryBridge {
         // closed moves the entry into TimeWait for the GC to reap.
         if view.flags().contains(TcpFlags::FIN) {
             let key = ConnKey::new(view.src_port(), peer);
-            if let Some(flow) = self.flows.get_mut(&key, now) {
+            let fl0 = self.lat_start();
+            let st = self.flows.get_mut(&key, now).map(|flow| {
                 flow.server_fin = true;
-                let both = flow.client_fin;
-                let st = if both {
+                if flow.client_fin {
                     FlowState::TimeWait
                 } else {
                     FlowState::Closing
-                };
+                }
+            });
+            if let Some(st) = st {
                 self.flows.set_state(&key, st, now);
             }
+            self.lat_end(Stage::FlowLookup, fl0);
         }
         // Divert to the primary, recording the original destination.
         let orig = seg.dst;
         let orig_port = view.dst_port();
         let trace = seg.trace;
+        let cf0 = self.lat_start();
         let mut patcher = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
         patcher.push_orig_dest_option(orig, orig_port);
         patcher.set_pseudo_dst(self.upstream);
         let (bytes, src, dst) = patcher.finish();
+        self.lat_end(Stage::ChecksumFixup, cf0);
         self.stats.egress_diverted += 1;
         out.to_wire
             .push(AddressedSegment::new(src, dst, bytes).traced(trace));
@@ -386,7 +490,10 @@ impl SecondaryBridge {
             out.to_tcp.push(seg);
             return;
         }
-        let Ok(view) = TcpView::new(&seg.bytes) else {
+        let ip0 = self.lat_start();
+        let view = TcpView::new(&seg.bytes);
+        self.lat_end(Stage::IngressParse, ip0);
+        let Ok(view) = view else {
             out.to_tcp.push(seg);
             return;
         };
@@ -406,22 +513,29 @@ impl SecondaryBridge {
         if view.flags().contains(TcpFlags::SYN) {
             // A SYN opens (or, for tuple reuse, resets) the witness
             // entry — the insert replaces any residue in place.
-            if self
+            let fl0 = self.lat_start();
+            let evicted = self
                 .flows
                 .insert(key, FlowState::Establishing, SeenFlow::default(), now)
-                .is_some()
-            {
+                .is_some();
+            self.lat_end(Stage::FlowLookup, fl0);
+            if evicted {
                 self.stats.evicted_flows += 1;
             }
         } else {
-            let Some(flow) = self.flows.get_mut(&key, now) else {
+            let fin = view.flags().contains(TcpFlags::FIN);
+            let fl0 = self.lat_start();
+            let fins = self.flows.get_mut(&key, now).map(|flow| {
+                if fin {
+                    flow.client_fin = true;
+                }
+                (flow.client_fin, flow.server_fin)
+            });
+            self.lat_end(Stage::FlowLookup, fl0);
+            let Some((cf, sf)) = fins else {
                 out.to_tcp.push(seg);
                 return;
             };
-            if view.flags().contains(TcpFlags::FIN) {
-                flow.client_fin = true;
-            }
-            let (cf, sf) = (flow.client_fin, flow.server_fin);
             let st = match (cf, sf) {
                 (true, true) => FlowState::TimeWait,
                 (true, false) | (false, true) => FlowState::Closing,
@@ -436,9 +550,11 @@ impl SecondaryBridge {
             }
         }
         let trace = seg.trace;
+        let cf0 = self.lat_start();
         let mut patcher = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
         patcher.set_pseudo_dst(self.a_s);
         let (bytes, src, dst) = patcher.finish();
+        self.lat_end(Stage::ChecksumFixup, cf0);
         self.stats.ingress_translated += 1;
         out.to_tcp
             .push(AddressedSegment::new(src, dst, bytes).traced(trace));
@@ -529,6 +645,10 @@ impl SegmentFilter for SecondaryBridge {
                 .config
                 .add_conn(crate::designation::ConnKey::new(t.local.port, t.remote)),
         }
+    }
+
+    fn latency_stages(&self) -> Option<&tcpfo_telemetry::StageLatency> {
+        self.latency.as_deref().map(LatencyObservatory::stages)
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {

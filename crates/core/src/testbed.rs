@@ -29,7 +29,10 @@ use tcpfo_net::trace::{to_pcapng, TraceKind};
 use tcpfo_tcp::config::TcpConfig;
 use tcpfo_tcp::host::{spawn_host, CpuModel, Host, HostConfig};
 use tcpfo_telemetry::audit::{env_audit_enabled, env_capacity};
-use tcpfo_telemetry::{AuditConfig, FailoverPhase, InvariantAuditor, MetricsSnapshot, Telemetry};
+use tcpfo_telemetry::latency::env_latency_enabled;
+use tcpfo_telemetry::{
+    AuditConfig, FailoverPhase, InvariantAuditor, LatencyObservatory, MetricsSnapshot, Telemetry,
+};
 
 /// Well-known testbed addresses.
 pub mod addrs {
@@ -126,6 +129,10 @@ pub struct TestbedConfig {
     /// follows the `TCPFO_AUDIT` environment knob; `Some(_)` overrides
     /// it.
     pub audit: Option<bool>,
+    /// Attach the per-stage latency observatory to both bridges.
+    /// `None` follows the `TCPFO_LATENCY` environment knob; `Some(_)`
+    /// overrides it.
+    pub latency: Option<bool>,
     /// Event-journal ring capacity. `None` follows `TCPFO_JOURNAL_CAP`
     /// (default [`tcpfo_telemetry::journal::DEFAULT_CAPACITY`]).
     pub journal_capacity: Option<usize>,
@@ -160,6 +167,7 @@ impl Default for TestbedConfig {
             loss_to_secondary: 0.0,
             loss_to_router: 0.0,
             audit: None,
+            latency: None,
             journal_capacity: None,
             trace_capacity: None,
             flow_shards: None,
@@ -224,6 +232,7 @@ impl Testbed {
             None => Telemetry::from_env(),
         };
         let audit_on = config.audit.unwrap_or_else(env_audit_enabled);
+        let latency_on = config.latency.unwrap_or_else(env_latency_enabled);
         let mut sim = Simulator::new(config.seed);
         sim.set_telemetry(telemetry.clone());
         sim.set_trace_capacity(
@@ -293,6 +302,9 @@ impl Testbed {
                     InvariantAuditor::new(AuditConfig::from_env("primary")).with_hub(&telemetry),
                 )));
             }
+            if latency_on {
+                bridge.set_latency(Some(Box::new(LatencyObservatory::new())));
+            }
             primary_host.set_filter(Box::new(bridge));
             let mut controller = ReplicaController::new(
                 Role::Primary,
@@ -325,6 +337,9 @@ impl Testbed {
                 bridge.set_audit(Some(Box::new(
                     InvariantAuditor::new(AuditConfig::from_env("secondary")).with_hub(&telemetry),
                 )));
+            }
+            if latency_on {
+                bridge.set_latency(Some(Box::new(LatencyObservatory::new())));
             }
             host.set_filter(Box::new(bridge));
             let mut controller = ReplicaController::new(
@@ -499,6 +514,9 @@ impl Testbed {
                     .with_hub(&self.telemetry),
             )));
         }
+        if self.config.latency.unwrap_or_else(env_latency_enabled) {
+            bridge.set_latency(Some(Box::new(LatencyObservatory::new())));
+        }
         host.set_filter(Box::new(bridge));
         let mut controller = ReplicaController::new(
             Role::Secondary,
@@ -637,6 +655,39 @@ impl Testbed {
                 .downcast_mut::<SecondaryBridge>()?
                 .audit()?;
             Some(f(aud))
+        })
+    }
+
+    /// Runs `f` against the primary bridge's attached latency
+    /// observatory, if any.
+    pub fn with_primary_latency<R>(
+        &mut self,
+        f: impl FnOnce(&LatencyObservatory) -> R,
+    ) -> Option<R> {
+        self.sim.with::<Host, _>(self.primary, move |h, _| {
+            let obs = h
+                .filter_mut()
+                .as_any_mut()
+                .downcast_mut::<PrimaryBridge>()?
+                .latency()?;
+            Some(f(obs))
+        })
+    }
+
+    /// Runs `f` against the secondary bridge's attached latency
+    /// observatory, if any.
+    pub fn with_secondary_latency<R>(
+        &mut self,
+        f: impl FnOnce(&LatencyObservatory) -> R,
+    ) -> Option<R> {
+        let s = self.secondary?;
+        self.sim.with::<Host, _>(s, move |h, _| {
+            let obs = h
+                .filter_mut()
+                .as_any_mut()
+                .downcast_mut::<SecondaryBridge>()?
+                .latency()?;
+            Some(f(obs))
         })
     }
 

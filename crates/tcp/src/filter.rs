@@ -11,6 +11,7 @@
 use crate::types::{FourTuple, SocketAddr};
 use bytes::Bytes;
 use tcpfo_telemetry::audit::AuditKey;
+use tcpfo_telemetry::StageLatency;
 use tcpfo_wire::ipv4::Ipv4Addr;
 use tcpfo_wire::tcp::peek_ports;
 
@@ -301,6 +302,13 @@ pub trait SegmentFilter {
     /// Registers a failover-connection designation (§7's socket option
     /// or port-set configuration). Filters that do not care ignore it.
     fn designate(&mut self, _rule: FailoverRule) {}
+
+    /// The filter's accumulated per-stage latency histograms, when a
+    /// latency observatory is attached. `None` — the default — for
+    /// filters without one (or with it detached).
+    fn latency_stages(&self) -> Option<&StageLatency> {
+        None
+    }
 
     /// Downcast support so controllers can reconfigure a concrete
     /// bridge (failover procedures of §5/§6).

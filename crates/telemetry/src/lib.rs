@@ -38,16 +38,20 @@
 pub mod audit;
 pub mod journal;
 pub mod json;
+pub mod latency;
 pub mod registry;
 pub mod table;
 pub mod timeline;
 
 pub use audit::{AuditConfig, InvariantAuditor, Rule, RuleLedger, TraceId, Violation};
 pub use journal::{Event, Journal};
+pub use latency::{
+    HostClock, HostHistogram, LatencyObservatory, LogHistogram, SimHistogram, Stage, StageLatency,
+};
 pub use registry::{
     Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, Scope,
 };
-pub use timeline::{FailoverPhase, FailoverTimeline};
+pub use timeline::{FailoverPhase, FailoverTimeline, MttrBreakdown};
 
 /// Formats sim-nanoseconds with the same unit scaling the simulator's
 /// `SimTime` display uses.
@@ -111,6 +115,10 @@ impl Telemetry {
         out.push_str(&indent(&self.timeline.to_json(), 2));
         out.push_str(",\n  \"events\": ");
         out.push_str(&indent(&self.journal.to_json(), 2));
+        // Journal saturation must be visible, not silent: how many
+        // events the bounded ring dropped before this export.
+        out.push_str(",\n  \"journal_dropped\": ");
+        out.push_str(&self.journal.dropped().to_string());
         out.push_str("\n}\n");
         out
     }
@@ -157,5 +165,16 @@ mod tests {
         assert!(doc.contains("core.matched_bytes"), "{doc}");
         assert!(doc.contains("\"timeline\""), "{doc}");
         assert!(doc.contains("\"events\""), "{doc}");
+        assert!(doc.contains("\"journal_dropped\": 0"), "{doc}");
+    }
+
+    #[test]
+    fn export_json_reports_journal_drops() {
+        let t = Telemetry::with_journal_capacity(2);
+        for i in 0..5 {
+            t.journal.record(i, "core", "tick", &[]);
+        }
+        let doc = t.export_json(10);
+        assert!(doc.contains("\"journal_dropped\": 3"), "{doc}");
     }
 }

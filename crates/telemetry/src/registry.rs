@@ -165,6 +165,22 @@ impl Histogram {
         self.inner.count.load(Ordering::Relaxed)
     }
 
+    /// Adds a pre-aggregated batch: `buckets` holds `(log2 bucket
+    /// index, observation count)` pairs (same indexing as single
+    /// `record`s; out-of-range indices clamp to the top bucket), with
+    /// the batch's exact totals alongside. This is how the latency
+    /// observatory mirrors its lock-free shard-local histograms into
+    /// the registry without replaying every observation.
+    pub fn absorb(&self, buckets: &[(usize, u64)], count: u64, sum: u64, min: u64, max: u64) {
+        for &(i, n) in buckets {
+            self.inner.buckets[i.min(HISTOGRAM_BUCKETS - 1)].fetch_add(n, Ordering::Relaxed);
+        }
+        self.inner.count.fetch_add(count, Ordering::Relaxed);
+        self.inner.sum.fetch_add(sum, Ordering::Relaxed);
+        self.inner.min.fetch_min(min, Ordering::Relaxed);
+        self.inner.max.fetch_max(max, Ordering::Relaxed);
+    }
+
     /// Immutable copy of the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let count = self.count();
@@ -224,6 +240,41 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Non-empty `(exclusive upper bound, count)` log2 buckets.
     pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`): the inclusive upper bound of
+    /// the log2 bucket holding the rank-`⌈q·count⌉` observation,
+    /// clamped to the recorded maximum. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (le, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                return le.saturating_sub(1).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -474,6 +525,12 @@ impl MetricsSnapshot {
             }
             out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
             out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+            for (suffix, q) in [("p50", 0.5), ("p99", 0.99), ("p999", 0.999)] {
+                out.push_str(&format!(
+                    "# TYPE {n}_{suffix} gauge\n{n}_{suffix} {}\n",
+                    h.quantile(q)
+                ));
+            }
         }
         out
     }
@@ -526,6 +583,49 @@ mod tests {
         assert_eq!(s.max, 700);
         // 0 → bucket ub 1; 1 → ub 2; {2,3} → ub 4; 700 → ub 1024.
         assert_eq!(s.buckets, vec![(1, 1), (2, 1), (4, 2), (1024, 1)]);
+    }
+
+    #[test]
+    fn histogram_absorb_and_snapshot_quantiles() {
+        let h = Histogram::default();
+        h.record(3);
+        // A pre-aggregated batch: 10 observations of ~700 (bucket 10),
+        // 2 of ~40 (bucket 6).
+        h.absorb(&[(10, 10), (6, 2)], 12, 7_080, 40, 700);
+        let s = h.snapshot();
+        assert_eq!(s.count, 13);
+        assert_eq!(s.sum, 7_083);
+        assert_eq!(s.min, 3);
+        assert_eq!(s.max, 700);
+        // Rank 7 of 13 lands in the bucket with exclusive bound 1024:
+        // reported as 1023 clamped to the max.
+        assert_eq!(s.p50(), 700);
+        assert_eq!(s.quantile(0.0), 3);
+        assert_eq!(HistogramSnapshot::default_empty().p99(), 0);
+    }
+
+    impl HistogramSnapshot {
+        fn default_empty() -> Self {
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                buckets: Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_exposes_quantiles() {
+        let r = Registry::new();
+        for v in [1u64, 2, 3, 900] {
+            r.histogram("lat").record(v);
+        }
+        let text = r.snapshot(0).to_prometheus();
+        assert!(text.contains("tcpfo_lat_p50 "), "{text}");
+        assert!(text.contains("tcpfo_lat_p99 "), "{text}");
+        assert!(text.contains("tcpfo_lat_p999 "), "{text}");
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub enum FailoverPhase {
     Detection,
     /// The secondary began holding egress while reconfiguring.
     EgressHold,
+    /// Both address translations (ingress a_p→a_s, egress diversion)
+    /// were switched off — §5 steps 3–4.
+    TranslationOff,
     /// The secondary claimed the primary's IP (gratuitous ARP, TCB
     /// rekey) and resumed egress.
     ArpTakeover,
@@ -25,12 +28,16 @@ pub enum FailoverPhase {
     FirstClientByte,
 }
 
+/// Number of [`FailoverPhase`]s.
+const PHASES: usize = 6;
+
 impl FailoverPhase {
     /// All phases in causal order.
-    pub const ALL: [FailoverPhase; 5] = [
+    pub const ALL: [FailoverPhase; PHASES] = [
         FailoverPhase::Failure,
         FailoverPhase::Detection,
         FailoverPhase::EgressHold,
+        FailoverPhase::TranslationOff,
         FailoverPhase::ArpTakeover,
         FailoverPhase::FirstClientByte,
     ];
@@ -41,6 +48,7 @@ impl FailoverPhase {
             FailoverPhase::Failure => "failure",
             FailoverPhase::Detection => "detection",
             FailoverPhase::EgressHold => "egress_hold",
+            FailoverPhase::TranslationOff => "translation_off",
             FailoverPhase::ArpTakeover => "arp_takeover",
             FailoverPhase::FirstClientByte => "first_client_byte",
         }
@@ -51,8 +59,9 @@ impl FailoverPhase {
             FailoverPhase::Failure => 0,
             FailoverPhase::Detection => 1,
             FailoverPhase::EgressHold => 2,
-            FailoverPhase::ArpTakeover => 3,
-            FailoverPhase::FirstClientByte => 4,
+            FailoverPhase::TranslationOff => 3,
+            FailoverPhase::ArpTakeover => 4,
+            FailoverPhase::FirstClientByte => 5,
         }
     }
 }
@@ -60,7 +69,7 @@ impl FailoverPhase {
 /// Shared record of when each failover phase first occurred.
 #[derive(Debug, Clone, Default)]
 pub struct FailoverTimeline {
-    marks: Arc<Mutex<[Option<u64>; 5]>>,
+    marks: Arc<Mutex<[Option<u64>; PHASES]>>,
 }
 
 impl FailoverTimeline {
@@ -112,7 +121,12 @@ impl FailoverTimeline {
 
     /// Clears all marks (for reuse across repeated failovers).
     pub fn reset(&self) {
-        *self.marks.lock().unwrap() = [None; 5];
+        *self.marks.lock().unwrap() = [None; PHASES];
+    }
+
+    /// The §5 MTTR decomposition, when the timeline is complete.
+    pub fn mttr(&self) -> Option<MttrBreakdown> {
+        MttrBreakdown::from_timeline(self)
     }
 
     /// Human-readable per-phase breakdown with deltas, e.g.
@@ -145,7 +159,8 @@ impl FailoverTimeline {
     }
 
     /// Renders the timeline as a JSON object (unmarked phases are
-    /// `null`).
+    /// `null`); a complete timeline also carries the `mttr`
+    /// decomposition object.
     pub fn to_json(&self) -> String {
         let mut obj = JsonObject::new();
         for phase in FailoverPhase::ALL {
@@ -158,6 +173,81 @@ impl FailoverTimeline {
             Some(t) => obj.u64("client_visible_ns", t),
             None => obj.raw("client_visible_ns", "null"),
         };
+        match self.mttr() {
+            Some(m) => obj.raw("mttr", m.to_json()),
+            None => obj.raw("mttr", "null"),
+        };
+        obj.render()
+    }
+}
+
+/// The §5 MTTR decomposition: phase-to-phase deltas (sim nanoseconds)
+/// of a complete [`FailoverTimeline`]. Each field is the time spent
+/// *in* that step, so the fields sum to `total_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MttrBreakdown {
+    /// Failure injected → heartbeat monitor declared the primary dead.
+    pub detection_ns: u64,
+    /// Detection → client-bound egress held.
+    pub hold_ns: u64,
+    /// Egress hold → both address translations disabled.
+    pub translation_ns: u64,
+    /// Translation off → gratuitous ARP sent (IP claimed).
+    pub arp_ns: u64,
+    /// ARP takeover → first client-visible payload byte from S.
+    pub first_byte_ns: u64,
+    /// Failure → first client-visible byte (the client-side MTTR).
+    pub total_ns: u64,
+}
+
+impl MttrBreakdown {
+    /// Field names in phase order, matching the JSON keys.
+    pub const FIELDS: [&'static str; 5] = [
+        "detection_ns",
+        "hold_ns",
+        "translation_ns",
+        "arp_ns",
+        "first_byte_ns",
+    ];
+
+    /// Derives the decomposition from a complete, monotone timeline;
+    /// `None` if any phase is unmarked or out of order.
+    pub fn from_timeline(t: &FailoverTimeline) -> Option<MttrBreakdown> {
+        if !t.is_monotone() {
+            return None;
+        }
+        let mut stamps = [0u64; PHASES];
+        for (i, phase) in FailoverPhase::ALL.into_iter().enumerate() {
+            stamps[i] = t.at(phase)?;
+        }
+        Some(MttrBreakdown {
+            detection_ns: stamps[1] - stamps[0],
+            hold_ns: stamps[2] - stamps[1],
+            translation_ns: stamps[3] - stamps[2],
+            arp_ns: stamps[4] - stamps[3],
+            first_byte_ns: stamps[5] - stamps[4],
+            total_ns: stamps[5] - stamps[0],
+        })
+    }
+
+    /// The deltas in phase order (same order as [`MttrBreakdown::FIELDS`]).
+    pub fn deltas(&self) -> [u64; 5] {
+        [
+            self.detection_ns,
+            self.hold_ns,
+            self.translation_ns,
+            self.arp_ns,
+            self.first_byte_ns,
+        ]
+    }
+
+    /// Renders the decomposition as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        for (name, v) in Self::FIELDS.into_iter().zip(self.deltas()) {
+            obj.u64(name, v);
+        }
+        obj.u64("total_ns", self.total_ns);
         obj.render()
     }
 }
@@ -182,13 +272,28 @@ mod tests {
         t.mark(FailoverPhase::Failure, 10);
         t.mark(FailoverPhase::Detection, 60);
         t.mark(FailoverPhase::EgressHold, 60);
+        t.mark(FailoverPhase::TranslationOff, 60);
         t.mark(FailoverPhase::ArpTakeover, 61);
         t.mark(FailoverPhase::FirstClientByte, 90);
         assert!(t.is_complete());
         assert!(t.is_monotone());
         assert_eq!(t.total_ns(), Some(80));
+        let m = t.mttr().expect("complete timeline decomposes");
+        assert_eq!(m.detection_ns, 50);
+        assert_eq!(m.hold_ns, 0);
+        assert_eq!(m.translation_ns, 0);
+        assert_eq!(m.arp_ns, 1);
+        assert_eq!(m.first_byte_ns, 29);
+        assert_eq!(m.total_ns, 80);
+        assert_eq!(m.deltas().iter().sum::<u64>(), m.total_ns);
+        assert!(
+            t.to_json().contains("\"translation_ns\": 0"),
+            "{}",
+            t.to_json()
+        );
         t.reset();
         assert!(!t.is_complete());
+        assert_eq!(t.mttr(), None);
     }
 
     #[test]

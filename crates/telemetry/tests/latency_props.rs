@@ -1,0 +1,155 @@
+//! Property tests pinning down the [`LogHistogram`] contract the
+//! latency observatory leans on: the log2-bucket quantile brackets the
+//! exact quantile within a factor of two, merging shard-local copies
+//! is lossless (associative, commutative, equal to recording the
+//! concatenation), and out-of-range values saturate into the top
+//! bucket without corrupting the summary scalars.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tcpfo_telemetry::{HostHistogram, LogHistogram, SimHistogram, Stage, StageLatency};
+
+/// Highest value the 40-bucket host histogram resolves without
+/// saturating (everything at or above `2^(N-2)` shares the top
+/// bucket, where the factor-of-two bracket no longer holds).
+const HOST_RESOLVED_MAX: u64 = 1 << 38;
+
+fn hist(values: &[u64]) -> HostHistogram {
+    let mut h = HostHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The exact `q`-quantile under the same rank convention the
+/// histogram uses: the rank-`⌈q·n⌉` order statistic.
+fn exact_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// value → bucket → quantile round-trip: for resolved values the
+    /// reported quantile brackets the exact one as
+    /// `exact ≤ quantile(q) ≤ max(2·exact, 1)`.
+    #[test]
+    fn quantile_brackets_exact(
+        values in vec(0..HOST_RESOLVED_MAX, 1..200),
+        qm in 0u32..=1000,
+    ) {
+        let q = f64::from(qm) / 1000.0;
+        let h = hist(&values);
+        let exact = exact_quantile(&values, q);
+        let got = h.quantile(q);
+        prop_assert!(got >= exact, "quantile({q}) = {got} < exact {exact}");
+        prop_assert!(
+            got <= (2 * exact).max(1),
+            "quantile({q}) = {got} > 2 * exact ({exact})"
+        );
+        prop_assert!(got <= h.max());
+    }
+
+    /// The quantile function is monotone in `q`.
+    #[test]
+    fn quantile_monotone(
+        values in vec(any::<u64>(), 1..200),
+        a in 0u32..=1000,
+        b in 0u32..=1000,
+    ) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let h = hist(&values);
+        prop_assert!(
+            h.quantile(f64::from(lo) / 1000.0) <= h.quantile(f64::from(hi) / 1000.0)
+        );
+    }
+
+    /// Merging is lossless and order-free: commutative, associative,
+    /// and identical to recording the concatenated observations.
+    #[test]
+    fn merge_is_lossless(
+        a in vec(any::<u64>(), 0..100),
+        b in vec(any::<u64>(), 0..100),
+        c in vec(any::<u64>(), 0..100),
+    ) {
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+
+        let mut ab = ha;
+        ab.merge(&hb);
+        let mut ba = hb;
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba, "merge must be commutative");
+
+        let mut ab_c = ab;
+        ab_c.merge(&hc);
+        let mut bc = hb;
+        bc.merge(&hc);
+        let mut a_bc = ha;
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc, "merge must be associative");
+
+        let concat: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(ab, hist(&concat), "merge must equal recording the union");
+    }
+
+    /// Values beyond the resolved range all saturate into the top
+    /// bucket; quantiles then clamp to the true maximum instead of
+    /// inventing a bucket bound.
+    #[test]
+    fn top_bucket_saturation(
+        values in vec(HOST_RESOLVED_MAX..=u64::MAX, 1..50),
+        qm in 1u32..=1000,
+    ) {
+        let h = hist(&values);
+        let top = HostHistogram::new().buckets().len() - 1;
+        prop_assert_eq!(h.buckets()[top], values.len() as u64);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let q = f64::from(qm) / 1000.0;
+        prop_assert_eq!(h.quantile(q), *values.iter().max().unwrap());
+    }
+
+    /// Per-shard stage merging is lossless across the whole
+    /// [`StageLatency`] array, exactly as `process_batch` relies on
+    /// when it folds worker-private copies back together.
+    #[test]
+    fn stage_latency_merge(
+        a in vec((0usize..Stage::COUNT, any::<u64>()), 0..100),
+        b in vec((0usize..Stage::COUNT, any::<u64>()), 0..100),
+    ) {
+        let fill = |samples: &[(usize, u64)]| {
+            let mut l = StageLatency::new();
+            for &(i, v) in samples {
+                l.record(Stage::ALL[i], v);
+            }
+            l
+        };
+        let (la, lb) = (fill(&a), fill(&b));
+        let mut merged = la;
+        merged.merge(&lb);
+        let concat: Vec<(usize, u64)> = a.iter().chain(&b).copied().collect();
+        let direct = fill(&concat);
+        for &s in &Stage::ALL {
+            prop_assert_eq!(merged.stage(s), direct.stage(s));
+        }
+        prop_assert_eq!(merged.total_count(), (a.len() + b.len()) as u64);
+    }
+}
+
+#[test]
+fn empty_histogram_reports_zeroes() {
+    let h = SimHistogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.quantile(0.5), 0);
+}
+
+#[test]
+fn sim_histogram_resolves_long_durations() {
+    // 19 hours of simulated nanoseconds still lands below the
+    // 48-bucket saturation point.
+    let v = 19 * 3600 * 1_000_000_000u64;
+    assert!(LogHistogram::<48>::bucket_of(v) < 47);
+}
