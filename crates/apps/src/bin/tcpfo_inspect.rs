@@ -7,6 +7,8 @@
 //! tcpfo-inspect prometheus         same run, Prometheus exposition only
 //! tcpfo-inspect watch [--failover] [--frames N] [--plain]
 //!                                  live one-screen refresher over the run
+//! tcpfo-inspect underload [--flows N] [--mice N] [--frames N] [--plain] [--prom]
+//!                                  open-loop load run, live lag/occupancy/corrected-tail view
 //! tcpfo-inspect bundle <dir>       pretty-print a flight-recorder bundle
 //! ```
 //!
@@ -15,13 +17,20 @@
 //! doubles as a smoke test of the audited datapath.
 
 use tcpfo_apps::driver::RequestReplyClient;
+use tcpfo_apps::manyflow::{FlowScript, ManyFlowConfig, ManyFlowNet, Step};
 use tcpfo_apps::stream::SourceServer;
+use tcpfo_core::flow::FlowTableConfig;
 use tcpfo_core::testbed::{addrs, Testbed, TestbedConfig};
-use tcpfo_core::PrimaryBridge;
+use tcpfo_core::{FailoverConfig, PrimaryBridge};
 use tcpfo_net::time::SimDuration;
+use tcpfo_net::{OpenLoopInjector, ShardExecutor};
+use tcpfo_tcp::filter::SegmentFilter;
 use tcpfo_tcp::host::Host;
 use tcpfo_tcp::types::SocketAddr;
 use tcpfo_telemetry::table::render_snapshot;
+use tcpfo_telemetry::{
+    HostClock, LatencyObservatory, Registry, ShardSample, Stage, UnderLoadRecorder,
+};
 use tcpfo_wire::eth::{EtherType, EthernetFrame};
 use tcpfo_wire::ipv4::Ipv4Packet;
 use tcpfo_wire::pcapng::read_packets;
@@ -33,6 +42,7 @@ fn main() {
         Some("run") => run(args.iter().any(|a| a == "--failover"), false),
         Some("prometheus") => run(false, true),
         Some("watch") => watch(&args[1..]),
+        Some("underload") => underload(&args[1..]),
         Some("bundle") => match args.get(1) {
             Some(dir) => bundle(dir),
             None => usage(),
@@ -49,6 +59,8 @@ fn usage() -> i32 {
          tcpfo-inspect prometheus         same run, Prometheus exposition only\n  \
          tcpfo-inspect watch [--failover] [--frames N] [--plain]\n                                   \
          live one-screen refresher over the run\n  \
+         tcpfo-inspect underload [--flows N] [--mice N] [--frames N] [--plain] [--prom]\n                                   \
+         open-loop load run, live lag/occupancy/corrected-tail view\n  \
          tcpfo-inspect bundle <dir>       pretty-print a flight-recorder bundle"
     );
     2
@@ -287,6 +299,237 @@ fn render_watch_frame(
 
     println!("\n── failover timeline ──");
     print!("{timeline}");
+}
+
+/// Open-loop load view: schedules a mice/elephants flow mix at fixed
+/// intended times, injects it through a sharded `PrimaryBridge`, and
+/// redraws a compact under-load dashboard — injection lag, backlog,
+/// occupancy, and coordinated-omission-corrected tails — as the run
+/// progresses. `--flows` sets the resident (held-open) flow count,
+/// `--mice` the churned full-lifecycle flows, `--frames` the number of
+/// dashboard redraws; `--plain` stacks frames instead of clearing the
+/// screen and `--prom` appends the Prometheus exposition at the end.
+fn underload(args: &[String]) -> i32 {
+    let plain = args.iter().any(|a| a == "--plain");
+    let prom = args.iter().any(|a| a == "--prom");
+    let flag = |name: &str, default: usize| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let residents = flag("--flows", 20_000).max(1);
+    let mice = flag("--mice", 4_000);
+    let frames = flag("--frames", 8).max(1);
+
+    // The run is paced so the whole schedule spans ~0.5 s per frame:
+    // flows arrive Poisson-like via jittered spacing from the scripted
+    // seed, steps of one flow 20 µs apart.
+    let span_ns: u64 = frames as u64 * 500_000_000;
+    let net = ManyFlowNet::default();
+    let ecfg = ManyFlowConfig {
+        flows: residents,
+        offset: 0,
+        rounds: 1,
+        payload: 64,
+        close: false,
+        seed: 0xF6,
+    };
+    let mcfg = ManyFlowConfig {
+        flows: mice,
+        offset: residents,
+        rounds: 1,
+        payload: 64,
+        close: true,
+        seed: 0xF6,
+    };
+    let mut schedule: Vec<(u64, (u32, u32))> = Vec::new();
+    let mut push_flows = |cfg: &ManyFlowConfig, base: u32| {
+        if cfg.flows == 0 {
+            return;
+        }
+        let len = FlowScript::new(cfg, net, 0).len();
+        let gap = span_ns / cfg.flows as u64;
+        for f in 0..cfg.flows {
+            // Deterministic jitter stands in for an arrival process so
+            // the view does not depend on the bench crate.
+            let jitter = (f as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % gap.max(1);
+            let t0 = f as u64 * gap + jitter;
+            for k in 0..len {
+                schedule.push((t0 + k as u64 * 20_000, (base + f as u32, k as u32)));
+            }
+        }
+    };
+    push_flows(&ecfg, 0);
+    push_flows(&mcfg, residents as u32);
+    let scheduled = schedule.len();
+
+    let mut bridge = PrimaryBridge::new(net.a_p, net.a_s, FailoverConfig::from_ports([80]));
+    let capacity = (residents + mice).next_power_of_two() * 2;
+    bridge.set_flow_config(FlowTableConfig::new(16, capacity));
+    bridge.set_latency(Some(Box::new(LatencyObservatory::new())));
+    let exec = ShardExecutor::new(1);
+    let mut inj = OpenLoopInjector::new(schedule, 64);
+    let mut rec = UnderLoadRecorder::new(250_000_000, 8, capacity as u64);
+
+    let mut stages_before = *bridge.latency().expect("observatory").stages();
+    let mut sim_now = 0u64;
+    let mut injected = 0u64;
+    let mut batches = 0usize;
+    let mut frame = 0usize;
+    let mut due: Vec<(u64, (u32, u32))> = Vec::new();
+    let t0 = HostClock::now_ns();
+    while inj.remaining() > 0 {
+        let now = HostClock::now_ns().saturating_sub(t0);
+        due.clear();
+        due.extend_from_slice(inj.take_due(now));
+        if due.is_empty() {
+            if let Some(next) = inj.next_intended() {
+                let wait = next.saturating_sub(now);
+                if wait > 1_000 {
+                    std::thread::sleep(std::time::Duration::from_nanos(wait.min(100_000)));
+                }
+            }
+        } else {
+            let mut batch: Vec<Step> = Vec::with_capacity(due.len());
+            let mut batch_lag = 0u64;
+            for &(intended, (flow, k)) in due.iter() {
+                batch_lag = batch_lag.max(now.saturating_sub(intended));
+                let flow = flow as usize;
+                let script = if flow < residents {
+                    FlowScript::new(&ecfg, net, flow)
+                } else {
+                    FlowScript::new(&mcfg, net, flow - residents)
+                };
+                batch.push(script.step_at(k as usize));
+            }
+            bridge.process_batch(batch, sim_now, &exec);
+            sim_now += 1_000_000;
+            let done = HostClock::now_ns().saturating_sub(t0);
+            for &(intended, _) in due.iter() {
+                rec.record_segment(intended, now, done);
+            }
+            injected += due.len() as u64;
+            let stages_after = *bridge.latency().expect("observatory").stages();
+            rec.absorb_stage_window(&stages_before, &stages_after, batch_lag);
+            stages_before = stages_after;
+            rec.set_backlog(inj.backlog(done));
+            batches += 1;
+            if batches.is_multiple_of(32) {
+                let shards: Vec<ShardSample> = bridge
+                    .flow_shard_stats()
+                    .iter()
+                    .map(|s| ShardSample {
+                        occupancy: s.occupancy,
+                        evicted: s.evicted,
+                    })
+                    .collect();
+                rec.sample_shards(&shards);
+            }
+            if batches.is_multiple_of(512) {
+                bridge.on_tick(sim_now);
+            }
+        }
+        // Redraw on frame boundaries of the *intended* timeline so the
+        // cadence stays fixed even when the injector lags.
+        let now = HostClock::now_ns().saturating_sub(t0);
+        while frame < frames && (now >= (frame as u64 + 1) * span_ns / frames as u64) {
+            frame += 1;
+            if !plain {
+                print!("\x1b[2J\x1b[H");
+            }
+            render_underload_frame(&rec, &bridge, frame, frames, injected, scheduled, now);
+        }
+    }
+    let end = HostClock::now_ns().saturating_sub(t0);
+    rec.set_backlog(0);
+    if !plain {
+        print!("\x1b[2J\x1b[H");
+    }
+    render_underload_frame(&rec, &bridge, frames, frames, injected, scheduled, end);
+    println!(
+        "\ndone: {injected}/{scheduled} segments in {:.2}s, {} live flows",
+        end as f64 / 1e9,
+        bridge.conn_count()
+    );
+    if prom {
+        let registry = Registry::new();
+        rec.publish(&registry.scope("inspect"), end);
+        println!("\n{}", registry.snapshot(end).to_prometheus());
+    }
+    0
+}
+
+/// One under-load dashboard frame.
+fn render_underload_frame(
+    rec: &UnderLoadRecorder,
+    bridge: &PrimaryBridge,
+    frame: usize,
+    frames: usize,
+    injected: u64,
+    scheduled: usize,
+    now_ns: u64,
+) {
+    println!(
+        "tcpfo-inspect underload — frame {frame}/{frames} — t = {} ms — {injected}/{scheduled} injected",
+        now_ns / 1_000_000
+    );
+
+    let lag = rec.lag();
+    println!("\n── injection lag (intended → actual, ns) ──");
+    println!(
+        "p50 {:>10}  p99 {:>10}  max {:>10}  backlog {:>7}  backlog peak {:>7}",
+        lag.histogram().p50(),
+        lag.histogram().p99(),
+        lag.histogram().max(),
+        lag.backlog(),
+        lag.max_backlog(),
+    );
+
+    println!("\n── end-to-end latency (ns) ──");
+    let win = rec.windowed_quantile(now_ns, 0.99);
+    let win999 = rec.windowed_quantile(now_ns, 0.999);
+    println!(
+        "naive     p99 {:>12}  p999 {:>12}   (closed-loop view)",
+        rec.naive().p99(),
+        rec.naive().p999()
+    );
+    println!(
+        "corrected p99 {:>12}  p999 {:>12}   (CO-corrected, whole run)",
+        rec.corrected().p99(),
+        rec.corrected().p999()
+    );
+    println!(
+        "window    p99 {:>12}  p999 {:>12}   (CO-corrected, sliding)",
+        win.fmt_ns(),
+        win999.fmt_ns()
+    );
+
+    println!("\n── per-stage corrected p999 (ns) ──");
+    for s in Stage::ALL {
+        let service = rec.stages_service().stage(s);
+        let corrected = rec.stage_corrected(s);
+        println!(
+            "{:<16} service {:>10}  corrected {:>12}  ({} samples)",
+            s.name(),
+            service.quantile_report(0.999).fmt_ns(),
+            corrected.quantile_report(0.999).fmt_ns(),
+            corrected.count(),
+        );
+    }
+
+    let stats = bridge.flow_stats();
+    println!("\n── flow table ──");
+    println!(
+        "occupancy {:>9} (peak {:>9} / cap {:>9})  inserted {:>9}  evicted {:>6}  reaped {:>7}",
+        stats.occupancy,
+        rec.occupancy_peak(),
+        rec.capacity(),
+        stats.inserted,
+        stats.evicted,
+        stats.reaped,
+    );
 }
 
 fn exit_code(tb: &mut Testbed) -> i32 {

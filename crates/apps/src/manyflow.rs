@@ -99,12 +99,20 @@ struct FlowPlan {
 }
 
 impl FlowPlan {
+    /// Ports per client IP. With 16 384 ports per host and the full
+    /// 10.64.0.0/16 host space below, the mapping is injective up to
+    /// ~10⁹ flows — the old 192.168.x.y scheme wrapped its octets past
+    /// ~50k flows and silently aliased 4-tuples, which at 10⁶ flows
+    /// would collapse distinct flows onto shared flow-table entries.
+    const PORTS_PER_IP: usize = 16_384;
+
     fn new(index: usize, seed: u64) -> Self {
         let mut st = seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        // Distinct client IP per flow (192.168.x.y spans 200 hosts per
-        // /24, good for >50k flows); the port just adds entropy.
-        let ip = Ipv4Addr::new(192, 168, (1 + index / 200) as u8, (10 + index % 200) as u8);
-        let port = 10_000 + (index & 0x3fff) as u16;
+        let host = index / Self::PORTS_PER_IP;
+        // 10.64.h.l keeps clear of the testbed's own 10.0.0.x
+        // addresses for any realistic flow count.
+        let ip = Ipv4Addr::new(10, 64 + (host >> 16) as u8, (host >> 8) as u8, host as u8);
+        let port = 10_000 + (index % Self::PORTS_PER_IP) as u16;
         Self {
             client: SocketAddr::new(ip, port),
             iss_c: splitmix(&mut st) as u32,
@@ -132,9 +140,9 @@ impl ManyFlowWorkload {
         let mut per_flow: Vec<Vec<Step>> = Vec::with_capacity(cfg.flows);
         let mut keys = Vec::with_capacity(cfg.flows);
         for i in 0..cfg.flows {
-            let plan = FlowPlan::new(cfg.offset + i, cfg.seed);
-            keys.push(FlowKey::new(SERVER_PORT, plan.client));
-            per_flow.push(script_flow(cfg, net, plan, i));
+            let script = FlowScript::new(cfg, net, i);
+            keys.push(script.key());
+            per_flow.push((0..script.len()).map(|k| script.step_at(k)).collect());
         }
         let steps_per_flow = per_flow.first().map_or(0, Vec::len);
         // Round-robin interleave: step 0 of every flow, then step 1 of
@@ -214,159 +222,221 @@ fn round_payload(cfg: &ManyFlowConfig, flow: usize, round: usize) -> Bytes {
     Bytes::from(bytes)
 }
 
-/// Scripts one connection: handshake, `rounds` data exchanges, and —
-/// when configured — a full bidirectional close.
-fn script_flow(cfg: &ManyFlowConfig, net: ManyFlowNet, plan: FlowPlan, index: usize) -> Vec<Step> {
-    let FlowPlan {
-        client,
-        iss_c,
-        iss_p,
-        iss_s,
-    } = plan;
-    let mut steps = Vec::new();
-    let seg_to = |dst_port: u16| TcpSegment::builder(SERVER_PORT, dst_port);
+/// One connection's script with **O(1) random access**: any step can
+/// be materialised directly from `(flow index, step index)` without
+/// building the preceding ones. This is what lets the PR 6 open-loop
+/// harness schedule millions of flows as flat `(intended_ns, flow,
+/// step)` tokens and encode segments lazily at injection time — a
+/// pre-built 1M-flow workload would hold gigabytes of frames.
+///
+/// The step sequence is exactly the one [`ManyFlowWorkload::generate`]
+/// emits (generation is now implemented on top of this type): a
+/// 3-step handshake, three steps per data round (P data, diverted S
+/// data, client ACK), and — when [`ManyFlowConfig::close`] is set — a
+/// 4-step §8 teardown. Random access is possible because the
+/// cumulative stream position at round `r` is simply
+/// `r × payload` (every data segment carries the same byte count).
+#[derive(Debug, Clone, Copy)]
+pub struct FlowScript {
+    cfg: ManyFlowConfig,
+    net: ManyFlowNet,
+    plan: FlowPlan,
+    /// Local flow index (payload derivation), as distinct from the
+    /// offset-shifted identity index in `plan`.
+    index: usize,
+}
 
-    // --- Handshake -------------------------------------------------
-    steps.push((
-        BatchDir::Inbound,
-        raw(
-            client.ip,
-            net.a_p,
-            TcpSegment::builder(client.port, SERVER_PORT)
-                .seq(iss_c)
-                .flags(TcpFlags::SYN)
-                .mss(1460)
-                .window(60_000)
-                .build(),
-        ),
-    ));
-    steps.push((
-        BatchDir::Outbound,
-        raw(
-            net.a_p,
-            client.ip,
-            seg_to(client.port)
-                .seq(iss_p)
-                .ack(iss_c.wrapping_add(1))
-                .flags(TcpFlags::SYN)
-                .mss(1460)
-                .window(50_000)
-                .build(),
-        ),
-    ));
-    steps.push((
-        BatchDir::Inbound,
-        diverted(
+impl FlowScript {
+    /// The script of local flow `flow` under `cfg` (identity index
+    /// `cfg.offset + flow`, like [`ManyFlowWorkload::generate`]).
+    pub fn new(cfg: &ManyFlowConfig, net: ManyFlowNet, flow: usize) -> Self {
+        FlowScript {
+            cfg: *cfg,
             net,
+            plan: FlowPlan::new(cfg.offset + flow, cfg.seed),
+            index: flow,
+        }
+    }
+
+    /// The connection's flow-table key.
+    pub fn key(&self) -> FlowKey {
+        FlowKey::new(SERVER_PORT, self.plan.client)
+    }
+
+    /// Number of steps in the script.
+    pub fn len(&self) -> usize {
+        3 + 3 * self.cfg.rounds + if self.cfg.close { 4 } else { 0 }
+    }
+
+    /// Whether the script has no steps (never: the handshake is
+    /// always present).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Materialises step `k` (panics when `k ≥ len()`). Stream
+    /// positions are computed in closed form, so cost is independent
+    /// of `k`.
+    pub fn step_at(&self, k: usize) -> Step {
+        let FlowPlan {
             client,
-            seg_to(client.port)
-                .seq(iss_s)
-                .ack(iss_c.wrapping_add(1))
-                .flags(TcpFlags::SYN)
-                .mss(1460)
-                .window(40_000)
-                .build(),
-        ),
-    ));
-
-    // --- Data rounds (server → client, replicas in lockstep) -------
-    let mut sent = 0u32;
-    for round in 0..cfg.rounds {
-        let payload = round_payload(cfg, index, round);
-        let len = payload.len() as u32;
-        steps.push((
-            BatchDir::Outbound,
-            raw(
-                net.a_p,
-                client.ip,
-                seg_to(client.port)
-                    .seq(iss_p.wrapping_add(1).wrapping_add(sent))
-                    .ack(iss_c.wrapping_add(1))
-                    .window(50_000)
-                    .payload(payload.clone())
-                    .build(),
+            iss_c,
+            iss_p,
+            iss_s,
+        } = self.plan;
+        let (cfg, net) = (&self.cfg, self.net);
+        let seg_to = |dst_port: u16| TcpSegment::builder(SERVER_PORT, dst_port);
+        // Bytes on the wire after `r` complete data rounds.
+        let sent_after = |r: usize| (r as u64 * cfg.payload as u64) as u32;
+        match k {
+            // --- Handshake ---------------------------------------
+            0 => (
+                BatchDir::Inbound,
+                raw(
+                    client.ip,
+                    net.a_p,
+                    TcpSegment::builder(client.port, SERVER_PORT)
+                        .seq(iss_c)
+                        .flags(TcpFlags::SYN)
+                        .mss(1460)
+                        .window(60_000)
+                        .build(),
+                ),
             ),
-        ));
-        steps.push((
-            BatchDir::Inbound,
-            diverted(
-                net,
-                client,
-                seg_to(client.port)
-                    .seq(iss_s.wrapping_add(1).wrapping_add(sent))
-                    .ack(iss_c.wrapping_add(1))
-                    .window(40_000)
-                    .payload(payload)
-                    .build(),
+            1 => (
+                BatchDir::Outbound,
+                raw(
+                    net.a_p,
+                    client.ip,
+                    seg_to(client.port)
+                        .seq(iss_p)
+                        .ack(iss_c.wrapping_add(1))
+                        .flags(TcpFlags::SYN)
+                        .mss(1460)
+                        .window(50_000)
+                        .build(),
+                ),
             ),
-        ));
-        sent = sent.wrapping_add(len);
-        // Client ACKs the merged release (client speaks S space).
-        steps.push((
-            BatchDir::Inbound,
-            raw(
-                client.ip,
-                net.a_p,
-                TcpSegment::builder(client.port, SERVER_PORT)
-                    .seq(iss_c.wrapping_add(1))
-                    .ack(iss_s.wrapping_add(1).wrapping_add(sent))
-                    .flags(TcpFlags::ACK)
-                    .window(60_000)
-                    .build(),
+            2 => (
+                BatchDir::Inbound,
+                diverted(
+                    net,
+                    client,
+                    seg_to(client.port)
+                        .seq(iss_s)
+                        .ack(iss_c.wrapping_add(1))
+                        .flags(TcpFlags::SYN)
+                        .mss(1460)
+                        .window(40_000)
+                        .build(),
+                ),
             ),
-        ));
+            // --- Data rounds (server → client, replicas in
+            // lockstep) ---------------------------------------------
+            k if k < 3 + 3 * cfg.rounds => {
+                let round = (k - 3) / 3;
+                let sent = sent_after(round);
+                match (k - 3) % 3 {
+                    0 => (
+                        BatchDir::Outbound,
+                        raw(
+                            net.a_p,
+                            client.ip,
+                            seg_to(client.port)
+                                .seq(iss_p.wrapping_add(1).wrapping_add(sent))
+                                .ack(iss_c.wrapping_add(1))
+                                .window(50_000)
+                                .payload(round_payload(cfg, self.index, round))
+                                .build(),
+                        ),
+                    ),
+                    1 => (
+                        BatchDir::Inbound,
+                        diverted(
+                            net,
+                            client,
+                            seg_to(client.port)
+                                .seq(iss_s.wrapping_add(1).wrapping_add(sent))
+                                .ack(iss_c.wrapping_add(1))
+                                .window(40_000)
+                                .payload(round_payload(cfg, self.index, round))
+                                .build(),
+                        ),
+                    ),
+                    // Client ACKs the merged release (client speaks S
+                    // space).
+                    _ => (
+                        BatchDir::Inbound,
+                        raw(
+                            client.ip,
+                            net.a_p,
+                            TcpSegment::builder(client.port, SERVER_PORT)
+                                .seq(iss_c.wrapping_add(1))
+                                .ack(iss_s.wrapping_add(1).wrapping_add(sent_after(round + 1)))
+                                .flags(TcpFlags::ACK)
+                                .window(60_000)
+                                .build(),
+                        ),
+                    ),
+                }
+            }
+            // --- §8 teardown -------------------------------------
+            // Client closes first; both replicas ACK past the FIN,
+            // then FIN themselves; the client ACKs the merged FIN.
+            k if cfg.close && k < self.len() => {
+                let sent = sent_after(cfg.rounds);
+                let client_fin_end = iss_c.wrapping_add(2);
+                match k - (3 + 3 * cfg.rounds) {
+                    0 => (
+                        BatchDir::Inbound,
+                        raw(
+                            client.ip,
+                            net.a_p,
+                            TcpSegment::builder(client.port, SERVER_PORT)
+                                .seq(iss_c.wrapping_add(1))
+                                .ack(iss_s.wrapping_add(1).wrapping_add(sent))
+                                .flags(TcpFlags::FIN | TcpFlags::ACK)
+                                .window(60_000)
+                                .build(),
+                        ),
+                    ),
+                    replica @ (1 | 2) => {
+                        let iss = if replica == 1 { iss_p } else { iss_s };
+                        let seg = seg_to(client.port)
+                            .seq(iss.wrapping_add(1).wrapping_add(sent))
+                            .ack(client_fin_end)
+                            .flags(TcpFlags::FIN | TcpFlags::ACK)
+                            .window(if replica == 1 { 50_000 } else { 40_000 })
+                            .build();
+                        if replica == 1 {
+                            (BatchDir::Outbound, raw(net.a_p, client.ip, seg))
+                        } else {
+                            (BatchDir::Inbound, diverted(net, client, seg))
+                        }
+                    }
+                    // Final client ACK of the merged FIN (S space,
+                    // FIN takes one).
+                    _ => (
+                        BatchDir::Inbound,
+                        raw(
+                            client.ip,
+                            net.a_p,
+                            TcpSegment::builder(client.port, SERVER_PORT)
+                                .seq(client_fin_end)
+                                .ack(iss_s.wrapping_add(2).wrapping_add(sent))
+                                .flags(TcpFlags::ACK)
+                                .window(60_000)
+                                .build(),
+                        ),
+                    ),
+                }
+            }
+            _ => panic!(
+                "step {k} out of range for a {}-step flow script",
+                self.len()
+            ),
+        }
     }
-
-    if !cfg.close {
-        return steps;
-    }
-
-    // --- §8 teardown ----------------------------------------------
-    // Client closes first; both replicas ACK past the FIN, then FIN
-    // themselves; the client ACKs the merged FIN.
-    let client_fin_end = iss_c.wrapping_add(2);
-    steps.push((
-        BatchDir::Inbound,
-        raw(
-            client.ip,
-            net.a_p,
-            TcpSegment::builder(client.port, SERVER_PORT)
-                .seq(iss_c.wrapping_add(1))
-                .ack(iss_s.wrapping_add(1).wrapping_add(sent))
-                .flags(TcpFlags::FIN | TcpFlags::ACK)
-                .window(60_000)
-                .build(),
-        ),
-    ));
-    for replica in 0..2u32 {
-        let iss = if replica == 0 { iss_p } else { iss_s };
-        let seg = seg_to(client.port)
-            .seq(iss.wrapping_add(1).wrapping_add(sent))
-            .ack(client_fin_end)
-            .flags(TcpFlags::FIN | TcpFlags::ACK)
-            .window(if replica == 0 { 50_000 } else { 40_000 })
-            .build();
-        steps.push(if replica == 0 {
-            (BatchDir::Outbound, raw(net.a_p, client.ip, seg))
-        } else {
-            (BatchDir::Inbound, diverted(net, client, seg))
-        });
-    }
-    // Final client ACK of the merged FIN (S space, FIN takes one).
-    steps.push((
-        BatchDir::Inbound,
-        raw(
-            client.ip,
-            net.a_p,
-            TcpSegment::builder(client.port, SERVER_PORT)
-                .seq(client_fin_end)
-                .ack(iss_s.wrapping_add(2).wrapping_add(sent))
-                .flags(TcpFlags::ACK)
-                .window(60_000)
-                .build(),
-        ),
-    ));
-    steps
 }
 
 #[cfg(test)]
@@ -385,6 +455,85 @@ mod tests {
         keys.sort_by_key(|k| (k.peer.ip.octets(), k.peer.port));
         keys.dedup();
         assert_eq!(keys.len(), 1000, "every flow has a distinct 4-tuple");
+    }
+
+    #[test]
+    fn addressing_is_injective_at_million_flow_scale() {
+        // Indices straddling every carry boundary of the addressing
+        // scheme (port wrap at 16 384, IP octet carries at 2^8 and
+        // 2^16 hosts) plus the old scheme's known collision pairs.
+        let indices = [
+            0usize, 199, 200, 16_383, 16_384, 16_385, 50_000, 51_000, 65_535, 65_536, 200_000,
+            1_048_575, 1_048_576, 4_194_304,
+        ];
+        let cfg = ManyFlowConfig::default();
+        let mut seen = std::collections::HashSet::new();
+        for &i in &indices {
+            let cfg_i = ManyFlowConfig { offset: i, ..cfg };
+            let s = FlowScript::new(&cfg_i, ManyFlowNet::default(), 0);
+            let key = s.key();
+            assert!(
+                seen.insert((key.peer.ip.octets(), key.peer.port)),
+                "index {i} aliased another flow's 4-tuple"
+            );
+            assert_ne!(
+                key.peer.ip.octets()[0..2],
+                [10, 0],
+                "client IPs must avoid the testbed's 10.0.0.x block"
+            );
+        }
+        // Dense check across a port-wrap boundary.
+        let mut dense = std::collections::HashSet::new();
+        for i in 16_000..17_000 {
+            let cfg_i = ManyFlowConfig { offset: i, ..cfg };
+            let key = FlowScript::new(&cfg_i, ManyFlowNet::default(), 0).key();
+            assert!(dense.insert((key.peer.ip.octets(), key.peer.port)), "{i}");
+        }
+    }
+
+    #[test]
+    fn flow_script_matches_generated_workload() {
+        let cfg = ManyFlowConfig {
+            flows: 6,
+            offset: 3,
+            rounds: 2,
+            payload: 96,
+            close: true,
+            seed: 0xAB,
+        };
+        let net = ManyFlowNet::default();
+        let w = ManyFlowWorkload::generate(&cfg, net);
+        for flow in 0..cfg.flows {
+            let script = FlowScript::new(&cfg, net, flow);
+            assert!(!script.is_empty());
+            assert_eq!(script.len(), w.steps_per_flow());
+            assert_eq!(script.key(), w.keys()[flow]);
+            for k in 0..script.len() {
+                // generate() interleaves round-robin: step k of flow f
+                // sits at position k * flows + f.
+                let (dir, seg) = &w.steps()[k * cfg.flows + flow];
+                let (sdir, sseg) = script.step_at(k);
+                assert_eq!(sdir, *dir, "flow {flow} step {k}");
+                assert_eq!(sseg.bytes, seg.bytes, "flow {flow} step {k}");
+            }
+        }
+        // Without teardown the script is exactly 3 + 3·rounds steps.
+        let open = ManyFlowConfig {
+            close: false,
+            ..cfg
+        };
+        assert_eq!(FlowScript::new(&open, net, 0).len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flow_script_rejects_out_of_range_step() {
+        let cfg = ManyFlowConfig {
+            close: false,
+            ..ManyFlowConfig::default()
+        };
+        let s = FlowScript::new(&cfg, ManyFlowNet::default(), 0);
+        let _ = s.step_at(s.len());
     }
 
     #[test]

@@ -288,7 +288,10 @@ fn main() {
     std::fs::write(&path, &json).expect("write bench json");
     eprintln!("  wrote {path}");
 
-    write_trajectory(&json);
+    // Satellite: merge this document with the other frozen bench
+    // JSONs into the cross-PR trajectory artifact (tolerant of
+    // missing inputs — see `tcpfo_bench::trajectory`).
+    tcpfo_bench::trajectory::write_trajectory(5, &json);
 
     if !(gate_stages && gate_mttr && gate_overhead) {
         eprintln!("bench_pr5: GATE FAILURE");
@@ -304,63 +307,3 @@ const MTTR_COMPONENTS: [&str; 5] = [
     "arp_takeover",
     "first_client_byte",
 ];
-
-/// Satellite: merges the headline figure of every PR bench JSON into
-/// one `BENCH_TRAJECTORY.json` artifact. Missing inputs become
-/// `"missing": true` entries rather than failures, so the artifact is
-/// useful on partial checkouts too. `pr5_json` is the document just
-/// written, passed directly so a `TCPFO_BENCH_JSON` override cannot
-/// desynchronise the two.
-fn write_trajectory(pr5_json: &str) {
-    let read = |p: &str| std::fs::read_to_string(p).ok();
-    let fig = |doc: &Option<String>, section: &str, key: &str| {
-        doc.as_deref().and_then(|j| json_figure(j, section, key))
-    };
-    let num = |v: Option<f64>| v.map_or("null".to_string(), |v| format!("{v:.3}"));
-
-    let pr2 = read("BENCH_PR2.json");
-    let pr3 = read("BENCH_PR3.json");
-    let pr4 = read("BENCH_PR4.json");
-    let pr5 = Some(pr5_json.to_string());
-
-    let mut entries = Vec::new();
-    entries.push(format!(
-        "    {{\"pr\": 2, \"bench\": \"zero-copy datapath\", \"missing\": {}, \
-         \"send_kbps_failover\": {}, \"recv_kbps_failover\": {}}}",
-        pr2.is_none(),
-        num(fig(&pr2, "send_kbps", "failover")),
-        num(fig(&pr2, "recv_kbps", "failover")),
-    ));
-    entries.push(format!(
-        "    {{\"pr\": 3, \"bench\": \"invariant auditor\", \"missing\": {}, \
-         \"audit_overhead_ratio\": {}, \"probe_checks\": {}}}",
-        pr3.is_none(),
-        num(fig(&pr3, "audit", "overhead_ratio")),
-        num(fig(&pr3, "audit", "probe_checks")),
-    ));
-    entries.push(format!(
-        "    {{\"pr\": 4, \"bench\": \"sharded flow table\", \"missing\": {}, \
-         \"seg_per_sec_sharded\": {}, \"churn_flows\": {}}}",
-        pr4.is_none(),
-        num(fig(&pr4, "seg_per_sec", "sharded")),
-        num(fig(&pr4, "churn", "flows")),
-    ));
-    entries.push(format!(
-        "    {{\"pr\": 5, \"bench\": \"latency observatory\", \"missing\": false, \
-         \"mttr_total_p50_ms\": {}, \"flow_lookup_p99_ns\": {}, \"wall_ratio\": {}}}",
-        num(fig(&pr5, "total", "p50_ms")),
-        num(fig(&pr5, "flow_lookup", "p99_ns")),
-        num(fig(&pr5, "overhead", "wall_ratio")),
-    ));
-
-    let doc = format!(
-        "{{\n  \"bench\": \"headline trajectory PR2..PR5\",\n  \"trajectory\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
-    );
-    let path = std::env::var("TCPFO_TRAJECTORY_JSON")
-        .unwrap_or_else(|_| "BENCH_TRAJECTORY.json".to_string());
-    match std::fs::write(&path, &doc) {
-        Ok(()) => eprintln!("  wrote {path}"),
-        Err(e) => eprintln!("  trajectory write to {path} failed: {e}"),
-    }
-}

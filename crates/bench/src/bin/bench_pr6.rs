@@ -1,0 +1,187 @@
+//! PR-6 regression gates for the open-loop load observatory.
+//!
+//! Drives the [`tcpfo_bench::loadgen`] open-loop harness — Poisson
+//! residents held established plus bursty full-lifecycle mice — over
+//! the PR 4 sharded flow table with the PR 5 latency observatory
+//! attached, records everything coordinated-omission-corrected, and
+//! writes `BENCH_PR6.json` (override with `TCPFO_BENCH_JSON`),
+//! exiting non-zero when a gate fails:
+//!
+//! 1. **Concurrency floor** — every scheduled segment must be
+//!    injected and the end-of-run *live* connection count must reach
+//!    the resident target (2²⁰ flows on full runs, 100 k in CI): the
+//!    table really held that many concurrent flows, not tombstones.
+//! 2. **Occupancy bounded** — peak table occupancy must stay within
+//!    the configured capacity with zero over-capacity samples; churn
+//!    (mice) must not leak the table past its cap.
+//! 3. **Lag bounded** — the injector's p99 intended-vs-actual lag
+//!    must stay under a generous tripwire and the schedule must fully
+//!    drain. Open-loop load is only honest while the generator keeps
+//!    up; a breached tripwire means the offered rate outran the host
+//!    and the corrected tails would be measuring the harness.
+//! 4. **Corrected tails present and consistent** — every hot-path
+//!    stage must record under load, and the corrected quantiles can
+//!    never sit below the service-time quantiles they re-base
+//!    (corrected = service + lag, lag ≥ 0).
+//!
+//! The headline figures (peak concurrent flows, corrected flow-lookup
+//! p99.9, lag p99) merge into `BENCH_TRAJECTORY.json`.
+//!
+//! `TCPFO_BENCH_QUICK=1` shrinks the run so CI finishes in seconds.
+
+use tcpfo_bench::loadgen::{run_open_loop, OpenLoopConfig};
+use tcpfo_bench::trajectory;
+use tcpfo_telemetry::Stage;
+
+/// Tripwire on the injector's p99 lag (intended → actual injection).
+/// Full runs legitimately see ~240 ms lag spikes — the timer-driven GC
+/// sweeping a million-entry table stalls the datapath, which is
+/// precisely the kind of pause coordinated-omission correction exists
+/// to expose — so the tripwire only catches a schedule that outran the
+/// host wholesale (lag compounding into seconds), not a real stall the
+/// observatory is busy measuring.
+const LAG_P99_CEILING_NS: u64 = 500_000_000;
+
+fn main() {
+    let quick = std::env::var("TCPFO_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let cfg = if quick {
+        OpenLoopConfig::quick()
+    } else {
+        OpenLoopConfig::full()
+    };
+
+    eprintln!(
+        "bench_pr6: open-loop run — {} residents ({}), {} mice ({}), {} shards, cap {}",
+        cfg.resident_flows,
+        cfg.resident_arrival.name(),
+        cfg.mice_flows,
+        cfg.mice_arrival.name(),
+        cfg.shards,
+        cfg.capacity,
+    );
+    let r = run_open_loop(&cfg);
+    let rec = &r.recorder;
+
+    // Gate 1: concurrency floor.
+    let drained = r.injected as usize == r.scheduled;
+    let concurrency_floor = drained && r.live_flows >= cfg.resident_flows;
+    eprintln!(
+        "  injected {}/{} segments in {:.2}s ({:.0} seg/s), live flows {} (target {})",
+        r.injected,
+        r.scheduled,
+        r.elapsed_ns as f64 / 1e9,
+        r.seg_per_sec,
+        r.live_flows,
+        cfg.resident_flows,
+    );
+
+    // Gate 2: occupancy bounded by the configured capacity.
+    let occupancy_bounded =
+        rec.occupancy_peak() <= cfg.capacity as u64 && rec.over_capacity_samples() == 0;
+    eprintln!(
+        "  occupancy peak {} / cap {} ({} over-capacity samples), evicted {}, reaped {}",
+        rec.occupancy_peak(),
+        cfg.capacity,
+        rec.over_capacity_samples(),
+        r.table.evicted,
+        r.table.reaped,
+    );
+
+    // Gate 3: injection lag bounded.
+    let lag_p99 = rec.lag().histogram().p99();
+    let lag_bounded = drained && lag_p99 <= LAG_P99_CEILING_NS;
+    eprintln!(
+        "  lag p50 {} p99 {} max {} ns, backlog peak {}",
+        rec.lag().histogram().p50(),
+        lag_p99,
+        rec.lag().histogram().max(),
+        rec.lag().max_backlog(),
+    );
+
+    // Gate 4: corrected tails present for every stage and never below
+    // the service-time view they re-base.
+    let mut stages_recorded = true;
+    let mut corrected_consistent = rec.corrected().max() >= rec.naive().max();
+    for s in Stage::ALL {
+        let corrected = rec.stage_corrected(s);
+        let service = rec.stages_service().stage(s);
+        if corrected.is_empty() || service.is_empty() {
+            eprintln!("  stage {} recorded nothing under load", s.name());
+            stages_recorded = false;
+            continue;
+        }
+        if corrected.p999() < service.p999() {
+            eprintln!(
+                "  stage {} corrected p999 {} < service p999 {}",
+                s.name(),
+                corrected.p999(),
+                service.p999()
+            );
+            corrected_consistent = false;
+        }
+        eprintln!(
+            "  stage {:<16} service p99 {:>8} p999 {:>8} | corrected p99 {:>10} p999 {:>10}",
+            s.name(),
+            service.p99(),
+            service.p999(),
+            corrected.p99(),
+            corrected.p999(),
+        );
+    }
+    eprintln!(
+        "  end-to-end naive p999 {} ns vs corrected p999 {} ns (CO gap)",
+        rec.naive().p999(),
+        rec.corrected().p999(),
+    );
+
+    let observatory = rec.to_json(r.end_ns);
+    let json = format!(
+        "{{\n  \"bench\": \"PR6 open-loop observatory\",\n  \"quick\": {quick},\n  \
+         \"load\": {{\n    \
+         \"peak_concurrent\": {live},\n    \
+         \"resident_target\": {target},\n    \
+         \"mice\": {mice},\n    \
+         \"scheduled\": {scheduled},\n    \
+         \"injected\": {injected},\n    \
+         \"elapsed_s\": {elapsed:.3},\n    \
+         \"seg_per_sec\": {rate:.0},\n    \
+         \"output_segments\": {outputs},\n    \
+         \"resident_arrival\": \"{ea}\",\n    \
+         \"mice_arrival\": \"{ma}\"\n  }},\n  \
+         \"observatory\": {observatory},\n  \
+         \"gates\": {{\n    \
+         \"concurrency_floor\": {concurrency_floor},\n    \
+         \"occupancy_bounded\": {occupancy_bounded},\n    \
+         \"lag_bounded\": {lag_bounded},\n    \
+         \"stages_recorded\": {stages_recorded},\n    \
+         \"corrected_consistent\": {corrected_consistent}\n  }}\n}}\n",
+        live = r.live_flows,
+        target = cfg.resident_flows,
+        mice = cfg.mice_flows,
+        scheduled = r.scheduled,
+        injected = r.injected,
+        elapsed = r.elapsed_ns as f64 / 1e9,
+        rate = r.seg_per_sec,
+        outputs = r.output_segments,
+        ea = cfg.resident_arrival.name(),
+        ma = cfg.mice_arrival.name(),
+    );
+
+    let path = std::env::var("TCPFO_BENCH_JSON").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("  wrote {path}"),
+        Err(e) => eprintln!("  write to {path} failed: {e}"),
+    }
+    trajectory::write_trajectory(6, &json);
+
+    if !(concurrency_floor
+        && occupancy_bounded
+        && lag_bounded
+        && stages_recorded
+        && corrected_consistent)
+    {
+        eprintln!("bench_pr6: GATE FAILURE");
+        std::process::exit(1);
+    }
+    eprintln!("bench_pr6: all gates passed");
+}

@@ -25,6 +25,8 @@ use tcpfo_tcp::types::SocketAddr;
 use tcpfo_telemetry::MttrBreakdown;
 
 pub mod legacy_queue;
+pub mod loadgen;
+pub mod trajectory;
 
 /// Send-side copy cost in nanoseconds per byte (the `send()` syscall
 /// copying into the socket buffer on a 566 MHz P-III, ~400 MB/s). The

@@ -1,0 +1,179 @@
+//! The cross-PR headline trajectory (`BENCH_TRAJECTORY.json`).
+//!
+//! Every gate bin (`bench_pr5`, `bench_pr6`, …) freezes its own
+//! `BENCH_PR*.json`; this module merges the headline figure of each
+//! into one artifact so the per-PR performance story is a single file.
+//! The merge is **tolerant by construction**: a missing or partial
+//! input becomes a `"missing": true` row with `null` figures — never a
+//! panic — because CI shards and partial checkouts routinely see only
+//! a subset of the bench outputs.
+//!
+//! [`trajectory_doc`] is pure (inputs in, document out) so the
+//! tolerance rules are unit-testable without touching the filesystem;
+//! [`write_trajectory`] is the thin I/O wrapper the gate bins call.
+
+use crate::json_figure;
+
+/// The bench JSON documents feeding the trajectory, one per tracked
+/// PR. `None` marks an input that could not be read.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryInputs {
+    /// `BENCH_PR2.json` (zero-copy datapath).
+    pub pr2: Option<String>,
+    /// `BENCH_PR3.json` (invariant auditor).
+    pub pr3: Option<String>,
+    /// `BENCH_PR4.json` (sharded flow table).
+    pub pr4: Option<String>,
+    /// `BENCH_PR5.json` (latency observatory).
+    pub pr5: Option<String>,
+    /// `BENCH_PR6.json` (open-loop load observatory).
+    pub pr6: Option<String>,
+}
+
+impl TrajectoryInputs {
+    /// Loads every tracked bench JSON from the working directory,
+    /// then replaces PR `own` with `own_json` — the document the
+    /// calling gate bin just produced — so a `TCPFO_BENCH_JSON` path
+    /// override cannot desynchronise the trajectory from the run.
+    pub fn from_disk(own: u32, own_json: &str) -> Self {
+        let read = |pr: u32| {
+            if pr == own {
+                Some(own_json.to_string())
+            } else {
+                std::fs::read_to_string(format!("BENCH_PR{pr}.json")).ok()
+            }
+        };
+        TrajectoryInputs {
+            pr2: read(2),
+            pr3: read(3),
+            pr4: read(4),
+            pr5: read(5),
+            pr6: read(6),
+        }
+    }
+}
+
+/// Formats an optional figure as JSON (`null` when absent — either the
+/// whole input was missing or the document lacked the key).
+fn num(v: Option<f64>) -> String {
+    v.map_or("null".to_string(), |v| format!("{v:.3}"))
+}
+
+/// Renders the merged trajectory document. Each row carries the PR
+/// number, a label, a `missing` flag, and that PR's headline figures
+/// (`null` when unavailable).
+pub fn trajectory_doc(inputs: &TrajectoryInputs) -> String {
+    let fig = |doc: &Option<String>, section: &str, key: &str| {
+        doc.as_deref().and_then(|j| json_figure(j, section, key))
+    };
+
+    let entries = [
+        format!(
+            "    {{\"pr\": 2, \"bench\": \"zero-copy datapath\", \"missing\": {}, \
+             \"send_kbps_failover\": {}, \"recv_kbps_failover\": {}}}",
+            inputs.pr2.is_none(),
+            num(fig(&inputs.pr2, "send_kbps", "failover")),
+            num(fig(&inputs.pr2, "recv_kbps", "failover")),
+        ),
+        format!(
+            "    {{\"pr\": 3, \"bench\": \"invariant auditor\", \"missing\": {}, \
+             \"audit_overhead_ratio\": {}, \"probe_checks\": {}}}",
+            inputs.pr3.is_none(),
+            num(fig(&inputs.pr3, "audit", "overhead_ratio")),
+            num(fig(&inputs.pr3, "audit", "probe_checks")),
+        ),
+        format!(
+            "    {{\"pr\": 4, \"bench\": \"sharded flow table\", \"missing\": {}, \
+             \"seg_per_sec_sharded\": {}, \"churn_flows\": {}}}",
+            inputs.pr4.is_none(),
+            num(fig(&inputs.pr4, "seg_per_sec", "sharded")),
+            num(fig(&inputs.pr4, "churn", "flows")),
+        ),
+        format!(
+            "    {{\"pr\": 5, \"bench\": \"latency observatory\", \"missing\": {}, \
+             \"mttr_total_p50_ms\": {}, \"flow_lookup_p99_ns\": {}, \"wall_ratio\": {}}}",
+            inputs.pr5.is_none(),
+            num(fig(&inputs.pr5, "total", "p50_ms")),
+            num(fig(&inputs.pr5, "flow_lookup", "p99_ns")),
+            num(fig(&inputs.pr5, "overhead", "wall_ratio")),
+        ),
+        format!(
+            "    {{\"pr\": 6, \"bench\": \"open-loop load observatory\", \"missing\": {}, \
+             \"peak_flows\": {}, \"corrected_flow_lookup_p999_ns\": {}, \"lag_p99_ns\": {}}}",
+            inputs.pr6.is_none(),
+            num(fig(&inputs.pr6, "load", "peak_concurrent")),
+            num(fig(&inputs.pr6, "flow_lookup", "corrected_p999_ns")),
+            num(fig(&inputs.pr6, "lag", "p99_ns")),
+        ),
+    ];
+
+    format!(
+        "{{\n  \"bench\": \"headline trajectory PR2..PR6\",\n  \"trajectory\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
+/// Merges the on-disk bench JSONs (with PR `own`'s document supplied
+/// directly) and writes `BENCH_TRAJECTORY.json` (override with
+/// `TCPFO_TRAJECTORY_JSON`). Write failures are reported, not fatal —
+/// the trajectory is an artifact, not a gate.
+pub fn write_trajectory(own: u32, own_json: &str) {
+    let doc = trajectory_doc(&TrajectoryInputs::from_disk(own, own_json));
+    let path = std::env::var("TCPFO_TRAJECTORY_JSON")
+        .unwrap_or_else(|_| "BENCH_TRAJECTORY.json".to_string());
+    match std::fs::write(&path, &doc) {
+        Ok(()) => eprintln!("  wrote {path}"),
+        Err(e) => eprintln!("  trajectory write to {path} failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_inputs_become_missing_rows_not_panics() {
+        let doc = trajectory_doc(&TrajectoryInputs::default());
+        for pr in 2..=6 {
+            assert!(doc.contains(&format!("\"pr\": {pr}, ")), "{doc}");
+        }
+        assert_eq!(doc.matches("\"missing\": true").count(), 5, "{doc}");
+        assert!(doc.contains("\"peak_flows\": null"), "{doc}");
+        assert!(doc.contains("\"recv_kbps_failover\": null"), "{doc}");
+    }
+
+    #[test]
+    fn partial_documents_yield_null_figures() {
+        // A PR2 document that exists but lacks the recv section: the
+        // row is present (not missing) with a null for the absent key.
+        let inputs = TrajectoryInputs {
+            pr2: Some("{\"send_kbps\": {\"failover\": 123.4}}".to_string()),
+            ..TrajectoryInputs::default()
+        };
+        let doc = trajectory_doc(&inputs);
+        assert!(
+            doc.contains("\"pr\": 2, \"bench\": \"zero-copy datapath\", \"missing\": false"),
+            "{doc}"
+        );
+        assert!(doc.contains("\"send_kbps_failover\": 123.400"), "{doc}");
+        assert!(doc.contains("\"recv_kbps_failover\": null"), "{doc}");
+    }
+
+    #[test]
+    fn pr6_headline_fields_are_extracted() {
+        let pr6 = "{\n  \"load\": {\"peak_concurrent\": 1048576},\n  \
+                   \"stages\": {\"flow_lookup\": {\"corrected_p999_ns\": 2047}},\n  \
+                   \"lag\": {\"p99_ns\": 500000}\n}";
+        let inputs = TrajectoryInputs {
+            pr6: Some(pr6.to_string()),
+            ..TrajectoryInputs::default()
+        };
+        let doc = trajectory_doc(&inputs);
+        assert!(doc.contains("\"peak_flows\": 1048576.000"), "{doc}");
+        assert!(
+            doc.contains("\"corrected_flow_lookup_p999_ns\": 2047.000"),
+            "{doc}"
+        );
+        assert!(doc.contains("\"lag_p99_ns\": 500000.000"), "{doc}");
+    }
+}

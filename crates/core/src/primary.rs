@@ -617,6 +617,16 @@ impl PrimaryBridge {
         self.flows.stats_total()
     }
 
+    /// Per-shard flow-table statistics in shard-index order. The
+    /// under-load harness samples this mid-run for occupancy/eviction
+    /// gauges without attaching journal telemetry (which would force
+    /// the sequential datapath).
+    pub fn flow_shard_stats(&self) -> Vec<ShardStats> {
+        (0..self.flows.shard_count())
+            .map(|i| self.flows.shard(i).stats)
+            .collect()
+    }
+
     /// The lifecycle state of one flow, if resident (live or tombstone).
     pub fn flow_state(&self, key: &ConnKey) -> Option<FlowState> {
         self.flows.state(key)

@@ -1,0 +1,133 @@
+//! Open-loop, schedule-driven injection (PR 6).
+//!
+//! A closed-loop driver injects the next segment when the previous one
+//! finishes, so a slow datapath quietly slows the offered load and the
+//! measured latency stops describing what real traffic would have
+//! experienced (coordinated omission). The open-loop contract inverts
+//! that: the *schedule* decides when every item should arrive, and the
+//! driver's only freedom is to fall behind — visibly, as backlog and
+//! per-item lag.
+//!
+//! [`OpenLoopInjector`] is the deterministic core of that contract: it
+//! owns a time-sorted schedule of `(intended_ns, item)` pairs and
+//! hands out batches of *due* items as the caller's clock advances.
+//! It never reorders items with equal timestamps (stable sort), never
+//! skips an item, and exposes exactly the two honesty metrics the
+//! under-load recorder wants:
+//!
+//! * [`OpenLoopInjector::backlog`] — items already due but not yet
+//!   taken, and
+//! * per-item lag, implied by `now − intended` for each item in a
+//!   [`OpenLoopInjector::take_due`] batch.
+//!
+//! The injector is generic over the item type: the load harness uses
+//! `(flow, step)` tokens and materialises segments lazily so a
+//! million-flow schedule stays a flat `Vec` instead of gigabytes of
+//! pre-built frames.
+
+/// A time-sorted open-loop schedule that yields due items in batches.
+///
+/// Items are `(intended_ns, item)`; construction stably sorts by
+/// intended time, so equal-time items keep their generation order and
+/// the whole run stays deterministic for a fixed seed.
+#[derive(Debug, Clone)]
+pub struct OpenLoopInjector<T> {
+    items: Vec<(u64, T)>,
+    pos: usize,
+    batch_cap: usize,
+}
+
+impl<T> OpenLoopInjector<T> {
+    /// Builds an injector over `items`, delivering at most `batch_cap`
+    /// items per [`OpenLoopInjector::take_due`] call (clamped to at
+    /// least 1).
+    pub fn new(mut items: Vec<(u64, T)>, batch_cap: usize) -> Self {
+        items.sort_by_key(|(t, _)| *t);
+        OpenLoopInjector {
+            items,
+            pos: 0,
+            batch_cap: batch_cap.max(1),
+        }
+    }
+
+    /// Total schedule length.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Items not yet handed out.
+    pub fn remaining(&self) -> usize {
+        self.items.len() - self.pos
+    }
+
+    /// Intended time of the next pending item, if any — the driver
+    /// sleeps (or advances sim time) to this point when nothing is
+    /// due.
+    pub fn next_intended(&self) -> Option<u64> {
+        self.items.get(self.pos).map(|(t, _)| *t)
+    }
+
+    /// The next batch of due items at `now_ns`: up to the batch cap,
+    /// each with `intended ≤ now_ns`, in schedule order. Returns an
+    /// empty slice when nothing is due. The returned slice borrows the
+    /// schedule; the items are considered delivered.
+    pub fn take_due(&mut self, now_ns: u64) -> &[(u64, T)] {
+        let start = self.pos;
+        let limit = (start + self.batch_cap).min(self.items.len());
+        let mut end = start;
+        while end < limit && self.items[end].0 <= now_ns {
+            end += 1;
+        }
+        self.pos = end;
+        &self.items[start..end]
+    }
+
+    /// Items due at `now_ns` but not yet taken — the injector's
+    /// backlog, a first-class under-load metric (a persistently
+    /// non-zero backlog means the driver cannot keep up with the
+    /// offered load).
+    pub fn backlog(&self, now_ns: u64) -> u64 {
+        let slice = &self.items[self.pos..];
+        slice.partition_point(|(t, _)| *t <= now_ns) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_respect_time_and_cap() {
+        let mut inj = OpenLoopInjector::new(vec![(30, 'c'), (10, 'a'), (20, 'b'), (40, 'd')], 2);
+        assert_eq!(inj.len(), 4);
+        assert_eq!(inj.next_intended(), Some(10));
+        assert!(inj.take_due(5).is_empty(), "nothing due before t=10");
+        // Three items due at t=35, but the cap is 2.
+        assert_eq!(inj.take_due(35), &[(10, 'a'), (20, 'b')]);
+        assert_eq!(inj.backlog(35), 1, "c is due but undelivered");
+        assert_eq!(inj.take_due(35), &[(30, 'c')]);
+        assert_eq!(inj.backlog(35), 0);
+        assert_eq!(inj.take_due(100), &[(40, 'd')]);
+        assert_eq!(inj.remaining(), 0);
+        assert_eq!(inj.next_intended(), None);
+        assert!(inj.take_due(1_000).is_empty());
+    }
+
+    #[test]
+    fn equal_timestamps_keep_generation_order() {
+        let mut inj = OpenLoopInjector::new(vec![(7, 0u32), (7, 1), (7, 2), (7, 3)], 16);
+        assert_eq!(inj.take_due(7), &[(7, 0), (7, 1), (7, 2), (7, 3)]);
+    }
+
+    #[test]
+    fn zero_cap_clamps_to_one() {
+        let mut inj = OpenLoopInjector::new(vec![(1, 'x'), (1, 'y')], 0);
+        assert_eq!(inj.take_due(1).len(), 1);
+        assert_eq!(inj.take_due(1).len(), 1);
+    }
+}

@@ -132,9 +132,20 @@ impl<const N: usize> LogHistogram<N> {
     /// Records one observation.
     #[inline]
     pub fn record(&mut self, v: u64) {
-        self.buckets[Self::bucket_of(v)] += 1;
-        self.count += 1;
-        self.sum = self.sum.wrapping_add(v);
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` observations of the same value in one step — the
+    /// bulk form the under-load recorder uses to re-base whole bucket
+    /// populations onto an intended-time axis.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)] += n;
+        self.count += n;
+        self.sum = self.sum.wrapping_add(v.wrapping_mul(n));
         if v < self.min {
             self.min = v;
         }
@@ -224,6 +235,37 @@ impl<const N: usize> LogHistogram<N> {
         self.max
     }
 
+    /// The `q`-quantile together with its trustworthiness: when the
+    /// rank lands in the open top bucket, the log2 bracketing
+    /// guarantee is gone — the only honest statement is "the true
+    /// quantile is ≥ the bucket floor". [`Quantile::saturated`] flags
+    /// exactly that, so under-load tail reports can say "≥ 274s"
+    /// instead of silently presenting the clamped value as resolved.
+    pub fn quantile_report(&self, q: f64) -> Quantile {
+        if self.count == 0 {
+            return Quantile {
+                value: 0,
+                floor: 0,
+                saturated: false,
+            };
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        let mut bucket = N - 1;
+        for i in 0..N {
+            seen += self.buckets[i];
+            if seen >= rank {
+                bucket = i;
+                break;
+            }
+        }
+        Quantile {
+            value: Self::bucket_high(bucket).min(self.max),
+            floor: Self::bucket_low(bucket),
+            saturated: bucket == N - 1,
+        }
+    }
+
     /// Median (p50).
     pub fn p50(&self) -> u64 {
         self.quantile(0.5)
@@ -240,17 +282,21 @@ impl<const N: usize> LogHistogram<N> {
     }
 
     /// Renders the histogram as a JSON object: summary scalars, the
-    /// three headline quantiles, and the non-empty `[low, high, count]`
-    /// buckets.
+    /// three headline quantiles (with top-bucket saturation flags),
+    /// and the non-empty `[low, high, count]` buckets.
     pub fn to_json(&self) -> String {
+        let p99 = self.quantile_report(0.99);
+        let p999 = self.quantile_report(0.999);
         let mut obj = JsonObject::new();
         obj.u64("count", self.count)
             .u64("sum", self.sum)
             .u64("min", self.min())
             .u64("max", self.max)
             .u64("p50", self.p50())
-            .u64("p99", self.p99())
-            .u64("p999", self.p999());
+            .u64("p99", p99.value)
+            .u64("p999", p999.value)
+            .raw("p99_saturated", p99.saturated.to_string())
+            .raw("p999_saturated", p999.saturated.to_string());
         let buckets: Vec<String> = self
             .buckets
             .iter()
@@ -260,6 +306,36 @@ impl<const N: usize> LogHistogram<N> {
             .collect();
         obj.raw("buckets", crate::json::array(&buckets));
         obj.render()
+    }
+}
+
+/// A quantile estimate with its resolution caveat. Produced by
+/// [`LogHistogram::quantile_report`]: `value` is the usual
+/// bucket-upper-bound estimate clamped to the observed maximum, and
+/// `floor` the inclusive lower bound of the bucket the rank landed in.
+/// When `saturated` is set the rank fell into the *open* top bucket,
+/// where the factor-of-two bracketing guarantee no longer holds — the
+/// honest reading is then "≥ `floor`", which is exactly how
+/// [`Quantile::fmt_ns`] renders it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantile {
+    /// Bucket upper bound clamped to the observed maximum.
+    pub value: u64,
+    /// Inclusive lower bound of the selected bucket.
+    pub floor: u64,
+    /// Whether the rank landed in the open (saturated) top bucket.
+    pub saturated: bool,
+}
+
+impl Quantile {
+    /// Human rendering: the value in time units, prefixed with `≥` and
+    /// demoted to the bucket floor when the top bucket saturated.
+    pub fn fmt_ns(&self) -> String {
+        if self.saturated {
+            format!("≥{}", crate::fmt_nanos(self.floor))
+        } else {
+            crate::fmt_nanos(self.value)
+        }
     }
 }
 
@@ -376,6 +452,8 @@ impl StageLatency {
     }
 
     /// Aligned text table (one row per stage) for the human exports.
+    /// Quantiles that land in the saturated top bucket render as
+    /// `≥<bucket floor>` rather than a fabricated point estimate.
     pub fn report(&self) -> String {
         let mut out =
             String::from("stage              count        p50        p99       p999        max\n");
@@ -385,9 +463,9 @@ impl StageLatency {
                 "{:<18} {:>6} {:>10} {:>10} {:>10} {:>10}\n",
                 s.name(),
                 h.count(),
-                crate::fmt_nanos(h.p50()),
-                crate::fmt_nanos(h.p99()),
-                crate::fmt_nanos(h.p999()),
+                h.quantile_report(0.5).fmt_ns(),
+                h.quantile_report(0.99).fmt_ns(),
+                h.quantile_report(0.999).fmt_ns(),
                 crate::fmt_nanos(h.max()),
             ));
         }
@@ -619,6 +697,57 @@ mod tests {
             assert!(json.contains(s.name()), "{json}");
         }
         assert!(sl.report().contains("queue_match"), "{}", sl.report());
+    }
+
+    #[test]
+    fn quantile_report_flags_saturation() {
+        let mut h = LogHistogram::<4>::new();
+        h.record(3); // bucket 2, resolved
+        let q = h.quantile_report(0.5);
+        assert_eq!(q.value, 3, "clamped to max");
+        assert_eq!(q.floor, 2);
+        assert!(!q.saturated);
+        // Pile the tail into the open top bucket (>= 2^(N-2) = 4).
+        for _ in 0..100 {
+            h.record(1 << 40);
+        }
+        let q = h.quantile_report(0.999);
+        assert!(q.saturated, "rank in the open top bucket must flag");
+        assert_eq!(q.floor, 4, "floor is the top bucket's lower bound");
+        assert_eq!(q.value, 1 << 40, "value still clamps to max");
+        assert!(q.fmt_ns().starts_with('≥'), "{}", q.fmt_ns());
+        let json = h.to_json();
+        assert!(json.contains("\"p999_saturated\": true"), "{json}");
+        assert!(json.contains("\"p99_saturated\": true"), "{json}");
+        // An unsaturated histogram keeps the flags false.
+        let mut ok = HostHistogram::new();
+        ok.record(100);
+        assert!(
+            ok.to_json().contains("\"p999_saturated\": false"),
+            "{}",
+            ok.to_json()
+        );
+        assert_eq!(ok.quantile_report(0.999).fmt_ns(), "100ns");
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = HostHistogram::new();
+        bulk.record_n(77, 5);
+        bulk.record_n(9, 0);
+        let mut single = HostHistogram::new();
+        for _ in 0..5 {
+            single.record(77);
+        }
+        assert_eq!(bulk, single, "record_n(v, 0) must be a no-op too");
+    }
+
+    #[test]
+    fn saturated_report_uses_floor_marker() {
+        let mut sl = StageLatency::new();
+        sl.record(Stage::FlowLookup, u64::MAX);
+        let report = sl.report();
+        assert!(report.contains('≥'), "{report}");
     }
 
     #[test]

@@ -42,16 +42,22 @@ pub mod latency;
 pub mod registry;
 pub mod table;
 pub mod timeline;
+pub mod underload;
 
 pub use audit::{AuditConfig, InvariantAuditor, Rule, RuleLedger, TraceId, Violation};
 pub use journal::{Event, Journal};
 pub use latency::{
-    HostClock, HostHistogram, LatencyObservatory, LogHistogram, SimHistogram, Stage, StageLatency,
+    HostClock, HostHistogram, LatencyObservatory, LogHistogram, Quantile, SimHistogram, Stage,
+    StageLatency,
 };
 pub use registry::{
-    Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, Scope,
+    escape_help_text, escape_label_value, Counter, Gauge, GaugeSnapshot, Histogram,
+    HistogramSnapshot, MetricsSnapshot, Registry, Scope,
 };
 pub use timeline::{FailoverPhase, FailoverTimeline, MttrBreakdown};
+pub use underload::{
+    LagTracker, ShardSample, UnderLoadHistogram, UnderLoadRecorder, WindowedHistogram,
+};
 
 /// Formats sim-nanoseconds with the same unit scaling the simulator's
 /// `SimTime` display uses.

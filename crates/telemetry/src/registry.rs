@@ -277,6 +277,36 @@ impl HistogramSnapshot {
     }
 }
 
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote and newline must be backslash-escaped
+/// inside the `name="value"` quoting.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a `# HELP` docstring per the text exposition format: only
+/// backslash and newline are escaped (quotes are legal there).
+pub fn escape_help_text(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[derive(Debug, Default)]
 struct RegistryInner {
     counters: Mutex<BTreeMap<String, Counter>>,
@@ -492,7 +522,10 @@ impl MetricsSnapshot {
     /// Metric names are prefixed with `tcpfo_` and dots become
     /// underscores; gauges also expose their high-water mark, and
     /// histograms expose cumulative `_bucket{le=...}` series plus
-    /// `_sum`/`_count`.
+    /// `_sum`/`_count`. Every family carries `# HELP` (the original
+    /// dotted instrument name, escaped) and `# TYPE` lines, and label
+    /// values go through [`escape_label_value`], so under-load scrapes
+    /// parse under a spec-strict client.
     pub fn to_prometheus(&self) -> String {
         fn sanitize(name: &str) -> String {
             let mut out = String::with_capacity(name.len() + 6);
@@ -502,34 +535,57 @@ impl MetricsSnapshot {
             }
             out
         }
+        // `# HELP <name> <docstring>` + `# TYPE <name> <type>` header
+        // for one metric family.
+        fn header(out: &mut String, n: &str, source: &str, extra: &str, kind: &str) {
+            out.push_str(&format!(
+                "# HELP {n} {}{extra}\n# TYPE {n} {kind}\n",
+                escape_help_text(source)
+            ));
+        }
         let mut out = String::new();
         for (name, value) in &self.counters {
             let n = sanitize(name);
-            out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+            header(&mut out, &n, name, "", "counter");
+            out.push_str(&format!("{n} {value}\n"));
         }
         for (name, g) in &self.gauges {
             let n = sanitize(name);
-            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", g.value));
-            out.push_str(&format!(
-                "# TYPE {n}_high_water gauge\n{n}_high_water {}\n",
-                g.high_water
-            ));
+            header(&mut out, &n, name, "", "gauge");
+            out.push_str(&format!("{n} {}\n", g.value));
+            let hw = format!("{n}_high_water");
+            header(&mut out, &hw, name, " (high-water mark)", "gauge");
+            out.push_str(&format!("{hw} {}\n", g.high_water));
         }
         for (name, h) in &self.histograms {
             let n = sanitize(name);
-            out.push_str(&format!("# TYPE {n} histogram\n"));
+            header(
+                &mut out,
+                &n,
+                name,
+                " (log2 buckets, nanoseconds)",
+                "histogram",
+            );
             let mut cumulative = 0u64;
             for (le, c) in &h.buckets {
                 cumulative += c;
-                out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                out.push_str(&format!(
+                    "{n}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    escape_label_value(&le.to_string())
+                ));
             }
             out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
             out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
             for (suffix, q) in [("p50", 0.5), ("p99", 0.99), ("p999", 0.999)] {
-                out.push_str(&format!(
-                    "# TYPE {n}_{suffix} gauge\n{n}_{suffix} {}\n",
-                    h.quantile(q)
-                ));
+                let qn = format!("{n}_{suffix}");
+                header(
+                    &mut out,
+                    &qn,
+                    name,
+                    &format!(" ({suffix} estimate)"),
+                    "gauge",
+                );
+                out.push_str(&format!("{qn} {}\n", h.quantile(q)));
             }
         }
         out
@@ -626,6 +682,46 @@ mod tests {
         assert!(text.contains("tcpfo_lat_p50 "), "{text}");
         assert!(text.contains("tcpfo_lat_p99 "), "{text}");
         assert!(text.contains("tcpfo_lat_p999 "), "{text}");
+    }
+
+    #[test]
+    fn prometheus_emits_help_and_type_per_family() {
+        let r = Registry::new();
+        r.scope("core.primary").counter("matched_bytes").add(5);
+        r.gauge("underload.backlog").set(3);
+        r.histogram("lat").record(7);
+        let text = r.snapshot(0).to_prometheus();
+        assert!(
+            text.contains("# HELP tcpfo_core_primary_matched_bytes core.primary.matched_bytes\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE tcpfo_core_primary_matched_bytes counter\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP tcpfo_underload_backlog underload.backlog\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP tcpfo_underload_backlog_high_water"),
+            "{text}"
+        );
+        assert!(text.contains("# HELP tcpfo_lat "), "{text}");
+        assert!(text.contains("# TYPE tcpfo_lat histogram\n"), "{text}");
+        assert!(text.contains("# HELP tcpfo_lat_p999 "), "{text}");
+        // Every series line belongs to a family that declared HELP+TYPE
+        // immediately above it: count families both ways.
+        let helps = text.matches("# HELP ").count();
+        let types = text.matches("# TYPE ").count();
+        assert_eq!(helps, types, "{text}");
+    }
+
+    #[test]
+    fn label_and_help_escaping() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_help_text("a\"b\\c\nd"), "a\"b\\\\c\\nd");
     }
 
     #[test]

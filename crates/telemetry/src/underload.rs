@@ -1,0 +1,623 @@
+//! Under-load recording (PR 6): coordinated-omission-free latency.
+//!
+//! Closed-loop benchmarks time an operation from the moment it was
+//! *issued* — but when the system under test backs up, the harness
+//! issues later, and the wait it imposed on the would-be request
+//! silently disappears from the distribution (coordinated omission).
+//! The open-loop harness fixes the measurement model: every injected
+//! segment carries an **intended** arrival time drawn from the load
+//! schedule, and this module records latency on both axes —
+//!
+//! * **naive**: completion − actual injection (what a closed-loop
+//!   harness would report), and
+//! * **corrected**: completion − intended arrival = injection lag +
+//!   service time (what the traffic actually experienced).
+//!
+//! Around that core sit the companions an under-load run needs:
+//!
+//! * [`WindowedHistogram`] — a ring of log2 sub-histograms rotated by
+//!   time, so "p99.9 over the last ~second" is a merge of live
+//!   windows instead of a run-to-date aggregate that dilutes bursts.
+//! * [`LagTracker`] — injection lag (actual − intended) and backlog
+//!   (segments due but not yet injected) as first-class metrics: lag
+//!   *is* the coordinated-omission correction term, so it is reported,
+//!   gated, and exported rather than buried.
+//! * [`UnderLoadRecorder`] — the per-run aggregate: end-to-end naive
+//!   vs. corrected histograms, per-[`Stage`] corrected histograms
+//!   (re-based from the PR 5 observatory's service-time deltas),
+//!   sliding-window quantiles, and per-shard occupancy sampling with
+//!   a capacity bound check.
+//!
+//! All values are nanoseconds on one caller-chosen monotone clock
+//! (the load harness uses [`crate::latency::HostClock`]); nothing in
+//! here reads a clock itself, so the module stays deterministic and
+//! unit-testable.
+
+use crate::json::JsonObject;
+use crate::latency::{LogHistogram, Quantile, Stage, StageLatency};
+use crate::registry::Scope;
+
+/// Bucket count for under-load histograms: lag and corrected latency
+/// can reach seconds-to-minutes when the generator outruns the bridge,
+/// so use the wide 48-bucket range (~19.5 hours).
+pub const UNDERLOAD_BUCKETS: usize = 48;
+
+/// The histogram type every under-load series uses.
+pub type UnderLoadHistogram = LogHistogram<UNDERLOAD_BUCKETS>;
+
+/// A ring of log2 sub-histograms rotated by time: observations land in
+/// the sub-window covering their timestamp, and [`WindowedHistogram::sliding`]
+/// merges only the windows still inside the horizon. That yields
+/// sliding-window quantiles (p99/p99.9 "over the last N windows") with
+/// zero per-record allocation — rotation just resets one slot.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram<const N: usize> {
+    window_ns: u64,
+    /// `(window index, histogram)` per slot; a slot is live when its
+    /// window index is within `slots.len()` of the current window.
+    slots: Vec<(u64, LogHistogram<N>)>,
+    cursor: usize,
+}
+
+impl<const N: usize> WindowedHistogram<N> {
+    /// A ring of `windows` sub-histograms, each covering `window_ns`.
+    /// Both are clamped to at least 1.
+    pub fn new(window_ns: u64, windows: usize) -> Self {
+        WindowedHistogram {
+            window_ns: window_ns.max(1),
+            slots: vec![(0, LogHistogram::new()); windows.max(1)],
+            cursor: 0,
+        }
+    }
+
+    /// Width of one sub-window in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Number of sub-windows in the sliding horizon.
+    pub fn windows(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records `v` at time `now_ns`, rotating the ring if `now_ns`
+    /// entered a new sub-window. Time is assumed non-decreasing (a
+    /// stale timestamp just lands in the current window).
+    pub fn record(&mut self, now_ns: u64, v: u64) {
+        let wi = now_ns / self.window_ns;
+        if self.slots[self.cursor].0 != wi {
+            // Entering a new window: advance the ring, unless the
+            // current slot was never written (silent windows don't
+            // burn slots).
+            if !self.slots[self.cursor].1.is_empty() {
+                self.cursor = (self.cursor + 1) % self.slots.len();
+            }
+            self.slots[self.cursor] = (wi, LogHistogram::new());
+        }
+        self.slots[self.cursor].1.record(v);
+    }
+
+    /// Merge of every sub-window still inside the sliding horizon at
+    /// `now_ns` (the last `windows()` windows, inclusive of the
+    /// current one).
+    pub fn sliding(&self, now_ns: u64) -> LogHistogram<N> {
+        let current = now_ns / self.window_ns;
+        let horizon = self.slots.len() as u64;
+        let mut merged = LogHistogram::new();
+        for (wi, h) in &self.slots {
+            if !h.is_empty() && wi + horizon > current {
+                merged.merge(h);
+            }
+        }
+        merged
+    }
+
+    /// Total observations across all live and stale slots.
+    pub fn total_count(&self) -> u64 {
+        self.slots.iter().map(|(_, h)| h.count()).sum()
+    }
+}
+
+/// Injection lag and backlog: the open-loop schedule says *when* each
+/// segment should arrive; the tracker records how far behind the
+/// injector actually ran (`actual − intended`) and how many segments
+/// were due-but-undelivered at each sampling point. Lag is the
+/// coordinated-omission correction term, so it is a first-class
+/// metric, not a debugging aid.
+#[derive(Debug, Clone)]
+pub struct LagTracker {
+    hist: UnderLoadHistogram,
+    windowed: WindowedHistogram<UNDERLOAD_BUCKETS>,
+    backlog: u64,
+    max_backlog: u64,
+}
+
+impl LagTracker {
+    /// An empty tracker with the given sliding-window shape.
+    pub fn new(window_ns: u64, windows: usize) -> Self {
+        LagTracker {
+            hist: UnderLoadHistogram::new(),
+            windowed: WindowedHistogram::new(window_ns, windows),
+            backlog: 0,
+            max_backlog: 0,
+        }
+    }
+
+    /// Records one segment's injection lag at time `now_ns`.
+    pub fn record(&mut self, now_ns: u64, lag_ns: u64) {
+        self.hist.record(lag_ns);
+        self.windowed.record(now_ns, lag_ns);
+    }
+
+    /// Updates the current backlog (segments due but not yet
+    /// injected), tracking its high-water mark.
+    pub fn set_backlog(&mut self, n: u64) {
+        self.backlog = n;
+        self.max_backlog = self.max_backlog.max(n);
+    }
+
+    /// Current backlog.
+    pub fn backlog(&self) -> u64 {
+        self.backlog
+    }
+
+    /// Highest backlog ever set.
+    pub fn max_backlog(&self) -> u64 {
+        self.max_backlog
+    }
+
+    /// The whole-run lag histogram.
+    pub fn histogram(&self) -> &UnderLoadHistogram {
+        &self.hist
+    }
+
+    /// Sliding-window lag merge at `now_ns`.
+    pub fn sliding(&self, now_ns: u64) -> UnderLoadHistogram {
+        self.windowed.sliding(now_ns)
+    }
+}
+
+/// One shard's occupancy reading at a sampling point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSample {
+    /// Entries resident in the shard.
+    pub occupancy: u64,
+    /// Evictions the shard has performed so far.
+    pub evicted: u64,
+}
+
+/// The per-run under-load aggregate: end-to-end naive vs. corrected
+/// latency, per-stage corrected latency, lag/backlog, sliding-window
+/// quantiles, and flow-table occupancy samples with a cap check.
+#[derive(Debug, Clone)]
+pub struct UnderLoadRecorder {
+    /// Completion − actual injection (the closed-loop number).
+    naive: UnderLoadHistogram,
+    /// Completion − intended arrival (lag + service; the corrected
+    /// number).
+    corrected: UnderLoadHistogram,
+    corrected_windowed: WindowedHistogram<UNDERLOAD_BUCKETS>,
+    /// Raw service-time deltas absorbed from the PR 5 observatory.
+    stages_service: StageLatency,
+    /// Per-stage corrected histograms: service time re-based by the
+    /// batch's injection lag.
+    stages_corrected: [UnderLoadHistogram; Stage::COUNT],
+    lag: LagTracker,
+    /// Per-shard occupancy at the last sample.
+    shard_occupancy: Vec<u64>,
+    /// Evictions per shard at the last sample.
+    shard_evicted: Vec<u64>,
+    occupancy_peak: u64,
+    /// Configured flow-table capacity the occupancy is gated against.
+    capacity: u64,
+    /// Samples where total occupancy exceeded the capacity — any
+    /// non-zero value means the "bounded occupancy" invariant broke.
+    over_capacity_samples: u64,
+    samples: u64,
+    injected: u64,
+}
+
+impl UnderLoadRecorder {
+    /// A recorder whose sliding windows are `windows` × `window_ns`
+    /// and whose occupancy gate is `capacity` flow-table entries.
+    pub fn new(window_ns: u64, windows: usize, capacity: u64) -> Self {
+        UnderLoadRecorder {
+            naive: UnderLoadHistogram::new(),
+            corrected: UnderLoadHistogram::new(),
+            corrected_windowed: WindowedHistogram::new(window_ns, windows),
+            stages_service: StageLatency::new(),
+            stages_corrected: [UnderLoadHistogram::new(); Stage::COUNT],
+            lag: LagTracker::new(window_ns, windows),
+            shard_occupancy: Vec::new(),
+            shard_evicted: Vec::new(),
+            occupancy_peak: 0,
+            capacity,
+            over_capacity_samples: 0,
+            samples: 0,
+            injected: 0,
+        }
+    }
+
+    /// Records one injected segment: `intended_ns` from the schedule,
+    /// `actual_ns` when the injector actually delivered it, and
+    /// `done_ns` when its batch finished processing. All three are on
+    /// the same monotone clock.
+    pub fn record_segment(&mut self, intended_ns: u64, actual_ns: u64, done_ns: u64) {
+        let lag = actual_ns.saturating_sub(intended_ns);
+        self.lag.record(actual_ns, lag);
+        self.naive.record(done_ns.saturating_sub(actual_ns));
+        let corrected = done_ns.saturating_sub(intended_ns);
+        self.corrected.record(corrected);
+        self.corrected_windowed.record(done_ns, corrected);
+        self.injected += 1;
+    }
+
+    /// Absorbs a batch's per-stage service-time delta from the PR 5
+    /// observatory and re-bases it onto the intended-time axis by
+    /// adding the batch's injection lag to every bucket. Per-item lag
+    /// is not available at stage granularity (the observatory
+    /// aggregates per batch), so `batch_lag_ns` should be the batch's
+    /// **maximum** item lag: the corrected tail can then only be
+    /// overstated within one batch's lag spread, never silently
+    /// understated — the failure mode this whole layer exists to
+    /// prevent. Buckets are re-based at their inclusive upper bound
+    /// (clamped to the stage's observed max), conservative in the same
+    /// direction.
+    pub fn absorb_stage_delta(&mut self, delta: &StageLatency, batch_lag_ns: u64) {
+        self.stages_service.merge(delta);
+        for s in Stage::ALL {
+            let h = delta.stage(s);
+            if h.is_empty() {
+                continue;
+            }
+            let out = &mut self.stages_corrected[s.index()];
+            for (i, &n) in h.buckets().iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                let service = crate::latency::HostHistogram::bucket_high(i).min(h.max());
+                out.record_n(service.saturating_add(batch_lag_ns), n);
+            }
+        }
+    }
+
+    /// [`absorb_stage_delta`](Self::absorb_stage_delta) for callers
+    /// holding cumulative observatory snapshots instead of a
+    /// pre-computed delta: re-bases the per-stage bucket populations
+    /// that appeared between `before` and `after` (both the *same*
+    /// observatory's state, `before` taken earlier) and keeps `after`
+    /// as the recorder's service-time view. Don't mix this with
+    /// [`absorb_stage_delta`](Self::absorb_stage_delta) on one
+    /// recorder — the service histograms would double-count.
+    pub fn absorb_stage_window(
+        &mut self,
+        before: &StageLatency,
+        after: &StageLatency,
+        batch_lag_ns: u64,
+    ) {
+        for s in Stage::ALL {
+            let (hb, ha) = (before.stage(s), after.stage(s));
+            if ha.count() == hb.count() {
+                continue;
+            }
+            let out = &mut self.stages_corrected[s.index()];
+            for (i, (&a, &b)) in ha.buckets().iter().zip(hb.buckets().iter()).enumerate() {
+                let n = a.saturating_sub(b);
+                if n == 0 {
+                    continue;
+                }
+                let service = crate::latency::HostHistogram::bucket_high(i).min(ha.max());
+                out.record_n(service.saturating_add(batch_lag_ns), n);
+            }
+        }
+        self.stages_service = *after;
+    }
+
+    /// Updates the injector backlog (due-but-undelivered segments).
+    pub fn set_backlog(&mut self, n: u64) {
+        self.lag.set_backlog(n);
+    }
+
+    /// Samples per-shard occupancy/evictions, tracking the total's
+    /// peak and counting samples that exceed the configured capacity.
+    pub fn sample_shards(&mut self, shards: &[ShardSample]) {
+        self.shard_occupancy.clear();
+        self.shard_evicted.clear();
+        let mut total = 0u64;
+        for s in shards {
+            self.shard_occupancy.push(s.occupancy);
+            self.shard_evicted.push(s.evicted);
+            total += s.occupancy;
+        }
+        self.occupancy_peak = self.occupancy_peak.max(total);
+        if total > self.capacity {
+            self.over_capacity_samples += 1;
+        }
+        self.samples += 1;
+    }
+
+    /// Segments recorded so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// The naive (closed-loop) end-to-end histogram.
+    pub fn naive(&self) -> &UnderLoadHistogram {
+        &self.naive
+    }
+
+    /// The coordinated-omission-corrected end-to-end histogram.
+    pub fn corrected(&self) -> &UnderLoadHistogram {
+        &self.corrected
+    }
+
+    /// The corrected histogram for one datapath stage.
+    pub fn stage_corrected(&self, stage: Stage) -> &UnderLoadHistogram {
+        &self.stages_corrected[stage.index()]
+    }
+
+    /// The raw (service-time-only) per-stage histograms absorbed so
+    /// far.
+    pub fn stages_service(&self) -> &StageLatency {
+        &self.stages_service
+    }
+
+    /// The lag/backlog tracker.
+    pub fn lag(&self) -> &LagTracker {
+        &self.lag
+    }
+
+    /// Sliding-window corrected quantile at `now_ns`.
+    pub fn windowed_quantile(&self, now_ns: u64, q: f64) -> Quantile {
+        self.corrected_windowed.sliding(now_ns).quantile_report(q)
+    }
+
+    /// The configured occupancy ceiling this recorder gates against.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Peak total occupancy seen across samples.
+    pub fn occupancy_peak(&self) -> u64 {
+        self.occupancy_peak
+    }
+
+    /// Samples whose total occupancy exceeded the configured capacity.
+    pub fn over_capacity_samples(&self) -> u64 {
+        self.over_capacity_samples
+    }
+
+    /// Mirrors the under-load state into the registry under
+    /// `scope.underload.*` so Prometheus scrapes and the live views
+    /// see lag, backlog, corrected quantiles and occupancy without
+    /// touching the recorder itself.
+    pub fn publish(&self, scope: &Scope, now_ns: u64) {
+        let ul = scope.scope("underload");
+        let set = |name: &str, v: u64| ul.gauge(name).set_at(v, now_ns);
+        set("injected", self.injected);
+        set("lag_p50_ns", self.lag.histogram().p50());
+        set("lag_p99_ns", self.lag.histogram().p99());
+        set("lag_max_ns", self.lag.histogram().max());
+        set("backlog", self.lag.backlog());
+        set("backlog_peak", self.lag.max_backlog());
+        set("naive_p99_ns", self.naive.p99());
+        set("naive_p999_ns", self.naive.p999());
+        set("corrected_p99_ns", self.corrected.p99());
+        let p999 = self.corrected.quantile_report(0.999);
+        set("corrected_p999_ns", p999.value);
+        set("corrected_p999_saturated", u64::from(p999.saturated));
+        let win = self.corrected_windowed.sliding(now_ns);
+        set("window_p99_ns", win.p99());
+        set("window_p999_ns", win.p999());
+        set("occupancy_peak", self.occupancy_peak);
+        set("occupancy_cap", self.capacity);
+        set("over_capacity_samples", self.over_capacity_samples);
+        for s in Stage::ALL {
+            ul.scope("corrected")
+                .gauge(&format!("{}_p999_ns", s.name()))
+                .set_at(self.stages_corrected[s.index()].p999(), now_ns);
+        }
+        for (i, (&occ, &ev)) in self
+            .shard_occupancy
+            .iter()
+            .zip(&self.shard_evicted)
+            .enumerate()
+        {
+            let sc = ul.scope(&format!("shard{i}"));
+            sc.gauge("occupancy").set_at(occ, now_ns);
+            sc.gauge("evicted").set_at(ev, now_ns);
+        }
+    }
+
+    /// Renders the whole under-load record as a JSON object, windows
+    /// evaluated at `now_ns`.
+    pub fn to_json(&self, now_ns: u64) -> String {
+        let mut stages = JsonObject::new();
+        for s in Stage::ALL {
+            let mut obj = JsonObject::new();
+            let service = self.stages_service.stage(s);
+            let corrected = &self.stages_corrected[s.index()];
+            let c999 = corrected.quantile_report(0.999);
+            obj.u64("count", corrected.count())
+                .u64("service_p99_ns", service.p99())
+                .u64("service_p999_ns", service.p999())
+                .u64("corrected_p99_ns", corrected.p99())
+                .u64("corrected_p999_ns", c999.value)
+                .raw("corrected_p999_saturated", c999.saturated.to_string());
+            stages.raw(s.name(), obj.render());
+        }
+        let win = self.corrected_windowed.sliding(now_ns);
+        let mut lag = JsonObject::new();
+        lag.u64("p50_ns", self.lag.histogram().p50())
+            .u64("p99_ns", self.lag.histogram().p99())
+            .u64("max_ns", self.lag.histogram().max())
+            .u64("backlog", self.lag.backlog())
+            .u64("backlog_peak", self.lag.max_backlog());
+        let mut occupancy = JsonObject::new();
+        occupancy
+            .u64("peak", self.occupancy_peak)
+            .u64("cap", self.capacity)
+            .u64("samples", self.samples)
+            .u64("over_capacity_samples", self.over_capacity_samples)
+            .raw(
+                "per_shard_last",
+                crate::json::array(
+                    &self
+                        .shard_occupancy
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>(),
+                ),
+            );
+        let mut root = JsonObject::new();
+        root.u64("injected", self.injected)
+            .raw("naive", self.naive.to_json())
+            .raw("corrected", self.corrected.to_json())
+            .raw("window", win.to_json())
+            .raw("stages", stages.render())
+            .raw("lag", lag.render())
+            .raw("occupancy", occupancy.render());
+        root.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_rotation_expires_old_windows() {
+        let mut w: WindowedHistogram<48> = WindowedHistogram::new(1_000, 4);
+        w.record(100, 7);
+        w.record(1_100, 9);
+        assert_eq!(w.sliding(1_100).count(), 2, "both windows live");
+        // Jump far ahead: only the new window should remain visible.
+        w.record(10_500, 42);
+        let live = w.sliding(10_500);
+        assert_eq!(live.count(), 1);
+        assert_eq!(live.max(), 42);
+        assert_eq!(w.total_count(), 3, "nothing is lost, only excluded");
+    }
+
+    #[test]
+    fn windowed_single_window_still_works() {
+        let mut w: WindowedHistogram<48> = WindowedHistogram::new(0, 0);
+        assert_eq!(w.window_ns(), 1);
+        assert_eq!(w.windows(), 1);
+        w.record(5, 1);
+        assert_eq!(w.sliding(5).count(), 1);
+    }
+
+    #[test]
+    fn corrected_includes_lag_naive_does_not() {
+        let mut r = UnderLoadRecorder::new(1_000_000, 8, 1_000);
+        // Intended at t=0, injected 5 ms late, served in 1 µs.
+        r.record_segment(0, 5_000_000, 5_001_000);
+        assert_eq!(r.injected(), 1);
+        assert!(r.naive().max() < 2_000, "naive sees only service time");
+        assert!(
+            r.corrected().max() >= 5_000_000,
+            "corrected carries the 5 ms of coordinated omission"
+        );
+        assert!(r.lag().histogram().max() >= 5_000_000);
+    }
+
+    #[test]
+    fn stage_rebasing_shifts_by_lag() {
+        let mut r = UnderLoadRecorder::new(1_000_000, 8, 1_000);
+        let mut delta = StageLatency::new();
+        delta.record(Stage::FlowLookup, 200);
+        delta.record(Stage::FlowLookup, 300);
+        r.absorb_stage_delta(&delta, 1_000_000);
+        let h = r.stage_corrected(Stage::FlowLookup);
+        assert_eq!(h.count(), 2);
+        assert!(h.min() >= 1_000_000, "service re-based onto lag axis");
+        assert_eq!(r.stages_service().stage(Stage::FlowLookup).count(), 2);
+        // Zero lag keeps the corrected value an upper bound of service.
+        let mut r2 = UnderLoadRecorder::new(1_000_000, 8, 1_000);
+        r2.absorb_stage_delta(&delta, 0);
+        assert!(r2.stage_corrected(Stage::FlowLookup).min() >= 200);
+        assert!(r2.stage_corrected(Stage::FlowLookup).max() <= 300);
+    }
+
+    #[test]
+    fn stage_window_diffs_snapshots_and_keeps_cumulative_service() {
+        let mut before = StageLatency::new();
+        before.record(Stage::IngressParse, 100);
+        let mut after = before;
+        after.record(Stage::IngressParse, 120);
+        after.record(Stage::FlowLookup, 250);
+        let mut r = UnderLoadRecorder::new(1_000_000, 8, 1_000);
+        r.absorb_stage_window(&before, &after, 10_000);
+        // Only the two new samples are re-based; the pre-existing one
+        // is not replayed.
+        assert_eq!(r.stage_corrected(Stage::IngressParse).count(), 1);
+        assert_eq!(r.stage_corrected(Stage::FlowLookup).count(), 1);
+        assert!(r.stage_corrected(Stage::FlowLookup).min() >= 10_000);
+        // The service view is the cumulative `after` snapshot.
+        assert_eq!(r.stages_service().stage(Stage::IngressParse).count(), 2);
+        assert_eq!(r.stages_service().stage(Stage::FlowLookup).count(), 1);
+    }
+
+    #[test]
+    fn occupancy_cap_violations_are_counted() {
+        let mut r = UnderLoadRecorder::new(1_000, 2, 100);
+        r.sample_shards(&[
+            ShardSample {
+                occupancy: 40,
+                evicted: 0,
+            },
+            ShardSample {
+                occupancy: 50,
+                evicted: 1,
+            },
+        ]);
+        assert_eq!(r.occupancy_peak(), 90);
+        assert_eq!(r.over_capacity_samples(), 0);
+        r.sample_shards(&[ShardSample {
+            occupancy: 120,
+            evicted: 3,
+        }]);
+        assert_eq!(r.occupancy_peak(), 120);
+        assert_eq!(r.over_capacity_samples(), 1);
+    }
+
+    #[test]
+    fn backlog_high_water() {
+        let mut r = UnderLoadRecorder::new(1_000, 2, 100);
+        r.set_backlog(10);
+        r.set_backlog(3);
+        assert_eq!(r.lag().backlog(), 3);
+        assert_eq!(r.lag().max_backlog(), 10);
+    }
+
+    #[test]
+    fn publish_mirrors_into_registry() {
+        use crate::registry::Registry;
+        let reg = Registry::new();
+        let mut r = UnderLoadRecorder::new(1_000_000, 4, 500);
+        r.record_segment(0, 2_000_000, 2_000_500);
+        r.sample_shards(&[ShardSample {
+            occupancy: 7,
+            evicted: 0,
+        }]);
+        r.publish(&reg.scope("bench"), 2_000_500);
+        let snap = reg.snapshot(2_000_500);
+        assert_eq!(snap.gauge("bench.underload.injected").unwrap().value, 1);
+        assert!(snap.gauge("bench.underload.lag_max_ns").unwrap().value >= 2_000_000);
+        assert_eq!(
+            snap.gauge("bench.underload.occupancy_peak").unwrap().value,
+            7
+        );
+        assert_eq!(
+            snap.gauge("bench.underload.shard0.occupancy")
+                .unwrap()
+                .value,
+            7
+        );
+        let json = r.to_json(2_000_500);
+        assert!(json.contains("\"corrected\""), "{json}");
+        assert!(json.contains("\"flow_lookup\""), "{json}");
+        assert!(json.contains("\"backlog_peak\""), "{json}");
+    }
+}
