@@ -428,7 +428,9 @@ fn underload(args: &[String]) -> i32 {
                 rec.sample_shards(&shards);
             }
             if batches.is_multiple_of(512) {
+                let g0 = HostClock::now_ns();
                 bridge.on_tick(sim_now);
+                rec.record_gc_pause(HostClock::now_ns().saturating_sub(g0));
             }
         }
         // Redraw on frame boundaries of the *intended* timeline so the
@@ -485,6 +487,16 @@ fn render_underload_frame(
         lag.histogram().max(),
         lag.backlog(),
         lag.max_backlog(),
+    );
+
+    let gc = rec.gc_pause();
+    println!("\n── gc pause (per tick, ns) ──");
+    println!(
+        "p50 {:>10}  p99 {:>10}  max {:>10}  ticks {:>9}",
+        gc.p50(),
+        gc.p99(),
+        gc.max(),
+        gc.count(),
     );
 
     println!("\n── end-to-end latency (ns) ──");

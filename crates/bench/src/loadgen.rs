@@ -424,7 +424,13 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopReport {
             sample_occupancy(&bridge, &mut rec);
         }
         if batches.is_multiple_of(cfg.gc_every.max(1)) {
+            // The GC tick runs inline on the injection thread, so its
+            // entire duration is injection stall: time it on the host
+            // clock and gate it (the PR 6 stall was exactly here —
+            // an O(capacity) slab sweep at 2²⁰ residents).
+            let g0 = HostClock::now_ns();
             bridge.on_tick(sim_now);
+            rec.record_gc_pause(HostClock::now_ns().saturating_sub(g0));
         }
     }
     let end_ns = HostClock::now_ns().saturating_sub(t0);
@@ -509,7 +515,7 @@ mod tests {
             window_ns: 1_000_000,
             windows: 4,
             sample_every: 8,
-            gc_every: 64,
+            gc_every: 16,
         }
     }
 
@@ -556,5 +562,7 @@ mod tests {
         // Corrected can never sit below naive at equal counts: it adds
         // lag on the same samples.
         assert!(r.recorder.corrected().max() >= r.recorder.naive().max());
+        // GC ticks fired and each one's pause was recorded.
+        assert!(r.recorder.gc_pause().count() > 0, "gc ticks recorded");
     }
 }

@@ -28,6 +28,8 @@ pub struct TrajectoryInputs {
     pub pr5: Option<String>,
     /// `BENCH_PR6.json` (open-loop load observatory).
     pub pr6: Option<String>,
+    /// `BENCH_PR7.json` (incremental GC + run-to-completion).
+    pub pr7: Option<String>,
 }
 
 impl TrajectoryInputs {
@@ -49,6 +51,7 @@ impl TrajectoryInputs {
             pr4: read(4),
             pr5: read(5),
             pr6: read(6),
+            pr7: read(7),
         }
     }
 }
@@ -105,10 +108,18 @@ pub fn trajectory_doc(inputs: &TrajectoryInputs) -> String {
             num(fig(&inputs.pr6, "flow_lookup", "corrected_p999_ns")),
             num(fig(&inputs.pr6, "lag", "p99_ns")),
         ),
+        format!(
+            "    {{\"pr\": 7, \"bench\": \"incremental GC + run-to-completion\", \"missing\": {}, \
+             \"corrected_p999_ns\": {}, \"gc_pause_max_ns\": {}, \"seg_per_sec\": {}}}",
+            inputs.pr7.is_none(),
+            num(fig(&inputs.pr7, "corrected", "p999_ns")),
+            num(fig(&inputs.pr7, "gc", "pause_max_ns")),
+            num(fig(&inputs.pr7, "load", "seg_per_sec")),
+        ),
     ];
 
     format!(
-        "{{\n  \"bench\": \"headline trajectory PR2..PR6\",\n  \"trajectory\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"headline trajectory PR2..PR7\",\n  \"trajectory\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     )
 }
@@ -134,10 +145,10 @@ mod tests {
     #[test]
     fn missing_inputs_become_missing_rows_not_panics() {
         let doc = trajectory_doc(&TrajectoryInputs::default());
-        for pr in 2..=6 {
+        for pr in 2..=7 {
             assert!(doc.contains(&format!("\"pr\": {pr}, ")), "{doc}");
         }
-        assert_eq!(doc.matches("\"missing\": true").count(), 5, "{doc}");
+        assert_eq!(doc.matches("\"missing\": true").count(), 6, "{doc}");
         assert!(doc.contains("\"peak_flows\": null"), "{doc}");
         assert!(doc.contains("\"recv_kbps_failover\": null"), "{doc}");
     }
@@ -175,5 +186,20 @@ mod tests {
             "{doc}"
         );
         assert!(doc.contains("\"lag_p99_ns\": 500000.000"), "{doc}");
+    }
+
+    #[test]
+    fn pr7_headline_fields_are_extracted() {
+        let pr7 = "{\n  \"load\": {\"seg_per_sec\": 250000},\n  \
+                   \"gc\": {\"pause_max_ns\": 3871},\n  \
+                   \"corrected\": {\"p999_ns\": 4194303}\n}";
+        let inputs = TrajectoryInputs {
+            pr7: Some(pr7.to_string()),
+            ..TrajectoryInputs::default()
+        };
+        let doc = trajectory_doc(&inputs);
+        assert!(doc.contains("\"corrected_p999_ns\": 4194303.000"), "{doc}");
+        assert!(doc.contains("\"gc_pause_max_ns\": 3871.000"), "{doc}");
+        assert!(doc.contains("\"seg_per_sec\": 250000.000"), "{doc}");
     }
 }

@@ -17,17 +17,47 @@
 //! Memory is bounded: each shard holds at most `capacity / shards`
 //! flows. Inserting into a full shard evicts the least-recently-used
 //! entry ([`Evicted`] is handed back to the caller, which owns the
-//! policy — the primary bridge resets evicted live clients). The
-//! timer-driven [`Shard::gc`] reaps entries whose TTL expired per
-//! [`GcPolicy`]; §6-degraded flows are exempt from GC but not from
-//! LRU eviction.
+//! policy — the primary bridge resets evicted live clients).
+//!
+//! # Incremental GC (TTL-class expiry lists)
+//!
+//! Expiry no longer sweeps the slab. Every slot is also threaded onto
+//! one of two intrusive **expiry lists**, one per TTL class: TimeWait
+//! residue (`timewait_ttl`) and live/idle flows (`idle_ttl`).
+//! §6-degraded flows are on no list — GC-exempt, though still subject
+//! to LRU eviction. Each `insert` / `get_mut` / class-changing
+//! `set_state` moves the slot to the *back* of its class list with
+//! `last_activity = now`; because sim time is monotone, every class
+//! list is therefore ordered by non-decreasing deadline
+//! (`last_activity + ttl`). A GC tick pops expired slots off the list
+//! fronts only — O(reaped), never O(capacity) — optionally bounded by
+//! a reap budget ([`GcPolicy::max_reaps_per_tick`]); the table keeps a
+//! round-robin shard cursor so backlog carried over a budget-exhausted
+//! tick drains first on the next one. Reaps are never early; under
+//! budget pressure they are delayed but never lost.
 
 use super::lifecycle::FlowState;
 use std::collections::HashMap;
 use tcpfo_tcp::filter::FlowKey;
 
-/// Sentinel for "no slot" in the intrusive LRU links.
+/// Sentinel for "no slot" in the intrusive LRU / expiry links.
 const NONE: u32 = u32::MAX;
+
+/// Number of TTL classes (expiry lists) per shard.
+const EXP_CLASSES: usize = 2;
+/// Expiry class for §8 TimeWait residue.
+const EXP_TIMEWAIT: usize = 0;
+/// Expiry class for live flows (idle-TTL leak backstop).
+const EXP_IDLE: usize = 1;
+
+/// The expiry class a state belongs to; `None` = GC-exempt.
+fn exp_class(state: FlowState) -> Option<usize> {
+    match state {
+        FlowState::TimeWait => Some(EXP_TIMEWAIT),
+        FlowState::Degraded => None,
+        _ => Some(EXP_IDLE),
+    }
+}
 
 /// Time-to-live policy for [`Shard::gc`], all in sim nanoseconds.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +70,15 @@ pub struct GcPolicy {
     /// generous, because reaping a genuinely live flow breaks it. This
     /// is a leak backstop, not a policy knob.
     pub idle_ttl: u64,
+    /// Whole-table reap budget per timer tick ([`FlowTable::gc_budgeted`]).
+    /// Bounds the GC pause; backlog carries over via the table's shard
+    /// cursor. Expiry maintenance is O(1) per op, so a tick's cost is
+    /// O(min(due, budget)), never O(capacity).
+    pub max_reaps_per_tick: usize,
+    /// Per-shard reap budget drained by each run-to-completion worker
+    /// at the end of a `process_batch` call (amortises expiry into the
+    /// datapath instead of letting it pile up for the timer tick).
+    pub max_reaps_per_batch: usize,
 }
 
 impl Default for GcPolicy {
@@ -47,6 +86,8 @@ impl Default for GcPolicy {
         GcPolicy {
             timewait_ttl: 60_000_000_000, // 60 s sim
             idle_ttl: 3_600_000_000_000,  // 1 h sim
+            max_reaps_per_tick: 4_096,
+            max_reaps_per_batch: 64,
         }
     }
 }
@@ -59,6 +100,14 @@ impl GcPolicy {
             FlowState::TimeWait => Some(self.timewait_ttl),
             FlowState::Degraded => None,
             _ => Some(self.idle_ttl),
+        }
+    }
+
+    /// The TTL for an expiry class.
+    fn class_ttl(&self, class: usize) -> u64 {
+        match class {
+            EXP_TIMEWAIT => self.timewait_ttl,
+            _ => self.idle_ttl,
         }
     }
 }
@@ -97,7 +146,8 @@ impl FlowTableConfig {
 
     /// Reads `TCPFO_FLOW_SHARDS` and `TCPFO_FLOW_CAP` from the
     /// environment, falling back to the defaults (1 shard, 65 536
-    /// flows) when unset or unparsable.
+    /// flows) when unset or unparsable. GC budgets come from
+    /// `TCPFO_GC_TICK_BUDGET` / `TCPFO_GC_BATCH_BUDGET` the same way.
     pub fn from_env() -> Self {
         let parse = |name: &str, default: usize| {
             std::env::var(name)
@@ -106,10 +156,14 @@ impl FlowTableConfig {
                 .filter(|&v| v > 0)
                 .unwrap_or(default)
         };
-        FlowTableConfig::new(
+        let mut config = FlowTableConfig::new(
             parse("TCPFO_FLOW_SHARDS", 1),
             parse("TCPFO_FLOW_CAP", 65_536),
-        )
+        );
+        config.gc.max_reaps_per_tick = parse("TCPFO_GC_TICK_BUDGET", config.gc.max_reaps_per_tick);
+        config.gc.max_reaps_per_batch =
+            parse("TCPFO_GC_BATCH_BUDGET", config.gc.max_reaps_per_batch);
+        config
     }
 }
 
@@ -162,10 +216,31 @@ struct Slot<T> {
     /// Intrusive LRU links (slot indices; [`NONE`] terminates).
     prev: u32,
     next: u32,
+    /// Intrusive expiry-list links (per TTL class; [`NONE`] when the
+    /// slot is GC-exempt).
+    exp_prev: u32,
+    exp_next: u32,
     data: T,
 }
 
-/// One shard: slab + hash index + LRU list + stats.
+/// Head/tail of one intrusive expiry list (FIFO: push at the tail,
+/// reap from the head — deadline order, given monotone `now`).
+#[derive(Debug, Clone, Copy)]
+struct ExpList {
+    head: u32,
+    tail: u32,
+}
+
+impl Default for ExpList {
+    fn default() -> Self {
+        ExpList {
+            head: NONE,
+            tail: NONE,
+        }
+    }
+}
+
+/// One shard: slab + hash index + LRU list + expiry lists + stats.
 #[derive(Debug)]
 pub struct Shard<T> {
     slots: Vec<Option<Slot<T>>>,
@@ -175,6 +250,8 @@ pub struct Shard<T> {
     head: u32,
     /// Least-recently-used slot (eviction candidate).
     tail: u32,
+    /// One FIFO expiry list per TTL class.
+    exp: [ExpList; EXP_CLASSES],
     capacity: usize,
     /// Statistics (readable by telemetry exporters).
     pub stats: ShardStats,
@@ -182,13 +259,22 @@ pub struct Shard<T> {
 
 impl<T> Shard<T> {
     fn new(capacity: usize) -> Self {
+        // Reserve the slab and index up front: growth by doubling at
+        // scale is a latency storm, not a convenience — with uniform
+        // key hashing every shard crosses its doubling threshold in
+        // the same narrow window, so a 2²⁰-resident run pays all the
+        // slab memcpys and index rehashes back-to-back, stalling the
+        // injector for hundreds of ms. Reserved pages are faulted
+        // lazily by the OS, so this costs address space, not RSS.
+        let capacity = capacity.max(1);
         Shard {
-            slots: Vec::new(),
+            slots: Vec::with_capacity(capacity),
             free: Vec::new(),
-            index: HashMap::new(),
+            index: HashMap::with_capacity(capacity),
             head: NONE,
             tail: NONE,
-            capacity: capacity.max(1),
+            exp: [ExpList::default(); EXP_CLASSES],
+            capacity,
             stats: ShardStats::default(),
         }
     }
@@ -226,12 +312,18 @@ impl<T> Shard<T> {
         Some(&self.slot(slot).data)
     }
 
-    /// Mutable access; touches the LRU and stamps `last_activity`.
+    /// Mutable access; touches the LRU, stamps `last_activity` and
+    /// re-queues the slot at the back of its expiry list (its deadline
+    /// just moved out).
     pub fn get_mut(&mut self, key: &FlowKey, now: u64) -> Option<&mut T> {
         self.stats.lookups += 1;
         let slot = *self.index.get(key)?;
         self.unlink(slot);
         self.link_front(slot);
+        if let Some(class) = exp_class(self.slot(slot).state) {
+            self.exp_unlink(slot, class);
+            self.exp_push_back(slot, class);
+        }
         let s = self.slot_mut(slot);
         s.last_activity = now;
         Some(&mut s.data)
@@ -243,22 +335,39 @@ impl<T> Shard<T> {
     }
 
     /// Moves the flow to `state`, stamping `state_since`. No-op when
-    /// the key is absent; debug-asserts the transition is legal.
+    /// the key is absent; debug-asserts the transition is legal. A
+    /// transition that changes the TTL class counts as activity: the
+    /// slot re-enters its new expiry list at the back with
+    /// `last_activity = now`, which keeps every list deadline-ordered.
     pub fn set_state(&mut self, key: &FlowKey, state: FlowState, now: u64) {
         let Some(&slot) = self.index.get(key) else {
             return;
         };
-        let s = self.slot_mut(slot);
+        let old = self.slot(slot).state;
         debug_assert!(
-            s.state == state || s.state.can_transition(state),
+            old == state || old.can_transition(state),
             "illegal flow transition {} -> {} for {}",
-            s.state,
+            old,
             state,
             key
         );
-        if s.state != state {
-            s.state = state;
-            s.state_since = now;
+        if old == state {
+            return;
+        }
+        let (old_class, new_class) = (exp_class(old), exp_class(state));
+        if old_class != new_class {
+            if let Some(c) = old_class {
+                self.exp_unlink(slot, c);
+            }
+            if let Some(c) = new_class {
+                self.exp_push_back(slot, c);
+            }
+        }
+        let s = self.slot_mut(slot);
+        s.state = state;
+        s.state_since = now;
+        if old_class != new_class {
+            s.last_activity = now;
         }
     }
 
@@ -274,6 +383,9 @@ impl<T> Shard<T> {
     ) -> Option<Evicted<T>> {
         if let Some(&slot) = self.index.get(&key) {
             // Replace in place: fresh state machine, same slot.
+            if let Some(c) = exp_class(self.slot(slot).state) {
+                self.exp_unlink(slot, c);
+            }
             let s = self.slot_mut(slot);
             s.state = state;
             s.last_activity = now;
@@ -281,6 +393,9 @@ impl<T> Shard<T> {
             s.data = data;
             self.unlink(slot);
             self.link_front(slot);
+            if let Some(c) = exp_class(state) {
+                self.exp_push_back(slot, c);
+            }
             return None;
         }
         let evicted = if self.index.len() >= self.capacity {
@@ -300,6 +415,8 @@ impl<T> Shard<T> {
                     state_since: now,
                     prev: NONE,
                     next: NONE,
+                    exp_prev: NONE,
+                    exp_next: NONE,
                     data,
                 });
                 i
@@ -312,6 +429,8 @@ impl<T> Shard<T> {
                     state_since: now,
                     prev: NONE,
                     next: NONE,
+                    exp_prev: NONE,
+                    exp_next: NONE,
                     data,
                 }));
                 (self.slots.len() - 1) as u32
@@ -319,6 +438,9 @@ impl<T> Shard<T> {
         };
         self.index.insert(key, slot);
         self.link_front(slot);
+        if let Some(c) = exp_class(state) {
+            self.exp_push_back(slot, c);
+        }
         self.stats.inserted += 1;
         self.stats.occupancy = self.index.len() as u64;
         evicted
@@ -334,21 +456,44 @@ impl<T> Shard<T> {
     /// Reaps every flow whose TTL (per `policy`) has expired, invoking
     /// `reaped` for each with the state it held before reaping.
     pub fn gc(&mut self, now: u64, policy: &GcPolicy, reaped: &mut dyn FnMut(Evicted<T>)) {
-        for i in 0..self.slots.len() {
-            let expired = match &self.slots[i] {
-                Some(s) => match policy.ttl_for(s.state) {
-                    Some(ttl) => now.saturating_sub(s.last_activity) >= ttl,
-                    None => false,
-                },
-                None => false,
-            };
-            if expired {
+        self.gc_budgeted(now, policy, usize::MAX, reaped);
+    }
+
+    /// Reaps at most `budget` expired flows, popping each expiry list
+    /// front while its deadline (`last_activity + ttl`) has passed.
+    /// O(reaped), never O(capacity). Returns the number reaped; a
+    /// return equal to `budget` means backlog may remain.
+    pub fn gc_budgeted(
+        &mut self,
+        now: u64,
+        policy: &GcPolicy,
+        budget: usize,
+        reaped: &mut dyn FnMut(Evicted<T>),
+    ) -> usize {
+        let mut n = 0;
+        for class in 0..EXP_CLASSES {
+            let ttl = policy.class_ttl(class);
+            loop {
+                if n >= budget {
+                    return n;
+                }
+                let front = self.exp[class].head;
+                if front == NONE {
+                    break;
+                }
+                if now.saturating_sub(self.slot(front).last_activity) < ttl {
+                    // FIFO = deadline order: everything behind the
+                    // front is at least as fresh.
+                    break;
+                }
                 self.stats.reaped += 1;
-                if let Some(ev) = self.remove_slot(i as u32) {
+                if let Some(ev) = self.remove_slot(front) {
                     reaped(ev);
                 }
+                n += 1;
             }
         }
+        n
     }
 
     /// Iterates resident flows in slab-slot order (deterministic for a
@@ -359,13 +504,22 @@ impl<T> Shard<T> {
             .filter_map(|s| s.as_ref().map(|s| (s.key, s.state, &s.data)))
     }
 
-    /// Resident keys in slab-slot order (for mutation loops that need
-    /// to detach entries one at a time).
-    pub fn keys(&self) -> Vec<FlowKey> {
-        self.slots
-            .iter()
-            .filter_map(|s| s.as_ref().map(|s| s.key))
-            .collect()
+    /// Number of slab slots (occupied or free): the cursor bound for
+    /// [`Shard::take_slot`] drain loops. Fixed while only removals
+    /// happen, so `for i in 0..slot_count()` borrows nothing across
+    /// mutations.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Detaches and returns the flow in slab slot `i`, if occupied —
+    /// the allocation-free replacement for collecting all keys before
+    /// a drain loop.
+    pub fn take_slot(&mut self, i: usize) -> Option<Evicted<T>> {
+        if i >= self.slots.len() || self.slots[i].is_none() {
+            return None;
+        }
+        self.remove_slot(i as u32)
     }
 
     fn slot(&self, i: u32) -> &Slot<T> {
@@ -414,9 +568,52 @@ impl<T> Shard<T> {
         }
     }
 
-    /// Frees a slot entirely: LRU unlink, index removal, slab free.
+    /// Detaches a slot from its expiry list.
+    fn exp_unlink(&mut self, i: u32, class: usize) {
+        let (prev, next) = {
+            let s = self.slot(i);
+            (s.exp_prev, s.exp_next)
+        };
+        if prev != NONE {
+            self.slot_mut(prev).exp_next = next;
+        } else if self.exp[class].head == i {
+            self.exp[class].head = next;
+        }
+        if next != NONE {
+            self.slot_mut(next).exp_prev = prev;
+        } else if self.exp[class].tail == i {
+            self.exp[class].tail = prev;
+        }
+        let s = self.slot_mut(i);
+        s.exp_prev = NONE;
+        s.exp_next = NONE;
+    }
+
+    /// Appends a detached slot at the back of an expiry list (the
+    /// freshest deadline; monotone `now` keeps the FIFO sorted).
+    fn exp_push_back(&mut self, i: u32, class: usize) {
+        let old = self.exp[class].tail;
+        {
+            let s = self.slot_mut(i);
+            s.exp_prev = old;
+            s.exp_next = NONE;
+        }
+        if old != NONE {
+            self.slot_mut(old).exp_next = i;
+        }
+        self.exp[class].tail = i;
+        if self.exp[class].head == NONE {
+            self.exp[class].head = i;
+        }
+    }
+
+    /// Frees a slot entirely: LRU + expiry unlink, index removal, slab
+    /// free.
     fn remove_slot(&mut self, i: u32) -> Option<Evicted<T>> {
         self.unlink(i);
+        if let Some(class) = exp_class(self.slot(i).state) {
+            self.exp_unlink(i, class);
+        }
         let s = self.slots[i as usize].take()?;
         self.index.remove(&s.key);
         self.free.push(i);
@@ -436,6 +633,9 @@ impl<T> Shard<T> {
 pub struct FlowTable<T> {
     shards: Vec<Shard<T>>,
     config: FlowTableConfig,
+    /// Next shard a budgeted GC tick starts at — carry-over so a
+    /// backlogged shard drains first after a budget-exhausted tick.
+    gc_cursor: usize,
 }
 
 impl<T> FlowTable<T> {
@@ -446,6 +646,7 @@ impl<T> FlowTable<T> {
         FlowTable {
             shards: (0..shards).map(|_| Shard::new(per_shard)).collect(),
             config,
+            gc_cursor: 0,
         }
     }
 
@@ -531,12 +732,45 @@ impl<T> FlowTable<T> {
         self.for_key_mut(key).set_state(key, state, now);
     }
 
-    /// Runs GC on every shard in shard order.
+    /// Drains every expired flow (unbounded budget), in shard order.
     pub fn gc(&mut self, now: u64, reaped: &mut dyn FnMut(Evicted<T>)) {
         let policy = self.config.gc;
         for shard in &mut self.shards {
             shard.gc(now, &policy, reaped);
         }
+    }
+
+    /// Reaps at most `budget` expired flows across shards, starting at
+    /// the carry-over cursor and round-robining so a budget-exhausted
+    /// tick resumes where pressure remains. Returns the number reaped.
+    pub fn gc_budgeted(
+        &mut self,
+        now: u64,
+        budget: usize,
+        reaped: &mut dyn FnMut(Evicted<T>),
+    ) -> usize {
+        let policy = self.config.gc;
+        let n = self.shards.len();
+        let start = self.gc_cursor % n;
+        let mut left = budget;
+        let mut total = 0;
+        for k in 0..n {
+            let i = (start + k) % n;
+            if left == 0 {
+                // Resume here next tick: shard `i` (and onwards) was
+                // not offered any budget this time.
+                self.gc_cursor = i;
+                return total;
+            }
+            let r = self.shards[i].gc_budgeted(now, &policy, left, reaped);
+            total += r;
+            left -= r;
+            if left == 0 {
+                self.gc_cursor = i;
+                return total;
+            }
+        }
+        total
     }
 
     /// Iterates all resident flows in shard-index + slab-slot order
@@ -610,6 +844,81 @@ mod tests {
         assert!(t.contains(&key(2)), "degraded flows are GC-exempt");
         assert!(t.contains(&key(3)), "live flows outlast the TimeWait TTL");
         assert_eq!(t.stats_total().reaped, 1);
+    }
+
+    #[test]
+    fn touch_defers_expiry() {
+        let mut t = FlowTable::new(FlowTableConfig::new(1, 16));
+        let ttl = t.config().gc.timewait_ttl;
+        t.insert(key(1), FlowState::TimeWait, (), 0);
+        t.insert(key(2), FlowState::TimeWait, (), 0);
+        // A late touch re-queues key(1) behind key(2).
+        t.get_mut(&key(1), 10);
+        let mut reaped = Vec::new();
+        t.gc(ttl + 5, &mut |ev| reaped.push(ev.key));
+        assert_eq!(reaped, vec![key(2)], "touched entry outlives its peer");
+        t.gc(ttl + 10, &mut |ev| reaped.push(ev.key));
+        assert_eq!(reaped, vec![key(2), key(1)]);
+    }
+
+    #[test]
+    fn budget_bounds_reaps_and_cursor_carries_backlog() {
+        let mut t = FlowTable::new(FlowTableConfig::new(4, 256));
+        let ttl = t.config().gc.timewait_ttl;
+        for n in 0..40 {
+            t.insert(key(n), FlowState::TimeWait, (), 0);
+        }
+        let mut count = 0;
+        let reaps = t.gc_budgeted(ttl, 16, &mut |_| count += 1);
+        assert_eq!(reaps, 16, "budget caps the tick's work");
+        assert_eq!(count, 16);
+        assert_eq!(t.len(), 24, "backlog survives the tick");
+        // Carry-over: further ticks drain the rest, never early.
+        let reaps = t.gc_budgeted(ttl, 16, &mut |_| count += 1);
+        assert_eq!(reaps, 16);
+        let reaps = t.gc_budgeted(ttl, 16, &mut |_| count += 1);
+        assert_eq!(reaps, 8, "backlog fully drains");
+        assert!(t.is_empty());
+        assert_eq!(t.stats_total().reaped, 40);
+    }
+
+    #[test]
+    fn class_change_requeues_at_new_deadline() {
+        let mut t = FlowTable::new(FlowTableConfig::new(1, 16));
+        let tw = t.config().gc.timewait_ttl;
+        t.insert(key(1), FlowState::Replicated, (), 0);
+        t.insert(key(2), FlowState::Replicated, (), 0);
+        // key(1) closes at t=100: enters the TimeWait class *at* 100.
+        t.set_state(&key(1), FlowState::Closing, 100);
+        t.set_state(&key(1), FlowState::TimeWait, 100);
+        let mut reaped = Vec::new();
+        t.gc(100 + tw - 1, &mut |ev| reaped.push(ev.key));
+        assert!(reaped.is_empty(), "TimeWait TTL counts from the transition");
+        t.gc(100 + tw, &mut |ev| reaped.push(ev.key));
+        assert_eq!(reaped, vec![key(1)]);
+        assert!(t.contains(&key(2)), "idle-class peer unaffected");
+    }
+
+    #[test]
+    fn take_slot_drains_without_key_collection() {
+        let mut t = FlowTable::new(FlowTableConfig::new(2, 64));
+        for n in 0..20 {
+            t.insert(key(n), FlowState::Replicated, n, 0);
+        }
+        let mut drained = 0;
+        for shard in t.shards_mut() {
+            for i in 0..shard.slot_count() {
+                if let Some(ev) = shard.take_slot(i) {
+                    assert_eq!(ev.state, FlowState::Replicated);
+                    drained += 1;
+                }
+            }
+        }
+        assert_eq!(drained, 20);
+        assert!(t.is_empty());
+        // Expiry lists must be empty too: a GC after the drain finds
+        // nothing (would panic on a dangling slot index otherwise).
+        t.gc(u64::MAX / 2, &mut |_| panic!("table is empty"));
     }
 
     #[test]

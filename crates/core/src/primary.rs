@@ -330,6 +330,11 @@ pub struct PrimaryBridge {
     /// previously emitted bytes are dropped downstream, the next emit
     /// reclaims the allocation.
     emit_buf: BytesMut,
+    /// Per-shard egress scratch for the run-to-completion batch path:
+    /// each shard's worker owns its buffer end-to-end, so buffers
+    /// persist across batches instead of being reallocated per batch.
+    /// Lazily grown to the shard count; reset on `set_flow_config`.
+    shard_emit: Vec<BytesMut>,
     /// Online invariant auditor (attached via [`PrimaryBridge::set_audit`]).
     /// Detached — the default — costs one branch per filtered segment.
     audit: Option<Box<InvariantAuditor>>,
@@ -385,6 +390,7 @@ impl PrimaryBridge {
             stats: PrimaryStats::default(),
             telemetry: None,
             emit_buf: BytesMut::with_capacity(2048),
+            shard_emit: Vec::new(),
             audit: None,
             latency: None,
             last_gc: 0,
@@ -397,15 +403,18 @@ impl PrimaryBridge {
     pub fn set_flow_config(&mut self, config: FlowTableConfig) {
         let mut table = FlowTable::new(config);
         for shard in self.flows.shards_mut() {
-            for key in shard.keys() {
-                if let Some((st, data)) = shard.remove(&key) {
-                    if table.insert(key, st, data, 0).is_some() {
+            // Slot-cursor drain: slab order, no key collection — the
+            // slot count is fixed while we only remove.
+            for i in 0..shard.slot_count() {
+                if let Some(ev) = shard.take_slot(i) {
+                    if table.insert(ev.key, ev.state, ev.data, 0).is_some() {
                         self.stats.evicted_flows += 1;
                     }
                 }
             }
         }
         self.flows = table;
+        self.shard_emit.clear();
     }
 
     /// Attaches (or detaches) the online invariant auditor. When
@@ -753,16 +762,40 @@ impl PrimaryBridge {
 
     /// Timer-driven flow GC: expires §8 TimeWait tombstones after their
     /// TTL and reaps long-idle live flows (a leak backstop). Runs at
-    /// most once per [`GC_INTERVAL_NANOS`] of sim time.
+    /// most once per [`GC_INTERVAL_NANOS`] of sim time, and reaps at
+    /// most `GcPolicy::max_reaps_per_tick` flows per tick — the pause
+    /// bound. Backlog carries over via the table's shard cursor (and
+    /// the per-batch drain in [`PrimaryBridge::process_batch`] keeps
+    /// eating at it between ticks).
     fn gc_flows(&mut self, now_nanos: u64) {
         if now_nanos.saturating_sub(self.last_gc) < GC_INTERVAL_NANOS {
             return;
         }
         self.last_gc = now_nanos;
-        let PrimaryBridge { flows, stats, .. } = self;
-        flows.gc(now_nanos, &mut |_ev| {
-            stats.flows_reaped += 1;
-        });
+        let budget = self.flows.config().gc.max_reaps_per_tick;
+        self.flows.gc_budgeted(now_nanos, budget, &mut |_ev| {});
+        self.stats.flows_reaped = self.flows.stats_total().reaped;
+    }
+
+    /// Per-batch incremental GC: offers every shard a small reap
+    /// budget (`GcPolicy::max_reaps_per_batch`). O(1) per shard when
+    /// nothing is due (one list-head check per TTL class), so this
+    /// runs after *every* batch on both the sequential and the
+    /// parallel path — keeping the two byte- and state-identical.
+    fn gc_batch(&mut self, now_nanos: u64) {
+        let policy = self.flows.config().gc;
+        if policy.max_reaps_per_batch == 0 {
+            return;
+        }
+        for shard in self.flows.shards_mut() {
+            shard.gc_budgeted(
+                now_nanos,
+                &policy,
+                policy.max_reaps_per_batch,
+                &mut |_ev| {},
+            );
+        }
+        self.stats.flows_reaped = self.flows.stats_total().reaped;
     }
 
     // ---------------------------------------------------------------
@@ -851,7 +884,9 @@ impl PrimaryBridge {
     ///
     /// Falls back to the sequential path when the auditor or telemetry
     /// is attached (both observe cross-flow order) or the executor is
-    /// inline.
+    /// inline. Both paths finish every batch with the same per-shard
+    /// incremental GC drain ([`PrimaryBridge::gc_batch`]), so flow-table
+    /// state stays identical between them.
     pub fn process_batch(
         &mut self,
         batch: Vec<(BatchDir, AddressedSegment)>,
@@ -859,7 +894,7 @@ impl PrimaryBridge {
         exec: &ShardExecutor,
     ) -> Vec<FilterOutput> {
         if self.audit.is_some() || self.telemetry.is_some() || exec.threads() <= 1 {
-            return batch
+            let outs: Vec<FilterOutput> = batch
                 .into_iter()
                 .map(|(dir, seg)| {
                     let mut out = FilterOutput::empty();
@@ -870,6 +905,8 @@ impl PrimaryBridge {
                     out
                 })
                 .collect();
+            self.gc_batch(now_nanos);
+            return outs;
         }
         let items: Vec<(usize, (BatchDir, AddressedSegment))> = batch
             .into_iter()
@@ -881,6 +918,10 @@ impl PrimaryBridge {
                 (si, (dir, seg))
             })
             .collect();
+        let policy = self.flows.config().gc;
+        while self.shard_emit.len() < self.flows.shard_count() {
+            self.shard_emit.push(BytesMut::with_capacity(2048));
+        }
         let PrimaryBridge {
             a_p,
             a_s,
@@ -889,58 +930,82 @@ impl PrimaryBridge {
             unsafe_ack_without_min,
             config,
             flows,
+            shard_emit,
             ..
         } = self;
         let (a_p, a_s, divert_dst, mode, unsafe_ack) =
             (*a_p, *a_s, *divert_dst, *mode, *unsafe_ack_without_min);
         let config: &FailoverConfig = config;
         let lat_on = self.latency.is_some();
+        // Run-to-completion lanes: each shard is paired with its
+        // persistent egress buffer and handed to exactly one worker
+        // thread, which processes the shard's whole input slice and
+        // then drains its GC budget (the executor's `finish` hook)
+        // before the single end-of-batch merge.
+        let mut lanes: Vec<Lane<'_>> = flows
+            .shards_mut()
+            .iter_mut()
+            .zip(shard_emit.iter_mut())
+            .map(|(shard, emit)| Lane { shard, emit })
+            .collect();
         // Each worker accumulates stats (and, when the observatory is
         // attached, a private stage-latency copy) and hands the block
-        // back on its bucket's last item; the fold below sums them.
+        // back on its lane's last item; the fold below sums them.
         // All counters are sums and histogram merging is lossless, so
         // the merged total is independent of thread scheduling.
         type Produced = (FilterOutput, Option<(PrimaryStats, Option<StageLatency>)>);
-        let results: Vec<Produced> = exec.run(flows.shards_mut(), items, &|_si, shard, inputs| {
-            let mut stats = PrimaryStats::default();
-            let mut emit_buf = BytesMut::with_capacity(2048);
-            let mut lat = lat_on.then(StageLatency::new);
-            let n = inputs.len();
-            inputs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (dir, seg))| {
-                    let mut out = FilterOutput::empty();
-                    {
-                        let mut eng = Engine {
-                            a_p,
-                            a_s,
-                            divert_dst,
-                            mode,
-                            unsafe_ack,
-                            now: now_nanos,
-                            trace: seg.trace,
-                            config,
-                            shard: &mut *shard,
-                            stats: &mut stats,
-                            emit_buf: &mut emit_buf,
-                            instruments: None,
-                            lat: lat.as_mut(),
-                        };
-                        match dir {
-                            BatchDir::Outbound => eng.outbound(seg, &mut out),
-                            BatchDir::Inbound => eng.inbound(seg, &mut out),
+        let results: Vec<Produced> = exec.run_to_completion(
+            &mut lanes,
+            items,
+            &|_si, lane, inputs| {
+                let mut stats = PrimaryStats::default();
+                let mut lat = lat_on.then(StageLatency::new);
+                let n = inputs.len();
+                inputs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (dir, seg))| {
+                        let mut out = FilterOutput::empty();
+                        {
+                            let mut eng = Engine {
+                                a_p,
+                                a_s,
+                                divert_dst,
+                                mode,
+                                unsafe_ack,
+                                now: now_nanos,
+                                trace: seg.trace,
+                                config,
+                                shard: &mut *lane.shard,
+                                stats: &mut stats,
+                                emit_buf: &mut *lane.emit,
+                                instruments: None,
+                                lat: lat.as_mut(),
+                            };
+                            match dir {
+                                BatchDir::Outbound => eng.outbound(seg, &mut out),
+                                BatchDir::Inbound => eng.inbound(seg, &mut out),
+                            }
                         }
-                    }
-                    let s = if i + 1 == n {
-                        Some((stats.clone(), lat))
-                    } else {
-                        None
-                    };
-                    (out, s)
-                })
-                .collect()
-        });
+                        let s = if i + 1 == n {
+                            Some((stats.clone(), lat))
+                        } else {
+                            None
+                        };
+                        (out, s)
+                    })
+                    .collect()
+            },
+            &|_si, lane| {
+                lane.shard.gc_budgeted(
+                    now_nanos,
+                    &policy,
+                    policy.max_reaps_per_batch,
+                    &mut |_ev| {},
+                );
+            },
+        );
+        drop(lanes);
         let mut outs = Vec::with_capacity(results.len());
         for (out, s) in results {
             if let Some((s, l)) = s {
@@ -951,6 +1016,7 @@ impl PrimaryBridge {
             }
             outs.push(out);
         }
+        self.stats.flows_reaped = self.flows.stats_total().reaped;
         outs
     }
 
@@ -1013,6 +1079,15 @@ impl PrimaryBridge {
             aud.check_deliver_up(s.src, s.dst, &s.bytes, s.trace);
         }
     }
+}
+
+/// One shard's run-to-completion context for the parallel batch path:
+/// the shard itself plus its persistent egress scratch, owned
+/// end-to-end by a single worker thread for the duration of a batch
+/// (items, then the GC budget drain, then nothing until the merge).
+struct Lane<'a> {
+    shard: &'a mut Shard<PrimaryFlow>,
+    emit: &'a mut BytesMut,
 }
 
 /// The per-flow datapath, bound to one flow-table shard.

@@ -183,9 +183,11 @@ impl SecondaryBridge {
     pub fn set_flow_config(&mut self, config: FlowTableConfig) {
         let mut table = FlowTable::new(config);
         for shard in self.flows.shards_mut() {
-            for key in shard.keys() {
-                if let Some((st, data)) = shard.remove(&key) {
-                    if table.insert(key, st, data, 0).is_some() {
+            // Slot-cursor drain: slab order, no key collection — the
+            // slot count is fixed while we only remove.
+            for i in 0..shard.slot_count() {
+                if let Some(ev) = shard.take_slot(i) {
+                    if table.insert(ev.key, ev.state, ev.data, 0).is_some() {
                         self.stats.evicted_flows += 1;
                     }
                 }
@@ -372,16 +374,18 @@ impl SecondaryBridge {
     /// Timer-driven witness GC: reaps TimeWait entries after their TTL
     /// and long-idle entries (the leak backstop — connections whose
     /// teardown this bridge never witnessed, e.g. across a takeover).
-    /// Runs at most once per [`GC_INTERVAL_NANOS`] of sim time.
+    /// Runs at most once per [`GC_INTERVAL_NANOS`] of sim time, and
+    /// reaps at most `GcPolicy::max_reaps_per_tick` entries per tick —
+    /// the pause bound; backlog carries over via the table's shard
+    /// cursor.
     fn gc_flows(&mut self, now_nanos: u64) {
         if now_nanos.saturating_sub(self.last_gc) < GC_INTERVAL_NANOS {
             return;
         }
         self.last_gc = now_nanos;
-        let SecondaryBridge { flows, stats, .. } = self;
-        flows.gc(now_nanos, &mut |_ev| {
-            stats.flows_reaped += 1;
-        });
+        let budget = self.flows.config().gc.max_reaps_per_tick;
+        self.flows.gc_budgeted(now_nanos, budget, &mut |_ev| {});
+        self.stats.flows_reaped = self.flows.stats_total().reaped;
     }
 
     /// Whether a segment belongs to a designated failover connection.

@@ -11,6 +11,14 @@
 //! input would have produced, because per-item work is independent
 //! across shards and ordered within one.
 //!
+//! [`ShardExecutor::run_to_completion`] extends the model: a worker
+//! thread *finishes* each of its shards (items, then a per-shard
+//! `finish` hook for housekeeping such as budgeted GC) before the
+//! single end-of-batch merge — no cross-shard barrier between stages.
+//! The `finish` hook runs on **every** shard, items or not, so
+//! housekeeping progress is independent of where the batch happened to
+//! hash.
+//!
 //! # Example
 //!
 //! ```
@@ -82,6 +90,47 @@ impl ShardExecutor {
         O: Send,
         F: Fn(usize, &mut S, Vec<I>) -> Vec<O> + Sync,
     {
+        self.dispatch(shards, items, worker, None::<&fn(usize, &mut S)>)
+    }
+
+    /// Like [`ShardExecutor::run`], but each shard is *run to
+    /// completion* by whichever thread owns it: its items first, then
+    /// `finish(shard_index, &mut shard)` — the hook for end-of-batch
+    /// per-shard housekeeping (budgeted GC, buffer trimming). `finish`
+    /// runs exactly once per shard **including shards with no items**,
+    /// so housekeeping never depends on the batch's hash spread; the
+    /// output merge (by original input index) happens once at the end.
+    pub fn run_to_completion<S, I, O, F, G>(
+        &self,
+        shards: &mut [S],
+        items: Vec<(usize, I)>,
+        worker: &F,
+        finish: &G,
+    ) -> Vec<O>
+    where
+        S: Send,
+        I: Send,
+        O: Send,
+        F: Fn(usize, &mut S, Vec<I>) -> Vec<O> + Sync,
+        G: Fn(usize, &mut S) + Sync,
+    {
+        self.dispatch(shards, items, worker, Some(finish))
+    }
+
+    fn dispatch<S, I, O, F, G>(
+        &self,
+        shards: &mut [S],
+        items: Vec<(usize, I)>,
+        worker: &F,
+        finish: Option<&G>,
+    ) -> Vec<O>
+    where
+        S: Send,
+        I: Send,
+        O: Send,
+        F: Fn(usize, &mut S, Vec<I>) -> Vec<O> + Sync,
+        G: Fn(usize, &mut S) + Sync,
+    {
         let n = shards.len();
         let total = items.len();
         let mut buckets: Vec<Vec<(usize, I)>> = (0..n).map(|_| Vec::new()).collect();
@@ -94,6 +143,9 @@ impl ShardExecutor {
         if self.threads <= 1 || busy <= 1 {
             for (s, bucket) in buckets.into_iter().enumerate() {
                 run_bucket(s, &mut shards[s], bucket, worker, &mut slots);
+                if let Some(f) = finish {
+                    f(s, &mut shards[s]);
+                }
             }
         } else {
             // One chunk of consecutive shards per thread; `chunks_mut`
@@ -105,7 +157,7 @@ impl ShardExecutor {
                 for (c, chunk) in shards.chunks_mut(per).enumerate() {
                     let chunk_buckets: Vec<Vec<(usize, I)>> =
                         bucket_iter.by_ref().take(chunk.len()).collect();
-                    if chunk_buckets.iter().all(|b| b.is_empty()) {
+                    if finish.is_none() && chunk_buckets.iter().all(|b| b.is_empty()) {
                         continue;
                     }
                     let base = c * per;
@@ -114,12 +166,14 @@ impl ShardExecutor {
                         for (off, (shard, bucket)) in
                             chunk.iter_mut().zip(chunk_buckets).enumerate()
                         {
-                            if bucket.is_empty() {
-                                continue;
+                            if !bucket.is_empty() {
+                                let idxs: Vec<usize> = bucket.iter().map(|(i, _)| *i).collect();
+                                let outs = run_bucket_owned(base + off, shard, bucket, worker);
+                                produced.extend(idxs.into_iter().zip(outs));
                             }
-                            let idxs: Vec<usize> = bucket.iter().map(|(i, _)| *i).collect();
-                            let outs = run_bucket_owned(base + off, shard, bucket, worker);
-                            produced.extend(idxs.into_iter().zip(outs));
+                            if let Some(f) = finish {
+                                f(base + off, shard);
+                            }
                         }
                         produced
                     }));
@@ -230,5 +284,53 @@ mod tests {
         let mut shards = vec![0u64; 2];
         let out = ShardExecutor::new(2).run(&mut shards, Vec::<(usize, u64)>::new(), &double);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn finish_runs_once_per_shard_even_without_items() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Items hash only to shards 0 and 1; shards 2..8 still get
+        // their finish call, on every thread count.
+        for threads in [1, 2, 4] {
+            let mut shards = vec![0u64; 8];
+            let tagged: Vec<(usize, u64)> = (0..20).map(|i| (route(i, 2), i)).collect();
+            let finished = AtomicU64::new(0);
+            let out = ShardExecutor::new(threads).run_to_completion(
+                &mut shards,
+                tagged,
+                &double,
+                &|_s, shard: &mut u64| {
+                    finished.fetch_add(1, Ordering::Relaxed);
+                    *shard = shard.wrapping_add(1);
+                },
+            );
+            assert_eq!(out.len(), 20);
+            assert_eq!(finished.load(Ordering::Relaxed), 8, "threads={threads}");
+            // Every shard (busy or idle) was finished exactly once.
+            assert!(shards[2..].iter().all(|&s| s == 1));
+        }
+    }
+
+    #[test]
+    fn run_to_completion_output_order_matches_run() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 4] {
+            for nshards in [1usize, 2, 8] {
+                let mut a = vec![0u64; nshards];
+                let mut b = vec![0u64; nshards];
+                let tagged = || -> Vec<(usize, u64)> {
+                    items.iter().map(|&i| (route(i, nshards), i)).collect()
+                };
+                let plain = ShardExecutor::new(threads).run(&mut a, tagged(), &double);
+                let rtc = ShardExecutor::new(threads).run_to_completion(
+                    &mut b,
+                    tagged(),
+                    &double,
+                    &|_, _: &mut u64| {},
+                );
+                assert_eq!(plain, rtc, "threads={threads} shards={nshards}");
+                assert_eq!(a, b);
+            }
+        }
     }
 }

@@ -202,6 +202,10 @@ pub struct UnderLoadRecorder {
     /// Per-stage corrected histograms: service time re-based by the
     /// batch's injection lag.
     stages_corrected: [UnderLoadHistogram; Stage::COUNT],
+    /// Host-ns pause of each flow-table GC tick (the injector is
+    /// stalled for its whole duration, so this is the one series the
+    /// bounded-pause contract gates on).
+    gc_pause: UnderLoadHistogram,
     lag: LagTracker,
     /// Per-shard occupancy at the last sample.
     shard_occupancy: Vec<u64>,
@@ -227,6 +231,7 @@ impl UnderLoadRecorder {
             corrected_windowed: WindowedHistogram::new(window_ns, windows),
             stages_service: StageLatency::new(),
             stages_corrected: [UnderLoadHistogram::new(); Stage::COUNT],
+            gc_pause: UnderLoadHistogram::new(),
             lag: LagTracker::new(window_ns, windows),
             shard_occupancy: Vec::new(),
             shard_evicted: Vec::new(),
@@ -311,6 +316,19 @@ impl UnderLoadRecorder {
             }
         }
         self.stages_service = *after;
+    }
+
+    /// Records one GC tick's pause: host nanoseconds the injector was
+    /// stalled inside the timer-driven flow-table GC. With incremental
+    /// (budgeted) expiry this must stay bounded no matter how many
+    /// flows are resident; the max is the gated figure.
+    pub fn record_gc_pause(&mut self, pause_ns: u64) {
+        self.gc_pause.record(pause_ns);
+    }
+
+    /// The GC pause histogram (one observation per GC tick).
+    pub fn gc_pause(&self) -> &UnderLoadHistogram {
+        &self.gc_pause
     }
 
     /// Updates the injector backlog (due-but-undelivered segments).
@@ -409,6 +427,10 @@ impl UnderLoadRecorder {
         let win = self.corrected_windowed.sliding(now_ns);
         set("window_p99_ns", win.p99());
         set("window_p999_ns", win.p999());
+        set("gc_ticks", self.gc_pause.count());
+        set("gc_pause_p50_ns", self.gc_pause.p50());
+        set("gc_pause_p99_ns", self.gc_pause.p99());
+        set("gc_pause_max_ns", self.gc_pause.max());
         set("occupancy_peak", self.occupancy_peak);
         set("occupancy_cap", self.capacity);
         set("over_capacity_samples", self.over_capacity_samples);
@@ -453,6 +475,12 @@ impl UnderLoadRecorder {
             .u64("max_ns", self.lag.histogram().max())
             .u64("backlog", self.lag.backlog())
             .u64("backlog_peak", self.lag.max_backlog());
+        let mut gc = JsonObject::new();
+        gc.u64("ticks", self.gc_pause.count())
+            .u64("pause_p50_ns", self.gc_pause.p50())
+            .u64("pause_p99_ns", self.gc_pause.p99())
+            .u64("pause_p999_ns", self.gc_pause.p999())
+            .u64("pause_max_ns", self.gc_pause.max());
         let mut occupancy = JsonObject::new();
         occupancy
             .u64("peak", self.occupancy_peak)
@@ -476,6 +504,7 @@ impl UnderLoadRecorder {
             .raw("window", win.to_json())
             .raw("stages", stages.render())
             .raw("lag", lag.render())
+            .raw("gc", gc.render())
             .raw("occupancy", occupancy.render());
         root.render()
     }
@@ -592,11 +621,26 @@ mod tests {
     }
 
     #[test]
+    fn gc_pause_histogram_records_and_reports() {
+        let mut r = UnderLoadRecorder::new(1_000_000, 4, 500);
+        assert_eq!(r.gc_pause().count(), 0);
+        r.record_gc_pause(50_000);
+        r.record_gc_pause(2_000_000);
+        assert_eq!(r.gc_pause().count(), 2);
+        assert_eq!(r.gc_pause().max(), 2_000_000);
+        let json = r.to_json(0);
+        assert!(json.contains("\"gc\""), "{json}");
+        assert!(json.contains("\"ticks\": 2"), "{json}");
+        assert!(json.contains("\"pause_max_ns\": 2000000"), "{json}");
+    }
+
+    #[test]
     fn publish_mirrors_into_registry() {
         use crate::registry::Registry;
         let reg = Registry::new();
         let mut r = UnderLoadRecorder::new(1_000_000, 4, 500);
         r.record_segment(0, 2_000_000, 2_000_500);
+        r.record_gc_pause(123_000);
         r.sample_shards(&[ShardSample {
             occupancy: 7,
             evicted: 0,
@@ -615,6 +659,8 @@ mod tests {
                 .value,
             7
         );
+        assert_eq!(snap.gauge("bench.underload.gc_ticks").unwrap().value, 1);
+        assert!(snap.gauge("bench.underload.gc_pause_max_ns").unwrap().value >= 123_000);
         let json = r.to_json(2_000_500);
         assert!(json.contains("\"corrected\""), "{json}");
         assert!(json.contains("\"flow_lookup\""), "{json}");

@@ -194,6 +194,57 @@ impl ChecksumDelta {
     }
 }
 
+/// Patches a whole batch of stored checksums in place, one delta per
+/// slot: `stored[i] = deltas[i].apply(stored[i])`.
+///
+/// The bridges rewrite the same fields in every segment of a batch, so
+/// the fixups are naturally columnar. This routine processes eight
+/// (delta, checksum) pairs per pass with branch-free fixed-round
+/// folding so the compiler can keep the lanes in vector registers — no
+/// `unsafe`, no intrinsics, just an autovectorisation-friendly shape.
+///
+/// Each lane computes `!stored + acc` in 64-bit arithmetic. `acc` is a
+/// `u32` and `!stored < 2^16`, so the lane value is below `2^33`; one
+/// `(x & 0xffff) + (x >> 16)` fold brings it under `2^17 + 2^16`, the
+/// second under `2^16 + 2`, and two more reach the 16-bit fixed point.
+/// Extra folds of an already-folded value are no-ops, so four
+/// unconditional rounds produce exactly the same result as
+/// [`ChecksumDelta::apply`]'s data-dependent loop (the property test
+/// below pins the equivalence).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn apply_batch(deltas: &[ChecksumDelta], stored: &mut [u16]) {
+    assert_eq!(
+        deltas.len(),
+        stored.len(),
+        "apply_batch: {} deltas for {} checksums",
+        deltas.len(),
+        stored.len()
+    );
+    const LANES: usize = 8;
+    let mut d_chunks = deltas.chunks_exact(LANES);
+    let mut s_chunks = stored.chunks_exact_mut(LANES);
+    for (d8, s8) in d_chunks.by_ref().zip(s_chunks.by_ref()) {
+        let mut lanes = [0u64; LANES];
+        for j in 0..LANES {
+            lanes[j] = u64::from(!s8[j]) + u64::from(d8[j].acc);
+        }
+        for _round in 0..4 {
+            for lane in &mut lanes {
+                *lane = (*lane & 0xffff) + (*lane >> 16);
+            }
+        }
+        for j in 0..LANES {
+            s8[j] = !(lanes[j] as u16);
+        }
+    }
+    for (d, s) in d_chunks.remainder().iter().zip(s_chunks.into_remainder()) {
+        *s = d.apply(*s);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +308,36 @@ mod tests {
     }
 
     #[test]
+    fn apply_batch_handles_corner_case_in_every_lane_position() {
+        // The RFC 1624 §4 corner case placed at each position of a
+        // batch long enough to exercise both the 8-lane body and the
+        // scalar remainder.
+        for len in [0usize, 1, 7, 8, 9, 16, 19] {
+            for hot in 0..len {
+                let mut deltas = vec![ChecksumDelta::new(); len];
+                deltas[hot].replace_u16(0x5555, 0x3285);
+                let mut stored = vec![0xdd2fu16; len];
+                let expect: Vec<u16> = deltas
+                    .iter()
+                    .zip(&stored)
+                    .map(|(d, s)| d.apply(*s))
+                    .collect();
+                apply_batch(&deltas, &mut stored);
+                assert_eq!(stored, expect, "len={len} hot={hot}");
+                assert_eq!(stored[hot], 0x0000);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "apply_batch")]
+    fn apply_batch_rejects_length_mismatch() {
+        let deltas = vec![ChecksumDelta::new(); 3];
+        let mut stored = vec![0u16; 2];
+        apply_batch(&deltas, &mut stored);
+    }
+
+    #[test]
     fn append_bytes_matches_recompute() {
         let mut data = vec![1, 2, 3, 4, 5, 6];
         let before = checksum(&data);
@@ -315,6 +396,36 @@ mod tests {
             data[2..4].copy_from_slice(&b.to_be_bytes());
 
             prop_assert_eq!(d2.apply(d1.apply(before)), checksum(&data));
+        }
+
+        /// The eight-lane batched fixup must agree with the scalar
+        /// `apply` path for arbitrary deltas and stored checksums — the
+        /// fixed four-round fold is exactly equivalent to the
+        /// data-dependent fold loop.
+        #[test]
+        fn prop_apply_batch_equals_scalar(
+            pairs in proptest::collection::vec(
+                (any::<u16>(), any::<u16>(), any::<u16>(), any::<u16>(), any::<u32>()),
+                0..40,
+            ),
+        ) {
+            let mut deltas = Vec::new();
+            let mut stored = Vec::new();
+            for (old_a, new_a, old_b, stored0, wide) in pairs {
+                let mut d = ChecksumDelta::new();
+                d.replace_u16(old_a, new_a);
+                d.replace_u16(old_b, wide as u16);
+                d.replace_u32(wide, wide.rotate_left(13));
+                deltas.push(d);
+                stored.push(stored0);
+            }
+            let expect: Vec<u16> = deltas
+                .iter()
+                .zip(&stored)
+                .map(|(d, s)| d.apply(*s))
+                .collect();
+            apply_batch(&deltas, &mut stored);
+            prop_assert_eq!(stored, expect);
         }
 
         /// u32 replacement is equivalent to two u16 replacements.
