@@ -9,6 +9,8 @@
 //!                                  live one-screen refresher over the run
 //! tcpfo-inspect underload [--flows N] [--mice N] [--frames N] [--plain] [--prom]
 //!                                  open-loop load run, live lag/occupancy/corrected-tail view
+//! tcpfo-inspect health [--frames N] [--plain] [--prom]
+//!                                  staged-degradation run, live health/lag/alert dashboard
 //! tcpfo-inspect bundle <dir>       pretty-print a flight-recorder bundle
 //! ```
 //!
@@ -43,6 +45,7 @@ fn main() {
         Some("prometheus") => run(false, true),
         Some("watch") => watch(&args[1..]),
         Some("underload") => underload(&args[1..]),
+        Some("health") => health(&args[1..]),
         Some("bundle") => match args.get(1) {
             Some(dir) => bundle(dir),
             None => usage(),
@@ -61,6 +64,8 @@ fn usage() -> i32 {
          live one-screen refresher over the run\n  \
          tcpfo-inspect underload [--flows N] [--mice N] [--frames N] [--plain] [--prom]\n                                   \
          open-loop load run, live lag/occupancy/corrected-tail view\n  \
+         tcpfo-inspect health [--frames N] [--plain] [--prom]\n                                   \
+         staged-degradation run, live health/lag/alert dashboard\n  \
          tcpfo-inspect bundle <dir>       pretty-print a flight-recorder bundle"
     );
     2
@@ -542,6 +547,187 @@ fn render_underload_frame(
         stats.evicted,
         stats.reaped,
     );
+}
+
+/// Staged-degradation health dashboard: drives a replicated transfer
+/// with the health observatory attached, progressively degrades the
+/// primary's links (latency, jitter, loss), then fail-stops it — and
+/// redraws the secondary's view of the primary after every slice:
+/// score axes, raw signals, SLO burn rates, the replication-lag
+/// ledger, and the alert journal. The point of the exercise is visible
+/// live: the advisory score degrades and `Warn` fires while the binary
+/// heartbeat detector still considers the primary alive. `--prom`
+/// appends the Prometheus exposition (registry + labelled alert
+/// series) at the end.
+fn health(args: &[String]) -> i32 {
+    let plain = args.iter().any(|a| a == "--plain");
+    let prom = args.iter().any(|a| a == "--prom");
+    let frames: usize = args
+        .iter()
+        .position(|a| a == "--frames")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let frames = frames.max(4);
+
+    let mut tb = Testbed::new(TestbedConfig {
+        health: Some(true),
+        latency: Some(true),
+        ..TestbedConfig::default()
+    });
+    for node in [tb.primary, tb.secondary.expect("replicated testbed")] {
+        tb.sim.with::<Host, _>(node, |h, _| {
+            h.add_app(Box::new(SourceServer::new(80)));
+        });
+    }
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(RequestReplyClient::new(
+            SocketAddr::new(addrs::A_P, 80),
+            b"SEND 4000000\n".to_vec(),
+            4_000_000,
+        )));
+    });
+
+    // Degradation script over the frame timeline: healthy for the
+    // first quarter, then three escalating stages, then the kill at
+    // three quarters — the remaining frames show takeover + recovery.
+    let stage1 = frames / 4;
+    let stage2 = frames * 2 / 4;
+    let stage3 = frames * 5 / 8;
+    let kill = frames * 3 / 4;
+    let slice = SimDuration::from_millis(250);
+    for frame in 0..frames {
+        let p = tb.primary;
+        if frame == stage1 {
+            tb.reshape_links(p, |l| {
+                l.with_loss((l.loss + 0.05).min(1.0))
+                    .with_propagation(SimDuration::from_millis(2))
+            });
+        } else if frame == stage2 {
+            tb.reshape_links(p, |l| {
+                l.with_loss(0.15)
+                    .with_propagation(SimDuration::from_millis(8))
+                    .with_jitter(SimDuration::from_millis(4))
+            });
+        } else if frame == stage3 {
+            tb.reshape_links(p, |l| {
+                l.with_loss(0.30)
+                    .with_propagation(SimDuration::from_millis(12))
+                    .with_jitter(SimDuration::from_millis(8))
+            });
+        } else if frame == kill {
+            tb.kill_primary();
+        }
+        tb.run_for(slice);
+        if !plain {
+            print!("\x1b[2J\x1b[H");
+        }
+        render_health_frame(&mut tb, frame, frames, stage1, stage2, stage3, kill);
+    }
+
+    if prom {
+        let snap = tb.metrics_snapshot();
+        println!("\n{}", snap.to_prometheus());
+        let secondary = tb.secondary.expect("replicated testbed");
+        if let Some(alerts) = tb.with_health_monitor(secondary, |m| {
+            m.alerts_prometheus("core.detector.secondary")
+        }) {
+            print!("{alerts}");
+        }
+    }
+    exit_code(&mut tb)
+}
+
+/// One health-dashboard frame: the secondary's scored view of the
+/// primary, the primary's lag ledger (while it is still alive), and
+/// the alert journal so far.
+fn render_health_frame(
+    tb: &mut Testbed,
+    frame: usize,
+    frames: usize,
+    stage1: usize,
+    stage2: usize,
+    stage3: usize,
+    kill: usize,
+) {
+    let phase = match frame {
+        f if f >= kill => "primary KILLED — takeover",
+        f if f >= stage3 => "degradation stage 3 (heavy loss + jitter)",
+        f if f >= stage2 => "degradation stage 2 (loss + latency)",
+        f if f >= stage1 => "degradation stage 1 (mild)",
+        _ => "healthy baseline",
+    };
+    println!(
+        "tcpfo-inspect health — frame {}/{} — sim t = {} ms — {phase}",
+        frame + 1,
+        frames,
+        tb.sim.now().as_nanos() / 1_000_000
+    );
+
+    let secondary = tb.secondary.expect("replicated testbed");
+    let view = tb.with_health_monitor(secondary, |m| {
+        (
+            m.score(),
+            m.state(),
+            m.first_warn_at(),
+            m.journal()
+                .events()
+                .map(|e| (e.at_ns, e.from, e.to, e.score, e.reason))
+                .collect::<Vec<_>>(),
+        )
+    });
+    match view {
+        Some((score, state, first_warn, journal)) => {
+            println!("\n── replica health (secondary's view of the primary) ──");
+            println!(
+                "score {:>3}/100  [liveness {:>3}  rtt {:>3}  jitter {:>3}  loss {:>3}  backlog {:>3}]  alert: {}",
+                score.total,
+                score.liveness,
+                score.rtt,
+                score.jitter,
+                score.loss,
+                score.backlog,
+                state.name(),
+            );
+            println!(
+                "signals: rtt {:>9} ns  jitter {:>9} ns  misses {:>2}  loss {:>6} ppm  lag {:>8} B",
+                score.rtt_ns, score.jitter_ns, score.misses, score.loss_ppm, score.lag_bytes,
+            );
+            if let Some(at) = first_warn {
+                println!("first warn at sim t = {} ms", at / 1_000_000);
+            }
+            println!("\n── alert journal ──");
+            if journal.is_empty() {
+                println!("(no transitions yet)");
+            }
+            for (at_ns, from, to, score, reason) in &journal {
+                println!(
+                    "{:>8} ms  {:>8} → {:<8} score {:>3}  ({reason})",
+                    at_ns / 1_000_000,
+                    from.name(),
+                    to.name(),
+                    score,
+                );
+            }
+        }
+        None => println!("\n(no health monitor on the secondary)"),
+    }
+
+    println!("\n── replication lag (primary's ledger) ──");
+    let lag = tb.with_primary_health(|obs| {
+        (
+            obs.lag.unmatched_bytes(),
+            obs.lag.unmatched_segments(),
+            obs.lag.peak_bytes(),
+            obs.lag.releases(),
+        )
+    });
+    match lag {
+        Some((bytes, segments, peak, releases)) => println!(
+            "unmatched {bytes:>8} B / {segments:>5} segs  peak {peak:>8} B  releases {releases:>7}",
+        ),
+        None => println!("(primary gone — ledger died with it)"),
+    }
 }
 
 fn exit_code(tb: &mut Testbed) -> i32 {

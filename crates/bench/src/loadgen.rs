@@ -30,7 +30,9 @@ use tcpfo_core::flow::{FlowTableConfig, ShardStats};
 use tcpfo_core::{FailoverConfig, PrimaryBridge};
 use tcpfo_net::{OpenLoopInjector, ShardExecutor};
 use tcpfo_tcp::filter::SegmentFilter;
-use tcpfo_telemetry::{HostClock, LatencyObservatory, ShardSample, UnderLoadRecorder};
+use tcpfo_telemetry::{
+    HealthObservatory, HostClock, LatencyObservatory, ShardSample, UnderLoadRecorder,
+};
 
 /// Server port every scripted flow targets (mirrors `manyflow`).
 const SERVER_PORT: u16 = 80;
@@ -187,6 +189,11 @@ pub struct OpenLoopConfig {
     pub sample_every: usize,
     /// Drive the bridge GC tick every this many batches.
     pub gc_every: usize,
+    /// Attach the replica health observatory (PR 8): the exact
+    /// replication-lag ledger rides the datapath and the report gains
+    /// a [`LagExactness`] cross-check against the queue-derived
+    /// oracle. Costs one branch per queue mutation when false.
+    pub attach_health: bool,
 }
 
 impl OpenLoopConfig {
@@ -216,6 +223,7 @@ impl OpenLoopConfig {
             windows: 8,
             sample_every: 128,
             gc_every: 1_024,
+            attach_health: false,
         }
     }
 
@@ -245,6 +253,7 @@ impl OpenLoopConfig {
             windows: 8,
             sample_every: 64,
             gc_every: 512,
+            attach_health: false,
         }
     }
 
@@ -334,6 +343,56 @@ pub struct OpenLoopReport {
     /// Recorder-clock timestamp of the end of the run (pass to
     /// `recorder.to_json` / windowed quantile queries).
     pub end_ns: u64,
+    /// Lag-ledger exactness cross-check, present when
+    /// [`OpenLoopConfig::attach_health`] was set.
+    pub lag: Option<LagExactness>,
+}
+
+/// End-of-run comparison between the incrementally maintained
+/// replication-lag ledger and an oracle that re-derives the Δseq
+/// backlog by walking every resident connection's primary output
+/// queue. The ledger is exact, so the pairs must be equal.
+#[derive(Debug, Clone, Copy)]
+pub struct LagExactness {
+    /// Ledger's unmatched bytes at end of run.
+    pub ledger_bytes: u64,
+    /// Ledger's unmatched segments at end of run.
+    pub ledger_segments: u64,
+    /// Oracle: Σ `pq_bytes` over all live connections.
+    pub oracle_bytes: u64,
+    /// Oracle: Σ `ceil(pq_bytes / mss)` over all live connections.
+    pub oracle_segments: u64,
+    /// Matched-release events the ledger sampled into its histograms.
+    pub releases: u64,
+    /// High-water mark of unmatched bytes over the run.
+    pub peak_bytes: u64,
+}
+
+impl LagExactness {
+    /// Whether ledger and oracle agree exactly on both axes.
+    pub fn exact(&self) -> bool {
+        self.ledger_bytes == self.oracle_bytes && self.ledger_segments == self.oracle_segments
+    }
+}
+
+/// Re-derives the Δseq backlog from the bridge's live connection rows
+/// and pairs it with the ledger's incrementally maintained totals.
+pub fn lag_exactness(bridge: &PrimaryBridge, obs: &HealthObservatory) -> LagExactness {
+    let mut oracle_bytes = 0u64;
+    let mut oracle_segments = 0u64;
+    for row in bridge.connection_rows() {
+        let bytes = row.pq_bytes as u64;
+        oracle_bytes += bytes;
+        oracle_segments += bytes.div_ceil(u64::from(row.mss.max(1)));
+    }
+    LagExactness {
+        ledger_bytes: obs.lag.unmatched_bytes(),
+        ledger_segments: obs.lag.unmatched_segments(),
+        oracle_bytes,
+        oracle_segments,
+        releases: obs.lag.releases(),
+        peak_bytes: obs.lag.peak_bytes(),
+    }
 }
 
 /// Samples per-shard occupancy/evictions into the recorder.
@@ -368,6 +427,9 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopReport {
     // telemetry stay off so the measurement does not serialise the
     // datapath it is measuring.
     bridge.set_latency(Some(Box::new(LatencyObservatory::new())));
+    if cfg.attach_health {
+        bridge.set_health(Some(Box::new(HealthObservatory::new())));
+    }
     let exec = ShardExecutor::new(cfg.threads);
     let mut rec = UnderLoadRecorder::new(cfg.window_ns, cfg.windows, cfg.capacity as u64);
 
@@ -438,6 +500,7 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopReport {
     rec.set_backlog(0);
     let live_flows = bridge.conn_count();
     let table = bridge.flow_stats();
+    let lag = bridge.health().map(|obs| lag_exactness(&bridge, obs));
     let elapsed_s = (end_ns.max(1)) as f64 / 1e9;
     OpenLoopReport {
         recorder: rec,
@@ -449,6 +512,7 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopReport {
         live_flows,
         table,
         end_ns,
+        lag,
     }
 }
 
@@ -516,6 +580,7 @@ mod tests {
             windows: 4,
             sample_every: 8,
             gc_every: 16,
+            attach_health: false,
         }
     }
 

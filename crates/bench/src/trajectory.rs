@@ -30,6 +30,8 @@ pub struct TrajectoryInputs {
     pub pr6: Option<String>,
     /// `BENCH_PR7.json` (incremental GC + run-to-completion).
     pub pr7: Option<String>,
+    /// `BENCH_PR8.json` (replica health & replication-lag observatory).
+    pub pr8: Option<String>,
 }
 
 impl TrajectoryInputs {
@@ -52,6 +54,7 @@ impl TrajectoryInputs {
             pr5: read(5),
             pr6: read(6),
             pr7: read(7),
+            pr8: read(8),
         }
     }
 }
@@ -116,10 +119,18 @@ pub fn trajectory_doc(inputs: &TrajectoryInputs) -> String {
             num(fig(&inputs.pr7, "gc", "pause_max_ns")),
             num(fig(&inputs.pr7, "load", "seg_per_sec")),
         ),
+        format!(
+            "    {{\"pr\": 8, \"bench\": \"replica health observatory\", \"missing\": {}, \
+             \"health_overhead_ratio\": {}, \"lag_exact\": {}, \"warn_lead_ms\": {}}}",
+            inputs.pr8.is_none(),
+            num(fig(&inputs.pr8, "overhead", "ratio")),
+            num(fig(&inputs.pr8, "lag", "exact")),
+            num(fig(&inputs.pr8, "alert", "warn_lead_ms")),
+        ),
     ];
 
     format!(
-        "{{\n  \"bench\": \"headline trajectory PR2..PR7\",\n  \"trajectory\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"headline trajectory PR2..PR8\",\n  \"trajectory\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     )
 }
@@ -145,10 +156,10 @@ mod tests {
     #[test]
     fn missing_inputs_become_missing_rows_not_panics() {
         let doc = trajectory_doc(&TrajectoryInputs::default());
-        for pr in 2..=7 {
+        for pr in 2..=8 {
             assert!(doc.contains(&format!("\"pr\": {pr}, ")), "{doc}");
         }
-        assert_eq!(doc.matches("\"missing\": true").count(), 6, "{doc}");
+        assert_eq!(doc.matches("\"missing\": true").count(), 7, "{doc}");
         assert!(doc.contains("\"peak_flows\": null"), "{doc}");
         assert!(doc.contains("\"recv_kbps_failover\": null"), "{doc}");
     }
@@ -201,5 +212,20 @@ mod tests {
         assert!(doc.contains("\"corrected_p999_ns\": 4194303.000"), "{doc}");
         assert!(doc.contains("\"gc_pause_max_ns\": 3871.000"), "{doc}");
         assert!(doc.contains("\"seg_per_sec\": 250000.000"), "{doc}");
+    }
+
+    #[test]
+    fn pr8_headline_fields_are_extracted() {
+        let pr8 = "{\n  \"overhead\": {\"ratio\": 1.021},\n  \
+                   \"lag\": {\"exact\": 1},\n  \
+                   \"alert\": {\"warn_lead_ms\": 28.5}\n}";
+        let inputs = TrajectoryInputs {
+            pr8: Some(pr8.to_string()),
+            ..TrajectoryInputs::default()
+        };
+        let doc = trajectory_doc(&inputs);
+        assert!(doc.contains("\"health_overhead_ratio\": 1.021"), "{doc}");
+        assert!(doc.contains("\"lag_exact\": 1.000"), "{doc}");
+        assert!(doc.contains("\"warn_lead_ms\": 28.500"), "{doc}");
     }
 }

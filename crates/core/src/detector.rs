@@ -20,8 +20,18 @@ use bytes::Bytes;
 use std::any::Any;
 use tcpfo_net::time::{SimDuration, SimTime};
 use tcpfo_tcp::host::{HostController, HostServices};
-use tcpfo_telemetry::{Counter, FailoverPhase, Telemetry};
+use tcpfo_telemetry::{Counter, FailoverPhase, HealthMonitor, Telemetry};
 use tcpfo_wire::ipv4::{Ipv4Addr, PROTO_HEARTBEAT};
+
+/// Wire size of a v1 heartbeat: `"HB"` + sender seq (u64 LE) + echoed
+/// peer seq (u64 LE, `u64::MAX` = nothing to echo) + echo hold time in
+/// nanoseconds (u64 LE). Shorter payloads are legacy liveness-only
+/// heartbeats and still count for the binary detector.
+pub const HEARTBEAT_V1_LEN: usize = 26;
+
+/// Entries in the sent-heartbeat ring used to match RTT echoes; echoes
+/// older than this many intervals are dropped rather than mis-timed.
+const HB_RING: usize = 8;
 
 /// Which replica this controller runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +89,24 @@ pub struct ReplicaController {
     pub heartbeats_received: u64,
     /// Times a declared-dead peer came back and was reintegrated.
     pub rejoins: u64,
+    /// Heartbeats that arrived after this replica committed its
+    /// failover procedure (counted, never trusted for liveness on the
+    /// secondary — see [`ReplicaController::on_raw`]).
+    pub late_heartbeats: u64,
+    /// Ring of (seq, sent_at) for heartbeats we sent, so an echoed seq
+    /// can be turned into an RTT sample. Seq `u64::MAX` marks an
+    /// unused slot.
+    hb_ring: [(u64, SimTime); HB_RING],
+    /// Latest peer heartbeat seq and when it arrived, echoed back on
+    /// our next send so the peer can subtract the hold time.
+    peer_echo: Option<(u64, SimTime)>,
+    /// Next peer seq we expect; gaps feed the loss signal.
+    peer_expected_seq: Option<u64>,
+    /// Advisory health monitor (attached via
+    /// [`ReplicaController::set_health_monitor`]). Publishes a scored
+    /// view of the peer alongside — never instead of — the binary
+    /// heartbeat decision.
+    health: Option<Box<HealthMonitor>>,
     telemetry: Option<DetectorInstruments>,
 }
 
@@ -105,8 +133,51 @@ impl ReplicaController {
             heartbeats_sent: 0,
             heartbeats_received: 0,
             rejoins: 0,
+            late_heartbeats: 0,
+            hb_ring: [(u64::MAX, SimTime::ZERO); HB_RING],
+            peer_echo: None,
+            peer_expected_seq: None,
+            health: None,
             telemetry: None,
         }
+    }
+
+    /// Attaches (or detaches) the advisory health monitor. The monitor
+    /// scores the *peer* replica from heartbeat RTT/jitter, miss
+    /// counts, loss gaps, and (on the primary) replication backlog; it
+    /// publishes under `core.detector.{role}.health.*` and journals
+    /// alert transitions, but the §2 binary timeout decision is still
+    /// the only thing that can trigger failover.
+    pub fn set_health_monitor(&mut self, health: Option<Box<HealthMonitor>>) {
+        self.health = health;
+    }
+
+    /// The attached health monitor, if any.
+    pub fn health_monitor(&self) -> Option<&HealthMonitor> {
+        self.health.as_deref()
+    }
+
+    /// Mutable access to the attached health monitor.
+    pub fn health_monitor_mut(&mut self) -> Option<&mut HealthMonitor> {
+        self.health.as_deref_mut()
+    }
+
+    /// §2 boundary: silence *strictly longer* than the timeout declares
+    /// the peer dead. Silence exactly at the timeout does not — one
+    /// nanosecond past does. Factored out so the boundary is testable
+    /// without a full host.
+    pub fn silence_expired(&self, last: SimTime, now: SimTime) -> bool {
+        now.duration_since(last) > self.config.timeout
+    }
+
+    /// Whole heartbeat intervals elapsed since `last` — the advisory
+    /// consecutive-miss count fed to the health monitor. At exactly
+    /// `k * interval` of silence the count is `k`, so with
+    /// `timeout = miss_limit * interval` the score bottoms out at the
+    /// limit while the binary detector fires only strictly past it.
+    pub fn misses_since(&self, last: SimTime, now: SimTime) -> u64 {
+        let interval = self.config.interval.as_nanos().max(1);
+        now.duration_since(last).as_nanos() / interval
     }
 
     /// Connects the controller to a telemetry hub: mirrors heartbeat
@@ -212,7 +283,20 @@ impl HostController for ReplicaController {
         // First tick establishes the grace period.
         let last = *self.last_heard.get_or_insert(now);
         if now >= self.next_send {
-            services.send_raw(PROTO_HEARTBEAT, self.peer_ip, Bytes::from_static(b"HB"));
+            let seq = self.heartbeats_sent;
+            let mut payload = Vec::with_capacity(HEARTBEAT_V1_LEN);
+            payload.extend_from_slice(b"HB");
+            payload.extend_from_slice(&seq.to_le_bytes());
+            // Echo the latest peer seq plus how long we held it, so
+            // the peer's RTT sample excludes our heartbeat interval.
+            let (echo_seq, hold_ns) = match self.peer_echo {
+                Some((pseq, rx_at)) => (pseq, now.duration_since(rx_at).as_nanos()),
+                None => (u64::MAX, 0),
+            };
+            payload.extend_from_slice(&echo_seq.to_le_bytes());
+            payload.extend_from_slice(&hold_ns.to_le_bytes());
+            services.send_raw(PROTO_HEARTBEAT, self.peer_ip, Bytes::from(payload));
+            self.hb_ring[(seq % HB_RING as u64) as usize] = (seq, now);
             self.heartbeats_sent += 1;
             self.next_send = now + self.config.interval;
         }
@@ -221,7 +305,47 @@ impl HostController for ReplicaController {
             t.heartbeats_received.set_at_least(self.heartbeats_received);
             t.rejoins.set_at_least(self.rejoins);
         }
-        if self.peer_failed_at.is_none() && now.duration_since(last) > self.config.timeout {
+        // Advisory scoring: misses from silence, replication backlog
+        // from the primary bridge's lag ledger, then one monitor tick.
+        // Runs before the binary check so a Warn/Critical alert on a
+        // degrading peer is journalled no later than — in practice
+        // strictly before — the timeout decision below.
+        if self.health.is_some() {
+            let misses = self.misses_since(last, now);
+            let is_primary = self.role == Role::Primary;
+            let mon = self.health.as_deref_mut().expect("checked above");
+            mon.replica.set_misses(misses.min(u32::MAX as u64) as u32);
+            if is_primary {
+                if let Some(bridge) = services.filter.as_any_mut().downcast_mut::<PrimaryBridge>() {
+                    if let Some(obs) = bridge.health() {
+                        let cap = bridge.flow_capacity().max(1) as u64;
+                        let occupancy_ppm = bridge.flow_stats().occupancy * 1_000_000 / cap;
+                        mon.replica.observe_backlog(
+                            obs.lag.unmatched_bytes(),
+                            obs.lag.unmatched_segments(),
+                            occupancy_ppm,
+                        );
+                    }
+                }
+            }
+            let transition = mon.tick(now.as_nanos());
+            let score = mon.score().total;
+            if let Some(t) = &self.telemetry {
+                mon.publish(&t.hub.registry.scope(t.scope), now.as_nanos());
+            }
+            if let Some((from, to)) = transition {
+                self.journal(
+                    now,
+                    "health.alert",
+                    &[
+                        ("from", from.name().to_string()),
+                        ("to", to.name().to_string()),
+                        ("score", score.to_string()),
+                    ],
+                );
+            }
+        }
+        if self.peer_failed_at.is_none() && self.silence_expired(last, now) {
             // force_failover records peer_failed_at (and the Detection
             // timeline mark) before running the role's procedure.
             self.force_failover(services);
@@ -232,12 +356,69 @@ impl HostController for ReplicaController {
         &mut self,
         proto: u8,
         src: Ipv4Addr,
-        _payload: &[u8],
+        payload: &[u8],
         services: &mut HostServices<'_, '_>,
     ) {
         if proto == PROTO_HEARTBEAT && src == self.peer_ip {
+            let now = services.now;
+            // Edge case: a heartbeat arriving *after* this replica
+            // committed a §5 takeover. The old primary's identity is
+            // ours now; trusting the stray beat for liveness would
+            // reset the miss count and let an advisory score "recover"
+            // for a replica that has already been replaced. Count it,
+            // surface it, and drop it.
+            if self.role == Role::Secondary && self.failover_done_at.is_some() {
+                self.late_heartbeats += 1;
+                if let Some(mon) = self.health.as_deref_mut() {
+                    mon.replica.on_late_heartbeat();
+                }
+                self.journal(now, "late_heartbeat", &[("peer", src.to_string())]);
+                return;
+            }
             self.heartbeats_received += 1;
-            self.last_heard = Some(services.now);
+            self.last_heard = Some(now);
+            // v1 payload: seq + RTT echo. Legacy (short) payloads are
+            // liveness-only; either way the beat counted above.
+            if payload.len() >= HEARTBEAT_V1_LEN && &payload[..2] == b"HB" {
+                let word = |at: usize| {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&payload[at..at + 8]);
+                    u64::from_le_bytes(b)
+                };
+                let seq = word(2);
+                let echo_seq = word(10);
+                let hold_ns = word(18);
+                // Gap in the peer's seq stream = lost heartbeats on
+                // the ingress path. Reordered (old) seqs are not
+                // re-counted as loss.
+                if let Some(expected) = self.peer_expected_seq {
+                    if seq >= expected {
+                        let lost = seq - expected;
+                        if let Some(mon) = self.health.as_deref_mut() {
+                            mon.replica.observe_loss(lost, lost + 1);
+                        }
+                        self.peer_expected_seq = Some(seq + 1);
+                    }
+                } else {
+                    self.peer_expected_seq = Some(seq + 1);
+                }
+                self.peer_echo = Some((seq, now));
+                if echo_seq != u64::MAX {
+                    let (ring_seq, sent_at) = self.hb_ring[(echo_seq % HB_RING as u64) as usize];
+                    if ring_seq == echo_seq {
+                        let rtt = now
+                            .duration_since(sent_at)
+                            .as_nanos()
+                            .saturating_sub(hold_ns);
+                        if let Some(mon) = self.health.as_deref_mut() {
+                            mon.replica.on_heartbeat_rtt(rtt);
+                        }
+                    }
+                }
+            }
+            if let Some(mon) = self.health.as_deref_mut() {
+                mon.replica.on_heartbeat_seen();
+            }
             // A heartbeat from a peer we declared dead: it rebooted.
             // Partial reintegration (extension; the paper leaves
             // reintegration out of scope): the primary re-enables the
@@ -393,6 +574,134 @@ mod tests {
                 .filter(|&&a| a == addrs::A_P)
                 .count();
             assert_eq!(vip_count, 1, "takeover ran more than once");
+        });
+    }
+
+    #[test]
+    fn silence_boundary_exactly_at_timeout_vs_one_past() {
+        let c = ReplicaController::new(
+            Role::Primary,
+            addrs::A_S,
+            addrs::A_P,
+            addrs::A_S,
+            DetectorConfig::default(),
+        );
+        let last = SimTime::ZERO + SimDuration::from_secs(1);
+        let at_limit = last + c.config.timeout;
+        let one_past = at_limit + SimDuration::from_nanos(1);
+        // §2: "missing heartbeats for longer than the timeout" —
+        // exactly at the limit does not fire, one nanosecond past does.
+        assert!(!c.silence_expired(last, at_limit), "fired at the limit");
+        assert!(c.silence_expired(last, one_past), "did not fire past it");
+        // The advisory miss count crosses the health miss limit at the
+        // same boundary: with timeout = 5 × interval, exactly-at-limit
+        // is 5 misses (score 0) while the binary decision still waits.
+        assert_eq!(c.misses_since(last, at_limit), 5);
+        let just_short = last + (c.config.timeout - SimDuration::from_nanos(1));
+        assert_eq!(c.misses_since(last, just_short), 4);
+        assert_eq!(c.misses_since(last, one_past), 5);
+        assert_eq!(c.misses_since(last, last), 0);
+    }
+
+    #[test]
+    fn late_heartbeat_after_takeover_commit_is_not_liveness() {
+        use bytes::Bytes;
+        use tcpfo_net::sim::Device;
+        use tcpfo_wire::eth::{EtherType, EthernetFrame};
+        use tcpfo_wire::ipv4::Ipv4Packet;
+
+        let mut tb = Testbed::new(TestbedConfig {
+            detector: DetectorConfig::default(),
+            health: Some(true),
+            ..TestbedConfig::default()
+        });
+        tb.run_for(SimDuration::from_millis(50));
+        tb.kill_primary();
+        tb.run_for(SimDuration::from_millis(300));
+        let s = tb.secondary.unwrap();
+        let (received_before, failed_at) = tb.sim.with::<Host, _>(s, |h, _| {
+            let c = h.controller_mut::<ReplicaController>();
+            (c.heartbeats_received, c.peer_failed_at)
+        });
+        assert!(failed_at.is_some(), "takeover did not commit");
+        // A stray heartbeat from the dead primary's address arrives
+        // after the commit (e.g. a frame that sat in a queue, or the
+        // old host rebooting mid-ARP). Deliver it straight to the
+        // secondary's NIC.
+        tb.sim.with::<Host, _>(s, |h, ctx| {
+            let pkt = Ipv4Packet::new(
+                addrs::A_P,
+                addrs::A_S,
+                PROTO_HEARTBEAT,
+                Bytes::from_static(b"HB"),
+            );
+            let frame = EthernetFrame::new(
+                crate::testbed::macs::SECONDARY,
+                crate::testbed::macs::PRIMARY,
+                EtherType::Ipv4,
+                pkt.encode(),
+            );
+            h.handle_frame(0, frame.encode(), ctx);
+        });
+        tb.run_for(SimDuration::from_millis(20));
+        tb.sim.with::<Host, _>(s, |h, _| {
+            let c = h.controller_mut::<ReplicaController>();
+            assert_eq!(c.late_heartbeats, 1, "late beat not counted");
+            assert_eq!(
+                c.heartbeats_received, received_before,
+                "late beat counted as liveness"
+            );
+            assert!(
+                c.peer_failed_at.is_some(),
+                "late beat revived a replaced peer"
+            );
+            let mon = c.health_monitor().expect("health attached");
+            assert_eq!(mon.replica.late_heartbeats, 1);
+        });
+    }
+
+    #[test]
+    fn jitter_only_degradation_warns_without_detector_firing() {
+        let mut tb = Testbed::new(TestbedConfig {
+            detector: DetectorConfig::default(),
+            health: Some(true),
+            ..TestbedConfig::default()
+        });
+        // Clean baseline: both monitors should score near-perfect.
+        tb.run_for(SimDuration::from_millis(200));
+        let s = tb.secondary.unwrap();
+        let baseline = tb
+            .with_health_monitor(s, |m| m.score().total)
+            .expect("monitor attached");
+        assert!(baseline >= 90, "clean baseline scored {baseline}");
+        // Degrade the primary's attachment with jitter only: no loss,
+        // no silence — heartbeats keep flowing, just erratically. At
+        // 25ms of per-frame jitter the worst inter-arrival gap is
+        // ~interval + jitter = 35ms, safely inside the 50ms timeout.
+        let primary = tb.primary;
+        tb.reshape_links(primary, |p| {
+            p.with_jitter(tcpfo_net::time::SimDuration::from_millis(25))
+        });
+        tb.run_for(SimDuration::from_secs(2));
+        tb.sim.with::<Host, _>(s, |h, _| {
+            let c = h.controller_mut::<ReplicaController>();
+            assert!(
+                c.peer_failed_at.is_none(),
+                "jitter alone must not fire the binary detector"
+            );
+            let mon = c.health_monitor().expect("health attached");
+            let score = mon.score();
+            assert!(
+                score.total < 70,
+                "jitter-only degradation kept score at {} (rtt {}ns jitter {}ns)",
+                score.total,
+                score.rtt_ns,
+                score.jitter_ns
+            );
+            assert!(
+                mon.first_warn_at().is_some(),
+                "no Warn alert journalled under jitter"
+            );
         });
     }
 

@@ -42,7 +42,8 @@ use tcpfo_tcp::filter::{
 use tcpfo_tcp::seq::{seq_gt, seq_le, seq_min};
 use tcpfo_tcp::types::SocketAddr;
 use tcpfo_telemetry::{
-    Counter, Gauge, HostClock, InvariantAuditor, LatencyObservatory, Stage, StageLatency, Telemetry,
+    Counter, FlowClass, Gauge, HealthObservatory, HostClock, InvariantAuditor, LatencyObservatory,
+    Stage, StageLatency, Telemetry,
 };
 use tcpfo_wire::ipv4::Ipv4Addr;
 use tcpfo_wire::tcp::{
@@ -228,6 +229,14 @@ struct Conn {
     client_acked: Option<u32>,
     /// The client's FIN position, if received.
     client_fin: Option<u32>,
+    /// Sim time the current head-of-queue bytes became resident in the
+    /// primary output queue (`u64::MAX` = queue empty / unstamped).
+    /// Maintained only while the health observatory is attached; feeds
+    /// the time-at-head-of-queue replication-lag histograms.
+    pq_head_since: u64,
+    /// Total payload bytes released to the client so far — classifies
+    /// the flow (mice vs bulk) for per-class lag sampling.
+    released_bytes: u64,
 }
 
 impl Conn {
@@ -254,6 +263,8 @@ impl Conn {
             last_ack_sent: None,
             client_acked: None,
             client_fin: None,
+            pq_head_since: u64::MAX,
+            released_bytes: 0,
         }
     }
 
@@ -343,6 +354,12 @@ pub struct PrimaryBridge {
     /// one branch per stage site; the hot path never reads the host
     /// clock.
     latency: Option<Box<LatencyObservatory>>,
+    /// Replica health & replication-lag observatory (attached via
+    /// [`PrimaryBridge::set_health`]). Detached — the default — costs
+    /// one branch per queue mutation. Attached, it maintains the exact
+    /// unmatched-bytes/segments ledger incrementally (O(1) per
+    /// mutation, no table sweeps) in flat, alloc-free state.
+    health: Option<Box<HealthObservatory>>,
     /// Last time the flow-table GC swept.
     last_gc: u64,
 }
@@ -393,6 +410,7 @@ impl PrimaryBridge {
             shard_emit: Vec::new(),
             audit: None,
             latency: None,
+            health: None,
             last_gc: 0,
         }
     }
@@ -407,8 +425,13 @@ impl PrimaryBridge {
             // slot count is fixed while we only remove.
             for i in 0..shard.slot_count() {
                 if let Some(ev) = shard.take_slot(i) {
-                    if table.insert(ev.key, ev.state, ev.data, 0).is_some() {
+                    if let Some(dropped) = table.insert(ev.key, ev.state, ev.data, 0) {
                         self.stats.evicted_flows += 1;
+                        if let (Some(h), PrimaryFlow::Live(conn)) =
+                            (self.health.as_deref_mut(), &dropped.data)
+                        {
+                            h.lag.drop_flow(conn.pq.len(), conn.mss);
+                        }
                     }
                 }
             }
@@ -452,6 +475,34 @@ impl PrimaryBridge {
     /// Mutable access to the attached latency observatory.
     pub fn latency_mut(&mut self) -> Option<&mut LatencyObservatory> {
         self.latency.as_deref_mut()
+    }
+
+    /// Attaches (or detaches) the replica health & replication-lag
+    /// observatory. When detached — the default — each accounting site
+    /// costs one `Option` branch, preserving the zero-allocation
+    /// steady state (`tests/zero_alloc.rs`, which also proves the
+    /// *attached* hot path allocation-free: all observatory state is
+    /// flat). Attaching mid-run seeds the lag ledger from the current
+    /// queues so the gauge stays exact.
+    pub fn set_health(&mut self, health: Option<Box<HealthObservatory>>) {
+        self.health = health;
+        if let Some(h) = self.health.as_deref_mut() {
+            for (_, _, f) in self.flows.iter() {
+                if let PrimaryFlow::Live(c) = f {
+                    h.lag.update(0, c.pq.len(), c.mss);
+                }
+            }
+        }
+    }
+
+    /// The attached health observatory, if any.
+    pub fn health(&self) -> Option<&HealthObservatory> {
+        self.health.as_deref()
+    }
+
+    /// Mutable access to the attached health observatory.
+    pub fn health_mut(&mut self) -> Option<&mut HealthObservatory> {
+        self.health.as_deref_mut()
     }
 
     /// Diagnostic rows for every tracked connection, in no particular
@@ -516,6 +567,8 @@ impl PrimaryBridge {
             stats,
             telemetry,
             latency,
+            health,
+            audit,
             ..
         } = self;
         let Some(t) = telemetry else {
@@ -570,6 +623,16 @@ impl PrimaryBridge {
         }
         if let Some(obs) = latency.as_deref_mut() {
             obs.publish(&t.hub.registry.scope("core.primary"), now_nanos);
+        }
+        if let Some(obs) = health.as_deref_mut() {
+            obs.publish(&t.hub.registry.scope("core.primary"), now_nanos);
+            // Every audit flight-recorder bundle captures replica
+            // health at fault time: keep the auditor's stored health
+            // snapshot current (off the per-packet path — this runs on
+            // the host tick).
+            if let Some(aud) = audit.as_deref_mut() {
+                aud.set_health_snapshot(obs.to_json());
+            }
         }
     }
 
@@ -626,6 +689,12 @@ impl PrimaryBridge {
         self.flows.stats_total()
     }
 
+    /// Total flow-table capacity across all shards (denominator for
+    /// occupancy ratios in the health observatory).
+    pub fn flow_capacity(&self) -> usize {
+        self.flows.config().capacity
+    }
+
     /// Per-shard flow-table statistics in shard-index order. The
     /// under-load harness samples this mid-run for occupancy/eviction
     /// gauges without attaching journal telemetry (which would force
@@ -678,6 +747,12 @@ impl PrimaryBridge {
             let Some((_, PrimaryFlow::Live(mut conn))) = self.flows.remove(&key) else {
                 continue;
             };
+            // The flow leaves replicated operation here: whatever the
+            // secondary never matched stops being replication lag
+            // (it is flushed straight to the client below).
+            if let Some(h) = self.health.as_deref_mut() {
+                h.lag.drop_flow(conn.pq.len(), conn.mss);
+            }
             let Some(delta) = conn.delta else {
                 // Handshake never completed against the secondary:
                 // release the held SYN unmodified; the connection
@@ -773,7 +848,13 @@ impl PrimaryBridge {
         }
         self.last_gc = now_nanos;
         let budget = self.flows.config().gc.max_reaps_per_tick;
-        self.flows.gc_budgeted(now_nanos, budget, &mut |_ev| {});
+        let PrimaryBridge { flows, health, .. } = self;
+        let mut health = health.as_deref_mut();
+        flows.gc_budgeted(now_nanos, budget, &mut |ev| {
+            if let (Some(h), PrimaryFlow::Live(conn)) = (health.as_mut(), &ev.data) {
+                h.lag.drop_flow(conn.pq.len(), conn.mss);
+            }
+        });
         self.stats.flows_reaped = self.flows.stats_total().reaped;
     }
 
@@ -787,13 +868,14 @@ impl PrimaryBridge {
         if policy.max_reaps_per_batch == 0 {
             return;
         }
-        for shard in self.flows.shards_mut() {
-            shard.gc_budgeted(
-                now_nanos,
-                &policy,
-                policy.max_reaps_per_batch,
-                &mut |_ev| {},
-            );
+        let PrimaryBridge { flows, health, .. } = self;
+        let mut health = health.as_deref_mut();
+        for shard in flows.shards_mut() {
+            shard.gc_budgeted(now_nanos, &policy, policy.max_reaps_per_batch, &mut |ev| {
+                if let (Some(h), PrimaryFlow::Live(conn)) = (health.as_mut(), &ev.data) {
+                    h.lag.drop_flow(conn.pq.len(), conn.mss);
+                }
+            });
         }
         self.stats.flows_reaped = self.flows.stats_total().reaped;
     }
@@ -840,6 +922,7 @@ impl PrimaryBridge {
             emit_buf,
             telemetry,
             latency,
+            health,
             ..
         } = self;
         Engine {
@@ -856,6 +939,7 @@ impl PrimaryBridge {
             emit_buf,
             instruments: telemetry.as_ref(),
             lat: latency.as_deref_mut().map(LatencyObservatory::stages_mut),
+            health: health.as_deref_mut(),
         }
     }
 
@@ -893,7 +977,15 @@ impl PrimaryBridge {
         now_nanos: u64,
         exec: &ShardExecutor,
     ) -> Vec<FilterOutput> {
-        if self.audit.is_some() || self.telemetry.is_some() || exec.threads() <= 1 {
+        // The health observatory joins the sequential-fallback set:
+        // its lag ledger is a single cross-shard accumulator, and the
+        // bench profile runs single-threaded, so parallel workers never
+        // need (and never get) a health reference.
+        if self.audit.is_some()
+            || self.telemetry.is_some()
+            || self.health.is_some()
+            || exec.threads() <= 1
+        {
             let outs: Vec<FilterOutput> = batch
                 .into_iter()
                 .map(|(dir, seg)| {
@@ -981,6 +1073,7 @@ impl PrimaryBridge {
                                 emit_buf: &mut *lane.emit,
                                 instruments: None,
                                 lat: lat.as_mut(),
+                                health: None,
                             };
                             match dir {
                                 BatchDir::Outbound => eng.outbound(seg, &mut out),
@@ -1119,6 +1212,10 @@ struct Engine<'a> {
     /// private copy). `None` — the default — keeps every stage site to
     /// one branch with no clock read.
     lat: Option<&'a mut StageLatency>,
+    /// Replication-lag ledger (the health observatory's). `None` — the
+    /// default, and always on parallel workers (attachment forces the
+    /// sequential path) — keeps every accounting site to one branch.
+    health: Option<&'a mut HealthObservatory>,
 }
 
 impl Engine<'_> {
@@ -1232,6 +1329,9 @@ impl Engine<'_> {
             );
         }
         if let PrimaryFlow::Live(conn) = ev.data {
+            if let Some(h) = self.health.as_deref_mut() {
+                h.lag.drop_flow(conn.pq.len(), conn.mss);
+            }
             if conn.delta.is_some() {
                 let seg = TcpSegment::builder(conn.server_port, conn.client.port)
                     .seq(conn.send_next)
@@ -1388,18 +1488,41 @@ impl Engine<'_> {
                 .min(conn.sq.contiguous_from(conn.send_next));
             if avail > 0 {
                 let n = avail.min(usize::from(conn.mss));
+                let pq_before = conn.pq.len();
                 let from_s = conn.sq.take(conn.send_next, n);
                 let from_p = conn.pq.take(conn.send_next, n);
                 if from_p != from_s {
                     self.stats.mismatched_bytes += n as u64;
                 }
                 self.lat_end(Stage::QueueMatch, qm0);
+                // Replication-lag sampling at the match point: how far
+                // behind the witness was when this release became
+                // possible, and how long the head byte sat waiting.
+                // The ledger update runs before the ack check below so
+                // the gauge stays exact even on the drop path.
+                if let Some(h) = self.health.as_deref_mut() {
+                    let class = FlowClass::of_released(conn.released_bytes);
+                    let head_wait = if conn.pq_head_since == u64::MAX {
+                        0
+                    } else {
+                        self.now.saturating_sub(conn.pq_head_since)
+                    };
+                    h.lag
+                        .record_release(class, pq_before as u64, conn.mss, head_wait);
+                    h.lag.update(pq_before, conn.pq.len(), conn.mss);
+                    conn.pq_head_since = if conn.pq.is_empty() {
+                        u64::MAX
+                    } else {
+                        self.now
+                    };
+                }
                 let Some(ack) = self.client_ack(&conn) else {
                     self.stats.drops += 1;
                     break;
                 };
                 let seq = conn.send_next;
                 conn.send_next = conn.send_next.wrapping_add(n as u32);
+                conn.released_bytes += n as u64;
                 self.stats.merged_segments += 1;
                 self.stats.merged_bytes += n as u64;
                 let win = conn.min_win();
@@ -1605,6 +1728,9 @@ impl Engine<'_> {
         // RST: forward with translated sequence number and drop state.
         if seg.flags.contains(TcpFlags::RST) {
             let mut conn = self.take_live(&key).expect("conn present");
+            if let Some(h) = self.health.as_deref_mut() {
+                h.lag.drop_flow(conn.pq.len(), conn.mss);
+            }
             self.emit_empty(&mut conn, seq, None, TcpFlags::RST, 0, out);
             self.stats.conns_closed += 1;
             return;
@@ -1660,7 +1786,21 @@ impl Engine<'_> {
         if !seg.payload.is_empty() {
             let send_next = conn.send_next;
             match replica {
-                Replica::Primary => conn.pq.insert(seq, seg.payload.clone(), send_next),
+                Replica::Primary => {
+                    // Measure the queue around the insert (it clips
+                    // overlaps, so the delta is not the payload size)
+                    // and stamp the head-arrival time on the
+                    // empty→non-empty edge.
+                    let before = conn.pq.len();
+                    conn.pq.insert(seq, seg.payload.clone(), send_next);
+                    if let Some(h) = self.health.as_deref_mut() {
+                        let after = conn.pq.len();
+                        if before == 0 && after > 0 {
+                            conn.pq_head_since = self.now;
+                        }
+                        h.lag.update(before, after, conn.mss);
+                    }
+                }
                 Replica::Secondary => conn.sq.insert(seq, seg.payload.clone(), send_next),
             }
         }
@@ -1707,6 +1847,7 @@ impl Engine<'_> {
         let Some(PrimaryFlow::Live(conn)) = self.shard.peek(&key) else {
             return;
         };
+        let (pq_len, mss) = (conn.pq.len(), conn.mss);
         let Some(delta) = conn.delta else { return };
         // Server->client direction closed: merged FIN sent and
         // acknowledged by the client.
@@ -1721,6 +1862,12 @@ impl Engine<'_> {
             _ => false,
         };
         if server_side_done && client_side_done {
+            // The TimeWait tombstone silently replaces the live entry;
+            // any residual unmatched bytes leave the lag ledger with it
+            // (a fully acknowledged teardown normally has none).
+            if let Some(h) = self.health.as_deref_mut() {
+                h.lag.drop_flow(pq_len, mss);
+            }
             self.shard.insert(
                 key,
                 FlowState::TimeWait,

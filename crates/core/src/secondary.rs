@@ -31,8 +31,8 @@ use tcpfo_tcp::filter::{AddressedSegment, FailoverRule, FilterOutput, SegmentFil
 use tcpfo_tcp::types::SocketAddr;
 use tcpfo_telemetry::audit::{SecondaryPhase, TakeoverStep};
 use tcpfo_telemetry::{
-    Counter, FailoverPhase, Gauge, HostClock, InvariantAuditor, LatencyObservatory, Stage,
-    Telemetry,
+    Counter, FailoverPhase, Gauge, HealthObservatory, HostClock, InvariantAuditor,
+    LatencyObservatory, Stage, Telemetry,
 };
 use tcpfo_wire::ipv4::Ipv4Addr;
 use tcpfo_wire::tcp::{SegmentPatcher, TcpFlags, TcpView};
@@ -148,6 +148,13 @@ pub struct SecondaryBridge {
     /// costs one branch per stage site; the hot path never reads the
     /// host clock.
     latency: Option<Box<LatencyObservatory>>,
+    /// Replica health observatory (attached via
+    /// [`SecondaryBridge::set_health`]). The secondary holds no output
+    /// queues — replication lag is accounted on the primary side — but
+    /// the attach gives this bridge the same health publish path
+    /// (witness occupancy and takeover-hold signals) and audit
+    /// snapshot hook.
+    health: Option<Box<HealthObservatory>>,
     /// Sim time of the most recent filtered segment or tick, so the
     /// clock-less takeover calls can stamp auditor events.
     last_now: u64,
@@ -172,6 +179,7 @@ impl SecondaryBridge {
             telemetry: None,
             audit: None,
             latency: None,
+            health: None,
             last_now: 0,
             last_gc: 0,
         }
@@ -244,6 +252,22 @@ impl SecondaryBridge {
         self.latency.as_deref_mut()
     }
 
+    /// Attaches (or detaches) the replica health observatory. Detached
+    /// — the default — costs one branch on the telemetry sync path.
+    pub fn set_health(&mut self, health: Option<Box<HealthObservatory>>) {
+        self.health = health;
+    }
+
+    /// The attached health observatory, if any.
+    pub fn health(&self) -> Option<&HealthObservatory> {
+        self.health.as_deref()
+    }
+
+    /// Mutable access to the attached health observatory.
+    pub fn health_mut(&mut self) -> Option<&mut HealthObservatory> {
+        self.health.as_deref_mut()
+    }
+
     /// Host-time stamp opening a stage measurement; 0 (and no clock
     /// read) when the observatory is detached.
     #[inline]
@@ -291,6 +315,8 @@ impl SecondaryBridge {
             stats,
             telemetry,
             latency,
+            health,
+            audit,
             ..
         } = self;
         let Some(t) = telemetry else {
@@ -328,6 +354,12 @@ impl SecondaryBridge {
         }
         if let Some(obs) = latency.as_deref_mut() {
             obs.publish(&t.hub.registry.scope("core.secondary"), now_nanos);
+        }
+        if let Some(obs) = health.as_deref_mut() {
+            obs.publish(&t.hub.registry.scope("core.secondary"), now_nanos);
+            if let Some(aud) = audit.as_deref_mut() {
+                aud.set_health_snapshot(obs.to_json());
+            }
         }
     }
 

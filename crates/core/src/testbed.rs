@@ -29,9 +29,11 @@ use tcpfo_net::trace::{to_pcapng, TraceKind};
 use tcpfo_tcp::config::TcpConfig;
 use tcpfo_tcp::host::{spawn_host, CpuModel, Host, HostConfig};
 use tcpfo_telemetry::audit::{env_audit_enabled, env_capacity};
+use tcpfo_telemetry::health::env_health_enabled;
 use tcpfo_telemetry::latency::env_latency_enabled;
 use tcpfo_telemetry::{
-    AuditConfig, FailoverPhase, InvariantAuditor, LatencyObservatory, MetricsSnapshot, Telemetry,
+    AuditConfig, FailoverPhase, HealthConfig, HealthMonitor, HealthObservatory, InvariantAuditor,
+    LatencyObservatory, MetricsSnapshot, Telemetry,
 };
 
 /// Well-known testbed addresses.
@@ -133,6 +135,10 @@ pub struct TestbedConfig {
     /// `None` follows the `TCPFO_LATENCY` environment knob; `Some(_)`
     /// overrides it.
     pub latency: Option<bool>,
+    /// Attach the replica health observatory to both bridges and an
+    /// advisory health monitor to both fault detectors. `None` follows
+    /// the `TCPFO_HEALTH` environment knob; `Some(_)` overrides it.
+    pub health: Option<bool>,
     /// Event-journal ring capacity. `None` follows `TCPFO_JOURNAL_CAP`
     /// (default [`tcpfo_telemetry::journal::DEFAULT_CAPACITY`]).
     pub journal_capacity: Option<usize>,
@@ -168,6 +174,7 @@ impl Default for TestbedConfig {
             loss_to_router: 0.0,
             audit: None,
             latency: None,
+            health: None,
             journal_capacity: None,
             trace_capacity: None,
             flow_shards: None,
@@ -199,6 +206,18 @@ fn flow_config_override(config: &TestbedConfig) -> Option<FlowTableConfig> {
         config.flow_shards.unwrap_or(base.shards),
         config.flow_cap.unwrap_or(base.capacity),
     ))
+}
+
+/// The health-monitor tunables the testbed derives from its detector:
+/// the advisory miss limit is exactly the number of heartbeat
+/// intervals in the binary timeout, so the score bottoms out at the
+/// instant the §2 decision is about to fire.
+fn health_config(detector: &DetectorConfig) -> HealthConfig {
+    let interval = detector.interval.as_nanos().max(1);
+    HealthConfig {
+        miss_limit: (detector.timeout.as_nanos() / interval).max(1) as u32,
+        ..HealthConfig::default()
+    }
 }
 
 /// The assembled testbed.
@@ -233,6 +252,7 @@ impl Testbed {
         };
         let audit_on = config.audit.unwrap_or_else(env_audit_enabled);
         let latency_on = config.latency.unwrap_or_else(env_latency_enabled);
+        let health_on = config.health.unwrap_or_else(env_health_enabled);
         let mut sim = Simulator::new(config.seed);
         sim.set_telemetry(telemetry.clone());
         sim.set_trace_capacity(
@@ -305,6 +325,9 @@ impl Testbed {
             if latency_on {
                 bridge.set_latency(Some(Box::new(LatencyObservatory::new())));
             }
+            if health_on {
+                bridge.set_health(Some(Box::new(HealthObservatory::new())));
+            }
             primary_host.set_filter(Box::new(bridge));
             let mut controller = ReplicaController::new(
                 Role::Primary,
@@ -314,6 +337,11 @@ impl Testbed {
                 config.detector,
             );
             controller.set_telemetry(&telemetry);
+            if health_on {
+                controller.set_health_monitor(Some(Box::new(HealthMonitor::new(health_config(
+                    &config.detector,
+                )))));
+            }
             primary_host.set_controller(Box::new(controller));
             for &p in &config.failover_ports {
                 primary_host.stack_mut().add_failover_port(p);
@@ -341,6 +369,9 @@ impl Testbed {
             if latency_on {
                 bridge.set_latency(Some(Box::new(LatencyObservatory::new())));
             }
+            if health_on {
+                bridge.set_health(Some(Box::new(HealthObservatory::new())));
+            }
             host.set_filter(Box::new(bridge));
             let mut controller = ReplicaController::new(
                 Role::Secondary,
@@ -350,6 +381,11 @@ impl Testbed {
                 config.detector,
             );
             controller.set_telemetry(&telemetry);
+            if health_on {
+                controller.set_health_monitor(Some(Box::new(HealthMonitor::new(health_config(
+                    &config.detector,
+                )))));
+            }
             host.set_controller(Box::new(controller));
             for &p in &config.failover_ports {
                 host.stack_mut().add_failover_port(p);
@@ -517,6 +553,9 @@ impl Testbed {
         if self.config.latency.unwrap_or_else(env_latency_enabled) {
             bridge.set_latency(Some(Box::new(LatencyObservatory::new())));
         }
+        if self.config.health.unwrap_or_else(env_health_enabled) {
+            bridge.set_health(Some(Box::new(HealthObservatory::new())));
+        }
         host.set_filter(Box::new(bridge));
         let mut controller = ReplicaController::new(
             Role::Secondary,
@@ -526,6 +565,11 @@ impl Testbed {
             self.config.detector,
         );
         controller.set_telemetry(&self.telemetry);
+        if self.config.health.unwrap_or_else(env_health_enabled) {
+            controller.set_health_monitor(Some(Box::new(HealthMonitor::new(health_config(
+                &self.config.detector,
+            )))));
+        }
         host.set_controller(Box::new(controller));
         for &p in &self.config.failover_ports {
             host.stack_mut().add_failover_port(p);
@@ -689,6 +733,54 @@ impl Testbed {
                 .latency()?;
             Some(f(obs))
         })
+    }
+
+    /// Runs `f` against the primary bridge itself — for checks that
+    /// need more than one attached observatory at once (e.g. pairing
+    /// the replication-lag ledger with an oracle walk over
+    /// [`PrimaryBridge::connection_rows`]).
+    pub fn with_primary_bridge<R>(&mut self, f: impl FnOnce(&PrimaryBridge) -> R) -> Option<R> {
+        self.sim.with::<Host, _>(self.primary, move |h, _| {
+            let bridge = h
+                .filter_mut()
+                .as_any_mut()
+                .downcast_mut::<PrimaryBridge>()?;
+            Some(f(bridge))
+        })
+    }
+
+    /// Runs `f` against the primary bridge's attached health
+    /// observatory (the replication-lag ledger), if any.
+    pub fn with_primary_health<R>(&mut self, f: impl FnOnce(&HealthObservatory) -> R) -> Option<R> {
+        self.sim.with::<Host, _>(self.primary, move |h, _| {
+            let obs = h
+                .filter_mut()
+                .as_any_mut()
+                .downcast_mut::<PrimaryBridge>()?
+                .health()?;
+            Some(f(obs))
+        })
+    }
+
+    /// Runs `f` against the health monitor attached to `node`'s fault
+    /// detector, if any.
+    pub fn with_health_monitor<R>(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&HealthMonitor) -> R,
+    ) -> Option<R> {
+        self.sim.with::<Host, _>(node, move |h, _| {
+            let mon = h.controller_mut::<ReplicaController>().health_monitor()?;
+            Some(f(mon))
+        })
+    }
+
+    /// Applies `f` to the link parameters of every wire touching
+    /// `node`, both directions — staged in-run degradation (rising
+    /// loss, latency, jitter before a crash) for health-observatory
+    /// experiments.
+    pub fn reshape_links(&mut self, node: NodeId, f: impl Fn(LinkParams) -> LinkParams) {
+        self.sim.reshape_links(node, f);
     }
 
     /// Total invariant violations recorded by both bridges' auditors

@@ -13,11 +13,17 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use tcpfo_core::designation::FailoverConfig;
 use tcpfo_core::primary::PrimaryBridge;
 use tcpfo_tcp::filter::{AddressedSegment, FilterOutput, SegmentFilter};
+use tcpfo_telemetry::HealthObservatory;
 use tcpfo_wire::tcp::{SegmentPatcher, TcpFlags, TcpSegment};
+
+/// Both tests read the same global allocation counter, so they must
+/// not run concurrently.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 struct CountingAlloc;
 
@@ -139,13 +145,9 @@ fn round_inputs(i: u32) -> (AddressedSegment, AddressedSegment, AddressedSegment
     (p, s, c)
 }
 
-#[test]
-fn steady_state_release_path_does_not_allocate() {
-    let mut bridge = established();
-
-    // Prebuild every input before measurement begins; feeding moves
-    // each segment out so its buffer's refcount is 1 at the bridge
-    // (required for the in-place option strip and ACK patch).
+/// Drives `rounds` of the steady-state echo cycle and returns the
+/// allocation delta measured after the warm-up rounds.
+fn measure_rounds(bridge: &mut PrimaryBridge) -> u64 {
     let total = WARMUP + MEASURED;
     let mut inputs = Vec::with_capacity(total);
     for i in 0..total as u32 {
@@ -159,31 +161,57 @@ fn steady_state_release_path_does_not_allocate() {
         if i == WARMUP {
             measured_base = ALLOCS.load(Ordering::Relaxed);
         }
-        // P's copy arrives first and is held.
         bridge.on_outbound_into(p, 0, &mut out);
         assert!(out.to_wire.is_empty(), "P-only bytes are held");
-        // S's diverted copy matches: the bridge releases the bytes
-        // through the prebuilt header template.
         bridge.on_inbound_into(s, 0, &mut out);
         assert_eq!(out.to_wire.len(), 1, "matched bytes are released");
         released += 1;
-        // The client acknowledges; the ACK is translated in place.
         bridge.on_inbound_into(c, 0, &mut out);
         assert_eq!(out.to_tcp.len(), 1, "client ACK passes up");
-        // Dropping the emitted segment returns its storage to the
-        // bridge's emission scratch buffer.
         out.clear();
     }
-
-    let delta = ALLOCS.load(Ordering::Relaxed) - measured_base;
     assert_eq!(released, total, "every round must release its bytes");
+    ALLOCS.load(Ordering::Relaxed) - measured_base
+}
+
+#[test]
+fn steady_state_release_path_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+    let mut bridge = established();
+    let delta = measure_rounds(&mut bridge);
     assert_eq!(
         bridge.stats.merged_bytes,
-        (total * PAYLOAD.len()) as u64,
+        ((WARMUP + MEASURED) * PAYLOAD.len()) as u64,
         "all payload bytes matched and released"
     );
     assert_eq!(
         delta, 0,
         "steady-state echo path allocated {delta} times in {MEASURED} rounds"
+    );
+}
+
+/// The PR-8 extension of the proof: the same steady-state cycle with
+/// the replica health observatory *attached* still never touches the
+/// allocator — the lag ledger and its per-class log2 histograms are
+/// fixed-size arrays updated in place.
+#[test]
+fn steady_state_release_path_with_health_attached_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+    let mut bridge = established();
+    bridge.set_health(Some(Box::new(HealthObservatory::new())));
+    let delta = measure_rounds(&mut bridge);
+    let obs = bridge.health().expect("attached");
+    assert!(
+        obs.lag.releases() >= (WARMUP + MEASURED) as u64,
+        "lag ledger saw every release"
+    );
+    assert_eq!(
+        obs.lag.unmatched_bytes(),
+        0,
+        "fully acknowledged cycle leaves no unmatched bytes"
+    );
+    assert_eq!(
+        delta, 0,
+        "attached-health echo path allocated {delta} times in {MEASURED} rounds"
     );
 }

@@ -389,6 +389,21 @@ impl Simulator {
         self.set_wire_end(b, WireEnd { wire, side: 1 });
     }
 
+    /// Rewrites the link parameters of every wire attached to `node`,
+    /// in both directions, by applying `f` to each direction's current
+    /// parameters. Frames already in flight keep the parameters they
+    /// were transmitted under; subsequent transmissions see the new
+    /// ones. This stages in-run degradation (rising loss, latency,
+    /// jitter before a crash) without rebuilding the topology.
+    pub fn reshape_links(&mut self, node: NodeId, f: impl Fn(LinkParams) -> LinkParams) {
+        for w in &mut self.core.wires {
+            if w.ends[0].0 == node || w.ends[1].0 == node {
+                w.params[0] = f(w.params[0]);
+                w.params[1] = f(w.params[1]);
+            }
+        }
+    }
+
     fn set_wire_end(&mut self, (node, port): (NodeId, usize), end: WireEnd) {
         let row = &mut self.core.port_table[node];
         if row.len() <= port {

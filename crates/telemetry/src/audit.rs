@@ -899,6 +899,12 @@ pub struct InvariantAuditor {
     pending_ack: Option<(AuditKey, u32)>,
     /// Secondary ingress awaiting the a_p→a_s rewrite.
     pending_translate: Option<AuditKey>,
+    /// Latest replica health / replication-lag JSON snapshot, pushed
+    /// by the bridge's telemetry sync when the health observatory is
+    /// also attached; lands in flight-recorder bundles as
+    /// `health.json` so every invariant violation captures replica
+    /// health at fault time.
+    health_snapshot: Option<String>,
 }
 
 impl fmt::Debug for InvariantAuditor {
@@ -933,7 +939,15 @@ impl InvariantAuditor {
             touched: None,
             pending_ack: None,
             pending_translate: None,
+            health_snapshot: None,
         }
+    }
+
+    /// Stores the latest replica health / replication-lag snapshot for
+    /// inclusion in flight-recorder bundles. Called from the bridge's
+    /// host-tick telemetry sync, never from the per-packet path.
+    pub fn set_health_snapshot(&mut self, json: String) {
+        self.health_snapshot = Some(json);
     }
 
     /// Connects the telemetry hub so violations reach the journal and
@@ -1169,6 +1183,9 @@ impl InvariantAuditor {
         if let Some(hub) = &self.hub {
             std::fs::write(dir.join("timeline.json"), hub.timeline.to_json())?;
             std::fs::write(dir.join("journal.json"), hub.journal.to_json())?;
+        }
+        if let Some(health) = &self.health_snapshot {
+            std::fs::write(dir.join("health.json"), health)?;
         }
         Ok(dir)
     }

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod audit;
+pub mod health;
 pub mod journal;
 pub mod json;
 pub mod latency;
@@ -45,6 +46,11 @@ pub mod timeline;
 pub mod underload;
 
 pub use audit::{AuditConfig, InvariantAuditor, Rule, RuleLedger, TraceId, Violation};
+pub use health::{
+    env_health_enabled, AlertEvent, AlertJournal, AlertMachine, AlertState, BurnWindow, Ewma,
+    FlowClass, HealthConfig, HealthMonitor, HealthObservatory, HealthScore, ReplicaHealth,
+    ReplicationLag, SloMonitor, WindowCounts,
+};
 pub use journal::{Event, Journal};
 pub use latency::{
     HostClock, HostHistogram, LatencyObservatory, LogHistogram, Quantile, SimHistogram, Stage,
