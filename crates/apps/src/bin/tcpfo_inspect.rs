@@ -11,6 +11,9 @@
 //!                                  open-loop load run, live lag/occupancy/corrected-tail view
 //! tcpfo-inspect health [--frames N] [--plain] [--prom]
 //!                                  staged-degradation run, live health/lag/alert dashboard
+//! tcpfo-inspect chain [--replicas N] [--frames N] [--plain] [--prom]
+//!                                  depth-N chain run: head failure, promotion,
+//!                                  tail reprovisioning, per-link health and lag
 //! tcpfo-inspect bundle <dir>       pretty-print a flight-recorder bundle
 //! ```
 //!
@@ -18,12 +21,16 @@
 //! sockets, no privileges), so the output is reproducible and the tool
 //! doubles as a smoke test of the audited datapath.
 
+use tcpfo_apps::chain_ops;
 use tcpfo_apps::driver::RequestReplyClient;
 use tcpfo_apps::manyflow::{FlowScript, ManyFlowConfig, ManyFlowNet, Step};
 use tcpfo_apps::stream::SourceServer;
 use tcpfo_core::flow::FlowTableConfig;
 use tcpfo_core::testbed::{addrs, Testbed, TestbedConfig};
-use tcpfo_core::{FailoverConfig, PrimaryBridge};
+use tcpfo_core::{
+    ChainBridge, ChainConfig, ChainController, ChainTestbed, FailoverConfig, PrimaryBridge,
+    SecondaryBridge, TakeoverState,
+};
 use tcpfo_net::time::SimDuration;
 use tcpfo_net::{OpenLoopInjector, ShardExecutor};
 use tcpfo_tcp::filter::SegmentFilter;
@@ -46,6 +53,7 @@ fn main() {
         Some("watch") => watch(&args[1..]),
         Some("underload") => underload(&args[1..]),
         Some("health") => health(&args[1..]),
+        Some("chain") => chain(&args[1..]),
         Some("bundle") => match args.get(1) {
             Some(dir) => bundle(dir),
             None => usage(),
@@ -66,6 +74,8 @@ fn usage() -> i32 {
          open-loop load run, live lag/occupancy/corrected-tail view\n  \
          tcpfo-inspect health [--frames N] [--plain] [--prom]\n                                   \
          staged-degradation run, live health/lag/alert dashboard\n  \
+         tcpfo-inspect chain [--replicas N] [--frames N] [--plain] [--prom]\n                                   \
+         chain failover + reprovisioning, per-link health/lag view\n  \
          tcpfo-inspect bundle <dir>       pretty-print a flight-recorder bundle"
     );
     2
@@ -727,6 +737,211 @@ fn render_health_frame(
             "unmatched {bytes:>8} B / {segments:>5} segs  peak {peak:>8} B  releases {releases:>7}",
         ),
         None => println!("(primary gone — ledger died with it)"),
+    }
+}
+
+/// Chain dashboard: drives a depth-N chain serving a live download,
+/// kills the head a quarter of the way in, re-provisions a standby
+/// tail at the halfway mark, and redraws the whole control plane after
+/// every slice — per-link role, takeover state and health score,
+/// replication lag per hop, the reprovisioning phase clock, and the
+/// recent chain journal (promotions, vetoes, kills, adoption). `--prom`
+/// appends each replica's Prometheus exposition at the end.
+fn chain(args: &[String]) -> i32 {
+    let plain = args.iter().any(|a| a == "--plain");
+    let prom = args.iter().any(|a| a == "--prom");
+    let flag = |name: &str, default: usize| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let replicas = flag("--replicas", 3).clamp(2, 8);
+    let frames = flag("--frames", 8).max(4);
+
+    let mut tb = ChainTestbed::new(ChainConfig {
+        replicas,
+        seed: 0x1C,
+        audit: Some(true),
+        health: Some(true),
+        ..ChainConfig::default()
+    });
+    tb.install_servers(|| SourceServer::new(80));
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(RequestReplyClient::new(
+            SocketAddr::new(addrs::A_P, 80),
+            b"SEND 16000000\n".to_vec(),
+            16_000_000,
+        )));
+    });
+
+    // Script over the frame timeline: healthy chain for the first
+    // quarter, head killed at a quarter, standby reprovisioned as the
+    // new tail at the halfway mark; the rest shows catch-up draining.
+    let kill = (frames / 4).max(1);
+    let reprovision = (frames / 2).max(kill + 1);
+    let slice = SimDuration::from_millis(250);
+    let mut standby = None;
+    for frame in 0..frames {
+        if frame == kill {
+            tb.kill_replica(0);
+        } else if frame == reprovision {
+            standby = Some(chain_ops::reprovision_tail(&mut tb));
+        }
+        tb.run_for(slice);
+        tb.poll_reprovision();
+        if !plain {
+            print!("\x1b[2J\x1b[H");
+        }
+        render_chain_frame(&mut tb, frame, frames, kill, reprovision, standby);
+    }
+
+    if prom {
+        let now = tb.sim.now().as_nanos();
+        for (i, &node) in tb.replicas.clone().iter().enumerate() {
+            if tb.dead[i] {
+                continue;
+            }
+            tb.sim.with::<Host, _>(node, |h, _| {
+                let f = h.filter_mut().as_any_mut();
+                if let Some(b) = f.downcast_mut::<ChainBridge>() {
+                    b.sync_telemetry(now);
+                } else if let Some(b) = f.downcast_mut::<SecondaryBridge>() {
+                    b.sync_telemetry(now);
+                }
+            });
+            println!("\n# replica {i} ({})", tb.replica_addrs[i]);
+            print!("{}", tb.hubs[i].registry.snapshot(now).to_prometheus());
+        }
+    }
+
+    let violations = tb.audit_violations();
+    if violations > 0 {
+        eprintln!("tcpfo-inspect: {violations} invariant violation(s) recorded");
+        1
+    } else {
+        0
+    }
+}
+
+/// One chain-dashboard frame: topology + per-link control-plane state,
+/// lag per hop, the reprovision clock, and the recent chain journal.
+fn render_chain_frame(
+    tb: &mut ChainTestbed,
+    frame: usize,
+    frames: usize,
+    kill: usize,
+    reprovision: usize,
+    standby: Option<usize>,
+) {
+    let phase = match frame {
+        f if f >= reprovision => "standby reprovisioned — catch-up",
+        f if f >= kill => "head KILLED — takeover",
+        _ => "healthy chain",
+    };
+    println!(
+        "tcpfo-inspect chain — frame {}/{} — sim t = {} ms — {phase}",
+        frame + 1,
+        frames,
+        tb.sim.now().as_nanos() / 1_000_000
+    );
+
+    println!("\n── chain links (client-facing stream climbs tail → head) ──");
+    println!(
+        "{:<4} {:<12} {:<8} {:<10} {:>6} {:>12} {:>12} {:>9} {:>9}",
+        "idx", "addr", "role", "state", "score", "promoted_ms", "lag_B", "releases", "peak_B"
+    );
+    for (i, &node) in tb.replicas.clone().iter().enumerate() {
+        let addr = tb.replica_addrs[i];
+        if tb.dead[i] {
+            println!("{i:<4} {addr:<12} {:<8} {:<10}", "-", "DEAD");
+            continue;
+        }
+        let (role, lag) = tb.sim.with::<Host, _>(node, |h, _| {
+            let f = h.filter_mut().as_any_mut();
+            if let Some(b) = f.downcast_mut::<ChainBridge>() {
+                let role = if b.is_head() { "head" } else { "middle" };
+                (
+                    role,
+                    b.health().map(|o| {
+                        (
+                            o.lag.unmatched_bytes(),
+                            o.lag.releases(),
+                            o.lag.peak_bytes(),
+                        )
+                    }),
+                )
+            } else if let Some(b) = f.downcast_mut::<SecondaryBridge>() {
+                (
+                    "tail",
+                    b.health().map(|o| {
+                        (
+                            o.lag.unmatched_bytes(),
+                            o.lag.releases(),
+                            o.lag.peak_bytes(),
+                        )
+                    }),
+                )
+            } else {
+                ("?", None)
+            }
+        });
+        let (state, score, promoted) = tb.sim.with::<Host, _>(node, |h, _| {
+            let c = h.controller_mut::<ChainController>();
+            (c.takeover_state(), c.self_score().total, c.promoted_at)
+        });
+        let state = match state {
+            TakeoverState::Following => "following",
+            TakeoverState::Vetoed => "VETOED",
+            TakeoverState::Promoted => "promoted",
+        };
+        let (lag_b, rel, peak) = lag.map_or(("-".into(), "-".into(), "-".into()), |(b, r, p)| {
+            (b.to_string(), r.to_string(), p.to_string())
+        });
+        let role = if Some(i) == standby {
+            format!("{role}+")
+        } else {
+            role.to_string()
+        };
+        println!(
+            "{i:<4} {addr:<12} {role:<8} {state:<10} {score:>6} {:>12} {lag_b:>12} {rel:>9} {peak:>9}",
+            promoted.map_or("-".to_string(), |t| (t.as_nanos() / 1_000_000).to_string()),
+        );
+    }
+    println!("(+ marks the reprovisioned standby; lag is each link's unmatched downstream bytes)");
+
+    println!("\n── redundancy restoration ──");
+    let lag_now = tb.catchup_lag();
+    println!(
+        "{}  catch-up backlog now: {lag_now} B",
+        tb.tracker.to_json()
+    );
+
+    println!("\n── recent chain events ──");
+    let mut events: Vec<_> = Vec::new();
+    for (i, hub) in tb.hubs.iter().enumerate() {
+        if tb.dead.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        for e in hub.journal.tail(16) {
+            if e.scope.contains("chain") {
+                events.push((e.at_ns, i, e.kind.clone(), e.fields.clone()));
+            }
+        }
+    }
+    events.sort();
+    events.dedup();
+    if events.is_empty() {
+        println!("(none yet)");
+    }
+    for (at_ns, replica, kind, fields) in events.iter().rev().take(10).rev() {
+        let fields: Vec<String> = fields.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!(
+            "{:>8} ms  replica{replica}  {kind:<22} {}",
+            at_ns / 1_000_000,
+            fields.join(" ")
+        );
     }
 }
 

@@ -23,6 +23,7 @@
 //! measurements are computed from (connect→established, send-call
 //! return per §9's send-buffer semantics, last-reply-byte, …).
 
+pub mod chain_ops;
 pub mod conn;
 pub mod driver;
 pub mod echo;

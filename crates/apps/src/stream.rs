@@ -130,6 +130,42 @@ impl SourceServer {
         self.failover = true;
         self
     }
+
+    /// The port this source listens on.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Snapshot of every live connection's response progress:
+    /// `(socket, offset, remaining)` — the handoff inputs for PR9
+    /// reprovisioning. Bytes still staged in the app-side out-buffer
+    /// have not reached the socket, so they count as *remaining*, not
+    /// progress: the adopting replica regenerates them.
+    pub fn conn_progress(&self) -> Vec<(SocketId, u64, u64)> {
+        self.conns
+            .iter()
+            .map(|(&c, st)| {
+                let staged = st.out.len() as u64;
+                (c, st.offset - staged, st.remaining + staged)
+            })
+            .collect()
+    }
+
+    /// Adopts a connection mid-response (PR9 reprovisioning handoff):
+    /// the socket was rebuilt by `Stack::adopt`, and the deterministic
+    /// pattern stream resumes at `offset` with `remaining` bytes still
+    /// owed. Served bytes below the offset were counted by the replica
+    /// this flow was handed off from.
+    pub fn adopt_conn(&mut self, c: SocketId, offset: u64, remaining: u64) {
+        self.conns.insert(
+            c,
+            SourceConn {
+                remaining,
+                offset,
+                ..SourceConn::default()
+            },
+        );
+    }
 }
 
 impl SocketApp for SourceServer {

@@ -26,13 +26,15 @@
 //! `(intended_ns, (flow, step))` tokens, never pre-built frames.
 
 use tcpfo_apps::manyflow::{FlowScript, ManyFlowConfig, ManyFlowNet, Step};
+use tcpfo_core::chain::ChainBridge;
 use tcpfo_core::flow::{FlowTableConfig, ShardStats};
 use tcpfo_core::{FailoverConfig, PrimaryBridge};
 use tcpfo_net::{OpenLoopInjector, ShardExecutor};
-use tcpfo_tcp::filter::SegmentFilter;
+use tcpfo_tcp::filter::{FilterOutput, SegmentFilter};
 use tcpfo_telemetry::{
     HealthObservatory, HostClock, LatencyObservatory, ShardSample, UnderLoadRecorder,
 };
+use tcpfo_wire::ipv4::Ipv4Addr;
 
 /// Server port every scripted flow targets (mirrors `manyflow`).
 const SERVER_PORT: u16 = 80;
@@ -395,6 +397,62 @@ pub fn lag_exactness(bridge: &PrimaryBridge, obs: &HealthObservatory) -> LagExac
     }
 }
 
+/// The bridge surface the open-loop injector drives. Implemented for
+/// the pair bridge (PR 6) and the chain middle link (PR 9) so one
+/// injection loop measures both shapes under identical schedules.
+pub trait OpenLoopBridge {
+    /// Processes one injected batch (sharded fan-out inside).
+    fn drive_batch(
+        &mut self,
+        batch: Vec<Step>,
+        now_nanos: u64,
+        exec: &ShardExecutor,
+    ) -> Vec<FilterOutput>;
+    /// The GC / housekeeping tick.
+    fn tick(&mut self, now_nanos: u64);
+    /// The §3 merge machinery — observatories, flow table, connection
+    /// rows all live here regardless of the outer shape.
+    fn merge(&self) -> &PrimaryBridge;
+}
+
+impl OpenLoopBridge for PrimaryBridge {
+    fn drive_batch(
+        &mut self,
+        batch: Vec<Step>,
+        now_nanos: u64,
+        exec: &ShardExecutor,
+    ) -> Vec<FilterOutput> {
+        self.process_batch(batch, now_nanos, exec)
+    }
+
+    fn tick(&mut self, now_nanos: u64) {
+        self.on_tick(now_nanos);
+    }
+
+    fn merge(&self) -> &PrimaryBridge {
+        self
+    }
+}
+
+impl OpenLoopBridge for ChainBridge {
+    fn drive_batch(
+        &mut self,
+        batch: Vec<Step>,
+        now_nanos: u64,
+        exec: &ShardExecutor,
+    ) -> Vec<FilterOutput> {
+        self.process_batch(batch, now_nanos, exec)
+    }
+
+    fn tick(&mut self, now_nanos: u64) {
+        SegmentFilter::on_tick(self, now_nanos);
+    }
+
+    fn merge(&self) -> &PrimaryBridge {
+        self.inner()
+    }
+}
+
 /// Samples per-shard occupancy/evictions into the recorder.
 fn sample_occupancy(bridge: &PrimaryBridge, rec: &mut UnderLoadRecorder) {
     let shards: Vec<ShardSample> = bridge
@@ -415,11 +473,6 @@ fn sample_occupancy(bridge: &PrimaryBridge, rec: &mut UnderLoadRecorder) {
 /// entire point.
 pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopReport {
     let net = ManyFlowNet::default();
-    let (ecfg, mcfg) = cfg.flow_configs();
-    let schedule = build_schedule(cfg);
-    let scheduled = schedule.len();
-    let mut inj = OpenLoopInjector::new(schedule, cfg.batch);
-
     let mut bridge =
         PrimaryBridge::new(net.a_p, net.a_s, FailoverConfig::from_ports([SERVER_PORT]));
     bridge.set_flow_config(FlowTableConfig::new(cfg.shards, cfg.capacity));
@@ -430,10 +483,57 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopReport {
     if cfg.attach_health {
         bridge.set_health(Some(Box::new(HealthObservatory::new())));
     }
+    run_open_loop_with(cfg, &mut bridge)
+}
+
+/// The upstream neighbour a scripted chain middle diverts toward. Any
+/// address distinct from the testbed's own works: the injector never
+/// routes the diverted output, it only pays for producing it.
+const CHAIN_UPSTREAM: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 9);
+
+/// Runs the same open-loop injection against a **chain middle link**
+/// (PR 9): the merge machinery is identical to the pair bridge, but
+/// every client-facing release additionally pays the divert-upstream
+/// rewrite (ORIG_DEST option splice + incremental checksum) on its way
+/// up the chain. The attached-vs-detached ratio of two of these runs
+/// is the chain-link observatory overhead gate.
+pub fn run_open_loop_chain(cfg: &OpenLoopConfig) -> OpenLoopReport {
+    let net = ManyFlowNet::default();
+    // own == vip: the scripted segments address the VIP directly, and
+    // the middle's position in the chain is what `upstream` encodes.
+    let mut bridge = ChainBridge::new(
+        net.a_p,
+        net.a_p,
+        Some(CHAIN_UPSTREAM),
+        net.a_s,
+        FailoverConfig::from_ports([SERVER_PORT]),
+    );
+    bridge.set_flow_config(FlowTableConfig::new(cfg.shards, cfg.capacity));
+    bridge.set_latency(Some(Box::new(LatencyObservatory::new())));
+    if cfg.attach_health {
+        bridge.set_health(Some(Box::new(HealthObservatory::new())));
+    }
+    run_open_loop_with(cfg, &mut bridge)
+}
+
+/// The injection loop proper, generic over the bridge shape.
+pub fn run_open_loop_with<B: OpenLoopBridge>(
+    cfg: &OpenLoopConfig,
+    bridge: &mut B,
+) -> OpenLoopReport {
+    let net = ManyFlowNet::default();
+    let (ecfg, mcfg) = cfg.flow_configs();
+    let schedule = build_schedule(cfg);
+    let scheduled = schedule.len();
+    let mut inj = OpenLoopInjector::new(schedule, cfg.batch);
     let exec = ShardExecutor::new(cfg.threads);
     let mut rec = UnderLoadRecorder::new(cfg.window_ns, cfg.windows, cfg.capacity as u64);
 
-    let mut stages_before = *bridge.latency().expect("observatory attached").stages();
+    let mut stages_before = *bridge
+        .merge()
+        .latency()
+        .expect("observatory attached")
+        .stages();
     let mut sim_now = 0u64;
     let mut injected = 0u64;
     let mut output_segments = 0u64;
@@ -467,7 +567,7 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopReport {
             };
             batch.push(script.step_at(k as usize));
         }
-        let outs = bridge.process_batch(batch, sim_now, &exec);
+        let outs = bridge.drive_batch(batch, sim_now, &exec);
         sim_now += SIM_NS_PER_BATCH;
         for o in &outs {
             output_segments += (o.to_wire.len() + o.to_tcp.len()) as u64;
@@ -477,13 +577,17 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopReport {
             rec.record_segment(intended, now, done);
         }
         injected += due.len() as u64;
-        let stages_after = *bridge.latency().expect("observatory attached").stages();
+        let stages_after = *bridge
+            .merge()
+            .latency()
+            .expect("observatory attached")
+            .stages();
         rec.absorb_stage_window(&stages_before, &stages_after, batch_lag);
         stages_before = stages_after;
         rec.set_backlog(inj.backlog(done));
         batches += 1;
         if batches.is_multiple_of(cfg.sample_every.max(1)) {
-            sample_occupancy(&bridge, &mut rec);
+            sample_occupancy(bridge.merge(), &mut rec);
         }
         if batches.is_multiple_of(cfg.gc_every.max(1)) {
             // The GC tick runs inline on the injection thread, so its
@@ -491,16 +595,19 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopReport {
             // clock and gate it (the PR 6 stall was exactly here —
             // an O(capacity) slab sweep at 2²⁰ residents).
             let g0 = HostClock::now_ns();
-            bridge.on_tick(sim_now);
+            bridge.tick(sim_now);
             rec.record_gc_pause(HostClock::now_ns().saturating_sub(g0));
         }
     }
     let end_ns = HostClock::now_ns().saturating_sub(t0);
-    sample_occupancy(&bridge, &mut rec);
+    sample_occupancy(bridge.merge(), &mut rec);
     rec.set_backlog(0);
-    let live_flows = bridge.conn_count();
-    let table = bridge.flow_stats();
-    let lag = bridge.health().map(|obs| lag_exactness(&bridge, obs));
+    let live_flows = bridge.merge().conn_count();
+    let table = bridge.merge().flow_stats();
+    let lag = bridge
+        .merge()
+        .health()
+        .map(|obs| lag_exactness(bridge.merge(), obs));
     let elapsed_s = (end_ns.max(1)) as f64 / 1e9;
     OpenLoopReport {
         recorder: rec,

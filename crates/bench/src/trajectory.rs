@@ -32,6 +32,8 @@ pub struct TrajectoryInputs {
     pub pr7: Option<String>,
     /// `BENCH_PR8.json` (replica health & replication-lag observatory).
     pub pr8: Option<String>,
+    /// `BENCH_PR9.json` (chain control plane: failover + reprovisioning).
+    pub pr9: Option<String>,
 }
 
 impl TrajectoryInputs {
@@ -55,6 +57,7 @@ impl TrajectoryInputs {
             pr6: read(6),
             pr7: read(7),
             pr8: read(8),
+            pr9: read(9),
         }
     }
 }
@@ -127,10 +130,18 @@ pub fn trajectory_doc(inputs: &TrajectoryInputs) -> String {
             num(fig(&inputs.pr8, "lag", "exact")),
             num(fig(&inputs.pr8, "alert", "warn_lead_ms")),
         ),
+        format!(
+            "    {{\"pr\": 9, \"bench\": \"chain failover + reprovisioning\", \"missing\": {}, \
+             \"chain_overhead_ratio\": {}, \"mttr_ms\": {}, \"restored_ms\": {}}}",
+            inputs.pr9.is_none(),
+            num(fig(&inputs.pr9, "overhead", "ratio")),
+            num(fig(&inputs.pr9, "failover", "mttr_ms")),
+            num(fig(&inputs.pr9, "reprovision", "restored_ms")),
+        ),
     ];
 
     format!(
-        "{{\n  \"bench\": \"headline trajectory PR2..PR8\",\n  \"trajectory\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"headline trajectory PR2..PR9\",\n  \"trajectory\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     )
 }
@@ -156,10 +167,10 @@ mod tests {
     #[test]
     fn missing_inputs_become_missing_rows_not_panics() {
         let doc = trajectory_doc(&TrajectoryInputs::default());
-        for pr in 2..=8 {
+        for pr in 2..=9 {
             assert!(doc.contains(&format!("\"pr\": {pr}, ")), "{doc}");
         }
-        assert_eq!(doc.matches("\"missing\": true").count(), 7, "{doc}");
+        assert_eq!(doc.matches("\"missing\": true").count(), 8, "{doc}");
         assert!(doc.contains("\"peak_flows\": null"), "{doc}");
         assert!(doc.contains("\"recv_kbps_failover\": null"), "{doc}");
     }
@@ -212,6 +223,21 @@ mod tests {
         assert!(doc.contains("\"corrected_p999_ns\": 4194303.000"), "{doc}");
         assert!(doc.contains("\"gc_pause_max_ns\": 3871.000"), "{doc}");
         assert!(doc.contains("\"seg_per_sec\": 250000.000"), "{doc}");
+    }
+
+    #[test]
+    fn pr9_headline_fields_are_extracted() {
+        let pr9 = "{\n  \"overhead\": {\"ratio\": 1.013},\n  \
+                   \"failover\": {\"mttr_ms\": 61.2},\n  \
+                   \"reprovision\": {\"restored_ms\": 94.7}\n}";
+        let inputs = TrajectoryInputs {
+            pr9: Some(pr9.to_string()),
+            ..TrajectoryInputs::default()
+        };
+        let doc = trajectory_doc(&inputs);
+        assert!(doc.contains("\"chain_overhead_ratio\": 1.013"), "{doc}");
+        assert!(doc.contains("\"mttr_ms\": 61.200"), "{doc}");
+        assert!(doc.contains("\"restored_ms\": 94.700"), "{doc}");
     }
 
     #[test]

@@ -33,18 +33,41 @@
 //! * **tail dies** → its upstream applies §6 (flush + Δ-adjusted
 //!   pass-through) while continuing to divert upstream: one link
 //!   shorter, same protocol.
+//!
+//! # The PR9 control plane
+//!
+//! [`ChainController`] replaces the seed-era binary heartbeat with the
+//! PR8 health machinery: every peer gets a [`HealthMonitor`] fed from
+//! v1 heartbeats (RTT echo, seq gaps → loss) and silence-derived miss
+//! counts. Promotion is a small state machine with
+//! *audit-log-before-act* ordering — the decision is journaled and
+//! recorded on the invariant auditor **before** the topology mutates —
+//! and an *abort-if-standby-unhealthy* veto: a successor whose own
+//! composite score is below threshold refuses the VIP (journaled as an
+//! alert) until either its score recovers or a forced-promotion grace
+//! elapses (a chain with no head at all is worse than a shaky head).
+//! After any takeover the chain can be re-provisioned — see
+//! [`crate::reprovision`].
 
-use crate::designation::FailoverConfig;
-use crate::detector::DetectorConfig;
-use crate::primary::{PrimaryBridge, PrimaryMode};
+use crate::designation::{ConnKey, FailoverConfig};
+use crate::detector::{DetectorConfig, HB_RING, HEARTBEAT_V1_LEN};
+use crate::flow::{FlowState, FlowTableConfig, ShardStats};
+use crate::primary::{ConnRow, PrimaryBridge, PrimaryMode};
+use crate::reprovision::FlowHandoff;
 use crate::secondary::SecondaryBridge;
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use std::any::Any;
 use tcpfo_net::time::SimTime;
-use tcpfo_tcp::filter::{AddressedSegment, FailoverRule, FilterOutput, SegmentFilter};
+use tcpfo_net::ShardExecutor;
+use tcpfo_tcp::filter::{AddressedSegment, BatchDir, FailoverRule, FilterOutput, SegmentFilter};
 use tcpfo_tcp::host::{HostController, HostServices};
+use tcpfo_telemetry::{
+    Counter, FailoverPhase, HealthConfig, HealthMonitor, HealthObservatory, HealthScore,
+    InvariantAuditor, LatencyObservatory, StageLatency, Telemetry,
+};
+use tcpfo_wire::checksum::ChecksumDelta;
 use tcpfo_wire::ipv4::{Ipv4Addr, PROTO_HEARTBEAT};
-use tcpfo_wire::tcp::{SegmentPatcher, TcpView};
+use tcpfo_wire::tcp::{SegmentPatcher, OPT_KIND_ORIG_DEST, TCP_HEADER_LEN};
 
 /// Counters for the chain-specific plumbing.
 #[derive(Debug, Default, Clone)]
@@ -53,9 +76,21 @@ pub struct ChainStats {
     pub diverted_upstream: u64,
     /// Client datagrams rewritten `vip → own` for the local stack.
     pub ingress_rewrites: u64,
+    /// Segments that could not carry the orig-dest option (no header
+    /// room) and were forwarded undiverted. Zero in practice — the
+    /// merge bridge never emits more than 12 option bytes.
+    pub divert_fallbacks: u64,
+    /// Flows adopted from a reprovisioning handoff.
+    pub adopted_flows: u64,
 }
 
 /// The bridge run by the head and every middle link of a daisy chain.
+///
+/// Since PR9 this is a thin, allocation-free routing shell over the
+/// PR4/PR8-era [`PrimaryBridge`]: per-connection state lives in the
+/// sharded `FlowTable`, and the auditor / latency / health
+/// observatories attach through the same `Option<Box<...>>` points —
+/// one branch when detached.
 ///
 /// # Example
 ///
@@ -88,6 +123,19 @@ pub struct ChainBridge {
     inner: PrimaryBridge,
     /// Chain-specific counters.
     pub stats: ChainStats,
+    /// Recycled staging area for the inner bridge's output, so the
+    /// per-segment path never constructs a fresh `FilterOutput`.
+    scratch: FilterOutput,
+    /// Recycled buffer for diverted segments (the option insertion
+    /// grows the segment by 8 bytes, which would force the shared
+    /// `BytesMut` behind a [`SegmentPatcher`] to reallocate).
+    divert_buf: BytesMut,
+    /// Telemetry hub, for the first-client-byte timeline mark after a
+    /// promotion.
+    hub: Option<Telemetry>,
+    /// Set on promotion: the next client-bound payload release marks
+    /// [`FailoverPhase::FirstClientByte`].
+    watch_first_byte: bool,
 }
 
 impl ChainBridge {
@@ -111,6 +159,10 @@ impl ChainBridge {
             downstream,
             inner,
             stats: ChainStats::default(),
+            scratch: FilterOutput::empty(),
+            divert_buf: BytesMut::with_capacity(2048),
+            hub: None,
+            watch_first_byte: false,
         }
     }
 
@@ -119,11 +171,128 @@ impl ChainBridge {
         &self.inner
     }
 
+    /// Mutable access to the merge machinery.
+    pub fn inner_mut(&mut self) -> &mut PrimaryBridge {
+        &mut self.inner
+    }
+
+    // -----------------------------------------------------------------
+    // Observatory attach points (all delegate to the merge bridge, so a
+    // chain link is inspectable exactly like a pair bridge)
+    // -----------------------------------------------------------------
+
     /// Attaches (or detaches) the online invariant auditor on the
     /// inner merge bridge.
-    pub fn set_audit(&mut self, audit: Option<Box<tcpfo_telemetry::InvariantAuditor>>) {
+    pub fn set_audit(&mut self, audit: Option<Box<InvariantAuditor>>) {
         self.inner.set_audit(audit);
     }
+
+    /// The attached auditor, if any.
+    pub fn audit(&self) -> Option<&InvariantAuditor> {
+        self.inner.audit()
+    }
+
+    /// Mutable access to the attached auditor.
+    pub fn audit_mut(&mut self) -> Option<&mut InvariantAuditor> {
+        self.inner.audit_mut()
+    }
+
+    /// Attaches (or detaches) the latency observatory.
+    pub fn set_latency(&mut self, latency: Option<Box<LatencyObservatory>>) {
+        self.inner.set_latency(latency);
+    }
+
+    /// The attached latency observatory, if any.
+    pub fn latency(&self) -> Option<&LatencyObservatory> {
+        self.inner.latency()
+    }
+
+    /// Mutable access to the attached latency observatory.
+    pub fn latency_mut(&mut self) -> Option<&mut LatencyObservatory> {
+        self.inner.latency_mut()
+    }
+
+    /// Attaches (or detaches) the health observatory (replication-lag
+    /// ledger).
+    pub fn set_health(&mut self, health: Option<Box<HealthObservatory>>) {
+        self.inner.set_health(health);
+    }
+
+    /// The attached health observatory, if any.
+    pub fn health(&self) -> Option<&HealthObservatory> {
+        self.inner.health()
+    }
+
+    /// Mutable access to the attached health observatory.
+    pub fn health_mut(&mut self) -> Option<&mut HealthObservatory> {
+        self.inner.health_mut()
+    }
+
+    /// Connects the telemetry hub: the inner bridge publishes its
+    /// gauges, and this link stamps the first-client-byte mark after a
+    /// promotion.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.hub = Some(telemetry.clone());
+        self.inner.set_telemetry(telemetry);
+    }
+
+    /// Publishes bridge state to the attached hub (host-tick path).
+    pub fn sync_telemetry(&mut self, now_nanos: u64) {
+        self.inner.sync_telemetry(now_nanos);
+    }
+
+    // -----------------------------------------------------------------
+    // Flow-table surface (PR4), delegated
+    // -----------------------------------------------------------------
+
+    /// Replaces the flow-table configuration, migrating live flows.
+    pub fn set_flow_config(&mut self, config: FlowTableConfig) {
+        self.inner.set_flow_config(config);
+    }
+
+    /// Live (queue-bearing) connections.
+    pub fn conn_count(&self) -> usize {
+        self.inner.conn_count()
+    }
+
+    /// All tracked flows (live + tombstones).
+    pub fn flow_count(&self) -> usize {
+        self.inner.flow_count()
+    }
+
+    /// Aggregate flow-table statistics.
+    pub fn flow_stats(&self) -> ShardStats {
+        self.inner.flow_stats()
+    }
+
+    /// Per-shard flow-table statistics.
+    pub fn flow_shard_stats(&self) -> Vec<ShardStats> {
+        self.inner.flow_shard_stats()
+    }
+
+    /// Total flow-table capacity.
+    pub fn flow_capacity(&self) -> usize {
+        self.inner.flow_capacity()
+    }
+
+    /// Number of flow-table shards.
+    pub fn flow_shard_count(&self) -> usize {
+        self.inner.flow_shard_count()
+    }
+
+    /// Lifecycle state of one flow, if tracked.
+    pub fn flow_state(&self, key: &ConnKey) -> Option<FlowState> {
+        self.inner.flow_state(key)
+    }
+
+    /// Snapshot of per-connection merge state (dashboards, tests).
+    pub fn connection_rows(&self) -> Vec<ConnRow> {
+        self.inner.connection_rows()
+    }
+
+    // -----------------------------------------------------------------
+    // Topology
+    // -----------------------------------------------------------------
 
     /// Whether this link is currently the head.
     pub fn is_head(&self) -> bool {
@@ -131,9 +300,12 @@ impl ChainBridge {
     }
 
     /// Head promotion: stop diverting; merged output now goes straight
-    /// to the client (the controller performs the IP takeover).
+    /// to the client (the controller performs the IP takeover). The
+    /// next client-bound payload release stamps the §5 timeline's
+    /// first-client-byte phase.
     pub fn promote_to_head(&mut self) {
         self.upstream = None;
+        self.watch_first_byte = true;
     }
 
     /// Re-targets the upstream neighbour (healing after a middle dies).
@@ -151,65 +323,179 @@ impl ChainBridge {
     /// §6 at this link: the downstream (and everything below it) is
     /// gone. Flush and degrade to Δ-adjusted pass-through; the returned
     /// output must be dispatched.
-    pub fn downstream_failed(&mut self, now_nanos: u64) -> FilterOutput {
-        let out = self.inner.secondary_failed(now_nanos);
-        self.adapt(out)
+    pub fn downstream_failed(&mut self, now: SimTime) -> FilterOutput {
+        let now_nanos = now.as_nanos();
+        let mut inner_out = self.inner.secondary_failed(now_nanos);
+        let mut out = FilterOutput::empty();
+        self.adapt_into(&mut inner_out, now_nanos, &mut out);
+        out
     }
+
+    /// Adopts a reprovisioning flow handoff into the merge bridge: the
+    /// flow enters `Replicated` at the handoff's Δseq and cursor, its
+    /// primary output queue empty — subsequent local output buffers
+    /// until the new tail's diverted stream matches it (catch-up).
+    pub fn adopt_flow(&mut self, handoff: &FlowHandoff, now_nanos: u64) {
+        self.inner.adopt_flow(handoff, now_nanos);
+        self.stats.adopted_flows += 1;
+    }
+
+    /// Batch entry point (open-loop load): the inner bridge fans the
+    /// batch across its shards, then each output is routed through the
+    /// chain adaptation exactly like the per-segment path.
+    pub fn process_batch(
+        &mut self,
+        batch: Vec<(BatchDir, AddressedSegment)>,
+        now_nanos: u64,
+        exec: &ShardExecutor,
+    ) -> Vec<FilterOutput> {
+        let outs = self.inner.process_batch(batch, now_nanos, exec);
+        outs.into_iter()
+            .map(|mut o| {
+                let mut adapted = FilterOutput::empty();
+                self.adapt_into(&mut o, now_nanos, &mut adapted);
+                adapted
+            })
+            .collect()
+    }
+
+    // -----------------------------------------------------------------
+    // The chain adaptation (hot path)
+    // -----------------------------------------------------------------
 
     /// Routes the inner bridge's output through the chain: client-
     /// facing emissions are diverted upstream (unless we are the
     /// head); local deliveries are rewritten to our own address.
-    fn adapt(&mut self, out: FilterOutput) -> FilterOutput {
-        let mut adapted = FilterOutput::empty();
-        for seg in out.to_wire {
+    /// Drains `from` in place — no allocation on the steady-state
+    /// path.
+    fn adapt_into(&mut self, from: &mut FilterOutput, now_nanos: u64, out: &mut FilterOutput) {
+        for seg in from.to_wire.drain(..) {
             let divert = match self.upstream {
                 Some(up) if seg.dst != self.downstream => Some(up),
                 _ => None,
             };
             match divert {
-                Some(up) => {
-                    let Ok(view) = TcpView::new(&seg.bytes) else {
-                        adapted.to_wire.push(seg);
-                        continue;
-                    };
-                    let orig_port = view.dst_port();
-                    let mut p = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
-                    p.push_orig_dest_option(seg.dst, orig_port);
-                    if seg.src == self.vip {
-                        p.set_pseudo_src(self.own);
+                Some(up) => self.divert_up(seg, up, out),
+                None => {
+                    if self.watch_first_byte
+                        && seg.dst != self.downstream
+                        && payload_len(&seg.bytes) > 0
+                    {
+                        self.watch_first_byte = false;
+                        if let Some(hub) = &self.hub {
+                            hub.timeline.mark(FailoverPhase::FirstClientByte, now_nanos);
+                        }
                     }
-                    p.set_pseudo_dst(up);
-                    let (bytes, src, dst) = p.finish();
-                    self.stats.diverted_upstream += 1;
-                    adapted.to_wire.push(AddressedSegment::new(src, dst, bytes));
+                    out.to_wire.push(seg);
                 }
-                None => adapted.to_wire.push(seg),
             }
         }
-        for seg in out.to_tcp {
+        for seg in from.to_tcp.drain(..) {
             if seg.dst == self.vip && self.own != self.vip {
                 let mut p = SegmentPatcher::new(seg.bytes, seg.src, seg.dst);
                 p.set_pseudo_dst(self.own);
                 let (bytes, src, dst) = p.finish();
                 self.stats.ingress_rewrites += 1;
-                adapted.to_tcp.push(AddressedSegment::new(src, dst, bytes));
+                out.to_tcp.push(AddressedSegment::new(src, dst, bytes));
             } else {
-                adapted.to_tcp.push(seg);
+                out.to_tcp.push(seg);
             }
         }
-        adapted
     }
+
+    /// Diverts one merged segment to the upstream neighbour: append
+    /// the orig-dest option, patch data offset / pseudo length /
+    /// addresses with RFC 1624 deltas, and assemble into the recycled
+    /// divert buffer. A [`SegmentPatcher`] would reallocate here — the
+    /// option grows the segment past the exact-capacity buffer the
+    /// merge bridge emitted — so the splice is done by hand.
+    fn divert_up(&mut self, seg: AddressedSegment, up: Ipv4Addr, out: &mut FilterOutput) {
+        let bytes: &[u8] = &seg.bytes;
+        let len = bytes.len();
+        if len < TCP_HEADER_LEN {
+            out.to_wire.push(seg);
+            return;
+        }
+        let header_len = usize::from(bytes[12] >> 4) * 4;
+        if header_len < TCP_HEADER_LEN || header_len > len || header_len + 8 > 60 {
+            self.stats.divert_fallbacks += 1;
+            out.to_wire.push(seg);
+            return;
+        }
+
+        // The 8-byte orig-dest option: kind, len, client IP, client port.
+        let d = seg.dst.octets();
+        let opt = [
+            OPT_KIND_ORIG_DEST,
+            8,
+            d[0],
+            d[1],
+            d[2],
+            d[3],
+            bytes[2], // dst port, already big-endian on the wire
+            bytes[3],
+        ];
+
+        let mut delta = ChecksumDelta::new();
+        // New words: the option itself (inserted at header_len, an even
+        // offset, so parity of everything after it is preserved).
+        delta.append_bytes(&opt);
+        // Data offset grows by two words.
+        let old_word = u16::from_be_bytes([bytes[12], bytes[13]]);
+        let new_word = ((u16::from(bytes[12] >> 4) + 2) << 12) | (old_word & 0x0fff);
+        delta.replace_u16(old_word, new_word);
+        // Pseudo-header TCP length grows by the option.
+        delta.replace_u16(len as u16, (len + 8) as u16);
+        // Pseudo-header addresses: destination becomes the upstream
+        // replica; a VIP-stamped source is rewritten to our own address
+        // (the head re-stamps the VIP on final release).
+        let src = if seg.src == self.vip {
+            delta.replace_u32(u32::from(self.vip), u32::from(self.own));
+            self.own
+        } else {
+            seg.src
+        };
+        delta.replace_u32(u32::from(seg.dst), u32::from(up));
+        let new_ck = delta.apply(u16::from_be_bytes([bytes[16], bytes[17]]));
+
+        let buf = &mut self.divert_buf;
+        buf.reserve(len + 8);
+        buf.extend_from_slice(&bytes[..12]);
+        buf.extend_from_slice(&new_word.to_be_bytes());
+        buf.extend_from_slice(&bytes[14..16]);
+        buf.extend_from_slice(&new_ck.to_be_bytes());
+        buf.extend_from_slice(&bytes[18..header_len]);
+        buf.extend_from_slice(&opt);
+        buf.extend_from_slice(&bytes[header_len..]);
+        let diverted = buf.split().freeze();
+
+        self.stats.diverted_upstream += 1;
+        out.to_wire.push(AddressedSegment::new(src, up, diverted));
+    }
+}
+
+/// TCP payload length of raw segment bytes (0 when malformed).
+fn payload_len(bytes: &[u8]) -> usize {
+    if bytes.len() < TCP_HEADER_LEN {
+        return 0;
+    }
+    let header_len = usize::from(bytes[12] >> 4) * 4;
+    bytes.len().saturating_sub(header_len.max(TCP_HEADER_LEN))
 }
 
 impl SegmentFilter for ChainBridge {
     fn on_outbound_into(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
-        let inner_out = self.inner.on_outbound(seg, now_nanos);
-        out.extend(self.adapt(inner_out));
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.inner.on_outbound_into(seg, now_nanos, &mut scratch);
+        self.adapt_into(&mut scratch, now_nanos, out);
+        self.scratch = scratch; // keep the capacity for the next call
     }
 
     fn on_inbound_into(&mut self, seg: AddressedSegment, now_nanos: u64, out: &mut FilterOutput) {
-        let inner_out = self.inner.on_inbound(seg, now_nanos);
-        out.extend(self.adapt(inner_out));
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.inner.on_inbound_into(seg, now_nanos, &mut scratch);
+        self.adapt_into(&mut scratch, now_nanos, out);
+        self.scratch = scratch;
     }
 
     fn on_tick(&mut self, now_nanos: u64) {
@@ -218,6 +504,10 @@ impl SegmentFilter for ChainBridge {
 
     fn designate(&mut self, rule: FailoverRule) {
         self.inner.designate(rule);
+    }
+
+    fn latency_stages(&self) -> Option<&StageLatency> {
+        self.inner.latency_stages()
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -236,25 +526,100 @@ impl std::fmt::Debug for ChainBridge {
     }
 }
 
+// ---------------------------------------------------------------------
+// The control plane
+// ---------------------------------------------------------------------
+
+/// Where the promotion state machine stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TakeoverState {
+    /// Following a live head.
+    Following,
+    /// This replica is next in line but its own health score is below
+    /// the promotion threshold; the takeover is on hold (retried every
+    /// tick, forced after the grace period).
+    Vetoed,
+    /// This replica promoted itself to head.
+    Promoted,
+}
+
+/// Per-peer heartbeat tracking: the PR8 monitor plus the v1 protocol
+/// state (seq expectations for loss, last seq for the RTT echo).
+struct PeerTracker {
+    monitor: Box<HealthMonitor>,
+    /// Next seq expected from this peer; gaps feed the loss signal.
+    expected_seq: Option<u64>,
+    /// Latest seq received and when, echoed back on our next send.
+    echo: Option<(u64, SimTime)>,
+}
+
+impl PeerTracker {
+    fn new(cfg: HealthConfig) -> Self {
+        PeerTracker {
+            monitor: Box::new(HealthMonitor::new(cfg)),
+            expected_seq: None,
+            echo: None,
+        }
+    }
+}
+
+/// Registry handles for one chain controller, under `core.chain`.
+struct ChainInstruments {
+    hub: Telemetry,
+    scope: &'static str,
+    heartbeats_sent: Counter,
+    heartbeats_received: Counter,
+    promotions: Counter,
+    vetoes: Counter,
+}
+
+/// Multiples of the detector timeout a vetoed promotion waits before
+/// it is forced: a headless chain serves nobody, so an unhealthy
+/// successor eventually takes the VIP anyway (journaled as forced).
+const FORCED_PROMOTION_GRACE: u32 = 3;
+
 /// Fault detection and healing for one replica of a daisy chain.
 ///
-/// Every replica heartbeats every other; when a peer goes silent past
-/// the timeout it is declared dead and this replica recomputes its
-/// neighbours among the living. (Like the paper's two-node system, one
-/// failure is handled at a time; concurrent failures heal sequentially
-/// as they are detected.)
+/// Every replica heartbeats every other with the v1 payload (seq + RTT
+/// echo); each peer is scored by a [`HealthMonitor`] and declared dead
+/// when silence exceeds the detector timeout — by which point its
+/// composite score has bottomed out (the liveness axis scales the
+/// total, and `miss_limit = timeout / interval`). Like the paper's
+/// two-node system, one failure is handled at a time; concurrent
+/// failures heal sequentially as they are detected.
 pub struct ChainController {
     /// Replica addresses, head first. `chain[0]` owns the VIP at start.
     chain: Vec<Ipv4Addr>,
     my_index: usize,
     config: DetectorConfig,
+    health_cfg: HealthConfig,
+    /// Composite self-score below which promotion is vetoed.
+    promote_threshold: u64,
     alive: Vec<bool>,
     last_heard: Vec<Option<SimTime>>,
+    trackers: Vec<PeerTracker>,
     next_send: SimTime,
+    /// Global heartbeat sequence (one per send round, shared across
+    /// peers; the ring maps an echoed seq back to its send time).
+    send_seq: u64,
+    hb_ring: [(u64, SimTime); HB_RING],
+    /// This replica's own health (RTT samples from echoes, backlog
+    /// from the local bridge) — the abort-if-standby-unhealthy input.
+    self_monitor: Box<HealthMonitor>,
+    state: TakeoverState,
+    /// When the first veto of the pending promotion happened.
+    vetoed_since: Option<SimTime>,
+    /// Re-run reconfigure on the next tick (vetoed promotion retry).
+    pending_reconfigure: bool,
+    telemetry: Option<ChainInstruments>,
     /// When this replica promoted itself to head, if it did.
     pub promoted_at: Option<SimTime>,
     /// Heartbeats sent.
     pub heartbeats_sent: u64,
+    /// Heartbeats received.
+    pub heartbeats_received: u64,
+    /// Times a promotion was vetoed on self-health.
+    pub promotions_vetoed: u64,
 }
 
 impl ChainController {
@@ -268,21 +633,113 @@ impl ChainController {
         assert!(chain.len() >= 2, "a chain needs at least two replicas");
         assert!(my_index < chain.len());
         let n = chain.len();
+        let health_cfg = crate::testbed::health_config(&config);
         ChainController {
             chain,
             my_index,
             config,
+            health_cfg,
+            promote_threshold: health_cfg.crit_enter,
             alive: vec![true; n],
             last_heard: vec![None; n],
+            trackers: (0..n).map(|_| PeerTracker::new(health_cfg)).collect(),
             next_send: SimTime::ZERO,
+            send_seq: 0,
+            hb_ring: [(u64::MAX, SimTime::ZERO); HB_RING],
+            self_monitor: Box::new(HealthMonitor::new(health_cfg)),
+            state: TakeoverState::Following,
+            vetoed_since: None,
+            pending_reconfigure: false,
+            telemetry: None,
             promoted_at: None,
             heartbeats_sent: 0,
+            heartbeats_received: 0,
+            promotions_vetoed: 0,
         }
     }
 
     /// The VIP this chain serves.
     pub fn vip(&self) -> Ipv4Addr {
         self.chain[0]
+    }
+
+    /// Current promotion state.
+    pub fn takeover_state(&self) -> TakeoverState {
+        self.state
+    }
+
+    /// This replica's own composite health score (the promotion gate's
+    /// input).
+    pub fn self_score(&self) -> HealthScore {
+        self.self_monitor.score()
+    }
+
+    /// The health score of peer `i`, if tracked.
+    pub fn peer_score(&self, i: usize) -> Option<HealthScore> {
+        (i < self.trackers.len() && i != self.my_index).then(|| self.trackers[i].monitor.score())
+    }
+
+    /// Whether peer `i` is currently considered alive.
+    pub fn peer_alive(&self, i: usize) -> bool {
+        self.alive.get(i).copied().unwrap_or(false)
+    }
+
+    /// Number of replicas this controller knows about.
+    pub fn chain_len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Overrides the promotion veto threshold (composite score below
+    /// which this replica refuses the VIP). Default: the health
+    /// config's `crit_enter` band.
+    pub fn set_promote_threshold(&mut self, threshold: u64) {
+        self.promote_threshold = threshold;
+    }
+
+    /// Registers a freshly reprovisioned replica appended to the
+    /// chain's tail end: it is tracked, heartbeated and scored like
+    /// any founding member.
+    pub fn append_replica(&mut self, addr: Ipv4Addr) {
+        self.chain.push(addr);
+        self.alive.push(true);
+        self.last_heard.push(None);
+        self.trackers.push(PeerTracker::new(self.health_cfg));
+    }
+
+    /// Pre-marks a peer as dead (a reprovisioned replica joining an
+    /// already-degraded chain must not wait a full timeout to learn
+    /// what the survivors already know).
+    pub fn set_peer_dead(&mut self, addr: Ipv4Addr) {
+        if let Some(i) = self.chain.iter().position(|&a| a == addr) {
+            self.alive[i] = false;
+        }
+    }
+
+    /// Connects the controller to a telemetry hub: heartbeat and
+    /// promotion counters under `core.chain`, journal entries for
+    /// every liveness/promotion event, and §5 timeline marks.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        let scope = telemetry.registry.scope("core.chain");
+        self.telemetry = Some(ChainInstruments {
+            hub: telemetry.clone(),
+            scope: "core.chain",
+            heartbeats_sent: scope.counter("heartbeats_sent"),
+            heartbeats_received: scope.counter("heartbeats_received"),
+            promotions: scope.counter("promotions"),
+            vetoes: scope.counter("promotions_vetoed"),
+        });
+    }
+
+    fn journal(&self, now: SimTime, kind: &str, fields: &[(&str, String)]) {
+        if let Some(t) = &self.telemetry {
+            t.hub.journal.record(now.as_nanos(), t.scope, kind, fields);
+        }
+    }
+
+    fn mark(&self, phase: FailoverPhase, now: SimTime) {
+        if let Some(t) = &self.telemetry {
+            t.hub.timeline.mark(phase, now.as_nanos());
+        }
     }
 
     fn nearest_alive_up(&self) -> Option<usize> {
@@ -293,6 +750,48 @@ impl ChainController {
         (self.my_index + 1..self.chain.len()).find(|&i| self.alive[i])
     }
 
+    /// The abort-if-standby-unhealthy gate. `Some(forced)` allows the
+    /// promotion (`forced` when the grace expired with the score still
+    /// low); `None` vetoes it for now.
+    fn promotion_gate(&mut self, now: SimTime) -> Option<bool> {
+        let score = self.self_monitor.score().total;
+        if score >= self.promote_threshold {
+            self.vetoed_since = None;
+            return Some(false);
+        }
+        let since = *self.vetoed_since.get_or_insert(now);
+        let grace = tcpfo_net::time::SimDuration::from_nanos(
+            self.config.timeout.as_nanos() * u64::from(FORCED_PROMOTION_GRACE),
+        );
+        if now.duration_since(since) >= grace {
+            self.journal(
+                now,
+                "chain.promotion_forced",
+                &[
+                    ("score", score.to_string()),
+                    ("threshold", self.promote_threshold.to_string()),
+                ],
+            );
+            return Some(true);
+        }
+        if self.state != TakeoverState::Vetoed {
+            self.state = TakeoverState::Vetoed;
+        }
+        self.promotions_vetoed += 1;
+        if let Some(t) = &self.telemetry {
+            t.vetoes.inc();
+        }
+        self.journal(
+            now,
+            "chain.promotion_vetoed",
+            &[
+                ("score", score.to_string()),
+                ("threshold", self.promote_threshold.to_string()),
+            ],
+        );
+        None
+    }
+
     /// Applies the current liveness view to the bridge and the host.
     fn reconfigure(&mut self, services: &mut HostServices<'_, '_>) {
         let vip = self.vip();
@@ -300,6 +799,39 @@ impl ChainController {
         let down = self.nearest_alive_down().map(|i| self.chain[i]);
         let now = services.now;
         let now_nanos = now.as_nanos();
+
+        // Promotion pre-check: would the topology change make us head?
+        let wants_promotion = up.is_none()
+            && self.promoted_at.is_none()
+            && match services.filter.as_any_mut().downcast_mut::<ChainBridge>() {
+                Some(cb) => !cb.is_head(),
+                None => true, // tail: §5 takeover of the last survivor
+            };
+        let promote = if wants_promotion {
+            match self.promotion_gate(now) {
+                Some(forced) => {
+                    // Audit-log-before-act: the decision reaches the
+                    // journal before any topology mutation below.
+                    self.journal(
+                        now,
+                        "chain.promote",
+                        &[
+                            ("vip", vip.to_string()),
+                            ("score", self.self_monitor.score().total.to_string()),
+                            ("forced", forced.to_string()),
+                        ],
+                    );
+                    true
+                }
+                None => {
+                    // Vetoed: retry every tick until recovery or grace.
+                    self.pending_reconfigure = true;
+                    false
+                }
+            }
+        } else {
+            false
+        };
 
         // Phase 1: mutate the bridge, collecting host-side follow-ups.
         let mut flush: Option<FilterOutput> = None;
@@ -309,22 +841,27 @@ impl ChainController {
             match down {
                 Some(d) if d != chain_bridge.downstream => chain_bridge.set_downstream(d),
                 None if chain_bridge.inner.mode() == PrimaryMode::Normal => {
-                    flush = Some(chain_bridge.downstream_failed(now_nanos));
+                    flush = Some(chain_bridge.downstream_failed(now));
                 }
                 _ => {}
             }
             match up {
-                Some(u) => {
-                    if chain_bridge.upstream != Some(u) && !chain_bridge.is_head() {
-                        chain_bridge.set_upstream(u);
-                    }
+                Some(u) if chain_bridge.upstream != Some(u) && !chain_bridge.is_head() => {
+                    chain_bridge.set_upstream(u);
                 }
-                None => {
-                    if !chain_bridge.is_head() {
-                        chain_bridge.promote_to_head();
-                        take_vip = true;
+                None if promote => {
+                    // A middle link has no egress to hold and no
+                    // ingress translation to disable — both phases are
+                    // degenerate and stamped at the decision.
+                    self.mark(FailoverPhase::EgressHold, now);
+                    self.mark(FailoverPhase::TranslationOff, now);
+                    if let Some(aud) = chain_bridge.audit_mut() {
+                        aud.note_promotion_decision(now_nanos);
                     }
+                    chain_bridge.promote_to_head();
+                    take_vip = true;
                 }
+                _ => {}
             }
         } else if let Some(tail) = services
             .filter
@@ -332,20 +869,22 @@ impl ChainController {
             .downcast_mut::<SecondaryBridge>()
         {
             match up {
-                Some(u) => {
-                    if tail.upstream() != u {
-                        tail.set_upstream(u);
-                    }
+                Some(u) if tail.upstream() != u => {
+                    tail.set_upstream(u);
                 }
-                None => {
+                None if promote => {
                     // Last replica standing: the classic §5 takeover.
-                    if self.promoted_at.is_none() {
-                        tail.prepare_takeover();
-                        tail.complete_takeover();
-                        take_vip = true;
-                        rebind_own = true;
+                    if let Some(aud) = tail.audit_mut() {
+                        aud.note_promotion_decision(now_nanos);
                     }
+                    self.mark(FailoverPhase::EgressHold, now);
+                    tail.prepare_takeover();
+                    tail.complete_takeover();
+                    self.mark(FailoverPhase::TranslationOff, now);
+                    take_vip = true;
+                    rebind_own = true;
                 }
+                _ => {}
             }
         }
 
@@ -363,7 +902,59 @@ impl ChainController {
                 services.net.local_ips.push(vip);
             }
             services.net.gratuitous_arp(vip, services.ctx);
+            self.mark(FailoverPhase::ArpTakeover, now);
             self.promoted_at = Some(now);
+            self.state = TakeoverState::Promoted;
+            self.vetoed_since = None;
+            if let Some(t) = &self.telemetry {
+                t.promotions.inc();
+            }
+            // Commit record: checked against the decision stamp by the
+            // auditor's promotion-order rule.
+            self.journal(now, "chain.promoted", &[("vip", vip.to_string())]);
+            if let Some(cb) = services.filter.as_any_mut().downcast_mut::<ChainBridge>() {
+                if let Some(aud) = cb.audit_mut() {
+                    aud.note_promotion_committed(now_nanos);
+                }
+            } else if let Some(tail) = services
+                .filter
+                .as_any_mut()
+                .downcast_mut::<SecondaryBridge>()
+            {
+                if let Some(aud) = tail.audit_mut() {
+                    aud.note_promotion_committed(now_nanos);
+                }
+            }
+        }
+    }
+
+    /// Feeds the self-monitor from the local bridge: replication
+    /// backlog (the lag ledger, when the health observatory is
+    /// attached) and flow-table occupancy.
+    fn observe_self(&mut self, services: &mut HostServices<'_, '_>) {
+        self.self_monitor.replica.set_misses(0);
+        if let Some(cb) = services.filter.as_any_mut().downcast_mut::<ChainBridge>() {
+            if let Some(obs) = cb.health() {
+                let cap = cb.flow_capacity().max(1) as u64;
+                let occupancy_ppm = cb.flow_stats().occupancy * 1_000_000 / cap;
+                self.self_monitor.replica.observe_backlog(
+                    obs.lag.unmatched_bytes(),
+                    obs.lag.unmatched_segments(),
+                    occupancy_ppm,
+                );
+            }
+        } else if let Some(tail) = services
+            .filter
+            .as_any_mut()
+            .downcast_mut::<SecondaryBridge>()
+        {
+            if let Some(obs) = tail.health() {
+                self.self_monitor.replica.observe_backlog(
+                    obs.lag.unmatched_bytes(),
+                    obs.lag.unmatched_segments(),
+                    0,
+                );
+            }
         }
     }
 }
@@ -371,27 +962,84 @@ impl ChainController {
 impl HostController for ChainController {
     fn on_tick(&mut self, services: &mut HostServices<'_, '_>) {
         let now = services.now;
+        let now_ns = now.as_nanos();
         if now >= self.next_send {
-            for (i, &peer) in self.chain.iter().enumerate() {
-                if i != self.my_index && self.alive[i] {
-                    services.send_raw(PROTO_HEARTBEAT, peer, Bytes::from_static(b"HB"));
-                    self.heartbeats_sent += 1;
+            let seq = self.send_seq;
+            self.send_seq += 1;
+            self.hb_ring[(seq % HB_RING as u64) as usize] = (seq, now);
+            for i in 0..self.chain.len() {
+                if i == self.my_index || !self.alive[i] {
+                    continue;
                 }
+                let mut payload = Vec::with_capacity(HEARTBEAT_V1_LEN);
+                payload.extend_from_slice(b"HB");
+                payload.extend_from_slice(&seq.to_le_bytes());
+                let (echo_seq, hold_ns) = match self.trackers[i].echo {
+                    Some((pseq, rx_at)) => (pseq, now.duration_since(rx_at).as_nanos()),
+                    None => (u64::MAX, 0),
+                };
+                payload.extend_from_slice(&echo_seq.to_le_bytes());
+                payload.extend_from_slice(&hold_ns.to_le_bytes());
+                services.send_raw(PROTO_HEARTBEAT, self.chain[i], Bytes::from(payload));
+                self.heartbeats_sent += 1;
             }
             self.next_send = now + self.config.interval;
         }
+        if let Some(t) = &self.telemetry {
+            t.heartbeats_sent.set_at_least(self.heartbeats_sent);
+            t.heartbeats_received.set_at_least(self.heartbeats_received);
+        }
+
+        // Score every live peer: misses from silence, then one monitor
+        // tick; silence past the timeout declares death (the §2
+        // boundary the pair detector uses, at which point the score's
+        // liveness axis has already bottomed out).
+        let interval = self.config.interval.as_nanos().max(1);
         let mut changed = false;
         for i in 0..self.chain.len() {
             if i == self.my_index || !self.alive[i] {
                 continue;
             }
             let last = *self.last_heard[i].get_or_insert(now);
-            if now.duration_since(last) > self.config.timeout {
+            let silence = now.duration_since(last).as_nanos();
+            let misses = (silence / interval).min(u32::MAX as u64) as u32;
+            let tr = &mut self.trackers[i];
+            tr.monitor.replica.set_misses(misses);
+            let transition = tr.monitor.tick(now_ns);
+            let score = tr.monitor.score().total;
+            if let Some((from, to)) = transition {
+                self.journal(
+                    now,
+                    "chain.health_alert",
+                    &[
+                        ("peer", self.chain[i].to_string()),
+                        ("from", from.name().to_string()),
+                        ("to", to.name().to_string()),
+                        ("score", score.to_string()),
+                    ],
+                );
+            }
+            if silence > self.config.timeout.as_nanos() {
                 self.alive[i] = false;
                 changed = true;
+                self.mark(FailoverPhase::Detection, now);
+                self.journal(
+                    now,
+                    "chain.peer_dead",
+                    &[
+                        ("peer", self.chain[i].to_string()),
+                        ("score", score.to_string()),
+                        ("misses", misses.to_string()),
+                    ],
+                );
             }
         }
-        if changed {
+
+        // Our own score: the promotion gate's input.
+        self.observe_self(services);
+        self.self_monitor.tick(now_ns);
+
+        if changed || std::mem::take(&mut self.pending_reconfigure) {
             self.reconfigure(services);
         }
     }
@@ -400,14 +1048,62 @@ impl HostController for ChainController {
         &mut self,
         proto: u8,
         src: Ipv4Addr,
-        _payload: &[u8],
+        payload: &[u8],
         services: &mut HostServices<'_, '_>,
     ) {
-        if proto == PROTO_HEARTBEAT {
-            if let Some(i) = self.chain.iter().position(|&a| a == src) {
-                self.last_heard[i] = Some(services.now);
+        if proto != PROTO_HEARTBEAT {
+            return;
+        }
+        let Some(i) = self.chain.iter().position(|&a| a == src) else {
+            return;
+        };
+        let now = services.now;
+        self.last_heard[i] = Some(now);
+        if !self.alive[i] {
+            // A beat from a peer we already declared dead: count it as
+            // late, never trust it for liveness (its successor may own
+            // its duties by now; recovery goes through reprovisioning).
+            self.trackers[i].monitor.replica.on_late_heartbeat();
+            return;
+        }
+        self.heartbeats_received += 1;
+        // v1 payload: seq + RTT echo. Legacy (short) payloads are
+        // liveness-only.
+        if payload.len() >= HEARTBEAT_V1_LEN && &payload[..2] == b"HB" {
+            let word = |at: usize| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&payload[at..at + 8]);
+                u64::from_le_bytes(b)
+            };
+            let seq = word(2);
+            let echo_seq = word(10);
+            let hold_ns = word(18);
+            let tr = &mut self.trackers[i];
+            match tr.expected_seq {
+                Some(expected) if seq >= expected => {
+                    let lost = seq - expected;
+                    tr.monitor.replica.observe_loss(lost, lost + 1);
+                    tr.expected_seq = Some(seq + 1);
+                }
+                Some(_) => {} // reordered duplicate, not new loss
+                None => tr.expected_seq = Some(seq + 1),
+            }
+            tr.echo = Some((seq, now));
+            if echo_seq != u64::MAX {
+                let (ring_seq, sent_at) = self.hb_ring[(echo_seq % HB_RING as u64) as usize];
+                if ring_seq == echo_seq {
+                    let rtt = now
+                        .duration_since(sent_at)
+                        .as_nanos()
+                        .saturating_sub(hold_ns);
+                    self.trackers[i].monitor.replica.on_heartbeat_rtt(rtt);
+                    // Round trips we observe are also evidence about
+                    // our own links — the self-score's RTT axis.
+                    self.self_monitor.replica.on_heartbeat_rtt(rtt);
+                }
             }
         }
+        self.trackers[i].monitor.replica.on_heartbeat_seen();
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -421,6 +1117,7 @@ impl std::fmt::Debug for ChainController {
             .field("chain", &self.chain)
             .field("my_index", &self.my_index)
             .field("alive", &self.alive)
+            .field("state", &self.state)
             .finish()
     }
 }
@@ -507,6 +1204,7 @@ mod tests {
         assert_eq!(seg.mss(), Some(1100), "min MSS propagates up");
         assert_eq!(seg.orig_dest(), Some((A_C, 5555)), "orig-dest restored");
         assert_eq!(b.stats.diverted_upstream, 1);
+        assert_eq!(b.stats.divert_fallbacks, 0);
     }
 
     #[test]
@@ -677,5 +1375,105 @@ mod tests {
         assert_eq!(out.to_tcp[0].dst, VIP, "no rewrite at the head");
         assert!(b.is_head());
         assert_eq!(b.stats.ingress_rewrites, 0);
+    }
+
+    #[test]
+    fn manual_divert_matches_patcher() {
+        // The zero-alloc divert splice must be byte-identical to the
+        // SegmentPatcher reference path, header options included.
+        for seg in [
+            TcpSegment::builder(80, 5555)
+                .seq(9_000)
+                .ack(101)
+                .flags(TcpFlags::SYN)
+                .mss(1100)
+                .window(40_000)
+                .build(),
+            TcpSegment::builder(80, 5555)
+                .seq(9_001)
+                .ack(2_222)
+                .window(1)
+                .payload(Bytes::from_static(b"payload bytes here"))
+                .build(),
+            TcpSegment::builder(80, 5555)
+                .seq(u32::MAX - 1)
+                .ack(0)
+                .flags(TcpFlags::FIN)
+                .window(0xffff)
+                .build(),
+        ] {
+            // Reference: the patcher path the seed used.
+            let bytes = seg.encode(VIP, A_C).to_vec();
+            let mut p = SegmentPatcher::new(bytes, VIP, A_C);
+            p.push_orig_dest_option(A_C, 5555);
+            p.set_pseudo_src(B1);
+            p.set_pseudo_dst(VIP);
+            let (want_bytes, want_src, want_dst) = p.finish();
+
+            // Manual path, via a bridge whose vip/own/upstream match.
+            let mut b = middle();
+            let mut from = FilterOutput::empty();
+            from.to_wire
+                .push(AddressedSegment::new(VIP, A_C, seg.encode(VIP, A_C)));
+            let mut out = FilterOutput::empty();
+            b.adapt_into(&mut from, 0, &mut out);
+            assert_eq!(out.to_wire.len(), 1);
+            let got = &out.to_wire[0];
+            assert_eq!(got.src, want_src);
+            assert_eq!(got.dst, want_dst);
+            assert_eq!(&got.bytes[..], &want_bytes[..], "byte-identical splice");
+            assert!(verify_segment_checksum(got.src, got.dst, &got.bytes));
+        }
+    }
+
+    #[test]
+    fn downstream_failed_takes_sim_time() {
+        // Satellite fix: the §6 entry point speaks SimTime like the
+        // rest of core, and flushes through the chain adaptation.
+        let mut b = middle();
+        let out = b.downstream_failed(SimTime::ZERO + tcpfo_net::time::SimDuration::from_millis(5));
+        assert!(out.to_wire.is_empty());
+        assert_eq!(b.inner().mode(), PrimaryMode::SecondaryFailed);
+    }
+
+    #[test]
+    fn controller_scores_and_promotes() {
+        let chain = vec![VIP, B1, B2];
+        let mut c = ChainController::new(chain, 1, DetectorConfig::default());
+        assert_eq!(c.takeover_state(), TakeoverState::Following);
+        assert_eq!(c.vip(), VIP);
+        assert!(c.peer_alive(0));
+        // A fresh monitor presumes health: the gate allows promotion.
+        assert!(c.self_score().total >= c.promote_threshold);
+        assert_eq!(c.promotion_gate(SimTime::ZERO), Some(false));
+        // Raising the threshold above any possible score vetoes...
+        c.set_promote_threshold(101);
+        let t0 = SimTime::ZERO;
+        assert_eq!(c.promotion_gate(t0), None);
+        assert_eq!(c.takeover_state(), TakeoverState::Vetoed);
+        assert_eq!(c.promotions_vetoed, 1);
+        // ...until the forced-promotion grace elapses.
+        let later = t0
+            + tcpfo_net::time::SimDuration::from_nanos(
+                DetectorConfig::default().timeout.as_nanos()
+                    * u64::from(FORCED_PROMOTION_GRACE + 1),
+            );
+        assert_eq!(c.promotion_gate(later), Some(true), "forced past grace");
+    }
+
+    #[test]
+    fn append_replica_and_set_peer_dead() {
+        let b3 = Ipv4Addr::new(10, 0, 0, 5);
+        let mut c = ChainController::new(vec![VIP, B1, B2], 2, DetectorConfig::default());
+        assert_eq!(c.chain_len(), 3);
+        c.append_replica(b3);
+        assert_eq!(c.chain_len(), 4);
+        assert!(c.peer_alive(3));
+        assert!(c.peer_score(3).is_some());
+        c.set_peer_dead(VIP);
+        assert!(!c.peer_alive(0));
+        // nearest_alive_up skips the dead head.
+        assert_eq!(c.nearest_alive_up(), Some(1));
+        assert_eq!(c.nearest_alive_down(), Some(3));
     }
 }

@@ -6,10 +6,30 @@
 //!                        │        │ChainBridge│Chain│  │Secondary│
 //!                        └── all replicas snoop promiscuously ──┘
 //! ```
+//!
+//! Since PR9 the testbed carries the chain's full observability and
+//! reprovisioning surface:
+//!
+//! * every replica gets its **own** telemetry hub (controllers publish
+//!   under `core.chain`, so sharing a registry would collide), with
+//!   the auditor / latency / health observatories attached per the
+//!   `TCPFO_AUDIT` / `TCPFO_LATENCY` / `TCPFO_HEALTH` knobs (or the
+//!   explicit [`ChainConfig`] overrides);
+//! * [`ChainTestbed::kill_replica`] stamps the §5 failure reference
+//!   point on every hub's timeline;
+//! * the reprovisioning primitives ([`ChainTestbed::spawn_standby`],
+//!   [`ChainTestbed::snapshot_handoffs`],
+//!   [`ChainTestbed::adopt_on_standby`],
+//!   [`ChainTestbed::convert_tail_to_middle`],
+//!   [`ChainTestbed::run_until_restored`]) implement the
+//!   [`crate::reprovision`] protocol; the application-level half
+//!   (resuming the deterministic stream) lives with the apps
+//!   (`tcpfo_apps::chain_ops`), which composes these primitives.
 
 use crate::chain::{ChainBridge, ChainController};
 use crate::designation::FailoverConfig;
 use crate::detector::DetectorConfig;
+use crate::reprovision::{FlowHandoff, ReprovisionPhase, ReprovisionTracker};
 use crate::secondary::SecondaryBridge;
 use crate::testbed::{addrs, macs};
 use tcpfo_net::hub::Hub;
@@ -19,6 +39,13 @@ use tcpfo_net::sim::{NodeId, Simulator};
 use tcpfo_net::time::SimDuration;
 use tcpfo_tcp::config::TcpConfig;
 use tcpfo_tcp::host::{spawn_host, CpuModel, Host, HostConfig};
+use tcpfo_tcp::types::SocketId;
+use tcpfo_telemetry::audit::env_audit_enabled;
+use tcpfo_telemetry::health::env_health_enabled;
+use tcpfo_telemetry::latency::env_latency_enabled;
+use tcpfo_telemetry::{
+    AuditConfig, FailoverPhase, HealthObservatory, InvariantAuditor, LatencyObservatory, Telemetry,
+};
 use tcpfo_wire::ipv4::Ipv4Addr;
 use tcpfo_wire::mac::MacAddr;
 
@@ -42,6 +69,16 @@ pub struct ChainConfig {
     pub tcp: TcpConfig,
     /// Host stack tick.
     pub tick: SimDuration,
+    /// Attach the invariant auditor to every bridge. `None` follows
+    /// the `TCPFO_AUDIT` environment knob; `Some(_)` overrides it.
+    pub audit: Option<bool>,
+    /// Attach the per-stage latency observatory to every bridge.
+    /// `None` follows the `TCPFO_LATENCY` knob; `Some(_)` overrides it.
+    pub latency: Option<bool>,
+    /// Attach the health observatory (replication-lag ledger) to every
+    /// bridge. `None` follows the `TCPFO_HEALTH` knob; `Some(_)`
+    /// overrides it.
+    pub health: Option<bool>,
 }
 
 impl Default for ChainConfig {
@@ -55,9 +92,15 @@ impl Default for ChainConfig {
             cpu: CpuModel::server_2003(),
             tcp: TcpConfig::default(),
             tick: SimDuration::from_millis(1),
+            audit: None,
+            latency: None,
+            health: None,
         }
     }
 }
+
+/// How many standby replicas the hub reserves ports for.
+const STANDBY_PORTS: usize = 2;
 
 /// The assembled chain testbed.
 pub struct ChainTestbed {
@@ -65,16 +108,32 @@ pub struct ChainTestbed {
     pub sim: Simulator,
     /// Client host.
     pub client: NodeId,
-    /// Replica hosts, head first (`replicas[0]` owns the VIP).
+    /// Replica hosts, head first (`replicas[0]` owns the VIP at
+    /// start). Grows when a standby is reprovisioned.
     pub replicas: Vec<NodeId>,
     /// Replica addresses, head first.
     pub replica_addrs: Vec<Ipv4Addr>,
+    /// Per-replica telemetry hubs, parallel to `replicas`.
+    pub hubs: Vec<Telemetry>,
+    /// Which replicas the testbed has killed.
+    pub dead: Vec<bool>,
     /// Router node.
     pub router: NodeId,
     /// Hub node.
     pub hub: NodeId,
     /// Built-from configuration.
     pub config: ChainConfig,
+    /// Reprovisioning bookkeeping (stamps every hub's redundancy
+    /// timeline).
+    pub tracker: ReprovisionTracker,
+    /// The replica index whose lag ledger proves catch-up (the old
+    /// tail converted to a middle link), once a round started.
+    catchup_link: Option<usize>,
+    /// Next free port on the shared-segment hub.
+    next_hub_port: usize,
+    audit_on: bool,
+    latency_on: bool,
+    health_on: bool,
 }
 
 impl ChainTestbed {
@@ -87,7 +146,9 @@ impl ChainTestbed {
     pub fn new(config: ChainConfig) -> Self {
         assert!((2..=200).contains(&config.replicas));
         let n = config.replicas;
-        let vip = addrs::A_P;
+        let audit_on = config.audit.unwrap_or_else(env_audit_enabled);
+        let latency_on = config.latency.unwrap_or_else(env_latency_enabled);
+        let health_on = config.health.unwrap_or_else(env_health_enabled);
         let replica_addrs: Vec<Ipv4Addr> = (0..n)
             .map(|i| Ipv4Addr::new(10, 0, 0, 2 + i as u8))
             .collect();
@@ -95,7 +156,13 @@ impl ChainTestbed {
             (0..n).map(|i| MacAddr::from_index(2 + i as u32)).collect();
 
         let mut sim = Simulator::new(config.seed);
-        let hub = sim.add_device(Box::new(Hub::new("segment", n + 1, 100_000_000)));
+        // One port per replica + the router uplink + headroom for
+        // reprovisioned standbys.
+        let hub = sim.add_device(Box::new(Hub::new(
+            "segment",
+            n + 1 + STANDBY_PORTS,
+            100_000_000,
+        )));
         let router = sim.add_device(Box::new(Router::new(
             "router",
             vec![
@@ -122,67 +189,128 @@ impl ChainTestbed {
         sim.connect((router, 0), (client, 0), config.client_link);
         sim.connect((hub, 0), (router, 1), LinkParams::attachment());
 
-        // Replicas, head first.
-        let mut replicas = Vec::new();
-        for i in 0..n {
-            let fo = FailoverConfig::from_ports(config.failover_ports.iter().copied());
-            let mut hc = HostConfig::new(&format!("replica{i}"), replica_macs[i], replica_addrs[i])
-                .with_gateway(addrs::GW_SERVER)
-                .with_tcp(
-                    config
-                        .tcp
-                        .clone()
-                        .with_isn_seed(config.seed ^ ((i as u64 + 2) << 32)),
-                );
-            hc.cpu = config.cpu;
-            hc.tick = config.tick;
-            // Everyone except the head must snoop.
-            hc.promiscuous = i != 0;
-            let mut host = Host::new(hc);
-            if i == n - 1 {
-                // The tail is a plain secondary, diverting to its
-                // neighbour toward the head.
-                let mut tail = SecondaryBridge::new(vip, replica_addrs[i], fo);
-                tail.set_upstream(replica_addrs[i - 1]);
-                host.set_filter(Box::new(tail));
-            } else {
-                let upstream = if i == 0 {
-                    None
-                } else {
-                    Some(replica_addrs[i - 1])
-                };
-                host.set_filter(Box::new(ChainBridge::new(
-                    vip,
-                    replica_addrs[i],
-                    upstream,
-                    replica_addrs[i + 1],
-                    fo,
-                )));
-            }
-            host.set_controller(Box::new(ChainController::new(
-                replica_addrs.clone(),
-                i,
-                config.detector,
-            )));
-            for &p in &config.failover_ports {
-                host.stack_mut().add_failover_port(p);
-            }
-            let id = spawn_host(&mut sim, host);
-            sim.connect((hub, i + 1), (id, 0), LinkParams::attachment());
-            replicas.push(id);
-        }
-
         let mut tb = ChainTestbed {
             sim,
             client,
-            replicas,
-            replica_addrs,
+            replicas: Vec::new(),
+            replica_addrs: replica_addrs.clone(),
+            hubs: Vec::new(),
+            dead: vec![false; n],
             router,
             hub,
             config,
+            tracker: ReprovisionTracker::new(),
+            catchup_link: None,
+            next_hub_port: 1,
+            audit_on,
+            latency_on,
+            health_on,
         };
+
+        // Replicas, head first.
+        for (i, mac) in replica_macs.iter().enumerate().take(n) {
+            let node = tb.spawn_replica(i, *mac);
+            tb.replicas.push(node);
+        }
+        tb.sim.set_telemetry(tb.hubs[0].clone());
         tb.prime_arp_caches();
         tb
+    }
+
+    /// Spawns replica `i` (address already in `replica_addrs`): bridge
+    /// by position (tail = [`SecondaryBridge`], everything else =
+    /// [`ChainBridge`]), observatories per the knobs, a fresh telemetry
+    /// hub, and a [`ChainController`] over the full chain. Wires the
+    /// host to the next free hub port.
+    fn spawn_replica(&mut self, i: usize, mac: MacAddr) -> NodeId {
+        let vip = addrs::A_P;
+        let n = self.replica_addrs.len();
+        let telemetry = Telemetry::from_env();
+        self.tracker.attach_timeline(telemetry.redundancy.clone());
+        let fo = FailoverConfig::from_ports(self.config.failover_ports.iter().copied());
+        let mut hc = HostConfig::new(&format!("replica{i}"), mac, self.replica_addrs[i])
+            .with_gateway(addrs::GW_SERVER)
+            .with_tcp(
+                self.config
+                    .tcp
+                    .clone()
+                    .with_isn_seed(self.config.seed ^ ((i as u64 + 2) << 32)),
+            );
+        hc.cpu = self.config.cpu;
+        hc.tick = self.config.tick;
+        // Everyone except the head must snoop.
+        hc.promiscuous = i != 0;
+        let mut host = Host::new(hc);
+        host.set_telemetry(&telemetry);
+        if i == n - 1 {
+            // The tail is a plain secondary, diverting to its
+            // neighbour toward the head.
+            let mut tail = SecondaryBridge::new(vip, self.replica_addrs[i], fo);
+            tail.set_upstream(self.replica_addrs[i - 1]);
+            tail.set_telemetry(&telemetry);
+            self.attach_secondary_observatories(&mut tail, &telemetry);
+            host.set_filter(Box::new(tail));
+        } else {
+            let upstream = if i == 0 {
+                None
+            } else {
+                Some(self.replica_addrs[i - 1])
+            };
+            let mut bridge = ChainBridge::new(
+                vip,
+                self.replica_addrs[i],
+                upstream,
+                self.replica_addrs[i + 1],
+                fo,
+            );
+            bridge.set_telemetry(&telemetry);
+            self.attach_chain_observatories(&mut bridge, &telemetry);
+            host.set_filter(Box::new(bridge));
+        }
+        let mut controller =
+            ChainController::new(self.replica_addrs.clone(), i, self.config.detector);
+        controller.set_telemetry(&telemetry);
+        host.set_controller(Box::new(controller));
+        for &p in &self.config.failover_ports {
+            host.stack_mut().add_failover_port(p);
+        }
+        let id = spawn_host(&mut self.sim, host);
+        self.sim.connect(
+            (self.hub, self.next_hub_port),
+            (id, 0),
+            LinkParams::attachment(),
+        );
+        self.next_hub_port += 1;
+        self.hubs.push(telemetry);
+        id
+    }
+
+    fn attach_chain_observatories(&self, bridge: &mut ChainBridge, telemetry: &Telemetry) {
+        if self.audit_on {
+            bridge.set_audit(Some(Box::new(
+                InvariantAuditor::new(AuditConfig::from_env("chain")).with_hub(telemetry),
+            )));
+        }
+        if self.latency_on {
+            bridge.set_latency(Some(Box::new(LatencyObservatory::new())));
+        }
+        if self.health_on {
+            bridge.set_health(Some(Box::new(HealthObservatory::new())));
+        }
+    }
+
+    fn attach_secondary_observatories(&self, bridge: &mut SecondaryBridge, telemetry: &Telemetry) {
+        if self.audit_on {
+            bridge.set_audit(Some(Box::new(
+                InvariantAuditor::new(AuditConfig::from_env("chain-tail")).with_hub(telemetry),
+            )));
+        }
+        if self.latency_on {
+            bridge.set_latency(Some(Box::new(LatencyObservatory::new())));
+        }
+        if self.health_on {
+            bridge.set_health(Some(Box::new(HealthObservatory::new())));
+        }
     }
 
     fn prime_arp_caches(&mut self) {
@@ -210,8 +338,16 @@ impl ChainTestbed {
         }
     }
 
-    /// Kills replica `i` (0 = head) fail-stop.
+    /// Kills replica `i` (0 = head) fail-stop, stamping the §5 failure
+    /// reference point on every replica's timeline.
     pub fn kill_replica(&mut self, i: usize) {
+        let now = self.sim.now().as_nanos();
+        for hub in &self.hubs {
+            hub.timeline.mark(FailoverPhase::Failure, now);
+            hub.journal
+                .record(now, "chain_testbed", "kill", &[("replica", i.to_string())]);
+        }
+        self.dead[i] = true;
         self.sim.kill(self.replicas[i]);
     }
 
@@ -228,12 +364,342 @@ impl ChainTestbed {
             });
         }
     }
+
+    // -----------------------------------------------------------------
+    // Reprovisioning primitives (PR9) — composed by
+    // `tcpfo_apps::chain_ops::reprovision_tail`, which adds the
+    // application half (resuming the deterministic stream).
+    // -----------------------------------------------------------------
+
+    /// Index of the current tail: the last living replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every replica is dead.
+    pub fn tail_index(&self) -> usize {
+        (0..self.replicas.len())
+            .rev()
+            .find(|&i| !self.dead[i])
+            .expect("at least one living replica")
+    }
+
+    /// Snapshots per-flow TCB handoffs from replica `from`'s TCP stack
+    /// (the tail being replaced — pass its index from *before*
+    /// [`ChainTestbed::spawn_standby`] appended the standby).
+    /// `progress` carries the application half — `(socket, offset,
+    /// remaining)` per live connection (e.g.
+    /// `SourceServer::conn_progress`). The cursor is the tail's
+    /// `snd_nxt`, i.e. the client-facing sequence space; `delta` is 0
+    /// under the adopt-in-tail-space scheme.
+    pub fn snapshot_handoffs(
+        &mut self,
+        from: usize,
+        progress: &[(SocketId, u64, u64)],
+    ) -> Vec<FlowHandoff> {
+        let tail = self.replicas[from];
+        let progress = progress.to_vec();
+        self.sim.with::<Host, _>(tail, move |h, _| {
+            let mut handoffs = Vec::new();
+            for &(sid, offset, remaining) in &progress {
+                let Some(sock) = h.stack().socket(sid) else {
+                    continue;
+                };
+                if !sock.is_established() {
+                    continue;
+                }
+                let t = sock.four_tuple();
+                // The application's progress counter runs ahead of
+                // SND.NXT by whatever sits unsent in the socket's send
+                // buffer; the adopting stack starts exactly at the
+                // cursor, so the resume point rewinds by that depth —
+                // otherwise the standby's stream is shifted and the
+                // merge releases diverging bytes.
+                let unsent = u64::from(sock.unsent_bytes());
+                handoffs.push(FlowHandoff {
+                    client: t.remote,
+                    server_port: t.local.port,
+                    cursor: sock.snd_nxt(),
+                    delta: 0,
+                    rcv_nxt: sock.rcv_nxt(),
+                    mss: sock.effective_mss(),
+                    win: sock.snd_wnd().min(u32::from(u16::MAX)) as u16,
+                    offset: offset.saturating_sub(unsent),
+                    remaining: remaining + unsent,
+                });
+            }
+            handoffs
+        })
+    }
+
+    /// Spawns a fresh standby replica at the end of the chain
+    /// (phase 1): a [`SecondaryBridge`] diverting to the current tail,
+    /// its own telemetry hub and observatories, a controller that
+    /// already knows which founders are dead, ARP pre-primed both
+    /// ways. Starts the tracker's reprovision clock. Returns the new
+    /// replica's index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hub has no port headroom left (at most
+    /// [`STANDBY_PORTS`] standbys per testbed).
+    pub fn spawn_standby(&mut self) -> usize {
+        let k = self.replica_addrs.len();
+        assert!(
+            self.next_hub_port < self.config.replicas + 1 + STANDBY_PORTS,
+            "no hub port left for another standby"
+        );
+        let addr = Ipv4Addr::new(10, 0, 0, 2 + k as u8);
+        let mac = MacAddr::from_index(2 + k as u32);
+        let now = self.sim.now().as_nanos();
+        self.tracker.begin(addr, now);
+        let tail = self.tail_index();
+        self.replica_addrs.push(addr);
+        self.dead.push(false);
+
+        // The standby mirrors a founding tail: secondary bridge
+        // diverting to the current tail (which will convert to a
+        // middle as part of the handoff).
+        let telemetry = Telemetry::from_env();
+        self.tracker.attach_timeline(telemetry.redundancy.clone());
+        let fo = FailoverConfig::from_ports(self.config.failover_ports.iter().copied());
+        let mut hc = HostConfig::new(&format!("replica{k}"), mac, addr)
+            .with_gateway(addrs::GW_SERVER)
+            .with_tcp(
+                self.config
+                    .tcp
+                    .clone()
+                    .with_isn_seed(self.config.seed ^ ((k as u64 + 2) << 32)),
+            );
+        hc.cpu = self.config.cpu;
+        hc.tick = self.config.tick;
+        hc.promiscuous = true;
+        let mut host = Host::new(hc);
+        host.set_telemetry(&telemetry);
+        let mut bridge = SecondaryBridge::new(addrs::A_P, addr, fo);
+        bridge.set_upstream(self.replica_addrs[tail]);
+        bridge.set_telemetry(&telemetry);
+        self.attach_secondary_observatories(&mut bridge, &telemetry);
+        host.set_filter(Box::new(bridge));
+        let mut controller =
+            ChainController::new(self.replica_addrs.clone(), k, self.config.detector);
+        controller.set_telemetry(&telemetry);
+        for (i, &dead) in self.dead.iter().enumerate() {
+            if dead {
+                controller.set_peer_dead(self.replica_addrs[i]);
+            }
+        }
+        host.set_controller(Box::new(controller));
+        for &p in &self.config.failover_ports {
+            host.stack_mut().add_failover_port(p);
+        }
+        let id = spawn_host(&mut self.sim, host);
+        self.sim.connect(
+            (self.hub, self.next_hub_port),
+            (id, 0),
+            LinkParams::attachment(),
+        );
+        self.next_hub_port += 1;
+        self.replicas.push(id);
+        self.hubs.push(telemetry);
+
+        // ARP, both directions, plus the router for good measure.
+        let addrs_copy = self.replica_addrs.clone();
+        self.sim.with::<Host, _>(id, move |h, _| {
+            h.net_mut().prime_arp(addrs::GW_SERVER, macs::ROUTER_SERVER);
+            for (j, &a) in addrs_copy.iter().enumerate() {
+                if j != k {
+                    h.net_mut().prime_arp(a, MacAddr::from_index(2 + j as u32));
+                }
+            }
+        });
+        for (i, &node) in self.replicas.clone().iter().enumerate() {
+            if i == k || self.dead[i] {
+                continue;
+            }
+            self.sim.with::<Host, _>(node, |h, _| {
+                h.net_mut().prime_arp(addr, mac);
+            });
+            // The survivors learn about the new chain member.
+            self.sim.with::<Host, _>(node, |h, _| {
+                h.controller_mut::<ChainController>().append_replica(addr);
+            });
+        }
+        self.sim.with::<Router, _>(self.router, |r, _| {
+            r.prime_arp(addr, 1, mac);
+        });
+        k
+    }
+
+    /// Rebuilds the handed-off TCBs on the standby (phase 2, stack
+    /// half): `Stack::adopt` synthesises each socket `Established` at
+    /// the snapshot positions, and the witness gate is seeded so the
+    /// bridge translates the client's datagrams. Returns the new
+    /// socket IDs, parallel to `handoffs`, for the application half.
+    pub fn adopt_on_standby(&mut self, standby: usize, handoffs: &[FlowHandoff]) -> Vec<SocketId> {
+        let node = self.replicas[standby];
+        let addr = self.replica_addrs[standby];
+        let handoffs = handoffs.to_vec();
+        let now = self.sim.now().as_nanos();
+        self.sim.with::<Host, _>(node, move |h, _| {
+            let mut ids = Vec::with_capacity(handoffs.len());
+            for ho in &handoffs {
+                if let Some(b) = h
+                    .filter_mut()
+                    .as_any_mut()
+                    .downcast_mut::<SecondaryBridge>()
+                {
+                    b.witness_flow(ho.server_port, ho.client, now);
+                }
+                let local = tcpfo_tcp::types::SocketAddr::new(addr, ho.server_port);
+                let id = h
+                    .stack_mut()
+                    .adopt(local, ho.client, ho.cursor, ho.rcv_nxt, ho.mss, ho.win)
+                    .expect("adopted tuple unique on a fresh standby");
+                ids.push(id);
+            }
+            ids
+        })
+    }
+
+    /// Converts the old tail into a middle link adopting the same
+    /// flows at `Δseq = 0` (phase 2, bridge half): its merge now
+    /// buffers its own stream until the standby's diverted stream
+    /// matches it. Ends the handoff phase on the tracker.
+    pub fn convert_tail_to_middle(&mut self, standby: usize, handoffs: &[FlowHandoff]) {
+        let tail = self.tail_index0_before(standby);
+        let node = self.replicas[tail];
+        let vip = addrs::A_P;
+        let own = self.replica_addrs[tail];
+        let downstream = self.replica_addrs[standby];
+        let fo = FailoverConfig::from_ports(self.config.failover_ports.iter().copied());
+        let telemetry = self.hubs[tail].clone();
+        let now = self.sim.now().as_nanos();
+        let flows = handoffs.len();
+        let handoffs = handoffs.to_vec();
+        let audit_on = self.audit_on;
+        let latency_on = self.latency_on;
+        let health_on = self.health_on;
+        self.sim.with::<Host, _>(node, move |h, _| {
+            let upstream = h
+                .filter_mut()
+                .as_any_mut()
+                .downcast_mut::<SecondaryBridge>()
+                .expect("converting tail runs a SecondaryBridge")
+                .upstream();
+            let mut bridge = ChainBridge::new(vip, own, Some(upstream), downstream, fo);
+            bridge.set_telemetry(&telemetry);
+            if audit_on {
+                bridge.set_audit(Some(Box::new(
+                    InvariantAuditor::new(AuditConfig::from_env("chain")).with_hub(&telemetry),
+                )));
+            }
+            if latency_on {
+                bridge.set_latency(Some(Box::new(LatencyObservatory::new())));
+            }
+            if health_on {
+                bridge.set_health(Some(Box::new(HealthObservatory::new())));
+            }
+            for ho in &handoffs {
+                bridge.adopt_flow(ho, now);
+            }
+            h.set_filter(Box::new(bridge));
+        });
+        self.catchup_link = Some(tail);
+        let backlog = self.catchup_lag();
+        self.tracker.handoff_done(flows, backlog, now);
+    }
+
+    /// The tail index *excluding* the standby already appended by
+    /// [`ChainTestbed::spawn_standby`].
+    fn tail_index0_before(&self, standby: usize) -> usize {
+        (0..standby)
+            .rev()
+            .find(|&i| !self.dead[i])
+            .expect("a living replica above the standby")
+    }
+
+    /// Unmatched replication backlog on the converted link: the lag
+    /// ledger when the health observatory is attached, otherwise the
+    /// sum of primary-queue bytes across its connections. Zero means
+    /// the standby's stream has caught up with the converted link's.
+    pub fn catchup_lag(&mut self) -> u64 {
+        let Some(link) = self.catchup_link else {
+            return 0;
+        };
+        let node = self.replicas[link];
+        self.sim.with::<Host, _>(node, |h, _| {
+            let Some(b) = h.filter_mut().as_any_mut().downcast_mut::<ChainBridge>() else {
+                return 0;
+            };
+            match b.health() {
+                Some(obs) => obs.lag.unmatched_bytes(),
+                None => b.connection_rows().iter().map(|r| r.pq_bytes as u64).sum(),
+            }
+        })
+    }
+
+    /// Sum of invariant-auditor rule firings across every living
+    /// replica's bridge (0 when the auditor is detached). The PR9
+    /// acceptance gate: a whole failover-plus-reprovisioning round with
+    /// the auditor attached must report zero.
+    pub fn audit_violations(&mut self) -> u64 {
+        let mut total = 0;
+        for (i, &node) in self.replicas.clone().iter().enumerate() {
+            if self.dead[i] {
+                continue;
+            }
+            total += self.sim.with::<Host, _>(node, |h, _| {
+                let f = h.filter_mut().as_any_mut();
+                if let Some(b) = f.downcast_mut::<ChainBridge>() {
+                    b.audit().map_or(0, |a| a.ledger().total_violations())
+                } else if let Some(b) = f.downcast_mut::<SecondaryBridge>() {
+                    b.audit().map_or(0, |a| a.ledger().total_violations())
+                } else {
+                    0
+                }
+            });
+        }
+        total
+    }
+
+    /// Checks the catch-up condition and, when the backlog has drained
+    /// to zero, stamps restoration on the tracker (and so on every
+    /// hub's redundancy timeline).
+    pub fn poll_reprovision(&mut self) {
+        if self.tracker.phase() == ReprovisionPhase::CatchUp && self.catchup_lag() == 0 {
+            let now = self.sim.now().as_nanos();
+            self.tracker.restored(now);
+        }
+    }
+
+    /// Runs the simulation in `step` increments until the
+    /// reprovisioning round reports restored redundancy, or `max` sim
+    /// time elapses. Returns whether redundancy was restored.
+    ///
+    /// Steps *before* the first poll: at the conversion instant the
+    /// backlog is trivially zero (the standby has not produced a byte
+    /// yet), so catch-up is only proven once the chain has run and the
+    /// lag observed after that still drains to nothing.
+    pub fn run_until_restored(&mut self, step: SimDuration, max: SimDuration) -> bool {
+        let deadline = self.sim.now() + max;
+        loop {
+            self.run_for(step);
+            self.poll_reprovision();
+            if self.tracker.phase() == ReprovisionPhase::Restored {
+                return true;
+            }
+            if self.sim.now() >= deadline {
+                return false;
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for ChainTestbed {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ChainTestbed")
             .field("replicas", &self.replica_addrs)
+            .field("dead", &self.dead)
             .finish()
     }
 }

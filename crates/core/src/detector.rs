@@ -31,7 +31,7 @@ pub const HEARTBEAT_V1_LEN: usize = 26;
 
 /// Entries in the sent-heartbeat ring used to match RTT echoes; echoes
 /// older than this many intervals are dropped rather than mis-timed.
-const HB_RING: usize = 8;
+pub(crate) const HB_RING: usize = 8;
 
 /// Which replica this controller runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

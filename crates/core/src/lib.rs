@@ -47,14 +47,16 @@ pub mod detector;
 pub mod flow;
 pub mod primary;
 pub mod queues;
+pub mod reprovision;
 pub mod secondary;
 pub mod testbed;
 
-pub use chain::{ChainBridge, ChainController};
+pub use chain::{ChainBridge, ChainController, ChainStats, TakeoverState};
 pub use chain_testbed::{ChainConfig, ChainTestbed};
 pub use designation::{ConnKey, FailoverConfig};
 pub use detector::{DetectorConfig, ReplicaController, Role};
 pub use flow::{FlowKey, FlowState, FlowTable, FlowTableConfig};
 pub use primary::{ConnRow, PrimaryBridge, PrimaryMode, PrimaryStats};
+pub use reprovision::{FlowHandoff, ReprovisionPhase, ReprovisionTracker};
 pub use secondary::{SecondaryBridge, SecondaryMode, SecondaryStats};
 pub use testbed::{SegmentKind, Testbed, TestbedConfig};

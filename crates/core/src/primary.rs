@@ -528,6 +528,37 @@ impl PrimaryBridge {
             .collect()
     }
 
+    /// Adopts one reprovisioned flow (PR9 chain catch-up): a live
+    /// connection entry rebuilt from a [`FlowHandoff`] snapshot, its
+    /// merge already synchronised at the handoff's `Δseq` and cursor.
+    /// Both output queues start empty — the adopting link's own stream
+    /// buffers from the cursor until the fresh tail's diverted stream
+    /// matches it, which is exactly the catch-up the lag ledger then
+    /// proves drains to zero.
+    pub fn adopt_flow(&mut self, h: &crate::reprovision::FlowHandoff, now_nanos: u64) {
+        let key = ConnKey::new(h.server_port, h.client);
+        let mut conn = Box::new(Conn::new(self.a_p, h.client, h.server_port));
+        conn.delta = Some(h.delta);
+        conn.mss = h.mss;
+        conn.send_next = h.cursor;
+        conn.ack_p = Some(h.rcv_nxt);
+        conn.ack_s = Some(h.rcv_nxt);
+        conn.last_ack_sent = Some(h.rcv_nxt);
+        conn.win_p = h.win;
+        conn.win_s = h.win;
+        let st = state_of(&conn);
+        if let Some(dropped) = self
+            .flows
+            .insert(key, st, PrimaryFlow::Live(conn), now_nanos)
+        {
+            self.stats.evicted_flows += 1;
+            if let (Some(hobs), PrimaryFlow::Live(c)) = (self.health.as_deref_mut(), &dropped.data)
+            {
+                hobs.lag.drop_flow(c.pq.len(), c.mss);
+            }
+        }
+    }
+
     /// Connects the bridge to a telemetry hub: mirrors
     /// [`PrimaryStats`] onto registry counters under `core.primary`,
     /// tracks output-queue depths and per-shard flow-table gauges, and

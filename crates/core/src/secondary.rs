@@ -64,6 +64,13 @@ pub struct SecondaryStats {
     pub evicted_flows: u64,
     /// Witness entries reaped by the timer-driven GC (TTL expiry).
     pub flows_reaped: u64,
+    /// Designated non-SYN ingress dropped because this replica never
+    /// witnessed the connection's establishment (§8 reintegration
+    /// gate). Handing these to the stack would make it answer
+    /// mid-stream segments of a connection it cannot replicate with a
+    /// RST — in the *live* sequence space, since the RST echoes the
+    /// client's ACK.
+    pub unwitnessed_dropped: u64,
 }
 
 /// Per-shard witness-table gauge handles (occupancy, inserts, LRU
@@ -380,6 +387,21 @@ impl SecondaryBridge {
         self.upstream
     }
 
+    /// Seeds the witness gate for an adopted flow (PR9 reprovisioning):
+    /// a freshly provisioned tail never saw the connection's SYN, so
+    /// the handoff vouches for its establishment — without this entry
+    /// the bridge would refuse to translate the client's datagrams.
+    pub fn witness_flow(&mut self, server_port: u16, client: SocketAddr, now_nanos: u64) {
+        let key = ConnKey::new(server_port, client);
+        if self
+            .flows
+            .insert(key, FlowState::Replicated, SeenFlow::default(), now_nanos)
+            .is_some()
+        {
+            self.stats.evicted_flows += 1;
+        }
+    }
+
     /// §5 step 1: stop sending client-addressed segments. Outbound
     /// failover segments are dropped while holding — the TCP layer's
     /// retransmission timers re-produce them after takeover, exactly as
@@ -569,7 +591,10 @@ impl SecondaryBridge {
             });
             self.lat_end(Stage::FlowLookup, fl0);
             let Some((cf, sf)) = fins else {
-                out.to_tcp.push(seg);
+                // Unwitnessed designated flow: a replica that did not
+                // see establishment cannot replicate it — drop, never
+                // deliver (the stack would RST the live connection).
+                self.stats.unwitnessed_dropped += 1;
                 return;
             };
             let st = match (cf, sf) {

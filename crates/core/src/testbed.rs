@@ -212,7 +212,7 @@ fn flow_config_override(config: &TestbedConfig) -> Option<FlowTableConfig> {
 /// the advisory miss limit is exactly the number of heartbeat
 /// intervals in the binary timeout, so the score bottoms out at the
 /// instant the §2 decision is about to fire.
-fn health_config(detector: &DetectorConfig) -> HealthConfig {
+pub(crate) fn health_config(detector: &DetectorConfig) -> HealthConfig {
     let interval = detector.interval.as_nanos().max(1);
     HealthConfig {
         miss_limit: (detector.timeout.as_nanos() / interval).max(1) as u32,

@@ -224,3 +224,123 @@ proptest! {
         prop_assert_eq!(chain.middle.inner().stats.mismatched_bytes, 0);
     }
 }
+
+// ---------------------------------------------------------------------
+// PR9: a converted middle link (old tail after reprovisioning) adopting
+// flows at Δseq = 0 must preserve the exactly-once release property.
+// ---------------------------------------------------------------------
+
+const B3: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 5); // reprovisioned standby
+const CURSOR: u32 = 0x2000_0000;
+const ISS_C2: u32 = 9_000;
+
+/// What the standby's SecondaryBridge emits: its adopted socket talks
+/// in the tail's (client-facing) space already, diverted to the
+/// converted middle.
+fn standby_divert(seg: TcpSegment) -> AddressedSegment {
+    let bytes = seg.encode(B3, A_C).to_vec();
+    let mut p = SegmentPatcher::new(bytes, B3, A_C);
+    p.push_orig_dest_option(A_C, 5555);
+    p.set_pseudo_dst(B2);
+    let (bytes, src, dst) = p.finish();
+    AddressedSegment::new(src, dst, bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After `adopt_flow` at the snapshot cursor, the converted
+    /// middle's merge — its own continued stream against the standby's
+    /// regenerated one, independently segmented and interleaved —
+    /// releases every byte from the cursor exactly once, in order, in
+    /// the unchanged client-facing space.
+    #[test]
+    fn prop_adopted_middle_release_is_exact(
+        stream_len in 1usize..1200,
+        cuts_own in proptest::collection::vec(1usize..300, 1..8),
+        cuts_standby in proptest::collection::vec(1usize..300, 1..8),
+        order in proptest::collection::vec(0usize..2, 1..32),
+    ) {
+        use tcpfo_core::FlowHandoff;
+        use tcpfo_tcp::types::SocketAddr;
+
+        let cfg = FailoverConfig::from_ports([80]);
+        // The converted old tail: upstream toward the head, the fresh
+        // standby downstream.
+        let mut mid = ChainBridge::new(VIP, B2, Some(B1), B3, cfg);
+        mid.adopt_flow(
+            &FlowHandoff {
+                client: SocketAddr::new(A_C, 5555),
+                server_port: 80,
+                cursor: CURSOR,
+                delta: 0,
+                rcv_nxt: ISS_C2 + 1,
+                mss: 1460,
+                win: 40_000,
+                offset: 0,
+                remaining: stream_len as u64,
+            },
+            0,
+        );
+
+        let stream: Vec<u8> = (0..stream_len).map(|i| (i * 13 % 249) as u8).collect();
+        let cut = |cuts: &[usize]| {
+            let mut segs = Vec::new();
+            let mut off = 0usize;
+            let mut i = 0usize;
+            while off < stream_len {
+                let len = cuts[i % cuts.len()].min(stream_len - off);
+                segs.push((off, stream[off..off + len].to_vec()));
+                off += len;
+                i += 1;
+            }
+            segs
+        };
+        let per_side = [cut(&cuts_own), cut(&cuts_standby)];
+        let mut idx = [0usize; 2];
+        let mut released = Vec::new();
+        let mut step = 0usize;
+        while idx.iter().zip(&per_side).any(|(&i, segs)| i < segs.len()) {
+            let side = order[step % order.len()];
+            step += 1;
+            let side = if idx[side] < per_side[side].len() {
+                side
+            } else {
+                (0..2).find(|&s| idx[s] < per_side[s].len()).unwrap()
+            };
+            let (off, data) = per_side[side][idx[side]].clone();
+            idx[side] += 1;
+            let seg = TcpSegment::builder(80, 5555)
+                .seq(CURSOR.wrapping_add(off as u32))
+                .ack(ISS_C2 + 1)
+                .window(40_000)
+                .payload(Bytes::from(data))
+                .build();
+            let out = if side == 0 {
+                // The converted link's own continued stream.
+                mid.on_outbound(raw(B2, A_C, seg), 0)
+            } else {
+                // The standby's regenerated stream, diverted up.
+                mid.on_inbound(standby_divert(seg), 0)
+            };
+            for w in out.to_wire {
+                prop_assert_eq!(w.dst, B1, "merged output climbs to the upstream link");
+                prop_assert!(verify_segment_checksum(w.src, w.dst, &w.bytes));
+                let seg = TcpSegment::decode(&w.bytes).unwrap();
+                if !seg.payload.is_empty() {
+                    released.push((seg.seq.wrapping_sub(CURSOR), seg.payload.to_vec()));
+                }
+            }
+        }
+        let mut next = 0u32;
+        let mut rebuilt = Vec::new();
+        for (off, data) in &released {
+            prop_assert_eq!(*off, next, "release out of order");
+            rebuilt.extend_from_slice(data);
+            next = next.wrapping_add(data.len() as u32);
+        }
+        prop_assert_eq!(rebuilt, stream);
+        prop_assert_eq!(mid.inner().stats.mismatched_bytes, 0);
+        prop_assert_eq!(mid.stats.adopted_flows, 1);
+    }
+}

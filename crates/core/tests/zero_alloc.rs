@@ -215,3 +215,167 @@ fn steady_state_release_path_with_health_attached_does_not_allocate() {
         "attached-health echo path allocated {delta} times in {MEASURED} rounds"
     );
 }
+
+// ---------------------------------------------------------------------
+// PR9: the same proof for a chain middle link. The divert-upstream
+// rewrite (orig-dest option splice + incremental checksum) runs out of
+// a recycled buffer, so a warm ChainBridge releases matched bytes and
+// climbs them up the chain without touching the allocator.
+// ---------------------------------------------------------------------
+
+use tcpfo_core::chain::ChainBridge;
+
+const B_OWN: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 4); // the middle itself
+const B_DOWN: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 5); // its downstream
+
+/// Builds a segment exactly as the middle's downstream would divert it.
+fn chain_diverted(seg: TcpSegment) -> AddressedSegment {
+    let bytes = seg.encode(B_DOWN, A_C).to_vec();
+    let mut p = SegmentPatcher::new(bytes, B_DOWN, A_C);
+    p.push_orig_dest_option(A_C, 5555);
+    p.set_pseudo_dst(B_OWN);
+    let (bytes, src, dst) = p.finish();
+    AddressedSegment::new(src, dst, bytes)
+}
+
+fn established_middle() -> ChainBridge {
+    let mut b = ChainBridge::new(
+        A_P,
+        B_OWN,
+        Some(A_P),
+        B_DOWN,
+        FailoverConfig::from_ports([80]),
+    );
+    let syn = raw(
+        A_C,
+        A_P,
+        TcpSegment::builder(5555, 80)
+            .seq(ISS_C)
+            .flags(TcpFlags::SYN)
+            .mss(1460)
+            .window(60_000)
+            .build(),
+    );
+    let _ = b.on_inbound(syn, 0);
+    let own_synack = raw(
+        B_OWN,
+        A_C,
+        TcpSegment::builder(80, 5555)
+            .seq(ISS_P)
+            .ack(ISS_C + 1)
+            .flags(TcpFlags::SYN)
+            .mss(1460)
+            .window(50_000)
+            .build(),
+    );
+    let _ = b.on_outbound(own_synack, 0);
+    let down_synack = chain_diverted(
+        TcpSegment::builder(80, 5555)
+            .seq(ISS_S)
+            .ack(ISS_C + 1)
+            .flags(TcpFlags::SYN)
+            .mss(1200)
+            .window(40_000)
+            .build(),
+    );
+    let merged = b.on_inbound(down_synack, 0);
+    assert_eq!(merged.to_wire.len(), 1, "handshake must complete");
+    b
+}
+
+/// One chain round: the middle's own copy, the downstream's diverted
+/// copy, and the client's acknowledgement arriving on the VIP.
+fn chain_round_inputs(i: u32) -> (AddressedSegment, AddressedSegment, AddressedSegment) {
+    let off = i * PAYLOAD.len() as u32;
+    let p = raw(
+        B_OWN,
+        A_C,
+        TcpSegment::builder(80, 5555)
+            .seq(ISS_P + 1 + off)
+            .ack(ISS_C + 1)
+            .window(50_000)
+            .payload(PAYLOAD.to_vec().into())
+            .build(),
+    );
+    let s = chain_diverted(
+        TcpSegment::builder(80, 5555)
+            .seq(ISS_S + 1 + off)
+            .ack(ISS_C + 1)
+            .window(40_000)
+            .payload(PAYLOAD.to_vec().into())
+            .build(),
+    );
+    let c = raw(
+        A_C,
+        A_P,
+        TcpSegment::builder(5555, 80)
+            .seq(ISS_C + 1)
+            .ack(ISS_S + 1 + off + PAYLOAD.len() as u32)
+            .window(60_000)
+            .build(),
+    );
+    (p, s, c)
+}
+
+fn measure_chain_rounds(bridge: &mut ChainBridge) -> u64 {
+    let total = WARMUP + MEASURED;
+    let mut inputs = Vec::with_capacity(total);
+    for i in 0..total as u32 {
+        inputs.push(chain_round_inputs(i));
+    }
+
+    let mut out = FilterOutput::empty();
+    let mut released = 0usize;
+    let mut measured_base = 0u64;
+    for (i, (p, s, c)) in inputs.into_iter().enumerate() {
+        if i == WARMUP {
+            measured_base = ALLOCS.load(Ordering::Relaxed);
+        }
+        bridge.on_outbound_into(p, 0, &mut out);
+        assert!(out.to_wire.is_empty(), "own-only bytes are held");
+        bridge.on_inbound_into(s, 0, &mut out);
+        assert_eq!(out.to_wire.len(), 1, "matched bytes are released");
+        assert_eq!(out.to_wire[0].dst, A_P, "release climbs to the upstream");
+        released += 1;
+        bridge.on_inbound_into(c, 0, &mut out);
+        assert_eq!(out.to_tcp.len(), 1, "client ACK passes up");
+        out.clear();
+    }
+    assert_eq!(released, total, "every round must release its bytes");
+    ALLOCS.load(Ordering::Relaxed) - measured_base
+}
+
+#[test]
+fn chain_middle_release_path_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+    let mut bridge = established_middle();
+    let delta = measure_chain_rounds(&mut bridge);
+    assert_eq!(
+        bridge.stats.diverted_upstream as usize,
+        // The merged SYN+ACK also climbed the chain.
+        WARMUP + MEASURED + 1,
+        "every release was diverted upstream"
+    );
+    assert!(bridge.stats.ingress_rewrites > 0, "client ACKs rewritten");
+    assert_eq!(
+        delta, 0,
+        "chain middle release path allocated {delta} times in {MEASURED} rounds"
+    );
+}
+
+#[test]
+fn chain_middle_release_path_with_health_attached_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap();
+    let mut bridge = established_middle();
+    bridge.set_health(Some(Box::new(HealthObservatory::new())));
+    let delta = measure_chain_rounds(&mut bridge);
+    let obs = bridge.health().expect("attached");
+    assert!(
+        obs.lag.releases() >= (WARMUP + MEASURED) as u64,
+        "lag ledger saw every release"
+    );
+    assert_eq!(
+        delta, 0,
+        "attached-health chain path allocated {delta} times in {MEASURED} rounds"
+    );
+}

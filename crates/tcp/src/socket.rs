@@ -200,6 +200,40 @@ impl Socket {
         s
     }
 
+    /// Rebuilds an `Established` socket from a mid-connection snapshot
+    /// (PR9 chain reprovisioning): a freshly provisioned replica adopts
+    /// a live flow in the *old* tail's sequence space, so the TCB is
+    /// synthesised directly — `snd_nxt` at the handoff cursor, the
+    /// receive side expecting the client's next byte — with no
+    /// handshake. The socket is marked as a failover connection.
+    pub fn adopted(
+        tuple: FourTuple,
+        snd_nxt: u32,
+        rcv_nxt: u32,
+        peer_mss: u16,
+        peer_wnd: u16,
+        cfg: &TcpConfig,
+    ) -> Self {
+        // The notional ISS sits one behind the cursor so the send
+        // buffer's base (iss + 1) lands exactly on the cursor.
+        let iss = snd_nxt.wrapping_sub(1);
+        let mut s = Socket::new(tuple, iss, TcpState::Established, cfg);
+        s.failover = true;
+        // Post-handshake positions: the SYN is notionally consumed.
+        s.snd_una = snd_nxt;
+        s.snd_nxt = snd_nxt;
+        s.snd_max = snd_nxt;
+        s.recover = snd_nxt;
+        s.irs = rcv_nxt.wrapping_sub(1);
+        s.rcv_buf = RecvBuffer::new(rcv_nxt, cfg.recv_buffer);
+        s.mss_peer = Some(peer_mss);
+        s.snd_wnd = u32::from(peer_wnd);
+        s.snd_wnd_max = s.snd_wnd;
+        s.snd_wl1 = rcv_nxt;
+        s.snd_wl2 = snd_nxt;
+        s
+    }
+
     fn new(tuple: FourTuple, iss: u32, state: TcpState, cfg: &TcpConfig) -> Self {
         Socket {
             tuple,
@@ -314,6 +348,11 @@ impl Socket {
         cfg.clamp_window(self.rcv_buf.free())
     }
 
+    /// The connection's 4-tuple.
+    pub fn four_tuple(&self) -> FourTuple {
+        self.tuple
+    }
+
     /// Oldest unacknowledged sequence number (SND.UNA).
     pub fn snd_una(&self) -> u32 {
         self.snd_una
@@ -322,6 +361,15 @@ impl Socket {
     /// Next sequence number to send (SND.NXT).
     pub fn snd_nxt(&self) -> u32 {
         self.snd_nxt
+    }
+
+    /// Bytes the application has written that TCP has not yet put on
+    /// the wire (buffered beyond SND.NXT). A state-snapshot handoff
+    /// must rewind the application's resume point by this much: the
+    /// adopting stack starts at SND.NXT, so anything the old stack
+    /// buffered but never sent has to be regenerated.
+    pub fn unsent_bytes(&self) -> u32 {
+        self.send_buf.end_seq().wrapping_sub(self.snd_nxt)
     }
 
     /// Peer's advertised window (SND.WND).

@@ -257,6 +257,33 @@ impl TcpStack {
         Ok(id)
     }
 
+    /// Adopts a mid-connection flow from a reprovisioning handoff (PR9
+    /// chain catch-up): the socket is synthesised `Established` at the
+    /// snapshot's sequence positions — no handshake, no SYN on the
+    /// wire — and designated for failover so the local bridge diverts
+    /// everything it produces.
+    ///
+    /// # Errors
+    ///
+    /// [`StackError::AddrInUse`] if the 4-tuple is already tracked.
+    pub fn adopt(
+        &mut self,
+        local: SocketAddr,
+        remote: SocketAddr,
+        snd_nxt: u32,
+        rcv_nxt: u32,
+        peer_mss: u16,
+        peer_wnd: u16,
+    ) -> Result<SocketId, StackError> {
+        let tuple = FourTuple::new(local, remote);
+        if self.demux.contains_key(&tuple) {
+            return Err(StackError::AddrInUse);
+        }
+        let sock = Socket::adopted(tuple, snd_nxt, rcv_nxt, peer_mss, peer_wnd, &self.cfg);
+        self.pending_designations.push(FailoverRule::Tuple(tuple));
+        Ok(self.insert_socket(sock))
+    }
+
     /// Writes bytes; returns how many were accepted into the send
     /// buffer (the paper's §9 send-call semantics).
     pub fn send(&mut self, id: SocketId, data: &[u8], now: SimTime) -> Result<usize, StackError> {

@@ -235,11 +235,15 @@ pub enum Rule {
     /// §5: takeover runs egress hold → translation off → ARP takeover,
     /// and the timeline phases are monotone.
     FailoverOrder,
+    /// §1 daisy-chain generalisation of §5: a chain promotion commits
+    /// only after the audit journal has recorded the decision
+    /// (log-before-act), and decision/commit stamps are monotone.
+    PromotionOrder,
 }
 
 impl Rule {
     /// Every rule, in ledger display order.
-    pub const ALL: [Rule; 11] = [
+    pub const ALL: [Rule; 12] = [
         Rule::SeqSpace,
         Rule::AckMin,
         Rule::WinMin,
@@ -251,6 +255,7 @@ impl Rule {
         Rule::Translate,
         Rule::EgressHold,
         Rule::FailoverOrder,
+        Rule::PromotionOrder,
     ];
 
     /// Stable short identifier.
@@ -267,6 +272,7 @@ impl Rule {
             Rule::Translate => "translate",
             Rule::EgressHold => "egress_hold",
             Rule::FailoverOrder => "failover_order",
+            Rule::PromotionOrder => "promotion_order",
         }
     }
 
@@ -284,6 +290,7 @@ impl Rule {
             Rule::Translate => "§3.1/§3.3",
             Rule::EgressHold => "§5",
             Rule::FailoverOrder => "§5",
+            Rule::PromotionOrder => "§1/§5",
         }
     }
 
@@ -899,6 +906,10 @@ pub struct InvariantAuditor {
     pending_ack: Option<(AuditKey, u32)>,
     /// Secondary ingress awaiting the a_p→a_s rewrite.
     pending_translate: Option<AuditKey>,
+    /// Chain promotion decision stamp (log-before-act): set when the
+    /// controller journals the promotion decision, cleared when the
+    /// commit is checked against it.
+    promotion_decided_at: Option<u64>,
     /// Latest replica health / replication-lag JSON snapshot, pushed
     /// by the bridge's telemetry sync when the health observatory is
     /// also attached; lands in flight-recorder bundles as
@@ -939,6 +950,7 @@ impl InvariantAuditor {
             touched: None,
             pending_ack: None,
             pending_translate: None,
+            promotion_decided_at: None,
             health_snapshot: None,
         }
     }
@@ -1812,6 +1824,41 @@ impl InvariantAuditor {
             )
         });
         self.steps.push(step);
+    }
+
+    /// Chain control plane: the controller decided to promote this
+    /// replica and journaled the decision. Log-before-act: this must
+    /// precede [`InvariantAuditor::note_promotion_committed`].
+    pub fn note_promotion_decision(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
+        self.push_event(
+            AuditEventKind::Phase,
+            TraceId::NONE,
+            format!("promotion decided at {now_ns}ns"),
+        );
+        self.promotion_decided_at = Some(now_ns);
+    }
+
+    /// Chain control plane: the promotion was committed (topology
+    /// mutated, VIP taken). Checks the N-way §5 generalisation: a
+    /// decision record must already exist and must not postdate the
+    /// commit.
+    pub fn note_promotion_committed(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
+        self.push_event(
+            AuditEventKind::Phase,
+            TraceId::NONE,
+            format!("promotion committed at {now_ns}ns"),
+        );
+        let decided = self.promotion_decided_at;
+        let ok = decided.is_some_and(|d| d <= now_ns);
+        self.check(Rule::PromotionOrder, ok, TraceId::NONE, || {
+            format!(
+                "promotion committed at {now_ns}ns without a prior journaled \
+                 decision (decided_at: {decided:?}); the chain rule requires \
+                 audit-log-before-act"
+            )
+        });
     }
 
     /// A segment from the client arrived at the secondary bridge.

@@ -60,7 +60,10 @@ pub use registry::{
     escape_help_text, escape_label_value, Counter, Gauge, GaugeSnapshot, Histogram,
     HistogramSnapshot, MetricsSnapshot, Registry, Scope,
 };
-pub use timeline::{FailoverPhase, FailoverTimeline, MttrBreakdown};
+pub use timeline::{
+    FailoverPhase, FailoverTimeline, MttrBreakdown, RedundancyBreakdown, RedundancyPhase,
+    RedundancyTimeline,
+};
 pub use underload::{
     LagTracker, ShardSample, UnderLoadHistogram, UnderLoadRecorder, WindowedHistogram,
 };
@@ -91,6 +94,9 @@ pub struct Telemetry {
     pub journal: Journal,
     /// The §5 failover timeline.
     pub timeline: FailoverTimeline,
+    /// The PR9 redundancy-restoration timeline (tail reprovisioning
+    /// after a chain takeover).
+    pub redundancy: RedundancyTimeline,
 }
 
 impl Telemetry {
@@ -125,6 +131,8 @@ impl Telemetry {
         out.push_str(&indent(&self.registry.snapshot(now_ns).to_json(), 2));
         out.push_str(",\n  \"timeline\": ");
         out.push_str(&indent(&self.timeline.to_json(), 2));
+        out.push_str(",\n  \"redundancy\": ");
+        out.push_str(&indent(&self.redundancy.to_json(), 2));
         out.push_str(",\n  \"events\": ");
         out.push_str(&indent(&self.journal.to_json(), 2));
         // Journal saturation must be visible, not silent: how many

@@ -252,6 +252,166 @@ impl MttrBreakdown {
     }
 }
 
+/// The phases of PR9 tail reprovisioning after a chain takeover, in
+/// causal order. Kept separate from [`FailoverPhase`] — the §5 MTTR
+/// decomposition is a closed six-phase contract — so redundancy
+/// restoration gates independently of client-visible MTTR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RedundancyPhase {
+    /// The control plane began provisioning a replacement tail.
+    ReprovisionStart,
+    /// Per-flow TCB + Δseq + cursor snapshots were handed to the new
+    /// tail (it can now participate in the chain).
+    HandoffDone,
+    /// The replication-lag ledger drained to zero backlog — full
+    /// redundancy restored.
+    CatchupDone,
+}
+
+/// Number of [`RedundancyPhase`]s.
+const REDUNDANCY_PHASES: usize = 3;
+
+impl RedundancyPhase {
+    /// All phases in causal order.
+    pub const ALL: [RedundancyPhase; REDUNDANCY_PHASES] = [
+        RedundancyPhase::ReprovisionStart,
+        RedundancyPhase::HandoffDone,
+        RedundancyPhase::CatchupDone,
+    ];
+
+    /// Stable lowercase name used in JSON and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            RedundancyPhase::ReprovisionStart => "reprovision_start",
+            RedundancyPhase::HandoffDone => "handoff_done",
+            RedundancyPhase::CatchupDone => "catchup_done",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            RedundancyPhase::ReprovisionStart => 0,
+            RedundancyPhase::HandoffDone => 1,
+            RedundancyPhase::CatchupDone => 2,
+        }
+    }
+}
+
+/// Shared record of when each reprovisioning phase first occurred,
+/// same first-mark-wins discipline as [`FailoverTimeline`].
+#[derive(Debug, Clone, Default)]
+pub struct RedundancyTimeline {
+    marks: Arc<Mutex<[Option<u64>; REDUNDANCY_PHASES]>>,
+}
+
+impl RedundancyTimeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        RedundancyTimeline::default()
+    }
+
+    /// Records `phase` at sim time `now_ns`; first mark wins.
+    pub fn mark(&self, phase: RedundancyPhase, now_ns: u64) {
+        let mut marks = self.marks.lock().unwrap();
+        if marks[phase.index()].is_none() {
+            marks[phase.index()] = Some(now_ns);
+        }
+    }
+
+    /// When `phase` first occurred, if it has.
+    pub fn at(&self, phase: RedundancyPhase) -> Option<u64> {
+        self.marks.lock().unwrap()[phase.index()]
+    }
+
+    /// Whether every phase has been marked.
+    pub fn is_complete(&self) -> bool {
+        self.marks.lock().unwrap().iter().all(Option::is_some)
+    }
+
+    /// Whether the marked phases are in causal order.
+    pub fn is_monotone(&self) -> bool {
+        let marks = self.marks.lock().unwrap();
+        let mut last = 0u64;
+        for t in marks.iter().flatten() {
+            if *t < last {
+                return false;
+            }
+            last = *t;
+        }
+        true
+    }
+
+    /// Clears all marks (for repeated reprovisioning rounds).
+    pub fn reset(&self) {
+        *self.marks.lock().unwrap() = [None; REDUNDANCY_PHASES];
+    }
+
+    /// The redundancy-restoration decomposition, when complete.
+    pub fn restoration(&self) -> Option<RedundancyBreakdown> {
+        RedundancyBreakdown::from_timeline(self)
+    }
+
+    /// Renders the timeline as a JSON object (unmarked phases `null`);
+    /// a complete timeline also carries the `restoration` object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        for phase in RedundancyPhase::ALL {
+            match self.at(phase) {
+                Some(t) => obj.u64(phase.name(), t),
+                None => obj.raw(phase.name(), "null"),
+            };
+        }
+        match self.restoration() {
+            Some(r) => obj.raw("restoration", r.to_json()),
+            None => obj.raw("restoration", "null"),
+        };
+        obj.render()
+    }
+}
+
+/// Phase-to-phase deltas (sim nanoseconds) of a complete
+/// [`RedundancyTimeline`]: how long reprovisioning spent spawning the
+/// standby versus catching it up, and the time-to-restored-redundancy
+/// total BENCH_PR9 gates alongside client-visible MTTR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedundancyBreakdown {
+    /// Reprovision start → per-flow handoff complete.
+    pub reprovision_ns: u64,
+    /// Handoff complete → replication-lag ledger drained to zero.
+    pub catchup_ns: u64,
+    /// Reprovision start → redundancy restored (fields sum to this).
+    pub total_ns: u64,
+}
+
+impl RedundancyBreakdown {
+    /// Field names in phase order, matching the JSON keys.
+    pub const FIELDS: [&'static str; 2] = ["reprovision_ns", "catchup_ns"];
+
+    /// Derives the decomposition from a complete, monotone timeline.
+    pub fn from_timeline(t: &RedundancyTimeline) -> Option<RedundancyBreakdown> {
+        if !t.is_monotone() {
+            return None;
+        }
+        let start = t.at(RedundancyPhase::ReprovisionStart)?;
+        let handoff = t.at(RedundancyPhase::HandoffDone)?;
+        let done = t.at(RedundancyPhase::CatchupDone)?;
+        Some(RedundancyBreakdown {
+            reprovision_ns: handoff - start,
+            catchup_ns: done - handoff,
+            total_ns: done - start,
+        })
+    }
+
+    /// Renders the decomposition as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.u64("reprovision_ns", self.reprovision_ns);
+        obj.u64("catchup_ns", self.catchup_ns);
+        obj.u64("total_ns", self.total_ns);
+        obj.render()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,5 +474,39 @@ mod tests {
         let json = t.to_json();
         assert!(json.contains("\"failure\": 1000000"), "{json}");
         assert!(json.contains("\"detection\": null"), "{json}");
+    }
+
+    #[test]
+    fn redundancy_first_mark_wins_and_decomposes() {
+        let t = RedundancyTimeline::new();
+        assert!(!t.is_complete());
+        assert!(t.is_monotone());
+        t.mark(RedundancyPhase::ReprovisionStart, 100);
+        t.mark(RedundancyPhase::ReprovisionStart, 500);
+        assert_eq!(t.at(RedundancyPhase::ReprovisionStart), Some(100));
+        t.mark(RedundancyPhase::HandoffDone, 130);
+        t.mark(RedundancyPhase::CatchupDone, 190);
+        assert!(t.is_complete());
+        let r = t.restoration().expect("complete timeline decomposes");
+        assert_eq!(r.reprovision_ns, 30);
+        assert_eq!(r.catchup_ns, 60);
+        assert_eq!(r.total_ns, 90);
+        let json = t.to_json();
+        assert!(json.contains("\"handoff_done\": 130"), "{json}");
+        assert!(json.contains("\"total_ns\": 90"), "{json}");
+        t.reset();
+        assert!(!t.is_complete());
+        assert_eq!(t.restoration(), None);
+    }
+
+    #[test]
+    fn redundancy_out_of_order_detected() {
+        let t = RedundancyTimeline::new();
+        t.mark(RedundancyPhase::ReprovisionStart, 100);
+        t.mark(RedundancyPhase::HandoffDone, 50);
+        assert!(!t.is_monotone());
+        assert_eq!(t.restoration(), None);
+        let json = t.to_json();
+        assert!(json.contains("\"catchup_done\": null"), "{json}");
     }
 }

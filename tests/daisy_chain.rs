@@ -3,10 +3,12 @@
 //! sequence space; head, middle and tail failures each heal while a
 //! transfer is in flight.
 
+use tcp_failover::apps::chain_ops;
 use tcp_failover::apps::driver::{BulkSendClient, RequestReplyClient};
 use tcp_failover::apps::store::{StoreClient, StoreServer};
 use tcp_failover::apps::stream::{SinkServer, SourceServer};
 use tcp_failover::core::chain_testbed::{ChainConfig, ChainTestbed};
+use tcp_failover::core::reprovision::ReprovisionPhase;
 use tcp_failover::core::testbed::addrs;
 use tcp_failover::net::time::SimDuration;
 use tcp_failover::tcp::host::Host;
@@ -14,6 +16,31 @@ use tcp_failover::tcp::types::SocketAddr;
 
 fn vip(port: u16) -> SocketAddr {
     SocketAddr::new(addrs::A_P, port)
+}
+
+/// A depth-`replicas` chain with the invariant auditor and health
+/// observatory attached to every bridge — the PR9 "observed" setup.
+fn observed_config(replicas: usize, seed: u64) -> ChainConfig {
+    ChainConfig {
+        replicas,
+        seed,
+        audit: Some(true),
+        health: Some(true),
+        ..ChainConfig::default()
+    }
+}
+
+fn download_testbed_with(config: ChainConfig, total: u64) -> ChainTestbed {
+    let mut tb = ChainTestbed::new(config);
+    tb.install_servers(|| SourceServer::new(80));
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(RequestReplyClient::new(
+            vip(80),
+            format!("SEND {total}\n").into_bytes(),
+            total,
+        )));
+    });
+    tb
 }
 
 fn download_testbed(replicas: usize, total: u64, seed: u64) -> ChainTestbed {
@@ -178,4 +205,119 @@ fn chain_store_session_survives_head_failure() {
             assert_eq!(h.app_mut::<StoreServer>(0).commands, n_cmds);
         });
     }
+}
+
+// ---------------------------------------------------------------------
+// PR9: depth-4 chains under the auditor, and standby reprovisioning.
+// ---------------------------------------------------------------------
+
+#[test]
+fn four_way_head_failure_audited() {
+    let mut tb = download_testbed_with(observed_config(4, 9), 2_000_000);
+    tb.run_for(SimDuration::from_millis(200));
+    tb.kill_replica(0);
+    tb.run_for(SimDuration::from_secs(30));
+    assert_download_done(&mut tb, 2_000_000);
+    tb.sim.with::<Host, _>(tb.replicas[1], |h, _| {
+        assert!(h.net_mut().local_ips.contains(&addrs::A_P), "VIP takeover");
+        let c = h.controller_mut::<tcp_failover::core::ChainController>();
+        assert!(c.promoted_at.is_some(), "B1 promoted");
+    });
+    assert_eq!(tb.audit_violations(), 0, "auditor fired during takeover");
+}
+
+#[test]
+fn four_way_middle_failure_audited() {
+    let mut tb = download_testbed_with(observed_config(4, 10), 2_000_000);
+    tb.run_for(SimDuration::from_millis(200));
+    tb.kill_replica(2); // second middle
+    tb.run_for(SimDuration::from_secs(30));
+    assert_download_done(&mut tb, 2_000_000);
+    for i in [1, 3] {
+        tb.sim.with::<Host, _>(tb.replicas[i], |h, _| {
+            let c = h.controller_mut::<tcp_failover::core::ChainController>();
+            assert!(c.promoted_at.is_none(), "replica {i} must not promote");
+        });
+    }
+    assert_eq!(tb.audit_violations(), 0, "auditor fired during heal");
+}
+
+#[test]
+fn four_way_tail_failure_audited() {
+    let mut tb = download_testbed_with(observed_config(4, 11), 2_000_000);
+    tb.run_for(SimDuration::from_millis(200));
+    tb.kill_replica(3); // tail
+    tb.run_for(SimDuration::from_secs(30));
+    assert_download_done(&mut tb, 2_000_000);
+    assert_eq!(tb.audit_violations(), 0, "auditor fired on tail loss");
+}
+
+#[test]
+fn reprovision_restores_redundancy_after_head_failure() {
+    // Head dies mid-transfer; B1 promotes via the health-scored gate;
+    // a standby is reprovisioned behind the old tail and the lag
+    // ledger proves catch-up drained to zero — all with the auditor
+    // attached and silent.
+    let mut tb = download_testbed_with(observed_config(3, 12), 8_000_000);
+    tb.run_for(SimDuration::from_millis(200));
+    tb.kill_replica(0);
+    tb.run_for(SimDuration::from_millis(300));
+    tb.sim.with::<Host, _>(tb.replicas[1], |h, _| {
+        let c = h.controller_mut::<tcp_failover::core::ChainController>();
+        assert!(c.promoted_at.is_some(), "B1 promoted before reprovision");
+    });
+
+    let standby = chain_ops::reprovision_tail(&mut tb);
+    assert_eq!(standby, 3, "standby appended after the founders");
+    assert_eq!(tb.tracker.phase(), ReprovisionPhase::CatchUp);
+    assert!(
+        tb.run_until_restored(SimDuration::from_millis(10), SimDuration::from_secs(30)),
+        "catch-up never drained (lag {})",
+        tb.catchup_lag()
+    );
+    assert_eq!(tb.catchup_lag(), 0, "restored with residual lag");
+    assert!(tb.tracker.reprovision_ns().unwrap() > 0);
+    assert!(tb.tracker.catchup_ns().unwrap() > 0);
+    assert_eq!(
+        tb.tracker.total_ns().unwrap(),
+        tb.tracker.reprovision_ns().unwrap() + tb.tracker.catchup_ns().unwrap()
+    );
+
+    tb.run_for(SimDuration::from_secs(60));
+    assert_download_done(&mut tb, 8_000_000);
+    // The standby actually took over the tail's serving duties.
+    let served = tb
+        .sim
+        .with::<Host, _>(tb.replicas[3], |h, _| h.app_mut::<SourceServer>(0).served);
+    assert!(served > 0, "standby never served the adopted stream");
+    assert_eq!(tb.audit_violations(), 0, "auditor fired during round");
+}
+
+#[test]
+fn failure_during_reprovision_catchup_degrades_gracefully() {
+    // The converted middle (the old tail) dies while the standby is
+    // still catching up: the chain heals around it (§6 degradation)
+    // and the transfer completes on the survivors.
+    let mut tb = download_testbed_with(observed_config(3, 13), 8_000_000);
+    tb.run_for(SimDuration::from_millis(200));
+    tb.kill_replica(0);
+    tb.run_for(SimDuration::from_millis(300));
+
+    let standby = chain_ops::reprovision_tail(&mut tb);
+    assert_eq!(tb.tracker.phase(), ReprovisionPhase::CatchUp);
+    // Give the standby a moment to join the flow, then kill the link
+    // whose lag ledger was proving catch-up.
+    tb.run_for(SimDuration::from_millis(30));
+    tb.kill_replica(2);
+    tb.run_for(SimDuration::from_secs(60));
+    assert_download_done(&mut tb, 8_000_000);
+    // The promoted head and the standby survive as a two-link chain.
+    tb.sim.with::<Host, _>(tb.replicas[1], |h, _| {
+        assert!(h.net_mut().local_ips.contains(&addrs::A_P));
+    });
+    let served = tb.sim.with::<Host, _>(tb.replicas[standby], |h, _| {
+        h.app_mut::<SourceServer>(0).served
+    });
+    assert!(served > 0, "standby never served after the second failure");
+    assert_eq!(tb.audit_violations(), 0);
 }
