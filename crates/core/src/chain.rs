@@ -756,9 +756,19 @@ impl ChainController {
     fn promotion_gate(&mut self, now: SimTime) -> Option<bool> {
         let score = self.self_monitor.score().total;
         if score >= self.promote_threshold {
-            self.vetoed_since = None;
+            if self.vetoed_since.take().is_some() {
+                self.journal(
+                    now,
+                    "chain.promotion_veto_cleared",
+                    &[
+                        ("score", score.to_string()),
+                        ("threshold", self.promote_threshold.to_string()),
+                    ],
+                );
+            }
             return Some(false);
         }
+        let new_episode = self.vetoed_since.is_none();
         let since = *self.vetoed_since.get_or_insert(now);
         let grace = tcpfo_net::time::SimDuration::from_nanos(
             self.config.timeout.as_nanos() * u64::from(FORCED_PROMOTION_GRACE),
@@ -777,18 +787,23 @@ impl ChainController {
         if self.state != TakeoverState::Vetoed {
             self.state = TakeoverState::Vetoed;
         }
-        self.promotions_vetoed += 1;
-        if let Some(t) = &self.telemetry {
-            t.vetoes.inc();
+        // Count veto *episodes*, not retry ticks: the vetoed promotion
+        // is re-evaluated every tick until recovery or forced grace,
+        // and per-tick counting would flood the journal.
+        if new_episode {
+            self.promotions_vetoed += 1;
+            if let Some(t) = &self.telemetry {
+                t.vetoes.inc();
+            }
+            self.journal(
+                now,
+                "chain.promotion_vetoed",
+                &[
+                    ("score", score.to_string()),
+                    ("threshold", self.promote_threshold.to_string()),
+                ],
+            );
         }
-        self.journal(
-            now,
-            "chain.promotion_vetoed",
-            &[
-                ("score", score.to_string()),
-                ("threshold", self.promote_threshold.to_string()),
-            ],
-        );
         None
     }
 
@@ -801,11 +816,19 @@ impl ChainController {
         let now_nanos = now.as_nanos();
 
         // Promotion pre-check: would the topology change make us head?
+        // Only the two bridge types that can actually take the VIP may
+        // answer yes — anything else would journal a `chain.promote`
+        // decision that no commit ever follows.
         let wants_promotion = up.is_none()
             && self.promoted_at.is_none()
             && match services.filter.as_any_mut().downcast_mut::<ChainBridge>() {
                 Some(cb) => !cb.is_head(),
-                None => true, // tail: §5 takeover of the last survivor
+                // tail: §5 takeover of the last survivor
+                None => services
+                    .filter
+                    .as_any_mut()
+                    .downcast_mut::<SecondaryBridge>()
+                    .is_some(),
             };
         let promote = if wants_promotion {
             match self.promotion_gate(now) {
@@ -1452,6 +1475,10 @@ mod tests {
         assert_eq!(c.promotion_gate(t0), None);
         assert_eq!(c.takeover_state(), TakeoverState::Vetoed);
         assert_eq!(c.promotions_vetoed, 1);
+        // Retry ticks within the same veto episode don't re-count.
+        let retry = t0 + tcpfo_net::time::SimDuration::from_millis(1);
+        assert_eq!(c.promotion_gate(retry), None);
+        assert_eq!(c.promotions_vetoed, 1, "one episode, not per tick");
         // ...until the forced-promotion grace elapses.
         let later = t0
             + tcpfo_net::time::SimDuration::from_nanos(

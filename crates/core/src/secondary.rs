@@ -883,11 +883,13 @@ mod tests {
     #[test]
     fn unwitnessed_connection_is_not_claimed() {
         // A freshly restarted secondary must not claim (and RST) a
-        // connection established before it booted.
+        // connection established before it booted: the §8 gate drops
+        // the segment — never translate, never deliver to the stack.
         let mut b = SecondaryBridge::new(A_P, A_S, FailoverConfig::from_ports([80]));
         let raw = client_segment(); // data, no SYN ever seen
-        let out = b.on_inbound(raw.clone(), 0);
-        assert_eq!(out.to_tcp, vec![raw], "must pass through untranslated");
+        let out = b.on_inbound(raw, 0);
+        assert!(out.to_tcp.is_empty(), "must drop, not deliver");
+        assert_eq!(b.stats.unwitnessed_dropped, 1);
         assert_eq!(b.stats.ingress_translated, 0);
     }
 
