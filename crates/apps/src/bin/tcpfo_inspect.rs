@@ -14,6 +14,10 @@
 //! tcpfo-inspect chain [--replicas N] [--frames N] [--plain] [--prom]
 //!                                  depth-N chain run: head failure, promotion,
 //!                                  tail reprovisioning, per-link health and lag
+//! tcpfo-inspect trace [--replicas N] [--out FILE]
+//!                                  traced chain failover: render the §5 MTTR
+//!                                  waterfall + control-plane spans, export
+//!                                  Chrome trace-event JSON (Perfetto loadable)
 //! tcpfo-inspect bundle <dir>       pretty-print a flight-recorder bundle
 //! ```
 //!
@@ -54,6 +58,7 @@ fn main() {
         Some("underload") => underload(&args[1..]),
         Some("health") => health(&args[1..]),
         Some("chain") => chain(&args[1..]),
+        Some("trace") => trace(&args[1..]),
         Some("bundle") => match args.get(1) {
             Some(dir) => bundle(dir),
             None => usage(),
@@ -76,6 +81,8 @@ fn usage() -> i32 {
          staged-degradation run, live health/lag/alert dashboard\n  \
          tcpfo-inspect chain [--replicas N] [--frames N] [--plain] [--prom]\n                                   \
          chain failover + reprovisioning, per-link health/lag view\n  \
+         tcpfo-inspect trace [--replicas N] [--out FILE]\n                                   \
+         traced chain failover: MTTR waterfall + Chrome trace export\n  \
          tcpfo-inspect bundle <dir>       pretty-print a flight-recorder bundle"
     );
     2
@@ -945,6 +952,145 @@ fn render_chain_frame(
     }
 }
 
+/// Drives the staged depth-N chain failover with span tracing armed on
+/// every replica hub, renders the promoted backup's forensic view —
+/// the §5 MTTR waterfall, the redundancy-restoration clock, and the
+/// control-plane spans the takeover recorded — and exports the merged
+/// Chrome trace-event JSON for Perfetto / `chrome://tracing`.
+fn trace(args: &[String]) -> i32 {
+    let replicas = args
+        .iter()
+        .position(|a| a == "--replicas")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+        .clamp(2, 8);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "FAILOVER_TRACE.json".to_string());
+
+    let mut tb = ChainTestbed::new(ChainConfig {
+        replicas,
+        seed: 0x1C,
+        audit: Some(true),
+        health: Some(true),
+        span_trace: Some(true),
+        ..ChainConfig::default()
+    });
+    tb.install_servers(|| SourceServer::new(80));
+    tb.sim.with::<Host, _>(tb.client, |h, _| {
+        h.add_app(Box::new(RequestReplyClient::new(
+            SocketAddr::new(addrs::A_P, 80),
+            b"SEND 16000000\n".to_vec(),
+            16_000_000,
+        )));
+    });
+
+    // The rehearsal: healthy, head killed, takeover, tail
+    // re-provisioned, catch-up drained.
+    tb.run_for(SimDuration::from_millis(200));
+    tb.kill_replica(0);
+    tb.run_for(SimDuration::from_millis(300));
+    chain_ops::reprovision_tail(&mut tb);
+    tb.run_until_restored(SimDuration::from_millis(10), SimDuration::from_secs(30));
+    tb.run_for(SimDuration::from_secs(2));
+
+    // The promoted backup carries the complete timeline and the spans
+    // of the takeover it performed.
+    let hub = tb.hubs[1].clone();
+    println!(
+        "tcpfo-inspect trace — depth-{replicas} chain, head killed at 200 ms, sim t = {} ms",
+        tb.sim.now().as_nanos() / 1_000_000
+    );
+    match hub.timeline.mttr() {
+        Some(m) => {
+            println!(
+                "\n── §5 failover waterfall (MTTR {:.3} ms) ──",
+                m.total_ns as f64 / 1e6
+            );
+            const PHASES: [&str; 5] = [
+                "detection",
+                "egress_hold",
+                "translation_off",
+                "arp_takeover",
+                "first_client_byte",
+            ];
+            let deltas = m.deltas();
+            let widest = deltas.into_iter().max().unwrap_or(1).max(1);
+            for (name, dur) in PHASES.into_iter().zip(deltas) {
+                let bar = (dur * 40).div_ceil(widest) as usize;
+                println!(
+                    "{name:<18} {:<40} {:>10.3} ms",
+                    "█".repeat(bar),
+                    dur as f64 / 1e6
+                );
+            }
+        }
+        None => println!("\n(timeline incomplete — no client byte crossed the new head yet)"),
+    }
+
+    println!("\n── redundancy restoration ──");
+    match (
+        tb.tracker.reprovision_ns(),
+        tb.tracker.catchup_ns(),
+        tb.tracker.total_ns(),
+    ) {
+        (Some(rep), Some(cat), Some(total)) => {
+            let widest = rep.max(cat).max(1);
+            for (name, dur) in [("reprovision", rep), ("catchup", cat)] {
+                let bar = (dur * 40).div_ceil(widest) as usize;
+                println!(
+                    "{name:<18} {:<40} {:>10.3} ms",
+                    "█".repeat(bar),
+                    dur as f64 / 1e6
+                );
+            }
+            println!(
+                "{:<18} {:<40} {:>10.3} ms",
+                "restored",
+                "",
+                total as f64 / 1e6
+            );
+        }
+        _ => println!("(not restored within the rehearsal window)"),
+    }
+
+    let records = hub.trace.records();
+    println!(
+        "\n── control-plane spans (replica 1, the promoted backup; {} retained, {} dropped) ──",
+        records.len(),
+        hub.trace.dropped()
+    );
+    for r in records.iter().rev().take(24).rev() {
+        println!("{}", r.summary());
+    }
+
+    let waterfall = tcpfo_telemetry::waterfall_records(&hub.timeline, &hub.redundancy);
+    let chrome = hub.trace.chrome_trace(&waterfall);
+    match std::fs::write(&out, &chrome) {
+        Ok(()) => println!(
+            "\nwrote {out} ({} bytes, {} synthetic waterfall spans) — load in Perfetto or chrome://tracing",
+            chrome.len(),
+            waterfall.len()
+        ),
+        Err(e) => {
+            eprintln!("tcpfo-inspect: write to {out} failed: {e}");
+            return 1;
+        }
+    }
+
+    let violations = tb.audit_violations();
+    if violations > 0 {
+        eprintln!("tcpfo-inspect: {violations} invariant violation(s) recorded");
+        1
+    } else {
+        0
+    }
+}
+
 fn exit_code(tb: &mut Testbed) -> i32 {
     let violations = tb.audit_violations();
     if violations > 0 {
@@ -1004,6 +1150,17 @@ fn bundle(dir: &str) -> i32 {
     let timeline = dir.join("timeline.json");
     if let Ok(s) = std::fs::read_to_string(&timeline) {
         println!("\n=== timeline.json ===\n{s}");
+    }
+    // PR 10: the failover span dump, when the bundle's hub had tracing
+    // armed. The sibling trace.chrome.json loads in Perfetto as-is.
+    if let Ok(s) = std::fs::read_to_string(dir.join("spans.json")) {
+        println!("\n=== spans.json ===\n{s}");
+        if dir.join("trace.chrome.json").exists() {
+            println!(
+                "(trace.chrome.json present — load {} in Perfetto or chrome://tracing)",
+                dir.join("trace.chrome.json").display()
+            );
+        }
     }
     0
 }

@@ -31,8 +31,10 @@ use tcpfo_core::flow::{FlowTableConfig, ShardStats};
 use tcpfo_core::{FailoverConfig, PrimaryBridge};
 use tcpfo_net::{OpenLoopInjector, ShardExecutor};
 use tcpfo_tcp::filter::{FilterOutput, SegmentFilter};
+use tcpfo_telemetry::span::DEFAULT_SPAN_CAPACITY;
 use tcpfo_telemetry::{
-    HealthObservatory, HostClock, LatencyObservatory, ShardSample, UnderLoadRecorder,
+    HealthObservatory, HostClock, LatencyObservatory, ShardSample, SpanSampler, Tracer,
+    UnderLoadRecorder,
 };
 use tcpfo_wire::ipv4::Ipv4Addr;
 
@@ -196,6 +198,12 @@ pub struct OpenLoopConfig {
     /// a [`LagExactness`] cross-check against the queue-derived
     /// oracle. Costs one branch per queue mutation when false.
     pub attach_health: bool,
+    /// Attach the failover span tracer (PR 10): an armed ring plus the
+    /// 1-in-64 hot-path batch sampler ride the datapath, and every
+    /// injected segment's corrected-e2e recording carries the sampled
+    /// batch's span context so tail-bucket samples capture exemplars.
+    /// Costs one relaxed load per batch when false.
+    pub attach_trace: bool,
 }
 
 impl OpenLoopConfig {
@@ -226,6 +234,7 @@ impl OpenLoopConfig {
             sample_every: 128,
             gc_every: 1_024,
             attach_health: false,
+            attach_trace: false,
         }
     }
 
@@ -256,6 +265,7 @@ impl OpenLoopConfig {
             sample_every: 64,
             gc_every: 512,
             attach_health: false,
+            attach_trace: false,
         }
     }
 
@@ -348,6 +358,23 @@ pub struct OpenLoopReport {
     /// Lag-ledger exactness cross-check, present when
     /// [`OpenLoopConfig::attach_health`] was set.
     pub lag: Option<LagExactness>,
+    /// Span-sampler accounting, present when
+    /// [`OpenLoopConfig::attach_trace`] was set.
+    pub trace: Option<TraceStats>,
+}
+
+/// End-of-run accounting of the attached span layer: how often the
+/// 1-in-N batch sampler fired and what the ring retained/evicted.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceStats {
+    /// Batches the sampler actually laid spans for.
+    pub sampled_batches: u64,
+    /// Batches the sampler saw (sampled or not).
+    pub total_batches: u64,
+    /// Span records retained in the ring at end of run.
+    pub spans_retained: usize,
+    /// Records evicted by the ring's drop-oldest policy.
+    pub spans_dropped: u64,
 }
 
 /// End-of-run comparison between the incrementally maintained
@@ -483,6 +510,11 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopReport {
     if cfg.attach_health {
         bridge.set_health(Some(Box::new(HealthObservatory::new())));
     }
+    if cfg.attach_trace {
+        bridge.set_trace(Some(Box::new(SpanSampler::with_default_period(
+            Tracer::attached(DEFAULT_SPAN_CAPACITY),
+        ))));
+    }
     run_open_loop_with(cfg, &mut bridge)
 }
 
@@ -512,6 +544,11 @@ pub fn run_open_loop_chain(cfg: &OpenLoopConfig) -> OpenLoopReport {
     bridge.set_latency(Some(Box::new(LatencyObservatory::new())));
     if cfg.attach_health {
         bridge.set_health(Some(Box::new(HealthObservatory::new())));
+    }
+    if cfg.attach_trace {
+        bridge.set_trace(Some(Box::new(SpanSampler::with_default_period(
+            Tracer::attached(DEFAULT_SPAN_CAPACITY),
+        ))));
     }
     run_open_loop_with(cfg, &mut bridge)
 }
@@ -573,8 +610,12 @@ pub fn run_open_loop_with<B: OpenLoopBridge>(
             output_segments += (o.to_wire.len() + o.to_tcp.len()) as u64;
         }
         let done = HostClock::now_ns().saturating_sub(t0);
+        // The sampled batch's span is the exemplar link: a tail-bucket
+        // corrected sample recorded here points straight at the hot
+        // path trace that was live when the segment went through.
+        let ctx = bridge.merge().trace_context();
         for &(intended, _) in due.iter() {
-            rec.record_segment(intended, now, done);
+            rec.record_segment_ctx(intended, now, done, ctx);
         }
         injected += due.len() as u64;
         let stages_after = *bridge
@@ -608,6 +649,12 @@ pub fn run_open_loop_with<B: OpenLoopBridge>(
         .merge()
         .health()
         .map(|obs| lag_exactness(bridge.merge(), obs));
+    let trace = bridge.merge().trace_sampler().map(|s| TraceStats {
+        sampled_batches: s.sampled(),
+        total_batches: s.batches(),
+        spans_retained: s.tracer().len(),
+        spans_dropped: s.tracer().dropped(),
+    });
     let elapsed_s = (end_ns.max(1)) as f64 / 1e9;
     OpenLoopReport {
         recorder: rec,
@@ -620,6 +667,7 @@ pub fn run_open_loop_with<B: OpenLoopBridge>(
         table,
         end_ns,
         lag,
+        trace,
     }
 }
 
@@ -688,6 +736,7 @@ mod tests {
             sample_every: 8,
             gc_every: 16,
             attach_health: false,
+            attach_trace: false,
         }
     }
 
@@ -736,5 +785,32 @@ mod tests {
         assert!(r.recorder.corrected().max() >= r.recorder.naive().max());
         // GC ticks fired and each one's pause was recorded.
         assert!(r.recorder.gc_pause().count() > 0, "gc ticks recorded");
+    }
+
+    #[test]
+    fn open_loop_run_with_trace_samples_batches_and_captures_exemplars() {
+        let mut cfg = tiny();
+        // Enough segments that the 1-in-64 batch sampler must fire.
+        cfg.resident_flows = 2_048;
+        cfg.capacity = 8_192;
+        cfg.attach_trace = true;
+        let r = run_open_loop(&cfg);
+        let t = r.trace.expect("trace stats present when attached");
+        assert!(t.total_batches >= 64, "batches {}", t.total_batches);
+        assert!(t.sampled_batches > 0, "sampler fired");
+        assert!(t.spans_retained > 0, "ring retained hot-path spans");
+        // Tail-bucket corrected samples captured exemplars, and every
+        // captured exemplar links a real span.
+        let ex = r.recorder.corrected_exemplars();
+        assert!(ex.captured() > 0, "tail samples captured exemplars");
+        for e in ex.iter() {
+            assert!(!e.ctx.span.is_none(), "exemplar carries a span id");
+        }
+        // Detached control: no stats, no exemplars.
+        let mut off = tiny();
+        off.attach_trace = false;
+        let r = run_open_loop(&off);
+        assert!(r.trace.is_none());
+        assert_eq!(r.recorder.corrected_exemplars().captured(), 0);
     }
 }

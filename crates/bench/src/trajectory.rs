@@ -34,6 +34,8 @@ pub struct TrajectoryInputs {
     pub pr8: Option<String>,
     /// `BENCH_PR9.json` (chain control plane: failover + reprovisioning).
     pub pr9: Option<String>,
+    /// `BENCH_PR10.json` (failover span tracing + tail exemplars).
+    pub pr10: Option<String>,
 }
 
 impl TrajectoryInputs {
@@ -58,6 +60,7 @@ impl TrajectoryInputs {
             pr7: read(7),
             pr8: read(8),
             pr9: read(9),
+            pr10: read(10),
         }
     }
 }
@@ -138,10 +141,18 @@ pub fn trajectory_doc(inputs: &TrajectoryInputs) -> String {
             num(fig(&inputs.pr9, "failover", "mttr_ms")),
             num(fig(&inputs.pr9, "reprovision", "restored_ms")),
         ),
+        format!(
+            "    {{\"pr\": 10, \"bench\": \"failover span tracing\", \"missing\": {}, \
+             \"trace_overhead_ratio\": {}, \"waterfall_mttr_ms\": {}, \"tail_exemplars\": {}}}",
+            inputs.pr10.is_none(),
+            num(fig(&inputs.pr10, "overhead", "ratio")),
+            num(fig(&inputs.pr10, "waterfall", "mttr_ms")),
+            num(fig(&inputs.pr10, "exemplars", "captured")),
+        ),
     ];
 
     format!(
-        "{{\n  \"bench\": \"headline trajectory PR2..PR9\",\n  \"trajectory\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"headline trajectory PR2..PR10\",\n  \"trajectory\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     )
 }
@@ -167,10 +178,10 @@ mod tests {
     #[test]
     fn missing_inputs_become_missing_rows_not_panics() {
         let doc = trajectory_doc(&TrajectoryInputs::default());
-        for pr in 2..=9 {
+        for pr in 2..=10 {
             assert!(doc.contains(&format!("\"pr\": {pr}, ")), "{doc}");
         }
-        assert_eq!(doc.matches("\"missing\": true").count(), 8, "{doc}");
+        assert_eq!(doc.matches("\"missing\": true").count(), 9, "{doc}");
         assert!(doc.contains("\"peak_flows\": null"), "{doc}");
         assert!(doc.contains("\"recv_kbps_failover\": null"), "{doc}");
     }
@@ -238,6 +249,21 @@ mod tests {
         assert!(doc.contains("\"chain_overhead_ratio\": 1.013"), "{doc}");
         assert!(doc.contains("\"mttr_ms\": 61.200"), "{doc}");
         assert!(doc.contains("\"restored_ms\": 94.700"), "{doc}");
+    }
+
+    #[test]
+    fn pr10_headline_fields_are_extracted() {
+        let pr10 = "{\n  \"overhead\": {\"ratio\": 1.027},\n  \
+                    \"waterfall\": {\"mttr_ms\": 60.4},\n  \
+                    \"exemplars\": {\"captured\": 57}\n}";
+        let inputs = TrajectoryInputs {
+            pr10: Some(pr10.to_string()),
+            ..TrajectoryInputs::default()
+        };
+        let doc = trajectory_doc(&inputs);
+        assert!(doc.contains("\"trace_overhead_ratio\": 1.027"), "{doc}");
+        assert!(doc.contains("\"waterfall_mttr_ms\": 60.400"), "{doc}");
+        assert!(doc.contains("\"tail_exemplars\": 57.000"), "{doc}");
     }
 
     #[test]

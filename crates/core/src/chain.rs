@@ -63,7 +63,7 @@ use tcpfo_tcp::filter::{AddressedSegment, BatchDir, FailoverRule, FilterOutput, 
 use tcpfo_tcp::host::{HostController, HostServices};
 use tcpfo_telemetry::{
     Counter, FailoverPhase, HealthConfig, HealthMonitor, HealthObservatory, HealthScore,
-    InvariantAuditor, LatencyObservatory, StageLatency, Telemetry,
+    InvariantAuditor, LatencyObservatory, SpanTrack, StageLatency, Telemetry,
 };
 use tcpfo_wire::checksum::ChecksumDelta;
 use tcpfo_wire::ipv4::{Ipv4Addr, PROTO_HEARTBEAT};
@@ -226,6 +226,16 @@ impl ChainBridge {
     /// Mutable access to the attached health observatory.
     pub fn health_mut(&mut self) -> Option<&mut HealthObservatory> {
         self.inner.health_mut()
+    }
+
+    /// Attaches (or detaches) the hot-path span sampler.
+    pub fn set_trace(&mut self, trace: Option<Box<tcpfo_telemetry::SpanSampler>>) {
+        self.inner.set_trace(trace);
+    }
+
+    /// Span context of the most recent sampled hot-path batch.
+    pub fn trace_context(&self) -> Option<tcpfo_telemetry::SpanContext> {
+        self.inner.trace_context()
     }
 
     /// Connects the telemetry hub: the inner bridge publishes its
@@ -510,6 +520,10 @@ impl SegmentFilter for ChainBridge {
         self.inner.latency_stages()
     }
 
+    fn trace_context(&self) -> Option<tcpfo_telemetry::SpanContext> {
+        self.inner.trace_context()
+    }
+
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
@@ -597,6 +611,9 @@ pub struct ChainController {
     promote_threshold: u64,
     alive: Vec<bool>,
     last_heard: Vec<Option<SimTime>>,
+    /// Per-peer watermark of already-traced heartbeat misses, so a
+    /// silent peer yields one `hb.miss` instant per missed beat.
+    traced_misses: Vec<u32>,
     trackers: Vec<PeerTracker>,
     next_send: SimTime,
     /// Global heartbeat sequence (one per send round, shared across
@@ -642,6 +659,7 @@ impl ChainController {
             promote_threshold: health_cfg.crit_enter,
             alive: vec![true; n],
             last_heard: vec![None; n],
+            traced_misses: vec![0; n],
             trackers: (0..n).map(|_| PeerTracker::new(health_cfg)).collect(),
             next_send: SimTime::ZERO,
             send_seq: 0,
@@ -703,6 +721,7 @@ impl ChainController {
         self.chain.push(addr);
         self.alive.push(true);
         self.last_heard.push(None);
+        self.traced_misses.push(0);
         self.trackers.push(PeerTracker::new(self.health_cfg));
     }
 
@@ -742,6 +761,21 @@ impl ChainController {
         }
     }
 
+    /// Point event on the `core.chain` control-plane span lane. One
+    /// relaxed atomic load when the tracer is detached.
+    fn trace_instant(
+        &self,
+        name: &'static str,
+        now: SimTime,
+        args: [Option<(&'static str, u64)>; 2],
+    ) {
+        if let Some(t) = &self.telemetry {
+            t.hub
+                .trace
+                .instant_args(SpanTrack::Control, t.scope, name, now.as_nanos(), args);
+        }
+    }
+
     fn nearest_alive_up(&self) -> Option<usize> {
         (0..self.my_index).rev().find(|&i| self.alive[i])
     }
@@ -765,6 +799,14 @@ impl ChainController {
                         ("threshold", self.promote_threshold.to_string()),
                     ],
                 );
+                self.trace_instant(
+                    "chain.veto_cleared",
+                    now,
+                    [
+                        Some(("score", score)),
+                        Some(("threshold", self.promote_threshold)),
+                    ],
+                );
             }
             return Some(false);
         }
@@ -781,6 +823,11 @@ impl ChainController {
                     ("score", score.to_string()),
                     ("threshold", self.promote_threshold.to_string()),
                 ],
+            );
+            self.trace_instant(
+                "chain.promotion_forced",
+                now,
+                [Some(("score", score)), None],
             );
             return Some(true);
         }
@@ -801,6 +848,14 @@ impl ChainController {
                 &[
                     ("score", score.to_string()),
                     ("threshold", self.promote_threshold.to_string()),
+                ],
+            );
+            self.trace_instant(
+                "chain.promotion_vetoed",
+                now,
+                [
+                    Some(("score", score)),
+                    Some(("threshold", self.promote_threshold)),
                 ],
             );
         }
@@ -830,6 +885,7 @@ impl ChainController {
                     .downcast_mut::<SecondaryBridge>()
                     .is_some(),
             };
+        let mut promo_span = None;
         let promote = if wants_promotion {
             match self.promotion_gate(now) {
                 Some(forced) => {
@@ -842,6 +898,24 @@ impl ChainController {
                             ("vip", vip.to_string()),
                             ("score", self.self_monitor.score().total.to_string()),
                             ("forced", forced.to_string()),
+                        ],
+                    );
+                    // The promotion span brackets decision → VIP commit;
+                    // the takeover-step instants below nest under it.
+                    promo_span = self.telemetry.as_ref().and_then(|t| {
+                        t.hub.trace.begin(
+                            SpanTrack::Control,
+                            t.scope,
+                            "chain.promotion",
+                            now.as_nanos(),
+                        )
+                    });
+                    self.trace_instant(
+                        "chain.promote.decision",
+                        now,
+                        [
+                            Some(("score", self.self_monitor.score().total)),
+                            Some(("forced", u64::from(forced))),
                         ],
                     );
                     true
@@ -926,6 +1000,11 @@ impl ChainController {
             }
             services.net.gratuitous_arp(vip, services.ctx);
             self.mark(FailoverPhase::ArpTakeover, now);
+            self.trace_instant(
+                "chain.vip_takeover",
+                now,
+                [Some(("vip", u32::from_be_bytes(vip.octets()) as u64)), None],
+            );
             self.promoted_at = Some(now);
             self.state = TakeoverState::Promoted;
             self.vetoed_since = None;
@@ -948,6 +1027,10 @@ impl ChainController {
                     aud.note_promotion_committed(now_nanos);
                 }
             }
+            self.trace_instant("chain.promoted", now, [None, None]);
+        }
+        if let (Some(t), Some(span)) = (&self.telemetry, promo_span) {
+            t.hub.trace.end(&span, now.as_nanos());
         }
     }
 
@@ -1006,6 +1089,9 @@ impl HostController for ChainController {
                 services.send_raw(PROTO_HEARTBEAT, self.chain[i], Bytes::from(payload));
                 self.heartbeats_sent += 1;
             }
+            // One instant per fan-out round, not per peer: the trace
+            // shows the heartbeat cadence without N-way noise.
+            self.trace_instant("hb.send", now, [Some(("seq", seq)), None]);
             self.next_send = now + self.config.interval;
         }
         if let Some(t) = &self.telemetry {
@@ -1026,6 +1112,17 @@ impl HostController for ChainController {
             let last = *self.last_heard[i].get_or_insert(now);
             let silence = now.duration_since(last).as_nanos();
             let misses = (silence / interval).min(u32::MAX as u64) as u32;
+            if misses > self.traced_misses[i] {
+                self.trace_instant(
+                    "hb.miss",
+                    now,
+                    [
+                        Some(("peer", i as u64)),
+                        Some(("misses", u64::from(misses))),
+                    ],
+                );
+            }
+            self.traced_misses[i] = misses;
             let tr = &mut self.trackers[i];
             tr.monitor.replica.set_misses(misses);
             let transition = tr.monitor.tick(now_ns);
@@ -1041,6 +1138,15 @@ impl HostController for ChainController {
                         ("score", score.to_string()),
                     ],
                 );
+                self.trace_instant(
+                    match to {
+                        tcpfo_telemetry::AlertState::Ok => "chain.health.ok",
+                        tcpfo_telemetry::AlertState::Warn => "chain.health.warn",
+                        tcpfo_telemetry::AlertState::Critical => "chain.health.critical",
+                    },
+                    now,
+                    [Some(("peer", i as u64)), Some(("score", score))],
+                );
             }
             if silence > self.config.timeout.as_nanos() {
                 self.alive[i] = false;
@@ -1053,6 +1159,14 @@ impl HostController for ChainController {
                         ("peer", self.chain[i].to_string()),
                         ("score", score.to_string()),
                         ("misses", misses.to_string()),
+                    ],
+                );
+                self.trace_instant(
+                    "chain.peer_dead",
+                    now,
+                    [
+                        Some(("peer", i as u64)),
+                        Some(("misses", u64::from(misses))),
                     ],
                 );
             }
@@ -1082,6 +1196,7 @@ impl HostController for ChainController {
         };
         let now = services.now;
         self.last_heard[i] = Some(now);
+        self.traced_misses[i] = 0;
         if !self.alive[i] {
             // A beat from a peer we already declared dead: count it as
             // late, never trust it for liveness (its successor may own

@@ -79,6 +79,10 @@ pub struct ChainConfig {
     /// bridge. `None` follows the `TCPFO_HEALTH` knob; `Some(_)`
     /// overrides it.
     pub health: Option<bool>,
+    /// Arm the failover span tracer (PR10) on every replica hub and a
+    /// hot-path batch sampler on every non-tail bridge. `None` follows
+    /// the `TCPFO_TRACE` knob; `Some(_)` overrides it.
+    pub span_trace: Option<bool>,
 }
 
 impl Default for ChainConfig {
@@ -95,6 +99,7 @@ impl Default for ChainConfig {
             audit: None,
             latency: None,
             health: None,
+            span_trace: None,
         }
     }
 }
@@ -134,6 +139,7 @@ pub struct ChainTestbed {
     audit_on: bool,
     latency_on: bool,
     health_on: bool,
+    span_trace_on: bool,
 }
 
 impl ChainTestbed {
@@ -149,6 +155,9 @@ impl ChainTestbed {
         let audit_on = config.audit.unwrap_or_else(env_audit_enabled);
         let latency_on = config.latency.unwrap_or_else(env_latency_enabled);
         let health_on = config.health.unwrap_or_else(env_health_enabled);
+        let span_trace_on = config
+            .span_trace
+            .unwrap_or_else(tcpfo_telemetry::span::env_trace_enabled);
         let replica_addrs: Vec<Ipv4Addr> = (0..n)
             .map(|i| Ipv4Addr::new(10, 0, 0, 2 + i as u8))
             .collect();
@@ -205,6 +214,7 @@ impl ChainTestbed {
             audit_on,
             latency_on,
             health_on,
+            span_trace_on,
         };
 
         // Replicas, head first.
@@ -226,7 +236,13 @@ impl ChainTestbed {
         let vip = addrs::A_P;
         let n = self.replica_addrs.len();
         let telemetry = Telemetry::from_env();
+        if self.span_trace_on {
+            telemetry
+                .trace
+                .attach(tcpfo_telemetry::span::env_trace_capacity());
+        }
         self.tracker.attach_timeline(telemetry.redundancy.clone());
+        self.tracker.attach_tracer(telemetry.trace.clone());
         let fo = FailoverConfig::from_ports(self.config.failover_ports.iter().copied());
         let mut hc = HostConfig::new(&format!("replica{i}"), mac, self.replica_addrs[i])
             .with_gateway(addrs::GW_SERVER)
@@ -296,6 +312,11 @@ impl ChainTestbed {
         }
         if self.health_on {
             bridge.set_health(Some(Box::new(HealthObservatory::new())));
+        }
+        if self.span_trace_on {
+            bridge.set_trace(Some(Box::new(
+                tcpfo_telemetry::SpanSampler::with_default_period(telemetry.trace.clone()),
+            )));
         }
     }
 
@@ -460,7 +481,13 @@ impl ChainTestbed {
         // diverting to the current tail (which will convert to a
         // middle as part of the handoff).
         let telemetry = Telemetry::from_env();
+        if self.span_trace_on {
+            telemetry
+                .trace
+                .attach(tcpfo_telemetry::span::env_trace_capacity());
+        }
         self.tracker.attach_timeline(telemetry.redundancy.clone());
+        self.tracker.attach_tracer(telemetry.trace.clone());
         let fo = FailoverConfig::from_ports(self.config.failover_ports.iter().copied());
         let mut hc = HostConfig::new(&format!("replica{k}"), mac, addr)
             .with_gateway(addrs::GW_SERVER)
@@ -579,6 +606,7 @@ impl ChainTestbed {
         let audit_on = self.audit_on;
         let latency_on = self.latency_on;
         let health_on = self.health_on;
+        let span_trace_on = self.span_trace_on;
         self.sim.with::<Host, _>(node, move |h, _| {
             let upstream = h
                 .filter_mut()
@@ -598,6 +626,11 @@ impl ChainTestbed {
             }
             if health_on {
                 bridge.set_health(Some(Box::new(HealthObservatory::new())));
+            }
+            if span_trace_on {
+                bridge.set_trace(Some(Box::new(
+                    tcpfo_telemetry::SpanSampler::with_default_period(telemetry.trace.clone()),
+                )));
             }
             for ho in &handoffs {
                 bridge.adopt_flow(ho, now);

@@ -20,7 +20,7 @@ use bytes::Bytes;
 use std::any::Any;
 use tcpfo_net::time::{SimDuration, SimTime};
 use tcpfo_tcp::host::{HostController, HostServices};
-use tcpfo_telemetry::{Counter, FailoverPhase, HealthMonitor, Telemetry};
+use tcpfo_telemetry::{Counter, FailoverPhase, HealthMonitor, SpanTrack, Telemetry};
 use tcpfo_wire::ipv4::{Ipv4Addr, PROTO_HEARTBEAT};
 
 /// Wire size of a v1 heartbeat: `"HB"` + sender seq (u64 LE) + echoed
@@ -108,6 +108,10 @@ pub struct ReplicaController {
     /// heartbeat decision.
     health: Option<Box<HealthMonitor>>,
     telemetry: Option<DetectorInstruments>,
+    /// Whole-interval misses already traced as `hb.miss` instants, so
+    /// a silent peer produces one instant per missed beat rather than
+    /// one per tick. Reset on every received heartbeat.
+    traced_misses: u64,
 }
 
 impl ReplicaController {
@@ -139,6 +143,7 @@ impl ReplicaController {
             peer_expected_seq: None,
             health: None,
             telemetry: None,
+            traced_misses: 0,
         }
     }
 
@@ -211,6 +216,21 @@ impl ReplicaController {
         }
     }
 
+    /// Point event on the control-plane span track. One relaxed atomic
+    /// load when the tracer is detached (or no hub is attached at all).
+    fn trace_instant(
+        &self,
+        name: &'static str,
+        now: SimTime,
+        args: [Option<(&'static str, u64)>; 2],
+    ) {
+        if let Some(t) = &self.telemetry {
+            t.hub
+                .trace
+                .instant_args(SpanTrack::Control, t.scope, name, now.as_nanos(), args);
+        }
+    }
+
     /// Executes the failover procedure immediately (used by tests and
     /// by the detector on timeout).
     pub fn force_failover(&mut self, services: &mut HostServices<'_, '_>) {
@@ -222,12 +242,37 @@ impl ReplicaController {
             self.peer_failed_at = Some(now);
             self.mark(FailoverPhase::Detection, now);
             self.journal(now, "detection", &[("peer", self.peer_ip.to_string())]);
+            self.trace_instant(
+                "detection",
+                now,
+                [
+                    Some((
+                        "misses",
+                        self.misses_since(self.last_heard.unwrap_or(now), now),
+                    )),
+                    None,
+                ],
+            );
         }
+        // The whole §5/§6 procedure runs to completion at one sim
+        // instant; the span still records the causal envelope so the
+        // step instants below nest under it in the Chrome timeline.
+        let span = self.telemetry.as_ref().and_then(|t| {
+            t.hub.trace.begin(
+                SpanTrack::Control,
+                t.scope,
+                "failover_procedure",
+                now.as_nanos(),
+            )
+        });
         match self.role {
             Role::Secondary => self.takeover(services),
             Role::Primary => self.drop_secondary(services),
         }
         self.failover_done_at = Some(services.now);
+        if let (Some(t), Some(span)) = (&self.telemetry, span) {
+            t.hub.trace.end(&span, services.now.as_nanos());
+        }
     }
 
     /// §5: the primary failed; the secondary takes over its identity.
@@ -241,6 +286,7 @@ impl ReplicaController {
         // Step 1: stop sending client-addressed TCP segments.
         self.mark(FailoverPhase::EgressHold, now);
         self.journal(now, "takeover.egress_hold", &[]);
+        self.trace_instant("takeover.egress_hold", now, [None, None]);
         bridge.prepare_takeover();
         // Step 2: disable promiscuous receive mode.
         services.net.promiscuous = false;
@@ -248,6 +294,7 @@ impl ReplicaController {
         bridge.complete_takeover();
         self.mark(FailoverPhase::TranslationOff, now);
         self.journal(now, "takeover.translation_off", &[]);
+        self.trace_instant("takeover.translation_off", now, [None, None]);
         // Step 5: take over the primary's IP address. Re-keying the
         // failover TCBs from a_s to a_p is the stack-level half of the
         // takeover (see DESIGN.md §2 for why this is needed).
@@ -258,6 +305,14 @@ impl ReplicaController {
         services.net.gratuitous_arp(self.a_p, services.ctx);
         self.mark(FailoverPhase::ArpTakeover, now);
         self.journal(now, "takeover.arp", &[("vip", self.a_p.to_string())]);
+        self.trace_instant(
+            "takeover.vip_arp",
+            now,
+            [
+                Some(("vip", u32::from_be_bytes(self.a_p.octets()) as u64)),
+                None,
+            ],
+        );
         // "After the change of IP address is completed, the bridge
         // resumes sending TCP segments" — retransmission timers on the
         // re-keyed sockets take it from here.
@@ -299,7 +354,16 @@ impl HostController for ReplicaController {
             self.hb_ring[(seq % HB_RING as u64) as usize] = (seq, now);
             self.heartbeats_sent += 1;
             self.next_send = now + self.config.interval;
+            self.trace_instant("hb.send", now, [Some(("seq", seq)), None]);
         }
+        // One `hb.miss` instant per whole silent interval (not per
+        // tick): the trace shows each missed beat exactly once, then
+        // `detection` fires when the binary timeout is crossed.
+        let misses_now = self.misses_since(last, now);
+        if misses_now > self.traced_misses && self.peer_failed_at.is_none() {
+            self.trace_instant("hb.miss", now, [Some(("misses", misses_now)), None]);
+        }
+        self.traced_misses = misses_now;
         if let Some(t) = &self.telemetry {
             t.heartbeats_sent.set_at_least(self.heartbeats_sent);
             t.heartbeats_received.set_at_least(self.heartbeats_received);
@@ -343,6 +407,15 @@ impl HostController for ReplicaController {
                         ("score", score.to_string()),
                     ],
                 );
+                self.trace_instant(
+                    match to {
+                        tcpfo_telemetry::AlertState::Ok => "health.alert.ok",
+                        tcpfo_telemetry::AlertState::Warn => "health.alert.warn",
+                        tcpfo_telemetry::AlertState::Critical => "health.alert.critical",
+                    },
+                    now,
+                    [Some(("score", score)), Some(("from", from as u64))],
+                );
             }
         }
         if self.peer_failed_at.is_none() && self.silence_expired(last, now) {
@@ -373,10 +446,12 @@ impl HostController for ReplicaController {
                     mon.replica.on_late_heartbeat();
                 }
                 self.journal(now, "late_heartbeat", &[("peer", src.to_string())]);
+                self.trace_instant("hb.late", now, [None, None]);
                 return;
             }
             self.heartbeats_received += 1;
             self.last_heard = Some(now);
+            self.traced_misses = 0;
             // v1 payload: seq + RTT echo. Legacy (short) payloads are
             // liveness-only; either way the beat counted above.
             if payload.len() >= HEARTBEAT_V1_LEN && &payload[..2] == b"HB" {
@@ -434,6 +509,7 @@ impl HostController for ReplicaController {
                 self.failover_done_at = None;
                 self.rejoins += 1;
                 self.journal(services.now, "reintegration", &[("peer", src.to_string())]);
+                self.trace_instant("reintegration", services.now, [None, None]);
             }
         }
     }

@@ -43,7 +43,7 @@ use tcpfo_tcp::seq::{seq_gt, seq_le, seq_min};
 use tcpfo_tcp::types::SocketAddr;
 use tcpfo_telemetry::{
     Counter, FlowClass, Gauge, HealthObservatory, HostClock, InvariantAuditor, LatencyObservatory,
-    Stage, StageLatency, Telemetry,
+    SpanContext, SpanSampler, Stage, StageLatency, Telemetry,
 };
 use tcpfo_wire::ipv4::Ipv4Addr;
 use tcpfo_wire::tcp::{
@@ -360,6 +360,11 @@ pub struct PrimaryBridge {
     /// unmatched-bytes/segments ledger incrementally (O(1) per
     /// mutation, no table sweeps) in flat, alloc-free state.
     health: Option<Box<HealthObservatory>>,
+    /// Hot-path span sampler (attached via [`PrimaryBridge::set_trace`]).
+    /// Detached — the default — costs one branch per batch; attached
+    /// with the tracer detached, one counter bump and one relaxed
+    /// atomic load per batch.
+    trace: Option<Box<SpanSampler>>,
     /// Last time the flow-table GC swept.
     last_gc: u64,
 }
@@ -411,6 +416,7 @@ impl PrimaryBridge {
             audit: None,
             latency: None,
             health: None,
+            trace: None,
             last_gc: 0,
         }
     }
@@ -493,6 +499,27 @@ impl PrimaryBridge {
                 }
             }
         }
+    }
+
+    /// Attaches (or detaches) the hot-path span sampler. When detached
+    /// — the default — the cost is one `Option` branch per batch. A
+    /// sampled batch records a `batch` span (with per-stage children
+    /// when the latency observatory is also attached) into the
+    /// tracer's pre-allocated ring; the sampler's last span context is
+    /// what the under-load recorder stamps onto tail exemplars.
+    pub fn set_trace(&mut self, trace: Option<Box<SpanSampler>>) {
+        self.trace = trace;
+    }
+
+    /// The attached span sampler, if any.
+    pub fn trace_sampler(&self) -> Option<&SpanSampler> {
+        self.trace.as_deref()
+    }
+
+    /// Span context of the most recent sampled hot-path batch: the
+    /// exemplar link between tail latency samples and the trace.
+    pub fn trace_context(&self) -> Option<SpanContext> {
+        self.trace.as_deref().and_then(|s| s.last_ctx())
     }
 
     /// The attached health observatory, if any.
@@ -1015,8 +1042,19 @@ impl PrimaryBridge {
         if self.audit.is_some()
             || self.telemetry.is_some()
             || self.health.is_some()
+            || self.trace.is_some()
             || exec.threads() <= 1
         {
+            // Hot-path span sampling brackets the whole batch; the
+            // stage snapshot is a stack copy taken only on sampled
+            // batches, so unsampled batches stay branch-only.
+            let sampling = self.trace.as_deref_mut().is_some_and(|s| s.start_batch());
+            let before = if sampling {
+                self.latency.as_deref().map(|l| *l.stages())
+            } else {
+                None
+            };
+            let segments = batch.len() as u64;
             let outs: Vec<FilterOutput> = batch
                 .into_iter()
                 .map(|(dir, seg)| {
@@ -1029,6 +1067,12 @@ impl PrimaryBridge {
                 })
                 .collect();
             self.gc_batch(now_nanos);
+            if sampling {
+                let after = self.latency.as_deref().map(|l| *l.stages());
+                if let Some(s) = self.trace.as_deref_mut() {
+                    s.finish_batch(segments, before.as_ref(), after.as_ref());
+                }
+            }
             return outs;
         }
         let items: Vec<(usize, (BatchDir, AddressedSegment))> = batch
@@ -2226,6 +2270,10 @@ impl SegmentFilter for PrimaryBridge {
 
     fn latency_stages(&self) -> Option<&StageLatency> {
         self.latency.as_deref().map(LatencyObservatory::stages)
+    }
+
+    fn trace_context(&self) -> Option<SpanContext> {
+        PrimaryBridge::trace_context(self)
     }
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {

@@ -30,7 +30,7 @@
 //! link flushes and passes through, one link shorter.
 
 use tcpfo_telemetry::json::JsonObject;
-use tcpfo_telemetry::{RedundancyPhase, RedundancyTimeline};
+use tcpfo_telemetry::{RedundancyPhase, RedundancyTimeline, SpanTrack, Tracer};
 use tcpfo_wire::ipv4::Ipv4Addr;
 
 /// Everything the chain needs to rebuild one live designated flow on a
@@ -96,6 +96,12 @@ pub struct ReprovisionTracker {
     /// Hub timelines to stamp (one per replica that should see the
     /// round).
     timelines: Vec<RedundancyTimeline>,
+    /// Span tracers to record the round into (PR10). Spans are written
+    /// retroactively at [`ReprovisionTracker::restored`], when all
+    /// three phase stamps exist — the tracer's explicit-timestamp API
+    /// makes the handoff/catch-up spans exact even though they are
+    /// recorded after the fact.
+    tracers: Vec<Tracer>,
 }
 
 impl Default for ReprovisionTracker {
@@ -116,12 +122,18 @@ impl ReprovisionTracker {
             flows: 0,
             backlog_at_handoff: 0,
             timelines: Vec::new(),
+            tracers: Vec::new(),
         }
     }
 
     /// Attaches a hub timeline to stamp as phases complete.
     pub fn attach_timeline(&mut self, t: RedundancyTimeline) {
         self.timelines.push(t);
+    }
+
+    /// Attaches a hub span tracer to record the round into.
+    pub fn attach_tracer(&mut self, t: Tracer) {
+        self.tracers.push(t);
     }
 
     /// Current phase.
@@ -146,6 +158,18 @@ impl ReprovisionTracker {
         for t in &self.timelines {
             t.mark(RedundancyPhase::ReprovisionStart, now_ns);
         }
+        for t in &self.tracers {
+            t.instant_args(
+                SpanTrack::Control,
+                "core.reprovision",
+                "reprovision.begin",
+                now_ns,
+                [
+                    Some(("standby", u32::from_be_bytes(standby.octets()) as u64)),
+                    None,
+                ],
+            );
+        }
     }
 
     /// Phase 2 complete: `flows` handoffs applied; the converted link
@@ -158,6 +182,15 @@ impl ReprovisionTracker {
         for t in &self.timelines {
             t.mark(RedundancyPhase::HandoffDone, now_ns);
         }
+        for t in &self.tracers {
+            t.instant_args(
+                SpanTrack::Control,
+                "core.reprovision",
+                "reprovision.handoff_done",
+                now_ns,
+                [Some(("flows", flows as u64)), Some(("backlog", backlog))],
+            );
+        }
     }
 
     /// Phase 3 complete: the lag ledger drained to zero.
@@ -166,6 +199,49 @@ impl ReprovisionTracker {
         self.restored_ns = Some(now_ns);
         for t in &self.timelines {
             t.mark(RedundancyPhase::CatchupDone, now_ns);
+        }
+        // All three stamps exist now; write the round into each tracer
+        // as a root span with exact handoff/catch-up children (the
+        // drain-to-zero proof). Explicit timestamps keep the spans
+        // truthful even though they are recorded after the fact.
+        let (Some(started), Some(handoff)) = (self.started_ns, self.handoff_ns) else {
+            return;
+        };
+        for t in &self.tracers {
+            let Some(root) = t.begin_root(
+                SpanTrack::Control,
+                "core.reprovision",
+                "reprovision",
+                started,
+            ) else {
+                continue;
+            };
+            if let Some(h) = t.begin_child(
+                root.ctx,
+                SpanTrack::Control,
+                "core.reprovision",
+                "reprovision.handoff",
+                started,
+            ) {
+                t.end_args(
+                    &h,
+                    handoff,
+                    [
+                        Some(("flows", self.flows as u64)),
+                        Some(("backlog", self.backlog_at_handoff)),
+                    ],
+                );
+            }
+            if let Some(c) = t.begin_child(
+                root.ctx,
+                SpanTrack::Control,
+                "core.reprovision",
+                "reprovision.catchup",
+                handoff,
+            ) {
+                t.end_args(&c, now_ns, [Some(("drained_to", 0)), None]);
+            }
+            t.end(&root, now_ns);
         }
     }
 

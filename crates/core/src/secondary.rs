@@ -472,6 +472,13 @@ impl SecondaryBridge {
                                     ("len", view.payload().len().to_string()),
                                 ],
                             );
+                            t.hub.trace.instant_args(
+                                tcpfo_telemetry::SpanTrack::Control,
+                                "core.secondary",
+                                "first_client_byte",
+                                now,
+                                [Some(("len", view.payload().len() as u64)), None],
+                            );
                         }
                     }
                 }

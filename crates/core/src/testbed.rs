@@ -31,6 +31,7 @@ use tcpfo_tcp::host::{spawn_host, CpuModel, Host, HostConfig};
 use tcpfo_telemetry::audit::{env_audit_enabled, env_capacity};
 use tcpfo_telemetry::health::env_health_enabled;
 use tcpfo_telemetry::latency::env_latency_enabled;
+use tcpfo_telemetry::span::{env_trace_capacity, env_trace_enabled};
 use tcpfo_telemetry::{
     AuditConfig, FailoverPhase, HealthConfig, HealthMonitor, HealthObservatory, InvariantAuditor,
     LatencyObservatory, MetricsSnapshot, Telemetry,
@@ -139,6 +140,12 @@ pub struct TestbedConfig {
     /// advisory health monitor to both fault detectors. `None` follows
     /// the `TCPFO_HEALTH` environment knob; `Some(_)` overrides it.
     pub health: Option<bool>,
+    /// Arm the failover span tracer (PR10): attach the hub's span ring
+    /// and a hot-path batch sampler on the primary bridge. `None`
+    /// follows the `TCPFO_TRACE` environment knob; `Some(true)`
+    /// overrides it on. (Distinct from [`TestbedConfig::trace_capacity`],
+    /// which sizes the *packet* trace ring.)
+    pub span_trace: Option<bool>,
     /// Event-journal ring capacity. `None` follows `TCPFO_JOURNAL_CAP`
     /// (default [`tcpfo_telemetry::journal::DEFAULT_CAPACITY`]).
     pub journal_capacity: Option<usize>,
@@ -175,6 +182,7 @@ impl Default for TestbedConfig {
             audit: None,
             latency: None,
             health: None,
+            span_trace: None,
             journal_capacity: None,
             trace_capacity: None,
             flow_shards: None,
@@ -253,6 +261,10 @@ impl Testbed {
         let audit_on = config.audit.unwrap_or_else(env_audit_enabled);
         let latency_on = config.latency.unwrap_or_else(env_latency_enabled);
         let health_on = config.health.unwrap_or_else(env_health_enabled);
+        let span_trace_on = config.span_trace.unwrap_or_else(env_trace_enabled);
+        if span_trace_on {
+            telemetry.trace.attach(env_trace_capacity());
+        }
         let mut sim = Simulator::new(config.seed);
         sim.set_telemetry(telemetry.clone());
         sim.set_trace_capacity(
@@ -327,6 +339,11 @@ impl Testbed {
             }
             if health_on {
                 bridge.set_health(Some(Box::new(HealthObservatory::new())));
+            }
+            if span_trace_on {
+                bridge.set_trace(Some(Box::new(
+                    tcpfo_telemetry::SpanSampler::with_default_period(telemetry.trace.clone()),
+                )));
             }
             primary_host.set_filter(Box::new(bridge));
             let mut controller = ReplicaController::new(

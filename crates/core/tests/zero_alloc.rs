@@ -11,9 +11,8 @@
 //! counter does not move.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::net::Ipv4Addr;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use tcpfo_core::designation::FailoverConfig;
 use tcpfo_core::primary::PrimaryBridge;
@@ -21,22 +20,29 @@ use tcpfo_tcp::filter::{AddressedSegment, FilterOutput, SegmentFilter};
 use tcpfo_telemetry::HealthObservatory;
 use tcpfo_wire::tcp::{SegmentPatcher, TcpFlags, TcpSegment};
 
-/// Both tests read the same global allocation counter, so they must
-/// not run concurrently.
-static SERIAL: Mutex<()> = Mutex::new(());
-
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+// Per-thread counter so concurrently running tests (and the libtest
+// harness's own thread spawns) cannot bleed allocations into another
+// test's measured window. Const-init Cell<u64> has no destructor, so
+// accessing it from inside the allocator never itself allocates;
+// `try_with` covers the TLS-teardown edge.
+std::thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn allocs() -> u64 {
+    ALLOCS.with(Cell::get)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
@@ -159,7 +165,7 @@ fn measure_rounds(bridge: &mut PrimaryBridge) -> u64 {
     let mut measured_base = 0u64;
     for (i, (p, s, c)) in inputs.into_iter().enumerate() {
         if i == WARMUP {
-            measured_base = ALLOCS.load(Ordering::Relaxed);
+            measured_base = allocs();
         }
         bridge.on_outbound_into(p, 0, &mut out);
         assert!(out.to_wire.is_empty(), "P-only bytes are held");
@@ -171,12 +177,11 @@ fn measure_rounds(bridge: &mut PrimaryBridge) -> u64 {
         out.clear();
     }
     assert_eq!(released, total, "every round must release its bytes");
-    ALLOCS.load(Ordering::Relaxed) - measured_base
+    allocs() - measured_base
 }
 
 #[test]
 fn steady_state_release_path_does_not_allocate() {
-    let _guard = SERIAL.lock().unwrap();
     let mut bridge = established();
     let delta = measure_rounds(&mut bridge);
     assert_eq!(
@@ -196,7 +201,6 @@ fn steady_state_release_path_does_not_allocate() {
 /// fixed-size arrays updated in place.
 #[test]
 fn steady_state_release_path_with_health_attached_does_not_allocate() {
-    let _guard = SERIAL.lock().unwrap();
     let mut bridge = established();
     bridge.set_health(Some(Box::new(HealthObservatory::new())));
     let delta = measure_rounds(&mut bridge);
@@ -329,7 +333,7 @@ fn measure_chain_rounds(bridge: &mut ChainBridge) -> u64 {
     let mut measured_base = 0u64;
     for (i, (p, s, c)) in inputs.into_iter().enumerate() {
         if i == WARMUP {
-            measured_base = ALLOCS.load(Ordering::Relaxed);
+            measured_base = allocs();
         }
         bridge.on_outbound_into(p, 0, &mut out);
         assert!(out.to_wire.is_empty(), "own-only bytes are held");
@@ -342,12 +346,11 @@ fn measure_chain_rounds(bridge: &mut ChainBridge) -> u64 {
         out.clear();
     }
     assert_eq!(released, total, "every round must release its bytes");
-    ALLOCS.load(Ordering::Relaxed) - measured_base
+    allocs() - measured_base
 }
 
 #[test]
 fn chain_middle_release_path_does_not_allocate() {
-    let _guard = SERIAL.lock().unwrap();
     let mut bridge = established_middle();
     let delta = measure_chain_rounds(&mut bridge);
     assert_eq!(
@@ -365,7 +368,6 @@ fn chain_middle_release_path_does_not_allocate() {
 
 #[test]
 fn chain_middle_release_path_with_health_attached_does_not_allocate() {
-    let _guard = SERIAL.lock().unwrap();
     let mut bridge = established_middle();
     bridge.set_health(Some(Box::new(HealthObservatory::new())));
     let delta = measure_chain_rounds(&mut bridge);
@@ -377,5 +379,89 @@ fn chain_middle_release_path_with_health_attached_does_not_allocate() {
     assert_eq!(
         delta, 0,
         "attached-health chain path allocated {delta} times in {MEASURED} rounds"
+    );
+}
+
+// ---------------------------------------------------------------------
+// PR10: the span layer under the same counting allocator. Detached, a
+// tracer is one relaxed atomic load per site; attached, every record
+// lands in the pre-allocated ring (drop-oldest eviction included) and
+// the hot-path batch sampler's begin/end cycle stays allocation-free.
+// ---------------------------------------------------------------------
+
+use tcpfo_telemetry::{SpanSampler, SpanTrack, StageLatency, Tracer};
+
+#[test]
+fn span_recording_attached_does_not_allocate() {
+    let tracer = Tracer::attached(64);
+    // Warm past capacity so the measured window exercises the
+    // drop-oldest eviction path, not just the fill path.
+    for i in 0..100u64 {
+        if let Some(s) = tracer.begin(SpanTrack::Control, "warm", "span", i) {
+            tracer.end(&s, i + 1);
+        }
+    }
+    assert!(tracer.dropped() > 0, "ring must already be evicting");
+    let base = allocs();
+    for i in 0..256u64 {
+        if let Some(s) = tracer.begin(SpanTrack::Control, "lane", "span", i) {
+            tracer.end_args(&s, i + 1, [Some(("k", i)), None]);
+        }
+        tracer.instant(SpanTrack::Control, "lane", "tick", i);
+    }
+    let delta = allocs() - base;
+    assert_eq!(
+        delta, 0,
+        "attached span recording allocated {delta} times in 256 cycles"
+    );
+}
+
+#[test]
+fn span_recording_detached_does_not_allocate() {
+    let tracer = Tracer::new();
+    let base = allocs();
+    for i in 0..256u64 {
+        assert!(tracer
+            .begin(SpanTrack::Control, "lane", "span", i)
+            .is_none());
+        tracer.instant(SpanTrack::Control, "lane", "tick", i);
+    }
+    let delta = allocs() - base;
+    assert_eq!(delta, 0, "detached tracer allocated {delta} times");
+}
+
+#[test]
+fn span_sampler_batch_cycle_does_not_allocate() {
+    let tracer = Tracer::attached(64);
+    let mut sampler = SpanSampler::new(tracer.clone(), 1);
+    let mut stages = StageLatency::new();
+    for _ in 0..4 {
+        // Warm-up: first cycles may fault in clock plumbing.
+        let sampled = sampler.start_batch();
+        let before = stages;
+        stages.record(tcpfo_telemetry::Stage::QueueMatch, 500);
+        if sampled {
+            sampler.finish_batch(8, Some(&before), Some(&stages));
+        }
+    }
+    let base = allocs();
+    for _ in 0..64 {
+        let sampled = sampler.start_batch();
+        let before = stages;
+        stages.record(tcpfo_telemetry::Stage::QueueMatch, 500);
+        stages.record(tcpfo_telemetry::Stage::EgressEmit, 300);
+        if sampled {
+            sampler.finish_batch(8, Some(&before), Some(&stages));
+        }
+    }
+    let delta = allocs() - base;
+    assert!(sampler.sampled() >= 64, "every batch sampled at period 1");
+    assert!(
+        sampler.last_ctx().is_some(),
+        "sampled batches expose an exemplar context"
+    );
+    assert_eq!(
+        delta, 0,
+        "sampler batch cycle allocated {delta} times in 64 batches"
     );
 }

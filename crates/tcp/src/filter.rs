@@ -11,7 +11,7 @@
 use crate::types::{FourTuple, SocketAddr};
 use bytes::Bytes;
 use tcpfo_telemetry::audit::AuditKey;
-use tcpfo_telemetry::StageLatency;
+use tcpfo_telemetry::{SpanContext, StageLatency};
 use tcpfo_wire::ipv4::Ipv4Addr;
 use tcpfo_wire::tcp::peek_ports;
 
@@ -307,6 +307,15 @@ pub trait SegmentFilter {
     /// latency observatory is attached. `None` — the default — for
     /// filters without one (or with it detached).
     fn latency_stages(&self) -> Option<&StageLatency> {
+        None
+    }
+
+    /// The span context of the filter's most recent sampled hot-path
+    /// batch, when a span sampler is attached and has sampled one.
+    /// `None` — the default — for filters without one. Load drivers
+    /// stamp this onto tail-latency samples so top-bucket histogram
+    /// entries carry exemplar links into the failover trace.
+    fn trace_context(&self) -> Option<SpanContext> {
         None
     }
 

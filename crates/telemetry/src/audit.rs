@@ -1195,6 +1195,17 @@ impl InvariantAuditor {
         if let Some(hub) = &self.hub {
             std::fs::write(dir.join("timeline.json"), hub.timeline.to_json())?;
             std::fs::write(dir.join("journal.json"), hub.journal.to_json())?;
+            // PR 10: the failover span dump rides in every bundle —
+            // machine-readable spans plus the Chrome/Perfetto-loadable
+            // trace with the exact MTTR waterfall merged in.
+            if hub.trace.is_attached() {
+                std::fs::write(dir.join("spans.json"), hub.trace.to_json())?;
+                let waterfall = crate::span::waterfall_records(&hub.timeline, &hub.redundancy);
+                std::fs::write(
+                    dir.join("trace.chrome.json"),
+                    hub.trace.chrome_trace(&waterfall),
+                )?;
+            }
         }
         if let Some(health) = &self.health_snapshot {
             std::fs::write(dir.join("health.json"), health)?;

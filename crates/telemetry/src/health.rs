@@ -37,7 +37,7 @@
 
 use crate::json::{array, JsonObject};
 use crate::latency::LogHistogram;
-use crate::registry::{escape_help_text, escape_label_value, Counter, Gauge, Scope};
+use crate::registry::{Counter, Gauge, Scope};
 use std::collections::VecDeque;
 
 /// Buckets for lag/wait histograms: log2 over `u64` values up to
@@ -1136,36 +1136,53 @@ impl HealthMonitor {
     /// (labelled series are outside the registry's name-only model, so
     /// the monitor emits them directly).
     pub fn alerts_prometheus(&self, scope: &str) -> String {
-        let label = escape_label_value(scope);
+        use crate::registry::{prom_family, prom_sample};
         let mut out = String::new();
-        out.push_str(&format!(
-            "# HELP tcpfo_health_alert_state {}\n\
-             # TYPE tcpfo_health_alert_state gauge\n\
-             tcpfo_health_alert_state{{scope=\"{label}\"}} {}\n",
-            escape_help_text("current alert state (0=ok, 1=warn, 2=critical)"),
-            self.machine.state().as_u64(),
-        ));
-        out.push_str(&format!(
-            "# HELP tcpfo_health_alert_transitions_total {}\n\
-             # TYPE tcpfo_health_alert_transitions_total counter\n",
-            escape_help_text("alert state machine transitions by severity"),
-        ));
+        prom_family(
+            &mut out,
+            "tcpfo_health_alert_state",
+            "current alert state (0=ok, 1=warn, 2=critical)",
+            "gauge",
+        );
+        prom_sample(
+            &mut out,
+            "tcpfo_health_alert_state",
+            &[("scope", scope)],
+            &self.machine.state().as_u64().to_string(),
+            None,
+        );
+        prom_family(
+            &mut out,
+            "tcpfo_health_alert_transitions_total",
+            "alert state machine transitions by severity",
+            "counter",
+        );
         for (to, n) in [
             ("warn", self.warns),
             ("critical", self.criticals),
             ("ok", self.recoveries),
         ] {
-            out.push_str(&format!(
-                "tcpfo_health_alert_transitions_total{{scope=\"{label}\",to=\"{to}\"}} {n}\n",
-            ));
+            prom_sample(
+                &mut out,
+                "tcpfo_health_alert_transitions_total",
+                &[("scope", scope), ("to", to)],
+                &n.to_string(),
+                None,
+            );
         }
-        out.push_str(&format!(
-            "# HELP tcpfo_health_alert_journal_dropped {}\n\
-             # TYPE tcpfo_health_alert_journal_dropped counter\n\
-             tcpfo_health_alert_journal_dropped{{scope=\"{label}\"}} {}\n",
-            escape_help_text("alert journal events dropped at capacity"),
-            self.journal.dropped,
-        ));
+        prom_family(
+            &mut out,
+            "tcpfo_health_alert_journal_dropped",
+            "alert journal events dropped at capacity",
+            "counter",
+        );
+        prom_sample(
+            &mut out,
+            "tcpfo_health_alert_journal_dropped",
+            &[("scope", scope)],
+            &self.journal.dropped.to_string(),
+            None,
+        );
         out
     }
 }

@@ -41,6 +41,7 @@ pub mod journal;
 pub mod json;
 pub mod latency;
 pub mod registry;
+pub mod span;
 pub mod table;
 pub mod timeline;
 pub mod underload;
@@ -57,8 +58,13 @@ pub use latency::{
     StageLatency,
 };
 pub use registry::{
-    escape_help_text, escape_label_value, Counter, Gauge, GaugeSnapshot, Histogram,
-    HistogramSnapshot, MetricsSnapshot, Registry, Scope,
+    escape_help_text, escape_label_value, prom_family, prom_sample, Counter, Gauge, GaugeSnapshot,
+    Histogram, HistogramSnapshot, MetricsSnapshot, Registry, Scope,
+};
+pub use span::{
+    chrome_trace_json, env_trace_enabled, waterfall_records, ActiveSpan, Exemplar,
+    ExemplarHistogram, SpanContext, SpanId, SpanKind, SpanRecord, SpanSampler, SpanTrack,
+    TailExemplars, Tracer,
 };
 pub use timeline::{
     FailoverPhase, FailoverTimeline, MttrBreakdown, RedundancyBreakdown, RedundancyPhase,
@@ -97,6 +103,10 @@ pub struct Telemetry {
     /// The PR9 redundancy-restoration timeline (tail reprovisioning
     /// after a chain takeover).
     pub redundancy: RedundancyTimeline,
+    /// The PR10 failover span recorder. Dormant (one-branch no-op) by
+    /// default; `Tracer::attach` arms the shared ring so every layer
+    /// of the replica records into one coherent trace.
+    pub trace: Tracer,
 }
 
 impl Telemetry {
@@ -106,12 +116,17 @@ impl Telemetry {
     }
 
     /// A hub whose journal capacity honours the `TCPFO_JOURNAL_CAP`
-    /// environment knob (default [`journal::DEFAULT_CAPACITY`]).
+    /// environment knob (default [`journal::DEFAULT_CAPACITY`]) and
+    /// whose span tracer honours `TCPFO_TRACE` / `TCPFO_TRACE_CAP`.
     pub fn from_env() -> Self {
-        Telemetry::with_journal_capacity(audit::env_capacity(
+        let t = Telemetry::with_journal_capacity(audit::env_capacity(
             "TCPFO_JOURNAL_CAP",
             journal::DEFAULT_CAPACITY,
-        ))
+        ));
+        if span::env_trace_enabled() {
+            t.trace.attach(span::env_trace_capacity());
+        }
+        t
     }
 
     /// A hub with an explicit journal ring capacity.
@@ -135,10 +150,18 @@ impl Telemetry {
         out.push_str(&indent(&self.redundancy.to_json(), 2));
         out.push_str(",\n  \"events\": ");
         out.push_str(&indent(&self.journal.to_json(), 2));
-        // Journal saturation must be visible, not silent: how many
-        // events the bounded ring dropped before this export.
+        // Ring saturation must be visible, not silent: how many
+        // events each bounded ring dropped before this export. The
+        // span ring additionally counts `end`s whose begin record was
+        // already evicted (their duration is lost).
         out.push_str(",\n  \"journal_dropped\": ");
         out.push_str(&self.journal.dropped().to_string());
+        out.push_str(",\n  \"trace_spans\": ");
+        out.push_str(&self.trace.len().to_string());
+        out.push_str(",\n  \"trace_dropped\": ");
+        out.push_str(&self.trace.dropped().to_string());
+        out.push_str(",\n  \"trace_lost_ends\": ");
+        out.push_str(&self.trace.lost_ends().to_string());
         out.push_str("\n}\n");
         out
     }
@@ -196,5 +219,19 @@ mod tests {
         }
         let doc = t.export_json(10);
         assert!(doc.contains("\"journal_dropped\": 3"), "{doc}");
+        assert!(doc.contains("\"trace_dropped\": 0"), "{doc}");
+    }
+
+    #[test]
+    fn export_json_reports_span_ring_drops() {
+        let t = Telemetry::new();
+        t.trace.attach(2);
+        for i in 0..5 {
+            t.trace.instant(span::SpanTrack::Control, "test", "tick", i);
+        }
+        let doc = t.export_json(10);
+        assert!(doc.contains("\"trace_spans\": 2"), "{doc}");
+        assert!(doc.contains("\"trace_dropped\": 3"), "{doc}");
+        assert!(doc.contains("\"trace_lost_ends\": 0"), "{doc}");
     }
 }

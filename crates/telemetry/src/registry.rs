@@ -307,6 +307,47 @@ pub fn escape_help_text(v: &str) -> String {
     out
 }
 
+/// Appends a `# HELP`/`# TYPE` family header for one metric family —
+/// the one exposition-format assembly point shared by the registry,
+/// the health monitor's labelled alert series, and the exemplar
+/// histograms, so the escaping rules live in exactly one place.
+pub fn prom_family(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str(&format!(
+        "# HELP {name} {}\n# TYPE {name} {kind}\n",
+        escape_help_text(help)
+    ));
+}
+
+/// Appends one sample line `name{labels} value`, escaping every label
+/// value. `exemplar` is an OpenMetrics exemplar suffix (see
+/// [`crate::span::Exemplar::prometheus_suffix`]) appended after the
+/// value.
+pub fn prom_sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(&str, &str)],
+    value: &str,
+    exemplar: Option<&str>,
+) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{k}=\"{}\"", escape_label_value(v)));
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    if let Some(ex) = exemplar {
+        out.push_str(ex);
+    }
+    out.push('\n');
+}
+
 #[derive(Debug, Default)]
 struct RegistryInner {
     counters: Mutex<BTreeMap<String, Counter>>,
@@ -535,57 +576,57 @@ impl MetricsSnapshot {
             }
             out
         }
-        // `# HELP <name> <docstring>` + `# TYPE <name> <type>` header
-        // for one metric family.
-        fn header(out: &mut String, n: &str, source: &str, extra: &str, kind: &str) {
-            out.push_str(&format!(
-                "# HELP {n} {}{extra}\n# TYPE {n} {kind}\n",
-                escape_help_text(source)
-            ));
-        }
         let mut out = String::new();
         for (name, value) in &self.counters {
             let n = sanitize(name);
-            header(&mut out, &n, name, "", "counter");
-            out.push_str(&format!("{n} {value}\n"));
+            prom_family(&mut out, &n, name, "counter");
+            prom_sample(&mut out, &n, &[], &value.to_string(), None);
         }
         for (name, g) in &self.gauges {
             let n = sanitize(name);
-            header(&mut out, &n, name, "", "gauge");
-            out.push_str(&format!("{n} {}\n", g.value));
+            prom_family(&mut out, &n, name, "gauge");
+            prom_sample(&mut out, &n, &[], &g.value.to_string(), None);
             let hw = format!("{n}_high_water");
-            header(&mut out, &hw, name, " (high-water mark)", "gauge");
-            out.push_str(&format!("{hw} {}\n", g.high_water));
+            prom_family(&mut out, &hw, &format!("{name} (high-water mark)"), "gauge");
+            prom_sample(&mut out, &hw, &[], &g.high_water.to_string(), None);
         }
         for (name, h) in &self.histograms {
             let n = sanitize(name);
-            header(
+            prom_family(
                 &mut out,
                 &n,
-                name,
-                " (log2 buckets, nanoseconds)",
+                &format!("{name} (log2 buckets, nanoseconds)"),
                 "histogram",
             );
+            let bucket = format!("{n}_bucket");
             let mut cumulative = 0u64;
             for (le, c) in &h.buckets {
                 cumulative += c;
-                out.push_str(&format!(
-                    "{n}_bucket{{le=\"{}\"}} {cumulative}\n",
-                    escape_label_value(&le.to_string())
-                ));
+                prom_sample(
+                    &mut out,
+                    &bucket,
+                    &[("le", &le.to_string())],
+                    &cumulative.to_string(),
+                    None,
+                );
             }
-            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            prom_sample(
+                &mut out,
+                &bucket,
+                &[("le", "+Inf")],
+                &h.count.to_string(),
+                None,
+            );
             out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
             for (suffix, q) in [("p50", 0.5), ("p99", 0.99), ("p999", 0.999)] {
                 let qn = format!("{n}_{suffix}");
-                header(
+                prom_family(
                     &mut out,
                     &qn,
-                    name,
-                    &format!(" ({suffix} estimate)"),
+                    &format!("{name} ({suffix} estimate)"),
                     "gauge",
                 );
-                out.push_str(&format!("{qn} {}\n", h.quantile(q)));
+                prom_sample(&mut out, &qn, &[], &h.quantile(q).to_string(), None);
             }
         }
         out

@@ -1,0 +1,1377 @@
+//! Cross-layer failover span tracing (PR 10).
+//!
+//! The PR 5 timeline and PR 8 health observatory reduce a takeover to
+//! aggregate phase deltas and scores; this module records the *causal
+//! story* — Dapper-style spans layered on the PR 3 [`TraceId`] chains,
+//! so a specific slow sample or promotion links back to the concrete
+//! sequence of detector, controller, bridge and reprovision events
+//! that produced it.
+//!
+//! * [`Tracer`] — a shared, cheaply-cloned recorder handle. Detached
+//!   (the default) it is *dormant*: recording is one relaxed atomic
+//!   load and a branch, no allocation, no clock read — the same
+//!   discipline as the auditor/latency/health observatories, and the
+//!   zero-alloc proof covers it. Attaching pre-allocates a fixed
+//!   capacity ring; recording after attach is lock + array moves, no
+//!   heap (names and arg keys are `&'static str`, args are `u64`).
+//! * [`SpanRecord`] — one completed span or instant: id, parent link,
+//!   trace id, track (control plane on sim time vs. datapath on host
+//!   time), start, duration, and up to two numeric args.
+//! * Ring semantics — bounded, drop-oldest, with **exact** drop
+//!   accounting ([`Tracer::dropped`]), mirroring the journal: a long
+//!   run can never grow without bound, and saturation is visible, not
+//!   silent. Because parents begin before their children, retained
+//!   spans always keep parent-before-child order.
+//! * [`TailExemplars`] / [`ExemplarHistogram`] — the bridge between
+//!   histograms and traces: when a recorded duration lands in a
+//!   configured top bucket (at or above the live p99.9 bucket for
+//!   [`ExemplarHistogram`]), the active [`SpanContext`] is captured as
+//!   an exemplar, so every tail sample points at a concrete trace.
+//! * [`chrome_trace_json`] — export as Chrome trace-event JSON
+//!   (loadable in `chrome://tracing` / Perfetto), with the control
+//!   plane and the datapath as separate processes because they run on
+//!   different timebases.
+//! * [`waterfall_records`] — synthetic contiguous spans derived from
+//!   the §5 MTTR decomposition and the PR 9 redundancy timeline, so
+//!   the exported waterfall's phase durations sum *exactly* to the
+//!   measured MTTR even when the live ring dropped events.
+//!
+//! # Example
+//!
+//! ```
+//! use tcpfo_telemetry::span::{SpanTrack, Tracer};
+//!
+//! let tracer = Tracer::attached(64);
+//! let span = tracer
+//!     .begin(SpanTrack::Control, "chain", "promotion", 1_000)
+//!     .unwrap();
+//! tracer.instant(SpanTrack::Control, "chain", "veto_cleared", 1_500);
+//! tracer.end(&span, 2_000);
+//! assert_eq!(tracer.len(), 2);
+//! let chrome = tracer.chrome_trace(&[]);
+//! assert!(chrome.contains("\"traceEvents\""));
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::audit::TraceId;
+use crate::json::{array, JsonObject};
+use crate::latency::{LogHistogram, Stage, StageLatency};
+use crate::timeline::{FailoverTimeline, RedundancyTimeline};
+
+/// Default span ring capacity (records).
+pub const DEFAULT_SPAN_CAPACITY: usize = 4096;
+
+/// Whether the `TCPFO_TRACE` environment knob asks for span tracing to
+/// be attached (any non-empty value other than `0`), mirroring
+/// [`crate::audit::env_audit_enabled`].
+pub fn env_trace_enabled() -> bool {
+    std::env::var("TCPFO_TRACE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The span ring capacity: `TCPFO_TRACE_CAP` or the default.
+pub fn env_trace_capacity() -> usize {
+    crate::audit::env_capacity("TCPFO_TRACE_CAP", DEFAULT_SPAN_CAPACITY).max(1)
+}
+
+/// A process-unique span identifier. `0` is reserved for "no span".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null id: no span.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this is the null id.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for SpanId {
+    /// `s<N>`, or `s-` for the null id (mirroring [`TraceId`]'s `t<N>`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_none() {
+            write!(f, "s-")
+        } else {
+            write!(f, "s{}", self.0)
+        }
+    }
+}
+
+/// The active span context: which trace and which span within it.
+/// `Copy`, so the datapath can thread it through without allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// The PR 3 causal chain this span belongs to.
+    pub trace: TraceId,
+    /// The span itself.
+    pub span: SpanId,
+}
+
+/// Which timebase (and Chrome-trace process) a span belongs to. The
+/// control plane runs on *simulated* nanoseconds; sampled hot-path
+/// spans run on *host* nanoseconds ([`crate::latency::HostClock`]).
+/// Chrome tracks must not mix timebases, so each gets its own pid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanTrack {
+    /// Failover control plane: detector, chain controller, VIP
+    /// takeover, reprovisioning. Timestamps are sim nanoseconds.
+    Control,
+    /// Sampled datapath spans (batch + per-stage). Timestamps are host
+    /// nanoseconds.
+    Hotpath,
+}
+
+impl SpanTrack {
+    /// Chrome trace-event process id for this track.
+    pub fn pid(self) -> u32 {
+        match self {
+            SpanTrack::Control => 1,
+            SpanTrack::Hotpath => 2,
+        }
+    }
+
+    /// Human process name for the Chrome export.
+    pub fn process_name(self) -> &'static str {
+        match self {
+            SpanTrack::Control => "tcpfo control plane (sim ns)",
+            SpanTrack::Hotpath => "tcpfo datapath (host ns)",
+        }
+    }
+
+    /// Stable lowercase name used in JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanTrack::Control => "control",
+            SpanTrack::Hotpath => "hotpath",
+        }
+    }
+}
+
+/// Whether a record is a duration span or a point event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A `[start, start+dur]` interval.
+    Span,
+    /// A point-in-time marker.
+    Instant,
+}
+
+/// One numeric span argument: `&'static str` key, `u64` value — no
+/// heap, so recording stays zero-alloc.
+pub type SpanArg = (&'static str, u64);
+
+/// One recorded span or instant. `Copy`: the ring is a flat array of
+/// these, and recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// This span's id.
+    pub id: SpanId,
+    /// Parent span id ([`SpanId::NONE`] for roots).
+    pub parent: SpanId,
+    /// The causal chain the span belongs to.
+    pub trace: TraceId,
+    /// Timebase / Chrome process.
+    pub track: SpanTrack,
+    /// Span vs. instant.
+    pub kind: SpanKind,
+    /// Emitting component lane (Chrome thread), e.g. `detector`.
+    pub lane: &'static str,
+    /// Event name, e.g. `promotion_gate`.
+    pub name: &'static str,
+    /// Start (or occurrence) time in the track's timebase.
+    pub start_ns: u64,
+    /// Duration; 0 for instants and still-open spans.
+    pub dur_ns: u64,
+    /// Whether the span was begun but never ended (yet).
+    pub open: bool,
+    /// Up to two numeric args.
+    pub args: [Option<SpanArg>; 2],
+}
+
+impl SpanRecord {
+    /// One-line rendering for text dumps:
+    /// `[1ms+2ms] control/chain promotion_gate T5/S3<-S2 vetoes=1`.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "[{}{}] {}/{} {} {}/{}",
+            crate::fmt_nanos(self.start_ns),
+            if self.kind == SpanKind::Span {
+                format!("+{}", crate::fmt_nanos(self.dur_ns))
+            } else {
+                String::new()
+            },
+            self.track.name(),
+            self.lane,
+            self.name,
+            self.trace,
+            self.id,
+        );
+        if !self.parent.is_none() {
+            out.push_str(&format!("<-{}", self.parent));
+        }
+        if self.open {
+            out.push_str(" open");
+        }
+        for (k, v) in self.args.iter().flatten() {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out
+    }
+
+    /// Renders the record as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.u64("id", self.id.0)
+            .u64("parent", self.parent.0)
+            .u64("trace", self.trace.0)
+            .string("track", self.track.name())
+            .string(
+                "kind",
+                match self.kind {
+                    SpanKind::Span => "span",
+                    SpanKind::Instant => "instant",
+                },
+            )
+            .string("lane", self.lane)
+            .string("name", self.name)
+            .u64("start_ns", self.start_ns)
+            .u64("dur_ns", self.dur_ns)
+            .raw("open", self.open.to_string());
+        let mut args = JsonObject::new();
+        for (k, v) in self.args.iter().flatten() {
+            args.u64(k, *v);
+        }
+        obj.raw("args", args.render());
+        obj.render()
+    }
+}
+
+/// A begun-but-not-yet-ended span: the `Copy` token [`Tracer::begin`]
+/// hands out and [`Tracer::end`] consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActiveSpan {
+    /// The span's context (pass to children and exemplars).
+    pub ctx: SpanContext,
+    parent: SpanId,
+}
+
+impl ActiveSpan {
+    /// The context to hand to children / exemplar capture.
+    pub fn ctx(&self) -> SpanContext {
+        self.ctx
+    }
+}
+
+/// Pre-allocated ring state behind the tracer mutex.
+#[derive(Debug)]
+struct RingState {
+    ring: VecDeque<SpanRecord>,
+    capacity: usize,
+    /// Records evicted because the ring was full (exact).
+    dropped: u64,
+    /// `end` calls whose begin record had already been evicted: the
+    /// duration is lost but the loss is counted.
+    lost_ends: u64,
+    /// The innermost live span (exemplar capture reads this).
+    current: Option<SpanContext>,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    attached: AtomicBool,
+    next_span: AtomicU64,
+    state: Mutex<Option<RingState>>,
+}
+
+/// The shared span recorder. Cloning shares the ring, so every layer
+/// of one replica (detector, controller, bridges, reprovisioner)
+/// records into a single coherent trace. Dormant by default: all
+/// recording entry points check one relaxed atomic and return — no
+/// lock, no allocation — until [`Tracer::attach`] arms the ring.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for TracerInner {
+    fn default() -> Self {
+        TracerInner {
+            attached: AtomicBool::new(false),
+            next_span: AtomicU64::new(1),
+            state: Mutex::new(None),
+        }
+    }
+}
+
+impl Tracer {
+    /// A dormant tracer (recording is a no-op until attached).
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// A tracer armed with a `capacity`-record ring.
+    pub fn attached(capacity: usize) -> Self {
+        let t = Tracer::new();
+        t.attach(capacity);
+        t
+    }
+
+    /// A tracer honouring the `TCPFO_TRACE` / `TCPFO_TRACE_CAP`
+    /// environment knobs: attached iff `TCPFO_TRACE` is set.
+    pub fn from_env() -> Self {
+        if env_trace_enabled() {
+            Tracer::attached(env_trace_capacity())
+        } else {
+            Tracer::new()
+        }
+    }
+
+    /// Arms the ring (idempotent; an existing ring is kept). The ring
+    /// buffer is allocated *here*, so recording afterwards never
+    /// allocates.
+    pub fn attach(&self, capacity: usize) {
+        let mut state = self.inner.state.lock().unwrap();
+        if state.is_none() {
+            *state = Some(RingState {
+                ring: VecDeque::with_capacity(capacity.max(1)),
+                capacity: capacity.max(1),
+                dropped: 0,
+                lost_ends: 0,
+                current: None,
+            });
+        }
+        self.inner.attached.store(true, Ordering::Release);
+    }
+
+    /// Whether recording is armed. One relaxed load: this is the only
+    /// cost the detached hot path pays.
+    #[inline]
+    pub fn is_attached(&self) -> bool {
+        self.inner.attached.load(Ordering::Relaxed)
+    }
+
+    fn fresh_span(&self) -> SpanId {
+        SpanId(self.inner.next_span.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn push(state: &mut RingState, rec: SpanRecord) {
+        if state.ring.len() == state.capacity {
+            state.ring.pop_front();
+            state.dropped += 1;
+        }
+        state.ring.push_back(rec);
+    }
+
+    /// Begins a span as a child of the innermost live span (a fresh
+    /// root trace when none is live). Returns `None` when detached.
+    pub fn begin(
+        &self,
+        track: SpanTrack,
+        lane: &'static str,
+        name: &'static str,
+        start_ns: u64,
+    ) -> Option<ActiveSpan> {
+        if !self.is_attached() {
+            return None;
+        }
+        let current = self.inner.state.lock().unwrap().as_ref()?.current;
+        match current {
+            Some(parent) => self.begin_child(parent, track, lane, name, start_ns),
+            None => self.begin_root(track, lane, name, start_ns),
+        }
+    }
+
+    /// Begins a root span on a fresh [`TraceId`] chain. Returns `None`
+    /// when detached.
+    pub fn begin_root(
+        &self,
+        track: SpanTrack,
+        lane: &'static str,
+        name: &'static str,
+        start_ns: u64,
+    ) -> Option<ActiveSpan> {
+        if !self.is_attached() {
+            return None;
+        }
+        self.begin_with(TraceId::fresh(), SpanId::NONE, track, lane, name, start_ns)
+    }
+
+    /// Begins a child of an explicit parent context. Returns `None`
+    /// when detached.
+    pub fn begin_child(
+        &self,
+        parent: SpanContext,
+        track: SpanTrack,
+        lane: &'static str,
+        name: &'static str,
+        start_ns: u64,
+    ) -> Option<ActiveSpan> {
+        if !self.is_attached() {
+            return None;
+        }
+        self.begin_with(parent.trace, parent.span, track, lane, name, start_ns)
+    }
+
+    fn begin_with(
+        &self,
+        trace: TraceId,
+        parent: SpanId,
+        track: SpanTrack,
+        lane: &'static str,
+        name: &'static str,
+        start_ns: u64,
+    ) -> Option<ActiveSpan> {
+        let id = self.fresh_span();
+        let ctx = SpanContext { trace, span: id };
+        let mut guard = self.inner.state.lock().unwrap();
+        let state = guard.as_mut()?;
+        // The begin record enters the ring immediately (duration
+        // patched at end): parents therefore always precede their
+        // children, and drop-oldest eviction preserves that order
+        // among retained spans.
+        Self::push(
+            state,
+            SpanRecord {
+                id,
+                parent,
+                trace,
+                track,
+                kind: SpanKind::Span,
+                lane,
+                name,
+                start_ns,
+                dur_ns: 0,
+                open: true,
+                args: [None, None],
+            },
+        );
+        state.current = Some(ctx);
+        Some(ActiveSpan { ctx, parent })
+    }
+
+    /// Ends a span begun with one of the `begin*` entry points.
+    pub fn end(&self, span: &ActiveSpan, end_ns: u64) {
+        self.end_args(span, end_ns, [None, None]);
+    }
+
+    /// Ends a span, attaching up to two numeric args.
+    pub fn end_args(&self, span: &ActiveSpan, end_ns: u64, args: [Option<SpanArg>; 2]) {
+        if !self.is_attached() {
+            return;
+        }
+        let mut guard = self.inner.state.lock().unwrap();
+        let Some(state) = guard.as_mut() else {
+            return;
+        };
+        // Spans end shortly after they begin, so the open record is
+        // near the back of the ring; scan from the back.
+        match state.ring.iter_mut().rev().find(|r| r.id == span.ctx.span) {
+            Some(rec) => {
+                rec.dur_ns = end_ns.saturating_sub(rec.start_ns);
+                rec.open = false;
+                rec.args = args;
+            }
+            // The begin record was evicted before the span ended: the
+            // duration is lost, but the loss is counted.
+            None => state.lost_ends += 1,
+        }
+        if state.current == Some(span.ctx) {
+            state.current = (!span.parent.is_none()).then_some(SpanContext {
+                trace: span.ctx.trace,
+                span: span.parent,
+            });
+        }
+    }
+
+    /// Records a point event under the innermost live span (fresh root
+    /// trace when none is live).
+    pub fn instant(&self, track: SpanTrack, lane: &'static str, name: &'static str, at_ns: u64) {
+        self.instant_args(track, lane, name, at_ns, [None, None]);
+    }
+
+    /// Records a point event with up to two numeric args.
+    pub fn instant_args(
+        &self,
+        track: SpanTrack,
+        lane: &'static str,
+        name: &'static str,
+        at_ns: u64,
+        args: [Option<SpanArg>; 2],
+    ) {
+        if !self.is_attached() {
+            return;
+        }
+        let id = self.fresh_span();
+        let mut guard = self.inner.state.lock().unwrap();
+        let Some(state) = guard.as_mut() else {
+            return;
+        };
+        let (trace, parent) = match state.current {
+            Some(ctx) => (ctx.trace, ctx.span),
+            None => (TraceId::fresh(), SpanId::NONE),
+        };
+        Self::push(
+            state,
+            SpanRecord {
+                id,
+                parent,
+                trace,
+                track,
+                kind: SpanKind::Instant,
+                lane,
+                name,
+                start_ns: at_ns,
+                dur_ns: 0,
+                open: false,
+                args,
+            },
+        );
+    }
+
+    /// The innermost live span context, for exemplar capture and for
+    /// threading into children recorded elsewhere. `None` when
+    /// detached or when no span is live.
+    pub fn current(&self) -> Option<SpanContext> {
+        if !self.is_attached() {
+            return None;
+        }
+        self.inner.state.lock().unwrap().as_ref()?.current
+    }
+
+    /// Records retained (oldest first).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|s| s.ring.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or(0, |s| s.ring.len())
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records evicted because the ring was full (exact count).
+    pub fn dropped(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or(0, |s| s.dropped)
+    }
+
+    /// `end` calls whose begin record had already been evicted.
+    pub fn lost_ends(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or(0, |s| s.lost_ends)
+    }
+
+    /// The configured ring capacity (0 when never attached).
+    pub fn capacity(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or(0, |s| s.capacity)
+    }
+
+    /// JSON dump of the retained records plus drop accounting, for
+    /// flight-recorder bundles and `export_json`.
+    pub fn to_json(&self) -> String {
+        let recs: Vec<String> = self.records().iter().map(SpanRecord::to_json).collect();
+        let mut obj = JsonObject::new();
+        obj.raw("attached", self.is_attached().to_string())
+            .u64("capacity", self.capacity() as u64)
+            .u64("dropped", self.dropped())
+            .u64("lost_ends", self.lost_ends())
+            .raw("spans", array(&recs));
+        obj.render()
+    }
+
+    /// Chrome trace-event JSON of the retained records, with `extra`
+    /// synthetic records (e.g. [`waterfall_records`]) merged in.
+    pub fn chrome_trace(&self, extra: &[SpanRecord]) -> String {
+        let mut recs = self.records();
+        recs.extend_from_slice(extra);
+        chrome_trace_json(&recs)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------
+
+/// Renders records as Chrome trace-event JSON (the object form, with
+/// `traceEvents`), loadable in `chrome://tracing` and Perfetto.
+/// Complete spans map to `"ph": "X"` events, instants to `"ph": "i"`;
+/// the two [`SpanTrack`]s become separate processes because they run
+/// on different timebases, and each lane becomes a named thread.
+/// Timestamps are microseconds with nanosecond fractions.
+pub fn chrome_trace_json(records: &[SpanRecord]) -> String {
+    // Stable lane → tid assignment, in first-seen order per track.
+    let mut lanes: Vec<(u32, &'static str)> = Vec::new();
+    let mut tid_of = |track: SpanTrack, lane: &'static str| -> usize {
+        match lanes
+            .iter()
+            .position(|&(p, l)| p == track.pid() && l == lane)
+        {
+            Some(i) => i + 1,
+            None => {
+                lanes.push((track.pid(), lane));
+                lanes.len()
+            }
+        }
+    };
+    let us = |ns: u64| format!("{}.{:03}", ns / 1_000, ns % 1_000);
+    let mut events: Vec<String> = Vec::new();
+    for track in [SpanTrack::Control, SpanTrack::Hotpath] {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            track.pid(),
+            track.process_name(),
+        ));
+    }
+    let mut named: Vec<(u32, usize)> = Vec::new();
+    for r in records {
+        let pid = r.track.pid();
+        let tid = tid_of(r.track, r.lane);
+        if !named.contains(&(pid, tid)) {
+            named.push((pid, tid));
+            events.push(format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                r.lane,
+            ));
+        }
+        let mut args = format!(
+            "\"trace_id\":{},\"span_id\":{},\"parent_span_id\":{}",
+            r.trace.0, r.id.0, r.parent.0
+        );
+        for (k, v) in r.args.iter().flatten() {
+            args.push_str(&format!(",\"{k}\":{v}"));
+        }
+        if r.open {
+            args.push_str(",\"open\":1");
+        }
+        match r.kind {
+            SpanKind::Span => events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
+                 \"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
+                r.name,
+                r.lane,
+                us(r.start_ns),
+                us(r.dur_ns),
+            )),
+            SpanKind::Instant => events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\
+                 \"tid\":{tid},\"ts\":{},\"args\":{{{args}}}}}",
+                r.name,
+                r.lane,
+                us(r.start_ns),
+            )),
+        }
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n{}\n]}}\n",
+        events.join(",\n")
+    )
+}
+
+/// Synthetic waterfall spans derived from the §5 MTTR decomposition
+/// (and, when complete, the PR 9 redundancy timeline): one parent
+/// `failover` span whose five phase children are contiguous and sum
+/// exactly to the measured MTTR, plus a `redundancy_restore` span with
+/// `reprovision` / `catchup` children. Returns an empty vec until the
+/// failover timeline is complete. These ride the Control track next to
+/// the live-recorded spans, so the exported waterfall is exact even
+/// when the live ring dropped events.
+pub fn waterfall_records(
+    timeline: &FailoverTimeline,
+    redundancy: &RedundancyTimeline,
+) -> Vec<SpanRecord> {
+    let Some(mttr) = timeline.mttr() else {
+        return Vec::new();
+    };
+    let failure_at = timeline
+        .at(crate::timeline::FailoverPhase::Failure)
+        .unwrap_or(0);
+    let trace = TraceId::fresh();
+    let mut next = 1u64;
+    let mut fresh = || {
+        let id = SpanId(next);
+        next += 1;
+        id
+    };
+    let mk = |id, parent, lane, name, start_ns, dur_ns| SpanRecord {
+        id,
+        parent,
+        trace,
+        track: SpanTrack::Control,
+        kind: SpanKind::Span,
+        lane,
+        name,
+        start_ns,
+        dur_ns,
+        open: false,
+        args: [None, None],
+    };
+    let root = fresh();
+    let mut out = vec![mk(
+        root,
+        SpanId::NONE,
+        "waterfall",
+        "failover",
+        failure_at,
+        mttr.total_ns,
+    )];
+    const PHASES: [&str; 5] = [
+        "detection",
+        "egress_hold",
+        "translation_off",
+        "arp_takeover",
+        "first_client_byte",
+    ];
+    let mut cursor = failure_at;
+    for (name, dur) in PHASES.into_iter().zip(mttr.deltas()) {
+        out.push(mk(fresh(), root, "waterfall", name, cursor, dur));
+        cursor += dur;
+    }
+    if let (Some(start), Some(red)) = (
+        redundancy.at(crate::timeline::RedundancyPhase::ReprovisionStart),
+        redundancy.restoration(),
+    ) {
+        let r = fresh();
+        out.push(mk(
+            r,
+            SpanId::NONE,
+            "waterfall",
+            "redundancy_restore",
+            start,
+            red.total_ns,
+        ));
+        out.push(mk(
+            fresh(),
+            r,
+            "waterfall",
+            "reprovision",
+            start,
+            red.reprovision_ns,
+        ));
+        out.push(mk(
+            fresh(),
+            r,
+            "waterfall",
+            "catchup",
+            start + red.reprovision_ns,
+            red.catchup_ns,
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Tail exemplars
+// ---------------------------------------------------------------------
+
+/// Exemplar slots kept per histogram: the top slot aggregates every
+/// bucket at or above `floor + EXEMPLAR_SLOTS - 1`.
+pub const EXEMPLAR_SLOTS: usize = 8;
+
+/// One captured exemplar: the value, when it was recorded, and the
+/// span context that was active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The recorded value (nanoseconds).
+    pub value: u64,
+    /// When it was recorded (the recorder's timebase).
+    pub at_ns: u64,
+    /// The active span context at record time.
+    pub ctx: SpanContext,
+}
+
+impl Exemplar {
+    /// OpenMetrics exemplar suffix for a Prometheus sample line:
+    /// `# {trace_id="...",span_id="..."} <value> <ts seconds>`.
+    pub fn prometheus_suffix(&self) -> String {
+        format!(
+            " # {{trace_id=\"{}\",span_id=\"{}\"}} {} {}.{:09}",
+            self.ctx.trace,
+            self.ctx.span,
+            self.value,
+            self.at_ns / 1_000_000_000,
+            self.at_ns % 1_000_000_000,
+        )
+    }
+}
+
+/// Latest-wins exemplar capture over the tail buckets of a log2
+/// histogram: an offered value whose bucket is at or above the
+/// configured floor bucket is stored (bucket-keyed, newest wins), so
+/// every tail bucket with traffic points at a concrete span. Fixed
+/// slots, `Copy`, zero-alloc — safe to embed in hot-path recorders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailExemplars {
+    floor_bucket: usize,
+    slots: [Option<Exemplar>; EXEMPLAR_SLOTS],
+    captured: u64,
+}
+
+impl Default for TailExemplars {
+    fn default() -> Self {
+        TailExemplars::new(0)
+    }
+}
+
+impl TailExemplars {
+    /// An empty set capturing buckets at or above `floor_bucket`.
+    pub const fn new(floor_bucket: usize) -> Self {
+        TailExemplars {
+            floor_bucket,
+            slots: [None; EXEMPLAR_SLOTS],
+            captured: 0,
+        }
+    }
+
+    /// The current floor bucket.
+    pub fn floor_bucket(&self) -> usize {
+        self.floor_bucket
+    }
+
+    /// Moves the capture floor (slots are bucket-keyed relative to the
+    /// floor, so existing captures shift meaning; callers that re-base
+    /// the floor per record — the [`ExemplarHistogram`] — only ever
+    /// *raise* it, which demotes old captures toward the top slot).
+    pub fn set_floor_bucket(&mut self, floor_bucket: usize) {
+        if floor_bucket > self.floor_bucket {
+            // Shift captures down so they stay keyed to the same
+            // absolute buckets where possible; out-of-range captures
+            // fall off the bottom (they are no longer tail).
+            let shift = floor_bucket - self.floor_bucket;
+            let mut slots = [None; EXEMPLAR_SLOTS];
+            for (i, e) in self.slots.iter().enumerate() {
+                if let Some(e) = e {
+                    if i >= shift {
+                        let j = (i - shift).min(EXEMPLAR_SLOTS - 1);
+                        slots[j] = Some(*e);
+                    }
+                }
+            }
+            self.slots = slots;
+        }
+        self.floor_bucket = floor_bucket;
+    }
+
+    /// Offers a recorded value: captured iff its `bucket` is at or
+    /// above the floor. Returns whether it was captured.
+    pub fn offer(&mut self, bucket: usize, value: u64, at_ns: u64, ctx: SpanContext) -> bool {
+        if bucket < self.floor_bucket {
+            return false;
+        }
+        let slot = (bucket - self.floor_bucket).min(EXEMPLAR_SLOTS - 1);
+        self.slots[slot] = Some(Exemplar { value, at_ns, ctx });
+        self.captured += 1;
+        true
+    }
+
+    /// The exemplar for `bucket` (absolute histogram bucket index), if
+    /// one was captured.
+    pub fn for_bucket(&self, bucket: usize) -> Option<Exemplar> {
+        if bucket < self.floor_bucket {
+            return None;
+        }
+        self.slots[(bucket - self.floor_bucket).min(EXEMPLAR_SLOTS - 1)]
+    }
+
+    /// The captured exemplars, lowest slot first.
+    pub fn iter(&self) -> impl Iterator<Item = Exemplar> + '_ {
+        self.slots.iter().flatten().copied()
+    }
+
+    /// The newest exemplar in the highest occupied slot.
+    pub fn top(&self) -> Option<Exemplar> {
+        self.slots.iter().rev().flatten().next().copied()
+    }
+
+    /// Total offers accepted (not the number of occupied slots).
+    pub fn captured(&self) -> u64 {
+        self.captured
+    }
+
+    /// Renders the occupied slots as a JSON array.
+    pub fn to_json(&self) -> String {
+        let slots: Vec<String> = self
+            .iter()
+            .map(|e| {
+                let mut obj = JsonObject::new();
+                obj.u64("value", e.value)
+                    .u64("at_ns", e.at_ns)
+                    .u64("trace", e.ctx.trace.0)
+                    .u64("span", e.ctx.span.0);
+                obj.render()
+            })
+            .collect();
+        array(&slots)
+    }
+}
+
+/// A [`LogHistogram`] with tail-exemplar capture wired in: recording
+/// with a live span context captures the context whenever the value
+/// lands in a *top* bucket — at or above the bucket holding the
+/// histogram's own live p99.9 — so every tail sample points at a
+/// concrete trace. The floor tracks the distribution as it grows:
+/// it re-bases to the p99.9 bucket on every contextful record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExemplarHistogram<const N: usize> {
+    hist: LogHistogram<N>,
+    exemplars: TailExemplars,
+}
+
+impl<const N: usize> Default for ExemplarHistogram<N> {
+    fn default() -> Self {
+        ExemplarHistogram::new()
+    }
+}
+
+impl<const N: usize> ExemplarHistogram<N> {
+    /// An empty exemplar histogram.
+    pub const fn new() -> Self {
+        ExemplarHistogram {
+            hist: LogHistogram::new(),
+            exemplars: TailExemplars::new(0),
+        }
+    }
+
+    /// Records `v`; with a context, captures an exemplar when `v`
+    /// lands at or above the live p99.9 bucket.
+    pub fn record_ctx(&mut self, v: u64, at_ns: u64, ctx: Option<SpanContext>) {
+        self.hist.record(v);
+        let Some(ctx) = ctx else {
+            return;
+        };
+        self.exemplars
+            .set_floor_bucket(LogHistogram::<N>::bucket_of(self.hist.quantile(0.999)));
+        self.exemplars
+            .offer(LogHistogram::<N>::bucket_of(v), v, at_ns, ctx);
+    }
+
+    /// Records without a span context (no exemplar capture).
+    pub fn record(&mut self, v: u64) {
+        self.record_ctx(v, 0, None);
+    }
+
+    /// The underlying histogram.
+    pub fn hist(&self) -> &LogHistogram<N> {
+        &self.hist
+    }
+
+    /// The captured tail exemplars.
+    pub fn exemplars(&self) -> &TailExemplars {
+        &self.exemplars
+    }
+
+    /// Prometheus exposition of this histogram as one family:
+    /// cumulative `_bucket` series (exemplar-annotated where a tail
+    /// capture exists), `_sum` and `_count`. `name` must already be a
+    /// valid metric name.
+    pub fn to_prometheus(&self, name: &str, help: &str) -> String {
+        let mut out = String::new();
+        crate::registry::prom_family(&mut out, name, help, "histogram");
+        let mut cumulative = 0u64;
+        for (i, &c) in self.hist.buckets().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let le = LogHistogram::<N>::bucket_high(i).to_string();
+            let exemplar = self.exemplars.for_bucket(i).map(|e| e.prometheus_suffix());
+            crate::registry::prom_sample(
+                &mut out,
+                &format!("{name}_bucket"),
+                &[("le", &le)],
+                &cumulative.to_string(),
+                exemplar.as_deref(),
+            );
+        }
+        crate::registry::prom_sample(
+            &mut out,
+            &format!("{name}_bucket"),
+            &[("le", "+Inf")],
+            &self.hist.count().to_string(),
+            None,
+        );
+        out.push_str(&format!(
+            "{name}_sum {}\n{name}_count {}\n",
+            self.hist.sum(),
+            self.hist.count()
+        ));
+        out
+    }
+}
+
+/// Default batches between sampled hot-path batch spans.
+pub const DEFAULT_SAMPLE_PERIOD: u64 = 64;
+
+/// The datapath's hot-path span recorder: samples one batch in
+/// [`SpanSampler::period`] onto the [`SpanTrack::Hotpath`] track, with
+/// one child span per PR5 pipeline stage sized from the stage-latency
+/// deltas the batch produced. Attached to a bridge as
+/// `Option<Box<SpanSampler>>` — detached costs nothing, attached but
+/// with the tracer detached costs one counter increment and one
+/// relaxed atomic load per batch, and sampled batches record into the
+/// tracer's pre-allocated ring (no allocation on the hot path).
+#[derive(Debug)]
+pub struct SpanSampler {
+    tracer: Tracer,
+    period: u64,
+    batches: u64,
+    sampled: u64,
+    /// Host-clock start of the in-flight sampled batch.
+    open_at: Option<u64>,
+    /// Context of the most recent sampled batch span: the exemplar
+    /// link between the corrected-e2e histogram and the trace.
+    last_ctx: Option<SpanContext>,
+}
+
+impl SpanSampler {
+    /// A sampler recording into `tracer` every `period` batches.
+    pub fn new(tracer: Tracer, period: u64) -> Self {
+        SpanSampler {
+            tracer,
+            period: period.max(1),
+            batches: 0,
+            sampled: 0,
+            open_at: None,
+            last_ctx: None,
+        }
+    }
+
+    /// A sampler with the default period.
+    pub fn with_default_period(tracer: Tracer) -> Self {
+        SpanSampler::new(tracer, DEFAULT_SAMPLE_PERIOD)
+    }
+
+    /// The tracer this sampler records into.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Batches observed (sampled or not).
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Batches that produced a span.
+    pub fn sampled(&self) -> u64 {
+        self.sampled
+    }
+
+    /// Context of the most recent sampled batch span, if any.
+    pub fn last_ctx(&self) -> Option<SpanContext> {
+        self.last_ctx
+    }
+
+    /// Called before a batch is processed. Returns whether this batch
+    /// is sampled; when it is, the host clock is read once so the
+    /// batch span starts at the true processing start.
+    pub fn start_batch(&mut self) -> bool {
+        let n = self.batches;
+        self.batches += 1;
+        if !self.tracer.is_attached() || !n.is_multiple_of(self.period) {
+            self.open_at = None;
+            return false;
+        }
+        self.open_at = Some(crate::latency::HostClock::now_ns());
+        true
+    }
+
+    /// Called after a sampled batch (one where [`SpanSampler::start_batch`]
+    /// returned true) finished processing. Records the batch span on
+    /// the hot-path track and, when stage histograms were snapshotted
+    /// around the batch, one contiguous child span per pipeline stage
+    /// sized by that stage's latency-sum delta.
+    pub fn finish_batch(
+        &mut self,
+        segments: u64,
+        before: Option<&StageLatency>,
+        after: Option<&StageLatency>,
+    ) {
+        let Some(t0) = self.open_at.take() else {
+            return;
+        };
+        let Some(batch) = self
+            .tracer
+            .begin_root(SpanTrack::Hotpath, "datapath", "batch", t0)
+        else {
+            return;
+        };
+        self.sampled += 1;
+        self.last_ctx = Some(batch.ctx);
+        let t1 = crate::latency::HostClock::now_ns().max(t0);
+        if let (Some(before), Some(after)) = (before, after) {
+            // Stage children laid contiguously from the batch start in
+            // pipeline order; each child's width is the host time that
+            // stage consumed across the whole batch. Placement within
+            // the batch is therefore schematic, the widths are exact.
+            let mut cursor = t0;
+            for stage in Stage::ALL {
+                let d = after
+                    .stage(stage)
+                    .sum()
+                    .saturating_sub(before.stage(stage).sum());
+                let hits = after
+                    .stage(stage)
+                    .count()
+                    .saturating_sub(before.stage(stage).count());
+                if hits == 0 {
+                    continue;
+                }
+                if let Some(child) = self.tracer.begin_child(
+                    batch.ctx,
+                    SpanTrack::Hotpath,
+                    "datapath",
+                    stage.name(),
+                    cursor,
+                ) {
+                    cursor = (cursor + d).min(t1);
+                    self.tracer
+                        .end_args(&child, cursor, [Some(("hits", hits)), None]);
+                }
+            }
+        }
+        self.tracer
+            .end_args(&batch, t1, [Some(("segments", segments)), None]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(trace: u64, span: u64) -> SpanContext {
+        SpanContext {
+            trace: TraceId(trace),
+            span: SpanId(span),
+        }
+    }
+
+    #[test]
+    fn detached_tracer_is_dormant() {
+        let t = Tracer::new();
+        assert!(!t.is_attached());
+        assert!(t.begin(SpanTrack::Control, "x", "y", 0).is_none());
+        t.instant(SpanTrack::Control, "x", "y", 0);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.dropped(), 0);
+        assert!(t.current().is_none());
+        assert_eq!(t.capacity(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_patch_duration() {
+        let t = Tracer::attached(16);
+        let root = t
+            .begin(SpanTrack::Control, "chain", "failover", 100)
+            .unwrap();
+        assert_eq!(t.current(), Some(root.ctx));
+        let child = t
+            .begin(SpanTrack::Control, "chain", "promotion", 150)
+            .unwrap();
+        assert_eq!(child.ctx.trace, root.ctx.trace, "child shares the trace");
+        t.instant(SpanTrack::Control, "chain", "veto", 160);
+        t.end_args(&child, 200, [Some(("vetoes", 1)), None]);
+        assert_eq!(t.current(), Some(root.ctx), "end pops back to parent");
+        t.end(&root, 300);
+        assert!(t.current().is_none());
+        let recs = t.records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].name, "failover");
+        assert_eq!(recs[0].dur_ns, 200);
+        assert!(!recs[0].open);
+        assert_eq!(recs[1].parent, recs[0].id);
+        assert_eq!(recs[1].dur_ns, 50);
+        assert_eq!(recs[1].args[0], Some(("vetoes", 1)));
+        assert_eq!(recs[2].kind, SpanKind::Instant);
+        assert_eq!(recs[2].parent, recs[1].id, "instant under innermost span");
+        assert!(
+            recs[0].summary().contains("failover"),
+            "{}",
+            recs[0].summary()
+        );
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts_exactly() {
+        let t = Tracer::attached(2);
+        for i in 0..5u64 {
+            t.instant(SpanTrack::Control, "x", "e", i);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let recs = t.records();
+        assert_eq!(recs[0].start_ns, 3);
+        assert_eq!(recs[1].start_ns, 4);
+    }
+
+    #[test]
+    fn end_after_eviction_counts_lost() {
+        let t = Tracer::attached(1);
+        let s = t.begin(SpanTrack::Control, "x", "long", 0).unwrap();
+        t.instant(SpanTrack::Control, "x", "evictor", 1);
+        t.end(&s, 10);
+        assert_eq!(t.lost_ends(), 1);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn chrome_export_has_processes_threads_and_events() {
+        let t = Tracer::attached(16);
+        let s = t
+            .begin(SpanTrack::Control, "detector", "detect", 1_000)
+            .unwrap();
+        t.end(&s, 3_500);
+        t.instant(SpanTrack::Hotpath, "bridge", "first_byte", 2_000);
+        let json = t.chrome_trace(&[]);
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("tcpfo control plane (sim ns)"), "{json}");
+        assert!(json.contains("tcpfo datapath (host ns)"), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"ph\":\"i\""), "{json}");
+        assert!(json.contains("\"ts\":1.000"), "{json}");
+        assert!(json.contains("\"dur\":2.500"), "{json}");
+        assert!(json.contains("\"name\":\"detector\""), "{json}");
+    }
+
+    #[test]
+    fn waterfall_sums_to_mttr_and_redundancy() {
+        use crate::timeline::{FailoverPhase, RedundancyPhase};
+        let tl = FailoverTimeline::new();
+        for (phase, at) in FailoverPhase::ALL
+            .into_iter()
+            .zip([10, 30, 35, 40, 70, 100])
+        {
+            tl.mark(phase, at);
+        }
+        let red = RedundancyTimeline::new();
+        assert!(
+            waterfall_records(&FailoverTimeline::new(), &red).is_empty(),
+            "incomplete timeline yields nothing"
+        );
+        red.mark(RedundancyPhase::ReprovisionStart, 110);
+        red.mark(RedundancyPhase::HandoffDone, 150);
+        red.mark(RedundancyPhase::CatchupDone, 230);
+        let recs = waterfall_records(&tl, &red);
+        assert_eq!(recs.len(), 1 + 5 + 3);
+        let root = &recs[0];
+        assert_eq!(root.name, "failover");
+        assert_eq!(root.start_ns, 10);
+        assert_eq!(root.dur_ns, 90);
+        let phase_sum: u64 = recs[1..6].iter().map(|r| r.dur_ns).sum();
+        assert_eq!(phase_sum, root.dur_ns, "phases sum exactly to MTTR");
+        // Phases are contiguous.
+        for w in recs[1..6].windows(2) {
+            assert_eq!(w[0].start_ns + w[0].dur_ns, w[1].start_ns);
+        }
+        let rroot = &recs[6];
+        assert_eq!(rroot.name, "redundancy_restore");
+        assert_eq!(rroot.dur_ns, 120);
+        assert_eq!(recs[7].dur_ns + recs[8].dur_ns, rroot.dur_ns);
+    }
+
+    #[test]
+    fn tail_exemplars_capture_at_or_above_floor() {
+        let mut ex = TailExemplars::new(10);
+        assert!(!ex.offer(9, 100, 1, ctx(1, 2)), "below floor ignored");
+        assert!(ex.offer(10, 200, 2, ctx(1, 3)));
+        assert!(
+            ex.offer(10 + EXEMPLAR_SLOTS, 900, 3, ctx(1, 4)),
+            "overflow clamps to top slot"
+        );
+        assert_eq!(ex.captured(), 2);
+        assert_eq!(ex.for_bucket(10).unwrap().value, 200);
+        assert_eq!(ex.top().unwrap().value, 900);
+        assert!(ex.for_bucket(9).is_none());
+        let json = ex.to_json();
+        assert!(json.contains("\"span\": 3"), "{json}");
+    }
+
+    #[test]
+    fn raising_floor_rekeys_slots() {
+        let mut ex = TailExemplars::new(4);
+        ex.offer(6, 50, 1, ctx(1, 1));
+        ex.set_floor_bucket(6);
+        assert_eq!(
+            ex.for_bucket(6).unwrap().value,
+            50,
+            "capture follows its bucket"
+        );
+        ex.set_floor_bucket(20);
+        assert!(
+            ex.iter().next().is_none(),
+            "all captures fell below the new tail"
+        );
+    }
+
+    #[test]
+    fn exemplar_histogram_top_bucket_always_captures_when_attached() {
+        let mut h: ExemplarHistogram<48> = ExemplarHistogram::new();
+        for i in 0..1000u64 {
+            h.record_ctx(100 + (i % 7), 0, Some(ctx(9, i + 1)));
+        }
+        // A tail value lands at/above the p99.9 bucket: must capture.
+        h.record_ctx(1 << 20, 42, Some(ctx(9, 5000)));
+        let b = LogHistogram::<48>::bucket_of(1 << 20);
+        let e = h.exemplars().for_bucket(b).expect("tail sample captured");
+        assert_eq!(e.ctx.span, SpanId(5000));
+        assert_eq!(e.value, 1 << 20);
+        // Without a context nothing is captured, but the histogram
+        // still counts.
+        let mut d: ExemplarHistogram<48> = ExemplarHistogram::new();
+        d.record(1 << 20);
+        assert_eq!(d.hist().count(), 1);
+        assert_eq!(d.exemplars().captured(), 0);
+    }
+
+    #[test]
+    fn exemplar_prometheus_annotates_tail_buckets() {
+        let mut h: ExemplarHistogram<48> = ExemplarHistogram::new();
+        for _ in 0..100 {
+            h.record(10);
+        }
+        h.record_ctx(1 << 22, 1_500_000_000, Some(ctx(7, 77)));
+        let text = h.to_prometheus("tcpfo_test_corrected_ns", "corrected e2e latency");
+        assert!(
+            text.contains("# TYPE tcpfo_test_corrected_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# {trace_id=\"t7\",span_id=\"s77\"} 4194304 1.500000000"),
+            "{text}"
+        );
+        assert!(text.contains("tcpfo_test_corrected_ns_count 101"), "{text}");
+        assert!(text.contains("le=\"+Inf\"} 101"), "{text}");
+    }
+}

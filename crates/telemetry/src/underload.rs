@@ -36,6 +36,7 @@
 use crate::json::JsonObject;
 use crate::latency::{LogHistogram, Quantile, Stage, StageLatency};
 use crate::registry::Scope;
+use crate::span::{ExemplarHistogram, SpanContext, TailExemplars};
 
 /// Bucket count for under-load histograms: lag and corrected latency
 /// can reach seconds-to-minutes when the generator outruns the bridge,
@@ -194,8 +195,10 @@ pub struct UnderLoadRecorder {
     /// Completion − actual injection (the closed-loop number).
     naive: UnderLoadHistogram,
     /// Completion − intended arrival (lag + service; the corrected
-    /// number).
-    corrected: UnderLoadHistogram,
+    /// number), with PR 10 tail-exemplar capture: when span tracing is
+    /// attached, every corrected sample landing in a top bucket points
+    /// at the span that was active when it completed.
+    corrected: ExemplarHistogram<UNDERLOAD_BUCKETS>,
     corrected_windowed: WindowedHistogram<UNDERLOAD_BUCKETS>,
     /// Raw service-time deltas absorbed from the PR 5 observatory.
     stages_service: StageLatency,
@@ -227,7 +230,7 @@ impl UnderLoadRecorder {
     pub fn new(window_ns: u64, windows: usize, capacity: u64) -> Self {
         UnderLoadRecorder {
             naive: UnderLoadHistogram::new(),
-            corrected: UnderLoadHistogram::new(),
+            corrected: ExemplarHistogram::new(),
             corrected_windowed: WindowedHistogram::new(window_ns, windows),
             stages_service: StageLatency::new(),
             stages_corrected: [UnderLoadHistogram::new(); Stage::COUNT],
@@ -248,11 +251,25 @@ impl UnderLoadRecorder {
     /// `done_ns` when its batch finished processing. All three are on
     /// the same monotone clock.
     pub fn record_segment(&mut self, intended_ns: u64, actual_ns: u64, done_ns: u64) {
+        self.record_segment_ctx(intended_ns, actual_ns, done_ns, None);
+    }
+
+    /// [`record_segment`](Self::record_segment) with the active span
+    /// context (when tracing is attached): a corrected latency landing
+    /// in a top bucket (at/above the live p99.9 bucket) captures `ctx`
+    /// as a tail exemplar, so the slow sample links to a trace.
+    pub fn record_segment_ctx(
+        &mut self,
+        intended_ns: u64,
+        actual_ns: u64,
+        done_ns: u64,
+        ctx: Option<SpanContext>,
+    ) {
         let lag = actual_ns.saturating_sub(intended_ns);
         self.lag.record(actual_ns, lag);
         self.naive.record(done_ns.saturating_sub(actual_ns));
         let corrected = done_ns.saturating_sub(intended_ns);
-        self.corrected.record(corrected);
+        self.corrected.record_ctx(corrected, done_ns, ctx);
         self.corrected_windowed.record(done_ns, corrected);
         self.injected += 1;
     }
@@ -366,7 +383,23 @@ impl UnderLoadRecorder {
 
     /// The coordinated-omission-corrected end-to-end histogram.
     pub fn corrected(&self) -> &UnderLoadHistogram {
-        &self.corrected
+        self.corrected.hist()
+    }
+
+    /// The tail exemplars captured on the corrected histogram (empty
+    /// unless segments were recorded with a span context).
+    pub fn corrected_exemplars(&self) -> &TailExemplars {
+        self.corrected.exemplars()
+    }
+
+    /// Exemplar-annotated Prometheus exposition of the corrected
+    /// end-to-end histogram (the registry's name-only model cannot
+    /// carry exemplars, so the recorder emits this family directly).
+    pub fn corrected_prometheus(&self) -> String {
+        self.corrected.to_prometheus(
+            "tcpfo_underload_corrected_e2e_ns",
+            "coordinated-omission-corrected end-to-end latency (log2 buckets, nanoseconds)",
+        )
     }
 
     /// The corrected histogram for one datapath stage.
@@ -420,8 +453,9 @@ impl UnderLoadRecorder {
         set("backlog_peak", self.lag.max_backlog());
         set("naive_p99_ns", self.naive.p99());
         set("naive_p999_ns", self.naive.p999());
-        set("corrected_p99_ns", self.corrected.p99());
-        let p999 = self.corrected.quantile_report(0.999);
+        set("corrected_p99_ns", self.corrected.hist().p99());
+        set("corrected_exemplars", self.corrected.exemplars().captured());
+        let p999 = self.corrected.hist().quantile_report(0.999);
         set("corrected_p999_ns", p999.value);
         set("corrected_p999_saturated", u64::from(p999.saturated));
         let win = self.corrected_windowed.sliding(now_ns);
@@ -500,7 +534,8 @@ impl UnderLoadRecorder {
         let mut root = JsonObject::new();
         root.u64("injected", self.injected)
             .raw("naive", self.naive.to_json())
-            .raw("corrected", self.corrected.to_json())
+            .raw("corrected", self.corrected.hist().to_json())
+            .raw("corrected_exemplars", self.corrected.exemplars().to_json())
             .raw("window", win.to_json())
             .raw("stages", stages.render())
             .raw("lag", lag.render())
@@ -586,6 +621,40 @@ mod tests {
         // The service view is the cumulative `after` snapshot.
         assert_eq!(r.stages_service().stage(Stage::IngressParse).count(), 2);
         assert_eq!(r.stages_service().stage(Stage::FlowLookup).count(), 1);
+    }
+
+    #[test]
+    fn corrected_tail_samples_capture_exemplars_with_context() {
+        use crate::audit::TraceId;
+        use crate::span::{SpanContext, SpanId};
+        let mut r = UnderLoadRecorder::new(1_000_000, 8, 1_000);
+        let ctx = |s: u64| {
+            Some(SpanContext {
+                trace: TraceId(3),
+                span: SpanId(s),
+            })
+        };
+        // A fast baseline, then a tail sample: the slow one must carry
+        // an exemplar pointing at the span that was active.
+        for i in 0..200 {
+            r.record_segment_ctx(i * 10, i * 10, i * 10 + 500, ctx(1));
+        }
+        r.record_segment_ctx(0, 40_000_000, 40_000_100, ctx(99));
+        let ex = r.corrected_exemplars();
+        assert!(ex.captured() > 0);
+        assert_eq!(ex.top().unwrap().ctx.span, SpanId(99));
+        let prom = r.corrected_prometheus();
+        assert!(prom.contains("span_id=\"s99\""), "{prom}");
+        assert!(
+            prom.contains("# TYPE tcpfo_underload_corrected_e2e_ns histogram"),
+            "{prom}"
+        );
+        // Without a context nothing is captured.
+        let mut plain = UnderLoadRecorder::new(1_000_000, 8, 1_000);
+        plain.record_segment(0, 40_000_000, 40_000_100);
+        assert_eq!(plain.corrected_exemplars().captured(), 0);
+        let json = r.to_json(0);
+        assert!(json.contains("\"corrected_exemplars\""), "{json}");
     }
 
     #[test]
